@@ -1,0 +1,57 @@
+// §II.B ablation: the assignment ladder itself — what each optimization
+// step buys. Runs every variant on the same two workloads (a dense center
+// pile and a sparse configuration) and reports wall time, iterations and
+// tile tasks. This is the evidence behind the assignment's narrative:
+// tiling helps caches, laziness skips stable regions, the simplified
+// kernel vectorizes, and the async multi-wave variant cuts iteration
+// counts drastically.
+#include <iostream>
+
+#include "core/table.hpp"
+#include "sandpile/field.hpp"
+#include "sandpile/variants.hpp"
+
+namespace {
+
+using namespace peachy;
+using namespace peachy::sandpile;
+
+void run_workload(const char* label, const Field& initial) {
+  Field reference = initial;
+  stabilize_reference(reference);
+
+  std::cout << label << "\n";
+  TextTable table({"variant", "wall ms", "speedup vs seq-sync", "iterations",
+                   "tile tasks", "correct"});
+  double seq_ms = 0;
+  for (const Variant v : all_variants()) {
+    Field f = initial;
+    VariantOptions opt;
+    opt.tile_h = opt.tile_w = 32;
+    const VariantOutcome out = run_variant(v, f, opt);
+    const double ms = static_cast<double>(out.run.elapsed_ns) / 1e6;
+    if (v == Variant::kSeqSync) seq_ms = ms;
+    table.row({to_string(v), TextTable::num(ms, 1),
+               TextTable::num(seq_ms > 0 ? seq_ms / ms : 1.0, 2) + "x",
+               TextTable::num(static_cast<std::int64_t>(out.run.iterations)),
+               TextTable::num(static_cast<std::int64_t>(out.run.tasks)),
+               f.same_interior(reference) ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "assignment-ladder ablation (tile 32x32, OpenMP defaults)\n\n";
+  run_workload("workload A: 512x512, 200000 grains in the center cell",
+               center_pile(512, 512, 200000));
+  run_workload("workload B: 512x512 sparse (3% cells loaded with 16..128)",
+               sparse_random_pile(512, 512, 0.03, 16, 128, 7));
+  std::cout << "expected shape: lazy variants execute far fewer tasks on "
+               "sparse input; the vector-friendly kernel beats the generic "
+               "per-cell kernel; async waves need far fewer iterations "
+               "than synchronous sweeps.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// EASYPAP-style performance plots (§II: "EASYPAP features performance
+// graph plot tools" used in every student report). Produces the two plot
+// datasets the assignment's reports revolve around:
+//  * out/perf_iterations.csv — per-iteration wall time for eager vs lazy
+//    on a sparsifying workload (the lazy curve collapses as tiles go
+//    quiet; the eager curve stays flat);
+//  * out/perf_sweep.csv — the variant x tile-size sweep (the "performance
+//    plots" behind the reports), also printed as a table.
+#include <filesystem>
+#include <iostream>
+
+#include "pap/monitor.hpp"
+#include "sandpile/field.hpp"
+#include "sandpile/variants.hpp"
+
+int main() {
+  using namespace peachy;
+  using namespace peachy::sandpile;
+  std::filesystem::create_directories("out");
+
+  // --- Per-iteration curves: eager vs lazy on the same workload.
+  {
+    pap::Experiment curves({"variant", "iteration"}, {"wall_us"});
+    for (const Variant v : {Variant::kOmpTiledSync, Variant::kOmpLazySync}) {
+      Field f = sparse_random_pile(512, 512, 0.0008, 500, 2000, 77);
+      VariantOptions opt;
+      opt.tile_h = opt.tile_w = 32;
+      // Thread the monitor through run_variant via the trace-free hook:
+      // run_variant wires the sync swap itself, so sample around it by
+      // running the variant and reading its per-iteration trace instead.
+      TraceRecorder trace(64);
+      opt.trace = &trace;
+      const VariantOutcome out = run_variant(v, f, opt);
+      for (int it = 0; it < out.run.iterations; ++it) {
+        const auto s = summarize_iteration(trace.iteration(it), it, 64);
+        curves.record({to_string(v), std::to_string(it)},
+                      {static_cast<double>(s.busy_ns) / 1e3});
+      }
+    }
+    curves.write_csv("out/perf_iterations.csv");
+    std::cout << "wrote out/perf_iterations.csv (per-iteration busy time, "
+                 "eager vs lazy)\n";
+  }
+
+  // --- The sweep table: variants x tile sizes on one workload.
+  {
+    pap::Experiment sweep({"variant", "tile"},
+                          {"wall_ms", "iterations", "tasks"});
+    for (const Variant v :
+         {Variant::kOmpTiledSync, Variant::kOmpLazySync,
+          Variant::kOmpSyncVector, Variant::kOmpLazyAsyncWave}) {
+      for (int tile : {16, 32, 64}) {
+        Field f = sparse_random_pile(512, 512, 0.0008, 500, 2000, 77);
+        VariantOptions opt;
+        opt.tile_h = opt.tile_w = tile;
+        const VariantOutcome out = run_variant(v, f, opt);
+        sweep.record({to_string(v), std::to_string(tile)},
+                     {static_cast<double>(out.run.elapsed_ns) / 1e6,
+                      static_cast<double>(out.run.iterations),
+                      static_cast<double>(out.run.tasks)});
+      }
+    }
+    sweep.table(1).print(std::cout);
+    sweep.write_csv("out/perf_sweep.csv");
+    std::cout << "\nwrote out/perf_sweep.csv\n";
+  }
+
+  std::cout << "expected shape: the lazy per-iteration curve decays as the "
+               "configuration settles while the eager curve stays flat; "
+               "lazy variants dominate the sweep on sparse input.\n";
+  return 0;
+}

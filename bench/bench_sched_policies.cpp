@@ -1,0 +1,139 @@
+// §II.B ablation: OpenMP loop-scheduling policy x tile size for the lazy
+// sandpile — the experiment students run to "experimentally determine the
+// most suitable OpenMP loop scheduling policy" against the load imbalance
+// of sparse configurations.
+//
+// Methodology (EASYPAP's offline trace exploration, quantified): one real
+// lazy run per tile size records every tile task's cost; each scheduling
+// policy is then *replayed* over the measured per-iteration task costs on
+// W modeled workers, yielding its load-imbalance ratio deterministically.
+// This keeps the comparison meaningful on any host — on a single-core
+// container, directly timing OpenMP's dynamic schedule degenerates (one
+// thread drains the whole queue), whereas the replay answers the question
+// the assignment actually asks: how well does each policy spread the
+// sparse phase's uneven tile costs across W workers?
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "core/table.hpp"
+#include "sandpile/field.hpp"
+#include "sandpile/variants.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+using namespace peachy;
+
+// Replays one iteration's task costs (ns, in recorded start order) through
+// a modeled policy on `workers` lanes and returns max/mean lane load.
+double replay_imbalance(const std::vector<double>& costs, int workers,
+                        pap::Schedule policy) {
+  const int n = static_cast<int>(costs.size());
+  std::vector<double> lane(static_cast<std::size_t>(workers), 0.0);
+  switch (policy) {
+    case pap::Schedule::kStatic: {  // contiguous blocks
+      const int chunk = (n + workers - 1) / workers;
+      for (int i = 0; i < n; ++i)
+        lane[static_cast<std::size_t>(std::min(i / chunk, workers - 1))] +=
+            costs[static_cast<std::size_t>(i)];
+      break;
+    }
+    case pap::Schedule::kStaticChunk1: {  // round-robin
+      for (int i = 0; i < n; ++i)
+        lane[static_cast<std::size_t>(i % workers)] +=
+            costs[static_cast<std::size_t>(i)];
+      break;
+    }
+    case pap::Schedule::kDynamic: {  // self-scheduling, chunk 1: each task
+      // goes to the earliest-available lane.
+      for (int i = 0; i < n; ++i) {
+        auto it = std::min_element(lane.begin(), lane.end());
+        *it += costs[static_cast<std::size_t>(i)];
+      }
+      break;
+    }
+    case pap::Schedule::kGuided: {  // decreasing chunks to earliest lane
+      int i = 0;
+      int remaining = n;
+      while (remaining > 0) {
+        const int chunk = std::max(1, remaining / (2 * workers));
+        auto it = std::min_element(lane.begin(), lane.end());
+        for (int k = 0; k < chunk; ++k)
+          *it += costs[static_cast<std::size_t>(i + k)];
+        i += chunk;
+        remaining -= chunk;
+      }
+      break;
+    }
+  }
+  double sum = 0, mx = 0;
+  for (double v : lane) {
+    sum += v;
+    mx = std::max(mx, v);
+  }
+  const double mean = sum / workers;
+  return mean > 0 ? mx / mean : 1.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace peachy::sandpile;
+
+  constexpr int kSize = 1024;
+  constexpr int kWorkers = 4;
+  std::cout << "scheduling policy x tile size — lazy sync sandpile, "
+            << kSize << "x" << kSize
+            << " sparse configuration, trace replay on " << kWorkers
+            << " modeled workers\n\n";
+
+  TextTable table({"tile", "wall ms (1 run)", "iterations", "tasks",
+                   "static", "static,1", "dynamic", "guided"});
+  for (int tile : {16, 32, 64, 128}) {
+    Field f = sparse_random_pile(kSize, kSize, 0.0002, 500, 2000, 31337);
+    TraceRecorder trace(8);
+    VariantOptions opt;
+    opt.threads = kWorkers;
+    opt.tile_h = opt.tile_w = tile;
+    opt.trace = &trace;
+    const VariantOutcome out = run_variant(Variant::kOmpLazySync, f, opt);
+
+    // Median replay imbalance per policy over the sparse second half of
+    // the run (iterations with at least 2 tasks per worker).
+    std::vector<std::vector<double>> imb(4);
+    for (int it = out.run.iterations / 2; it < out.run.iterations; ++it) {
+      const auto records = trace.iteration(it);
+      if (records.size() < 2 * kWorkers) continue;
+      std::vector<double> costs;
+      costs.reserve(records.size());
+      for (const TaskRecord& r : records)
+        costs.push_back(static_cast<double>(r.duration_ns()));
+      int p = 0;
+      for (const pap::Schedule policy :
+           {pap::Schedule::kStatic, pap::Schedule::kStaticChunk1,
+            pap::Schedule::kDynamic, pap::Schedule::kGuided})
+        imb[static_cast<std::size_t>(p++)].push_back(
+            replay_imbalance(costs, kWorkers, policy));
+    }
+
+    std::vector<std::string> row = {
+        std::to_string(tile),
+        TextTable::num(static_cast<double>(out.run.elapsed_ns) / 1e6, 1),
+        TextTable::num(static_cast<std::int64_t>(out.run.iterations)),
+        TextTable::num(static_cast<std::int64_t>(out.run.tasks))};
+    for (auto& v : imb)
+      row.push_back(v.empty() ? "n/a" : TextTable::num(quantile(v, 0.5), 3));
+    table.row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\ncells: median load-imbalance ratio (max worker load / "
+               "mean) — 1.0 is perfect.\n"
+            << "expected shape: static blocks suffer on clustered sparse "
+               "activity; dynamic/guided self-scheduling stay near 1; "
+               "larger tiles leave fewer tasks to balance, raising every "
+               "policy's imbalance.\n";
+  return 0;
+}

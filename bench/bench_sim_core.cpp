@@ -1,0 +1,76 @@
+// google-benchmark microbenchmarks of the discrete-event core and the
+// workflow simulator — the substrate costs behind §IV (how cheap one
+// simulated execution is, which is what makes the exhaustive search of
+// bench_tab2_optimal tractable).
+#include <benchmark/benchmark.h>
+
+#include "sim/engine.hpp"
+#include "wfsim/montage.hpp"
+#include "wfsim/schedule.hpp"
+
+namespace {
+
+using namespace peachy;
+
+// Raw event throughput: schedule-and-run chains of dependent events.
+void BM_EngineEventChain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    int count = 0;
+    std::function<void()> step = [&] {
+      if (++count < n) engine.schedule_in(1.0, step);
+    };
+    engine.schedule_at(0.0, step);
+    engine.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineEventChain)->Arg(1000)->Arg(100000);
+
+// Heap pressure: many concurrent timers in one queue.
+void BM_EngineWideQueue(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (int i = 0; i < n; ++i)
+      engine.schedule_at((i * 7919) % n, [] {});
+    engine.run();
+    benchmark::DoNotOptimize(engine.processed());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineWideQueue)->Arg(1000)->Arg(100000);
+
+// One full Montage-738 execution simulation (all-cluster).
+void BM_SimulateMontageCluster(benchmark::State& state) {
+  const wf::Workflow workflow = wf::make_montage();
+  const wf::Platform plat = wf::eduwrench_platform();
+  wf::RunConfig cfg;
+  cfg.nodes_on = static_cast<int>(state.range(0));
+  cfg.pstate = plat.max_pstate();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(wf::simulate(workflow, plat, cfg));
+  state.SetItemsProcessed(state.iterations() * workflow.num_tasks());
+}
+BENCHMARK(BM_SimulateMontageCluster)->Arg(8)->Arg(64);
+
+// One cluster+cloud simulation with transfers over the shared link.
+void BM_SimulateMontageHybridCloud(benchmark::State& state) {
+  const wf::Workflow workflow = wf::make_montage();
+  const wf::Platform plat = wf::eduwrench_platform();
+  wf::RunConfig cfg;
+  cfg.nodes_on = 12;
+  cfg.pstate = 0;
+  cfg.placement =
+      wf::Placement::level_fractions(workflow, {1.0, 1.0, 0, 0, 0.5});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(wf::simulate(workflow, plat, cfg));
+  state.SetItemsProcessed(state.iterations() * workflow.num_tasks());
+}
+BENCHMARK(BM_SimulateMontageHybridCloud);
+
+}  // namespace
+
+BENCHMARK_MAIN();

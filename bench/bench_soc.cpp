@@ -1,0 +1,79 @@
+// Self-organized criticality (Bak–Tang–Wiesenfeld [3], the model the
+// sandpile assignment simulates): drive piles of several sizes to the
+// critical state, sample single-grain avalanches, and print the log-binned
+// avalanche-size distribution with the fitted power-law exponent — the
+// headline result of the original paper, reproduced as the "cool
+// extension" of the assignment. Writes the critical-state image
+// (out/soc_critical.ppm), visually distinct from the deterministic
+// fixed points of Fig. 1.
+#include <filesystem>
+#include <iostream>
+
+#include "core/table.hpp"
+#include "core/timer.hpp"
+#include "sandpile/field.hpp"
+#include "sandpile/soc.hpp"
+
+int main() {
+  using namespace peachy;
+  using namespace peachy::sandpile;
+  std::filesystem::create_directories("out");
+
+  std::cout << "self-organized criticality — avalanche statistics of the "
+               "BTW sandpile\n\n";
+
+  TextTable summary({"grid", "driving grains", "stationary density",
+                     "sampled avalanches", "max size", "max area",
+                     "max duration", "tau (size)", "wall ms"});
+
+  std::vector<LogBin> bins_64;
+  for (const int n : {32, 64}) {
+    WallTimer timer;
+    Field f(n, n);
+    Rng rng(20220525);
+    drive_to_criticality(f, static_cast<std::int64_t>(30) * n * n, rng);
+    const double density =
+        static_cast<double>(f.interior_grains()) / (static_cast<double>(n) * n);
+
+    const auto avalanches = sample_avalanches(f, 12000, rng);
+    std::vector<std::int64_t> sizes;
+    std::int64_t max_size = 0, max_area = 0, max_duration = 0;
+    for (const Avalanche& a : avalanches) {
+      if (a.size > 0) sizes.push_back(a.size);
+      max_size = std::max(max_size, a.size);
+      max_area = std::max(max_area, a.area);
+      max_duration = std::max(max_duration, a.duration);
+    }
+    const auto bins = log_binned(sizes);
+    if (n == 64) {
+      bins_64 = bins;
+      f.render().upscaled(4).write_ppm("out/soc_critical.ppm");
+    }
+
+    summary.row({std::to_string(n) + "x" + std::to_string(n),
+                 TextTable::num(static_cast<std::int64_t>(30) * n * n),
+                 TextTable::num(density, 3),
+                 TextTable::num(static_cast<std::int64_t>(avalanches.size())),
+                 TextTable::num(max_size), TextTable::num(max_area),
+                 TextTable::num(max_duration),
+                 TextTable::num(power_law_exponent(bins, 20), 3),
+                 TextTable::num(timer.elapsed_ms(), 0)});
+  }
+  summary.print(std::cout);
+
+  std::cout << "\navalanche-size distribution, 64x64 (log-binned):\n";
+  TextTable dist({"size bin", "count", "density"});
+  for (const LogBin& b : bins_64) {
+    if (b.count == 0) continue;
+    dist.row({"[" + std::to_string(b.lo) + "," + std::to_string(b.hi) + ")",
+              TextTable::num(b.count),
+              TextTable::num(b.density, 8)});
+  }
+  dist.print(std::cout);
+
+  std::cout << "\nexpected shape: stationary density ~2.1 grains/cell; "
+               "straight line in log-log (power law) with tau ~1.0-1.3 "
+               "until the finite-size cutoff.\n"
+            << "critical-state image: out/soc_critical.ppm\n";
+  return 0;
+}

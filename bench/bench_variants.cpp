@@ -1,0 +1,97 @@
+// google-benchmark microbenchmarks of the sandpile kernels and variants —
+// the per-iteration costs behind the §II.B performance plots: generic vs
+// vector-friendly synchronous kernels, tiled vs untiled sweeps, and
+// full-stabilization costs per variant.
+#include <benchmark/benchmark.h>
+
+#include "pap/tile_grid.hpp"
+#include "sandpile/field.hpp"
+#include "sandpile/kernels.hpp"
+#include "sandpile/variants.hpp"
+
+namespace {
+
+using namespace peachy;
+using namespace peachy::sandpile;
+
+// One full synchronous sweep via the generic per-cell path.
+void BM_SyncKernelGeneric(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Field f = sparse_random_pile(n, n, 0.3, 4, 64, 1);
+  SyncEngine engine(f);
+  pap::Tile whole{0, 0, 0, 0, 0, n, n};
+  whole.h = whole.w = n;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.compute_tile(whole));
+    engine.swap_buffers();
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_SyncKernelGeneric)->Arg(256)->Arg(512)->Arg(1024);
+
+// Same sweep through the vector-friendly path (assignment 3's rewrite).
+void BM_SyncKernelVector(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Field f = sparse_random_pile(n, n, 0.3, 4, 64, 1);
+  SyncEngine engine(f);
+  pap::Tile whole{0, 0, 0, 0, 0, n, n};
+  whole.h = whole.w = n;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.compute_tile_vector(whole));
+    engine.swap_buffers();
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_SyncKernelVector)->Arg(256)->Arg(512)->Arg(1024);
+
+// Tiled sweep: cache behaviour of the tile loop at several tile sizes.
+void BM_SyncTiledSweep(benchmark::State& state) {
+  const int n = 1024;
+  const int tile = static_cast<int>(state.range(0));
+  Field f = sparse_random_pile(n, n, 0.3, 4, 64, 1);
+  SyncEngine engine(f);
+  pap::TileGrid tiles(n, n, tile, tile);
+  for (auto _ : state) {
+    for (int i = 0; i < tiles.count(); ++i)
+      benchmark::DoNotOptimize(engine.compute_tile_vector(tiles.tile(i)));
+    engine.swap_buffers();
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_SyncTiledSweep)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+// One in-place asynchronous sweep.
+void BM_AsyncSweep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Field f = sparse_random_pile(n, n, 0.3, 4, 64, 1);
+    AsyncEngine engine(f);
+    pap::Tile whole{0, 0, 0, 0, 0, n, n};
+    whole.h = whole.w = n;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(engine.sweep_tile(whole));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_AsyncSweep)->Arg(256)->Arg(512);
+
+// Full stabilization per variant on a fixed workload (the end-to-end cost
+// the students' performance plots compare).
+void BM_VariantStabilize(benchmark::State& state) {
+  const Variant v = all_variants()[static_cast<std::size_t>(state.range(0))];
+  state.SetLabel(to_string(v));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Field f = center_pile(256, 256, 60000);
+    state.ResumeTiming();
+    VariantOptions opt;
+    opt.tile_h = opt.tile_w = 32;
+    benchmark::DoNotOptimize(run_variant(v, f, opt));
+  }
+}
+BENCHMARK(BM_VariantStabilize)->DenseRange(0, 7);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+// Carbon-aware workflow scheduling: a CLI walk through paper §IV.
+//
+//   $ ./carbon_scheduler [deadline_seconds]
+//
+// Executes the Montage-738 workflow on the simulated platform and answers
+// the assignment's questions: the Tab #1 performance/CO2 baseline, the two
+// single-knob power optimizations under the deadline, the boss's combined
+// heuristic, and the Tab #2 cluster+cloud placement exploration including a
+// search for the CO2 optimum.
+#include <cstdlib>
+#include <iostream>
+
+#include "core/table.hpp"
+#include "wfsim/montage.hpp"
+#include "wfsim/schedule.hpp"
+
+namespace {
+
+using namespace peachy;
+using namespace peachy::wf;
+
+std::string fractions_str(const std::vector<double>& f) {
+  std::string s = "[";
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    if (i) s += " ";
+    s += TextTable::num(f[i], 2);
+  }
+  return s + "]";
+}
+
+void report_row(TextTable& t, const std::string& label, const SimResult& r) {
+  t.row({label, TextTable::num(r.makespan_s, 1),
+         TextTable::num(r.cluster_energy_j / 3.6e6, 3),
+         TextTable::num(r.cloud_energy_j / 3.6e6, 3),
+         TextTable::num(r.total_gco2, 1)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double deadline = argc > 1 ? std::atof(argv[1]) : 180.0;
+  const Workflow wf = make_montage();
+  const Platform plat = eduwrench_platform();
+
+  std::cout << "Montage workflow: " << wf.num_tasks() << " tasks, "
+            << wf.num_levels() << " levels, "
+            << TextTable::num(wf.total_bytes() / 1e9, 2) << " GB data, "
+            << TextTable::num(wf.total_flops() / 1e12, 2) << " Tflop\n"
+            << "deadline: " << deadline << " s\n\n";
+
+  // ---- Tab #1: the local cluster.
+  std::cout << "== Tab 1: 64-node cluster ("
+            << plat.cluster.gco2_per_kwh << " gCO2e/kWh) ==\n";
+  RunConfig base;
+  base.nodes_on = 64;
+  base.pstate = plat.max_pstate();
+  const SimResult baseline = simulate(wf, plat, base);
+  const SpeedupReport speedup = speedup_vs_one_node(wf, plat, base);
+
+  TextTable t1({"configuration", "time_s", "cluster_kWh", "cloud_kWh",
+                "gCO2e"});
+  report_row(t1, "Q1 baseline: 64 nodes @ p6", baseline);
+  const ClusterChoice fewer =
+      min_nodes_for_deadline(wf, plat, plat.max_pstate(), deadline);
+  report_row(t1, "Q2a min nodes @ p6: " + std::to_string(fewer.nodes_on),
+             fewer.result);
+  const ClusterChoice slower = min_pstate_for_deadline(wf, plat, 64, deadline);
+  report_row(t1, "Q2b 64 nodes @ min p-state p" + std::to_string(slower.pstate),
+             slower.result);
+  const ClusterChoice combined = combined_power_heuristic(wf, plat, deadline);
+  report_row(t1,
+             "Q3 combined: " + std::to_string(combined.nodes_on) +
+                 " nodes @ p" + std::to_string(combined.pstate),
+             combined.result);
+  t1.print(std::cout);
+  std::cout << "Q1 speedup vs 1 node: " << TextTable::num(speedup.speedup, 2)
+            << "x, efficiency " << TextTable::num(speedup.efficiency, 3)
+            << "\n\n";
+
+  // ---- Tab #2: 12 low-power nodes + the green cloud.
+  std::cout << "== Tab 2: 12 nodes @ p0 + 16 green cloud VMs ("
+            << plat.cloud.gco2_per_kwh << " gCO2e/kWh, "
+            << TextTable::num(plat.link.bytes_per_s * 8 / 1e9, 1)
+            << " Gbit/s link) ==\n";
+  TextTable t2({"placement", "time_s", "cluster_kWh", "cloud_kWh", "gCO2e"});
+
+  RunConfig local12;
+  local12.nodes_on = 12;
+  local12.pstate = 0;
+  report_row(t2, "all on local cluster", simulate(wf, plat, local12));
+
+  RunConfig cloud_all = local12;
+  cloud_all.placement = Placement::all(wf, Site::kCloud);
+  report_row(t2, "all on cloud", simulate(wf, plat, cloud_all));
+
+  for (const auto& [label, fractions] :
+       std::vector<std::pair<std::string, std::vector<double>>>{
+           {"levels 0+1 on cloud", {1.0, 1.0}},
+           {"level 0 on cloud", {1.0}},
+           {"half of levels 0+1 on cloud", {0.5, 0.5}}}) {
+    RunConfig cfg = local12;
+    cfg.placement = Placement::level_fractions(wf, fractions);
+    report_row(t2, "Q2 " + label, simulate(wf, plat, cfg));
+  }
+
+  const CloudSearchResult coarse =
+      exhaustive_cloud_search(wf, plat, 12, 0, {0.0, 0.5, 1.0});
+  report_row(t2, "exhaustive grid optimum", coarse.result);
+  const CloudSearchResult refined =
+      refine_cloud_fractions(wf, plat, 12, 0, coarse.fractions, 0.125);
+  report_row(t2, "after hill-climb refinement", refined.result);
+  t2.print(std::cout);
+
+  std::cout << "optimal per-level cloud fractions (levels 0..8): "
+            << fractions_str(refined.fractions) << "\n"
+            << "simulations evaluated: " << coarse.evaluated << " grid + "
+            << refined.evaluated << " refinement\n";
+  return 0;
+}

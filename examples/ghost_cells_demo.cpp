@@ -1,0 +1,45 @@
+// Ghost Cell Pattern demo (paper §II.B, fourth assignment).
+//
+// Distributes a sandpile across message-passing ranks with a 1-D row
+// decomposition and sweeps the halo depth k: deeper halos exchange every k
+// iterations (fewer, larger messages, redundant border compute), shallower
+// halos exchange every iteration. Prints the communication/computation
+// trade-off and verifies every configuration against the sequential
+// reference.
+#include <iostream>
+
+#include "core/table.hpp"
+#include "sandpile/distributed.hpp"
+#include "sandpile/field.hpp"
+
+int main() {
+  using namespace peachy;
+  using namespace peachy::sandpile;
+
+  const int size = 256;
+  const Field initial = center_pile(size, size, 60000);
+  Field reference = initial;
+  stabilize_reference(reference);
+  std::cout << "distributed sandpile: " << size << "x" << size
+            << ", 60 000 grains centered, 4 ranks (in-process message "
+               "passing)\n\n";
+
+  TextTable table({"halo depth k", "exchange rounds", "iterations",
+                   "messages", "MB sent", "matches reference"});
+  for (int k : {1, 2, 4, 8, 16}) {
+    DistributedOptions opt;
+    opt.ranks = 4;
+    opt.halo_depth = k;
+    const DistributedResult r = stabilize_distributed(initial, opt);
+    table.row({TextTable::num(static_cast<std::int64_t>(k)),
+               TextTable::num(static_cast<std::int64_t>(r.rounds)),
+               TextTable::num(static_cast<std::int64_t>(r.iterations)),
+               TextTable::num(static_cast<std::int64_t>(r.comm.messages_sent)),
+               TextTable::num(static_cast<double>(r.comm.bytes_sent) / 1e6, 2),
+               r.field.same_interior(reference) ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  std::cout << "\nDeeper halos trade redundant border computation for "
+               "fewer (larger) messages — the paper's §II.B trade-off.\n";
+  return 0;
+}

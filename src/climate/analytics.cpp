@@ -1,0 +1,288 @@
+#include "climate/analytics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "core/colormap.hpp"
+#include "core/error.hpp"
+#include "mapreduce/job.hpp"
+
+namespace peachy::climate {
+
+namespace {
+
+struct MeanAcc {
+  double sum = 0;
+  std::int64_t count = 0;
+};
+
+// Composite key (state, year) with the ordering the engine's group-by
+// needs.
+struct StateYear {
+  int state = 0;
+  int year = 0;
+  friend bool operator<(const StateYear& a, const StateYear& b) {
+    return std::tie(a.state, a.year) < std::tie(b.state, b.year);
+  }
+};
+
+// Sufficient statistics for a simple linear regression y ~ a + b*x.
+struct RegAcc {
+  double n = 0, sx = 0, sy = 0, sxy = 0, sxx = 0;
+  void add(double x, double y) {
+    n += 1;
+    sx += x;
+    sy += y;
+    sxy += x * y;
+    sxx += x * x;
+  }
+  void merge(const RegAcc& o) {
+    n += o.n;
+    sx += o.sx;
+    sy += o.sy;
+    sxy += o.sxy;
+    sxx += o.sxx;
+  }
+  double slope() const {
+    const double denom = n * sxx - sx * sx;
+    PEACHY_REQUIRE(denom != 0, "degenerate regression (need >= 2 x values)");
+    return (n * sxy - sx * sy) / denom;
+  }
+  double mean_y() const {
+    PEACHY_REQUIRE(n > 0, "empty regression");
+    return sy / n;
+  }
+};
+
+}  // namespace
+
+StateAnnualSeries state_annual_means_reference(const MonthlyDataset& data) {
+  StateAnnualSeries out;
+  out.first_year = data.first_year();
+  const auto years = static_cast<std::size_t>(data.num_years());
+  out.mean_c.assign(kNumStates, std::vector<double>(years, 0.0));
+  out.has.assign(kNumStates, std::vector<bool>(years, false));
+  for (int s = 0; s < kNumStates; ++s)
+    for (int y = data.first_year(); y <= data.last_year(); ++y) {
+      double sum = 0;
+      int n = 0;
+      for (int m = 1; m <= 12; ++m)
+        if (data.has(y, m, s)) {
+          sum += data.get(y, m, s);
+          ++n;
+        }
+      const auto yi = static_cast<std::size_t>(y - data.first_year());
+      if (n > 0) {
+        out.mean_c[static_cast<std::size_t>(s)][yi] = sum / n;
+        out.has[static_cast<std::size_t>(s)][yi] = true;
+      }
+    }
+  return out;
+}
+
+StateAnnualSeries state_annual_means_mapreduce(const MonthlyDataset& data,
+                                               int map_workers,
+                                               int reduce_workers) {
+  const auto observations = data.observations();
+  std::vector<std::pair<int, Observation>> inputs;
+  inputs.reserve(observations.size());
+  for (std::size_t i = 0; i < observations.size(); ++i)
+    inputs.emplace_back(static_cast<int>(i), observations[i]);
+
+  mr::Job<int, Observation, StateYear, MeanAcc, StateYear, MeanAcc> job;
+  job.mapper([](const int&, const Observation& o,
+                mr::Emitter<StateYear, MeanAcc>& out) {
+       out.emit(StateYear{o.state, o.year}, MeanAcc{o.temp_c, 1});
+     })
+      .combiner([](const StateYear& k, const std::vector<MeanAcc>& vs,
+                   mr::Emitter<StateYear, MeanAcc>& out) {
+        MeanAcc t;
+        for (const MeanAcc& v : vs) {
+          t.sum += v.sum;
+          t.count += v.count;
+        }
+        out.emit(k, t);
+      })
+      .reducer([](const StateYear& k, const std::vector<MeanAcc>& vs,
+                  mr::Emitter<StateYear, MeanAcc>& out) {
+        MeanAcc t;
+        for (const MeanAcc& v : vs) {
+          t.sum += v.sum;
+          t.count += v.count;
+        }
+        out.emit(k, t);
+      })
+      .partitioner([](const StateYear& k, int parts) { return k.state % parts; })
+      .config(mr::JobConfig{map_workers, reduce_workers, 0, 0});
+
+  StateAnnualSeries out;
+  out.first_year = data.first_year();
+  const auto years = static_cast<std::size_t>(data.num_years());
+  out.mean_c.assign(kNumStates, std::vector<double>(years, 0.0));
+  out.has.assign(kNumStates, std::vector<bool>(years, false));
+  for (const auto& [key, acc] : job.run(inputs)) {
+    PEACHY_REQUIRE(key.year >= data.first_year() && key.year <= data.last_year(),
+                   "bad year " << key.year);
+    const auto yi = static_cast<std::size_t>(key.year - data.first_year());
+    out.mean_c[static_cast<std::size_t>(key.state)][yi] =
+        acc.sum / static_cast<double>(acc.count);
+    out.has[static_cast<std::size_t>(key.state)][yi] = true;
+  }
+  return out;
+}
+
+std::vector<StateTrend> state_trends_mapreduce(const MonthlyDataset& data,
+                                               int map_workers,
+                                               int reduce_workers) {
+  // Job 1: per-(state, year) means — reuse the composite-key job.
+  const StateAnnualSeries annual =
+      state_annual_means_mapreduce(data, map_workers, reduce_workers);
+
+  // Job 2: regression per state over (year, annual mean) points.
+  std::vector<std::pair<int, std::pair<int, double>>> inputs;  // (state,(x,y))
+  for (int s = 0; s < kNumStates; ++s)
+    for (std::size_t yi = 0; yi < annual.mean_c[static_cast<std::size_t>(s)].size();
+         ++yi)
+      if (annual.has[static_cast<std::size_t>(s)][yi])
+        inputs.emplace_back(
+            s, std::pair{annual.first_year + static_cast<int>(yi),
+                         annual.mean_c[static_cast<std::size_t>(s)][yi]});
+
+  mr::Job<int, std::pair<int, double>, int, RegAcc, int, RegAcc> job;
+  job.mapper([](const int& state, const std::pair<int, double>& xy,
+                mr::Emitter<int, RegAcc>& out) {
+       RegAcc acc;
+       acc.add(static_cast<double>(xy.first), xy.second);
+       out.emit(state, acc);
+     })
+      .combiner([](const int& state, const std::vector<RegAcc>& vs,
+                   mr::Emitter<int, RegAcc>& out) {
+        RegAcc t;
+        for (const RegAcc& v : vs) t.merge(v);
+        out.emit(state, t);
+      })
+      .reducer([](const int& state, const std::vector<RegAcc>& vs,
+                  mr::Emitter<int, RegAcc>& out) {
+        RegAcc t;
+        for (const RegAcc& v : vs) t.merge(v);
+        out.emit(state, t);
+      })
+      .config(mr::JobConfig{map_workers, reduce_workers, 0, 0});
+
+  std::vector<StateTrend> trends;
+  for (const auto& [state, acc] : job.run(inputs)) {
+    StateTrend t;
+    t.state = state;
+    t.slope_c_per_decade = acc.slope() * 10.0;
+    t.mean_c = acc.mean_y();
+    t.years = static_cast<int>(acc.n);
+    trends.push_back(t);
+  }
+  std::sort(trends.begin(), trends.end(),
+            [](const StateTrend& a, const StateTrend& b) {
+              return a.state < b.state;
+            });
+  return trends;
+}
+
+std::vector<YearMean> warmest_years_mapreduce(const MonthlyDataset& data,
+                                              int k, int map_workers) {
+  PEACHY_REQUIRE(k >= 1, "k must be >= 1, got " << k);
+  // Job 1: annual Germany means keyed by year, carrying counts so
+  // completeness can be checked.
+  const auto observations = data.observations();
+  std::vector<std::pair<int, Observation>> inputs;
+  inputs.reserve(observations.size());
+  for (std::size_t i = 0; i < observations.size(); ++i)
+    inputs.emplace_back(static_cast<int>(i), observations[i]);
+
+  mr::Job<int, Observation, int, MeanAcc, int, MeanAcc> job1;
+  job1.mapper([](const int&, const Observation& o,
+                 mr::Emitter<int, MeanAcc>& out) {
+        out.emit(o.year, MeanAcc{o.temp_c, 1});
+      })
+      .combiner([](const int& y, const std::vector<MeanAcc>& vs,
+                   mr::Emitter<int, MeanAcc>& out) {
+        MeanAcc t;
+        for (const MeanAcc& v : vs) {
+          t.sum += v.sum;
+          t.count += v.count;
+        }
+        out.emit(y, t);
+      })
+      .reducer([](const int& y, const std::vector<MeanAcc>& vs,
+                  mr::Emitter<int, MeanAcc>& out) {
+        MeanAcc t;
+        for (const MeanAcc& v : vs) {
+          t.sum += v.sum;
+          t.count += v.count;
+        }
+        out.emit(y, t);
+      })
+      .config(mr::JobConfig{map_workers, 2, 0, 0});
+  const auto annual = job1.run(inputs);
+
+  // Job 2 (chained): re-key every complete year onto one key; a single
+  // reducer group keeps the K warmest — the canonical top-K pattern.
+  std::vector<std::pair<int, YearMean>> stage2;
+  for (const auto& [year, acc] : annual)
+    if (acc.count == 12 * kNumStates)
+      stage2.emplace_back(0, YearMean{year, acc.sum /
+                                                static_cast<double>(acc.count)});
+
+  mr::Job<int, YearMean, int, YearMean, int, YearMean> job2;
+  job2.mapper([](const int&, const YearMean& ym,
+                 mr::Emitter<int, YearMean>& out) { out.emit(0, ym); })
+      .reducer([k](const int&, const std::vector<YearMean>& vs,
+                   mr::Emitter<int, YearMean>& out) {
+        std::vector<YearMean> sorted = vs;
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const YearMean& a, const YearMean& b) {
+                    if (a.mean_c != b.mean_c) return a.mean_c > b.mean_c;
+                    return a.year < b.year;
+                  });
+        for (std::size_t i = 0;
+             i < std::min(sorted.size(), static_cast<std::size_t>(k)); ++i)
+          out.emit(0, sorted[i]);
+      })
+      .config(mr::JobConfig{map_workers, 1, 0, 1});
+
+  std::vector<YearMean> result;
+  for (auto& [key, ym] : job2.run(stage2)) result.push_back(ym);
+  return result;
+}
+
+Image render_state_stripes(const StateAnnualSeries& series, int band_height,
+                           int stripe_width, double half_range_c) {
+  PEACHY_REQUIRE(band_height >= 1 && stripe_width >= 1 && half_range_c > 0,
+                 "bad state-stripes geometry");
+  PEACHY_REQUIRE(!series.mean_c.empty() && !series.mean_c[0].empty(),
+                 "empty series");
+  const int years = static_cast<int>(series.mean_c[0].size());
+  Image img(kNumStates * band_height, years * stripe_width);
+  for (int s = 0; s < kNumStates; ++s) {
+    const auto& means = series.mean_c[static_cast<std::size_t>(s)];
+    const auto& has = series.has[static_cast<std::size_t>(s)];
+    // Per-state scale: this state's own mean +/- half range.
+    double sum = 0;
+    int n = 0;
+    for (int y = 0; y < years; ++y)
+      if (has[static_cast<std::size_t>(y)]) {
+        sum += means[static_cast<std::size_t>(y)];
+        ++n;
+      }
+    PEACHY_REQUIRE(n > 0, "state " << s << " has no data");
+    const DivergingScale scale(sum / n - half_range_c, sum / n + half_range_c);
+    for (int y = 0; y < years; ++y) {
+      const Rgb color = has[static_cast<std::size_t>(y)]
+                            ? scale(means[static_cast<std::size_t>(y)])
+                            : DivergingScale::missing();
+      img.fill_rect(s * band_height, y * stripe_width, band_height,
+                    stripe_width, color);
+    }
+  }
+  return img;
+}
+
+}  // namespace peachy::climate

@@ -1,0 +1,265 @@
+#include "climate/dwd.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/csv.hpp"
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace peachy::climate {
+
+const std::array<std::string, kNumStates>& state_names() {
+  static const std::array<std::string, kNumStates> kNames = {
+      "Baden-Wuerttemberg", "Bayern",
+      "Berlin",             "Brandenburg",
+      "Bremen",             "Hamburg",
+      "Hessen",             "Mecklenburg-Vorpommern",
+      "Niedersachsen",      "Nordrhein-Westfalen",
+      "Rheinland-Pfalz",    "Saarland",
+      "Sachsen",            "Sachsen-Anhalt",
+      "Schleswig-Holstein", "Thueringen",
+  };
+  return kNames;
+}
+
+MonthlyDataset::MonthlyDataset(int first_year, int last_year)
+    : first_year_(first_year), last_year_(last_year) {
+  PEACHY_REQUIRE(first_year <= last_year, "bad year range [" << first_year
+                                                             << "," << last_year
+                                                             << "]");
+  const std::size_t cells =
+      static_cast<std::size_t>(num_years()) * 12 * kNumStates;
+  values_.assign(cells, 0.0);
+  present_.assign(cells, 0);
+}
+
+std::size_t MonthlyDataset::index(int year, int month, int state) const {
+  PEACHY_REQUIRE(year >= first_year_ && year <= last_year_,
+                 "year " << year << " out of [" << first_year_ << ","
+                         << last_year_ << "]");
+  PEACHY_REQUIRE(month >= 1 && month <= 12, "month " << month << " out of 1..12");
+  PEACHY_REQUIRE(state >= 0 && state < kNumStates, "bad state " << state);
+  return (static_cast<std::size_t>(year - first_year_) * 12 +
+          static_cast<std::size_t>(month - 1)) *
+             kNumStates +
+         static_cast<std::size_t>(state);
+}
+
+void MonthlyDataset::set(int year, int month, int state, double temp_c) {
+  const std::size_t i = index(year, month, state);
+  if (!present_[i]) ++present_count_;
+  values_[i] = temp_c;
+  present_[i] = 1;
+}
+
+void MonthlyDataset::clear(int year, int month, int state) {
+  const std::size_t i = index(year, month, state);
+  if (present_[i]) --present_count_;
+  present_[i] = 0;
+  values_[i] = 0.0;
+}
+
+bool MonthlyDataset::has(int year, int month, int state) const {
+  return present_[index(year, month, state)] != 0;
+}
+
+double MonthlyDataset::get(int year, int month, int state) const {
+  const std::size_t i = index(year, month, state);
+  PEACHY_REQUIRE(present_[i], "missing observation: year " << year << " month "
+                                                           << month << " state "
+                                                           << state);
+  return values_[i];
+}
+
+std::vector<Observation> MonthlyDataset::observations() const {
+  std::vector<Observation> out;
+  out.reserve(present_count_);
+  for (int y = first_year_; y <= last_year_; ++y)
+    for (int m = 1; m <= 12; ++m)
+      for (int s = 0; s < kNumStates; ++s)
+        if (has(y, m, s)) out.push_back({y, m, s, get(y, m, s)});
+  return out;
+}
+
+namespace {
+
+// State baseline offsets (°C) relative to the national mean; roughly the
+// real geography (maritime north warm in winter, elevated south/east cool).
+constexpr std::array<double, kNumStates> kStateOffset = {
+    +0.2, -0.6, +0.8, +0.4, +0.7, +0.7, +0.1, -0.1,
+    +0.5, +0.7, +0.4, +0.6, -0.1, +0.4, +0.2, -0.7,
+};
+
+// Seasonal cycle (Jan..Dec deviations from the annual mean, °C), zero-sum.
+constexpr std::array<double, 12> kSeasonal = {
+    -8.6, -7.6, -4.3, -0.2, +4.7, +7.8, +9.6, +9.1, +5.5, +1.0, -3.7, -7.3,
+};
+
+double warming_at(const DwdModelParams& p, int year) {
+  // Slow warming until 1970, steeper afterwards (the hockey-stick shape
+  // that makes the stripes turn red on the right of Fig. 6).
+  const int kink = 1970;
+  if (year <= kink) {
+    if (p.first_year >= kink) return p.warming_by_1970;
+    const double t = static_cast<double>(year - p.first_year) /
+                     static_cast<double>(kink - p.first_year);
+    return p.warming_by_1970 * t;
+  }
+  const double t = static_cast<double>(year - kink) /
+                   static_cast<double>(p.last_year - kink);
+  return p.warming_by_1970 + (p.total_warming - p.warming_by_1970) * t;
+}
+
+}  // namespace
+
+MonthlyDataset synthesize_dwd(const DwdModelParams& p) {
+  double seasonal_mean = 0.0;
+  for (double s : kSeasonal) seasonal_mean += s / 12.0;
+
+  MonthlyDataset data(p.first_year, p.last_year);
+  Rng rng(p.seed);
+  for (int y = p.first_year; y <= p.last_year; ++y) {
+    const double annual = p.national_base_c + warming_at(p, y) +
+                          rng.normal(0.0, p.annual_noise_c);
+    for (int m = 1; m <= 12; ++m) {
+      const double seasonal = kSeasonal[static_cast<std::size_t>(m - 1)] -
+                              seasonal_mean;
+      for (int s = 0; s < kNumStates; ++s) {
+        const double t = annual + seasonal +
+                         kStateOffset[static_cast<std::size_t>(s)] +
+                         rng.normal(0.0, p.monthly_noise_c);
+        // DWD publishes one decimal place.
+        data.set(y, m, s, std::round(t * 10.0) / 10.0);
+      }
+    }
+  }
+  return data;
+}
+
+std::vector<std::string> month_major_lines(const MonthlyDataset& data,
+                                           int month) {
+  PEACHY_REQUIRE(month >= 1 && month <= 12, "bad month " << month);
+  std::vector<std::string> lines;
+  std::string header = "year";
+  for (const auto& name : state_names()) header += "," + name;
+  lines.push_back(header);
+  char buf[32];
+  for (int y = data.first_year(); y <= data.last_year(); ++y) {
+    std::string line = std::to_string(y);
+    for (int s = 0; s < kNumStates; ++s) {
+      line += ',';
+      if (data.has(y, month, s)) {
+        std::snprintf(buf, sizeof buf, "%.1f", data.get(y, month, s));
+        line += buf;
+      }
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+void write_month_major(const MonthlyDataset& data, const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  char name[32];
+  for (int m = 1; m <= 12; ++m) {
+    std::snprintf(name, sizeof name, "tm_%02d.csv", m);
+    std::ofstream os(dir + "/" + name);
+    PEACHY_REQUIRE(os.good(), "cannot write " << dir << "/" << name);
+    for (const auto& line : month_major_lines(data, m)) os << line << '\n';
+  }
+}
+
+MonthlyDataset read_month_major(const std::string& dir, int first_year,
+                                int last_year) {
+  MonthlyDataset data(first_year, last_year);
+  char name[32];
+  for (int m = 1; m <= 12; ++m) {
+    std::snprintf(name, sizeof name, "tm_%02d.csv", m);
+    const auto rows = read_csv(dir + "/" + name);
+    PEACHY_REQUIRE(!rows.empty(), "empty file " << dir << "/" << name);
+    for (std::size_t r = 1; r < rows.size(); ++r) {
+      const auto& row = rows[r];
+      PEACHY_REQUIRE(row.size() == kNumStates + 1,
+                     "bad row width " << row.size() << " in " << name);
+      const int year = std::stoi(row[0]);
+      for (int s = 0; s < kNumStates; ++s) {
+        const std::string& field = row[static_cast<std::size_t>(s) + 1];
+        if (!field.empty()) data.set(year, m, s, std::stod(field));
+      }
+    }
+  }
+  return data;
+}
+
+std::vector<std::string> long_format_lines(const MonthlyDataset& data) {
+  std::vector<std::string> lines;
+  lines.reserve(data.present_count());
+  char buf[96];
+  for (const Observation& o : data.observations()) {
+    std::snprintf(buf, sizeof buf, "%s,%d,%d,%.1f",
+                  state_names()[static_cast<std::size_t>(o.state)].c_str(),
+                  o.year, o.month, o.temp_c);
+    lines.emplace_back(buf);
+  }
+  return lines;
+}
+
+void drop_months(MonthlyDataset& data, int year, int from_month,
+                 int to_month) {
+  PEACHY_REQUIRE(from_month >= 1 && to_month <= 12 && from_month <= to_month,
+                 "bad month range [" << from_month << "," << to_month << "]");
+  for (int m = from_month; m <= to_month; ++m)
+    for (int s = 0; s < kNumStates; ++s) data.clear(year, m, s);
+}
+
+ValidationReport validate(const MonthlyDataset& data) {
+  ValidationReport report;
+  for (int y = data.first_year(); y <= data.last_year(); ++y) {
+    std::size_t missing = 0;
+    for (int m = 1; m <= 12; ++m)
+      for (int s = 0; s < kNumStates; ++s)
+        if (!data.has(y, m, s)) ++missing;
+    if (missing) {
+      report.incomplete_years.push_back(y);
+      report.missing_cells += missing;
+    }
+  }
+  return report;
+}
+
+double AnnualSeries::overall_mean() const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < mean_c.size(); ++i) {
+    if (!complete[i]) continue;
+    sum += mean_c[i];
+    ++n;
+  }
+  PEACHY_REQUIRE(n > 0, "no complete year in series");
+  return sum / static_cast<double>(n);
+}
+
+AnnualSeries annual_means_reference(const MonthlyDataset& data) {
+  AnnualSeries series;
+  series.first_year = data.first_year();
+  for (int y = data.first_year(); y <= data.last_year(); ++y) {
+    double sum = 0.0;
+    int n = 0;
+    for (int m = 1; m <= 12; ++m)
+      for (int s = 0; s < kNumStates; ++s)
+        if (data.has(y, m, s)) {
+          sum += data.get(y, m, s);
+          ++n;
+        }
+    series.has_any.push_back(n > 0);
+    series.complete.push_back(n == 12 * kNumStates);
+    series.mean_c.push_back(n > 0 ? sum / n : 0.0);
+  }
+  return series;
+}
+
+}  // namespace peachy::climate

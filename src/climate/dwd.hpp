@@ -1,0 +1,133 @@
+// The climate-data substrate of the Warming Stripes assignment (paper §III).
+//
+// The assignment downloads monthly mean temperatures per German state from
+// the DWD (Deutscher Wetterdienst) open-data portal: 12 files, one per
+// month, each holding one row per year and one column per state, 1881-2019.
+// That endpoint is not reachable offline, so this module provides a
+// deterministic synthetic stand-in calibrated to the paper's Fig. 6
+// description (annual means rising from a low around 7 °C to a high around
+// 10 °C over 1881-2019), plus the same file layouts, a long-format
+// alternative layout (for the format-invariance requirement of §III.A.4),
+// missing-data injection (the winter-2020 lesson of §III.A.3), validation,
+// and a sequential reference for annual means.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace peachy::climate {
+
+/// Number of German constituent states ("Bundesländer").
+inline constexpr int kNumStates = 16;
+
+/// State names in fixed column order.
+const std::array<std::string, kNumStates>& state_names();
+
+/// One monthly mean temperature observation.
+struct Observation {
+  int year = 0;
+  int month = 0;  ///< 1..12
+  int state = 0;  ///< index into state_names()
+  double temp_c = 0.0;
+};
+
+/// Dense (year, month, state) table of monthly means with a missing mask.
+class MonthlyDataset {
+ public:
+  MonthlyDataset(int first_year, int last_year);
+
+  int first_year() const { return first_year_; }
+  int last_year() const { return last_year_; }
+  int num_years() const { return last_year_ - first_year_ + 1; }
+
+  /// Stores an observation (year within range, month 1..12, valid state).
+  void set(int year, int month, int state, double temp_c);
+  /// Removes an observation (marks it missing).
+  void clear(int year, int month, int state);
+
+  bool has(int year, int month, int state) const;
+  /// Value of a present observation; throws peachy::Error when missing.
+  double get(int year, int month, int state) const;
+
+  /// All present observations, in (year, month, state) order.
+  std::vector<Observation> observations() const;
+
+  std::size_t present_count() const { return present_count_; }
+
+ private:
+  std::size_t index(int year, int month, int state) const;
+
+  int first_year_, last_year_;
+  std::vector<double> values_;
+  std::vector<std::uint8_t> present_;
+  std::size_t present_count_ = 0;
+};
+
+/// Calibration of the synthetic DWD model.
+struct DwdModelParams {
+  int first_year = 1881;
+  int last_year = 2019;
+  double national_base_c = 7.6;    ///< Germany annual mean at first_year
+  double warming_by_1970 = 0.35;   ///< slow pre-1970 warming (°C)
+  double total_warming = 2.3;      ///< warming by last_year (°C)
+  double annual_noise_c = 0.40;    ///< interannual stddev
+  double monthly_noise_c = 1.10;   ///< per-(state,month) stddev
+  std::uint64_t seed = 42;
+};
+
+/// Generates the synthetic dataset (complete: every cell present).
+MonthlyDataset synthesize_dwd(const DwdModelParams& params = {});
+
+// --- File layouts ----------------------------------------------------------
+
+/// The month-major layout: for month m, a CSV with header
+/// "year,<state0>,...,<state15>" and one row per year. Missing cells render
+/// as empty fields. These are the lines of file `tm_<mm>.csv`.
+std::vector<std::string> month_major_lines(const MonthlyDataset& data,
+                                           int month);
+
+/// Writes all 12 month-major files ("tm_01.csv".."tm_12.csv") into `dir`.
+void write_month_major(const MonthlyDataset& data, const std::string& dir);
+
+/// Parses the 12 month-major files back from `dir`.
+MonthlyDataset read_month_major(const std::string& dir, int first_year,
+                                int last_year);
+
+/// The alternative long-format layout (§III.A.4: "different shapes of input
+/// data are possible"): one line per observation, "state_name,year,month,temp".
+std::vector<std::string> long_format_lines(const MonthlyDataset& data);
+
+// --- Missing data & validation ---------------------------------------------
+
+/// Drops months [from_month, to_month] of `year` in all states — e.g. the
+/// missing winter months of a download made in late 2020.
+void drop_months(MonthlyDataset& data, int year, int from_month, int to_month);
+
+/// Result-validation report (§III.A.3 phase 4).
+struct ValidationReport {
+  std::vector<int> incomplete_years;  ///< years missing >= 1 observation
+  std::size_t missing_cells = 0;
+};
+ValidationReport validate(const MonthlyDataset& data);
+
+// --- Reference computation --------------------------------------------------
+
+/// Annual Germany means with completeness flags.
+struct AnnualSeries {
+  int first_year = 0;
+  std::vector<double> mean_c;      ///< mean over present observations
+  std::vector<bool> complete;      ///< all 12 x 16 observations present
+  std::vector<bool> has_any;       ///< at least one observation present
+
+  int year_of(std::size_t i) const { return first_year + static_cast<int>(i); }
+  /// Mean over complete years only (the colorbar anchor of Fig. 6).
+  double overall_mean() const;
+};
+
+/// Sequential oracle: annual mean = average over all present (month, state)
+/// observations of the year. The MapReduce implementations must match this.
+AnnualSeries annual_means_reference(const MonthlyDataset& data);
+
+}  // namespace peachy::climate

@@ -1,0 +1,207 @@
+#include "climate/pipeline.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "core/csv.hpp"
+#include "core/error.hpp"
+
+namespace peachy::climate {
+
+namespace {
+
+/// Intermediate value: a partial mean as (sum, count).
+struct MeanAcc {
+  double sum = 0.0;
+  std::int64_t count = 0;
+};
+
+thread_local mr::JobCounters g_last_counters;
+
+bool parse_int(const std::string& s, int* out) {
+  const char* begin = s.data();
+  const char* end = begin + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc{} && ptr == end;
+}
+
+bool parse_double(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  try {
+    std::size_t used = 0;
+    *out = std::stod(s, &used);
+    return used == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> month_major_all_lines(const MonthlyDataset& data) {
+  std::vector<std::string> lines;
+  for (int m = 1; m <= 12; ++m)
+    for (auto& line : month_major_lines(data, m)) lines.push_back(std::move(line));
+  return lines;
+}
+
+AnnualSeries annual_means_mapreduce(const MonthlyDataset& data,
+                                    const PipelineConfig& config) {
+  const std::vector<std::string> lines = month_major_all_lines(data);
+
+  // Input records: (line number, line).
+  std::vector<std::pair<int, std::string>> inputs;
+  inputs.reserve(lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i)
+    inputs.emplace_back(static_cast<int>(i), lines[i]);
+
+  mr::Job<int, std::string, int, MeanAcc, int, MeanAcc> job;
+  job.mapper([](const int&, const std::string& line,
+                mr::Emitter<int, MeanAcc>& out) {
+       const auto fields = split_csv_line(line);
+       int year = 0;
+       if (fields.empty() || !parse_int(fields[0], &year)) return;  // header
+       MeanAcc acc;
+       for (std::size_t i = 1; i < fields.size(); ++i) {
+         double t = 0.0;
+         if (!parse_double(fields[i], &t)) continue;  // missing cell
+         acc.sum += t;
+         ++acc.count;
+       }
+       if (acc.count > 0) out.emit(year, acc);
+     })
+      .reducer([](const int& year, const std::vector<MeanAcc>& values,
+                  mr::Emitter<int, MeanAcc>& out) {
+        MeanAcc total;
+        for (const MeanAcc& v : values) {
+          total.sum += v.sum;
+          total.count += v.count;
+        }
+        out.emit(year, total);
+      })
+      .config(mr::JobConfig{config.map_workers, config.reduce_workers, 0, 0});
+  if (config.use_combiner)
+    job.combiner([](const int& year, const std::vector<MeanAcc>& values,
+                    mr::Emitter<int, MeanAcc>& out) {
+      MeanAcc total;
+      for (const MeanAcc& v : values) {
+        total.sum += v.sum;
+        total.count += v.count;
+      }
+      out.emit(year, total);
+    });
+
+  const auto results = job.run(inputs);
+  g_last_counters = job.counters();
+
+  AnnualSeries series;
+  series.first_year = data.first_year();
+  const auto years = static_cast<std::size_t>(data.num_years());
+  series.mean_c.assign(years, 0.0);
+  series.complete.assign(years, false);
+  series.has_any.assign(years, false);
+  for (const auto& [year, acc] : results) {
+    PEACHY_REQUIRE(year >= data.first_year() && year <= data.last_year(),
+                   "reducer produced out-of-range year " << year);
+    const auto i = static_cast<std::size_t>(year - data.first_year());
+    series.mean_c[i] = acc.sum / static_cast<double>(acc.count);
+    series.has_any[i] = acc.count > 0;
+    series.complete[i] = acc.count == 12 * kNumStates;
+  }
+  return series;
+}
+
+AnnualSeries annual_means_streaming(const std::vector<std::string>& lines,
+                                    int first_year, int last_year,
+                                    const mr::streaming::StreamingConfig&
+                                        config) {
+  using namespace mr::streaming;
+
+  // Format-invariant pre-processing mapper: normalize any supported layout
+  // to "year<TAB>temperature" records.
+  const LineMapper mapper = [](const std::string& line, const LineEmit& emit) {
+    const auto fields = split_csv_line(line);
+    if (fields.empty()) return;
+    int maybe_year = 0;
+    if (parse_int(fields[0], &maybe_year)) {
+      // Month-major row: year followed by one temperature per state.
+      for (std::size_t i = 1; i < fields.size(); ++i) {
+        double t = 0.0;
+        if (parse_double(fields[i], &t))
+          emit(std::to_string(maybe_year) + "\t" + fields[i]);
+      }
+      return;
+    }
+    // Long-format row: state,year,month,temp. Anything else (headers,
+    // comments) is dropped by the pre-processing stage.
+    if (fields.size() == 4) {
+      int year = 0, month = 0;
+      double t = 0.0;
+      if (parse_int(fields[1], &year) && parse_int(fields[2], &month) &&
+          parse_double(fields[3], &t))
+        emit(std::to_string(year) + "\t" + fields[3]);
+    }
+  };
+
+  // Streaming reducer: average per key over the sorted partition, tracking
+  // key boundaries by hand (the Hadoop-streaming discipline).
+  const StreamReducer reducer = [](const std::vector<std::string>& sorted,
+                                   const LineEmit& emit) {
+    std::string current_key;
+    double sum = 0.0;
+    std::int64_t count = 0;
+    auto flush = [&] {
+      if (count > 0) {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.15g", sum / static_cast<double>(count));
+        emit(current_key + "\t" + buf + "\t" + std::to_string(count));
+      }
+    };
+    for (const std::string& line : sorted) {
+      const auto [key, value] = split_kv(line);
+      if (key != current_key) {
+        flush();
+        current_key = key;
+        sum = 0.0;
+        count = 0;
+      }
+      double t = 0.0;
+      PEACHY_REQUIRE(parse_double(value, &t), "bad shuffled value " << value);
+      sum += t;
+      ++count;
+    }
+    flush();
+  };
+
+  const auto output = run_streaming(lines, mapper, reducer, config);
+
+  AnnualSeries series;
+  series.first_year = first_year;
+  const auto years = static_cast<std::size_t>(last_year - first_year + 1);
+  series.mean_c.assign(years, 0.0);
+  series.complete.assign(years, false);
+  series.has_any.assign(years, false);
+  for (const std::string& line : output) {
+    const auto [key, rest] = split_kv(line);
+    const auto [mean_str, count_str] = split_kv(rest);
+    int year = 0;
+    PEACHY_REQUIRE(parse_int(key, &year), "bad reducer key " << key);
+    PEACHY_REQUIRE(year >= first_year && year <= last_year,
+                   "year " << year << " outside [" << first_year << ","
+                           << last_year << "]");
+    const auto i = static_cast<std::size_t>(year - first_year);
+    double mean = 0.0;
+    int count = 0;
+    PEACHY_REQUIRE(parse_double(mean_str, &mean), "bad mean " << mean_str);
+    PEACHY_REQUIRE(parse_int(count_str, &count), "bad count " << count_str);
+    series.mean_c[i] = mean;
+    series.has_any[i] = count > 0;
+    series.complete[i] = count == 12 * kNumStates;
+  }
+  return series;
+}
+
+const mr::JobCounters& last_pipeline_counters() { return g_last_counters; }
+
+}  // namespace peachy::climate

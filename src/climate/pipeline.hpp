@@ -1,0 +1,57 @@
+// The Warming-Stripes MapReduce pipelines (paper §III.A.2 and §III.A.4).
+//
+// Two implementations of "annual Germany mean per year":
+//
+//  * annual_means_mapreduce — the typed engine (mr::Job). The mapper parses
+//    one line of a month-major DWD file and emits (year, {sum, count}) over
+//    the states present in that row; a combiner pre-aggregates; the reducer
+//    divides. This mirrors the paper's formulation (mapper averages over
+//    states, reducer over months) but carries counts so incomplete rows
+//    keep exact per-observation weighting.
+//
+//  * annual_means_streaming — the Hadoop-streaming flavor with the
+//    §III.A.4 format-invariant pre-processing stage: the mapper detects
+//    whether a raw line is month-major ("year,t0..t15") or long-format
+//    ("state,year,month,temp"), normalizes it, and emits "year<TAB>temp"
+//    lines; the reducer walks its sorted partition and averages per key.
+//
+// Both must agree exactly with climate::annual_means_reference — a property
+// the tests sweep over worker counts and missing-data patterns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "climate/dwd.hpp"
+#include "mapreduce/job.hpp"
+#include "mapreduce/streaming.hpp"
+
+namespace peachy::climate {
+
+/// Worker configuration for the typed pipeline.
+struct PipelineConfig {
+  int map_workers = 2;
+  int reduce_workers = 2;
+  bool use_combiner = true;
+};
+
+/// All data lines of the 12 month-major files, headers included
+/// (the mapper must skip them — part of the pre-processing lesson).
+std::vector<std::string> month_major_all_lines(const MonthlyDataset& data);
+
+/// Typed-engine pipeline over the month-major lines of `data`.
+AnnualSeries annual_means_mapreduce(const MonthlyDataset& data,
+                                    const PipelineConfig& config = {});
+
+/// Streaming pipeline over raw `lines` in either layout (may be mixed).
+/// Years outside [first_year, last_year] are rejected with an error.
+AnnualSeries annual_means_streaming(const std::vector<std::string>& lines,
+                                    int first_year, int last_year,
+                                    const mr::streaming::StreamingConfig&
+                                        config = {});
+
+/// Counters of the last annual_means_mapreduce call on this thread
+/// (exposed for tests/benchmarks that check engine behaviour).
+const mr::JobCounters& last_pipeline_counters();
+
+}  // namespace peachy::climate

@@ -1,0 +1,33 @@
+#include "climate/stripes.hpp"
+
+#include "core/error.hpp"
+
+namespace peachy::climate {
+
+DivergingScale stripes_scale(const AnnualSeries& series, double half_range_c) {
+  PEACHY_REQUIRE(half_range_c > 0, "half range must be positive");
+  const double mid = series.overall_mean();
+  return DivergingScale(mid - half_range_c, mid + half_range_c);
+}
+
+Image render_stripes(const AnnualSeries& series, const StripesSpec& spec) {
+  PEACHY_REQUIRE(!series.mean_c.empty(), "cannot render an empty series");
+  PEACHY_REQUIRE(spec.stripe_width >= 1 && spec.height >= 1,
+                 "bad stripes geometry");
+  const DivergingScale scale = stripes_scale(series, spec.half_range_c);
+  const int years = static_cast<int>(series.mean_c.size());
+  Image img(spec.height, years * spec.stripe_width);
+  for (int i = 0; i < years; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    Rgb color;
+    if (!series.has_any[idx] || (spec.grey_incomplete && !series.complete[idx]))
+      color = DivergingScale::missing();
+    else
+      color = scale(series.mean_c[idx]);
+    img.fill_rect(0, i * spec.stripe_width, spec.height, spec.stripe_width,
+                  color);
+  }
+  return img;
+}
+
+}  // namespace peachy::climate

@@ -1,0 +1,31 @@
+// Warming-stripes rendering (paper Fig. 6).
+//
+// One vertical stripe per year, colored by the annual mean temperature on a
+// diverging blue/red scale. The paper specifies the colorbar range
+// explicitly: overall mean of the whole span ± 1.5 °C. Incomplete years can
+// be rendered grey (the §III.A.3 validation lesson made visible) or with
+// their biased value — both modes are supported so the lesson can be shown.
+#pragma once
+
+#include "climate/dwd.hpp"
+#include "core/colormap.hpp"
+#include "core/image.hpp"
+
+namespace peachy::climate {
+
+/// Rendering parameters for Fig. 6.
+struct StripesSpec {
+  int stripe_width = 4;   ///< pixels per year
+  int height = 120;       ///< image height in pixels
+  double half_range_c = 1.5;  ///< colorbar = overall mean ± this (the paper's rule)
+  bool grey_incomplete = true; ///< render incomplete years grey
+};
+
+/// The paper's colorbar: overall mean of complete years ± half_range_c.
+DivergingScale stripes_scale(const AnnualSeries& series,
+                             double half_range_c = 1.5);
+
+/// Renders the warming stripes for `series`.
+Image render_stripes(const AnnualSeries& series, const StripesSpec& spec = {});
+
+}  // namespace peachy::climate

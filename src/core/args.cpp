@@ -1,0 +1,87 @@
+#include "core/args.hpp"
+
+#include "core/error.hpp"
+
+namespace peachy {
+
+Args::Args(int argc, const char* const* argv,
+           const std::set<std::string>& flag_names) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      positional_.push_back(token);
+      continue;
+    }
+    const std::string body = token.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      options_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    if (flag_names.count(body)) {
+      flags_.insert(body);
+      continue;
+    }
+    PEACHY_REQUIRE(i + 1 < argc, "option --" << body << " needs a value");
+    options_[body] = argv[++i];
+  }
+}
+
+bool Args::has(const std::string& name) const {
+  return flags_.count(name) > 0 || options_.count(name) > 0;
+}
+
+std::string Args::get(const std::string& name,
+                      const std::string& fallback) const {
+  const auto it = options_.find(name);
+  if (it != options_.end()) return it->second;
+  PEACHY_REQUIRE(!flags_.count(name),
+                 "--" << name << " was given without a value");
+  return fallback;
+}
+
+int Args::get_int(const std::string& name, int fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  try {
+    std::size_t used = 0;
+    const int v = std::stoi(it->second, &used);
+    PEACHY_REQUIRE(used == it->second.size(), "bad integer for --"
+                                                  << name << ": "
+                                                  << it->second);
+    return v;
+  } catch (const Error&) {
+    throw;
+  } catch (...) {
+    throw Error("bad integer for --" + name + ": " + it->second);
+  }
+}
+
+double Args::get_double(const std::string& name, double fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(it->second, &used);
+    PEACHY_REQUIRE(used == it->second.size(), "bad number for --"
+                                                  << name << ": "
+                                                  << it->second);
+    return v;
+  } catch (const Error&) {
+    throw;
+  } catch (...) {
+    throw Error("bad number for --" + name + ": " + it->second);
+  }
+}
+
+std::vector<std::string> Args::unknown_options(
+    const std::set<std::string>& known) const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : options_)
+    if (!known.count(name)) unknown.push_back(name);
+  for (const auto& name : flags_)
+    if (!known.count(name)) unknown.push_back(name);
+  return unknown;
+}
+
+}  // namespace peachy

@@ -1,0 +1,45 @@
+// Minimal command-line option parsing for the example drivers.
+//
+// Supports --name value and --name=value options plus bare --flag
+// switches; positional arguments are collected in order. Unknown options
+// are detectable so drivers can reject typos.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace peachy {
+
+/// Parsed command line.
+class Args {
+ public:
+  /// Parses argv; `flag_names` lists options that take no value (anything
+  /// else starting with "--" consumes the next token or its "=..." part).
+  Args(int argc, const char* const* argv,
+       const std::set<std::string>& flag_names = {});
+
+  /// True if --name was given (as flag or option).
+  bool has(const std::string& name) const;
+
+  /// Option value with default; throws peachy::Error if present but used
+  /// as a flag (no value).
+  std::string get(const std::string& name, const std::string& fallback) const;
+  int get_int(const std::string& name, int fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Names seen on the command line that are not in `known` — for typo
+  /// detection by drivers.
+  std::vector<std::string> unknown_options(
+      const std::set<std::string>& known) const;
+
+ private:
+  std::map<std::string, std::string> options_;  // "" for bare flags
+  std::set<std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace peachy

@@ -1,0 +1,64 @@
+#include "core/colormap.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace peachy {
+
+Rgb sandpile_color(std::int64_t grains) {
+  switch (grains) {
+    case 0: return Rgb{0, 0, 0};        // black
+    case 1: return Rgb{0, 200, 0};      // green
+    case 2: return Rgb{40, 80, 255};    // blue
+    case 3: return Rgb{230, 40, 40};    // red
+    default: return Rgb{255, 255, 255}; // unstable: white
+  }
+}
+
+namespace {
+
+// ColorBrewer 11-class RdBu, reversed so index 0 is the coldest blue.
+// This is the ramp Ed Hawkins' warming stripes are built on.
+constexpr std::array<Rgb, 11> kRdBuReversed = {{
+    {5, 48, 97},     {33, 102, 172},  {67, 147, 195},  {146, 197, 222},
+    {209, 229, 240}, {247, 247, 247}, {253, 219, 199}, {244, 165, 130},
+    {214, 96, 77},   {178, 24, 43},   {103, 0, 31},
+}};
+
+Rgb lerp(Rgb a, Rgb b, double t) {
+  auto mix = [t](std::uint8_t x, std::uint8_t y) {
+    return static_cast<std::uint8_t>(std::lround(x + (y - x) * t));
+  };
+  return Rgb{mix(a.r, b.r), mix(a.g, b.g), mix(a.b, b.b)};
+}
+
+}  // namespace
+
+DivergingScale::DivergingScale(double lo, double hi) : lo_(lo), hi_(hi) {
+  PEACHY_REQUIRE(lo < hi, "diverging scale needs lo < hi, got [" << lo << ","
+                                                                 << hi << "]");
+}
+
+Rgb DivergingScale::operator()(double value) const {
+  const double t = std::clamp((value - lo_) / (hi_ - lo_), 0.0, 1.0);
+  const double pos = t * (kRdBuReversed.size() - 1);
+  const int i = std::min(static_cast<int>(pos),
+                         static_cast<int>(kRdBuReversed.size()) - 2);
+  return lerp(kRdBuReversed[i], kRdBuReversed[i + 1], pos - i);
+}
+
+Rgb distinct_color(int index) {
+  if (index < 0) return Rgb{0, 0, 0};
+  // 12-class qualitative palette (Paired-like), bright enough on black.
+  static constexpr std::array<Rgb, 12> kPalette = {{
+      {166, 206, 227}, {31, 120, 180}, {178, 223, 138}, {51, 160, 44},
+      {251, 154, 153}, {227, 26, 28},  {253, 191, 111}, {255, 127, 0},
+      {202, 178, 214}, {106, 61, 154}, {255, 255, 153}, {177, 89, 40},
+  }};
+  return kPalette[static_cast<std::size_t>(index) % kPalette.size()];
+}
+
+}  // namespace peachy

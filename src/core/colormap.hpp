@@ -1,0 +1,47 @@
+// Color maps used by the paper's visual artifacts.
+//
+// - sandpile_color: the Fig. 1 palette (0 grains = black, 1 = green,
+//   2 = blue, 3 = red; unstable cells >= 4 = white).
+// - DivergingScale: the red/blue scale behind the warming stripes (Fig. 6),
+//   built after the ColorBrewer RdBu ramp used by showyourstripes.info.
+// - distinct_color: qualitative palette for per-worker/per-owner tile maps
+//   (Fig. 3 / Fig. 4 style trace displays).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/image.hpp"
+
+namespace peachy {
+
+/// Fig. 1 palette for a sandpile cell's grain count.
+Rgb sandpile_color(std::int64_t grains);
+
+/// Smooth diverging blue->white->red scale over [lo, hi], matching the
+/// warming-stripes convention (cold = deep blue, hot = deep red).
+class DivergingScale {
+ public:
+  /// Values at or below `lo` map to the deepest blue, at or above `hi` to
+  /// the deepest red. Requires lo < hi.
+  DivergingScale(double lo, double hi);
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  /// Maps a value to a color; values outside [lo, hi] are clamped.
+  Rgb operator()(double value) const;
+
+  /// Color for a missing observation (grey, as on showyourstripes.info).
+  static Rgb missing() { return Rgb{180, 180, 180}; }
+
+ private:
+  double lo_, hi_;
+};
+
+/// Qualitative palette: returns a visually distinct color for small indices
+/// (cycled for large ones). Index -1 is reserved for "idle/stable" = black,
+/// matching Fig. 4 where black tiles are the stable (skipped) ones.
+Rgb distinct_color(int index);
+
+}  // namespace peachy

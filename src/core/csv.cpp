@@ -1,0 +1,89 @@
+#include "core/csv.hpp"
+
+#include <fstream>
+
+#include "core/error.hpp"
+
+namespace peachy {
+
+struct CsvWriter::Impl {
+  std::ofstream os;
+};
+
+CsvWriter::CsvWriter(const std::string& path) : impl_(new Impl) {
+  impl_->os.open(path);
+  if (!impl_->os.good()) {
+    delete impl_;
+    throw Error("cannot open " + path + " for CSV writing");
+  }
+}
+
+CsvWriter::~CsvWriter() { delete impl_; }
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) impl_->os << ',';
+    impl_->os << csv_escape(fields[i]);
+  }
+  impl_->os << '\n';
+}
+
+void CsvWriter::row(std::initializer_list<std::string> fields) {
+  row(std::vector<std::string>(fields));
+}
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+std::vector<std::vector<std::string>> read_csv(const std::string& path) {
+  std::ifstream is(path);
+  PEACHY_REQUIRE(is.good(), "cannot open " << path << " for CSV reading");
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    rows.push_back(split_csv_line(line));
+  }
+  return rows;
+}
+
+}  // namespace peachy

@@ -1,0 +1,40 @@
+// CSV reading/writing for experiment outputs and the climate data substrate.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace peachy {
+
+/// Streams rows to a CSV file (RFC-4180 quoting for fields containing
+/// commas, quotes or newlines).
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws peachy::Error on failure.
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Writes one row of already-formatted fields.
+  void row(const std::vector<std::string>& fields);
+  void row(std::initializer_list<std::string> fields);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Splits one CSV line into fields, honouring RFC-4180 double quotes.
+std::vector<std::string> split_csv_line(const std::string& line);
+
+/// Reads a whole CSV file into rows of fields. Skips fully empty lines.
+std::vector<std::vector<std::string>> read_csv(const std::string& path);
+
+/// Quotes a single field if needed (commas, quotes, newlines).
+std::string csv_escape(const std::string& field);
+
+}  // namespace peachy

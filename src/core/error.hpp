@@ -1,0 +1,49 @@
+// Error-handling helpers shared across all peachy libraries.
+//
+// Library code validates its preconditions with PEACHY_CHECK / PEACHY_REQUIRE
+// and reports violations as exceptions; it never calls abort() so that tests
+// can assert on failure paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace peachy {
+
+/// Exception thrown on precondition or invariant violations in peachy code.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace peachy
+
+/// Validate a condition; throws peachy::Error with location info on failure.
+#define PEACHY_CHECK(cond)                                                \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::peachy::detail::throw_check_failure(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Like PEACHY_CHECK but with a streamed message, e.g.
+/// PEACHY_REQUIRE(n > 0, "n must be positive, got " << n);
+#define PEACHY_REQUIRE(cond, msg_stream)                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream peachy_req_os_;                                   \
+      peachy_req_os_ << msg_stream;                                        \
+      ::peachy::detail::throw_check_failure(#cond, __FILE__, __LINE__,     \
+                                            peachy_req_os_.str());         \
+    }                                                                      \
+  } while (0)

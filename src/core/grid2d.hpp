@@ -1,0 +1,96 @@
+// Dense row-major 2-D grid, the storage substrate for all stencil codes.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace peachy {
+
+/// Dense row-major 2-D array of trivially copyable cells.
+///
+/// Indexing is (y, x) to match the paper's sandpile(y, x) convention
+/// (Fig. 2). The grid owns its storage; copies are deep.
+template <typename T>
+class Grid2D {
+ public:
+  Grid2D() = default;
+
+  /// Creates a height x width grid with every cell set to `fill`.
+  Grid2D(int height, int width, T fill = T{})
+      : height_(height), width_(width),
+        cells_(checked_cell_count(height, width), fill) {}
+
+  int height() const { return height_; }
+  int width() const { return width_; }
+  std::size_t size() const { return cells_.size(); }
+  bool empty() const { return cells_.empty(); }
+
+  /// Unchecked element access, row-major (y, x).
+  T& operator()(int y, int x) { return cells_[idx(y, x)]; }
+  const T& operator()(int y, int x) const { return cells_[idx(y, x)]; }
+
+  /// Bounds-checked element access; throws peachy::Error when out of range.
+  T& at(int y, int x) {
+    check_bounds(y, x);
+    return cells_[idx(y, x)];
+  }
+  const T& at(int y, int x) const {
+    check_bounds(y, x);
+    return cells_[idx(y, x)];
+  }
+
+  bool in_bounds(int y, int x) const {
+    return y >= 0 && y < height_ && x >= 0 && x < width_;
+  }
+
+  /// Raw pointer to row `y` (row-major contiguous storage).
+  T* row(int y) { return cells_.data() + idx(y, 0); }
+  const T* row(int y) const { return cells_.data() + idx(y, 0); }
+
+  T* data() { return cells_.data(); }
+  const T* data() const { return cells_.data(); }
+
+  void fill(T value) { std::fill(cells_.begin(), cells_.end(), value); }
+
+  /// Sum of all cells in a wider accumulator type.
+  template <typename Acc = std::int64_t>
+  Acc sum() const {
+    Acc acc{};
+    for (const T& c : cells_) acc += static_cast<Acc>(c);
+    return acc;
+  }
+
+  friend bool operator==(const Grid2D& a, const Grid2D& b) {
+    return a.height_ == b.height_ && a.width_ == b.width_ &&
+           a.cells_ == b.cells_;
+  }
+
+ private:
+  // Validates dimensions before the vector is constructed (member-init
+  // order would otherwise build the vector first).
+  static std::size_t checked_cell_count(int height, int width) {
+    PEACHY_REQUIRE(height >= 0 && width >= 0,
+                   "grid dimensions must be non-negative: " << height << "x"
+                                                            << width);
+    return static_cast<std::size_t>(height) * static_cast<std::size_t>(width);
+  }
+
+  std::size_t idx(int y, int x) const {
+    return static_cast<std::size_t>(y) * width_ + x;
+  }
+  void check_bounds(int y, int x) const {
+    PEACHY_REQUIRE(in_bounds(y, x), "grid index (" << y << "," << x
+                                                   << ") out of " << height_
+                                                   << "x" << width_);
+  }
+
+  int height_ = 0;
+  int width_ = 0;
+  std::vector<T> cells_;
+};
+
+}  // namespace peachy

@@ -1,0 +1,61 @@
+#include "core/image.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+namespace peachy {
+
+Image::Image(int height, int width, Rgb fill)
+    : height_(height), width_(width),
+      pixels_(static_cast<std::size_t>(height) * width, fill) {
+  PEACHY_REQUIRE(height >= 0 && width >= 0,
+                 "image dimensions must be non-negative: " << height << "x"
+                                                           << width);
+}
+
+void Image::fill_rect(int y0, int x0, int h, int w, Rgb color) {
+  const int y1 = std::min(y0 + h, height_);
+  const int x1 = std::min(x0 + w, width_);
+  for (int y = std::max(y0, 0); y < y1; ++y)
+    for (int x = std::max(x0, 0); x < x1; ++x) (*this)(y, x) = color;
+}
+
+Image Image::upscaled(int factor) const {
+  PEACHY_REQUIRE(factor >= 1, "upscale factor must be >= 1, got " << factor);
+  Image out(height_ * factor, width_ * factor);
+  for (int y = 0; y < out.height(); ++y)
+    for (int x = 0; x < out.width(); ++x)
+      out(y, x) = (*this)(y / factor, x / factor);
+  return out;
+}
+
+void Image::write_ppm(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  PEACHY_REQUIRE(os.good(), "cannot open " << path << " for writing");
+  os << "P6\n" << width_ << " " << height_ << "\n255\n";
+  os.write(reinterpret_cast<const char*>(pixels_.data()),
+           static_cast<std::streamsize>(pixels_.size() * sizeof(Rgb)));
+  PEACHY_REQUIRE(os.good(), "write failed for " << path);
+}
+
+Image Image::read_ppm(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  PEACHY_REQUIRE(is.good(), "cannot open " << path << " for reading");
+  std::string magic;
+  is >> magic;
+  PEACHY_REQUIRE(magic == "P6", path << " is not a binary PPM (magic "
+                                     << magic << ")");
+  int width = 0, height = 0, maxval = 0;
+  is >> width >> height >> maxval;
+  PEACHY_REQUIRE(maxval == 255, "only maxval 255 supported, got " << maxval);
+  is.get();  // single whitespace byte after the header
+  Image img(height, width);
+  is.read(reinterpret_cast<char*>(img.pixels_.data()),
+          static_cast<std::streamsize>(img.pixels_.size() * sizeof(Rgb)));
+  PEACHY_REQUIRE(is.gcount() ==
+                     static_cast<std::streamsize>(img.pixels_.size() * 3),
+                 "truncated PPM payload in " << path);
+  return img;
+}
+
+}  // namespace peachy

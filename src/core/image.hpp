@@ -1,0 +1,57 @@
+// Minimal dependency-free RGB image type with binary PPM (P6) I/O.
+//
+// EASYPAP renders live with SDL; in this headless reproduction every visual
+// artifact (Fig. 1, Fig. 4 tile maps, Fig. 6 warming stripes) is written as
+// a PPM file instead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace peachy {
+
+/// 8-bit RGB color.
+struct Rgb {
+  std::uint8_t r = 0, g = 0, b = 0;
+  friend bool operator==(const Rgb&, const Rgb&) = default;
+};
+
+/// Row-major 8-bit RGB raster image.
+class Image {
+ public:
+  Image() = default;
+  Image(int height, int width, Rgb fill = Rgb{});
+
+  int height() const { return height_; }
+  int width() const { return width_; }
+
+  Rgb& operator()(int y, int x) { return pixels_[idx(y, x)]; }
+  const Rgb& operator()(int y, int x) const { return pixels_[idx(y, x)]; }
+
+  /// Fills the axis-aligned rectangle [y0,y0+h) x [x0,x0+w), clipped to the
+  /// image bounds.
+  void fill_rect(int y0, int x0, int h, int w, Rgb color);
+
+  /// Nearest-neighbour integer upscale (each pixel becomes factor x factor).
+  Image upscaled(int factor) const;
+
+  /// Writes a binary PPM (P6). Throws peachy::Error on I/O failure.
+  void write_ppm(const std::string& path) const;
+
+  /// Reads a binary PPM (P6) written by write_ppm (or any conforming file).
+  static Image read_ppm(const std::string& path);
+
+ private:
+  std::size_t idx(int y, int x) const {
+    return static_cast<std::size_t>(y) * width_ + x;
+  }
+
+  int height_ = 0;
+  int width_ = 0;
+  std::vector<Rgb> pixels_;
+};
+
+}  // namespace peachy

@@ -1,0 +1,356 @@
+#include "core/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace peachy::json {
+
+bool Value::as_bool() const {
+  PEACHY_REQUIRE(is_bool(), "JSON value is not a bool");
+  return std::get<bool>(data_);
+}
+
+double Value::as_number() const {
+  PEACHY_REQUIRE(is_number(), "JSON value is not a number");
+  return std::get<double>(data_);
+}
+
+std::int64_t Value::as_int() const {
+  const double d = as_number();
+  PEACHY_REQUIRE(std::floor(d) == d && std::abs(d) <= 9.007199254740992e15,
+                 "JSON number " << d << " is not an exact integer");
+  return static_cast<std::int64_t>(d);
+}
+
+const std::string& Value::as_string() const {
+  PEACHY_REQUIRE(is_string(), "JSON value is not a string");
+  return std::get<std::string>(data_);
+}
+
+const Array& Value::as_array() const {
+  PEACHY_REQUIRE(is_array(), "JSON value is not an array");
+  return std::get<Array>(data_);
+}
+
+Array& Value::as_array() {
+  PEACHY_REQUIRE(is_array(), "JSON value is not an array");
+  return std::get<Array>(data_);
+}
+
+const Object& Value::as_object() const {
+  PEACHY_REQUIRE(is_object(), "JSON value is not an object");
+  return std::get<Object>(data_);
+}
+
+Object& Value::as_object() {
+  PEACHY_REQUIRE(is_object(), "JSON value is not an object");
+  return std::get<Object>(data_);
+}
+
+const Value& Value::at(const std::string& key) const {
+  const Object& obj = as_object();
+  const auto it = obj.find(key);
+  PEACHY_REQUIRE(it != obj.end(), "JSON object has no key \"" << key << "\"");
+  return it->second;
+}
+
+bool Value::contains(const std::string& key) const {
+  return is_object() && as_object().count(key) > 0;
+}
+
+namespace {
+
+void escape_into(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void number_into(std::string& out, double d) {
+  if (std::floor(d) == d && std::abs(d) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(d));
+    out += buf;
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    out += buf;
+  }
+}
+
+}  // namespace
+
+void Value::dump_to(std::string& out, int depth, bool indent) const {
+  const std::string pad = indent ? std::string(2 * (depth + 1), ' ') : "";
+  const std::string close_pad = indent ? std::string(2 * depth, ' ') : "";
+  const char* nl = indent ? "\n" : "";
+  if (is_null()) {
+    out += "null";
+  } else if (is_bool()) {
+    out += as_bool() ? "true" : "false";
+  } else if (is_number()) {
+    number_into(out, as_number());
+  } else if (is_string()) {
+    escape_into(out, as_string());
+  } else if (is_array()) {
+    const Array& arr = as_array();
+    if (arr.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    out += nl;
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      out += pad;
+      arr[i].dump_to(out, depth + 1, indent);
+      if (i + 1 < arr.size()) out += ',';
+      out += nl;
+    }
+    out += close_pad;
+    out += ']';
+  } else {
+    const Object& obj = as_object();
+    if (obj.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    out += nl;
+    std::size_t i = 0;
+    for (const auto& [key, value] : obj) {
+      out += pad;
+      escape_into(out, key);
+      out += indent ? ": " : ":";
+      value.dump_to(out, depth + 1, indent);
+      if (++i < obj.size()) out += ',';
+      out += nl;
+    }
+    out += close_pad;
+    out += '}';
+  }
+}
+
+std::string Value::dump(bool indent) const {
+  std::string out;
+  dump_to(out, 0, indent);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse_document() {
+    skip_ws();
+    Value v = parse_value();
+    skip_ws();
+    PEACHY_REQUIRE(pos_ == text_.size(),
+                   "trailing characters at offset " << pos_);
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw Error("JSON parse error at offset " + std::to_string(pos_) + ": " +
+                what);
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  void expect(char c) {
+    if (take() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n]) ++n;
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value(parse_string());
+      case 't':
+        if (consume_literal("true")) return Value(true);
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return Value(false);
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return Value(nullptr);
+        fail("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Object obj;
+    skip_ws();
+    if (peek() == '}') {
+      take();
+      return Value(std::move(obj));
+    }
+    for (;;) {
+      skip_ws();
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj[key] = parse_value();
+      skip_ws();
+      const char c = take();
+      if (c == '}') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}'");
+      }
+    }
+    return Value(std::move(obj));
+  }
+
+  Value parse_array() {
+    expect('[');
+    Array arr;
+    skip_ws();
+    if (peek() == ']') {
+      take();
+      return Value(std::move(arr));
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == ']') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']'");
+      }
+    }
+    return Value(std::move(arr));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = take();
+      if (c == '"') return out;
+      if (c == '\\') {
+        const char esc = take();
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = take();
+              code <<= 4;
+              if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad \\u escape");
+            }
+            // Encode as UTF-8 (basic multilingual plane only).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: fail("bad escape");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') take();
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-'))
+      ++pos_;
+    PEACHY_REQUIRE(pos_ > start, "empty number");
+    try {
+      std::size_t used = 0;
+      const double d = std::stod(text_.substr(start, pos_ - start), &used);
+      if (used != pos_ - start) fail("bad number");
+      return Value(d);
+    } catch (const Error&) {
+      throw;
+    } catch (...) {
+      fail("bad number");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(const std::string& text) { return Parser(text).parse_document(); }
+
+}  // namespace peachy::json

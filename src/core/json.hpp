@@ -1,0 +1,80 @@
+// Minimal JSON document model with parser and serializer.
+//
+// Supports the full JSON grammar except exotic number formats beyond
+// double precision. Used for workflow import/export (WfCommons-style
+// descriptions in src/wfsim/wfjson.hpp) and any experiment metadata.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace peachy::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/// Object keys keep insertion-independent (sorted) order via std::map —
+/// serialization is therefore canonical.
+using Object = std::map<std::string, Value>;
+
+/// A JSON value (null, bool, number, string, array or object).
+class Value {
+ public:
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}
+  Value(bool b) : data_(b) {}
+  Value(double d) : data_(d) {}
+  Value(int i) : data_(static_cast<double>(i)) {}
+  Value(std::int64_t i) : data_(static_cast<double>(i)) {}
+  Value(const char* s) : data_(std::string(s)) {}
+  Value(std::string s) : data_(std::move(s)) {}
+  Value(Array a) : data_(std::move(a)) {}
+  Value(Object o) : data_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_number() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_array() const { return std::holds_alternative<Array>(data_); }
+  bool is_object() const { return std::holds_alternative<Object>(data_); }
+
+  /// Typed accessors; throw peachy::Error on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  /// Number narrowed to integer; throws if not integral within 2^53.
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  Array& as_array();
+  const Object& as_object() const;
+  Object& as_object();
+
+  /// Object member access; throws if not an object or key missing.
+  const Value& at(const std::string& key) const;
+  /// True if this is an object containing `key`.
+  bool contains(const std::string& key) const;
+
+  /// Serializes compactly (no whitespace) or pretty-printed with 2-space
+  /// indentation when `indent` is true.
+  std::string dump(bool indent = false) const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.data_ == b.data_;
+  }
+
+ private:
+  void dump_to(std::string& out, int depth, bool indent) const;
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data_;
+};
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+/// Throws peachy::Error with position info on malformed input.
+Value parse(const std::string& text);
+
+}  // namespace peachy::json

@@ -1,0 +1,72 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace peachy {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double quantile(std::vector<double> values, double q) {
+  PEACHY_REQUIRE(!values.empty(), "quantile of empty sample");
+  PEACHY_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q out of [0,1]: " << q);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto i = static_cast<std::size_t>(pos);
+  if (i + 1 >= values.size()) return values.back();
+  const double frac = pos - static_cast<double>(i);
+  return values[i] * (1.0 - frac) + values[i + 1] * frac;
+}
+
+double imbalance_ratio(const std::vector<double>& loads) {
+  PEACHY_REQUIRE(!loads.empty(), "imbalance of empty load vector");
+  double sum = 0.0, mx = loads.front();
+  for (double v : loads) {
+    sum += v;
+    mx = std::max(mx, v);
+  }
+  const double mean = sum / static_cast<double>(loads.size());
+  PEACHY_REQUIRE(mean > 0.0, "imbalance undefined for zero mean load");
+  return mx / mean;
+}
+
+Histogram::Histogram(double lo, double hi, int bins) : lo_(lo), hi_(hi) {
+  PEACHY_REQUIRE(lo < hi && bins > 0,
+                 "bad histogram spec [" << lo << "," << hi << ") x " << bins);
+  counts_.assign(static_cast<std::size_t>(bins), 0);
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<long>(t * static_cast<double>(counts_.size()));
+  bin = std::clamp(bin, 0L, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::edge(int bin) const {
+  PEACHY_REQUIRE(bin >= 0 && bin <= bins(), "bad bin " << bin);
+  return lo_ + (hi_ - lo_) * bin / static_cast<double>(bins());
+}
+
+}  // namespace peachy

@@ -1,0 +1,56 @@
+// Streaming and batch statistics used by trace analysis and benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace peachy {
+
+/// Welford online mean/variance accumulator.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0, m2_ = 0.0, sum_ = 0.0;
+  double min_ = 0.0, max_ = 0.0;
+};
+
+/// Returns the q-quantile (0 <= q <= 1) of `values` by linear interpolation.
+/// Copies and sorts internally; throws peachy::Error on empty input.
+double quantile(std::vector<double> values, double q);
+
+/// Load-imbalance ratio: max(loads) / mean(loads). 1.0 = perfectly balanced.
+/// Throws peachy::Error if loads is empty or the mean is zero.
+double imbalance_ratio(const std::vector<double>& loads);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; values outside
+/// the range are clamped into the first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int bins);
+
+  void add(double x);
+  int bins() const { return static_cast<int>(counts_.size()); }
+  std::size_t count(int bin) const { return counts_.at(bin); }
+  std::size_t total() const { return total_; }
+  /// Inclusive lower edge of bucket `bin`.
+  double edge(int bin) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace peachy

@@ -1,0 +1,74 @@
+#include "core/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace peachy {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  PEACHY_CHECK(!header_.empty());
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  PEACHY_REQUIRE(cells.size() == header_.size(),
+                 "row has " << cells.size() << " cells, header has "
+                            << header_.size());
+  body_.push_back(std::move(cells));
+}
+
+void TextTable::row(std::initializer_list<std::string> cells) {
+  row(std::vector<std::string>(cells));
+}
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s)
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '-' &&
+        c != '+' && c != 'e' && c != 'E' && c != '%' && c != 'x')
+      return false;
+  return true;
+}
+}  // namespace
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> w(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) w[c] = header_[c].size();
+  for (const auto& r : body_)
+    for (std::size_t c = 0; c < r.size(); ++c) w[c] = std::max(w[c], r[c].size());
+
+  auto emit = [&](const std::vector<std::string>& r, bool align_numbers) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c) os << "  ";
+      const bool right = align_numbers && looks_numeric(r[c]);
+      os << (right ? std::setw(static_cast<int>(w[c])) : std::setw(0));
+      if (right) {
+        os << r[c];
+      } else {
+        os << r[c] << std::string(w[c] - r[c].size(), ' ');
+      }
+    }
+    os << '\n';
+  };
+
+  emit(header_, false);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < w.size(); ++c) total += w[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : body_) emit(r, true);
+}
+
+std::string TextTable::num(double v, int prec) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(prec) << v;
+  return os.str();
+}
+
+std::string TextTable::num(std::int64_t v) { return std::to_string(v); }
+
+}  // namespace peachy

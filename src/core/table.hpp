@@ -1,0 +1,36 @@
+// Aligned plain-text table printer used by every bench binary to emit
+// paper-style rows.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace peachy {
+
+/// Collects rows of string cells and prints them as an aligned ASCII table
+/// with a header separator — the format all bench_* binaries use to echo
+/// the paper's tables.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void row(std::vector<std::string> cells);
+  void row(std::initializer_list<std::string> cells);
+
+  std::size_t rows() const { return body_.size(); }
+
+  /// Renders the table; numeric-looking cells are right-aligned.
+  void print(std::ostream& os) const;
+
+  /// Formats a double with `prec` fractional digits.
+  static std::string num(double v, int prec = 2);
+  static std::string num(std::int64_t v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> body_;
+};
+
+}  // namespace peachy

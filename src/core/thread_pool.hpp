@@ -1,0 +1,57 @@
+// Fixed-size worker pool used by the MapReduce engine and the pap hybrid
+// dispatcher. (OpenMP handles the stencil loops; the pool serves the parts
+// of the system that need explicit task queues.)
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace peachy {
+
+/// Fixed-size thread pool with a FIFO task queue.
+///
+/// Tasks are std::function<void()>; submit() returns a future for the
+/// wrapped callable. The destructor drains the queue, then joins.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1; throws peachy::Error otherwise).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues a callable; the returned future yields its result.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    enqueue([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Runs fn(i) for i in [0, n) across the pool and blocks until all done.
+  /// Work is split into contiguous chunks (at most 4 per worker).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace peachy

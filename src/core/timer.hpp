@@ -1,0 +1,30 @@
+// Wall-clock timing helpers for benchmarks and trace recording.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace peachy {
+
+/// Monotonic nanosecond timestamp (epoch: arbitrary but fixed per process).
+inline std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Simple restartable wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(now_ns()) {}
+
+  void reset() { start_ = now_ns(); }
+  std::int64_t elapsed_ns() const { return now_ns() - start_; }
+  double elapsed_ms() const { return static_cast<double>(elapsed_ns()) / 1e6; }
+  double elapsed_s() const { return static_cast<double>(elapsed_ns()) / 1e9; }
+
+ private:
+  std::int64_t start_;
+};
+
+}  // namespace peachy

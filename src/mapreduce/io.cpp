@@ -1,0 +1,55 @@
+#include "mapreduce/io.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "core/error.hpp"
+
+namespace peachy::mr {
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream is(path);
+  PEACHY_REQUIRE(is.good(), "cannot open " << path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+std::vector<std::string> read_lines_in_dir(const std::string& dir,
+                                           const std::string& suffix) {
+  namespace fs = std::filesystem;
+  PEACHY_REQUIRE(fs::is_directory(dir), dir << " is not a directory");
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (!suffix.empty()) {
+      if (name.size() < suffix.size() ||
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+              0)
+        continue;
+    }
+    files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<std::string> lines;
+  for (const std::string& f : files)
+    for (auto& line : read_lines(f)) lines.push_back(std::move(line));
+  return lines;
+}
+
+std::vector<std::pair<int, std::string>> as_records(
+    std::vector<std::string> lines) {
+  std::vector<std::pair<int, std::string>> records;
+  records.reserve(lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i)
+    records.emplace_back(static_cast<int>(i), std::move(lines[i]));
+  return records;
+}
+
+}  // namespace peachy::mr

@@ -1,0 +1,28 @@
+// Text input for MapReduce jobs — the HDFS-directory stand-in.
+//
+// Hadoop jobs consume directories of line-oriented files; these helpers
+// load them into the in-memory records the engine takes, preserving
+// Hadoop's ordering convention (files in name order, lines in file order).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace peachy::mr {
+
+/// Reads a text file into lines (universal newlines; no trailing empty
+/// line). Throws peachy::Error when the file cannot be opened.
+std::vector<std::string> read_lines(const std::string& path);
+
+/// Reads every regular file in `dir` whose name ends with `suffix`
+/// (empty = all files), in lexicographic file-name order, concatenating
+/// their lines. Throws peachy::Error if the directory cannot be read.
+std::vector<std::string> read_lines_in_dir(const std::string& dir,
+                                           const std::string& suffix = "");
+
+/// Wraps lines into the (line number, line) records mr::Job consumes.
+std::vector<std::pair<int, std::string>> as_records(
+    std::vector<std::string> lines);
+
+}  // namespace peachy::mr

@@ -1,0 +1,255 @@
+// A MapReduce engine (paper §III) enforcing the paradigm's three phases:
+// map -> group-by-keys -> reduce, exactly the constraints the assignment
+// wants students to feel ("it is difficult to reformulate a given problem
+// under the severe constraints of this three-step approach").
+//
+// The engine is typed and in-memory, with the Hadoop execution structure:
+// inputs are split across map tasks, map outputs are partitioned by a
+// (pluggable) partitioner, each partition is sorted and grouped by key, and
+// reducers run one partition each. Map and reduce phases run on a thread
+// pool. An optional combiner runs after each map task on its local output.
+//
+// Output determinism: partitions are concatenated in partition order and
+// each partition is key-sorted, so a job's output is a pure function of its
+// input — asserted by tests regardless of worker count.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/thread_pool.hpp"
+
+namespace peachy::mr {
+
+/// Collects key/value pairs emitted by a mapper, combiner or reducer.
+template <typename K, typename V>
+class Emitter {
+ public:
+  void emit(K key, V value) {
+    pairs_.emplace_back(std::move(key), std::move(value));
+  }
+
+  std::vector<std::pair<K, V>>& pairs() { return pairs_; }
+  const std::vector<std::pair<K, V>>& pairs() const { return pairs_; }
+
+ private:
+  std::vector<std::pair<K, V>> pairs_;
+};
+
+/// Job execution knobs.
+struct JobConfig {
+  int map_workers = 1;     ///< threads for the map phase
+  int reduce_workers = 1;  ///< threads for the reduce phase
+  int map_tasks = 0;       ///< input splits; 0 = 4x map_workers
+  int partitions = 0;      ///< reduce partitions; 0 = reduce_workers
+};
+
+/// Phase counters (the numbers Hadoop prints after a job).
+struct JobCounters {
+  std::size_t map_inputs = 0;
+  std::size_t map_outputs = 0;     ///< records emitted by mappers
+  std::size_t combine_outputs = 0; ///< records after combiners (== map_outputs
+                                   ///< when no combiner is configured)
+  std::size_t groups = 0;          ///< distinct keys seen by reducers
+  std::size_t reduce_outputs = 0;
+  std::size_t shuffle_records = 0; ///< records moved into partitions
+};
+
+/// Default partitioner: std::hash of the key modulo partition count.
+/// Key types without std::hash may still be used with a single partition
+/// (or by supplying a custom partitioner).
+template <typename K>
+struct HashPartitioner {
+  int operator()(const K& key, int partitions) const {
+    if constexpr (requires(const K& k) { std::hash<K>{}(k); }) {
+      return static_cast<int>(std::hash<K>{}(key) %
+                              static_cast<std::size_t>(partitions));
+    } else {
+      PEACHY_REQUIRE(partitions == 1,
+                     "key type has no std::hash; supply Job::partitioner() "
+                     "to use more than one partition");
+      (void)key;
+      return 0;
+    }
+  }
+};
+
+/// A typed MapReduce job: K1/V1 input records, K2/V2 intermediate records,
+/// K3/V3 output records.
+///
+/// Phase signatures:
+///   mapper  : void(const K1&, const V1&, Emitter<K2, V2>&)
+///   combiner: void(const K2&, const std::vector<V2>&, Emitter<K2, V2>&)
+///   reducer : void(const K2&, const std::vector<V2>&, Emitter<K3, V3>&)
+template <typename K1, typename V1, typename K2, typename V2, typename K3,
+          typename V3>
+class Job {
+ public:
+  using Mapper = std::function<void(const K1&, const V1&, Emitter<K2, V2>&)>;
+  using Combiner =
+      std::function<void(const K2&, const std::vector<V2>&, Emitter<K2, V2>&)>;
+  using Reducer =
+      std::function<void(const K2&, const std::vector<V2>&, Emitter<K3, V3>&)>;
+  using Partitioner = std::function<int(const K2&, int)>;
+  using ValueComparator = std::function<bool(const V2&, const V2&)>;
+
+  Job& mapper(Mapper m) { mapper_ = std::move(m); return *this; }
+  Job& combiner(Combiner c) { combiner_ = std::move(c); return *this; }
+  Job& reducer(Reducer r) { reducer_ = std::move(r); return *this; }
+  Job& partitioner(Partitioner p) { partitioner_ = std::move(p); return *this; }
+  /// Secondary sort: orders each key group's values by `cmp` before the
+  /// reducer sees them (Hadoop's secondary-sort idiom). Without it, values
+  /// arrive in deterministic (map task, emit) order.
+  Job& sort_values(ValueComparator cmp) {
+    value_cmp_ = std::move(cmp);
+    return *this;
+  }
+  Job& config(JobConfig cfg) { config_ = cfg; return *this; }
+
+  const JobCounters& counters() const { return counters_; }
+
+  /// Runs the job over `inputs` and returns all output records
+  /// (partitions in order, keys sorted within each partition).
+  std::vector<std::pair<K3, V3>> run(
+      const std::vector<std::pair<K1, V1>>& inputs) {
+    PEACHY_REQUIRE(mapper_ != nullptr, "job has no mapper");
+    PEACHY_REQUIRE(reducer_ != nullptr, "job has no reducer");
+    PEACHY_REQUIRE(config_.map_workers >= 1 && config_.reduce_workers >= 1,
+                   "worker counts must be >= 1");
+    counters_ = JobCounters{};
+    counters_.map_inputs = inputs.size();
+
+    const int splits = config_.map_tasks > 0 ? config_.map_tasks
+                                             : 4 * config_.map_workers;
+    const int partitions =
+        config_.partitions > 0 ? config_.partitions : config_.reduce_workers;
+    Partitioner partition =
+        partitioner_ ? partitioner_ : Partitioner(HashPartitioner<K2>{});
+
+    // --- Map phase: one task per split, each partitioning its own output.
+    // buckets[task][partition] -> intermediate pairs.
+    std::vector<std::vector<std::vector<std::pair<K2, V2>>>> buckets(
+        static_cast<std::size_t>(splits));
+    std::vector<std::size_t> map_out(static_cast<std::size_t>(splits), 0);
+    std::vector<std::size_t> comb_out(static_cast<std::size_t>(splits), 0);
+    {
+      ThreadPool pool(static_cast<std::size_t>(config_.map_workers));
+      pool.parallel_for(static_cast<std::size_t>(splits), [&](std::size_t s) {
+        const std::size_t lo = inputs.size() * s / splits;
+        const std::size_t hi = inputs.size() * (s + 1) / splits;
+        Emitter<K2, V2> emitter;
+        for (std::size_t i = lo; i < hi; ++i)
+          mapper_(inputs[i].first, inputs[i].second, emitter);
+        map_out[s] = emitter.pairs().size();
+
+        std::vector<std::pair<K2, V2>> intermediate =
+            combiner_ ? combine_locally(std::move(emitter.pairs()))
+                      : std::move(emitter.pairs());
+        comb_out[s] = intermediate.size();
+
+        auto& mine = buckets[s];
+        mine.resize(static_cast<std::size_t>(partitions));
+        for (auto& kv : intermediate) {
+          const int p = partition(kv.first, partitions);
+          PEACHY_REQUIRE(p >= 0 && p < partitions,
+                         "partitioner returned " << p << " of " << partitions);
+          mine[static_cast<std::size_t>(p)].push_back(std::move(kv));
+        }
+      });
+    }
+    for (int s = 0; s < splits; ++s) {
+      counters_.map_outputs += map_out[static_cast<std::size_t>(s)];
+      counters_.combine_outputs += comb_out[static_cast<std::size_t>(s)];
+    }
+
+    // --- Shuffle + sort + reduce, one partition at a time.
+    std::vector<std::vector<std::pair<K3, V3>>> outputs(
+        static_cast<std::size_t>(partitions));
+    std::vector<std::size_t> group_counts(static_cast<std::size_t>(partitions),
+                                          0);
+    std::vector<std::size_t> shuffled(static_cast<std::size_t>(partitions), 0);
+    {
+      ThreadPool pool(static_cast<std::size_t>(config_.reduce_workers));
+      pool.parallel_for(
+          static_cast<std::size_t>(partitions), [&](std::size_t p) {
+            // Shuffle: gather this partition from every map task.
+            std::vector<std::pair<K2, V2>> part;
+            for (auto& task_buckets : buckets)
+              if (p < task_buckets.size())
+                for (auto& kv : task_buckets[p]) part.push_back(std::move(kv));
+            shuffled[p] = part.size();
+
+            // Group-by-keys: stable sort keeps per-key value order
+            // deterministic (map task order, then emit order).
+            std::stable_sort(part.begin(), part.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.first < b.first;
+                             });
+
+            Emitter<K3, V3> emitter;
+            std::size_t i = 0;
+            while (i < part.size()) {
+              std::size_t j = i;
+              std::vector<V2> values;
+              while (j < part.size() && !(part[i].first < part[j].first) &&
+                     !(part[j].first < part[i].first)) {
+                values.push_back(std::move(part[j].second));
+                ++j;
+              }
+              if (value_cmp_)
+                std::stable_sort(values.begin(), values.end(), value_cmp_);
+              reducer_(part[i].first, values, emitter);
+              ++group_counts[p];
+              i = j;
+            }
+            outputs[p] = std::move(emitter.pairs());
+          });
+    }
+
+    std::vector<std::pair<K3, V3>> all;
+    for (std::size_t p = 0; p < outputs.size(); ++p) {
+      counters_.groups += group_counts[p];
+      counters_.shuffle_records += shuffled[p];
+      for (auto& kv : outputs[p]) all.push_back(std::move(kv));
+    }
+    counters_.reduce_outputs = all.size();
+    return all;
+  }
+
+ private:
+  // Groups a map task's local output by key and applies the combiner.
+  std::vector<std::pair<K2, V2>> combine_locally(
+      std::vector<std::pair<K2, V2>> pairs) {
+    std::stable_sort(
+        pairs.begin(), pairs.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    Emitter<K2, V2> emitter;
+    std::size_t i = 0;
+    while (i < pairs.size()) {
+      std::size_t j = i;
+      std::vector<V2> values;
+      while (j < pairs.size() && !(pairs[i].first < pairs[j].first) &&
+             !(pairs[j].first < pairs[i].first)) {
+        values.push_back(std::move(pairs[j].second));
+        ++j;
+      }
+      combiner_(pairs[i].first, values, emitter);
+      i = j;
+    }
+    return std::move(emitter.pairs());
+  }
+
+  Mapper mapper_;
+  Combiner combiner_;
+  Reducer reducer_;
+  Partitioner partitioner_;
+  ValueComparator value_cmp_;
+  JobConfig config_;
+  JobCounters counters_;
+};
+
+}  // namespace peachy::mr

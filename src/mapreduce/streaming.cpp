@@ -1,0 +1,83 @@
+#include "mapreduce/streaming.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "core/thread_pool.hpp"
+
+namespace peachy::mr::streaming {
+
+std::pair<std::string, std::string> split_kv(const std::string& line) {
+  const std::size_t tab = line.find('\t');
+  if (tab == std::string::npos) return {line, ""};
+  return {line.substr(0, tab), line.substr(tab + 1)};
+}
+
+std::vector<std::string> run_streaming(const std::vector<std::string>& input,
+                                       const LineMapper& mapper,
+                                       const StreamReducer& reducer,
+                                       const StreamingConfig& config) {
+  PEACHY_REQUIRE(mapper != nullptr && reducer != nullptr,
+                 "streaming job needs a mapper and a reducer");
+  PEACHY_REQUIRE(config.map_workers >= 1 && config.reduce_workers >= 1,
+                 "worker counts must be >= 1");
+  const int partitions =
+      config.partitions > 0 ? config.partitions : config.reduce_workers;
+
+  // --- Map phase: one split per worker chunk; each split keeps its own
+  // output so the merged order is deterministic.
+  const int splits = 4 * config.map_workers;
+  std::vector<std::vector<std::string>> map_out(
+      static_cast<std::size_t>(splits));
+  {
+    ThreadPool pool(static_cast<std::size_t>(config.map_workers));
+    pool.parallel_for(static_cast<std::size_t>(splits), [&](std::size_t s) {
+      const std::size_t lo = input.size() * s / splits;
+      const std::size_t hi = input.size() * (s + 1) / splits;
+      auto& out = map_out[s];
+      const LineEmit emit = [&out](const std::string& line) {
+        out.push_back(line);
+      };
+      for (std::size_t i = lo; i < hi; ++i) mapper(input[i], emit);
+    });
+  }
+
+  // --- Partition by key hash (split order preserved within a partition,
+  // mirroring Hadoop's stable shuffle of this engine).
+  std::vector<std::vector<std::string>> parts(
+      static_cast<std::size_t>(partitions));
+  for (auto& split_lines : map_out)
+    for (auto& line : split_lines) {
+      const auto key = split_kv(line).first;
+      const auto p = std::hash<std::string>{}(key) %
+                     static_cast<std::size_t>(partitions);
+      parts[p].push_back(std::move(line));
+    }
+
+  // --- Sort each partition by key and run the reducer over the stream.
+  std::vector<std::vector<std::string>> outputs(
+      static_cast<std::size_t>(partitions));
+  {
+    ThreadPool pool(static_cast<std::size_t>(config.reduce_workers));
+    pool.parallel_for(
+        static_cast<std::size_t>(partitions), [&](std::size_t p) {
+          auto& lines = parts[p];
+          std::stable_sort(lines.begin(), lines.end(),
+                           [](const std::string& a, const std::string& b) {
+                             return split_kv(a).first < split_kv(b).first;
+                           });
+          auto& out = outputs[p];
+          const LineEmit emit = [&out](const std::string& line) {
+            out.push_back(line);
+          };
+          reducer(lines, emit);
+        });
+  }
+
+  std::vector<std::string> all;
+  for (auto& part_out : outputs)
+    for (auto& line : part_out) all.push_back(std::move(line));
+  return all;
+}
+
+}  // namespace peachy::mr::streaming

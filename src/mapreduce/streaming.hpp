@@ -1,0 +1,52 @@
+// Hadoop-Streaming-style text interface over the MapReduce engine.
+//
+// The course's assignment uses the Apache Hadoop Streaming API: mappers and
+// reducers are programs that read text lines and write "key<TAB>value"
+// lines; the framework sorts a reducer's whole partition by key and streams
+// it in, leaving key-boundary detection to the reducer — a classic stumbling
+// block this adapter preserves faithfully.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace peachy::mr::streaming {
+
+/// Emit callback handed to mappers/reducers (one output line per call).
+using LineEmit = std::function<void(const std::string& line)>;
+
+/// A streaming mapper: one input line in, any number of "key\tvalue" lines
+/// out.
+using LineMapper =
+    std::function<void(const std::string& line, const LineEmit& emit)>;
+
+/// A streaming reducer: receives its whole partition as key-sorted
+/// "key\tvalue" lines (like stdin of a Hadoop streaming reducer) and emits
+/// output lines. It must detect key changes itself.
+using StreamReducer = std::function<void(
+    const std::vector<std::string>& sorted_lines, const LineEmit& emit)>;
+
+/// Execution knobs (mirrors mr::JobConfig for the text pipeline).
+struct StreamingConfig {
+  int map_workers = 1;
+  int reduce_workers = 1;
+  int partitions = 0;  ///< 0 = reduce_workers
+};
+
+/// Splits "key\tvalue" at the first tab; a line without a tab becomes
+/// (line, "").
+std::pair<std::string, std::string> split_kv(const std::string& line);
+
+/// Runs the streaming job: map every input line, partition map-output lines
+/// by key hash, sort each partition by key (stable within equal keys), run
+/// the reducer once per partition. Output lines are concatenated in
+/// partition order — deterministic for fixed partitions, independent of
+/// worker counts.
+std::vector<std::string> run_streaming(const std::vector<std::string>& input,
+                                       const LineMapper& mapper,
+                                       const StreamReducer& reducer,
+                                       const StreamingConfig& config = {});
+
+}  // namespace peachy::mr::streaming

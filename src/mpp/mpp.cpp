@@ -1,0 +1,132 @@
+#include "mpp/mpp.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <thread>
+
+namespace peachy::mpp {
+
+World::World(int ranks) : ranks_(ranks), mailboxes_(ranks > 0 ? ranks : 0) {
+  PEACHY_REQUIRE(ranks >= 1, "world needs >= 1 rank, got " << ranks);
+}
+
+int Comm::size() const { return world_->size(); }
+
+void Comm::send_bytes(int dest, int tag, const void* data, std::size_t bytes) {
+  PEACHY_REQUIRE(dest >= 0 && dest < world_->size(),
+                 "send to bad rank " << dest);
+  World::Message msg;
+  msg.src = rank_;
+  msg.payload.resize(bytes);
+  if (bytes) std::memcpy(msg.payload.data(), data, bytes);
+  auto& box = world_->mailboxes_[static_cast<std::size_t>(dest)];
+  {
+    std::lock_guard lock(box.mutex);
+    box.channels[{rank_, tag}].push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+  ++stats_.messages_sent;
+  stats_.bytes_sent += bytes;
+}
+
+void Comm::recv_bytes(int src, int tag, void* data, std::size_t bytes) {
+  PEACHY_REQUIRE(src >= 0 && src < world_->size(), "recv from bad rank " << src);
+  auto& box = world_->mailboxes_[static_cast<std::size_t>(rank_)];
+  std::unique_lock lock(box.mutex);
+  auto& channel = box.channels[{src, tag}];
+  box.cv.wait(lock, [&channel] { return !channel.empty(); });
+  World::Message msg = std::move(channel.front());
+  channel.pop_front();
+  PEACHY_REQUIRE(msg.payload.size() == bytes,
+                 "message size mismatch: expected " << bytes << " bytes, got "
+                                                    << msg.payload.size());
+  if (bytes) std::memcpy(data, msg.payload.data(), bytes);
+}
+
+void Comm::barrier() {
+  World& w = *world_;
+  std::unique_lock lock(w.barrier_mutex_);
+  const std::uint64_t my_gen = w.barrier_generation_;
+  if (++w.barrier_waiting_ == w.size()) {
+    w.barrier_waiting_ = 0;
+    ++w.barrier_generation_;
+    w.barrier_cv_.notify_all();
+  } else {
+    w.barrier_cv_.wait(lock, [&w, my_gen] {
+      return w.barrier_generation_ != my_gen;
+    });
+  }
+}
+
+namespace {
+// Shared reduction over the barrier state machine. The generation pattern
+// guarantees the published accumulator stays valid until every participant
+// of this generation has read it (a rank cannot join generation g+1 before
+// leaving generation g).
+std::int64_t reduce(World& w, std::mutex& m, std::condition_variable& cv,
+                    std::uint64_t& gen, std::int64_t& acc,
+                    std::int64_t& result, int& count, std::int64_t value,
+                    std::int64_t (*op)(std::int64_t, std::int64_t)) {
+  std::unique_lock lock(m);
+  if (count == 0) acc = value;
+  else acc = op(acc, value);
+  ++count;
+  const std::uint64_t my_gen = gen;
+  if (count == w.size()) {
+    count = 0;
+    result = acc;  // publish: stays untouched until this generation's
+    ++gen;         // waiters have all returned (see World comment)
+    cv.notify_all();
+    return result;
+  }
+  cv.wait(lock, [&gen, my_gen] { return gen != my_gen; });
+  return result;
+}
+}  // namespace
+
+std::int64_t Comm::allreduce_sum(std::int64_t value) {
+  World& w = *world_;
+  return reduce(w, w.barrier_mutex_, w.barrier_cv_, w.barrier_generation_,
+                w.reduce_acc_, w.reduce_result_, w.reduce_count_, value,
+                [](std::int64_t a, std::int64_t b) { return a + b; });
+}
+
+std::int64_t Comm::allreduce_max(std::int64_t value) {
+  World& w = *world_;
+  return reduce(w, w.barrier_mutex_, w.barrier_cv_, w.barrier_generation_,
+                w.reduce_acc_, w.reduce_result_, w.reduce_count_, value,
+                [](std::int64_t a, std::int64_t b) { return std::max(a, b); });
+}
+
+bool Comm::allreduce_or(bool value) { return allreduce_max(value ? 1 : 0) != 0; }
+
+CommStats run(int ranks, const std::function<void(Comm&)>& body) {
+  World world(ranks);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(ranks));
+  std::vector<CommStats> stats(static_cast<std::size_t>(ranks));
+  threads.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm = world.comm(r);
+      try {
+        body(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+      stats[static_cast<std::size_t>(r)] = comm.stats();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& err : errors)
+    if (err) std::rethrow_exception(err);
+  CommStats total;
+  for (const auto& s : stats) {
+    total.messages_sent += s.messages_sent;
+    total.bytes_sent += s.bytes_sent;
+  }
+  return total;
+}
+
+}  // namespace peachy::mpp

@@ -1,0 +1,214 @@
+// mpp — a message-passing runtime with MPI-shaped semantics, in-process.
+//
+// The paper's fourth sandpile assignment distributes the stencil over a
+// cluster with MPI and the Ghost Cell Pattern [Kjolstad & Snir 2010]. This
+// container has no MPI, so mpp substitutes for it: ranks run as threads of
+// one process, each with a private mailbox; send/recv/sendrecv/barrier/
+// allreduce/gather carry the same semantics (blocking point-to-point with
+// source+tag matching, FIFO per (source, tag) channel). Message and byte
+// counters make communication volume measurable, which is what the
+// ghost-cell trade-off experiment (bench_ghost_cells) reports.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace peachy::mpp {
+
+/// Aggregate communication counters for one rank.
+struct CommStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+class World;
+
+/// A rank's endpoint into a World. Equivalent to an MPI communicator handle
+/// bound to one rank. Not copyable; lives on the rank's stack inside
+/// mpp::run.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Blocking typed send of `count` elements of trivially copyable T.
+  template <typename T>
+  void send(int dest, int tag, const T* data, std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dest, tag, data, count * sizeof(T));
+  }
+
+  /// Blocking typed receive; the message size must be exactly `count`
+  /// elements (mismatch throws, like an MPI truncation error).
+  template <typename T>
+  void recv(int src, int tag, T* data, std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    recv_bytes(src, tag, data, count * sizeof(T));
+  }
+
+  /// Exchange with a partner: sends then receives (internally safe against
+  /// deadlock because sends never block on the receiver).
+  template <typename T>
+  void sendrecv(int partner, int tag, const T* send_buf, T* recv_buf,
+                std::size_t count) {
+    send(partner, tag, send_buf, count);
+    recv(partner, tag, recv_buf, count);
+  }
+
+  /// Blocks until every rank in the world has entered the barrier.
+  void barrier();
+
+  /// All-reduce with a commutative/associative op over one value.
+  std::int64_t allreduce_sum(std::int64_t value);
+  std::int64_t allreduce_max(std::int64_t value);
+  /// Logical-or all-reduce (the "did any rank change a cell?" query that
+  /// terminates the distributed sandpile).
+  bool allreduce_or(bool value);
+
+  /// Gathers each rank's vector at root, concatenated in rank order.
+  /// Non-root ranks receive an empty vector.
+  template <typename T>
+  std::vector<T> gather(int root, const std::vector<T>& mine) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    constexpr int kGatherTag = -4242;
+    if (rank_ != root) {
+      const std::uint64_t n = mine.size();
+      send(root, kGatherTag, &n, 1);
+      if (n) send(root, kGatherTag, mine.data(), mine.size());
+      return {};
+    }
+    std::vector<T> all;
+    for (int r = 0; r < size(); ++r) {
+      if (r == rank_) {
+        all.insert(all.end(), mine.begin(), mine.end());
+        continue;
+      }
+      std::uint64_t n = 0;
+      recv(r, kGatherTag, &n, 1);
+      std::vector<T> part(n);
+      if (n) recv(r, kGatherTag, part.data(), n);
+      all.insert(all.end(), part.begin(), part.end());
+    }
+    return all;
+  }
+
+  /// Broadcast from root: root's `count` elements overwrite every rank's
+  /// buffer. Collective (all ranks must call).
+  template <typename T>
+  void broadcast(int root, T* data, std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    constexpr int kBcastTag = -4243;
+    if (rank_ == root) {
+      for (int r = 0; r < size(); ++r)
+        if (r != rank_) send(r, kBcastTag, data, count);
+    } else {
+      recv(root, kBcastTag, data, count);
+    }
+  }
+
+  /// Scatter from root: rank r receives chunk r of root's `all` vector,
+  /// which must hold size() * chunk elements at the root (ignored
+  /// elsewhere). Collective.
+  template <typename T>
+  std::vector<T> scatter(int root, const std::vector<T>& all,
+                         std::size_t chunk) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    constexpr int kScatterTag = -4244;
+    std::vector<T> mine(chunk);
+    if (rank_ == root) {
+      PEACHY_REQUIRE(all.size() == chunk * static_cast<std::size_t>(size()),
+                     "scatter needs " << chunk * static_cast<std::size_t>(size())
+                                      << " elements, got " << all.size());
+      for (int r = 0; r < size(); ++r) {
+        if (r == rank_) {
+          std::copy_n(all.begin() + static_cast<std::ptrdiff_t>(chunk) * r,
+                      chunk, mine.begin());
+        } else {
+          send(r, kScatterTag, all.data() + chunk * static_cast<std::size_t>(r),
+               chunk);
+        }
+      }
+    } else {
+      if (chunk) recv(root, kScatterTag, mine.data(), chunk);
+    }
+    return mine;
+  }
+
+  /// Communication counters accumulated by this rank so far.
+  const CommStats& stats() const { return stats_; }
+
+ private:
+  friend class World;
+  Comm(World& world, int rank) : world_(&world), rank_(rank) {}
+
+  void send_bytes(int dest, int tag, const void* data, std::size_t bytes);
+  void recv_bytes(int src, int tag, void* data, std::size_t bytes);
+
+  World* world_;
+  int rank_;
+  CommStats stats_;
+};
+
+/// SPMD launcher: runs `body(comm)` on `ranks` threads and joins them.
+/// Any exception thrown by a rank is rethrown (first one wins) after all
+/// ranks finish or abort. Aggregate stats of all ranks are returned.
+CommStats run(int ranks, const std::function<void(Comm&)>& body);
+
+/// The shared state behind a group of ranks. Exposed for tests that need
+/// to drive ranks manually; most code should use mpp::run.
+class World {
+ public:
+  explicit World(int ranks);
+
+  int size() const { return ranks_; }
+
+  /// Creates the endpoint for `rank` (each rank exactly once).
+  Comm comm(int rank) {
+    PEACHY_REQUIRE(rank >= 0 && rank < ranks_, "bad rank " << rank);
+    return Comm(*this, rank);
+  }
+
+ private:
+  friend class Comm;
+
+  struct Message {
+    int src;
+    std::vector<std::byte> payload;
+  };
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    // FIFO per (src, tag) channel, preserving MPI's non-overtaking rule.
+    std::map<std::pair<int, int>, std::deque<Message>> channels;
+  };
+
+  int ranks_;
+  std::vector<Mailbox> mailboxes_;
+
+  // Centralized barrier (sense-reversing via generation counter).
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_waiting_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+
+  // Reduction scratch: guarded by barrier_mutex_. reduce_acc_ accumulates
+  // the in-progress generation; reduce_result_ is published only when a
+  // generation completes (late waiters of generation g may read it while
+  // generation g+1 is already accumulating into reduce_acc_ — but g+1
+  // cannot *complete* before every g-waiter returned, so the published
+  // value stays valid).
+  std::int64_t reduce_acc_ = 0;
+  std::int64_t reduce_result_ = 0;
+  int reduce_count_ = 0;
+};
+
+}  // namespace peachy::mpp

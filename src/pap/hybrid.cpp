@@ -1,0 +1,172 @@
+#include "pap/hybrid.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/timer.hpp"
+
+namespace peachy::pap {
+
+std::string to_string(HybridPolicy p) {
+  switch (p) {
+    case HybridPolicy::kCpuOnly: return "cpu-only";
+    case HybridPolicy::kDeviceOnly: return "device-only";
+    case HybridPolicy::kStaticFraction: return "static-fraction";
+    case HybridPolicy::kDynamicEft: return "dynamic-eft";
+  }
+  return "?";
+}
+
+HybridRunner::HybridRunner(TileGrid tiles, HybridOptions options)
+    : tiles_(tiles), options_(options) {
+  PEACHY_REQUIRE(options_.cpu.workers >= 1, "need >= 1 CPU lane");
+  PEACHY_REQUIRE(options_.cpu.cells_per_us > 0 && options_.device.cells_per_us > 0,
+                 "throughputs must be positive");
+  PEACHY_REQUIRE(options_.device_fraction >= 0 && options_.device_fraction <= 1,
+                 "device_fraction must be in [0,1], got "
+                     << options_.device_fraction);
+  if (options_.trace != nullptr)
+    PEACHY_REQUIRE(options_.trace->workers() >= options_.cpu.workers + 1,
+                   "trace needs cpu.workers+1 lanes");
+  last_owner_.assign(static_cast<std::size_t>(tiles_.count()), -1);
+}
+
+HybridResult HybridRunner::run(const TileKernel& kernel) {
+  PEACHY_CHECK(kernel != nullptr);
+  HybridResult result;
+  const int n = tiles_.count();
+  const int cpu_lanes = options_.cpu.workers;
+  const int dev_lane = device_lane();
+
+  std::vector<std::uint8_t> active(static_cast<std::size_t>(n), 1);
+
+  for (int iter = 0;; ++iter) {
+    if (options_.max_iterations > 0 && iter >= options_.max_iterations) break;
+
+    // Collect this iteration's worklist.
+    std::vector<int> work;
+    for (int i = 0; i < n; ++i)
+      if (!options_.lazy || active[static_cast<std::size_t>(i)])
+        work.push_back(i);
+    if (work.empty()) {
+      result.stable = true;
+      break;
+    }
+
+    // Decide tile ownership using the modeled costs.
+    // Lane clocks: [0, cpu_lanes) are CPU lanes, cpu_lanes is the device.
+    std::vector<double> lane_clock(static_cast<std::size_t>(cpu_lanes) + 1, 0.0);
+    bool device_used = false;
+    std::fill(last_owner_.begin(), last_owner_.end(), -1);
+
+    auto cost_on = [&](const Tile& t, int lane) {
+      const double cells = static_cast<double>(t.h) * t.w;
+      return lane == dev_lane ? cells / options_.device.cells_per_us
+                              : cells / options_.cpu.cells_per_us;
+    };
+    auto bill = [&](const Tile& t, int lane) {
+      if (lane == dev_lane && !device_used) {
+        device_used = true;
+        lane_clock[static_cast<std::size_t>(lane)] +=
+            options_.device.batch_latency_us;
+      }
+      lane_clock[static_cast<std::size_t>(lane)] += cost_on(t, lane);
+      last_owner_[static_cast<std::size_t>(t.index)] = lane;
+    };
+
+    // Largest tiles first makes greedy EFT effective (LPT rule).
+    std::sort(work.begin(), work.end(), [&](int a, int b) {
+      const Tile ta = tiles_.tile(a), tb = tiles_.tile(b);
+      return ta.h * ta.w > tb.h * tb.w;
+    });
+
+    std::size_t next_cpu_rr = 0;  // round-robin lane for non-EFT policies
+    for (std::size_t k = 0; k < work.size(); ++k) {
+      const Tile t = tiles_.tile(work[k]);
+      int lane = 0;
+      switch (options_.policy) {
+        case HybridPolicy::kCpuOnly:
+          lane = static_cast<int>(next_cpu_rr++ % cpu_lanes);
+          break;
+        case HybridPolicy::kDeviceOnly:
+          lane = dev_lane;
+          break;
+        case HybridPolicy::kStaticFraction:
+          lane = (static_cast<double>(k) <
+                  options_.device_fraction * static_cast<double>(work.size()))
+                     ? dev_lane
+                     : static_cast<int>(next_cpu_rr++ % cpu_lanes);
+          break;
+        case HybridPolicy::kDynamicEft: {
+          // Pick the lane with the earliest modeled finish time, charging
+          // the device its batch latency if it has not fired yet.
+          lane = 0;
+          double best = lane_clock[0] + cost_on(t, 0);
+          for (int l = 1; l <= cpu_lanes; ++l) {
+            double finish = lane_clock[static_cast<std::size_t>(l)] +
+                            cost_on(t, l);
+            if (l == dev_lane && !device_used)
+              finish += options_.device.batch_latency_us;
+            if (finish < best) {
+              best = finish;
+              lane = l;
+            }
+          }
+          break;
+        }
+      }
+      bill(t, lane);
+    }
+
+    // Execute every tile for real (results must be exact), attributing each
+    // to its modeled owner in the trace.
+    std::vector<int> changed_tiles;
+    for (int idx : work) {
+      const Tile t = tiles_.tile(idx);
+      const std::int64_t t0 = options_.trace ? now_ns() : 0;
+      const bool changed = kernel(t, iter);
+      const int lane = last_owner_[static_cast<std::size_t>(idx)];
+      if (options_.trace)
+        options_.trace->record(
+            TaskRecord{iter, lane, t.y0, t.x0, t.h, t.w, t0, now_ns()});
+      if (lane == dev_lane)
+        ++result.device_tasks;
+      else
+        ++result.cpu_tasks;
+      if (changed) changed_tiles.push_back(idx);
+    }
+
+    // Account the iteration's modeled cost.
+    double makespan = 0;
+    for (std::size_t l = 0; l < lane_clock.size(); ++l) {
+      makespan = std::max(makespan, lane_clock[l]);
+      if (static_cast<int>(l) == dev_lane)
+        result.device_busy_us += lane_clock[l];
+      else
+        result.cpu_busy_us += lane_clock[l];
+    }
+    result.modeled_time_us += makespan;
+    ++result.iterations;
+
+    // Next activation set.
+    if (options_.lazy) {
+      std::fill(active.begin(), active.end(), 0);
+      for (int idx : changed_tiles) {
+        active[static_cast<std::size_t>(idx)] = 1;
+        for (int nb : tiles_.neighbors(idx))
+          active[static_cast<std::size_t>(nb)] = 1;
+      }
+      if (changed_tiles.empty()) {
+        result.stable = true;
+        break;
+      }
+    } else if (changed_tiles.empty()) {
+      result.stable = true;
+      break;
+    }
+  }
+
+  return result;
+}
+
+}  // namespace peachy::pap

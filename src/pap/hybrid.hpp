@@ -1,0 +1,82 @@
+// Hybrid CPU + accelerator execution (paper §II.B, Fig. 4).
+//
+// The last sandpile assignment combines OpenMP with OpenCL and asks for
+// dynamic load balancing between CPU cores and a GPU. This container has no
+// GPU, so the accelerator is *simulated* (DESIGN.md substitution table): the
+// kernel is still executed for real on every tile — results stay exact —
+// but tiles assigned to the device lane are billed at the device's modeled
+// throughput. What the experiment measures (how the tile distribution and
+// the modeled makespan react to the balancing policy) exercises exactly the
+// scheduling logic students must write.
+#pragma once
+
+#include <vector>
+
+#include "pap/runner.hpp"
+
+namespace peachy::pap {
+
+/// Modeled CPU lane pool.
+struct CpuModel {
+  int workers = 4;            ///< number of CPU lanes
+  double cells_per_us = 150;  ///< per-lane throughput (cells / microsecond)
+};
+
+/// Modeled throughput-oriented device (GPU stand-in).
+struct DeviceModel {
+  double cells_per_us = 3000;  ///< device throughput (cells / microsecond)
+  double batch_latency_us = 80;///< per-iteration launch + transfer overhead
+};
+
+/// Load-balancing policies the assignment compares.
+enum class HybridPolicy {
+  kCpuOnly,         ///< baseline: all tiles on CPU lanes
+  kDeviceOnly,      ///< baseline: all tiles on the device
+  kStaticFraction,  ///< fixed fraction of tiles to the device
+  kDynamicEft,      ///< greedy earliest-finish-time (the "smart" balancer)
+};
+
+std::string to_string(HybridPolicy p);
+
+struct HybridOptions {
+  CpuModel cpu;
+  DeviceModel device;
+  HybridPolicy policy = HybridPolicy::kDynamicEft;
+  double device_fraction = 0.5;  ///< used by kStaticFraction
+  bool lazy = true;              ///< lazy tile activation, as in Fig. 4
+  int max_iterations = 0;        ///< 0 = until stable
+  TraceRecorder* trace = nullptr;///< lanes = cpu.workers + 1 (device last)
+};
+
+struct HybridResult {
+  int iterations = 0;
+  bool stable = false;
+  std::size_t cpu_tasks = 0;
+  std::size_t device_tasks = 0;
+  double modeled_time_us = 0;   ///< sum over iterations of modeled makespan
+  double cpu_busy_us = 0;       ///< total modeled CPU lane busy time
+  double device_busy_us = 0;    ///< total modeled device busy time
+};
+
+/// Drives a TileKernel with a modeled CPU pool + device, producing the
+/// Fig. 4 tile-ownership picture and modeled performance numbers.
+class HybridRunner {
+ public:
+  HybridRunner(TileGrid tiles, HybridOptions options);
+
+  /// Lane index used for the device in traces/owner maps.
+  int device_lane() const { return options_.cpu.workers; }
+
+  HybridResult run(const TileKernel& kernel);
+
+  /// Owner lane of each tile during the final executed iteration
+  /// (-1 = tile was stable/skipped). Valid after run().
+  const std::vector<int>& last_owner() const { return last_owner_; }
+
+ private:
+  TileGrid tiles_;
+  HybridOptions options_;
+  std::vector<int> last_owner_;
+};
+
+}  // namespace peachy::pap

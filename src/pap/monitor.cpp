@@ -1,0 +1,97 @@
+#include "pap/monitor.hpp"
+
+#include "core/csv.hpp"
+#include "core/error.hpp"
+#include "core/timer.hpp"
+
+namespace peachy::pap {
+
+IterationHook Monitor::hook(IterationHook chained) {
+  armed_ = false;
+  return [this, chained = std::move(chained)](int iter, bool changed) {
+    const std::int64_t now = now_ns();
+    if (!armed_) {
+      // First callback: no start reference for iteration 0's predecessor,
+      // so anchor on the runner's own start by treating the gap as the
+      // iteration time (the hook fires at the END of each iteration).
+      armed_ = true;
+      if (iter == 0) {
+        // Iteration 0's start time is unknown; estimate from this sample
+        // onwards — record a zero-based anchor instead of guessing.
+        samples_.push_back({iter, 0, changed});
+        last_ns_ = now;
+        if (chained) chained(iter, changed);
+        return;
+      }
+    }
+    samples_.push_back({iter, now - last_ns_, changed});
+    last_ns_ = now;
+    if (chained) chained(iter, changed);
+  };
+}
+
+void Monitor::clear() {
+  samples_.clear();
+  last_ns_ = 0;
+  armed_ = false;
+}
+
+std::int64_t Monitor::total_ns() const {
+  std::int64_t total = 0;
+  for (const IterationSample& s : samples_) total += s.wall_ns;
+  return total;
+}
+
+void Monitor::write_csv(const std::string& path) const {
+  CsvWriter csv(path);
+  csv.row({"iteration", "wall_ns", "changed"});
+  for (const IterationSample& s : samples_)
+    csv.row({std::to_string(s.iteration), std::to_string(s.wall_ns),
+             s.changed ? "1" : "0"});
+}
+
+Experiment::Experiment(std::vector<std::string> factors,
+                       std::vector<std::string> metrics)
+    : factors_(std::move(factors)), metrics_(std::move(metrics)) {
+  PEACHY_REQUIRE(!factors_.empty() && !metrics_.empty(),
+                 "experiment needs factor and metric columns");
+}
+
+void Experiment::record(std::vector<std::string> factor_values,
+                        std::vector<double> metric_values) {
+  PEACHY_REQUIRE(factor_values.size() == factors_.size(),
+                 "expected " << factors_.size() << " factor values, got "
+                             << factor_values.size());
+  PEACHY_REQUIRE(metric_values.size() == metrics_.size(),
+                 "expected " << metrics_.size() << " metric values, got "
+                             << metric_values.size());
+  rows_.push_back(Row{std::move(factor_values), std::move(metric_values)});
+}
+
+TextTable Experiment::table(int precision) const {
+  std::vector<std::string> header = factors_;
+  header.insert(header.end(), metrics_.begin(), metrics_.end());
+  TextTable t(std::move(header));
+  for (const Row& row : rows_) {
+    std::vector<std::string> cells = row.factor_values;
+    for (double v : row.metric_values)
+      cells.push_back(TextTable::num(v, precision));
+    t.row(std::move(cells));
+  }
+  return t;
+}
+
+void Experiment::write_csv(const std::string& path) const {
+  CsvWriter csv(path);
+  std::vector<std::string> header = factors_;
+  header.insert(header.end(), metrics_.begin(), metrics_.end());
+  csv.row(header);
+  for (const Row& row : rows_) {
+    std::vector<std::string> cells = row.factor_values;
+    for (double v : row.metric_values)
+      cells.push_back(TextTable::num(v, 6));
+    csv.row(cells);
+  }
+}
+
+}  // namespace peachy::pap

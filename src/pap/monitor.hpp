@@ -1,0 +1,82 @@
+// EASYPAP-style monitoring and performance-plot output.
+//
+// EASYPAP ships "performance graph plot tools [and] real-time monitoring
+// facilities"; headless, the equivalents are:
+//  * Monitor — an IterationHook adapter that samples per-iteration wall
+//    time (the curve EASYPAP plots live while the simulation runs);
+//  * Experiment — a factor/metric recorder for parameter sweeps (variant x
+//    threads x tile size x ...) that renders an aligned table and writes
+//    the CSV students feed to their plotting scripts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/table.hpp"
+#include "pap/runner.hpp"
+
+namespace peachy::pap {
+
+/// One iteration's performance sample.
+struct IterationSample {
+  int iteration = 0;
+  std::int64_t wall_ns = 0;  ///< time spent in this iteration
+  bool changed = false;
+};
+
+/// Samples per-iteration wall time through the Runner's iteration hook.
+class Monitor {
+ public:
+  /// Returns the hook to install as RunOptions::on_iteration; `chained`
+  /// (if any) runs after sampling — chain the SyncEngine swap *first* so
+  /// buffer swaps are attributed to the iteration they close:
+  /// `engine.swap_hook(monitor.hook())`.
+  IterationHook hook(IterationHook chained = nullptr);
+
+  const std::vector<IterationSample>& samples() const { return samples_; }
+  void clear();
+
+  /// Total wall time over all sampled iterations.
+  std::int64_t total_ns() const;
+
+  /// Writes "iteration,wall_ns,changed" rows.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<IterationSample> samples_;
+  std::int64_t last_ns_ = 0;
+  bool armed_ = false;
+};
+
+/// Records (factor..., metric...) rows of a parameter sweep.
+class Experiment {
+ public:
+  /// `factors` and `metrics` name the columns, in order.
+  Experiment(std::vector<std::string> factors,
+             std::vector<std::string> metrics);
+
+  /// Appends one run's row; sizes must match the declared columns.
+  void record(std::vector<std::string> factor_values,
+              std::vector<double> metric_values);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders an aligned table of all rows (metrics with `precision`
+  /// fractional digits).
+  TextTable table(int precision = 2) const;
+
+  /// Writes the sweep as CSV (header + one row per run).
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> factors_;
+  std::vector<std::string> metrics_;
+  struct Row {
+    std::vector<std::string> factor_values;
+    std::vector<double> metric_values;
+  };
+  std::vector<Row> rows_;
+};
+
+}  // namespace peachy::pap

@@ -1,0 +1,174 @@
+#include "pap/runner.hpp"
+
+#include <omp.h>
+
+#include <vector>
+
+#include "core/timer.hpp"
+
+namespace peachy::pap {
+
+std::string to_string(Schedule s) {
+  switch (s) {
+    case Schedule::kStatic: return "static";
+    case Schedule::kStaticChunk1: return "static,1";
+    case Schedule::kDynamic: return "dynamic";
+    case Schedule::kGuided: return "guided";
+  }
+  return "?";
+}
+
+namespace {
+
+void apply_schedule(Schedule s) {
+  switch (s) {
+    case Schedule::kStatic: omp_set_schedule(omp_sched_static, 0); break;
+    case Schedule::kStaticChunk1: omp_set_schedule(omp_sched_static, 1); break;
+    case Schedule::kDynamic: omp_set_schedule(omp_sched_dynamic, 1); break;
+    case Schedule::kGuided: omp_set_schedule(omp_sched_guided, 1); break;
+  }
+}
+
+}  // namespace
+
+Runner::Runner(TileGrid tiles, RunOptions options)
+    : tiles_(tiles), options_(options) {
+  if (options_.checkerboard) {
+    // Two-wave execution keeps in-place kernels race-free only when no two
+    // same-wave tiles can write into the same cell, which requires tiles at
+    // least 2 cells wide/tall (see DESIGN.md).
+    PEACHY_REQUIRE(tiles_.tile_h() >= 2 && tiles_.tile_w() >= 2,
+                   "checkerboard waves need tiles >= 2x2, got "
+                       << tiles_.tile_h() << "x" << tiles_.tile_w());
+  }
+  if (options_.trace != nullptr) {
+    const int lanes_needed =
+        options_.threads > 0 ? options_.threads : omp_get_max_threads();
+    PEACHY_REQUIRE(options_.trace->workers() >= lanes_needed,
+                   "trace has " << options_.trace->workers()
+                                << " lanes, run may use " << lanes_needed);
+  }
+}
+
+// Executes all tiles of one wave (or all tiles when parity < 0) and returns
+// whether any tile changed.
+int Runner::execute_eager(const TileKernel& kernel, int iter,
+                          std::size_t* tasks, int parity_phases) {
+  const int n = tiles_.count();
+  int changed_any = 0;
+  std::size_t executed = 0;
+  apply_schedule(options_.schedule);
+  TraceRecorder* trace = options_.trace;
+
+  for (int phase = 0; phase < parity_phases; ++phase) {
+    const bool filter = parity_phases == 2;
+#pragma omp parallel for schedule(runtime) reduction(| : changed_any) \
+    reduction(+ : executed) num_threads(options_.threads > 0 ? options_.threads \
+                                                             : omp_get_max_threads())
+    for (int i = 0; i < n; ++i) {
+      const Tile t = tiles_.tile(i);
+      if (filter && ((t.ty + t.tx) & 1) != phase) continue;
+      const std::int64_t t0 = trace ? now_ns() : 0;
+      const bool changed = kernel(t, iter);
+      if (trace) {
+        trace->record(TaskRecord{iter, omp_get_thread_num(), t.y0, t.x0, t.h,
+                                 t.w, t0, now_ns()});
+      }
+      changed_any |= changed ? 1 : 0;
+      ++executed;
+    }
+  }
+  *tasks += executed;
+  return changed_any;
+}
+
+// Lazy execution: only tiles in `active` run; tiles that change wake
+// themselves and their 4 neighbours for the next iteration. Returns whether
+// any tile changed and replaces `active` with the next activation set.
+int Runner::execute_lazy(const TileKernel& kernel, int iter,
+                         std::vector<std::uint8_t>& active, std::size_t* tasks,
+                         int parity_phases) {
+  const int n = tiles_.count();
+  apply_schedule(options_.schedule);
+  TraceRecorder* trace = options_.trace;
+  const int num_threads =
+      options_.threads > 0 ? options_.threads : omp_get_max_threads();
+
+  // Worklist of active tiles, split by wave parity when checkerboarding.
+  std::vector<int> work;
+  work.reserve(static_cast<std::size_t>(n));
+  std::vector<std::vector<int>> changed_tiles(
+      static_cast<std::size_t>(num_threads));
+
+  for (int phase = 0; phase < parity_phases; ++phase) {
+    work.clear();
+    for (int i = 0; i < n; ++i) {
+      if (!active[static_cast<std::size_t>(i)]) continue;
+      if (parity_phases == 2) {
+        const Tile t = tiles_.tile(i);
+        if (((t.ty + t.tx) & 1) != phase) continue;
+      }
+      work.push_back(i);
+    }
+    const int m = static_cast<int>(work.size());
+#pragma omp parallel for schedule(runtime) num_threads(num_threads)
+    for (int k = 0; k < m; ++k) {
+      const Tile t = tiles_.tile(work[static_cast<std::size_t>(k)]);
+      const std::int64_t t0 = trace ? now_ns() : 0;
+      const bool changed = kernel(t, iter);
+      if (trace) {
+        trace->record(TaskRecord{iter, omp_get_thread_num(), t.y0, t.x0, t.h,
+                                 t.w, t0, now_ns()});
+      }
+      if (changed)
+        changed_tiles[static_cast<std::size_t>(omp_get_thread_num())]
+            .push_back(t.index);
+    }
+    *tasks += static_cast<std::size_t>(m);
+  }
+
+  // Build the next activation set serially (cheap: O(changed tiles)).
+  std::vector<std::uint8_t> next(static_cast<std::size_t>(n), 0);
+  int changed_any = 0;
+  for (auto& lane : changed_tiles) {
+    for (int idx : lane) {
+      changed_any = 1;
+      next[static_cast<std::size_t>(idx)] = 1;
+      for (int nb : tiles_.neighbors(idx))
+        next[static_cast<std::size_t>(nb)] = 1;
+    }
+    lane.clear();
+  }
+  active.swap(next);
+  return changed_any;
+}
+
+RunResult Runner::run(const TileKernel& kernel) {
+  PEACHY_CHECK(kernel != nullptr);
+  RunResult result;
+  WallTimer timer;
+
+  const int parity_phases = options_.checkerboard ? 2 : 1;
+  std::vector<std::uint8_t> active;
+  if (options_.lazy)
+    active.assign(static_cast<std::size_t>(tiles_.count()), 1);
+
+  for (int iter = 0;; ++iter) {
+    if (options_.max_iterations > 0 && iter >= options_.max_iterations) break;
+    const int changed =
+        options_.lazy
+            ? execute_lazy(kernel, iter, active, &result.tasks, parity_phases)
+            : execute_eager(kernel, iter, &result.tasks, parity_phases);
+    ++result.iterations;
+    if (options_.on_iteration) options_.on_iteration(iter, changed != 0);
+    if (!changed) {
+      result.stable = true;
+      break;
+    }
+  }
+
+  result.elapsed_ns = timer.elapsed_ns();
+  return result;
+}
+
+}  // namespace peachy::pap

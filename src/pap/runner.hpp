@@ -1,0 +1,76 @@
+// The pap run loop: EASYPAP's execution engine, headless.
+//
+// A kernel variant is a callable computing one tile of one iteration and
+// reporting whether any cell changed. The Runner drives it to a fixed point
+// (or a fixed iteration count) under a chosen OpenMP scheduling policy, with
+// optional lazy tile activation (only tiles whose neighbourhood changed last
+// iteration are recomputed — the paper's second assignment), optional
+// checkerboard waves (race-free in-place/async kernels — "multi-wave task
+// scheduling", §II.C), and optional per-task tracing (Fig. 3).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "pap/tile_grid.hpp"
+#include "trace/trace.hpp"
+
+namespace peachy::pap {
+
+/// OpenMP loop scheduling policies students are asked to compare (§II.B).
+enum class Schedule { kStatic, kStaticChunk1, kDynamic, kGuided };
+
+/// Human-readable policy name ("static", "static,1", "dynamic", "guided").
+std::string to_string(Schedule s);
+
+/// Tile-level kernel: computes tile `t` of iteration `iter`; returns true
+/// if any cell of the tile (or one of its neighbours, for in-place kernels)
+/// changed.
+using TileKernel = std::function<bool(const Tile& t, int iter)>;
+
+/// Per-iteration hook (e.g. to swap double buffers in synchronous variants
+/// or dump animation frames). Called after each completed iteration.
+using IterationHook = std::function<void(int iter, bool changed)>;
+
+/// Knobs for one run.
+struct RunOptions {
+  int threads = 0;          ///< 0 = use OMP default
+  Schedule schedule = Schedule::kDynamic;
+  bool lazy = false;        ///< lazy tile activation (assignment 2)
+  bool checkerboard = false;///< two-wave execution for async kernels
+  int max_iterations = 0;   ///< 0 = run until stable
+  TraceRecorder* trace = nullptr;  ///< optional task tracing
+  IterationHook on_iteration;      ///< optional per-iteration callback
+};
+
+/// Outcome of a run.
+struct RunResult {
+  int iterations = 0;        ///< iterations actually executed
+  bool stable = false;       ///< reached a fixed point
+  std::size_t tasks = 0;     ///< tile tasks executed (lazy runs fewer)
+  std::int64_t elapsed_ns = 0;
+};
+
+/// Drives a TileKernel over a TileGrid to completion.
+class Runner {
+ public:
+  Runner(TileGrid tiles, RunOptions options);
+
+  const TileGrid& tiles() const { return tiles_; }
+  const RunOptions& options() const { return options_; }
+
+  /// Runs the kernel until stable or until options.max_iterations.
+  RunResult run(const TileKernel& kernel);
+
+ private:
+  int execute_eager(const TileKernel& kernel, int iter, std::size_t* tasks,
+                    int parity_phases);
+  int execute_lazy(const TileKernel& kernel, int iter,
+                   std::vector<std::uint8_t>& active, std::size_t* tasks,
+                   int parity_phases);
+
+  TileGrid tiles_;
+  RunOptions options_;
+};
+
+}  // namespace peachy::pap

@@ -1,0 +1,60 @@
+#include "pap/tile_grid.hpp"
+
+#include <algorithm>
+
+namespace peachy::pap {
+
+TileGrid::TileGrid(int height, int width, int tile_h, int tile_w)
+    : height_(height), width_(width), tile_h_(tile_h), tile_w_(tile_w) {
+  PEACHY_REQUIRE(height >= 1 && width >= 1,
+                 "grid must be non-empty: " << height << "x" << width);
+  PEACHY_REQUIRE(tile_h >= 1 && tile_w >= 1,
+                 "tiles must be non-empty: " << tile_h << "x" << tile_w);
+  tiles_y_ = (height + tile_h - 1) / tile_h;
+  tiles_x_ = (width + tile_w - 1) / tile_w;
+}
+
+Tile TileGrid::tile(int index) const {
+  PEACHY_REQUIRE(index >= 0 && index < count(),
+                 "tile index " << index << " out of [0," << count() << ")");
+  return tile_at(index / tiles_x_, index % tiles_x_);
+}
+
+Tile TileGrid::tile_at(int ty, int tx) const {
+  PEACHY_REQUIRE(ty >= 0 && ty < tiles_y_ && tx >= 0 && tx < tiles_x_,
+                 "tile (" << ty << "," << tx << ") out of " << tiles_y_ << "x"
+                          << tiles_x_);
+  Tile t;
+  t.ty = ty;
+  t.tx = tx;
+  t.index = ty * tiles_x_ + tx;
+  t.y0 = ty * tile_h_;
+  t.x0 = tx * tile_w_;
+  t.h = std::min(tile_h_, height_ - t.y0);
+  t.w = std::min(tile_w_, width_ - t.x0);
+  return t;
+}
+
+int TileGrid::tile_of_cell(int y, int x) const {
+  PEACHY_REQUIRE(y >= 0 && y < height_ && x >= 0 && x < width_,
+                 "cell (" << y << "," << x << ") out of grid");
+  return (y / tile_h_) * tiles_x_ + (x / tile_w_);
+}
+
+std::vector<int> TileGrid::neighbors(int index) const {
+  const Tile t = tile(index);
+  std::vector<int> out;
+  out.reserve(4);
+  if (t.ty > 0) out.push_back(index - tiles_x_);
+  if (t.ty < tiles_y_ - 1) out.push_back(index + tiles_x_);
+  if (t.tx > 0) out.push_back(index - 1);
+  if (t.tx < tiles_x_ - 1) out.push_back(index + 1);
+  return out;
+}
+
+bool TileGrid::is_outer(int index) const {
+  const Tile t = tile(index);
+  return t.ty == 0 || t.tx == 0 || t.ty == tiles_y_ - 1 || t.tx == tiles_x_ - 1;
+}
+
+}  // namespace peachy::pap

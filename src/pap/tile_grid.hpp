@@ -1,0 +1,53 @@
+// Tile geometry for 2-D stencil grids (the EASYPAP tiling window).
+#pragma once
+
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace peachy::pap {
+
+/// One rectangular tile of a 2-D grid, identified by its (ty, tx) tile
+/// coordinates and linear index.
+struct Tile {
+  int index = 0;       ///< linear index, row-major over tiles
+  int ty = 0, tx = 0;  ///< tile coordinates
+  int y0 = 0, x0 = 0;  ///< origin in grid cells
+  int h = 0, w = 0;    ///< extent in grid cells (edge tiles may be smaller)
+};
+
+/// Decomposes a grid of height x width cells into tiles of at most
+/// tile_h x tile_w cells; edge tiles are clipped (non-divisible geometry is
+/// supported, as students discover the hard way).
+class TileGrid {
+ public:
+  TileGrid(int height, int width, int tile_h, int tile_w);
+
+  int height() const { return height_; }
+  int width() const { return width_; }
+  int tile_h() const { return tile_h_; }
+  int tile_w() const { return tile_w_; }
+  int tiles_y() const { return tiles_y_; }
+  int tiles_x() const { return tiles_x_; }
+  int count() const { return tiles_y_ * tiles_x_; }
+
+  /// Tile by linear index (0 <= index < count()).
+  Tile tile(int index) const;
+  /// Tile by tile coordinates.
+  Tile tile_at(int ty, int tx) const;
+  /// Linear index of the tile containing grid cell (y, x).
+  int tile_of_cell(int y, int x) const;
+
+  /// Linear indices of the up/down/left/right tile neighbours of `index`
+  /// (2 to 4 entries; used by lazy evaluation to wake neighbours).
+  std::vector<int> neighbors(int index) const;
+
+  /// True if the tile touches the grid border (EASYPAP's "outer tiles",
+  /// which carry the sink boundary and defeat vectorization).
+  bool is_outer(int index) const;
+
+ private:
+  int height_, width_, tile_h_, tile_w_, tiles_y_, tiles_x_;
+};
+
+}  // namespace peachy::pap

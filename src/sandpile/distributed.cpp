@@ -1,0 +1,136 @@
+#include "sandpile/distributed.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace peachy::sandpile {
+
+namespace {
+
+// Per-rank buffer: (owned + 2k) x (W+2) padded rows; local row r holds
+// global interior row (lo - k + r). Rows mapping outside [0, H) are global
+// sink rows and stay zero forever.
+struct LocalBlock {
+  int lo = 0, hi = 0;  // owned global interior rows [lo, hi)
+  int k = 1;           // halo depth
+  int width = 0;       // interior width W
+  Grid2D<Cell> cur, next;
+
+  int owned() const { return hi - lo; }
+  int local_rows() const { return owned() + 2 * k; }
+  int global_row(int r) const { return lo - k + r; }
+  bool is_interior_global(int g, int height) const {
+    return g >= 0 && g < height;
+  }
+};
+
+}  // namespace
+
+DistributedResult stabilize_distributed(const Field& initial,
+                                        const DistributedOptions& options) {
+  const int H = initial.height(), W = initial.width();
+  const int R = options.ranks, k = options.halo_depth;
+  PEACHY_REQUIRE(R >= 1, "need >= 1 rank, got " << R);
+  PEACHY_REQUIRE(k >= 1, "halo depth must be >= 1, got " << k);
+  PEACHY_REQUIRE(H >= R, "need height >= ranks (" << H << " < " << R << ")");
+
+  DistributedResult result{Field(H, W), false, 0, 0, {}};
+  // Written by rank 0 only, read after mpp::run joins all ranks.
+  Field* gathered = &result.field;
+  int rounds_done = 0;
+  bool stable = false;
+
+  result.comm = mpp::run(R, [&](mpp::Comm& comm) {
+    const int rank = comm.rank();
+    LocalBlock blk;
+    blk.lo = rank * H / R;
+    blk.hi = (rank + 1) * H / R;
+    blk.k = k;
+    blk.width = W;
+    blk.cur = Grid2D<Cell>(blk.local_rows(), W + 2, 0);
+    blk.next = Grid2D<Cell>(blk.local_rows(), W + 2, 0);
+
+    // Load owned + initially known halo rows from the initial field.
+    for (int r = 0; r < blk.local_rows(); ++r) {
+      const int g = blk.global_row(r);
+      if (!blk.is_interior_global(g, H)) continue;
+      for (int x = 0; x < W; ++x) blk.cur(r, x + 1) = initial.at(g, x);
+    }
+    blk.next = blk.cur;
+
+    constexpr int kTagDown = 1;  // data travelling to the rank below
+    constexpr int kTagUp = 2;    // data travelling to the rank above
+    const std::size_t row_cells = static_cast<std::size_t>(W) + 2;
+
+    bool globally_stable = false;
+    int round = 0;
+    for (;;) {
+      if (options.max_rounds > 0 && round >= options.max_rounds) break;
+
+      // --- Halo exchange (mpp sends never block, so send-then-recv is
+      // deadlock-free in any order).
+      if (rank > 0)
+        comm.send(rank - 1, kTagUp, blk.cur.row(k), row_cells * k);
+      if (rank < R - 1)
+        comm.send(rank + 1, kTagDown, blk.cur.row(blk.owned()), row_cells * k);
+      if (rank > 0)
+        comm.recv(rank - 1, kTagDown, blk.cur.row(0), row_cells * k);
+      if (rank < R - 1)
+        comm.recv(rank + 1, kTagUp, blk.cur.row(blk.owned() + k),
+                  row_cells * k);
+
+      // --- k synchronous sub-iterations on a shrinking valid band.
+      bool changed_owned = false;
+      for (int j = 0; j < k; ++j) {
+        const int r_lo = j + 1;
+        const int r_hi = blk.local_rows() - j - 1;
+        for (int r = r_lo; r < r_hi; ++r) {
+          const int g = blk.global_row(r);
+          if (!blk.is_interior_global(g, H)) continue;
+          const Cell* up = blk.cur.row(r - 1);
+          const Cell* mid = blk.cur.row(r);
+          const Cell* down = blk.cur.row(r + 1);
+          Cell* out = blk.next.row(r);
+          const bool owned_row = r >= k && r < k + blk.owned();
+          for (int x = 1; x <= W; ++x) {
+            const Cell v = mid[x] % kTopple + mid[x - 1] / kTopple +
+                           mid[x + 1] / kTopple + up[x] / kTopple +
+                           down[x] / kTopple;
+            out[x] = v;
+            if (owned_row && v != mid[x]) changed_owned = true;
+          }
+        }
+        std::swap(blk.cur, blk.next);
+      }
+
+      ++round;
+      if (!comm.allreduce_or(changed_owned)) {
+        globally_stable = true;
+        break;
+      }
+    }
+
+    // --- Gather owned rows (interior cells only) at rank 0.
+    std::vector<Cell> mine;
+    mine.reserve(static_cast<std::size_t>(blk.owned()) * W);
+    for (int r = k; r < k + blk.owned(); ++r)
+      for (int x = 1; x <= W; ++x) mine.push_back(blk.cur(r, x));
+    std::vector<Cell> all = comm.gather(0, mine);
+    if (rank == 0) {
+      PEACHY_CHECK(all.size() == static_cast<std::size_t>(H) * W);
+      for (int y = 0; y < H; ++y)
+        for (int x = 0; x < W; ++x)
+          gathered->at(y, x) = all[static_cast<std::size_t>(y) * W + x];
+      rounds_done = round;
+      stable = globally_stable;
+    }
+  });
+
+  result.rounds = rounds_done;
+  result.iterations = rounds_done * k;
+  result.stable = stable;
+  return result;
+}
+
+}  // namespace peachy::sandpile

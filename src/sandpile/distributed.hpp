@@ -1,0 +1,41 @@
+// Distributed sandpile via the Ghost Cell Pattern (paper §II.B, 4th
+// assignment; Kjolstad & Snir 2010), over the mpp message-passing runtime.
+//
+// The interior rows are block-partitioned across ranks (1-D decomposition).
+// Each rank keeps `halo_depth` ghost rows per side. With depth k, ranks
+// exchange halos every k synchronous iterations and recompute a shrinking
+// ghost band in between — the paper's "trade redundant computation for
+// less-frequent communication". Termination is a global all-reduce of the
+// per-rank changed flags at each exchange round.
+#pragma once
+
+#include "mpp/mpp.hpp"
+#include "sandpile/field.hpp"
+
+namespace peachy::sandpile {
+
+/// Configuration of a distributed stabilization.
+struct DistributedOptions {
+  int ranks = 4;
+  int halo_depth = 1;      ///< k: iterations per halo exchange
+  int max_rounds = 0;      ///< 0 = run until globally stable
+};
+
+/// Outcome of a distributed stabilization.
+struct DistributedResult {
+  Field field;                 ///< stabilized configuration (gathered)
+  bool stable = false;
+  int rounds = 0;              ///< halo-exchange rounds executed
+  int iterations = 0;          ///< synchronous iterations (== rounds * k)
+  mpp::CommStats comm;         ///< aggregate messages/bytes over all ranks
+};
+
+/// Stabilizes `initial` with `options.ranks` ranks using synchronous
+/// updates and depth-k ghost rows. The input field is not modified.
+///
+/// Requires ranks >= 1, halo_depth >= 1, and height >= ranks (every rank
+/// must own at least one row).
+DistributedResult stabilize_distributed(const Field& initial,
+                                        const DistributedOptions& options);
+
+}  // namespace peachy::sandpile

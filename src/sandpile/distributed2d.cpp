@@ -1,0 +1,200 @@
+#include "sandpile/distributed2d.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace peachy::sandpile {
+
+namespace {
+
+// Per-rank block geometry on the process grid.
+struct Block2d {
+  int py = 0, px = 0;          // process-grid coordinates
+  int rlo = 0, rhi = 0;        // owned global rows [rlo, rhi)
+  int clo = 0, chi = 0;        // owned global cols [clo, chi)
+  int k = 1;
+
+  int rows() const { return rhi - rlo; }
+  int cols() const { return chi - clo; }
+  int local_rows() const { return rows() + 2 * k; }
+  int local_cols() const { return cols() + 2 * k; }
+  int global_row(int r) const { return rlo - k + r; }
+  int global_col(int c) const { return clo - k + c; }
+};
+
+}  // namespace
+
+Distributed2dResult stabilize_distributed_2d(const Field& initial,
+                                             const Distributed2dOptions& opt) {
+  const int H = initial.height(), W = initial.width();
+  const int Py = opt.ranks_y, Px = opt.ranks_x, k = opt.halo_depth;
+  PEACHY_REQUIRE(Py >= 1 && Px >= 1, "process grid must be >= 1x1");
+  PEACHY_REQUIRE(k >= 1, "halo depth must be >= 1, got " << k);
+  PEACHY_REQUIRE(H >= Py && W >= Px,
+                 "grid " << H << "x" << W << " too small for " << Py << "x"
+                         << Px << " ranks");
+
+  Distributed2dResult result{Field(H, W), false, 0, 0, {}};
+  Field* gathered = &result.field;
+  int rounds_done = 0;
+  bool stable = false;
+
+  result.comm = mpp::run(Py * Px, [&](mpp::Comm& comm) {
+    Block2d blk;
+    blk.py = comm.rank() / Px;
+    blk.px = comm.rank() % Px;
+    blk.rlo = blk.py * H / Py;
+    blk.rhi = (blk.py + 1) * H / Py;
+    blk.clo = blk.px * W / Px;
+    blk.chi = (blk.px + 1) * W / Px;
+    blk.k = k;
+
+    const int LR = blk.local_rows(), LC = blk.local_cols();
+    Grid2D<Cell> cur(LR, LC, 0), next(LR, LC, 0);
+    for (int r = 0; r < LR; ++r) {
+      const int gy = blk.global_row(r);
+      if (gy < 0 || gy >= H) continue;
+      for (int c = 0; c < LC; ++c) {
+        const int gx = blk.global_col(c);
+        if (gx < 0 || gx >= W) continue;
+        cur(r, c) = initial.at(gy, gx);
+      }
+    }
+    next = cur;
+
+    const int north = blk.py > 0 ? comm.rank() - Px : -1;
+    const int south = blk.py < Py - 1 ? comm.rank() + Px : -1;
+    const int west = blk.px > 0 ? comm.rank() - 1 : -1;
+    const int east = blk.px < Px - 1 ? comm.rank() + 1 : -1;
+    constexpr int kTagSouth = 1, kTagNorth = 2, kTagEast = 3, kTagWest = 4;
+
+    // Packed strip buffers (reused each round).
+    std::vector<Cell> row_out(static_cast<std::size_t>(k) * blk.cols());
+    std::vector<Cell> row_in(row_out.size());
+    std::vector<Cell> col_out(static_cast<std::size_t>(k) * LR);
+    std::vector<Cell> col_in(col_out.size());
+
+    auto pack_rows = [&](int r0, std::vector<Cell>& buf) {
+      std::size_t i = 0;
+      for (int r = r0; r < r0 + k; ++r)
+        for (int c = k; c < k + blk.cols(); ++c) buf[i++] = cur(r, c);
+    };
+    auto unpack_rows = [&](int r0, const std::vector<Cell>& buf) {
+      std::size_t i = 0;
+      for (int r = r0; r < r0 + k; ++r)
+        for (int c = k; c < k + blk.cols(); ++c) cur(r, c) = buf[i++];
+    };
+    auto pack_cols = [&](int c0, std::vector<Cell>& buf) {
+      std::size_t i = 0;
+      for (int c = c0; c < c0 + k; ++c)
+        for (int r = 0; r < LR; ++r) buf[i++] = cur(r, c);
+    };
+    auto unpack_cols = [&](int c0, const std::vector<Cell>& buf) {
+      std::size_t i = 0;
+      for (int c = c0; c < c0 + k; ++c)
+        for (int r = 0; r < LR; ++r) cur(r, c) = buf[i++];
+    };
+
+    bool globally_stable = false;
+    int round = 0;
+    for (;;) {
+      if (opt.max_rounds > 0 && round >= opt.max_rounds) break;
+
+      // Phase 1: vertical exchange (owned-column strips).
+      if (north >= 0) {
+        pack_rows(k, row_out);
+        comm.send(north, kTagNorth, row_out.data(), row_out.size());
+      }
+      if (south >= 0) {
+        pack_rows(blk.rows(), row_out);
+        comm.send(south, kTagSouth, row_out.data(), row_out.size());
+      }
+      if (north >= 0) {
+        comm.recv(north, kTagSouth, row_in.data(), row_in.size());
+        unpack_rows(0, row_in);
+      }
+      if (south >= 0) {
+        comm.recv(south, kTagNorth, row_in.data(), row_in.size());
+        unpack_rows(blk.rows() + k, row_in);
+      }
+
+      // Phase 2: horizontal exchange over the full local height — the
+      // strips include the rows just received, which carries the corners.
+      if (west >= 0) {
+        pack_cols(k, col_out);
+        comm.send(west, kTagWest, col_out.data(), col_out.size());
+      }
+      if (east >= 0) {
+        pack_cols(blk.cols(), col_out);
+        comm.send(east, kTagEast, col_out.data(), col_out.size());
+      }
+      if (west >= 0) {
+        comm.recv(west, kTagEast, col_in.data(), col_in.size());
+        unpack_cols(0, col_in);
+      }
+      if (east >= 0) {
+        comm.recv(east, kTagWest, col_in.data(), col_in.size());
+        unpack_cols(blk.cols() + k, col_in);
+      }
+
+      // k synchronous sub-iterations on a band shrinking in both axes.
+      bool changed_owned = false;
+      for (int j = 0; j < k; ++j) {
+        for (int r = j + 1; r < LR - j - 1; ++r) {
+          const int gy = blk.global_row(r);
+          if (gy < 0 || gy >= H) continue;
+          const Cell* up = cur.row(r - 1);
+          const Cell* mid = cur.row(r);
+          const Cell* down = cur.row(r + 1);
+          Cell* out = next.row(r);
+          const bool owned_row = r >= k && r < k + blk.rows();
+          for (int c = j + 1; c < LC - j - 1; ++c) {
+            const int gx = blk.global_col(c);
+            if (gx < 0 || gx >= W) continue;
+            const Cell v = mid[c] % kTopple + mid[c - 1] / kTopple +
+                           mid[c + 1] / kTopple + up[c] / kTopple +
+                           down[c] / kTopple;
+            out[c] = v;
+            if (owned_row && c >= k && c < k + blk.cols() && v != mid[c])
+              changed_owned = true;
+          }
+        }
+        std::swap(cur, next);
+      }
+
+      ++round;
+      if (!comm.allreduce_or(changed_owned)) {
+        globally_stable = true;
+        break;
+      }
+    }
+
+    // Gather owned blocks at rank 0 (rank order; root reassembles from the
+    // known partition).
+    std::vector<Cell> mine;
+    mine.reserve(static_cast<std::size_t>(blk.rows()) * blk.cols());
+    for (int r = k; r < k + blk.rows(); ++r)
+      for (int c = k; c < k + blk.cols(); ++c) mine.push_back(cur(r, c));
+    std::vector<Cell> all = comm.gather(0, mine);
+    if (comm.rank() == 0) {
+      PEACHY_CHECK(all.size() == static_cast<std::size_t>(H) * W);
+      std::size_t i = 0;
+      for (int r = 0; r < Py * Px; ++r) {
+        const int py = r / Px, px = r % Px;
+        const int rlo = py * H / Py, rhi = (py + 1) * H / Py;
+        const int clo = px * W / Px, chi = (px + 1) * W / Px;
+        for (int y = rlo; y < rhi; ++y)
+          for (int x = clo; x < chi; ++x) gathered->at(y, x) = all[i++];
+      }
+      rounds_done = round;
+      stable = globally_stable;
+    }
+  });
+
+  result.rounds = rounds_done;
+  result.iterations = rounds_done * k;
+  result.stable = stable;
+  return result;
+}
+
+}  // namespace peachy::sandpile

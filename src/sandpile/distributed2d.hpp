@@ -1,0 +1,40 @@
+// 2-D block-decomposed distributed sandpile (Ghost Cell Pattern, full
+// form). The fourth assignment's 1-D row decomposition (distributed.hpp)
+// sends 2 messages of W*k cells per rank per round; splitting both
+// dimensions sends 4 smaller messages whose total volume scales with the
+// block *perimeter* — the surface-to-volume argument of Kjolstad & Snir's
+// pattern. Corners (needed by the 5-point stencil once k >= 2) are carried
+// by the classic two-phase exchange: rows first, then columns including
+// the freshly received halo rows.
+#pragma once
+
+#include "mpp/mpp.hpp"
+#include "sandpile/field.hpp"
+
+namespace peachy::sandpile {
+
+/// Configuration of a 2-D distributed stabilization.
+struct Distributed2dOptions {
+  int ranks_y = 2;       ///< process-grid rows
+  int ranks_x = 2;       ///< process-grid columns
+  int halo_depth = 1;    ///< k: iterations per halo exchange
+  int max_rounds = 0;    ///< 0 = run until globally stable
+};
+
+/// Outcome of a 2-D distributed stabilization.
+struct Distributed2dResult {
+  Field field;
+  bool stable = false;
+  int rounds = 0;
+  int iterations = 0;
+  mpp::CommStats comm;
+};
+
+/// Stabilizes `initial` on a ranks_y x ranks_x process grid with depth-k
+/// ghost rings and synchronous updates. Requires height >= ranks_y and
+/// width >= ranks_x. The input is not modified.
+Distributed2dResult stabilize_distributed_2d(const Field& initial,
+                                             const Distributed2dOptions&
+                                                 options);
+
+}  // namespace peachy::sandpile

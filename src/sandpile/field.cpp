@@ -1,0 +1,125 @@
+#include "sandpile/field.hpp"
+
+#include <deque>
+
+#include "core/colormap.hpp"
+#include "core/rng.hpp"
+
+namespace peachy::sandpile {
+
+Field::Field(int height, int width)
+    : height_(height), width_(width), padded_(height + 2, width + 2, 0) {
+  PEACHY_REQUIRE(height >= 1 && width >= 1,
+                 "sandpile must be non-empty: " << height << "x" << width);
+}
+
+std::int64_t Field::interior_grains() const {
+  std::int64_t total = 0;
+  for (int y = 0; y < height_; ++y)
+    for (int x = 0; x < width_; ++x) total += at(y, x);
+  return total;
+}
+
+std::int64_t Field::sink_grains() const {
+  return padded_.sum<std::int64_t>() - interior_grains();
+}
+
+bool Field::is_stable() const {
+  for (int y = 0; y < height_; ++y)
+    for (int x = 0; x < width_; ++x)
+      if (at(y, x) >= kTopple) return false;
+  return true;
+}
+
+std::int64_t Field::count_cells_with(Cell grains) const {
+  std::int64_t n = 0;
+  for (int y = 0; y < height_; ++y)
+    for (int x = 0; x < width_; ++x)
+      if (at(y, x) == grains) ++n;
+  return n;
+}
+
+Image Field::render() const {
+  Image img(height_, width_);
+  for (int y = 0; y < height_; ++y)
+    for (int x = 0; x < width_; ++x)
+      img(y, x) = sandpile_color(at(y, x));
+  return img;
+}
+
+bool Field::same_interior(const Field& other) const {
+  if (height_ != other.height_ || width_ != other.width_) return false;
+  for (int y = 0; y < height_; ++y)
+    for (int x = 0; x < width_; ++x)
+      if (at(y, x) != other.at(y, x)) return false;
+  return true;
+}
+
+Field center_pile(int height, int width, Cell grains) {
+  Field f(height, width);
+  f.at(height / 2, width / 2) = grains;
+  return f;
+}
+
+Field uniform_pile(int height, int width, Cell grains) {
+  Field f(height, width);
+  for (int y = 0; y < height; ++y)
+    for (int x = 0; x < width; ++x) f.at(y, x) = grains;
+  return f;
+}
+
+Field sparse_random_pile(int height, int width, double density, Cell lo,
+                         Cell hi, std::uint64_t seed) {
+  PEACHY_REQUIRE(density >= 0.0 && density <= 1.0,
+                 "density must be in [0,1], got " << density);
+  PEACHY_REQUIRE(lo <= hi, "need lo <= hi, got [" << lo << "," << hi << "]");
+  Field f(height, width);
+  Rng rng(seed);
+  for (int y = 0; y < height; ++y)
+    for (int x = 0; x < width; ++x)
+      if (rng.bernoulli(density))
+        f.at(y, x) = static_cast<Cell>(rng.uniform_int(lo, hi));
+  return f;
+}
+
+Field max_stable_pile(int height, int width) {
+  return uniform_pile(height, width, kTopple - 1);
+}
+
+std::int64_t stabilize_reference(Field& field) {
+  const int h = field.height(), w = field.width();
+  std::deque<std::pair<int, int>> worklist;
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x)
+      if (field.at(y, x) >= kTopple) worklist.emplace_back(y, x);
+
+  auto& grid = field.padded();
+  std::int64_t topples = 0;
+  auto maybe_enqueue = [&](int py, int px) {
+    // Padded coordinates; only interior cells can topple.
+    if (py >= 1 && py <= h && px >= 1 && px <= w && grid(py, px) >= kTopple)
+      worklist.emplace_back(py - 1, px - 1);
+  };
+
+  while (!worklist.empty()) {
+    const auto [y, x] = worklist.front();
+    worklist.pop_front();
+    const int py = y + 1, px = x + 1;
+    const Cell grains = grid(py, px);
+    if (grains < kTopple) continue;  // may have been toppled already
+    const Cell share = grains / kTopple;
+    grid(py, px) = grains % kTopple;
+    grid(py - 1, px) += share;
+    grid(py + 1, px) += share;
+    grid(py, px - 1) += share;
+    grid(py, px + 1) += share;
+    ++topples;
+    maybe_enqueue(py - 1, px);
+    maybe_enqueue(py + 1, px);
+    maybe_enqueue(py, px - 1);
+    maybe_enqueue(py, px + 1);
+  }
+  return topples;
+}
+
+}  // namespace peachy::sandpile

@@ -1,0 +1,102 @@
+// The Bak–Tang–Wiesenfeld Abelian sandpile state (paper §II.A).
+//
+// A sandpile is an N x M 4-connected cellular automaton whose border cells
+// form a special "sink" cell. A cell holding g >= 4 grains is unstable and
+// gives g/4 grains to each of its 4 neighbours, keeping g%4. Dhar proved the
+// fixed point is independent of the toppling order (the *abelian* property),
+// which is what makes every parallelization strategy in the assignment
+// legal — and what our property tests check.
+//
+// Storage is a (H+2) x (W+2) padded grid: the 1-cell frame is the sink.
+// Interior coordinates are 0-based; Field::at(y, x) addresses interior cell
+// (y, x) regardless of padding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/grid2d.hpp"
+#include "core/image.hpp"
+
+namespace peachy::sandpile {
+
+/// Grain count of one cell. 32 bits comfortably holds the paper's largest
+/// initial pile (25 000 grains).
+using Cell = std::uint32_t;
+
+/// Number of grains at which a cell becomes unstable.
+inline constexpr Cell kTopple = 4;
+
+/// Sandpile state with sink padding.
+class Field {
+ public:
+  /// Creates a height x width pile with all cells empty.
+  Field(int height, int width);
+
+  int height() const { return height_; }
+  int width() const { return width_; }
+
+  /// Interior cell access (0-based interior coordinates).
+  Cell& at(int y, int x) { return padded_(y + 1, x + 1); }
+  Cell at(int y, int x) const { return padded_(y + 1, x + 1); }
+
+  /// The padded grid, for kernels that index with the sink frame
+  /// (padded coordinates: interior is [1..height] x [1..width]).
+  Grid2D<Cell>& padded() { return padded_; }
+  const Grid2D<Cell>& padded() const { return padded_; }
+
+  /// Total grains on interior cells.
+  std::int64_t interior_grains() const;
+
+  /// Grains accumulated in the sink frame (asynchronous kernels deposit
+  /// there; synchronous kernels never write the frame).
+  std::int64_t sink_grains() const;
+
+  /// True when every interior cell holds fewer than kTopple grains.
+  bool is_stable() const;
+
+  /// Number of interior cells holding exactly `grains` grains.
+  std::int64_t count_cells_with(Cell grains) const;
+
+  /// Renders the interior with the Fig. 1 palette (0=black, 1=green,
+  /// 2=blue, 3=red, unstable=white).
+  Image render() const;
+
+  /// Interior-only equality (ignores whatever the sink frame holds).
+  bool same_interior(const Field& other) const;
+
+  friend bool operator==(const Field& a, const Field& b) {
+    return a.padded_ == b.padded_;
+  }
+
+ private:
+  int height_, width_;
+  Grid2D<Cell> padded_;
+};
+
+// --- Initial configurations used by the paper's experiments ---------------
+
+/// Fig. 1a: `grains` grains dropped on the center cell.
+Field center_pile(int height, int width, Cell grains);
+
+/// Fig. 1b: every interior cell starts with `grains` grains (4 in Fig. 1b).
+Field uniform_pile(int height, int width, Cell grains);
+
+/// Fig. 3's "sparse configuration": each cell independently receives a
+/// uniform load in [lo, hi] with probability `density`, else stays empty.
+/// Deterministic in `seed`.
+Field sparse_random_pile(int height, int width, double density, Cell lo,
+                         Cell hi, std::uint64_t seed);
+
+/// The maximal stable configuration (every cell at 3 grains) — the starting
+/// point for sandpile-group experiments (src/sandpile/theory.hpp).
+Field max_stable_pile(int height, int width);
+
+// --- Reference solver ------------------------------------------------------
+
+/// Stabilizes `field` in place with a sequential worklist of unstable cells
+/// (the oracle all parallel variants are tested against). Returns the number
+/// of topple operations performed.
+std::int64_t stabilize_reference(Field& field);
+
+}  // namespace peachy::sandpile

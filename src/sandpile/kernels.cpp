@@ -1,0 +1,97 @@
+#include "sandpile/kernels.hpp"
+
+namespace peachy::sandpile {
+
+SyncEngine::SyncEngine(Field& field)
+    : field_(&field), next_(field.padded()) {}
+
+bool SyncEngine::compute_tile(const pap::Tile& t) {
+  const Grid2D<Cell>& cur = field_->padded();
+  Grid2D<Cell>& nxt = next_;
+  bool changed = false;
+  for (int y = t.y0; y < t.y0 + t.h; ++y) {
+    for (int x = t.x0; x < t.x0 + t.w; ++x) {
+      const int py = y + 1, px = x + 1;  // padded coordinates
+      const Cell v = cur(py, px) % kTopple + cur(py, px - 1) / kTopple +
+                     cur(py, px + 1) / kTopple + cur(py - 1, px) / kTopple +
+                     cur(py + 1, px) / kTopple;
+      nxt(py, px) = v;
+      changed |= v != cur(py, px);
+    }
+  }
+  return changed;
+}
+
+bool SyncEngine::compute_tile_vector(const pap::Tile& t) {
+  const Grid2D<Cell>& cur = field_->padded();
+  Grid2D<Cell>& nxt = next_;
+  Cell diff = 0;
+  for (int y = t.y0; y < t.y0 + t.h; ++y) {
+    const int py = y + 1;
+    // Row pointers at padded column t.x0 + 1; reading [-1] and [w] lands in
+    // the sink padding, so the loop body is branch-free.
+    const Cell* __restrict mid = cur.row(py) + t.x0 + 1;
+    const Cell* __restrict up = cur.row(py - 1) + t.x0 + 1;
+    const Cell* __restrict down = cur.row(py + 1) + t.x0 + 1;
+    Cell* __restrict out = nxt.row(py) + t.x0 + 1;
+    for (int x = 0; x < t.w; ++x) {
+      const Cell v = mid[x] % kTopple + mid[x - 1] / kTopple +
+                     mid[x + 1] / kTopple + up[x] / kTopple +
+                     down[x] / kTopple;
+      out[x] = v;
+      diff |= v ^ mid[x];
+    }
+  }
+  return diff != 0;
+}
+
+void SyncEngine::swap_buffers() {
+  std::swap(field_->padded(), next_);
+}
+
+pap::TileKernel SyncEngine::kernel(bool vectorized) {
+  if (vectorized)
+    return [this](const pap::Tile& t, int) { return compute_tile_vector(t); };
+  return [this](const pap::Tile& t, int) { return compute_tile(t); };
+}
+
+pap::IterationHook SyncEngine::swap_hook(pap::IterationHook chained) {
+  return [this, chained = std::move(chained)](int iter, bool changed) {
+    swap_buffers();
+    if (chained) chained(iter, changed);
+  };
+}
+
+bool AsyncEngine::sweep_tile(const pap::Tile& t) {
+  Grid2D<Cell>& g = field_->padded();
+  bool changed = false;
+  for (int y = t.y0; y < t.y0 + t.h; ++y) {
+    for (int x = t.x0; x < t.x0 + t.w; ++x) {
+      const int py = y + 1, px = x + 1;
+      const Cell grains = g(py, px);
+      if (grains < kTopple) continue;
+      const Cell share = grains / kTopple;
+      g(py, px - 1) += share;
+      g(py, px + 1) += share;
+      g(py - 1, px) += share;
+      g(py + 1, px) += share;
+      g(py, px) = grains % kTopple;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+bool AsyncEngine::drain_tile(const pap::Tile& t) {
+  bool changed = false;
+  while (sweep_tile(t)) changed = true;
+  return changed;
+}
+
+pap::TileKernel AsyncEngine::kernel(bool drain) {
+  if (drain)
+    return [this](const pap::Tile& t, int) { return drain_tile(t); };
+  return [this](const pap::Tile& t, int) { return sweep_tile(t); };
+}
+
+}  // namespace peachy::sandpile

@@ -1,0 +1,74 @@
+// The sandpile compute kernels of paper Fig. 2, as pap tile kernels.
+//
+// SyncEngine  — double-buffered synchronous update: every cell's new value
+//               is computed from the old buffer (sync_compute_new_state).
+// AsyncEngine — in-place update: an unstable cell pushes grains into its
+//               neighbours immediately (async_compute_new_state). Race-free
+//               in parallel only under Runner's checkerboard waves.
+//
+// SyncEngine offers two code paths for the same math:
+//  * compute_tile        — straightforward per-cell loop through Grid2D
+//                          accessors (the "given code" students start from);
+//  * compute_tile_vector — the assignment-3 rewrite: raw row pointers and a
+//                          branch-free inner loop the compiler can
+//                          auto-vectorize. The sink padding makes it legal
+//                          for inner *and* outer tiles.
+#pragma once
+
+#include "pap/runner.hpp"
+#include "sandpile/field.hpp"
+
+namespace peachy::sandpile {
+
+/// Double-buffered synchronous kernel.
+class SyncEngine {
+ public:
+  /// Binds to `field`; the auxiliary buffer starts as a copy so that tiles
+  /// skipped by lazy evaluation always satisfy cur == next (see runner.hpp).
+  explicit SyncEngine(Field& field);
+
+  Field& field() { return *field_; }
+
+  /// Generic per-cell path. Returns true if any cell of the tile changed.
+  bool compute_tile(const pap::Tile& t);
+
+  /// Vector-friendly path (identical results, auto-vectorizable loop).
+  bool compute_tile_vector(const pap::Tile& t);
+
+  /// Publishes the new iteration: swaps current and next buffers.
+  /// Must run between iterations (single-threaded context).
+  void swap_buffers();
+
+  /// Convenience adapters for pap::Runner.
+  pap::TileKernel kernel(bool vectorized = false);
+  pap::IterationHook swap_hook(pap::IterationHook chained = nullptr);
+
+ private:
+  Field* field_;
+  Grid2D<Cell> next_;
+};
+
+/// In-place asynchronous kernel.
+class AsyncEngine {
+ public:
+  explicit AsyncEngine(Field& field) : field_(&field) {}
+
+  Field& field() { return *field_; }
+
+  /// One sweep over the tile: each unstable cell topples once (Fig. 2
+  /// bottom). Returns true if any cell toppled.
+  bool sweep_tile(const pap::Tile& t);
+
+  /// Sweeps the tile until no cell inside it is unstable (the classic
+  /// "drain the tile locally" optimization). Spills into neighbouring
+  /// tiles/sink are applied in place. Returns true if anything toppled.
+  bool drain_tile(const pap::Tile& t);
+
+  /// Adapter for pap::Runner; `drain` selects drain_tile over sweep_tile.
+  pap::TileKernel kernel(bool drain = true);
+
+ private:
+  Field* field_;
+};
+
+}  // namespace peachy::sandpile

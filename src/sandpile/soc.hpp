@@ -1,0 +1,63 @@
+// Self-organized criticality measurements.
+//
+// The sandpile model the assignment simulates comes from Bak, Tang &
+// Wiesenfeld's "Self-organized criticality" [3]: driving the pile one
+// grain at a time, the system organizes itself into a critical state
+// whose avalanche sizes follow a power law. This module implements the
+// classic experiment — drive to criticality, then sample avalanches — as
+// the natural "cool extension" of the assignment (and a strong correctness
+// probe: the exponents are known).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "sandpile/field.hpp"
+
+namespace peachy::sandpile {
+
+/// Observables of one avalanche triggered by a single grain drop.
+struct Avalanche {
+  std::int64_t size = 0;      ///< total topple operations
+  std::int64_t area = 0;      ///< distinct cells that toppled
+  std::int64_t duration = 0;  ///< parallel-update waves until stable
+  std::int64_t lost = 0;      ///< grains that fell into the sink
+};
+
+/// Adds one grain at interior cell (y, x) of a *stable* field and relaxes
+/// the resulting avalanche, recording its observables. The field must be
+/// stable on entry and is stable again on return.
+Avalanche drop_grain(Field& field, int y, int x);
+
+/// Drives `field` to the self-organized critical state by dropping
+/// `grains` single grains at uniformly random cells (relaxing each).
+/// Returns the number of topples performed. Deterministic in `rng`.
+std::int64_t drive_to_criticality(Field& field, std::int64_t grains, Rng& rng);
+
+/// Samples `drops` single-grain avalanches at random cells on a (critical)
+/// field; the field remains stable between drops.
+std::vector<Avalanche> sample_avalanches(Field& field, std::int64_t drops,
+                                         Rng& rng);
+
+/// One bucket of a logarithmically binned distribution.
+struct LogBin {
+  std::int64_t lo = 0;     ///< inclusive lower edge
+  std::int64_t hi = 0;     ///< exclusive upper edge
+  std::int64_t count = 0;
+  double density = 0;      ///< count / (samples * bin width)
+};
+
+/// Log-binned (factor-2 buckets) distribution of positive values; values
+/// of zero are counted into the returned `zeros` output if non-null.
+std::vector<LogBin> log_binned(const std::vector<std::int64_t>& values,
+                               std::int64_t* zeros = nullptr);
+
+/// Least-squares slope of log10(density) against log10(bin center) over
+/// bins with at least `min_count` samples — the power-law exponent
+/// estimate (for the 2-D BTW avalanche-size distribution, tau is ~1.0-1.3).
+/// Throws peachy::Error if fewer than two usable bins exist.
+double power_law_exponent(const std::vector<LogBin>& bins,
+                          std::int64_t min_count = 8);
+
+}  // namespace peachy::sandpile

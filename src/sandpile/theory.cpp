@@ -1,0 +1,112 @@
+#include "sandpile/theory.hpp"
+
+#include <deque>
+#include <vector>
+
+namespace peachy::sandpile {
+
+namespace {
+void check_same_shape(const Field& a, const Field& b) {
+  PEACHY_REQUIRE(a.height() == b.height() && a.width() == b.width(),
+                 "shape mismatch: " << a.height() << "x" << a.width() << " vs "
+                                    << b.height() << "x" << b.width());
+}
+}  // namespace
+
+Field add(const Field& a, const Field& b) {
+  check_same_shape(a, b);
+  Field out(a.height(), a.width());
+  for (int y = 0; y < a.height(); ++y)
+    for (int x = 0; x < a.width(); ++x) out.at(y, x) = a.at(y, x) + b.at(y, x);
+  return out;
+}
+
+Field subtract(const Field& a, const Field& b) {
+  check_same_shape(a, b);
+  Field out(a.height(), a.width());
+  for (int y = 0; y < a.height(); ++y)
+    for (int x = 0; x < a.width(); ++x) {
+      PEACHY_REQUIRE(a.at(y, x) >= b.at(y, x),
+                     "subtract underflow at (" << y << "," << x << ")");
+      out.at(y, x) = a.at(y, x) - b.at(y, x);
+    }
+  return out;
+}
+
+Field scale(const Field& a, Cell factor) {
+  Field out(a.height(), a.width());
+  for (int y = 0; y < a.height(); ++y)
+    for (int x = 0; x < a.width(); ++x) out.at(y, x) = a.at(y, x) * factor;
+  return out;
+}
+
+Field group_add(const Field& a, const Field& b) {
+  Field sum = add(a, b);
+  stabilize_reference(sum);
+  return sum;
+}
+
+Field group_identity(int height, int width) {
+  const Field m2 = scale(max_stable_pile(height, width), 2);
+  Field s = m2;  // S(2m)
+  stabilize_reference(s);
+  Field id = subtract(m2, s);  // 2m - S(2m)
+  stabilize_reference(id);
+  return id;
+}
+
+bool is_recurrent(const Field& stable) {
+  PEACHY_REQUIRE(stable.is_stable(), "burning test requires a stable input");
+  const int h = stable.height(), w = stable.width();
+
+  // Fire the sink: every interior cell receives one grain per shared edge
+  // with the border frame.
+  Field f(h, w);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      Cell sink_edges = 0;
+      if (y == 0) ++sink_edges;
+      if (y == h - 1) ++sink_edges;
+      if (x == 0) ++sink_edges;
+      if (x == w - 1) ++sink_edges;
+      f.at(y, x) = stable.at(y, x) + sink_edges;
+    }
+
+  // Stabilize while counting per-cell topples; recurrent iff each cell
+  // topples exactly once (Dhar's burning test).
+  Grid2D<int> topples(h, w, 0);
+  auto& g = f.padded();
+  std::deque<std::pair<int, int>> worklist;
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x)
+      if (f.at(y, x) >= kTopple) worklist.emplace_back(y, x);
+  while (!worklist.empty()) {
+    const auto [y, x] = worklist.front();
+    worklist.pop_front();
+    const int py = y + 1, px = x + 1;
+    const Cell grains = g(py, px);
+    if (grains < kTopple) continue;
+    if (++topples(y, x) > 1) return false;  // toppled twice: not recurrent
+    const Cell share = grains / kTopple;
+    g(py, px) = grains % kTopple;
+    g(py - 1, px) += share;
+    g(py + 1, px) += share;
+    g(py, px - 1) += share;
+    g(py, px + 1) += share;
+    auto enqueue = [&](int yy, int xx) {
+      if (yy >= 0 && yy < h && xx >= 0 && xx < w && f.at(yy, xx) >= kTopple)
+        worklist.emplace_back(yy, xx);
+    };
+    enqueue(y - 1, x);
+    enqueue(y + 1, x);
+    enqueue(y, x - 1);
+    enqueue(y, x + 1);
+  }
+
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x)
+      if (topples(y, x) != 1) return false;
+  return f.same_interior(stable);
+}
+
+}  // namespace peachy::sandpile

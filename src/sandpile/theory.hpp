@@ -1,0 +1,36 @@
+// Sandpile-group utilities — the "cool and inspirational" extension layer.
+//
+// Stable sandpile configurations form an abelian group (the sandpile /
+// critical group) under "add cell-wise, then stabilize". Its identity
+// element is itself a famously intricate fractal image — a natural
+// follow-up artifact to Fig. 1 and the basis of the sandpile_identity
+// example. These helpers implement the group operation and the classic
+// identity construction id = S(2m - S(2m)) with m the all-3s configuration.
+#pragma once
+
+#include "sandpile/field.hpp"
+
+namespace peachy::sandpile {
+
+/// Cell-wise sum of two piles of identical shape (no stabilization).
+Field add(const Field& a, const Field& b);
+
+/// Cell-wise difference a - b; requires a >= b cell-wise.
+Field subtract(const Field& a, const Field& b);
+
+/// Cell-wise scalar multiple.
+Field scale(const Field& a, Cell factor);
+
+/// The sandpile group operation: stabilize(a + b).
+Field group_add(const Field& a, const Field& b);
+
+/// The identity element of the h x w sandpile group:
+/// id = S(2m - S(2m)), m = max_stable_pile(h, w).
+Field group_identity(int height, int width);
+
+/// True if `stable` is a recurrent configuration (passes Dhar's burning
+/// test: toppling every border-adjacent "virtual sink fire" exactly once
+/// burns every cell exactly once). Input must be stable.
+bool is_recurrent(const Field& stable);
+
+}  // namespace peachy::sandpile

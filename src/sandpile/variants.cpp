@@ -1,0 +1,125 @@
+#include "sandpile/variants.hpp"
+
+#include "sandpile/kernels.hpp"
+
+namespace peachy::sandpile {
+
+const std::vector<Variant>& all_variants() {
+  static const std::vector<Variant> kAll = {
+      Variant::kSeqSync,       Variant::kSeqAsync,
+      Variant::kOmpSync,       Variant::kOmpTiledSync,
+      Variant::kOmpLazySync,   Variant::kOmpSyncVector,
+      Variant::kOmpAsyncWave,  Variant::kOmpLazyAsyncWave,
+  };
+  return kAll;
+}
+
+std::string to_string(Variant v) {
+  switch (v) {
+    case Variant::kSeqSync: return "seq-sync";
+    case Variant::kSeqAsync: return "seq-async";
+    case Variant::kOmpSync: return "omp-sync";
+    case Variant::kOmpTiledSync: return "omp-tiled-sync";
+    case Variant::kOmpLazySync: return "omp-lazy-sync";
+    case Variant::kOmpSyncVector: return "omp-sync-vector";
+    case Variant::kOmpAsyncWave: return "omp-async-wave";
+    case Variant::kOmpLazyAsyncWave: return "omp-lazy-async-wave";
+  }
+  return "?";
+}
+
+namespace {
+
+VariantOutcome run_sync(Variant v, Field& field, const VariantOptions& opt,
+                        pap::TileGrid tiles, pap::RunOptions run_opt,
+                        bool vectorized) {
+  SyncEngine engine(field);
+  run_opt.trace = opt.trace;
+  run_opt.max_iterations = opt.max_iterations;
+  run_opt.schedule = opt.schedule;
+  run_opt.on_iteration = engine.swap_hook(opt.on_iteration);
+  pap::Runner runner(tiles, run_opt);
+  VariantOutcome out;
+  out.variant = v;
+  out.run = runner.run(engine.kernel(vectorized));
+  return out;
+}
+
+VariantOutcome run_async(Variant v, Field& field, const VariantOptions& opt,
+                         pap::TileGrid tiles, pap::RunOptions run_opt,
+                         bool drain) {
+  AsyncEngine engine(field);
+  run_opt.trace = opt.trace;
+  run_opt.max_iterations = opt.max_iterations;
+  run_opt.schedule = opt.schedule;
+  run_opt.on_iteration = opt.on_iteration;
+  pap::Runner runner(tiles, run_opt);
+  VariantOutcome out;
+  out.variant = v;
+  out.run = runner.run(engine.kernel(drain));
+  return out;
+}
+
+}  // namespace
+
+VariantOutcome run_variant(Variant v, Field& field,
+                           const VariantOptions& opt) {
+  const int h = field.height(), w = field.width();
+  pap::RunOptions run_opt;
+  run_opt.threads = opt.threads;
+
+  switch (v) {
+    case Variant::kSeqSync: {
+      run_opt.threads = 1;
+      return run_sync(v, field, opt, pap::TileGrid(h, w, h, w), run_opt,
+                      /*vectorized=*/false);
+    }
+    case Variant::kSeqAsync: {
+      run_opt.threads = 1;
+      // One whole-grid tile, one in-place sweep per iteration.
+      return run_async(v, field, opt, pap::TileGrid(h, w, h, w), run_opt,
+                       /*drain=*/false);
+    }
+    case Variant::kOmpSync: {
+      // Row bands: the natural first OpenMP cut (one band per row, the
+      // scheduler does the rest). Full-width bands avoid false sharing on
+      // row boundaries.
+      return run_sync(v, field, opt, pap::TileGrid(h, w, 1, w), run_opt,
+                      /*vectorized=*/false);
+    }
+    case Variant::kOmpTiledSync: {
+      return run_sync(v, field, opt,
+                      pap::TileGrid(h, w, opt.tile_h, opt.tile_w), run_opt,
+                      /*vectorized=*/false);
+    }
+    case Variant::kOmpLazySync: {
+      run_opt.lazy = true;
+      return run_sync(v, field, opt,
+                      pap::TileGrid(h, w, opt.tile_h, opt.tile_w), run_opt,
+                      /*vectorized=*/false);
+    }
+    case Variant::kOmpSyncVector: {
+      run_opt.lazy = true;
+      return run_sync(v, field, opt,
+                      pap::TileGrid(h, w, opt.tile_h, opt.tile_w), run_opt,
+                      /*vectorized=*/true);
+    }
+    case Variant::kOmpAsyncWave: {
+      run_opt.checkerboard = true;
+      return run_async(v, field, opt,
+                       pap::TileGrid(h, w, opt.tile_h, opt.tile_w), run_opt,
+                       /*drain=*/true);
+    }
+    case Variant::kOmpLazyAsyncWave: {
+      run_opt.checkerboard = true;
+      run_opt.lazy = true;
+      return run_async(v, field, opt,
+                       pap::TileGrid(h, w, opt.tile_h, opt.tile_w), run_opt,
+                       /*drain=*/true);
+    }
+  }
+  PEACHY_REQUIRE(false, "unknown variant");
+  return {};
+}
+
+}  // namespace peachy::sandpile

@@ -1,0 +1,56 @@
+// Named sandpile solver variants — the ladder of the four assignments
+// (§II.B): sequential baselines, OpenMP parallelization, tiling, lazy
+// evaluation, vectorized kernels, and multi-wave asynchronous scheduling.
+//
+// Every variant stabilizes the same Field in place and returns run
+// statistics; tests assert they all reach stabilize_reference's fixed point
+// (Dhar's theorem in action).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pap/runner.hpp"
+#include "sandpile/field.hpp"
+
+namespace peachy::sandpile {
+
+/// The solver variants students produce across the four assignments.
+enum class Variant {
+  kSeqSync,          ///< assignment 0 given code: sequential, double buffer
+  kSeqAsync,         ///< assignment 0 given code: sequential, in place
+  kOmpSync,          ///< assignment 1: OpenMP over row bands
+  kOmpTiledSync,     ///< assignment 2: OpenMP over 2-D tiles
+  kOmpLazySync,      ///< assignment 2: + lazy tile activation
+  kOmpSyncVector,    ///< assignment 3: vector-friendly kernel, tiled + lazy
+  kOmpAsyncWave,     ///< assignment 2/3: async kernel, checkerboard waves
+  kOmpLazyAsyncWave, ///< the Fig. 3 configuration: lazy async waves
+};
+
+/// All variants, in assignment order.
+const std::vector<Variant>& all_variants();
+
+std::string to_string(Variant v);
+
+/// Knobs shared by every variant.
+struct VariantOptions {
+  int threads = 0;                      ///< 0 = OpenMP default
+  pap::Schedule schedule = pap::Schedule::kDynamic;
+  int tile_h = 32, tile_w = 32;         ///< ignored by kSeq*/kOmpSync
+  int max_iterations = 0;               ///< 0 = run to the fixed point
+  TraceRecorder* trace = nullptr;       ///< optional Fig. 3-style tracing
+  pap::IterationHook on_iteration;      ///< optional per-iteration callback
+                                        ///< (runs after buffer swaps)
+};
+
+/// Outcome of running one variant.
+struct VariantOutcome {
+  Variant variant{};
+  pap::RunResult run;
+};
+
+/// Stabilizes `field` in place with the chosen variant.
+VariantOutcome run_variant(Variant v, Field& field,
+                           const VariantOptions& options = {});
+
+}  // namespace peachy::sandpile

@@ -1,0 +1,34 @@
+#include "sim/engine.hpp"
+
+#include <limits>
+#include <utility>
+
+namespace peachy::sim {
+
+void Engine::schedule_at(Time t, std::function<void()> fn) {
+  PEACHY_REQUIRE(t >= now_, "cannot schedule in the past: t=" << t << " < now="
+                                                              << now_);
+  PEACHY_CHECK(fn != nullptr);
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+std::size_t Engine::run() {
+  return run_until(std::numeric_limits<Time>::infinity());
+}
+
+std::size_t Engine::run_until(Time horizon) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().t <= horizon) {
+    // priority_queue::top() is const; move the callback out via const_cast,
+    // safe because we pop immediately after.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.t;
+    ev.fn();
+    ++n;
+    ++processed_;
+  }
+  return n;
+}
+
+}  // namespace peachy::sim

@@ -1,0 +1,67 @@
+// Discrete-event simulation core — the SimGrid stand-in under wfsim.
+//
+// A minimal, deterministic event engine: callbacks scheduled at absolute
+// simulated times, executed in (time, insertion-order) order. The workflow
+// simulator (src/wfsim) builds cluster/cloud/link/scheduler services on top
+// of it, exactly as WRENCH builds on SimGrid.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace peachy::sim {
+
+/// Simulated time in seconds.
+using Time = double;
+
+/// Deterministic discrete-event engine.
+///
+/// Events with equal timestamps fire in scheduling order (stable), which
+/// makes every simulation bit-reproducible.
+class Engine {
+ public:
+  /// Current simulated time. 0 before the first event runs.
+  Time now() const { return now_; }
+
+  /// Schedules `fn` at absolute simulated time `t` (must be >= now()).
+  void schedule_at(Time t, std::function<void()> fn);
+
+  /// Schedules `fn` `dt` seconds from now (dt >= 0).
+  void schedule_in(Time dt, std::function<void()> fn) {
+    schedule_at(now_ + dt, std::move(fn));
+  }
+
+  /// Runs events until the queue is empty. Returns the number of events
+  /// processed by this call.
+  std::size_t run();
+
+  /// Runs events with time <= horizon; later events stay queued.
+  std::size_t run_until(Time horizon);
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t processed() const { return processed_; }
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace peachy::sim

@@ -1,0 +1,142 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <tuple>
+
+#include "core/colormap.hpp"
+#include "core/csv.hpp"
+#include "core/error.hpp"
+
+namespace peachy {
+
+TraceRecorder::TraceRecorder(int workers) {
+  PEACHY_REQUIRE(workers >= 1, "trace needs >= 1 worker lane, got " << workers);
+  lanes_.resize(static_cast<std::size_t>(workers));
+}
+
+void TraceRecorder::record(const TaskRecord& rec) {
+  PEACHY_REQUIRE(rec.worker >= 0 && rec.worker < workers(),
+                 "worker " << rec.worker << " outside [0," << workers() << ")");
+  lanes_[static_cast<std::size_t>(rec.worker)].push_back(rec);
+}
+
+std::vector<TaskRecord> TraceRecorder::merged() const {
+  std::vector<TaskRecord> all;
+  std::size_t total = 0;
+  for (const auto& lane : lanes_) total += lane.size();
+  all.reserve(total);
+  for (const auto& lane : lanes_) all.insert(all.end(), lane.begin(), lane.end());
+  std::sort(all.begin(), all.end(), [](const TaskRecord& a, const TaskRecord& b) {
+    return std::tie(a.iteration, a.start_ns) < std::tie(b.iteration, b.start_ns);
+  });
+  return all;
+}
+
+std::vector<TaskRecord> TraceRecorder::iteration(int iter) const {
+  std::vector<TaskRecord> out;
+  for (const auto& lane : lanes_)
+    for (const auto& rec : lane)
+      if (rec.iteration == iter) out.push_back(rec);
+  std::sort(out.begin(), out.end(), [](const TaskRecord& a, const TaskRecord& b) {
+    return a.start_ns < b.start_ns;
+  });
+  return out;
+}
+
+std::size_t TraceRecorder::total_tasks() const {
+  std::size_t total = 0;
+  for (const auto& lane : lanes_) total += lane.size();
+  return total;
+}
+
+void TraceRecorder::clear() {
+  for (auto& lane : lanes_) lane.clear();
+}
+
+void TraceRecorder::write_csv(const std::string& path) const {
+  CsvWriter csv(path);
+  csv.row({"iteration", "worker", "y0", "x0", "h", "w", "start_ns", "end_ns"});
+  for (const TaskRecord& r : merged())
+    csv.row({std::to_string(r.iteration), std::to_string(r.worker),
+             std::to_string(r.y0), std::to_string(r.x0), std::to_string(r.h),
+             std::to_string(r.w), std::to_string(r.start_ns),
+             std::to_string(r.end_ns)});
+}
+
+IterationSummary summarize_iteration(const std::vector<TaskRecord>& records,
+                                     int iter, int workers) {
+  PEACHY_REQUIRE(workers >= 1, "summary needs >= 1 worker");
+  IterationSummary s;
+  s.iteration = iter;
+  s.per_worker_busy_ns.assign(static_cast<std::size_t>(workers), 0);
+  std::int64_t min_start = std::numeric_limits<std::int64_t>::max();
+  std::int64_t max_end = std::numeric_limits<std::int64_t>::min();
+  for (const TaskRecord& r : records) {
+    if (r.iteration != iter) continue;
+    ++s.tasks;
+    s.busy_ns += r.duration_ns();
+    if (r.worker >= 0 && r.worker < workers)
+      s.per_worker_busy_ns[static_cast<std::size_t>(r.worker)] +=
+          r.duration_ns();
+    min_start = std::min(min_start, r.start_ns);
+    max_end = std::max(max_end, r.end_ns);
+  }
+  s.span_ns = s.tasks ? max_end - min_start : 0;
+  if (s.tasks) {
+    std::vector<double> loads;
+    loads.reserve(s.per_worker_busy_ns.size());
+    for (auto b : s.per_worker_busy_ns)
+      loads.push_back(static_cast<double>(b));
+    double sum = 0.0, mx = 0.0;
+    for (double v : loads) {
+      sum += v;
+      mx = std::max(mx, v);
+    }
+    const double mean = sum / static_cast<double>(loads.size());
+    s.imbalance = mean > 0.0 ? mx / mean : 1.0;
+  }
+  return s;
+}
+
+Image render_timeline(const std::vector<TaskRecord>& records, int workers,
+                      int width, int lane_height) {
+  PEACHY_REQUIRE(workers >= 1 && width >= 2 && lane_height >= 2,
+                 "bad timeline geometry");
+  Image img(workers * (lane_height + 1) - 1, width, Rgb{0, 0, 0});
+  if (records.empty()) return img;
+
+  std::int64_t t0 = records.front().start_ns, t1 = records.front().end_ns;
+  for (const TaskRecord& r : records) {
+    t0 = std::min(t0, r.start_ns);
+    t1 = std::max(t1, r.end_ns);
+  }
+  const double span = std::max<std::int64_t>(1, t1 - t0);
+
+  for (const TaskRecord& r : records) {
+    if (r.worker < 0 || r.worker >= workers) continue;
+    const int x0 = static_cast<int>((r.start_ns - t0) / span * (width - 1));
+    int x1 = static_cast<int>((r.end_ns - t0) / span * (width - 1)) + 1;
+    x1 = std::max(x1, x0 + 1);  // at least one pixel per task
+    // Color keyed to the tile's position so neighbouring tasks are
+    // distinguishable within a lane (as EASYPAP colors tasks by tile).
+    const Rgb color = distinct_color((r.y0 * 31 + r.x0) / std::max(1, r.w));
+    img.fill_rect(r.worker * (lane_height + 1), x0, lane_height, x1 - x0,
+                  color);
+  }
+  return img;
+}
+
+Image render_owner_map(const std::vector<TaskRecord>& records, int grid_h,
+                       int grid_w, int cells_per_px) {
+  PEACHY_REQUIRE(cells_per_px >= 1, "cells_per_px must be >= 1");
+  Image img((grid_h + cells_per_px - 1) / cells_per_px,
+            (grid_w + cells_per_px - 1) / cells_per_px, Rgb{0, 0, 0});
+  for (const TaskRecord& r : records)
+    img.fill_rect(r.y0 / cells_per_px, r.x0 / cells_per_px,
+                  std::max(1, r.h / cells_per_px),
+                  std::max(1, r.w / cells_per_px), distinct_color(r.worker));
+  return img;
+}
+
+}  // namespace peachy

@@ -1,0 +1,89 @@
+// EASYPAP-style execution tracing.
+//
+// EASYPAP's trace explorer displays, for each iteration, the tiles (tasks)
+// each worker executed and for how long (paper Fig. 3) and which device owns
+// each tile (Fig. 4). This module records the same information headlessly:
+// per-task records with worker id, tile rectangle and timestamps, plus
+// analysis (task counts, per-worker busy time, load imbalance) and exports
+// (CSV, tile-owner maps rendered to Image).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/image.hpp"
+
+namespace peachy {
+
+/// One executed task (a tile computed by one worker during one iteration).
+struct TaskRecord {
+  int iteration = 0;
+  int worker = 0;       ///< executing worker (CPU lane or device lane)
+  int y0 = 0, x0 = 0;   ///< tile origin in grid coordinates
+  int h = 0, w = 0;     ///< tile extent
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+
+  std::int64_t duration_ns() const { return end_ns - start_ns; }
+};
+
+/// Records task executions from concurrent workers without contention:
+/// each worker appends to its own buffer; merge happens at query time.
+class TraceRecorder {
+ public:
+  /// `workers` is the number of distinct worker lanes that may record.
+  explicit TraceRecorder(int workers);
+
+  int workers() const { return static_cast<int>(lanes_.size()); }
+
+  /// Appends a record to `rec.worker`'s lane. Thread-safe across distinct
+  /// workers; a single worker must record sequentially.
+  void record(const TaskRecord& rec);
+
+  /// All records, merged and sorted by (iteration, start_ns).
+  std::vector<TaskRecord> merged() const;
+
+  /// Records for one iteration only.
+  std::vector<TaskRecord> iteration(int iter) const;
+
+  std::size_t total_tasks() const;
+
+  void clear();
+
+  /// Writes all records as CSV: iteration,worker,y0,x0,h,w,start_ns,end_ns.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::vector<TaskRecord>> lanes_;
+};
+
+/// Summary of one iteration of a trace (the numbers behind Fig. 3).
+struct IterationSummary {
+  int iteration = 0;
+  std::size_t tasks = 0;
+  std::int64_t busy_ns = 0;       ///< sum of task durations
+  std::int64_t span_ns = 0;       ///< max end - min start (critical window)
+  double imbalance = 1.0;         ///< max worker busy / mean worker busy
+  std::vector<std::int64_t> per_worker_busy_ns;
+};
+
+/// Computes the per-iteration summary over `records` (all from `iter`).
+IterationSummary summarize_iteration(const std::vector<TaskRecord>& records,
+                                     int iter, int workers);
+
+/// Renders a tile-ownership map à la Fig. 4: each task's rectangle is
+/// painted in its worker's qualitative color (scaled down by `cell_per_px`
+/// grid cells per pixel); untouched area stays black ("stable tiles").
+Image render_owner_map(const std::vector<TaskRecord>& records, int grid_h,
+                       int grid_w, int cells_per_px = 1);
+
+/// Renders a Gantt-style timeline à la Fig. 3's trace display: one
+/// horizontal lane per worker (lane_height px each, 1 px gap), time on the
+/// x-axis scaled to `width` px, each task drawn as a block in a color
+/// derived from its tile position. Idle time stays black. Records may span
+/// several iterations; the x-axis covers [min start, max end].
+Image render_timeline(const std::vector<TaskRecord>& records, int workers,
+                      int width = 1024, int lane_height = 24);
+
+}  // namespace peachy

@@ -1,0 +1,111 @@
+#include "wfsim/montage.hpp"
+
+#include <string>
+
+namespace peachy::wf {
+
+namespace {
+// Relative file sizes (MB) and per-task work (Gflop), following Montage's
+// footprint shape; sizes are normalized to MontageParams::total_bytes.
+constexpr double kRawMb = 12.0, kProjMb = 13.0, kFitMb = 0.15;
+constexpr double kConcatMb = 1.0, kCorrTableMb = 1.0, kCorrImgMb = 13.0;
+constexpr double kTableMb = 1.0, kMosaicMb = 500.0, kShrunkMb = 8.0;
+constexpr double kJpegMb = 5.0;
+
+constexpr double kProjectGf = 400, kDiffGf = 40, kConcatGf = 50;
+constexpr double kBgModelGf = 400, kBackgroundGf = 150, kImgtblGf = 20;
+constexpr double kAddGf = 600, kShrinkGf = 40, kJpegGf = 25;
+}  // namespace
+
+Workflow make_montage(const MontageParams& p) {
+  PEACHY_REQUIRE(p.base_width >= 2, "montage needs base_width >= 2");
+  PEACHY_REQUIRE(p.shrink_tasks >= 1, "montage needs shrink_tasks >= 1");
+  PEACHY_REQUIRE(p.total_bytes > 0 && p.flops_scale > 0,
+                 "montage sizes must be positive");
+  const int n = p.base_width;
+
+  // First pass: compute the un-normalized footprint to derive the scale.
+  const double raw_total_mb =
+      n * kRawMb + n * kProjMb + 2.0 * n * kFitMb + kConcatMb + kCorrTableMb +
+      n * kCorrImgMb + kTableMb + kMosaicMb + p.shrink_tasks * kShrunkMb +
+      kJpegMb;
+  const double bytes_per_mb = p.total_bytes / raw_total_mb;
+  auto sz = [bytes_per_mb](double mb) { return mb * bytes_per_mb; };
+  auto gf = [&p](double gflop) { return gflop * 1e9 * p.flops_scale; };
+
+  WorkflowBuilder b;
+
+  // L0: mProject
+  std::vector<int> raw(n), proj(n);
+  for (int i = 0; i < n; ++i)
+    raw[static_cast<std::size_t>(i)] =
+        b.add_file("raw_" + std::to_string(i) + ".fits", sz(kRawMb));
+  for (int i = 0; i < n; ++i)
+    proj[static_cast<std::size_t>(i)] =
+        b.add_file("proj_" + std::to_string(i) + ".fits", sz(kProjMb));
+  for (int i = 0; i < n; ++i)
+    b.add_task("mProject_" + std::to_string(i), gf(kProjectGf),
+               {raw[static_cast<std::size_t>(i)]},
+               {proj[static_cast<std::size_t>(i)]});
+
+  // L1: mDiffFit — two overlap fits per image (ring neighbourhoods).
+  std::vector<int> fits(static_cast<std::size_t>(2 * n));
+  for (int i = 0; i < 2 * n; ++i)
+    fits[static_cast<std::size_t>(i)] =
+        b.add_file("fit_" + std::to_string(i) + ".tbl", sz(kFitMb));
+  for (int i = 0; i < 2 * n; ++i) {
+    const int a = i % n;
+    const int bidx = (a + 1 + i / n) % n;  // neighbour at distance 1 or 2
+    b.add_task("mDiffFit_" + std::to_string(i), gf(kDiffGf),
+               {proj[static_cast<std::size_t>(a)],
+                proj[static_cast<std::size_t>(bidx)]},
+               {fits[static_cast<std::size_t>(i)]});
+  }
+
+  // L2: mConcatFit
+  const int concat = b.add_file("fits_concat.tbl", sz(kConcatMb));
+  b.add_task("mConcatFit", gf(kConcatGf), fits, {concat});
+
+  // L3: mBgModel
+  const int corrections = b.add_file("corrections.tbl", sz(kCorrTableMb));
+  b.add_task("mBgModel", gf(kBgModelGf), {concat}, {corrections});
+
+  // L4: mBackground
+  std::vector<int> corrected(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    corrected[static_cast<std::size_t>(i)] =
+        b.add_file("corr_" + std::to_string(i) + ".fits", sz(kCorrImgMb));
+  for (int i = 0; i < n; ++i)
+    b.add_task("mBackground_" + std::to_string(i), gf(kBackgroundGf),
+               {proj[static_cast<std::size_t>(i)], corrections},
+               {corrected[static_cast<std::size_t>(i)]});
+
+  // L5: mImgtbl
+  const int table = b.add_file("images.tbl", sz(kTableMb));
+  b.add_task("mImgtbl", gf(kImgtblGf), corrected, {table});
+
+  // L6: mAdd
+  const int mosaic = b.add_file("mosaic.fits", sz(kMosaicMb));
+  {
+    std::vector<int> inputs = corrected;
+    inputs.push_back(table);
+    b.add_task("mAdd", gf(kAddGf), inputs, {mosaic});
+  }
+
+  // L7: mShrink
+  std::vector<int> shrunk(static_cast<std::size_t>(p.shrink_tasks));
+  for (int i = 0; i < p.shrink_tasks; ++i)
+    shrunk[static_cast<std::size_t>(i)] =
+        b.add_file("shrunk_" + std::to_string(i) + ".fits", sz(kShrunkMb));
+  for (int i = 0; i < p.shrink_tasks; ++i)
+    b.add_task("mShrink_" + std::to_string(i), gf(kShrinkGf), {mosaic},
+               {shrunk[static_cast<std::size_t>(i)]});
+
+  // L8: mJPEG
+  const int jpeg = b.add_file("mosaic.jpg", sz(kJpegMb));
+  b.add_task("mJPEG", gf(kJpegGf), shrunk, {jpeg});
+
+  return b.build();
+}
+
+}  // namespace peachy::wf

@@ -1,0 +1,36 @@
+// Montage-like workflow generator (paper §IV.A: "an astronomy scientific
+// workflow (738 tasks with a 7.5 GB total data footprint)", an instance of
+// the Montage application).
+//
+// The generated DAG follows Montage's published structure:
+//   L0 mProject    (N)   project each raw image
+//   L1 mDiffFit    (2N)  fit overlapping projection pairs
+//   L2 mConcatFit  (1)   concatenate all fits
+//   L3 mBgModel    (1)   model background corrections
+//   L4 mBackground (N)   apply corrections per image
+//   L5 mImgtbl     (1)   build the image table
+//   L6 mAdd        (1)   co-add into the mosaic
+//   L7 mShrink     (S)   shrink mosaic tiles
+//   L8 mJPEG       (1)   render the preview
+// giving 4N + S + 5 tasks; the default (N=180, S=13) is exactly 738. File
+// sizes follow Montage's relative footprint and are normalized so the total
+// unique data footprint is exactly `total_bytes`.
+#pragma once
+
+#include "wfsim/workflow.hpp"
+
+namespace peachy::wf {
+
+/// Generator knobs.
+struct MontageParams {
+  int base_width = 180;      ///< N (level-0 parallelism)
+  int shrink_tasks = 13;     ///< S
+  double total_bytes = 7.5e9;///< normalized unique data footprint
+  double flops_scale = 1.0;  ///< scales every task's work
+};
+
+/// Builds the Montage-like workflow (defaults reproduce the paper's
+/// 738-task / 7.5 GB instance).
+Workflow make_montage(const MontageParams& params = {});
+
+}  // namespace peachy::wf

@@ -1,0 +1,32 @@
+#include "wfsim/platform.hpp"
+
+#include <cmath>
+
+namespace peachy::wf {
+
+Platform eduwrench_platform() {
+  Platform p;
+  p.cluster.total_nodes = 64;
+  p.cluster.idle_watts = 95;
+  p.cluster.gco2_per_kwh = 291;
+  // Seven p-states: speed scales linearly with clock (1.0 .. 2.2 GHz at
+  // 10 Gflop/s per GHz); dynamic power grows superlinearly (~f^2.5), the
+  // standard DVFS shape that makes downclocking save energy per flop.
+  p.cluster.pstates.clear();
+  for (int i = 0; i < 7; ++i) {
+    const double clock = 1.0 + 0.2 * i;  // GHz
+    PState ps;
+    ps.gflops = 10.0 * clock;
+    ps.busy_watts = p.cluster.idle_watts + 30.0 * std::pow(clock, 2.5);
+    p.cluster.pstates.push_back(ps);
+  }
+  p.cloud.vms = 16;
+  p.cloud.vm_gflops = 14;
+  p.cloud.vm_busy_watts = 150;
+  p.cloud.gco2_per_kwh = 25;
+  p.link.bytes_per_s = 125e6;
+  p.link.latency_s = 0.010;
+  return p;
+}
+
+}  // namespace peachy::wf

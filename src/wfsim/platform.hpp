@@ -1,0 +1,72 @@
+// Platform model for the carbon-footprint assignment (paper §IV.B).
+//
+// Tab #1: a 64-node local cluster powered by a 291 gCO2e/kWh plant; nodes
+// can be powered off, and powered-on nodes all run in one of seven p-states
+// trading speed for power.
+// Tab #2: 16 virtual machines on a remote green cloud, reachable through a
+// bandwidth-limited link; the cloud has its own storage (data locality).
+//
+// The paper gives the cluster size, p-state count, carbon intensity, VM
+// count and the qualitative trade-offs; the remaining constants below are
+// our calibration (documented in DESIGN.md/EXPERIMENTS.md) chosen so the
+// assignment's answers keep their published shape: the highest-performance
+// baseline lands well under the 3-minute bound, single-knob optimizations
+// (power off / downclock) both work, and their combination wins.
+#pragma once
+
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace peachy::wf {
+
+/// One processor power state.
+struct PState {
+  double gflops = 0;      ///< compute speed of a node in this state
+  double busy_watts = 0;  ///< node power draw while computing
+};
+
+/// The local cluster.
+struct ClusterConfig {
+  int total_nodes = 64;
+  std::vector<PState> pstates;  ///< index 0 = slowest/lowest power
+  double idle_watts = 95;       ///< draw of a powered-on idle node
+  double gco2_per_kwh = 291;    ///< non-green power plant
+};
+
+/// The remote green cloud.
+struct CloudConfig {
+  int vms = 16;
+  double vm_gflops = 14;
+  double vm_busy_watts = 150;
+  double gco2_per_kwh = 25;  ///< green, but not literally zero
+};
+
+/// How concurrent transfers share the wide-area link.
+enum class LinkSharing {
+  kFifo,       ///< store-and-forward: one transfer at a time, full rate
+  kFairShare,  ///< progressive fair sharing (SimGrid-style): n concurrent
+               ///< transfers each progress at bandwidth/n
+};
+
+/// The wide-area link between the organization and the cloud.
+struct LinkConfig {
+  double bytes_per_s = 125e6;  ///< 1 Gbit/s
+  double latency_s = 0.010;
+  LinkSharing sharing = LinkSharing::kFifo;
+};
+
+struct Platform {
+  ClusterConfig cluster;
+  CloudConfig cloud;
+  LinkConfig link;
+
+  int num_pstates() const { return static_cast<int>(cluster.pstates.size()); }
+  int max_pstate() const { return num_pstates() - 1; }
+};
+
+/// The assignment's platform: 64 nodes, 7 p-states (10..22 Gflop/s with
+/// superlinear dynamic power), 16 green VMs, 1 Gbit/s link.
+Platform eduwrench_platform();
+
+}  // namespace peachy::wf

@@ -1,0 +1,267 @@
+#include "wfsim/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/rng.hpp"
+
+namespace peachy::wf {
+
+namespace {
+SimResult run_cluster(const Workflow& wf, const Platform& plat, int nodes,
+                      int pstate) {
+  RunConfig cfg;
+  cfg.nodes_on = nodes;
+  cfg.pstate = pstate;
+  return simulate(wf, plat, cfg);
+}
+}  // namespace
+
+ClusterChoice min_nodes_for_deadline(const Workflow& wf,
+                                     const Platform& platform, int pstate,
+                                     double deadline_s) {
+  PEACHY_REQUIRE(deadline_s > 0, "deadline must be positive");
+  ClusterChoice best;
+  best.pstate = pstate;
+  best.nodes_on = platform.cluster.total_nodes;
+  best.result = run_cluster(wf, platform, best.nodes_on, pstate);
+  best.feasible = best.result.makespan_s <= deadline_s;
+  if (!best.feasible) return best;
+
+  // Makespan is non-increasing in node count under FIFO dispatch of a fixed
+  // placement, so binary search applies.
+  int lo = 1, hi = platform.cluster.total_nodes;
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    const SimResult r = run_cluster(wf, platform, mid, pstate);
+    if (r.makespan_s <= deadline_s) {
+      hi = mid;
+      best.nodes_on = mid;
+      best.result = r;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return best;
+}
+
+ClusterChoice min_pstate_for_deadline(const Workflow& wf,
+                                      const Platform& platform, int nodes_on,
+                                      double deadline_s) {
+  PEACHY_REQUIRE(deadline_s > 0, "deadline must be positive");
+  ClusterChoice best;
+  best.nodes_on = nodes_on;
+  best.pstate = platform.max_pstate();
+  best.result = run_cluster(wf, platform, nodes_on, best.pstate);
+  best.feasible = best.result.makespan_s <= deadline_s;
+  if (!best.feasible) return best;
+
+  int lo = 0, hi = platform.max_pstate();
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    const SimResult r = run_cluster(wf, platform, nodes_on, mid);
+    if (r.makespan_s <= deadline_s) {
+      hi = mid;
+      best.pstate = mid;
+      best.result = r;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return best;
+}
+
+ClusterChoice combined_power_heuristic(const Workflow& wf,
+                                       const Platform& platform,
+                                       double deadline_s) {
+  ClusterChoice best;
+  best.feasible = false;
+  for (int p = 0; p < platform.num_pstates(); ++p) {
+    const ClusterChoice c = min_nodes_for_deadline(wf, platform, p, deadline_s);
+    if (!c.feasible) continue;
+    if (!best.feasible || c.result.total_gco2 < best.result.total_gco2)
+      best = c;
+  }
+  return best;
+}
+
+CloudSearchResult exhaustive_cloud_search(const Workflow& wf,
+                                          const Platform& platform,
+                                          int nodes_on, int pstate,
+                                          const std::vector<double>& grid) {
+  PEACHY_REQUIRE(!grid.empty(), "fraction grid must be non-empty");
+  for (double g : grid)
+    PEACHY_REQUIRE(g >= 0.0 && g <= 1.0, "grid value " << g << " out of [0,1]");
+
+  const int levels = wf.num_levels();
+  CloudSearchResult best;
+  std::vector<std::size_t> idx(static_cast<std::size_t>(levels), 0);
+  std::vector<double> fractions(static_cast<std::size_t>(levels), grid[0]);
+
+  bool done = false;
+  while (!done) {
+    for (int l = 0; l < levels; ++l)
+      fractions[static_cast<std::size_t>(l)] =
+          grid[idx[static_cast<std::size_t>(l)]];
+    RunConfig cfg;
+    cfg.nodes_on = nodes_on;
+    cfg.pstate = pstate;
+    cfg.placement = Placement::level_fractions(wf, fractions);
+    const SimResult r = simulate(wf, platform, cfg);
+    ++best.evaluated;
+    if (best.fractions.empty() || r.total_gco2 < best.result.total_gco2) {
+      best.fractions = fractions;
+      best.result = r;
+    }
+
+    // Odometer increment over the grid.
+    int l = 0;
+    for (; l < levels; ++l) {
+      auto& i = idx[static_cast<std::size_t>(l)];
+      if (++i < grid.size()) break;
+      i = 0;
+    }
+    done = l == levels;
+  }
+  return best;
+}
+
+CloudSearchResult refine_cloud_fractions(const Workflow& wf,
+                                         const Platform& platform,
+                                         int nodes_on, int pstate,
+                                         std::vector<double> start,
+                                         double step) {
+  PEACHY_REQUIRE(step > 0, "step must be positive");
+  start.resize(static_cast<std::size_t>(wf.num_levels()), 0.0);
+
+  auto evaluate = [&](const std::vector<double>& fractions) {
+    RunConfig cfg;
+    cfg.nodes_on = nodes_on;
+    cfg.pstate = pstate;
+    cfg.placement = Placement::level_fractions(wf, fractions);
+    return simulate(wf, platform, cfg);
+  };
+
+  CloudSearchResult cur;
+  cur.fractions = start;
+  cur.result = evaluate(start);
+  ++cur.evaluated;
+
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (std::size_t l = 0; l < cur.fractions.size(); ++l) {
+      for (double delta : {-step, step}) {
+        std::vector<double> candidate = cur.fractions;
+        candidate[l] = std::clamp(candidate[l] + delta, 0.0, 1.0);
+        if (candidate[l] == cur.fractions[l]) continue;
+        const SimResult r = evaluate(candidate);
+        ++cur.evaluated;
+        if (r.total_gco2 < cur.result.total_gco2) {
+          cur.fractions = std::move(candidate);
+          cur.result = r;
+          improved = true;
+        }
+      }
+    }
+  }
+  return cur;
+}
+
+namespace {
+Site flipped(Site s) {
+  return s == Site::kCluster ? Site::kCloud : Site::kCluster;
+}
+
+SimResult evaluate_placement(const Workflow& wf, const Platform& plat,
+                             int nodes_on, int pstate,
+                             const Placement& placement) {
+  RunConfig cfg;
+  cfg.nodes_on = nodes_on;
+  cfg.pstate = pstate;
+  cfg.placement = placement;
+  return simulate(wf, plat, cfg);
+}
+}  // namespace
+
+PlacementSearchResult per_task_local_search(const Workflow& wf,
+                                            const Platform& platform,
+                                            int nodes_on, int pstate,
+                                            Placement start, int max_passes) {
+  PEACHY_REQUIRE(max_passes >= 1, "need >= 1 pass");
+  if (start.empty()) start = Placement::all(wf, Site::kCluster);
+
+  PlacementSearchResult cur;
+  cur.placement = start;
+  cur.result = evaluate_placement(wf, platform, nodes_on, pstate, start);
+  ++cur.evaluated;
+
+  for (int pass = 0; pass < max_passes; ++pass) {
+    int best_task = -1;
+    SimResult best_result;
+    for (int t = 0; t < wf.num_tasks(); ++t) {
+      Placement candidate = cur.placement;
+      candidate.set(t, flipped(candidate.site_of(t)));
+      // A cluster-bound flip with 0 powered nodes is invalid; skip.
+      if (nodes_on == 0 && candidate.site_of(t) == Site::kCluster) continue;
+      const SimResult r =
+          evaluate_placement(wf, platform, nodes_on, pstate, candidate);
+      ++cur.evaluated;
+      if (r.total_gco2 <
+          (best_task < 0 ? cur.result.total_gco2 : best_result.total_gco2)) {
+        best_task = t;
+        best_result = r;
+      }
+    }
+    if (best_task < 0) break;  // local optimum
+    cur.placement.set(best_task, flipped(cur.placement.site_of(best_task)));
+    cur.result = best_result;
+  }
+  return cur;
+}
+
+PlacementSearchResult anneal_placement(const Workflow& wf,
+                                       const Platform& platform, int nodes_on,
+                                       int pstate, Placement start,
+                                       const AnnealParams& params) {
+  PEACHY_REQUIRE(params.iterations >= 1, "need >= 1 iteration");
+  PEACHY_REQUIRE(params.cooling > 0 && params.cooling < 1,
+                 "cooling must be in (0,1), got " << params.cooling);
+  if (start.empty()) start = Placement::all(wf, Site::kCluster);
+
+  PlacementSearchResult best;
+  best.placement = start;
+  best.result = evaluate_placement(wf, platform, nodes_on, pstate, start);
+  ++best.evaluated;
+
+  Placement cur_placement = best.placement;
+  double cur_co2 = best.result.total_gco2;
+  double temperature = params.initial_temperature > 0
+                           ? params.initial_temperature
+                           : 0.05 * cur_co2;
+  Rng rng(params.seed);
+
+  for (int i = 0; i < params.iterations; ++i) {
+    const int t = static_cast<int>(rng.uniform_int(0, wf.num_tasks() - 1));
+    Placement candidate = cur_placement;
+    candidate.set(t, flipped(candidate.site_of(t)));
+    if (nodes_on == 0 && candidate.site_of(t) == Site::kCluster) continue;
+    const SimResult r =
+        evaluate_placement(wf, platform, nodes_on, pstate, candidate);
+    ++best.evaluated;
+    const double delta = r.total_gco2 - cur_co2;
+    if (delta <= 0 ||
+        (temperature > 0 && rng.uniform() < std::exp(-delta / temperature))) {
+      cur_placement = std::move(candidate);
+      cur_co2 = r.total_gco2;
+      if (cur_co2 < best.result.total_gco2) {
+        best.placement = cur_placement;
+        best.result = r;
+      }
+    }
+    temperature *= params.cooling;
+  }
+  return best;
+}
+
+}  // namespace peachy::wf

@@ -1,0 +1,106 @@
+// Power-management and placement optimization (paper §IV.B questions).
+//
+// Tab #1: binary searches for the minimum node count / minimum p-state that
+// meet an execution-time bound, and the "boss heuristic" that combines both
+// knobs; Tab #2: per-level cloud-fraction search, including the exhaustive
+// optimum the paper lists as future work ("we will run our simulator to
+// exhaustively evaluate all possible options so as to compute the actual
+// optimal CO2 emission").
+#pragma once
+
+#include "wfsim/simulate.hpp"
+
+namespace peachy::wf {
+
+/// A (nodes, p-state) cluster configuration and its simulated outcome.
+struct ClusterChoice {
+  int nodes_on = 0;
+  int pstate = 0;
+  SimResult result;
+  bool feasible = false;  ///< meets the deadline
+};
+
+/// Minimum number of powered-on nodes (binary search) such that the
+/// all-cluster execution in `pstate` finishes within `deadline_s`.
+/// Returns feasible == false if even all nodes miss the deadline.
+ClusterChoice min_nodes_for_deadline(const Workflow& wf,
+                                     const Platform& platform, int pstate,
+                                     double deadline_s);
+
+/// Minimum p-state (binary search; makespan is monotone in speed) such that
+/// the all-cluster execution on `nodes_on` nodes meets `deadline_s`.
+ClusterChoice min_pstate_for_deadline(const Workflow& wf,
+                                      const Platform& platform, int nodes_on,
+                                      double deadline_s);
+
+/// The boss's combined heuristic: for every p-state, find the minimum
+/// feasible node count, then return the (p-state, nodes) pair with the
+/// lowest total CO2. By construction this is at least as good as either
+/// single-knob optimization.
+ClusterChoice combined_power_heuristic(const Workflow& wf,
+                                       const Platform& platform,
+                                       double deadline_s);
+
+/// Result of a cloud-placement search.
+struct CloudSearchResult {
+  std::vector<double> fractions;  ///< per-level cloud fraction
+  SimResult result;
+  std::size_t evaluated = 0;      ///< simulations run
+};
+
+/// Exhaustively evaluates every combination of the given per-level cloud
+/// fractions (grid^num_levels simulations) and returns the CO2-minimal one.
+/// `grid` values must lie in [0,1].
+CloudSearchResult exhaustive_cloud_search(const Workflow& wf,
+                                          const Platform& platform,
+                                          int nodes_on, int pstate,
+                                          const std::vector<double>& grid);
+
+/// Hill-climbing refinement around `start`: repeatedly tries moving one
+/// level's fraction by ±step (clamped to [0,1]) and keeps strict CO2
+/// improvements until a local optimum is reached.
+CloudSearchResult refine_cloud_fractions(const Workflow& wf,
+                                         const Platform& platform,
+                                         int nodes_on, int pstate,
+                                         std::vector<double> start,
+                                         double step = 0.25);
+
+// --- Per-task placement search -------------------------------------------
+//
+// The space the paper calls NP-complete is per-*task* placement (2^738
+// options for the Montage instance), of which per-level fractions are a
+// tiny slice. These optimizers search the full space heuristically.
+
+/// Result of a per-task placement search.
+struct PlacementSearchResult {
+  Placement placement;
+  SimResult result;
+  std::size_t evaluated = 0;  ///< simulations run
+};
+
+/// Best-improvement local search over single-task site flips: in each pass
+/// evaluates flipping every task's site and applies the flip with the
+/// largest CO2 reduction; stops at a local optimum or after `max_passes`.
+PlacementSearchResult per_task_local_search(const Workflow& wf,
+                                            const Platform& platform,
+                                            int nodes_on, int pstate,
+                                            Placement start,
+                                            int max_passes = 8);
+
+/// Simulated-annealing knobs.
+struct AnnealParams {
+  int iterations = 4000;
+  double initial_temperature = 0;  ///< 0 = auto (5% of start CO2)
+  double cooling = 0.9985;         ///< geometric cooling per iteration
+  std::uint64_t seed = 1;
+};
+
+/// Simulated annealing over per-task placements (random single-task
+/// flips; worse moves accepted with exp(-dCO2/T)). Deterministic in the
+/// seed. Returns the best placement visited.
+PlacementSearchResult anneal_placement(const Workflow& wf,
+                                       const Platform& platform, int nodes_on,
+                                       int pstate, Placement start,
+                                       const AnnealParams& params = {});
+
+}  // namespace peachy::wf

@@ -1,0 +1,406 @@
+#include "wfsim/simulate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <set>
+
+#include "sim/engine.hpp"
+
+namespace peachy::wf {
+
+Placement Placement::all(const Workflow& wf, Site site) {
+  Placement p;
+  p.sites_.assign(static_cast<std::size_t>(wf.num_tasks()), site);
+  return p;
+}
+
+Placement Placement::level_fractions(const Workflow& wf,
+                                     const std::vector<double>& fractions) {
+  Placement p = all(wf, Site::kCluster);
+  for (int level = 0; level < wf.num_levels(); ++level) {
+    const double f = level < static_cast<int>(fractions.size())
+                         ? fractions[static_cast<std::size_t>(level)]
+                         : 0.0;
+    PEACHY_REQUIRE(f >= 0.0 && f <= 1.0,
+                   "cloud fraction " << f << " out of [0,1] at level " << level);
+    const auto& ids = wf.tasks_in_level(level);
+    const auto cutoff = static_cast<std::size_t>(
+        std::llround(f * static_cast<double>(ids.size())));
+    for (std::size_t i = 0; i < cutoff; ++i) p.set(ids[i], Site::kCloud);
+  }
+  return p;
+}
+
+int Placement::cloud_task_count() const {
+  int n = 0;
+  for (Site s : sites_)
+    if (s == Site::kCloud) ++n;
+  return n;
+}
+
+namespace {
+
+/// Whole mutable state of one simulation.
+struct SimState {
+  const Workflow* wf;
+  const Platform* plat;
+  RunConfig cfg;
+  sim::Engine engine;
+
+  // File presence per site, and in-flight transfer tracking.
+  // present[site][file], inflight[site][file] -> tasks waiting for it.
+  std::vector<std::vector<bool>> present;
+  std::vector<std::vector<bool>> inflight;
+
+  // Per-task progress.
+  std::vector<int> missing_parents;
+  std::vector<int> missing_inputs;  // inputs not yet present at my site
+  std::vector<bool> dispatched;
+
+  // Per-site free executors and FIFO ready queues (ordered by task id for
+  // determinism).
+  // Cluster nodes are individual (possibly heterogeneous): free nodes are
+  // kept ordered fastest-first so dispatch grabs the quickest one.
+  std::vector<double> node_gflops;      // speed per powered-on node
+  std::vector<double> node_busy_watts;  // draw per node while computing
+  std::vector<double> node_busy_s;      // accumulated busy time per node
+  std::set<std::pair<double, int>, std::greater<>> free_nodes;  // (speed, id)
+  std::vector<int> task_node;           // node running each task (-1)
+  int free_vms = 0;
+  std::set<int> ready_cluster;
+  std::set<int> ready_cloud;
+
+  // Link state. FIFO mode uses the queue + busy flag; fair-share mode
+  // tracks in-flight transfers with remaining byte counts and reschedules
+  // the earliest completion whenever the active set changes (epoch-stamped
+  // events stand in for cancellation).
+  std::deque<std::pair<int, int>> link_queue;  // (file, dest site)
+  bool link_busy = false;
+  struct ActiveTransfer {
+    int file;
+    int dest;
+    double remaining_bytes;
+  };
+  std::vector<ActiveTransfer> link_active;
+  double link_progress_time = 0;  // sim time of the last progress update
+  std::uint64_t link_epoch = 0;
+
+  // Accounting.
+  SimResult result;
+  int tasks_done = 0;
+
+  double vm_speed() const { return plat->cloud.vm_gflops * 1e9; }
+
+  static int site_index(Site s) { return s == Site::kCluster ? 0 : 1; }
+
+  Site site_of(int task) const { return cfg.placement.site_of(task); }
+
+  void on_task_ready(int task);
+  void try_dispatch();
+  void start_task(int task);
+  void request_inputs(int task);
+  void start_next_transfer();
+  void on_transfer_done(int file, int dest);
+  void on_task_done(int task);
+
+  // Fair-share link machinery.
+  void fair_enqueue(int file, int dest);
+  void fair_advance_progress();
+  void fair_schedule_completion();
+  void fair_on_completion_event(std::uint64_t epoch);
+};
+
+void SimState::on_task_ready(int task) {
+  if (site_of(task) == Site::kCluster)
+    ready_cluster.insert(task);
+  else
+    ready_cloud.insert(task);
+  try_dispatch();
+}
+
+void SimState::try_dispatch() {
+  while (!free_nodes.empty() && !ready_cluster.empty()) {
+    const int task = *ready_cluster.begin();
+    ready_cluster.erase(ready_cluster.begin());
+    const auto fastest = *free_nodes.begin();
+    free_nodes.erase(free_nodes.begin());
+    task_node[static_cast<std::size_t>(task)] = fastest.second;
+    request_inputs(task);
+  }
+  while (free_vms > 0 && !ready_cloud.empty()) {
+    const int task = *ready_cloud.begin();
+    ready_cloud.erase(ready_cloud.begin());
+    --free_vms;
+    request_inputs(task);
+  }
+}
+
+// Executor already reserved; count missing inputs and enqueue transfers.
+void SimState::request_inputs(int task) {
+  const int si = site_index(site_of(task));
+  const bool fair = plat->link.sharing == LinkSharing::kFairShare;
+  int missing = 0;
+  for (int fid : wf->task(task).inputs) {
+    const auto f = static_cast<std::size_t>(fid);
+    if (present[static_cast<std::size_t>(si)][f]) continue;
+    ++missing;
+    if (!inflight[static_cast<std::size_t>(si)][f]) {
+      inflight[static_cast<std::size_t>(si)][f] = true;
+      if (fair)
+        fair_enqueue(fid, si);
+      else
+        link_queue.emplace_back(fid, si);
+    }
+  }
+  missing_inputs[static_cast<std::size_t>(task)] = missing;
+  if (missing == 0)
+    start_task(task);
+  else if (!fair)
+    start_next_transfer();
+}
+
+void SimState::start_next_transfer() {
+  if (link_busy || link_queue.empty()) return;
+  const auto [fid, dest] = link_queue.front();
+  link_queue.pop_front();
+  link_busy = true;
+  const double bytes = wf->file(fid).bytes;
+  const double duration = plat->link.latency_s + bytes / plat->link.bytes_per_s;
+  result.link_busy_s += duration;
+  result.transferred_bytes += bytes;
+  ++result.transfers;
+  engine.schedule_in(duration,
+                     [this, fid = fid, dest = dest] { on_transfer_done(fid, dest); });
+}
+
+// --- Fair-share link ------------------------------------------------------
+
+void SimState::fair_enqueue(int file, int dest) {
+  const double bytes = wf->file(file).bytes;
+  result.transferred_bytes += bytes;
+  ++result.transfers;
+  // Latency is an upfront per-transfer delay; the payload then joins the
+  // fair-shared pipe.
+  engine.schedule_in(plat->link.latency_s, [this, file, dest, bytes] {
+    fair_advance_progress();
+    link_active.push_back(ActiveTransfer{file, dest, bytes});
+    fair_schedule_completion();
+  });
+}
+
+// Charges elapsed time against every in-flight transfer at the current
+// fair rate and accounts link busy time.
+void SimState::fair_advance_progress() {
+  const double now = engine.now();
+  const double elapsed = now - link_progress_time;
+  link_progress_time = now;
+  if (link_active.empty() || elapsed <= 0) return;
+  const double rate =
+      plat->link.bytes_per_s / static_cast<double>(link_active.size());
+  for (ActiveTransfer& t : link_active)
+    t.remaining_bytes = std::max(0.0, t.remaining_bytes - elapsed * rate);
+  result.link_busy_s += elapsed;
+}
+
+void SimState::fair_schedule_completion() {
+  if (link_active.empty()) return;
+  double min_remaining = link_active.front().remaining_bytes;
+  for (const ActiveTransfer& t : link_active)
+    min_remaining = std::min(min_remaining, t.remaining_bytes);
+  const double rate =
+      plat->link.bytes_per_s / static_cast<double>(link_active.size());
+  const std::uint64_t epoch = ++link_epoch;
+  engine.schedule_in(min_remaining / rate,
+                     [this, epoch] { fair_on_completion_event(epoch); });
+}
+
+void SimState::fair_on_completion_event(std::uint64_t epoch) {
+  if (epoch != link_epoch) return;  // superseded by a rate change
+  fair_advance_progress();
+  // Deliver every transfer that finished (ties complete together).
+  std::vector<ActiveTransfer> done;
+  for (std::size_t i = 0; i < link_active.size();) {
+    if (link_active[i].remaining_bytes <= 1e-6) {
+      done.push_back(link_active[i]);
+      link_active.erase(link_active.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  for (const ActiveTransfer& t : done) on_transfer_done(t.file, t.dest);
+  fair_schedule_completion();
+}
+
+void SimState::on_transfer_done(int file, int dest) {
+  link_busy = false;
+  const auto f = static_cast<std::size_t>(file);
+  present[static_cast<std::size_t>(dest)][f] = true;
+  inflight[static_cast<std::size_t>(dest)][f] = false;
+
+  // Wake dispatched tasks at `dest` waiting on this file.
+  for (int consumer : wf->file(file).consumers) {
+    const auto c = static_cast<std::size_t>(consumer);
+    if (!dispatched[c] && missing_inputs[c] > 0 &&
+        site_index(site_of(consumer)) == dest) {
+      if (--missing_inputs[c] == 0) start_task(consumer);
+    }
+  }
+  start_next_transfer();
+}
+
+void SimState::start_task(int task) {
+  const auto t = static_cast<std::size_t>(task);
+  PEACHY_CHECK(!dispatched[t]);
+  dispatched[t] = true;
+  const Site site = site_of(task);
+  double speed = vm_speed();
+  if (site == Site::kCluster) {
+    const int node = task_node[t];
+    PEACHY_CHECK(node >= 0);
+    speed = node_gflops[static_cast<std::size_t>(node)] * 1e9;
+  }
+  const double duration = wf->task(task).flops / speed;
+  if (site == Site::kCluster) {
+    result.cluster_busy_node_s += duration;
+    node_busy_s[static_cast<std::size_t>(task_node[t])] += duration;
+    ++result.tasks_on_cluster;
+  } else {
+    result.cloud_busy_vm_s += duration;
+    ++result.tasks_on_cloud;
+  }
+  engine.schedule_in(duration, [this, task] { on_task_done(task); });
+}
+
+void SimState::on_task_done(int task) {
+  const Site site = site_of(task);
+  const int si = site_index(site);
+  for (int fid : wf->task(task).outputs)
+    present[static_cast<std::size_t>(si)][static_cast<std::size_t>(fid)] = true;
+  if (site == Site::kCluster) {
+    const int node = task_node[static_cast<std::size_t>(task)];
+    free_nodes.emplace(node_gflops[static_cast<std::size_t>(node)], node);
+  } else {
+    ++free_vms;
+  }
+  ++tasks_done;
+
+  for (int child : wf->task(task).children) {
+    const auto c = static_cast<std::size_t>(child);
+    if (--missing_parents[c] == 0) on_task_ready(child);
+  }
+  try_dispatch();
+}
+
+}  // namespace
+
+SimResult simulate(const Workflow& wf, const Platform& platform,
+                   const RunConfig& config) {
+  PEACHY_REQUIRE(config.pstate >= 0 && config.pstate < platform.num_pstates(),
+                 "p-state " << config.pstate << " out of [0,"
+                            << platform.num_pstates() << ")");
+  PEACHY_REQUIRE(config.nodes_on >= 0 &&
+                     config.nodes_on <= platform.cluster.total_nodes,
+                 "nodes_on " << config.nodes_on << " out of [0,"
+                             << platform.cluster.total_nodes << "]");
+  PEACHY_REQUIRE(config.node_pstates.empty() ||
+                     static_cast<int>(config.node_pstates.size()) ==
+                         config.nodes_on,
+                 "node_pstates must have nodes_on entries, got "
+                     << config.node_pstates.size());
+
+  SimState st;
+  st.wf = &wf;
+  st.plat = &platform;
+  st.cfg = config;
+  if (st.cfg.placement.empty())
+    st.cfg.placement = Placement::all(wf, Site::kCluster);
+
+  // A cluster-placed task with zero powered nodes can never run.
+  for (const Task& t : wf.tasks())
+    if (st.cfg.placement.site_of(t.id) == Site::kCluster)
+      PEACHY_REQUIRE(config.nodes_on > 0,
+                     "task " << t.name
+                             << " is placed on the cluster but nodes_on == 0");
+
+  st.present.assign(2, std::vector<bool>(
+                           static_cast<std::size_t>(wf.num_files()), false));
+  st.inflight.assign(2, std::vector<bool>(
+                            static_cast<std::size_t>(wf.num_files()), false));
+  // Workflow inputs start on cluster storage.
+  for (const File& f : wf.files())
+    if (f.producer == -1)
+      st.present[0][static_cast<std::size_t>(f.id)] = true;
+
+  st.missing_parents.resize(static_cast<std::size_t>(wf.num_tasks()));
+  st.missing_inputs.assign(static_cast<std::size_t>(wf.num_tasks()), 0);
+  st.dispatched.assign(static_cast<std::size_t>(wf.num_tasks()), false);
+  st.task_node.assign(static_cast<std::size_t>(wf.num_tasks()), -1);
+  for (int n = 0; n < config.nodes_on; ++n) {
+    const int ps = config.node_pstates.empty()
+                       ? config.pstate
+                       : config.node_pstates[static_cast<std::size_t>(n)];
+    PEACHY_REQUIRE(ps >= 0 && ps < platform.num_pstates(),
+                   "node " << n << " has bad p-state " << ps);
+    const PState& state = platform.cluster.pstates[static_cast<std::size_t>(ps)];
+    st.node_gflops.push_back(state.gflops);
+    st.node_busy_watts.push_back(state.busy_watts);
+    st.node_busy_s.push_back(0.0);
+    st.free_nodes.emplace(state.gflops, n);
+  }
+  st.free_vms = platform.cloud.vms;
+
+  for (const Task& t : wf.tasks()) {
+    st.missing_parents[static_cast<std::size_t>(t.id)] =
+        static_cast<int>(t.parents.size());
+    if (t.parents.empty()) {
+      if (st.site_of(t.id) == Site::kCluster)
+        st.ready_cluster.insert(t.id);
+      else
+        st.ready_cloud.insert(t.id);
+    }
+  }
+  st.engine.schedule_at(0.0, [&st] { st.try_dispatch(); });
+  st.engine.run();
+
+  PEACHY_REQUIRE(st.tasks_done == wf.num_tasks(),
+                 "simulation stalled: " << st.tasks_done << " of "
+                                        << wf.num_tasks() << " tasks finished");
+
+  SimResult r = st.result;
+  r.makespan_s = st.engine.now();
+
+  r.cluster_energy_j = 0;
+  for (int n = 0; n < config.nodes_on; ++n) {
+    const auto i = static_cast<std::size_t>(n);
+    r.cluster_energy_j +=
+        st.node_busy_s[i] * st.node_busy_watts[i] +
+        std::max(0.0, r.makespan_s - st.node_busy_s[i]) *
+            platform.cluster.idle_watts;
+  }
+  r.cloud_energy_j = r.cloud_busy_vm_s * platform.cloud.vm_busy_watts;
+
+  constexpr double kJoulesPerKwh = 3.6e6;
+  r.cluster_gco2 =
+      r.cluster_energy_j / kJoulesPerKwh * platform.cluster.gco2_per_kwh;
+  r.cloud_gco2 = r.cloud_energy_j / kJoulesPerKwh * platform.cloud.gco2_per_kwh;
+  r.total_gco2 = r.cluster_gco2 + r.cloud_gco2;
+  return r;
+}
+
+SpeedupReport speedup_vs_one_node(const Workflow& wf, const Platform& platform,
+                                  const RunConfig& config) {
+  RunConfig one = config;
+  one.nodes_on = 1;
+  one.placement = Placement::all(wf, Site::kCluster);
+  const SimResult r1 = simulate(wf, platform, one);
+  const SimResult rn = simulate(wf, platform, config);
+  SpeedupReport rep;
+  rep.t1_s = r1.makespan_s;
+  rep.tn_s = rn.makespan_s;
+  rep.speedup = r1.makespan_s / rn.makespan_s;
+  rep.efficiency = rep.speedup / static_cast<double>(config.nodes_on);
+  return rep;
+}
+
+}  // namespace peachy::wf

@@ -1,0 +1,80 @@
+#include "wfsim/wfjson.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace peachy::wf {
+
+json::Value to_json(const Workflow& wf, const std::string& name) {
+  json::Array files;
+  for (const File& f : wf.files()) {
+    json::Object file;
+    file["name"] = f.name;
+    file["sizeInBytes"] = f.bytes;
+    files.push_back(json::Value(std::move(file)));
+  }
+  json::Array tasks;
+  for (const Task& t : wf.tasks()) {
+    json::Object task;
+    task["name"] = t.name;
+    task["runtimeInFlops"] = t.flops;
+    json::Array inputs, outputs;
+    for (int fid : t.inputs) inputs.push_back(wf.file(fid).name);
+    for (int fid : t.outputs) outputs.push_back(wf.file(fid).name);
+    task["inputFiles"] = json::Value(std::move(inputs));
+    task["outputFiles"] = json::Value(std::move(outputs));
+    tasks.push_back(json::Value(std::move(task)));
+  }
+  json::Object doc;
+  doc["name"] = name;
+  doc["files"] = json::Value(std::move(files));
+  doc["tasks"] = json::Value(std::move(tasks));
+  return json::Value(std::move(doc));
+}
+
+Workflow from_json(const json::Value& doc) {
+  WorkflowBuilder builder;
+  std::map<std::string, int> file_ids;
+  for (const json::Value& fv : doc.at("files").as_array()) {
+    const std::string& name = fv.at("name").as_string();
+    PEACHY_REQUIRE(!file_ids.count(name), "duplicate file name " << name);
+    file_ids[name] =
+        builder.add_file(name, fv.at("sizeInBytes").as_number());
+  }
+  auto resolve = [&file_ids](const json::Value& names) {
+    std::vector<int> ids;
+    for (const json::Value& nv : names.as_array()) {
+      const auto it = file_ids.find(nv.as_string());
+      PEACHY_REQUIRE(it != file_ids.end(),
+                     "task references unknown file " << nv.as_string());
+      ids.push_back(it->second);
+    }
+    return ids;
+  };
+  for (const json::Value& tv : doc.at("tasks").as_array()) {
+    builder.add_task(tv.at("name").as_string(),
+                     tv.at("runtimeInFlops").as_number(),
+                     resolve(tv.at("inputFiles")),
+                     resolve(tv.at("outputFiles")));
+  }
+  return builder.build();
+}
+
+void save_workflow(const Workflow& wf, const std::string& path,
+                   const std::string& name) {
+  std::ofstream os(path);
+  PEACHY_REQUIRE(os.good(), "cannot open " << path << " for writing");
+  os << to_json(wf, name).dump(/*indent=*/true) << "\n";
+  PEACHY_REQUIRE(os.good(), "write failed for " << path);
+}
+
+Workflow load_workflow(const std::string& path) {
+  std::ifstream is(path);
+  PEACHY_REQUIRE(is.good(), "cannot open " << path);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return from_json(json::parse(buffer.str()));
+}
+
+}  // namespace peachy::wf

@@ -1,0 +1,35 @@
+// Workflow import/export in a WfCommons-style JSON schema.
+//
+// Real workflow research exchanges DAGs as JSON instances (wfcommons.org);
+// this adapter lets the simulator consume externally described workflows
+// and publish the generated Montage instance:
+//
+// {
+//   "name": "...",
+//   "files": [ {"name": "f", "sizeInBytes": 123}, ... ],
+//   "tasks": [ {"name": "t", "runtimeInFlops": 1e9,
+//               "inputFiles": ["f"], "outputFiles": ["g"]}, ... ]
+// }
+#pragma once
+
+#include <string>
+
+#include "core/json.hpp"
+#include "wfsim/workflow.hpp"
+
+namespace peachy::wf {
+
+/// Serializes a workflow to the JSON schema above.
+json::Value to_json(const Workflow& wf, const std::string& name = "workflow");
+
+/// Builds a workflow from the JSON schema above (file references by name).
+/// Throws peachy::Error on schema violations (unknown file names, duplicate
+/// producers, cycles).
+Workflow from_json(const json::Value& doc);
+
+/// Convenience: write/read a workflow JSON file.
+void save_workflow(const Workflow& wf, const std::string& path,
+                   const std::string& name = "workflow");
+Workflow load_workflow(const std::string& path);
+
+}  // namespace peachy::wf

@@ -1,0 +1,128 @@
+#include "wfsim/workflow.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace peachy::wf {
+
+const std::vector<int>& Workflow::tasks_in_level(int level) const {
+  PEACHY_REQUIRE(level >= 0 && level < num_levels_,
+                 "level " << level << " out of [0," << num_levels_ << ")");
+  return levels_[static_cast<std::size_t>(level)];
+}
+
+double Workflow::total_flops() const {
+  double total = 0;
+  for (const Task& t : tasks_) total += t.flops;
+  return total;
+}
+
+double Workflow::total_bytes() const {
+  double total = 0;
+  for (const File& f : files_) total += f.bytes;
+  return total;
+}
+
+int Workflow::width() const {
+  int w = 0;
+  for (const auto& lvl : levels_) w = std::max(w, static_cast<int>(lvl.size()));
+  return w;
+}
+
+int WorkflowBuilder::add_file(std::string name, double bytes) {
+  PEACHY_REQUIRE(bytes >= 0, "file " << name << " has negative size");
+  File f;
+  f.id = static_cast<int>(wf_.files_.size());
+  f.name = std::move(name);
+  f.bytes = bytes;
+  wf_.files_.push_back(std::move(f));
+  return wf_.files_.back().id;
+}
+
+int WorkflowBuilder::add_task(std::string name, double flops,
+                              std::vector<int> inputs,
+                              std::vector<int> outputs) {
+  PEACHY_REQUIRE(flops >= 0, "task " << name << " has negative work");
+  const int id = static_cast<int>(wf_.tasks_.size());
+  for (int fid : inputs)
+    PEACHY_REQUIRE(fid >= 0 && fid < wf_.num_files(),
+                   "task " << name << " reads unknown file " << fid);
+  for (int fid : outputs) {
+    PEACHY_REQUIRE(fid >= 0 && fid < wf_.num_files(),
+                   "task " << name << " writes unknown file " << fid);
+    File& f = wf_.files_[static_cast<std::size_t>(fid)];
+    PEACHY_REQUIRE(f.producer == -1, "file " << f.name
+                                             << " has two producers: task "
+                                             << f.producer << " and " << name);
+    f.producer = id;
+  }
+  Task t;
+  t.id = id;
+  t.name = std::move(name);
+  t.flops = flops;
+  t.inputs = std::move(inputs);
+  t.outputs = std::move(outputs);
+  wf_.tasks_.push_back(std::move(t));
+  return id;
+}
+
+Workflow WorkflowBuilder::build() {
+  PEACHY_REQUIRE(!wf_.tasks_.empty(), "workflow has no tasks");
+
+  // Record consumers; derive parent/child task relations via files.
+  for (File& f : wf_.files_) f.consumers.clear();
+  for (Task& t : wf_.tasks_) {
+    t.parents.clear();
+    t.children.clear();
+  }
+  for (Task& t : wf_.tasks_)
+    for (int fid : t.inputs)
+      wf_.files_[static_cast<std::size_t>(fid)].consumers.push_back(t.id);
+  for (Task& t : wf_.tasks_) {
+    std::set<int> parents;
+    for (int fid : t.inputs) {
+      const int producer = wf_.files_[static_cast<std::size_t>(fid)].producer;
+      if (producer >= 0 && producer != t.id) parents.insert(producer);
+    }
+    t.parents.assign(parents.begin(), parents.end());
+    for (int p : t.parents)
+      wf_.tasks_[static_cast<std::size_t>(p)].children.push_back(t.id);
+  }
+
+  // Topological levels (longest path from an entry task); also detects
+  // cycles: if the queue drains before visiting every task, there is one.
+  std::vector<int> pending(wf_.tasks_.size());
+  std::deque<int> ready;
+  for (const Task& t : wf_.tasks_) {
+    pending[static_cast<std::size_t>(t.id)] = static_cast<int>(t.parents.size());
+    if (t.parents.empty()) ready.push_back(t.id);
+  }
+  std::size_t visited = 0;
+  int max_level = 0;
+  while (!ready.empty()) {
+    const int id = ready.front();
+    ready.pop_front();
+    ++visited;
+    Task& t = wf_.tasks_[static_cast<std::size_t>(id)];
+    max_level = std::max(max_level, t.level);
+    for (int c : t.children) {
+      Task& child = wf_.tasks_[static_cast<std::size_t>(c)];
+      child.level = std::max(child.level, t.level + 1);
+      if (--pending[static_cast<std::size_t>(c)] == 0) ready.push_back(c);
+    }
+  }
+  PEACHY_REQUIRE(visited == wf_.tasks_.size(),
+                 "workflow has a dependency cycle (" << visited << " of "
+                                                     << wf_.tasks_.size()
+                                                     << " tasks reachable)");
+
+  wf_.num_levels_ = max_level + 1;
+  wf_.levels_.assign(static_cast<std::size_t>(wf_.num_levels_), {});
+  for (const Task& t : wf_.tasks_)
+    wf_.levels_[static_cast<std::size_t>(t.level)].push_back(t.id);
+
+  return std::move(wf_);
+}
+
+}  // namespace peachy::wf

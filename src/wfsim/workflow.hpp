@@ -1,0 +1,88 @@
+// Workflow (scientific DAG) model — the WRENCH-side substrate of paper §IV.
+//
+// Tasks consume/produce files; dependencies are derived from file
+// producer/consumer relations (as in real workflow systems). Levels are the
+// classic workflow notion the assignment reasons in ("execute the first two
+// levels of the workflow on the cloud"): level = longest path from an entry
+// task.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace peachy::wf {
+
+/// A data file moved between tasks. Workflow inputs have producer == -1.
+struct File {
+  int id = 0;
+  std::string name;
+  double bytes = 0;
+  int producer = -1;            ///< task producing it, -1 = initial input
+  std::vector<int> consumers;   ///< tasks reading it
+};
+
+/// One computational task.
+struct Task {
+  int id = 0;
+  std::string name;
+  double flops = 0;             ///< work (floating point operations)
+  std::vector<int> inputs;      ///< file ids read
+  std::vector<int> outputs;     ///< file ids written
+  std::vector<int> parents;     ///< derived: tasks producing my inputs
+  std::vector<int> children;    ///< derived: tasks consuming my outputs
+  int level = 0;                ///< derived: longest path from an entry task
+};
+
+/// An immutable DAG of tasks and files. Build with WorkflowBuilder.
+class Workflow {
+ public:
+  const std::vector<Task>& tasks() const { return tasks_; }
+  const std::vector<File>& files() const { return files_; }
+
+  const Task& task(int id) const { return tasks_.at(static_cast<std::size_t>(id)); }
+  const File& file(int id) const { return files_.at(static_cast<std::size_t>(id)); }
+
+  int num_tasks() const { return static_cast<int>(tasks_.size()); }
+  int num_files() const { return static_cast<int>(files_.size()); }
+  int num_levels() const { return num_levels_; }
+
+  /// Task ids at `level`, in id order.
+  const std::vector<int>& tasks_in_level(int level) const;
+
+  /// Total work over all tasks.
+  double total_flops() const;
+  /// Total unique data footprint over all files (the paper's 7.5 GB).
+  double total_bytes() const;
+  /// Maximum number of tasks in any level ("width").
+  int width() const;
+
+ private:
+  friend class WorkflowBuilder;
+  std::vector<Task> tasks_;
+  std::vector<File> files_;
+  std::vector<std::vector<int>> levels_;
+  int num_levels_ = 0;
+};
+
+/// Incremental workflow construction + validation.
+class WorkflowBuilder {
+ public:
+  /// Adds a file; returns its id.
+  int add_file(std::string name, double bytes);
+
+  /// Adds a task reading `inputs` and writing `outputs` (file ids).
+  /// Returns the task id. Each file may have at most one producer.
+  int add_task(std::string name, double flops, std::vector<int> inputs,
+               std::vector<int> outputs);
+
+  /// Validates (acyclic, single producer per file), derives parents/
+  /// children/levels, and returns the finished workflow.
+  Workflow build();
+
+ private:
+  Workflow wf_;
+};
+
+}  // namespace peachy::wf

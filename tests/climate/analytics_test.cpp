@@ -1,0 +1,169 @@
+#include "climate/analytics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/colormap.hpp"
+#include "core/error.hpp"
+
+namespace peachy::climate {
+namespace {
+
+DwdModelParams small_params() {
+  DwdModelParams p;
+  p.first_year = 1940;
+  p.last_year = 1990;
+  return p;
+}
+
+TEST(StateAnnualMeans, MapReduceMatchesReference) {
+  const MonthlyDataset d = synthesize_dwd(small_params());
+  const StateAnnualSeries mr_series = state_annual_means_mapreduce(d);
+  const StateAnnualSeries ref = state_annual_means_reference(d);
+  ASSERT_EQ(mr_series.mean_c.size(), static_cast<std::size_t>(kNumStates));
+  for (int s = 0; s < kNumStates; ++s)
+    for (std::size_t y = 0; y < ref.mean_c[0].size(); ++y) {
+      EXPECT_EQ(mr_series.has[static_cast<std::size_t>(s)][y],
+                ref.has[static_cast<std::size_t>(s)][y]);
+      EXPECT_NEAR(mr_series.mean_c[static_cast<std::size_t>(s)][y],
+                  ref.mean_c[static_cast<std::size_t>(s)][y], 1e-9);
+    }
+}
+
+TEST(StateAnnualMeans, WorkerCountInvariant) {
+  const MonthlyDataset d = synthesize_dwd(small_params());
+  const StateAnnualSeries base = state_annual_means_mapreduce(d, 1, 1);
+  for (int mw : {2, 4})
+    for (int rw : {2, 3}) {
+      const StateAnnualSeries other = state_annual_means_mapreduce(d, mw, rw);
+      for (int s = 0; s < kNumStates; ++s)
+        for (std::size_t y = 0; y < base.mean_c[0].size(); ++y)
+          EXPECT_NEAR(other.mean_c[static_cast<std::size_t>(s)][y],
+                      base.mean_c[static_cast<std::size_t>(s)][y], 1e-9);
+    }
+}
+
+TEST(StateAnnualMeans, MissingDataPropagates) {
+  MonthlyDataset d = synthesize_dwd(small_params());
+  for (int m = 1; m <= 12; ++m) d.clear(1950, m, 3);  // state 3 dark in 1950
+  const StateAnnualSeries s = state_annual_means_mapreduce(d);
+  const auto yi = static_cast<std::size_t>(1950 - d.first_year());
+  EXPECT_FALSE(s.has[3][yi]);
+  EXPECT_TRUE(s.has[2][yi]);
+}
+
+TEST(StateTrends, RecoversSyntheticWarming) {
+  // The generator injects a known warming signal; each state's fitted
+  // slope must be positive and of the right magnitude over the steep era.
+  DwdModelParams p;
+  p.first_year = 1970;
+  p.last_year = 2019;
+  p.annual_noise_c = 0.05;   // keep the fit tight
+  p.monthly_noise_c = 0.10;
+  const MonthlyDataset d = synthesize_dwd(p);
+  const auto trends = state_trends_mapreduce(d);
+  ASSERT_EQ(trends.size(), static_cast<std::size_t>(kNumStates));
+  // Post-1970 warming: (2.3 - 0.35) °C over 49 years ≈ 0.4 °C/decade.
+  for (const StateTrend& t : trends) {
+    EXPECT_NEAR(t.slope_c_per_decade, 0.4, 0.1) << "state " << t.state;
+    EXPECT_EQ(t.years, 50);
+  }
+}
+
+TEST(StateTrends, ExactRegressionOnConstructedData) {
+  // Hand-built dataset: state 0 warms by exactly 0.02 °C/year, state 1 is
+  // flat. Regression through MapReduce must recover both slopes exactly.
+  MonthlyDataset d(2000, 2009);
+  for (int y = 2000; y <= 2009; ++y)
+    for (int m = 1; m <= 12; ++m)
+      for (int s = 0; s < kNumStates; ++s)
+        d.set(y, m, s, s == 0 ? 10.0 + 0.02 * (y - 2000) : 5.0);
+  const auto trends = state_trends_mapreduce(d);
+  EXPECT_NEAR(trends[0].slope_c_per_decade, 0.2, 1e-9);
+  EXPECT_NEAR(trends[1].slope_c_per_decade, 0.0, 1e-9);
+  EXPECT_NEAR(trends[1].mean_c, 5.0, 1e-9);
+}
+
+TEST(WarmestYears, TopKOrderedAndComplete) {
+  const MonthlyDataset d = synthesize_dwd({});  // 1881-2019 with warming
+  const auto top = warmest_years_mapreduce(d, 5);
+  ASSERT_EQ(top.size(), 5u);
+  for (std::size_t i = 1; i < top.size(); ++i)
+    EXPECT_GE(top[i - 1].mean_c, top[i].mean_c);
+  // Warming trend: the warmest years are late ones.
+  for (const YearMean& ym : top) EXPECT_GT(ym.year, 1980);
+}
+
+TEST(WarmestYears, MatchesSequentialTopK) {
+  const MonthlyDataset d = synthesize_dwd(small_params());
+  const AnnualSeries ref = annual_means_reference(d);
+  std::vector<YearMean> expected;
+  for (std::size_t i = 0; i < ref.mean_c.size(); ++i)
+    if (ref.complete[i]) expected.push_back({ref.year_of(i), ref.mean_c[i]});
+  std::sort(expected.begin(), expected.end(),
+            [](const YearMean& a, const YearMean& b) {
+              if (a.mean_c != b.mean_c) return a.mean_c > b.mean_c;
+              return a.year < b.year;
+            });
+  const auto top = warmest_years_mapreduce(d, 3);
+  ASSERT_EQ(top.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(top[static_cast<std::size_t>(i)].year,
+              expected[static_cast<std::size_t>(i)].year);
+    EXPECT_NEAR(top[static_cast<std::size_t>(i)].mean_c,
+                expected[static_cast<std::size_t>(i)].mean_c, 1e-9);
+  }
+}
+
+TEST(WarmestYears, ExcludesIncompleteYears) {
+  MonthlyDataset d = synthesize_dwd(small_params());
+  // Make the hottest year incomplete: it must vanish from the top list.
+  const auto top_before = warmest_years_mapreduce(d, 1);
+  drop_months(d, top_before[0].year, 12, 12);
+  const auto top_after = warmest_years_mapreduce(d, 1);
+  EXPECT_NE(top_after[0].year, top_before[0].year);
+}
+
+TEST(WarmestYears, ValidatesK) {
+  const MonthlyDataset d = synthesize_dwd(small_params());
+  EXPECT_THROW(warmest_years_mapreduce(d, 0), Error);
+}
+
+TEST(RenderStateStripes, GeometryAndGreyBands) {
+  DwdModelParams p;
+  p.first_year = 2000;
+  p.last_year = 2009;
+  MonthlyDataset d = synthesize_dwd(p);
+  for (int m = 1; m <= 12; ++m) d.clear(2005, m, 7);
+  const StateAnnualSeries s = state_annual_means_mapreduce(d);
+  const Image img = render_state_stripes(s, 10, 3);
+  EXPECT_EQ(img.height(), kNumStates * 10);
+  EXPECT_EQ(img.width(), 10 * 3);
+  // State 7's 2005 stripe is grey; its neighbour years are not.
+  EXPECT_EQ(img(7 * 10 + 5, 5 * 3 + 1), peachy::DivergingScale::missing());
+  EXPECT_NE(img(7 * 10 + 5, 4 * 3 + 1), peachy::DivergingScale::missing());
+}
+
+TEST(RenderStateStripes, PerStateScalesDiffer) {
+  // Two states with very different baselines must both span blue->red on
+  // their own scales.
+  MonthlyDataset d(2000, 2019);
+  for (int y = 2000; y <= 2019; ++y)
+    for (int m = 1; m <= 12; ++m)
+      for (int s = 0; s < kNumStates; ++s)
+        d.set(y, m, s, (s == 0 ? 0.0 : 20.0) + 0.1 * (y - 2000));
+  const StateAnnualSeries series = state_annual_means_mapreduce(d);
+  const Image img = render_state_stripes(series, 4, 2);
+  auto redness = [&](int y, int x) {
+    return static_cast<int>(img(y, x).r) - static_cast<int>(img(y, x).b);
+  };
+  // First year blue-ish, last year red-ish, for both bands.
+  EXPECT_LT(redness(1, 0), 0);
+  EXPECT_GT(redness(1, img.width() - 1), 0);
+  EXPECT_LT(redness(4 * 4 + 1, 0), 0);
+  EXPECT_GT(redness(4 * 4 + 1, img.width() - 1), 0);
+}
+
+}  // namespace
+}  // namespace peachy::climate

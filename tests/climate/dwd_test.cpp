@@ -1,0 +1,211 @@
+#include "climate/dwd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+
+#include "core/error.hpp"
+
+namespace peachy::climate {
+namespace {
+
+TEST(MonthlyDataset, SetGetClear) {
+  MonthlyDataset d(2000, 2001);
+  EXPECT_FALSE(d.has(2000, 1, 0));
+  d.set(2000, 1, 0, 5.5);
+  EXPECT_TRUE(d.has(2000, 1, 0));
+  EXPECT_DOUBLE_EQ(d.get(2000, 1, 0), 5.5);
+  EXPECT_EQ(d.present_count(), 1u);
+  d.clear(2000, 1, 0);
+  EXPECT_FALSE(d.has(2000, 1, 0));
+  EXPECT_EQ(d.present_count(), 0u);
+  EXPECT_THROW(d.get(2000, 1, 0), Error);
+}
+
+TEST(MonthlyDataset, BoundsChecked) {
+  MonthlyDataset d(2000, 2001);
+  EXPECT_THROW(d.set(1999, 1, 0, 0.0), Error);
+  EXPECT_THROW(d.set(2000, 0, 0, 0.0), Error);
+  EXPECT_THROW(d.set(2000, 13, 0, 0.0), Error);
+  EXPECT_THROW(d.set(2000, 1, 16, 0.0), Error);
+  EXPECT_THROW(MonthlyDataset(2001, 2000), Error);
+}
+
+TEST(MonthlyDataset, ObservationsInOrder) {
+  MonthlyDataset d(2000, 2000);
+  d.set(2000, 2, 1, 1.0);
+  d.set(2000, 1, 3, 2.0);
+  const auto obs = d.observations();
+  ASSERT_EQ(obs.size(), 2u);
+  EXPECT_EQ(obs[0].month, 1);
+  EXPECT_EQ(obs[0].state, 3);
+  EXPECT_EQ(obs[1].month, 2);
+}
+
+TEST(SynthesizeDwd, CompleteAndDeterministic) {
+  DwdModelParams p;
+  p.first_year = 1950;
+  p.last_year = 1960;
+  const MonthlyDataset a = synthesize_dwd(p);
+  const MonthlyDataset b = synthesize_dwd(p);
+  EXPECT_EQ(a.present_count(), 11u * 12 * 16);
+  for (const auto& o : a.observations())
+    EXPECT_DOUBLE_EQ(o.temp_c, b.get(o.year, o.month, o.state));
+}
+
+TEST(SynthesizeDwd, CalibratedToPaperShape) {
+  // Fig. 6 narrative: Germany annual means range from a low around 7 °C to
+  // a high around 10 °C across 1881-2019, rising over time.
+  const MonthlyDataset d = synthesize_dwd({});
+  const AnnualSeries s = annual_means_reference(d);
+  double lo = 1e9, hi = -1e9;
+  for (double m : s.mean_c) {
+    lo = std::min(lo, m);
+    hi = std::max(hi, m);
+  }
+  EXPECT_GT(lo, 6.0);
+  EXPECT_LT(lo, 8.0);
+  EXPECT_GT(hi, 9.0);
+  EXPECT_LT(hi, 11.0);
+  // Warming: last 20 years clearly above the first 20.
+  double early = 0, late = 0;
+  for (int i = 0; i < 20; ++i) {
+    early += s.mean_c[static_cast<std::size_t>(i)] / 20;
+    late += s.mean_c[s.mean_c.size() - 1 - static_cast<std::size_t>(i)] / 20;
+  }
+  EXPECT_GT(late - early, 1.0);
+}
+
+TEST(SynthesizeDwd, SeasonalCycleVisible) {
+  const MonthlyDataset d = synthesize_dwd({});
+  // July must be far warmer than January on average.
+  double jan = 0, jul = 0;
+  int n = 0;
+  for (int y = 1900; y <= 1950; ++y) {
+    for (int s = 0; s < kNumStates; ++s) {
+      jan += d.get(y, 1, s);
+      jul += d.get(y, 7, s);
+      ++n;
+    }
+  }
+  EXPECT_GT((jul - jan) / n, 12.0);
+}
+
+TEST(MonthMajorLines, HeaderAndRows) {
+  DwdModelParams p;
+  p.first_year = 2000;
+  p.last_year = 2002;
+  const MonthlyDataset d = synthesize_dwd(p);
+  const auto lines = month_major_lines(d, 6);
+  ASSERT_EQ(lines.size(), 4u);  // header + 3 years
+  EXPECT_EQ(lines[0].substr(0, 5), "year,");
+  EXPECT_EQ(lines[1].substr(0, 5), "2000,");
+}
+
+TEST(MonthMajorLines, MissingCellsRenderEmpty) {
+  MonthlyDataset d(2000, 2000);
+  d.set(2000, 1, 0, 3.0);
+  const auto lines = month_major_lines(d, 1);
+  // year,3.0,,,,... (15 empty fields follow)
+  EXPECT_EQ(lines[1].substr(0, 9), "2000,3.0,");
+  EXPECT_EQ(std::count(lines[1].begin(), lines[1].end(), ','), 16);
+}
+
+TEST(MonthMajorFiles, RoundTripThroughDisk) {
+  const auto dir =
+      (std::filesystem::temp_directory_path() / "peachy_dwd").string();
+  DwdModelParams p;
+  p.first_year = 1990;
+  p.last_year = 1995;
+  MonthlyDataset d = synthesize_dwd(p);
+  drop_months(d, 1995, 11, 12);  // exercise missing cells
+  write_month_major(d, dir);
+  const MonthlyDataset back = read_month_major(dir, 1990, 1995);
+  EXPECT_EQ(back.present_count(), d.present_count());
+  for (const auto& o : d.observations())
+    EXPECT_DOUBLE_EQ(back.get(o.year, o.month, o.state), o.temp_c);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(LongFormat, OneLinePerObservation) {
+  DwdModelParams p;
+  p.first_year = 2000;
+  p.last_year = 2000;
+  const MonthlyDataset d = synthesize_dwd(p);
+  const auto lines = long_format_lines(d);
+  EXPECT_EQ(lines.size(), 12u * 16);
+  // "Baden-Wuerttemberg,2000,1,<t>"
+  EXPECT_EQ(lines[0].substr(0, 19), "Baden-Wuerttemberg,");
+}
+
+TEST(DropMonths, RemovesAllStates) {
+  DwdModelParams p;
+  p.first_year = 2020;
+  p.last_year = 2020;
+  MonthlyDataset d = synthesize_dwd(p);
+  drop_months(d, 2020, 10, 12);
+  EXPECT_EQ(d.present_count(), 9u * 16);
+  EXPECT_FALSE(d.has(2020, 11, 4));
+  EXPECT_TRUE(d.has(2020, 9, 4));
+  EXPECT_THROW(drop_months(d, 2020, 0, 2), Error);
+  EXPECT_THROW(drop_months(d, 2020, 5, 2), Error);
+}
+
+TEST(Validate, FlagsIncompleteYears) {
+  DwdModelParams p;
+  p.first_year = 2018;
+  p.last_year = 2020;
+  MonthlyDataset d = synthesize_dwd(p);
+  drop_months(d, 2020, 11, 12);
+  d.clear(2018, 3, 7);
+  const ValidationReport r = validate(d);
+  ASSERT_EQ(r.incomplete_years.size(), 2u);
+  EXPECT_EQ(r.incomplete_years[0], 2018);
+  EXPECT_EQ(r.incomplete_years[1], 2020);
+  EXPECT_EQ(r.missing_cells, 2u * 16 + 1);
+}
+
+TEST(AnnualMeansReference, IncompleteYearBiasIsVisible) {
+  // The §III.A.3 lesson: dropping the cold winter months inflates the naive
+  // annual mean.
+  DwdModelParams p;
+  p.first_year = 2019;
+  p.last_year = 2020;
+  MonthlyDataset d = synthesize_dwd(p);
+  const AnnualSeries full = annual_means_reference(d);
+  drop_months(d, 2020, 11, 12);
+  drop_months(d, 2020, 1, 2);
+  const AnnualSeries biased = annual_means_reference(d);
+  EXPECT_FALSE(biased.complete[1]);
+  EXPECT_TRUE(biased.has_any[1]);
+  EXPECT_GT(biased.mean_c[1], full.mean_c[1] + 1.0);  // warm-biased
+}
+
+TEST(AnnualSeries, OverallMeanSkipsIncompleteYears) {
+  AnnualSeries s;
+  s.first_year = 2000;
+  s.mean_c = {10.0, 50.0, 12.0};
+  s.complete = {true, false, true};
+  s.has_any = {true, true, true};
+  EXPECT_DOUBLE_EQ(s.overall_mean(), 11.0);
+  EXPECT_EQ(s.year_of(2), 2002);
+}
+
+TEST(AnnualSeries, OverallMeanRequiresACompleteYear) {
+  AnnualSeries s;
+  s.first_year = 2000;
+  s.mean_c = {10.0};
+  s.complete = {false};
+  s.has_any = {true};
+  EXPECT_THROW(s.overall_mean(), peachy::Error);
+}
+
+TEST(StateNames, SixteenUniqueStates) {
+  std::set<std::string> names(state_names().begin(), state_names().end());
+  EXPECT_EQ(names.size(), 16u);
+}
+
+}  // namespace
+}  // namespace peachy::climate

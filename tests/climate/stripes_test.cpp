@@ -1,0 +1,90 @@
+#include "climate/stripes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace peachy::climate {
+namespace {
+
+AnnualSeries ramp_series(int years, double lo, double hi) {
+  AnnualSeries s;
+  s.first_year = 1900;
+  for (int i = 0; i < years; ++i) {
+    s.mean_c.push_back(lo + (hi - lo) * i / (years - 1));
+    s.complete.push_back(true);
+    s.has_any.push_back(true);
+  }
+  return s;
+}
+
+TEST(StripesScale, PaperColorbarRule) {
+  // "first computing the average temperature of the whole time span and
+  // then adding and subtracting 1.5°C".
+  const AnnualSeries s = ramp_series(11, 7.0, 10.0);  // mean 8.5
+  const DivergingScale scale = stripes_scale(s);
+  EXPECT_NEAR(scale.lo(), 7.0, 1e-9);
+  EXPECT_NEAR(scale.hi(), 10.0, 1e-9);
+}
+
+TEST(StripesScale, CustomHalfRange) {
+  const AnnualSeries s = ramp_series(3, 8.0, 8.0 + 1e-12);
+  const DivergingScale scale = stripes_scale(s, 2.0);
+  EXPECT_NEAR(scale.lo(), 6.0, 1e-6);
+  EXPECT_NEAR(scale.hi(), 10.0, 1e-6);
+  EXPECT_THROW(stripes_scale(s, 0.0), peachy::Error);
+}
+
+TEST(RenderStripes, GeometryMatchesSpec) {
+  const AnnualSeries s = ramp_series(10, 7, 10);
+  StripesSpec spec;
+  spec.stripe_width = 3;
+  spec.height = 50;
+  const Image img = render_stripes(s, spec);
+  EXPECT_EQ(img.width(), 30);
+  EXPECT_EQ(img.height(), 50);
+}
+
+TEST(RenderStripes, ColdLeftWarmRight) {
+  const AnnualSeries s = ramp_series(40, 7, 10);
+  const Image img = render_stripes(s);
+  const Rgb left = img(10, 0);
+  const Rgb right = img(10, img.width() - 1);
+  EXPECT_GT(left.b, left.r);   // early years blue
+  EXPECT_GT(right.r, right.b); // late years red
+}
+
+TEST(RenderStripes, StripesAreVerticallyUniform) {
+  const AnnualSeries s = ramp_series(5, 7, 10);
+  const Image img = render_stripes(s);
+  for (int x = 0; x < img.width(); ++x)
+    for (int y = 1; y < img.height(); ++y)
+      ASSERT_EQ(img(y, x), img(0, x));
+}
+
+TEST(RenderStripes, IncompleteYearsGrey) {
+  AnnualSeries s = ramp_series(5, 7, 10);
+  s.complete[2] = false;
+  StripesSpec spec;
+  spec.stripe_width = 1;
+  const Image img = render_stripes(s, spec);
+  EXPECT_EQ(img(0, 2), DivergingScale::missing());
+  EXPECT_NE(img(0, 1), DivergingScale::missing());
+}
+
+TEST(RenderStripes, BiasedModeShowsIncompleteYears) {
+  AnnualSeries s = ramp_series(5, 7, 10);
+  s.complete[2] = false;
+  StripesSpec spec;
+  spec.stripe_width = 1;
+  spec.grey_incomplete = false;
+  const Image img = render_stripes(s, spec);
+  EXPECT_NE(img(0, 2), DivergingScale::missing());
+}
+
+TEST(RenderStripes, EmptySeriesRejected) {
+  EXPECT_THROW(render_stripes(AnnualSeries{}), peachy::Error);
+}
+
+}  // namespace
+}  // namespace peachy::climate

@@ -1,0 +1,75 @@
+#include "core/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace peachy {
+namespace {
+
+Args make(std::initializer_list<const char*> tokens,
+          const std::set<std::string>& flags = {}) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  return Args(static_cast<int>(argv.size()), argv.data(), flags);
+}
+
+TEST(Args, OptionWithSeparateValue) {
+  const Args a = make({"--size", "512"});
+  EXPECT_TRUE(a.has("size"));
+  EXPECT_EQ(a.get("size", ""), "512");
+  EXPECT_EQ(a.get_int("size", 0), 512);
+}
+
+TEST(Args, OptionWithEqualsValue) {
+  const Args a = make({"--tile=32", "--ratio=0.5"});
+  EXPECT_EQ(a.get_int("tile", 0), 32);
+  EXPECT_DOUBLE_EQ(a.get_double("ratio", 0), 0.5);
+}
+
+TEST(Args, FlagsConsumeNoValue) {
+  const Args a = make({"--trace", "positional"}, {"trace"});
+  EXPECT_TRUE(a.has("trace"));
+  ASSERT_EQ(a.positional().size(), 1u);
+  EXPECT_EQ(a.positional()[0], "positional");
+}
+
+TEST(Args, DefaultsWhenAbsent) {
+  const Args a = make({});
+  EXPECT_FALSE(a.has("size"));
+  EXPECT_EQ(a.get("size", "128"), "128");
+  EXPECT_EQ(a.get_int("size", 7), 7);
+  EXPECT_DOUBLE_EQ(a.get_double("x", 1.5), 1.5);
+}
+
+TEST(Args, MissingValueThrows) {
+  EXPECT_THROW(make({"--size"}), Error);
+}
+
+TEST(Args, BadNumbersThrow) {
+  const Args a = make({"--n=abc", "--d=1.2.3"});
+  EXPECT_THROW(a.get_int("n", 0), Error);
+  EXPECT_THROW(a.get_double("d", 0), Error);
+}
+
+TEST(Args, FlagQueriedAsValueThrows) {
+  const Args a = make({"--trace"}, {"trace"});
+  EXPECT_THROW(a.get("trace", "x"), Error);
+}
+
+TEST(Args, UnknownOptionDetection) {
+  const Args a = make({"--size=1", "--typo=2", "--trace"}, {"trace"});
+  const auto unknown = a.unknown_options({"size", "trace"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(Args, PositionalOrderPreserved) {
+  const Args a = make({"a", "--k", "v", "b", "c"});
+  ASSERT_EQ(a.positional().size(), 3u);
+  EXPECT_EQ(a.positional()[0], "a");
+  EXPECT_EQ(a.positional()[2], "c");
+}
+
+}  // namespace
+}  // namespace peachy

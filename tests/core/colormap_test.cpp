@@ -1,0 +1,89 @@
+#include "core/colormap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace peachy {
+namespace {
+
+TEST(SandpileColor, PaperPalette) {
+  // Fig. 1: black = 0 grains, green = 1, blue = 2, red = 3.
+  EXPECT_EQ(sandpile_color(0), (Rgb{0, 0, 0}));
+  const Rgb one = sandpile_color(1);
+  EXPECT_GT(one.g, one.r);
+  EXPECT_GT(one.g, one.b);
+  const Rgb two = sandpile_color(2);
+  EXPECT_GT(two.b, two.r);
+  EXPECT_GT(two.b, two.g);
+  const Rgb three = sandpile_color(3);
+  EXPECT_GT(three.r, three.g);
+  EXPECT_GT(three.r, three.b);
+}
+
+TEST(SandpileColor, UnstableCellsAreWhite) {
+  EXPECT_EQ(sandpile_color(4), (Rgb{255, 255, 255}));
+  EXPECT_EQ(sandpile_color(25000), (Rgb{255, 255, 255}));
+}
+
+TEST(DivergingScale, EndsAndMidpoint) {
+  DivergingScale scale(0.0, 10.0);
+  const Rgb cold = scale(0.0);
+  const Rgb hot = scale(10.0);
+  const Rgb mid = scale(5.0);
+  EXPECT_GT(cold.b, cold.r);   // deep blue
+  EXPECT_GT(hot.r, hot.b);     // deep red
+  // Near-white center (RdBu midpoint is 247,247,247).
+  EXPECT_GT(mid.r, 230);
+  EXPECT_GT(mid.g, 230);
+  EXPECT_GT(mid.b, 230);
+}
+
+TEST(DivergingScale, ClampsOutOfRange) {
+  DivergingScale scale(-1.0, 1.0);
+  EXPECT_EQ(scale(-100.0), scale(-1.0));
+  EXPECT_EQ(scale(100.0), scale(1.0));
+}
+
+TEST(DivergingScale, MonotoneRednessInCentralRange) {
+  // The ColorBrewer RdBu ramp darkens at both extremes, so red-minus-blue
+  // is only monotone away from the tails; the stripes' informative range
+  // is the central band.
+  DivergingScale scale(0.0, 1.0);
+  int prev = -512;
+  for (int i = 2; i <= 8; ++i) {
+    const Rgb c = scale(i / 10.0);
+    const int redness = static_cast<int>(c.r) - static_cast<int>(c.b);
+    EXPECT_GE(redness, prev) << "at t=" << i / 10.0;
+    prev = redness;
+  }
+  // Tails: cold side clearly blue, warm side clearly red.
+  const Rgb cold = scale(0.05);
+  const Rgb warm = scale(0.95);
+  EXPECT_LT(static_cast<int>(cold.r) - static_cast<int>(cold.b), -50);
+  EXPECT_GT(static_cast<int>(warm.r) - static_cast<int>(warm.b), 50);
+}
+
+TEST(DivergingScale, RequiresOrderedRange) {
+  EXPECT_THROW(DivergingScale(1.0, 1.0), Error);
+  EXPECT_THROW(DivergingScale(2.0, 1.0), Error);
+}
+
+TEST(DistinctColor, NegativeIndexIsBlack) {
+  EXPECT_EQ(distinct_color(-1), (Rgb{0, 0, 0}));
+}
+
+TEST(DistinctColor, SmallIndicesAreDistinct) {
+  for (int i = 0; i < 12; ++i)
+    for (int j = i + 1; j < 12; ++j)
+      EXPECT_FALSE(distinct_color(i) == distinct_color(j))
+          << "colors " << i << " and " << j << " collide";
+}
+
+TEST(DistinctColor, CyclesForLargeIndices) {
+  EXPECT_EQ(distinct_color(0), distinct_color(12));
+  EXPECT_EQ(distinct_color(5), distinct_color(17));
+}
+
+}  // namespace
+}  // namespace peachy

@@ -1,0 +1,91 @@
+#include "core/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/error.hpp"
+
+namespace peachy {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "peachy_csv_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& name) { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST(CsvEscape, PlainFieldUntouched) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscape, QuotesWhenNeeded) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(SplitCsvLine, SimpleFields) {
+  const auto f = split_csv_line("a,b,c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[2], "c");
+}
+
+TEST(SplitCsvLine, EmptyFieldsPreserved) {
+  const auto f = split_csv_line("a,,c,");
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(f[1], "");
+  EXPECT_EQ(f[3], "");
+}
+
+TEST(SplitCsvLine, QuotedCommaAndEscapedQuote) {
+  const auto f = split_csv_line("\"a,b\",\"say \"\"hi\"\"\",plain");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a,b");
+  EXPECT_EQ(f[1], "say \"hi\"");
+  EXPECT_EQ(f[2], "plain");
+}
+
+TEST_F(CsvTest, WriteReadRoundTrip) {
+  {
+    CsvWriter w(path("t.csv"));
+    w.row({"name", "value"});
+    w.row({"with,comma", "1"});
+    w.row({"with \"quote\"", "2"});
+  }
+  const auto rows = read_csv(path("t.csv"));
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[1][0], "with,comma");
+  EXPECT_EQ(rows[2][0], "with \"quote\"");
+  EXPECT_EQ(rows[2][1], "2");
+}
+
+TEST_F(CsvTest, ReadSkipsEmptyLinesAndCrLf) {
+  {
+    std::ofstream os(path("crlf.csv"), std::ios::binary);
+    os << "a,b\r\n\r\nc,d\r\n";
+  }
+  const auto rows = read_csv(path("crlf.csv"));
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][1], "b");
+  EXPECT_EQ(rows[1][0], "c");
+}
+
+TEST_F(CsvTest, MissingFileThrows) {
+  EXPECT_THROW(read_csv(path("missing.csv")), Error);
+}
+
+TEST_F(CsvTest, WriterToBadPathThrows) {
+  EXPECT_THROW(CsvWriter((dir_ / "no" / "x.csv").string()), Error);
+}
+
+}  // namespace
+}  // namespace peachy

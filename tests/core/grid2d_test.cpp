@@ -1,0 +1,88 @@
+#include "core/grid2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace peachy {
+namespace {
+
+TEST(Grid2D, DefaultConstructedIsEmpty) {
+  Grid2D<int> g;
+  EXPECT_EQ(g.height(), 0);
+  EXPECT_EQ(g.width(), 0);
+  EXPECT_TRUE(g.empty());
+  EXPECT_EQ(g.size(), 0u);
+}
+
+TEST(Grid2D, ConstructionFillsValue) {
+  Grid2D<int> g(3, 5, 7);
+  EXPECT_EQ(g.height(), 3);
+  EXPECT_EQ(g.width(), 5);
+  EXPECT_EQ(g.size(), 15u);
+  for (int y = 0; y < 3; ++y)
+    for (int x = 0; x < 5; ++x) EXPECT_EQ(g(y, x), 7);
+}
+
+TEST(Grid2D, RowMajorLayout) {
+  Grid2D<int> g(2, 3, 0);
+  g(0, 0) = 1;
+  g(0, 2) = 3;
+  g(1, 0) = 4;
+  EXPECT_EQ(g.data()[0], 1);
+  EXPECT_EQ(g.data()[2], 3);
+  EXPECT_EQ(g.data()[3], 4);
+  EXPECT_EQ(g.row(1), g.data() + 3);
+}
+
+TEST(Grid2D, AtThrowsOutOfBounds) {
+  Grid2D<int> g(2, 2);
+  EXPECT_THROW(g.at(-1, 0), Error);
+  EXPECT_THROW(g.at(0, -1), Error);
+  EXPECT_THROW(g.at(2, 0), Error);
+  EXPECT_THROW(g.at(0, 2), Error);
+  EXPECT_NO_THROW(g.at(1, 1));
+}
+
+TEST(Grid2D, InBounds) {
+  Grid2D<int> g(4, 6);
+  EXPECT_TRUE(g.in_bounds(0, 0));
+  EXPECT_TRUE(g.in_bounds(3, 5));
+  EXPECT_FALSE(g.in_bounds(4, 0));
+  EXPECT_FALSE(g.in_bounds(0, 6));
+  EXPECT_FALSE(g.in_bounds(-1, 0));
+}
+
+TEST(Grid2D, FillOverwritesEverything) {
+  Grid2D<int> g(3, 3, 1);
+  g.fill(9);
+  EXPECT_EQ(g.sum(), 81);
+}
+
+TEST(Grid2D, SumUsesWideAccumulator) {
+  Grid2D<std::uint32_t> g(100, 100, 3000000000u);
+  // 10^4 cells x 3e9 overflows 32 bits; sum must not.
+  EXPECT_EQ(g.sum<std::int64_t>(), static_cast<std::int64_t>(3000000000u) * 10000);
+}
+
+TEST(Grid2D, EqualityIsDeep) {
+  Grid2D<int> a(2, 2, 1), b(2, 2, 1);
+  EXPECT_EQ(a, b);
+  b(1, 1) = 2;
+  EXPECT_FALSE(a == b);
+  Grid2D<int> c(2, 3, 1);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Grid2D, NegativeDimensionsThrow) {
+  EXPECT_THROW(Grid2D<int>(-1, 5), Error);
+  EXPECT_THROW(Grid2D<int>(5, -1), Error);
+}
+
+TEST(Grid2D, ZeroByZeroIsAllowed) {
+  Grid2D<int> g(0, 0);
+  EXPECT_TRUE(g.empty());
+}
+
+}  // namespace
+}  // namespace peachy

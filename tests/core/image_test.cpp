@@ -1,0 +1,99 @@
+#include "core/image.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace peachy {
+namespace {
+
+class ImageFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "peachy_image_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST(Image, ConstructionAndFill) {
+  Image img(4, 6, Rgb{1, 2, 3});
+  EXPECT_EQ(img.height(), 4);
+  EXPECT_EQ(img.width(), 6);
+  EXPECT_EQ(img(3, 5), (Rgb{1, 2, 3}));
+}
+
+TEST(Image, FillRectClipsToBounds) {
+  Image img(4, 4);
+  img.fill_rect(2, 2, 10, 10, Rgb{255, 0, 0});
+  EXPECT_EQ(img(3, 3), (Rgb{255, 0, 0}));
+  EXPECT_EQ(img(1, 1), (Rgb{0, 0, 0}));
+  // Negative origin clips too.
+  img.fill_rect(-2, -2, 3, 3, Rgb{0, 255, 0});
+  EXPECT_EQ(img(0, 0), (Rgb{0, 255, 0}));
+}
+
+TEST(Image, UpscaledReplicatesPixels) {
+  Image img(2, 2);
+  img(0, 0) = Rgb{10, 0, 0};
+  img(1, 1) = Rgb{0, 20, 0};
+  const Image big = img.upscaled(3);
+  EXPECT_EQ(big.height(), 6);
+  EXPECT_EQ(big.width(), 6);
+  EXPECT_EQ(big(0, 0), (Rgb{10, 0, 0}));
+  EXPECT_EQ(big(2, 2), (Rgb{10, 0, 0}));
+  EXPECT_EQ(big(5, 5), (Rgb{0, 20, 0}));
+  EXPECT_EQ(big(2, 3), (Rgb{0, 0, 0}));
+}
+
+TEST(Image, UpscaleFactorMustBePositive) {
+  Image img(2, 2);
+  EXPECT_THROW(img.upscaled(0), Error);
+}
+
+TEST_F(ImageFileTest, PpmRoundTrip) {
+  Image img(3, 5);
+  for (int y = 0; y < 3; ++y)
+    for (int x = 0; x < 5; ++x)
+      img(y, x) = Rgb{static_cast<std::uint8_t>(y * 50),
+                      static_cast<std::uint8_t>(x * 40), 77};
+  const std::string path = (dir_ / "roundtrip.ppm").string();
+  img.write_ppm(path);
+  const Image back = Image::read_ppm(path);
+  ASSERT_EQ(back.height(), 3);
+  ASSERT_EQ(back.width(), 5);
+  for (int y = 0; y < 3; ++y)
+    for (int x = 0; x < 5; ++x) EXPECT_EQ(back(y, x), img(y, x));
+}
+
+TEST_F(ImageFileTest, ReadMissingFileThrows) {
+  EXPECT_THROW(Image::read_ppm((dir_ / "nope.ppm").string()), Error);
+}
+
+TEST_F(ImageFileTest, WriteToBadPathThrows) {
+  Image img(2, 2);
+  EXPECT_THROW(img.write_ppm((dir_ / "no_dir" / "x.ppm").string()), Error);
+}
+
+TEST_F(ImageFileTest, ReadRejectsWrongMagic) {
+  const std::string path = (dir_ / "bad.ppm").string();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("P3\n2 2\n255\n", f);
+  std::fclose(f);
+  EXPECT_THROW(Image::read_ppm(path), Error);
+}
+
+TEST_F(ImageFileTest, ReadRejectsTruncatedPayload) {
+  const std::string path = (dir_ / "short.ppm").string();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("P6\n4 4\n255\nxx", f);  // far fewer than 48 payload bytes
+  std::fclose(f);
+  EXPECT_THROW(Image::read_ppm(path), Error);
+}
+
+}  // namespace
+}  // namespace peachy

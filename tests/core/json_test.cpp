@@ -1,0 +1,159 @@
+#include "core/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+
+namespace peachy::json {
+namespace {
+
+TEST(Json, ParsePrimitives) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_EQ(parse("true").as_bool(), true);
+  EXPECT_EQ(parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse("-3.5e2").as_number(), -350.0);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParseNestedStructures) {
+  const Value v = parse(R"({"a": [1, 2, {"b": null}], "c": "x"})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("c").as_string(), "x");
+  const Array& a = v.at("a").as_array();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[1].as_int(), 2);
+  EXPECT_TRUE(a[2].at("b").is_null());
+}
+
+TEST(Json, StringEscapes) {
+  const Value v = parse(R"("line\nbreak \"q\" \\ \t A")");
+  EXPECT_EQ(v.as_string(), "line\nbreak \"q\" \\ \t A");
+}
+
+TEST(Json, UnicodeEscapeToUtf8) {
+  EXPECT_EQ(parse(R"("é")").as_string(), "\xc3\xa9");    // é
+  EXPECT_EQ(parse(R"("€")").as_string(), "\xe2\x82\xac"); // €
+  EXPECT_EQ(parse(R"("A")").as_string(), "A");
+}
+
+TEST(Json, RoundTripThroughDump) {
+  const Value v = parse(
+      R"({"num": 1.5, "int": 7, "arr": [true, null, "s"], "obj": {"k": -2}})");
+  const Value again = parse(v.dump());
+  EXPECT_EQ(v, again);
+  const Value pretty = parse(v.dump(/*indent=*/true));
+  EXPECT_EQ(v, pretty);
+}
+
+TEST(Json, DumpIsCanonical) {
+  // Object keys serialize sorted, so semantically equal docs dump equal.
+  const Value a = parse(R"({"b": 1, "a": 2})");
+  const Value b = parse(R"({"a": 2, "b": 1})");
+  EXPECT_EQ(a.dump(), b.dump());
+}
+
+TEST(Json, IntegersDumpWithoutDecimals) {
+  EXPECT_EQ(Value(42).dump(), "42");
+  EXPECT_EQ(Value(-7).dump(), "-7");
+  EXPECT_EQ(parse("1e2").dump(), "100");
+}
+
+TEST(Json, AsIntValidation) {
+  EXPECT_EQ(parse("9").as_int(), 9);
+  EXPECT_THROW(parse("1.5").as_int(), Error);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const Value v = parse("[1]");
+  EXPECT_THROW(v.as_object(), Error);
+  EXPECT_THROW(v.as_string(), Error);
+  EXPECT_THROW(v.at("k"), Error);
+  EXPECT_THROW(parse("{}").at("missing"), Error);
+}
+
+TEST(Json, Contains) {
+  const Value v = parse(R"({"k": 1})");
+  EXPECT_TRUE(v.contains("k"));
+  EXPECT_FALSE(v.contains("x"));
+  EXPECT_FALSE(parse("[]").contains("k"));
+}
+
+TEST(Json, MalformedInputsThrow) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "\"unterminated", "1 2",
+        "{\"a\" 1}", "[1 2]", "\"bad\\escape\"", "nul", "--1"})
+    EXPECT_THROW(parse(bad), Error) << bad;
+}
+
+TEST(Json, WhitespaceTolerated) {
+  const Value v = parse("  {\n\t\"a\" :\r [ 1 , 2 ]\n}  ");
+  EXPECT_EQ(v.at("a").as_array().size(), 2u);
+}
+
+TEST(Json, ControlCharactersEscapedOnDump) {
+  const Value v(std::string("a\x01" "b"));
+  EXPECT_EQ(v.dump(), "\"a\\u0001b\"");
+  EXPECT_EQ(parse(v.dump()).as_string(), "a\x01" "b");
+}
+
+// Property: random documents survive dump -> parse -> dump unchanged.
+class JsonFuzzTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static Value random_value(peachy::Rng& rng, int depth) {
+    const int kind = static_cast<int>(rng.uniform_int(0, depth > 2 ? 3 : 5));
+    switch (kind) {
+      case 0: return Value(nullptr);
+      case 1: return Value(rng.bernoulli(0.5));
+      case 2:
+        return rng.bernoulli(0.5)
+                   ? Value(static_cast<std::int64_t>(rng.uniform_int(-1000000, 1000000)))
+                   : Value(rng.uniform(-1e6, 1e6));
+      case 3: {
+        std::string s;
+        const auto len = rng.uniform_int(0, 12);
+        for (int i = 0; i < len; ++i)
+          s += static_cast<char>(rng.uniform_int(32, 126));
+        return Value(std::move(s));
+      }
+      case 4: {
+        Array arr;
+        const auto len = rng.uniform_int(0, 4);
+        for (int i = 0; i < len; ++i)
+          arr.push_back(random_value(rng, depth + 1));
+        return Value(std::move(arr));
+      }
+      default: {
+        Object obj;
+        const auto len = rng.uniform_int(0, 4);
+        for (int i = 0; i < len; ++i)
+          obj["k" + std::to_string(i)] = random_value(rng, depth + 1);
+        return Value(std::move(obj));
+      }
+    }
+  }
+};
+
+TEST_P(JsonFuzzTest, DumpParseRoundTrip) {
+  peachy::Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    const Value v = random_value(rng, 0);
+    const std::string compact = v.dump();
+    const std::string pretty = v.dump(/*indent=*/true);
+    EXPECT_EQ(parse(compact), v) << compact;
+    EXPECT_EQ(parse(pretty), v) << pretty;
+    EXPECT_EQ(parse(compact).dump(), compact);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(parse("[]").dump(), "[]");
+  EXPECT_EQ(parse("{}").dump(), "{}");
+  EXPECT_EQ(parse("{ }").as_object().size(), 0u);
+}
+
+}  // namespace
+}  // namespace peachy::json

@@ -1,0 +1,111 @@
+#include "core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace peachy {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 42.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 42.0);
+  EXPECT_EQ(s.max(), 42.0);
+}
+
+TEST(OnlineStats, KnownSample) {
+  OnlineStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MatchesBatchOnRandomData) {
+  Rng rng(17);
+  OnlineStats s;
+  double sum = 0;
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.normal(10, 4);
+    values.push_back(v);
+    s.add(v);
+    sum += v;
+  }
+  const double mean = sum / 5000;
+  double sq = 0;
+  for (double v : values) sq += (v - mean) * (v - mean);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), sq / 4999, 1e-6);
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0 / 3.0), 2.0);
+}
+
+TEST(Quantile, UnsortedInputHandled) {
+  EXPECT_DOUBLE_EQ(quantile({9, 1, 5}, 0.5), 5.0);
+}
+
+TEST(Quantile, Errors) {
+  EXPECT_THROW(quantile({}, 0.5), Error);
+  EXPECT_THROW(quantile({1.0}, -0.1), Error);
+  EXPECT_THROW(quantile({1.0}, 1.1), Error);
+}
+
+TEST(ImbalanceRatio, BalancedIsOne) {
+  EXPECT_DOUBLE_EQ(imbalance_ratio({3, 3, 3, 3}), 1.0);
+}
+
+TEST(ImbalanceRatio, KnownSkew) {
+  // loads 1,1,1,5: mean 2, max 5 -> 2.5.
+  EXPECT_DOUBLE_EQ(imbalance_ratio({1, 1, 1, 5}), 2.5);
+}
+
+TEST(ImbalanceRatio, Errors) {
+  EXPECT_THROW(imbalance_ratio({}), Error);
+  EXPECT_THROW(imbalance_ratio({0, 0}), Error);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bucket 0
+  h.add(9.9);   // bucket 4
+  h.add(-3.0);  // clamped to 0
+  h.add(42.0);  // clamped to 4
+  h.add(5.0);   // bucket 2
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.edge(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.edge(5), 10.0);
+}
+
+TEST(Histogram, RejectsBadSpec) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), Error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+}
+
+}  // namespace
+}  // namespace peachy

@@ -1,0 +1,58 @@
+#include "core/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace peachy {
+namespace {
+
+TEST(TextTable, PrintsHeaderSeparatorAndRows) {
+  TextTable t({"name", "value"});
+  t.row({"alpha", "1"});
+  t.row({"b", "20"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // 4 lines: header, separator, 2 rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTable, NumericCellsRightAligned) {
+  TextTable t({"metric", "count"});
+  t.row({"x", "5"});
+  t.row({"yyyy", "12345"});
+  std::ostringstream os;
+  t.print(os);
+  // In the first row "5" must be padded to the width of "12345".
+  EXPECT_NE(os.str().find("    5"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), Error);
+  EXPECT_THROW(t.row({"1", "2", "3"}), Error);
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(3.14159, 4), "3.1416");
+  EXPECT_EQ(TextTable::num(static_cast<std::int64_t>(-42)), "-42");
+}
+
+TEST(TextTable, RowsCounter) {
+  TextTable t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.row({"x"});
+  t.row({"y"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace peachy

@@ -1,0 +1,160 @@
+// Integration tests pinning the headline numbers of EXPERIMENTS.md — the
+// end-to-end claims each bench binary reports, frozen as regressions.
+// If a refactor changes any of these, EXPERIMENTS.md must be re-measured.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "climate/dwd.hpp"
+#include "climate/pipeline.hpp"
+#include "climate/stripes.hpp"
+#include "mapreduce/io.hpp"
+#include "sandpile/distributed.hpp"
+#include "sandpile/field.hpp"
+#include "sandpile/variants.hpp"
+#include "wfsim/montage.hpp"
+#include "wfsim/schedule.hpp"
+
+namespace peachy {
+namespace {
+
+// --- Fig. 1 fingerprints (exact: the fixed point is unique by Dhar).
+
+TEST(PaperClaims, Fig1aFingerprint) {
+  sandpile::Field f = sandpile::center_pile(128, 128, 25000);
+  sandpile::stabilize_reference(f);
+  EXPECT_EQ(f.interior_grains(), 25000);  // never reaches the border
+  EXPECT_EQ(f.sink_grains(), 0);
+  EXPECT_EQ(f.count_cells_with(0), 6216);
+  EXPECT_EQ(f.count_cells_with(1), 1236);
+  EXPECT_EQ(f.count_cells_with(2), 3032);
+  EXPECT_EQ(f.count_cells_with(3), 5900);
+}
+
+TEST(PaperClaims, Fig1bFingerprint) {
+  sandpile::Field f = sandpile::uniform_pile(128, 128, 4);
+  sandpile::stabilize_reference(f);
+  EXPECT_EQ(f.interior_grains(), 39664);
+  EXPECT_EQ(f.sink_grains(), 128 * 128 * 4 - 39664);
+  EXPECT_TRUE(f.is_stable());
+}
+
+TEST(PaperClaims, Fig1VariantsAgreeWithReference) {
+  for (const auto make : {+[] { return sandpile::center_pile(128, 128, 25000); },
+                          +[] { return sandpile::uniform_pile(128, 128, 4); }}) {
+    sandpile::Field expected = make();
+    sandpile::stabilize_reference(expected);
+    sandpile::Field f = make();
+    sandpile::VariantOptions opt;
+    opt.tile_h = opt.tile_w = 16;
+    sandpile::run_variant(sandpile::Variant::kOmpLazyAsyncWave, f, opt);
+    EXPECT_TRUE(f.same_interior(expected));
+  }
+}
+
+// --- §III end-to-end: files on disk -> mr::io -> streaming MapReduce ->
+// stripes, against the in-memory reference.
+
+TEST(PaperClaims, WarmingStripesFromDiskEndToEnd) {
+  const auto dir =
+      (std::filesystem::temp_directory_path() / "peachy_e2e_dwd").string();
+  climate::DwdModelParams params;
+  params.first_year = 1950;
+  params.last_year = 2000;
+  const climate::MonthlyDataset data = climate::synthesize_dwd(params);
+  climate::write_month_major(data, dir);
+
+  const auto lines = mr::read_lines_in_dir(dir, ".csv");
+  const climate::AnnualSeries series = climate::annual_means_streaming(
+      lines, params.first_year, params.last_year, {2, 2, 2});
+  const climate::AnnualSeries reference =
+      climate::annual_means_reference(data);
+  for (std::size_t i = 0; i < series.mean_c.size(); ++i)
+    EXPECT_NEAR(series.mean_c[i], reference.mean_c[i], 1e-9) << i;
+
+  const Image img = climate::render_stripes(series);
+  EXPECT_EQ(img.width(), static_cast<int>(series.mean_c.size()) * 4);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PaperClaims, Fig6CalibrationHolds) {
+  const climate::MonthlyDataset data = climate::synthesize_dwd({});
+  const climate::AnnualSeries s = climate::annual_means_reference(data);
+  const double mean = s.overall_mean();
+  // Colorbar = mean ± 1.5 °C with mean near 8.4 °C.
+  EXPECT_NEAR(mean, 8.4, 0.3);
+  EXPECT_EQ(s.mean_c.size(), 139u);  // 1881..2019
+}
+
+// --- §IV headline claims.
+
+TEST(PaperClaims, Tab1DeadlineStructure) {
+  const wf::Workflow workflow = wf::make_montage();
+  const wf::Platform plat = wf::eduwrench_platform();
+  wf::RunConfig base;
+  base.nodes_on = 64;
+  base.pstate = plat.max_pstate();
+  const wf::SimResult baseline = simulate(workflow, plat, base);
+  // Baseline comfortably under 3 minutes but not trivial.
+  EXPECT_GT(baseline.makespan_s, 60.0);
+  EXPECT_LT(baseline.makespan_s, 180.0);
+
+  const wf::ClusterChoice combined =
+      wf::combined_power_heuristic(workflow, plat, 180.0);
+  const wf::ClusterChoice fewer =
+      wf::min_nodes_for_deadline(workflow, plat, plat.max_pstate(), 180.0);
+  const wf::ClusterChoice slower =
+      wf::min_pstate_for_deadline(workflow, plat, 64, 180.0);
+  // The paper's Q3: combining knobs strictly beats either alone.
+  EXPECT_LT(combined.result.total_gco2, fewer.result.total_gco2);
+  EXPECT_LT(combined.result.total_gco2, slower.result.total_gco2);
+  // And all three beat the baseline.
+  EXPECT_LT(fewer.result.total_gco2, baseline.total_gco2);
+  EXPECT_LT(slower.result.total_gco2, baseline.total_gco2);
+}
+
+TEST(PaperClaims, Tab2CloudStructure) {
+  const wf::Workflow workflow = wf::make_montage();
+  const wf::Platform plat = wf::eduwrench_platform();
+  wf::RunConfig local;
+  local.nodes_on = 12;
+  local.pstate = 0;
+  const wf::SimResult r_local = simulate(workflow, plat, local);
+  wf::RunConfig cloud = local;
+  cloud.placement = wf::Placement::all(workflow, wf::Site::kCloud);
+  const wf::SimResult r_cloud = simulate(workflow, plat, cloud);
+  // All-cloud emits far less than all-local...
+  EXPECT_LT(r_cloud.total_gco2, r_local.total_gco2 * 0.7);
+  // ...but a mixed placement (the treasure hunt's direction) beats both.
+  wf::RunConfig mixed = local;
+  mixed.placement = wf::Placement::level_fractions(
+      workflow, {0.75, 0.75, 0, 0, 0.75});
+  const wf::SimResult r_mixed = simulate(workflow, plat, mixed);
+  EXPECT_LT(r_mixed.total_gco2, r_cloud.total_gco2);
+}
+
+TEST(PaperClaims, Montage738And75GB) {
+  const wf::Workflow workflow = wf::make_montage();
+  EXPECT_EQ(workflow.num_tasks(), 738);
+  EXPECT_NEAR(workflow.total_bytes(), 7.5e9, 1.0);
+}
+
+// --- Ghost-cell trade-off (§II.B): messages per iteration ~ 1/k.
+
+TEST(PaperClaims, GhostCellMessageScaling) {
+  const sandpile::Field initial = sandpile::center_pile(96, 96, 20000);
+  std::vector<double> msgs_per_iter;
+  for (int k : {1, 2, 4}) {
+    sandpile::DistributedOptions opt;
+    opt.ranks = 4;
+    opt.halo_depth = k;
+    const auto r = sandpile::stabilize_distributed(initial, opt);
+    msgs_per_iter.push_back(static_cast<double>(r.comm.messages_sent) /
+                            r.iterations);
+  }
+  EXPECT_NEAR(msgs_per_iter[0] / msgs_per_iter[1], 2.0, 0.1);
+  EXPECT_NEAR(msgs_per_iter[0] / msgs_per_iter[2], 4.0, 0.2);
+}
+
+}  // namespace
+}  // namespace peachy

@@ -1,0 +1,82 @@
+#include "mapreduce/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/error.hpp"
+
+namespace peachy::mr {
+namespace {
+
+class MrIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "peachy_mr_io";
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  void write(const std::string& name, const std::string& content) {
+    std::ofstream os(dir_ / name, std::ios::binary);
+    os << content;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(MrIoTest, ReadLinesBasic) {
+  write("a.txt", "one\ntwo\nthree\n");
+  const auto lines = read_lines((dir_ / "a.txt").string());
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "one");
+  EXPECT_EQ(lines[2], "three");
+}
+
+TEST_F(MrIoTest, ReadLinesHandlesCrLfAndNoFinalNewline) {
+  write("b.txt", "x\r\ny\r\nz");
+  const auto lines = read_lines((dir_ / "b.txt").string());
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[1], "y");
+  EXPECT_EQ(lines[2], "z");
+}
+
+TEST_F(MrIoTest, ReadLinesMissingFileThrows) {
+  EXPECT_THROW(read_lines((dir_ / "missing.txt").string()), Error);
+}
+
+TEST_F(MrIoTest, DirReadsInNameOrder) {
+  write("02.csv", "second\n");
+  write("01.csv", "first\n");
+  write("03.csv", "third\n");
+  const auto lines = read_lines_in_dir(dir_.string());
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "first");
+  EXPECT_EQ(lines[1], "second");
+  EXPECT_EQ(lines[2], "third");
+}
+
+TEST_F(MrIoTest, DirSuffixFilter) {
+  write("data.csv", "keep\n");
+  write("notes.txt", "skip\n");
+  const auto lines = read_lines_in_dir(dir_.string(), ".csv");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "keep");
+}
+
+TEST_F(MrIoTest, DirNotADirectoryThrows) {
+  write("f.txt", "x\n");
+  EXPECT_THROW(read_lines_in_dir((dir_ / "f.txt").string()), Error);
+}
+
+TEST_F(MrIoTest, AsRecordsNumbersLines) {
+  const auto records = as_records({"a", "b"});
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].first, 0);
+  EXPECT_EQ(records[1].second, "b");
+}
+
+}  // namespace
+}  // namespace peachy::mr

@@ -1,0 +1,280 @@
+#include "mapreduce/job.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "core/rng.hpp"
+
+namespace peachy::mr {
+namespace {
+
+using WordCountJob = Job<int, std::string, std::string, int, std::string, int>;
+
+// Classic word count over (line number, line) records.
+std::vector<std::pair<std::string, int>> word_count(
+    const std::vector<std::pair<int, std::string>>& lines, JobConfig cfg,
+    bool with_combiner, JobCounters* counters = nullptr) {
+  WordCountJob job;
+  job.mapper([](const int&, const std::string& line,
+                Emitter<std::string, int>& out) {
+       std::string word;
+       for (char c : line + " ") {
+         if (c == ' ') {
+           if (!word.empty()) out.emit(word, 1);
+           word.clear();
+         } else {
+           word += c;
+         }
+       }
+     })
+      .reducer([](const std::string& w, const std::vector<int>& vs,
+                  Emitter<std::string, int>& out) {
+        int total = 0;
+        for (int v : vs) total += v;
+        out.emit(w, total);
+      })
+      .config(cfg);
+  if (with_combiner)
+    job.combiner([](const std::string& w, const std::vector<int>& vs,
+                    Emitter<std::string, int>& out) {
+      int total = 0;
+      for (int v : vs) total += v;
+      out.emit(w, total);
+    });
+  auto result = job.run(lines);
+  if (counters) *counters = job.counters();
+  return result;
+}
+
+std::vector<std::pair<int, std::string>> sample_lines() {
+  return {{0, "the quick brown fox"},
+          {1, "the lazy dog"},
+          {2, "the quick dog barks"},
+          {3, ""},
+          {4, "fox"}};
+}
+
+std::map<std::string, int> as_map(
+    const std::vector<std::pair<std::string, int>>& kv) {
+  return {kv.begin(), kv.end()};
+}
+
+TEST(Job, WordCountCorrect) {
+  const auto out = word_count(sample_lines(), JobConfig{}, false);
+  const auto m = as_map(out);
+  EXPECT_EQ(m.at("the"), 3);
+  EXPECT_EQ(m.at("quick"), 2);
+  EXPECT_EQ(m.at("fox"), 2);
+  EXPECT_EQ(m.at("barks"), 1);
+  EXPECT_EQ(m.size(), 7u);
+}
+
+TEST(Job, CombinerDoesNotChangeResult) {
+  const auto without = as_map(word_count(sample_lines(), JobConfig{}, false));
+  const auto with = as_map(word_count(sample_lines(), JobConfig{}, true));
+  EXPECT_EQ(without, with);
+}
+
+TEST(Job, CombinerShrinksShuffle) {
+  JobCounters with{}, without{};
+  word_count(sample_lines(), JobConfig{1, 1, 1, 1}, true, &with);
+  word_count(sample_lines(), JobConfig{1, 1, 1, 1}, false, &without);
+  EXPECT_LT(with.shuffle_records, without.shuffle_records);
+  EXPECT_EQ(with.map_outputs, without.map_outputs);
+  EXPECT_LT(with.combine_outputs, with.map_outputs);
+}
+
+TEST(Job, OutputIndependentOfWorkerCounts) {
+  const auto baseline = word_count(sample_lines(), JobConfig{1, 1, 1, 1}, false);
+  for (int mw : {1, 2, 4})
+    for (int rw : {1, 3}) {
+      // Keep partitions fixed so output *order* is comparable too.
+      const auto out =
+          word_count(sample_lines(), JobConfig{mw, rw, 0, 1}, true);
+      EXPECT_EQ(out, baseline) << mw << " map / " << rw << " reduce workers";
+    }
+}
+
+TEST(Job, PartitionKeysSortedWithinPartition) {
+  const auto out = word_count(sample_lines(), JobConfig{2, 1, 0, 1}, false);
+  for (std::size_t i = 1; i < out.size(); ++i)
+    EXPECT_LT(out[i - 1].first, out[i].first);
+}
+
+TEST(Job, CustomPartitionerRespected) {
+  WordCountJob job;
+  job.mapper([](const int&, const std::string& line,
+                Emitter<std::string, int>& out) { out.emit(line, 1); })
+      .reducer([](const std::string& k, const std::vector<int>& vs,
+                  Emitter<std::string, int>& out) {
+        out.emit(k, static_cast<int>(vs.size()));
+      })
+      .partitioner([](const std::string& key, int parts) {
+        return key.size() % 2 == 0 ? 0 : (parts > 1 ? 1 : 0);
+      })
+      .config(JobConfig{1, 2, 0, 2});
+  const auto out = job.run({{0, "aa"}, {1, "b"}, {2, "cc"}, {3, "d"}});
+  // Partition 0 (even-length keys, sorted) then partition 1.
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].first, "aa");
+  EXPECT_EQ(out[1].first, "cc");
+  EXPECT_EQ(out[2].first, "b");
+  EXPECT_EQ(out[3].first, "d");
+}
+
+TEST(Job, BadPartitionerThrows) {
+  WordCountJob job;
+  job.mapper([](const int&, const std::string&, Emitter<std::string, int>& o) {
+       o.emit("k", 1);
+     })
+      .reducer([](const std::string&, const std::vector<int>&,
+                  Emitter<std::string, int>&) {})
+      .partitioner([](const std::string&, int) { return 99; });
+  EXPECT_THROW(job.run({{0, "x"}}), Error);
+}
+
+TEST(Job, MissingPhasesThrow) {
+  WordCountJob no_mapper;
+  no_mapper.reducer([](const std::string&, const std::vector<int>&,
+                       Emitter<std::string, int>&) {});
+  EXPECT_THROW(no_mapper.run({}), Error);
+
+  WordCountJob no_reducer;
+  no_reducer.mapper(
+      [](const int&, const std::string&, Emitter<std::string, int>&) {});
+  EXPECT_THROW(no_reducer.run({}), Error);
+}
+
+TEST(Job, EmptyInputYieldsEmptyOutput) {
+  JobCounters counters{};
+  const auto out = word_count({}, JobConfig{2, 2, 0, 0}, true, &counters);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(counters.map_inputs, 0u);
+  EXPECT_EQ(counters.groups, 0u);
+}
+
+TEST(Job, CountersConsistent) {
+  JobCounters c{};
+  word_count(sample_lines(), JobConfig{2, 2, 0, 2}, false, &c);
+  EXPECT_EQ(c.map_inputs, 5u);
+  EXPECT_EQ(c.map_outputs, 12u);       // total words
+  EXPECT_EQ(c.combine_outputs, 12u);   // no combiner configured
+  EXPECT_EQ(c.shuffle_records, 12u);
+  EXPECT_EQ(c.groups, 7u);
+  EXPECT_EQ(c.reduce_outputs, 7u);
+}
+
+TEST(Job, GroupValuesKeepDeterministicOrder) {
+  // Values for one key must arrive in (map task, emit order) — checked by
+  // concatenating them in the reducer.
+  Job<int, std::string, std::string, std::string, std::string, std::string>
+      job;
+  job.mapper([](const int& id, const std::string& v,
+                Emitter<std::string, std::string>& out) {
+       out.emit("k", std::to_string(id) + ":" + v);
+     })
+      .reducer([](const std::string& k,
+                  const std::vector<std::string>& vs,
+                  Emitter<std::string, std::string>& out) {
+        std::string joined;
+        for (const auto& v : vs) joined += v + "|";
+        out.emit(k, joined);
+      })
+      .config(JobConfig{3, 1, 4, 1});
+  const auto out = job.run({{0, "a"}, {1, "b"}, {2, "c"}, {3, "d"}});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].second, "0:a|1:b|2:c|3:d|");
+}
+
+TEST(Job, SecondarySortOrdersValuesWithinGroup) {
+  // Values arrive shuffled across map tasks; sort_values must hand the
+  // reducer an ascending stream regardless of split boundaries.
+  Job<int, int, std::string, int, std::string, std::string> job;
+  job.mapper([](const int&, const int& v, Emitter<std::string, int>& out) {
+       out.emit("k", v);
+     })
+      .sort_values([](const int& a, const int& b) { return a < b; })
+      .reducer([](const std::string& k, const std::vector<int>& vs,
+                  Emitter<std::string, std::string>& out) {
+        std::string joined;
+        for (int v : vs) joined += std::to_string(v) + ",";
+        out.emit(k, joined);
+      })
+      .config(JobConfig{3, 1, 5, 1});
+  const auto out = job.run({{0, 5}, {1, 1}, {2, 9}, {3, 3}, {4, 7}});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].second, "1,3,5,7,9,");
+}
+
+TEST(Job, SecondarySortIsStable) {
+  // Equal-key elements keep their deterministic arrival order.
+  Job<int, std::pair<int, char>, int, std::pair<int, char>, int, std::string>
+      job;
+  job.mapper([](const int&, const std::pair<int, char>& v,
+                Emitter<int, std::pair<int, char>>& out) { out.emit(0, v); })
+      .sort_values([](const std::pair<int, char>& a,
+                      const std::pair<int, char>& b) {
+        return a.first < b.first;
+      })
+      .reducer([](const int&, const std::vector<std::pair<int, char>>& vs,
+                  Emitter<int, std::string>& out) {
+        std::string s;
+        for (const auto& v : vs) s += v.second;
+        out.emit(0, s);
+      })
+      .config(JobConfig{1, 1, 1, 1});
+  const auto out = job.run(
+      {{0, {2, 'a'}}, {1, {1, 'b'}}, {2, {2, 'c'}}, {3, {1, 'd'}}});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].second, "bdac");
+}
+
+TEST(Job, MeanViaSumCountPairsMatchesDirectMean) {
+  // The pattern the climate pipeline uses: emit (key, (sum, count)).
+  struct Acc {
+    double sum;
+    int n;
+  };
+  Rng rng(5);
+  std::vector<std::pair<int, double>> inputs;
+  std::map<int, std::pair<double, int>> direct;
+  for (int i = 0; i < 500; ++i) {
+    const int key = static_cast<int>(rng.uniform_int(0, 9));
+    const double v = rng.uniform(-10, 10);
+    inputs.emplace_back(key, v);
+    direct[key].first += v;
+    direct[key].second += 1;
+  }
+  Job<int, double, int, Acc, int, double> job;
+  job.mapper([](const int& k, const double& v, Emitter<int, Acc>& out) {
+       out.emit(k, Acc{v, 1});
+     })
+      .combiner([](const int& k, const std::vector<Acc>& vs,
+                   Emitter<int, Acc>& out) {
+        Acc t{0, 0};
+        for (const Acc& a : vs) {
+          t.sum += a.sum;
+          t.n += a.n;
+        }
+        out.emit(k, t);
+      })
+      .reducer([](const int& k, const std::vector<Acc>& vs,
+                  Emitter<int, double>& out) {
+        Acc t{0, 0};
+        for (const Acc& a : vs) {
+          t.sum += a.sum;
+          t.n += a.n;
+        }
+        out.emit(k, t.sum / t.n);
+      })
+      .config(JobConfig{4, 2, 0, 1});
+  const auto out = job.run(inputs);
+  ASSERT_EQ(out.size(), direct.size());
+  for (const auto& [k, mean] : out)
+    EXPECT_NEAR(mean, direct[k].first / direct[k].second, 1e-9) << "key " << k;
+}
+
+}  // namespace
+}  // namespace peachy::mr

@@ -1,0 +1,155 @@
+#include "pap/hybrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace peachy::pap {
+namespace {
+
+// Kernel stable after `n` iterations, tracked per tile.
+TileKernel stable_after(int n) {
+  return [n](const Tile&, int iter) { return iter < n; };
+}
+
+HybridOptions base_options() {
+  HybridOptions opt;
+  opt.cpu.workers = 4;
+  opt.cpu.cells_per_us = 100;
+  opt.device.cells_per_us = 1000;
+  opt.device.batch_latency_us = 5;
+  opt.max_iterations = 0;
+  return opt;
+}
+
+TEST(Hybrid, ValidatesOptions) {
+  TileGrid tiles(32, 32, 8, 8);
+  HybridOptions opt = base_options();
+  opt.cpu.workers = 0;
+  EXPECT_THROW(HybridRunner(tiles, opt), Error);
+  opt = base_options();
+  opt.device_fraction = 1.5;
+  EXPECT_THROW(HybridRunner(tiles, opt), Error);
+  opt = base_options();
+  opt.device.cells_per_us = 0;
+  EXPECT_THROW(HybridRunner(tiles, opt), Error);
+}
+
+TEST(Hybrid, CpuOnlyNeverUsesDevice) {
+  TileGrid tiles(32, 32, 8, 8);
+  HybridOptions opt = base_options();
+  opt.policy = HybridPolicy::kCpuOnly;
+  HybridRunner runner(tiles, opt);
+  const HybridResult r = runner.run(stable_after(2));
+  EXPECT_EQ(r.device_tasks, 0u);
+  EXPECT_GT(r.cpu_tasks, 0u);
+  EXPECT_DOUBLE_EQ(r.device_busy_us, 0.0);
+}
+
+TEST(Hybrid, DeviceOnlyUsesOnlyDevice) {
+  TileGrid tiles(32, 32, 8, 8);
+  HybridOptions opt = base_options();
+  opt.policy = HybridPolicy::kDeviceOnly;
+  HybridRunner runner(tiles, opt);
+  const HybridResult r = runner.run(stable_after(2));
+  EXPECT_EQ(r.cpu_tasks, 0u);
+  EXPECT_GT(r.device_tasks, 0u);
+  EXPECT_DOUBLE_EQ(r.cpu_busy_us, 0.0);
+}
+
+TEST(Hybrid, StaticFractionSplitsWork) {
+  TileGrid tiles(64, 64, 8, 8);  // 64 tiles
+  HybridOptions opt = base_options();
+  opt.policy = HybridPolicy::kStaticFraction;
+  opt.device_fraction = 0.25;
+  opt.max_iterations = 1;
+  HybridRunner runner(tiles, opt);
+  const HybridResult r = runner.run(stable_after(100));
+  EXPECT_EQ(r.device_tasks, 16u);
+  EXPECT_EQ(r.cpu_tasks, 48u);
+}
+
+TEST(Hybrid, EftUsesBothLanesWhenProfitable) {
+  TileGrid tiles(64, 64, 8, 8);
+  HybridOptions opt = base_options();
+  opt.policy = HybridPolicy::kDynamicEft;
+  opt.max_iterations = 1;
+  HybridRunner runner(tiles, opt);
+  const HybridResult r = runner.run(stable_after(100));
+  EXPECT_GT(r.device_tasks, 0u);
+  EXPECT_GT(r.cpu_tasks, 0u);
+}
+
+TEST(Hybrid, EftBeatsSingleLanePoliciesOnModeledTime) {
+  TileGrid tiles(128, 128, 16, 16);
+  auto run_policy = [&](HybridPolicy p) {
+    HybridOptions opt = base_options();
+    opt.policy = p;
+    opt.max_iterations = 3;
+    HybridRunner runner(tiles, opt);
+    return runner.run(stable_after(100)).modeled_time_us;
+  };
+  const double eft = run_policy(HybridPolicy::kDynamicEft);
+  EXPECT_LT(eft, run_policy(HybridPolicy::kCpuOnly));
+  EXPECT_LT(eft, run_policy(HybridPolicy::kDeviceOnly));
+}
+
+TEST(Hybrid, ResultsAreExactDespiteModeledDevice) {
+  // The kernel mutates real state; verify the hybrid path executes every
+  // tile exactly once per iteration regardless of ownership.
+  TileGrid tiles(32, 32, 8, 8);
+  std::vector<int> runs(static_cast<std::size_t>(tiles.count()), 0);
+  HybridOptions opt = base_options();
+  opt.max_iterations = 2;
+  opt.lazy = false;
+  HybridRunner runner(tiles, opt);
+  runner.run([&](const Tile& t, int) {
+    ++runs[static_cast<std::size_t>(t.index)];
+    return true;
+  });
+  for (int r : runs) EXPECT_EQ(r, 2);
+}
+
+TEST(Hybrid, LazyStopsWhenStable) {
+  TileGrid tiles(32, 32, 8, 8);
+  HybridOptions opt = base_options();
+  opt.lazy = true;
+  HybridRunner runner(tiles, opt);
+  const HybridResult r = runner.run(stable_after(2));
+  EXPECT_TRUE(r.stable);
+  EXPECT_EQ(r.iterations, 3);
+}
+
+TEST(Hybrid, OwnerMapMarksLanes) {
+  TileGrid tiles(32, 32, 8, 8);
+  HybridOptions opt = base_options();
+  opt.policy = HybridPolicy::kDeviceOnly;
+  opt.max_iterations = 1;
+  HybridRunner runner(tiles, opt);
+  runner.run(stable_after(100));
+  for (int owner : runner.last_owner()) EXPECT_EQ(owner, runner.device_lane());
+}
+
+TEST(Hybrid, TraceLanesValidated) {
+  TileGrid tiles(32, 32, 8, 8);
+  TraceRecorder too_small(3);  // needs workers+1 = 5
+  HybridOptions opt = base_options();
+  opt.trace = &too_small;
+  EXPECT_THROW(HybridRunner(tiles, opt), Error);
+}
+
+TEST(Hybrid, TraceAttributesDeviceLane) {
+  TileGrid tiles(32, 32, 8, 8);
+  HybridOptions opt = base_options();
+  TraceRecorder trace(opt.cpu.workers + 1);
+  opt.trace = &trace;
+  opt.policy = HybridPolicy::kDeviceOnly;
+  opt.max_iterations = 1;
+  HybridRunner runner(tiles, opt);
+  runner.run(stable_after(100));
+  for (const TaskRecord& r : trace.merged())
+    EXPECT_EQ(r.worker, opt.cpu.workers);
+}
+
+}  // namespace
+}  // namespace peachy::pap

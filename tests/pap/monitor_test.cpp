@@ -1,0 +1,119 @@
+#include "pap/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "core/csv.hpp"
+#include "core/error.hpp"
+
+namespace peachy::pap {
+namespace {
+
+TEST(Monitor, SamplesEveryIteration) {
+  TileGrid tiles(16, 16, 8, 8);
+  Monitor monitor;
+  RunOptions opt;
+  opt.on_iteration = monitor.hook();
+  opt.max_iterations = 5;
+  Runner runner(tiles, opt);
+  runner.run([](const Tile&, int) { return true; });
+  ASSERT_EQ(monitor.samples().size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(monitor.samples()[i].iteration, static_cast<int>(i));
+    EXPECT_GE(monitor.samples()[i].wall_ns, 0);
+    EXPECT_TRUE(monitor.samples()[i].changed);
+  }
+}
+
+TEST(Monitor, ChainedHookStillRuns) {
+  TileGrid tiles(8, 8, 4, 4);
+  Monitor monitor;
+  int chained_calls = 0;
+  RunOptions opt;
+  opt.on_iteration =
+      monitor.hook([&chained_calls](int, bool) { ++chained_calls; });
+  opt.max_iterations = 3;
+  Runner runner(tiles, opt);
+  runner.run([](const Tile&, int) { return true; });
+  EXPECT_EQ(chained_calls, 3);
+  EXPECT_EQ(monitor.samples().size(), 3u);
+}
+
+TEST(Monitor, LastSampleSeesStability) {
+  TileGrid tiles(8, 8, 4, 4);
+  Monitor monitor;
+  RunOptions opt;
+  opt.on_iteration = monitor.hook();
+  Runner runner(tiles, opt);
+  runner.run([](const Tile&, int iter) { return iter < 2; });
+  ASSERT_EQ(monitor.samples().size(), 3u);
+  EXPECT_TRUE(monitor.samples()[1].changed);
+  EXPECT_FALSE(monitor.samples()[2].changed);
+}
+
+TEST(Monitor, ClearAllowsReuse) {
+  TileGrid tiles(8, 8, 4, 4);
+  Monitor monitor;
+  RunOptions opt;
+  opt.max_iterations = 2;
+  opt.on_iteration = monitor.hook();
+  Runner(tiles, opt).run([](const Tile&, int) { return true; });
+  monitor.clear();
+  EXPECT_TRUE(monitor.samples().empty());
+  opt.on_iteration = monitor.hook();
+  Runner(tiles, opt).run([](const Tile&, int) { return true; });
+  EXPECT_EQ(monitor.samples().size(), 2u);
+}
+
+TEST(Monitor, CsvExport) {
+  const auto dir = std::filesystem::temp_directory_path() / "peachy_monitor";
+  std::filesystem::create_directories(dir);
+  TileGrid tiles(8, 8, 4, 4);
+  Monitor monitor;
+  RunOptions opt;
+  opt.max_iterations = 2;
+  opt.on_iteration = monitor.hook();
+  Runner(tiles, opt).run([](const Tile&, int) { return true; });
+  const std::string path = (dir / "m.csv").string();
+  monitor.write_csv(path);
+  const auto rows = read_csv(path);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][0], "iteration");
+  EXPECT_EQ(rows[1][2], "1");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Experiment, TableAndCsv) {
+  Experiment exp({"variant", "tile"}, {"ms", "tasks"});
+  exp.record({"lazy", "32"}, {12.5, 900});
+  exp.record({"eager", "32"}, {31.0, 4096});
+  EXPECT_EQ(exp.rows(), 2u);
+
+  std::ostringstream os;
+  exp.table().print(os);
+  EXPECT_NE(os.str().find("variant"), std::string::npos);
+  EXPECT_NE(os.str().find("12.50"), std::string::npos);
+
+  const auto dir = std::filesystem::temp_directory_path() / "peachy_exp";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "e.csv").string();
+  exp.write_csv(path);
+  const auto rows = read_csv(path);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].size(), 4u);
+  EXPECT_EQ(rows[2][0], "eager");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Experiment, ValidatesShape) {
+  EXPECT_THROW(Experiment({}, {"m"}), Error);
+  EXPECT_THROW(Experiment({"f"}, {}), Error);
+  Experiment exp({"f"}, {"m"});
+  EXPECT_THROW(exp.record({"a", "b"}, {1.0}), Error);
+  EXPECT_THROW(exp.record({"a"}, {1.0, 2.0}), Error);
+}
+
+}  // namespace
+}  // namespace peachy::pap

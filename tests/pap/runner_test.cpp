@@ -1,0 +1,231 @@
+#include "pap/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+
+#include "core/error.hpp"
+
+namespace peachy::pap {
+namespace {
+
+// A kernel that counts invocations per tile and "changes" for the first
+// `active_iters` iterations of selected tiles.
+struct CountingKernel {
+  explicit CountingKernel(int tiles) : calls(static_cast<std::size_t>(tiles)) {}
+  std::vector<std::atomic<int>> calls;
+
+  TileKernel stable_after(int iters) {
+    return [this, iters](const Tile& t, int iter) {
+      ++calls[static_cast<std::size_t>(t.index)];
+      return iter < iters;
+    };
+  }
+};
+
+TEST(Runner, RunsUntilStable) {
+  TileGrid tiles(16, 16, 8, 8);
+  CountingKernel k(tiles.count());
+  Runner runner(tiles, RunOptions{});
+  const RunResult r = runner.run(k.stable_after(3));
+  // Iterations 0,1,2 change; iteration 3 reports no change and stops.
+  EXPECT_EQ(r.iterations, 4);
+  EXPECT_TRUE(r.stable);
+  EXPECT_EQ(r.tasks, 16u);  // 4 iterations x 4 tiles
+  for (auto& c : k.calls) EXPECT_EQ(c.load(), 4);
+}
+
+TEST(Runner, MaxIterationsBoundsRun) {
+  TileGrid tiles(16, 16, 8, 8);
+  RunOptions opt;
+  opt.max_iterations = 2;
+  CountingKernel k(tiles.count());
+  Runner runner(tiles, opt);
+  const RunResult r = runner.run(k.stable_after(1000));
+  EXPECT_EQ(r.iterations, 2);
+  EXPECT_FALSE(r.stable);
+}
+
+TEST(Runner, EverySchedulePolicyCoversAllTiles) {
+  for (const Schedule s : {Schedule::kStatic, Schedule::kStaticChunk1,
+                           Schedule::kDynamic, Schedule::kGuided}) {
+    TileGrid tiles(32, 32, 8, 8);
+    RunOptions opt;
+    opt.schedule = s;
+    opt.max_iterations = 1;
+    CountingKernel k(tiles.count());
+    Runner runner(tiles, opt);
+    const RunResult r = runner.run(k.stable_after(1000));
+    EXPECT_EQ(r.tasks, 16u) << to_string(s);
+    for (auto& c : k.calls) EXPECT_EQ(c.load(), 1) << to_string(s);
+  }
+}
+
+TEST(Runner, LazySkipsQuietTiles) {
+  // Only tile 0 keeps changing; lazy execution must not recompute far-away
+  // tiles after the first iteration.
+  TileGrid tiles(32, 32, 8, 8);  // 4x4 tiles
+  RunOptions opt;
+  opt.lazy = true;
+  opt.max_iterations = 5;
+  CountingKernel k(tiles.count());
+  Runner runner(tiles, opt);
+  runner.run([&](const Tile& t, int) {
+    ++k.calls[static_cast<std::size_t>(t.index)];
+    return t.index == 0;
+  });
+  // Tile 15 (far corner) ran only during the initial full sweep.
+  EXPECT_EQ(k.calls[15].load(), 1);
+  // Tile 0 ran every iteration.
+  EXPECT_EQ(k.calls[0].load(), 5);
+  // Neighbours of tile 0 (tiles 1 and 4) are reactivated every iteration.
+  EXPECT_EQ(k.calls[1].load(), 5);
+  EXPECT_EQ(k.calls[4].load(), 5);
+  // Diagonal tile 5 is NOT a 4-neighbour; it runs only the first sweep.
+  EXPECT_EQ(k.calls[5].load(), 1);
+}
+
+TEST(Runner, LazyReachesStableWhenActivationDrains) {
+  TileGrid tiles(32, 32, 8, 8);
+  RunOptions opt;
+  opt.lazy = true;
+  Runner runner(tiles, opt);
+  const RunResult r = runner.run([](const Tile&, int iter) {
+    return iter < 2;  // everything changes twice, then silence
+  });
+  EXPECT_TRUE(r.stable);
+  EXPECT_EQ(r.iterations, 3);  // two changing sweeps + the quiet one
+}
+
+TEST(Runner, CheckerboardSplitsWaves) {
+  TileGrid tiles(32, 32, 8, 8);  // 4x4 tiles
+  RunOptions opt;
+  opt.checkerboard = true;
+  opt.max_iterations = 1;
+  std::mutex mu;
+  std::vector<int> wave_of_tile(16, -1);
+  int next_wave_mark = 0;
+  std::set<int> seen_parities;
+  Runner runner(tiles, opt);
+  runner.run([&](const Tile& t, int) {
+    std::lock_guard lock(mu);
+    wave_of_tile[static_cast<std::size_t>(t.index)] = next_wave_mark++;
+    seen_parities.insert((t.ty + t.tx) & 1);
+    return false;
+  });
+  // All 16 tiles ran.
+  for (int w : wave_of_tile) EXPECT_GE(w, 0);
+  EXPECT_EQ(seen_parities.size(), 2u);
+  // All parity-0 tiles ran strictly before all parity-1 tiles.
+  int max_even = -1, min_odd = 1000;
+  for (int i = 0; i < 16; ++i) {
+    const Tile t = tiles.tile(i);
+    const int mark = wave_of_tile[static_cast<std::size_t>(i)];
+    if (((t.ty + t.tx) & 1) == 0)
+      max_even = std::max(max_even, mark);
+    else
+      min_odd = std::min(min_odd, mark);
+  }
+  EXPECT_LT(max_even, min_odd);
+}
+
+TEST(Runner, CheckerboardRequiresTilesAtLeast2x2) {
+  RunOptions opt;
+  opt.checkerboard = true;
+  EXPECT_THROW(Runner(TileGrid(8, 8, 1, 8), opt), Error);
+  EXPECT_NO_THROW(Runner(TileGrid(8, 8, 2, 2), opt));
+}
+
+TEST(Runner, TraceRecordsEveryTask) {
+  TileGrid tiles(32, 32, 8, 8);
+  TraceRecorder trace(64);
+  RunOptions opt;
+  opt.trace = &trace;
+  opt.max_iterations = 3;
+  Runner runner(tiles, opt);
+  const RunResult r = runner.run([](const Tile&, int) { return true; });
+  EXPECT_EQ(trace.total_tasks(), r.tasks);
+  EXPECT_EQ(trace.iteration(1).size(), 16u);
+  for (const TaskRecord& rec : trace.merged()) {
+    EXPECT_GE(rec.end_ns, rec.start_ns);
+    EXPECT_EQ(rec.h, 8);
+  }
+}
+
+TEST(Runner, TraceWithTooFewLanesThrows) {
+  TraceRecorder trace(1);
+  RunOptions opt;
+  opt.trace = &trace;
+  opt.threads = 4;
+  EXPECT_THROW(Runner(TileGrid(8, 8, 4, 4), opt), Error);
+}
+
+TEST(Runner, IterationHookSeesChangeFlag) {
+  TileGrid tiles(8, 8, 4, 4);
+  std::vector<bool> flags;
+  RunOptions opt;
+  opt.on_iteration = [&flags](int, bool changed) { flags.push_back(changed); };
+  Runner runner(tiles, opt);
+  runner.run([](const Tile&, int iter) { return iter < 1; });
+  ASSERT_EQ(flags.size(), 2u);
+  EXPECT_TRUE(flags[0]);
+  EXPECT_FALSE(flags[1]);
+}
+
+TEST(Runner, NullKernelRejected) {
+  Runner runner(TileGrid(8, 8, 4, 4), RunOptions{});
+  EXPECT_THROW(runner.run(nullptr), Error);
+}
+
+TEST(Runner, LazyCheckerboardCombination) {
+  // Lazy + waves together (the Fig. 3 configuration): activation still
+  // drains and both parities still execute.
+  TileGrid tiles(32, 32, 8, 8);
+  RunOptions opt;
+  opt.lazy = true;
+  opt.checkerboard = true;
+  std::mutex mu;
+  std::set<int> parities;
+  Runner runner(tiles, opt);
+  const RunResult r = runner.run([&](const Tile& t, int iter) {
+    {
+      std::lock_guard lock(mu);
+      parities.insert((t.ty + t.tx) & 1);
+    }
+    return iter < 2;
+  });
+  EXPECT_TRUE(r.stable);
+  EXPECT_EQ(parities.size(), 2u);
+  EXPECT_EQ(r.iterations, 3);
+}
+
+TEST(Runner, NonSquareTilesAndGrid) {
+  TileGrid tiles(30, 70, 7, 16);  // nothing divides anything
+  CountingKernel k(tiles.count());
+  RunOptions opt;
+  opt.max_iterations = 1;
+  Runner runner(tiles, opt);
+  const RunResult r = runner.run(k.stable_after(10));
+  EXPECT_EQ(r.tasks, static_cast<std::size_t>(tiles.count()));
+  for (auto& c : k.calls) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(Runner, MultiThreadedRunMatchesSingleThreaded) {
+  // The kernel is pure per-tile state, so thread count must not change the
+  // iteration count or task count.
+  for (int threads : {1, 2, 4}) {
+    TileGrid tiles(64, 64, 8, 8);
+    RunOptions opt;
+    opt.threads = threads;
+    CountingKernel k(tiles.count());
+    Runner runner(tiles, opt);
+    const RunResult r = runner.run(k.stable_after(2));
+    EXPECT_EQ(r.iterations, 3) << threads;
+    EXPECT_EQ(r.tasks, 64u * 3) << threads;
+  }
+}
+
+}  // namespace
+}  // namespace peachy::pap

@@ -1,0 +1,111 @@
+#include "pap/tile_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace peachy::pap {
+namespace {
+
+TEST(TileGrid, DivisibleGeometry) {
+  TileGrid g(64, 128, 16, 32);
+  EXPECT_EQ(g.tiles_y(), 4);
+  EXPECT_EQ(g.tiles_x(), 4);
+  EXPECT_EQ(g.count(), 16);
+  const Tile t = g.tile_at(1, 2);
+  EXPECT_EQ(t.y0, 16);
+  EXPECT_EQ(t.x0, 64);
+  EXPECT_EQ(t.h, 16);
+  EXPECT_EQ(t.w, 32);
+  EXPECT_EQ(t.index, 1 * 4 + 2);
+}
+
+TEST(TileGrid, NonDivisibleEdgesClipped) {
+  TileGrid g(10, 10, 4, 4);
+  EXPECT_EQ(g.tiles_y(), 3);
+  EXPECT_EQ(g.tiles_x(), 3);
+  const Tile corner = g.tile_at(2, 2);
+  EXPECT_EQ(corner.h, 2);
+  EXPECT_EQ(corner.w, 2);
+  const Tile inner = g.tile_at(0, 0);
+  EXPECT_EQ(inner.h, 4);
+  EXPECT_EQ(inner.w, 4);
+}
+
+TEST(TileGrid, TilesCoverGridExactlyOnce) {
+  TileGrid g(37, 53, 8, 16);
+  std::vector<int> cover(37 * 53, 0);
+  for (int i = 0; i < g.count(); ++i) {
+    const Tile t = g.tile(i);
+    for (int y = t.y0; y < t.y0 + t.h; ++y)
+      for (int x = t.x0; x < t.x0 + t.w; ++x)
+        ++cover[static_cast<std::size_t>(y) * 53 + x];
+  }
+  EXPECT_TRUE(std::all_of(cover.begin(), cover.end(),
+                          [](int c) { return c == 1; }));
+}
+
+TEST(TileGrid, TileOfCellInverse) {
+  TileGrid g(40, 40, 8, 8);
+  for (int i = 0; i < g.count(); ++i) {
+    const Tile t = g.tile(i);
+    EXPECT_EQ(g.tile_of_cell(t.y0, t.x0), i);
+    EXPECT_EQ(g.tile_of_cell(t.y0 + t.h - 1, t.x0 + t.w - 1), i);
+  }
+}
+
+TEST(TileGrid, NeighborsOfCorner) {
+  TileGrid g(32, 32, 8, 8);  // 4x4 tiles
+  const auto nb = g.neighbors(0);
+  ASSERT_EQ(nb.size(), 2u);
+  EXPECT_NE(std::find(nb.begin(), nb.end(), 1), nb.end());
+  EXPECT_NE(std::find(nb.begin(), nb.end(), 4), nb.end());
+}
+
+TEST(TileGrid, NeighborsOfInteriorTile) {
+  TileGrid g(32, 32, 8, 8);
+  const auto nb = g.neighbors(5);  // tile (1,1)
+  ASSERT_EQ(nb.size(), 4u);
+  for (int expected : {1, 4, 6, 9})
+    EXPECT_NE(std::find(nb.begin(), nb.end(), expected), nb.end());
+}
+
+TEST(TileGrid, OuterDetection) {
+  TileGrid g(32, 32, 8, 8);  // 4x4 tiles
+  int outer = 0;
+  for (int i = 0; i < g.count(); ++i)
+    if (g.is_outer(i)) ++outer;
+  EXPECT_EQ(outer, 12);  // 16 tiles, 4 inner
+  EXPECT_FALSE(g.is_outer(5));
+  EXPECT_TRUE(g.is_outer(0));
+  EXPECT_TRUE(g.is_outer(15));
+}
+
+TEST(TileGrid, SingleTileGrid) {
+  TileGrid g(8, 8, 8, 8);
+  EXPECT_EQ(g.count(), 1);
+  EXPECT_TRUE(g.is_outer(0));
+  EXPECT_TRUE(g.neighbors(0).empty());
+}
+
+TEST(TileGrid, TileLargerThanGridClips) {
+  TileGrid g(5, 5, 100, 100);
+  EXPECT_EQ(g.count(), 1);
+  const Tile t = g.tile(0);
+  EXPECT_EQ(t.h, 5);
+  EXPECT_EQ(t.w, 5);
+}
+
+TEST(TileGrid, InvalidArgumentsThrow) {
+  EXPECT_THROW(TileGrid(0, 8, 4, 4), Error);
+  EXPECT_THROW(TileGrid(8, 8, 0, 4), Error);
+  TileGrid g(8, 8, 4, 4);
+  EXPECT_THROW(g.tile(-1), Error);
+  EXPECT_THROW(g.tile(4), Error);
+  EXPECT_THROW(g.tile_of_cell(8, 0), Error);
+}
+
+}  // namespace
+}  // namespace peachy::pap

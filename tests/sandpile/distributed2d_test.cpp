@@ -1,0 +1,148 @@
+#include "sandpile/distributed2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/error.hpp"
+#include "sandpile/distributed.hpp"
+#include "sandpile/field.hpp"
+
+namespace peachy::sandpile {
+namespace {
+
+TEST(Distributed2d, ValidatesOptions) {
+  const Field f = center_pile(16, 16, 100);
+  Distributed2dOptions opt;
+  opt.ranks_y = 0;
+  EXPECT_THROW(stabilize_distributed_2d(f, opt), Error);
+  opt = Distributed2dOptions{};
+  opt.halo_depth = 0;
+  EXPECT_THROW(stabilize_distributed_2d(f, opt), Error);
+  opt = Distributed2dOptions{};
+  opt.ranks_x = 32;  // more columns of ranks than grid columns
+  EXPECT_THROW(stabilize_distributed_2d(Field(8, 8), opt), Error);
+}
+
+TEST(Distributed2d, SingleRankMatchesReference) {
+  Field initial = center_pile(20, 20, 2000);
+  Field expected = initial;
+  stabilize_reference(expected);
+  Distributed2dOptions opt;
+  opt.ranks_y = opt.ranks_x = 1;
+  const Distributed2dResult r = stabilize_distributed_2d(initial, opt);
+  EXPECT_TRUE(r.stable);
+  EXPECT_TRUE(r.field.same_interior(expected));
+  EXPECT_EQ(r.comm.messages_sent, 0u);
+}
+
+// The crucial sweep: process-grid shape x halo depth. Corner propagation
+// (two-phase exchange) is only exercised for k >= 2 on grids with both
+// dimensions > 1, so those cases matter most.
+class Distributed2dSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(Distributed2dSweep, MatchesReferenceFixedPoint) {
+  const auto [py, px, depth] = GetParam();
+  Field initial = sparse_random_pile(34, 38, 0.25, 4, 48, 555);
+  Field expected = initial;
+  stabilize_reference(expected);
+
+  Distributed2dOptions opt;
+  opt.ranks_y = py;
+  opt.ranks_x = px;
+  opt.halo_depth = depth;
+  const Distributed2dResult r = stabilize_distributed_2d(initial, opt);
+  EXPECT_TRUE(r.stable);
+  EXPECT_TRUE(r.field.same_interior(expected))
+      << py << "x" << px << " ranks, halo " << depth;
+  EXPECT_EQ(r.iterations, r.rounds * depth);
+}
+
+INSTANTIATE_TEST_SUITE_P(GridByDepth, Distributed2dSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(1, 2, 4),
+                                            ::testing::Values(1, 2, 3, 5)));
+
+TEST(Distributed2d, CornerPropagationAcrossDiagonal) {
+  // A pile near a 4-rank corner: its avalanche must cross into the
+  // diagonal rank's block, which only works if corners travel through the
+  // two-phase exchange.
+  Field initial(16, 16);
+  initial.at(7, 7) = 600;  // at the junction of a 2x2 decomposition
+  Field expected = initial;
+  stabilize_reference(expected);
+  Distributed2dOptions opt;
+  opt.ranks_y = opt.ranks_x = 2;
+  opt.halo_depth = 3;  // k >= 2 exercises diagonal dependencies
+  const Distributed2dResult r = stabilize_distributed_2d(initial, opt);
+  EXPECT_TRUE(r.field.same_interior(expected));
+}
+
+TEST(Distributed2d, AgreesWith1dDecomposition) {
+  Field initial = sparse_random_pile(32, 32, 0.2, 4, 40, 9);
+  DistributedOptions opt1;
+  opt1.ranks = 4;
+  opt1.halo_depth = 2;
+  Distributed2dOptions opt2;
+  opt2.ranks_y = 2;
+  opt2.ranks_x = 2;
+  opt2.halo_depth = 2;
+  const DistributedResult a = stabilize_distributed(initial, opt1);
+  const Distributed2dResult b = stabilize_distributed_2d(initial, opt2);
+  EXPECT_TRUE(a.field.same_interior(b.field));
+}
+
+TEST(Distributed2d, PerimeterBeatsRowVolumeOnWideGrids) {
+  // Surface-to-volume: on a square grid with P ranks, a 2-D decomposition
+  // moves fewer cells per round than 1-D once P is large enough.
+  Field initial = center_pile(64, 64, 40000);
+  DistributedOptions opt1;
+  opt1.ranks = 16;
+  opt1.halo_depth = 1;
+  Distributed2dOptions opt2;
+  opt2.ranks_y = 4;
+  opt2.ranks_x = 4;
+  opt2.halo_depth = 1;
+  const DistributedResult a = stabilize_distributed(initial, opt1);
+  const Distributed2dResult b = stabilize_distributed_2d(initial, opt2);
+  EXPECT_TRUE(a.field.same_interior(b.field));
+  ASSERT_EQ(a.rounds, b.rounds);  // same sync schedule
+  EXPECT_LT(b.comm.bytes_sent, a.comm.bytes_sent);
+}
+
+TEST(Distributed2d, MaxRoundsBounds) {
+  Field initial = center_pile(32, 32, 50000);
+  Distributed2dOptions opt;
+  opt.ranks_y = opt.ranks_x = 2;
+  opt.max_rounds = 2;
+  const Distributed2dResult r = stabilize_distributed_2d(initial, opt);
+  EXPECT_FALSE(r.stable);
+  EXPECT_EQ(r.rounds, 2);
+}
+
+TEST(Distributed2d, UnevenBlocksWork) {
+  // 17x13 over a 3x5 grid: every block size differs.
+  Field initial = sparse_random_pile(17, 13, 0.4, 4, 24, 2);
+  Field expected = initial;
+  stabilize_reference(expected);
+  Distributed2dOptions opt;
+  opt.ranks_y = 3;
+  opt.ranks_x = 5;
+  opt.halo_depth = 2;
+  const Distributed2dResult r = stabilize_distributed_2d(initial, opt);
+  EXPECT_TRUE(r.field.same_interior(expected));
+}
+
+TEST(Distributed2d, StableInputOneRound) {
+  const Field initial = max_stable_pile(16, 16);
+  Distributed2dOptions opt;
+  opt.ranks_y = opt.ranks_x = 2;
+  const Distributed2dResult r = stabilize_distributed_2d(initial, opt);
+  EXPECT_TRUE(r.stable);
+  EXPECT_EQ(r.rounds, 1);
+  EXPECT_TRUE(r.field.same_interior(initial));
+}
+
+}  // namespace
+}  // namespace peachy::sandpile

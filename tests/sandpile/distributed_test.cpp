@@ -1,0 +1,123 @@
+#include "sandpile/distributed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/error.hpp"
+#include "sandpile/field.hpp"
+
+namespace peachy::sandpile {
+namespace {
+
+TEST(Distributed, ValidatesOptions) {
+  const Field f = center_pile(16, 16, 100);
+  DistributedOptions opt;
+  opt.ranks = 0;
+  EXPECT_THROW(stabilize_distributed(f, opt), Error);
+  opt.ranks = 4;
+  opt.halo_depth = 0;
+  EXPECT_THROW(stabilize_distributed(f, opt), Error);
+  opt.halo_depth = 1;
+  opt.ranks = 32;  // more ranks than rows
+  EXPECT_THROW(stabilize_distributed(Field(8, 8), opt), Error);
+}
+
+TEST(Distributed, SingleRankMatchesReference) {
+  Field initial = center_pile(20, 20, 2000);
+  Field expected = initial;
+  stabilize_reference(expected);
+  DistributedOptions opt;
+  opt.ranks = 1;
+  const DistributedResult r = stabilize_distributed(initial, opt);
+  EXPECT_TRUE(r.stable);
+  EXPECT_TRUE(r.field.same_interior(expected));
+  EXPECT_EQ(r.comm.messages_sent, 0u);  // no neighbours to talk to
+}
+
+// Sweep ranks x halo depth over a non-trivial configuration.
+class DistributedSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DistributedSweepTest, MatchesReferenceFixedPoint) {
+  const auto [ranks, depth] = GetParam();
+  Field initial = sparse_random_pile(36, 30, 0.25, 4, 48, 77);
+  Field expected = initial;
+  stabilize_reference(expected);
+
+  DistributedOptions opt;
+  opt.ranks = ranks;
+  opt.halo_depth = depth;
+  const DistributedResult r = stabilize_distributed(initial, opt);
+  EXPECT_TRUE(r.stable);
+  EXPECT_TRUE(r.field.same_interior(expected))
+      << ranks << " ranks, halo depth " << depth;
+  EXPECT_EQ(r.iterations, r.rounds * depth);
+}
+
+INSTANTIATE_TEST_SUITE_P(RanksByDepth, DistributedSweepTest,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4, 7),
+                                            ::testing::Values(1, 2, 3, 5)));
+
+TEST(Distributed, DeeperHaloMeansFewerRounds) {
+  Field initial = center_pile(48, 48, 8000);
+  DistributedOptions opt;
+  opt.ranks = 4;
+
+  opt.halo_depth = 1;
+  const DistributedResult shallow = stabilize_distributed(initial, opt);
+  opt.halo_depth = 4;
+  const DistributedResult deep = stabilize_distributed(initial, opt);
+
+  EXPECT_TRUE(shallow.field.same_interior(deep.field));
+  EXPECT_LT(deep.rounds, shallow.rounds);
+  // The comm/compute trade: fewer messages with deeper halos...
+  EXPECT_LT(deep.comm.messages_sent, shallow.comm.messages_sent);
+  // ...but not proportionally fewer bytes (each exchange carries k rows).
+  EXPECT_GT(deep.comm.bytes_sent,
+            shallow.comm.bytes_sent / 4);
+}
+
+TEST(Distributed, MaxRoundsBoundsExecution) {
+  Field initial = center_pile(32, 32, 50000);
+  DistributedOptions opt;
+  opt.ranks = 2;
+  opt.max_rounds = 3;
+  const DistributedResult r = stabilize_distributed(initial, opt);
+  EXPECT_FALSE(r.stable);
+  EXPECT_EQ(r.rounds, 3);
+}
+
+TEST(Distributed, StableInputTerminatesInOneRound) {
+  const Field initial = max_stable_pile(16, 16);
+  DistributedOptions opt;
+  opt.ranks = 4;
+  const DistributedResult r = stabilize_distributed(initial, opt);
+  EXPECT_TRUE(r.stable);
+  EXPECT_EQ(r.rounds, 1);
+  EXPECT_TRUE(r.field.same_interior(initial));
+}
+
+TEST(Distributed, UnevenRowPartitionWorks) {
+  // 17 rows over 5 ranks: blocks of 3,4,3,4,3.
+  Field initial = sparse_random_pile(17, 23, 0.3, 4, 32, 3);
+  Field expected = initial;
+  stabilize_reference(expected);
+  DistributedOptions opt;
+  opt.ranks = 5;
+  opt.halo_depth = 2;
+  const DistributedResult r = stabilize_distributed(initial, opt);
+  EXPECT_TRUE(r.field.same_interior(expected));
+}
+
+TEST(Distributed, InputFieldIsNotModified) {
+  const Field initial = center_pile(16, 16, 600);
+  const Field snapshot = initial;
+  DistributedOptions opt;
+  opt.ranks = 2;
+  stabilize_distributed(initial, opt);
+  EXPECT_TRUE(initial.same_interior(snapshot));
+}
+
+}  // namespace
+}  // namespace peachy::sandpile

@@ -1,0 +1,211 @@
+#include "sandpile/field.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/colormap.hpp"
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace peachy::sandpile {
+namespace {
+
+TEST(Field, StartsEmptyAndStable) {
+  Field f(8, 8);
+  EXPECT_EQ(f.interior_grains(), 0);
+  EXPECT_EQ(f.sink_grains(), 0);
+  EXPECT_TRUE(f.is_stable());
+}
+
+TEST(Field, PaddedFrameSurroundsInterior) {
+  Field f(4, 6);
+  EXPECT_EQ(f.padded().height(), 6);
+  EXPECT_EQ(f.padded().width(), 8);
+  f.at(0, 0) = 7;
+  EXPECT_EQ(f.padded()(1, 1), 7u);
+}
+
+TEST(Field, RejectsEmptyShapes) {
+  EXPECT_THROW(Field(0, 5), Error);
+  EXPECT_THROW(Field(5, 0), Error);
+}
+
+TEST(Field, StabilityThreshold) {
+  Field f(3, 3);
+  f.at(1, 1) = 3;
+  EXPECT_TRUE(f.is_stable());
+  f.at(1, 1) = 4;
+  EXPECT_FALSE(f.is_stable());
+}
+
+TEST(Field, CountCellsWith) {
+  Field f(2, 2);
+  f.at(0, 0) = 1;
+  f.at(0, 1) = 1;
+  f.at(1, 0) = 3;
+  EXPECT_EQ(f.count_cells_with(1), 2);
+  EXPECT_EQ(f.count_cells_with(3), 1);
+  EXPECT_EQ(f.count_cells_with(0), 1);
+}
+
+TEST(Field, RenderUsesPalette) {
+  Field f(2, 2);
+  f.at(0, 0) = 0;
+  f.at(0, 1) = 1;
+  f.at(1, 0) = 2;
+  f.at(1, 1) = 3;
+  const Image img = f.render();
+  EXPECT_EQ(img(0, 0), sandpile_color(0));
+  EXPECT_EQ(img(0, 1), sandpile_color(1));
+  EXPECT_EQ(img(1, 0), sandpile_color(2));
+  EXPECT_EQ(img(1, 1), sandpile_color(3));
+}
+
+TEST(Field, SameInteriorIgnoresSink) {
+  Field a(3, 3), b(3, 3);
+  a.at(1, 1) = 2;
+  b.at(1, 1) = 2;
+  b.padded()(0, 0) = 99;  // sink corner differs
+  EXPECT_TRUE(a.same_interior(b));
+  EXPECT_FALSE(a == b);
+  b.at(1, 1) = 3;
+  EXPECT_FALSE(a.same_interior(b));
+}
+
+TEST(InitialConfigs, CenterPile) {
+  const Field f = center_pile(9, 9, 25000);
+  EXPECT_EQ(f.at(4, 4), 25000u);
+  EXPECT_EQ(f.interior_grains(), 25000);
+}
+
+TEST(InitialConfigs, UniformPile) {
+  const Field f = uniform_pile(5, 7, 4);
+  EXPECT_EQ(f.interior_grains(), 5 * 7 * 4);
+  EXPECT_EQ(f.count_cells_with(4), 35);
+}
+
+TEST(InitialConfigs, MaxStableIsStable) {
+  const Field f = max_stable_pile(6, 6);
+  EXPECT_TRUE(f.is_stable());
+  EXPECT_EQ(f.count_cells_with(3), 36);
+}
+
+TEST(InitialConfigs, SparseRandomDeterministic) {
+  const Field a = sparse_random_pile(32, 32, 0.1, 8, 64, 7);
+  const Field b = sparse_random_pile(32, 32, 0.1, 8, 64, 7);
+  EXPECT_TRUE(a.same_interior(b));
+  const Field c = sparse_random_pile(32, 32, 0.1, 8, 64, 8);
+  EXPECT_FALSE(a.same_interior(c));
+}
+
+TEST(InitialConfigs, SparseRandomDensityRespected) {
+  const Field f = sparse_random_pile(100, 100, 0.2, 10, 10, 3);
+  const std::int64_t loaded = 10000 - f.count_cells_with(0);
+  EXPECT_NEAR(static_cast<double>(loaded), 2000.0, 150.0);
+  EXPECT_EQ(f.interior_grains(), loaded * 10);
+}
+
+TEST(InitialConfigs, SparseRandomValidation) {
+  EXPECT_THROW(sparse_random_pile(8, 8, -0.1, 1, 2, 0), Error);
+  EXPECT_THROW(sparse_random_pile(8, 8, 1.5, 1, 2, 0), Error);
+  EXPECT_THROW(sparse_random_pile(8, 8, 0.5, 5, 2, 0), Error);
+}
+
+TEST(StabilizeReference, SingleTopple) {
+  Field f(3, 3);
+  f.at(1, 1) = 4;
+  const std::int64_t topples = stabilize_reference(f);
+  EXPECT_EQ(topples, 1);
+  EXPECT_EQ(f.at(1, 1), 0u);
+  EXPECT_EQ(f.at(0, 1), 1u);
+  EXPECT_EQ(f.at(2, 1), 1u);
+  EXPECT_EQ(f.at(1, 0), 1u);
+  EXPECT_EQ(f.at(1, 2), 1u);
+  EXPECT_TRUE(f.is_stable());
+}
+
+TEST(StabilizeReference, PaperExampleElevenGrains) {
+  // Fig. 2 narrative: a cell with 11 grains gives 2 to each neighbour and
+  // keeps 3.
+  Field f(3, 3);
+  f.at(1, 1) = 11;
+  stabilize_reference(f);
+  EXPECT_EQ(f.at(1, 1), 3u);
+  EXPECT_EQ(f.at(0, 1), 2u);
+  EXPECT_EQ(f.at(1, 0), 2u);
+  EXPECT_EQ(f.at(1, 2), 2u);
+  EXPECT_EQ(f.at(2, 1), 2u);
+}
+
+TEST(StabilizeReference, GrainsConservedPlusSink) {
+  Field f = center_pile(33, 33, 25000);
+  const std::int64_t before = f.interior_grains();
+  stabilize_reference(f);
+  EXPECT_TRUE(f.is_stable());
+  EXPECT_EQ(f.interior_grains() + f.sink_grains(), before);
+  EXPECT_GT(f.sink_grains(), 0);  // 25000 grains overflow a 33x33 grid
+}
+
+TEST(StabilizeReference, SmallPileNeverReachesSink) {
+  // 4 grains in the middle of a large grid cannot reach the border.
+  Field f = center_pile(65, 65, 4);
+  stabilize_reference(f);
+  EXPECT_EQ(f.sink_grains(), 0);
+  EXPECT_EQ(f.interior_grains(), 4);
+}
+
+TEST(StabilizeReference, AlreadyStableIsNoop) {
+  Field f = max_stable_pile(8, 8);
+  EXPECT_EQ(stabilize_reference(f), 0);
+}
+
+TEST(StabilizeReference, SymmetryOfCenterPile) {
+  // The BTW fixed point of a centered pile is 4-fold symmetric.
+  Field f = center_pile(31, 31, 10000);
+  stabilize_reference(f);
+  for (int y = 0; y < 31; ++y)
+    for (int x = 0; x < 31; ++x) {
+      EXPECT_EQ(f.at(y, x), f.at(30 - y, x));
+      EXPECT_EQ(f.at(y, x), f.at(y, 30 - x));
+      EXPECT_EQ(f.at(y, x), f.at(x, y));
+    }
+}
+
+// Dhar's abelian property: stabilizing in a randomized order reaches the
+// same fixed point as the deterministic worklist.
+class AbelianPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AbelianPropertyTest, RandomToppleOrderReachesSameFixedPoint) {
+  const std::uint64_t seed = GetParam();
+  Field initial = sparse_random_pile(24, 24, 0.25, 4, 40, seed);
+  Field expected = initial;
+  stabilize_reference(expected);
+
+  // Randomized stabilization: repeatedly pick a random unstable cell.
+  Field f = initial;
+  Rng rng(seed * 7919 + 1);
+  auto& g = f.padded();
+  for (;;) {
+    std::vector<std::pair<int, int>> unstable;
+    for (int y = 0; y < f.height(); ++y)
+      for (int x = 0; x < f.width(); ++x)
+        if (f.at(y, x) >= kTopple) unstable.emplace_back(y, x);
+    if (unstable.empty()) break;
+    const auto [y, x] =
+        unstable[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(unstable.size()) - 1))];
+    const Cell grains = g(y + 1, x + 1);
+    const Cell share = grains / kTopple;
+    g(y + 1, x + 1) = grains % kTopple;
+    g(y, x + 1) += share;
+    g(y + 2, x + 1) += share;
+    g(y + 1, x) += share;
+    g(y + 1, x + 2) += share;
+  }
+  EXPECT_TRUE(f.same_interior(expected)) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AbelianPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace peachy::sandpile

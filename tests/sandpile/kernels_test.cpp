@@ -1,0 +1,164 @@
+#include "sandpile/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sandpile/field.hpp"
+
+namespace peachy::sandpile {
+namespace {
+
+pap::Tile whole(const Field& f) {
+  pap::Tile t;
+  t.y0 = 0;
+  t.x0 = 0;
+  t.h = f.height();
+  t.w = f.width();
+  return t;
+}
+
+TEST(SyncEngine, MatchesFig2Semantics) {
+  // next(y,x) = cur%4 + left/4 + right/4 + up/4 + down/4.
+  Field f(3, 3);
+  f.at(1, 1) = 11;
+  f.at(0, 1) = 5;
+  SyncEngine e(f);
+  EXPECT_TRUE(e.compute_tile(whole(f)));
+  e.swap_buffers();
+  EXPECT_EQ(f.at(1, 1), 11u % 4 + 5u / 4);  // keeps 3, gets 1 from above
+  EXPECT_EQ(f.at(0, 1), 5u % 4 + 11u / 4);  // keeps 1, gets 2 from below
+  EXPECT_EQ(f.at(0, 0), 5u / 4);            // left neighbour of the 5
+  EXPECT_EQ(f.at(2, 2), 0u);
+}
+
+TEST(SyncEngine, ReportsNoChangeOnStableTile) {
+  Field f = max_stable_pile(6, 6);
+  SyncEngine e(f);
+  EXPECT_FALSE(e.compute_tile(whole(f)));
+}
+
+TEST(SyncEngine, BorderLossesGoToSink) {
+  // A toppling corner cell sends 2 of 4 shares out of the grid.
+  Field f(2, 2);
+  f.at(0, 0) = 4;
+  SyncEngine e(f);
+  e.compute_tile(whole(f));
+  e.swap_buffers();
+  EXPECT_EQ(f.interior_grains(), 2);  // two grains lost to the sink frame
+}
+
+TEST(SyncEngine, VectorPathIdenticalToGenericPath) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    Field a = sparse_random_pile(33, 47, 0.3, 4, 60, seed);
+    Field b = a;
+    SyncEngine ea(a), eb(b);
+    // Drive several full iterations through both code paths.
+    for (int iter = 0; iter < 10; ++iter) {
+      const bool ca = ea.compute_tile(whole(a));
+      const bool cb = eb.compute_tile_vector(whole(b));
+      EXPECT_EQ(ca, cb) << "iter " << iter;
+      ea.swap_buffers();
+      eb.swap_buffers();
+      ASSERT_TRUE(a.same_interior(b)) << "iter " << iter << " seed " << seed;
+    }
+  }
+}
+
+TEST(SyncEngine, VectorPathOnSubTiles) {
+  Field a = sparse_random_pile(32, 32, 0.4, 4, 30, 9);
+  Field b = a;
+  SyncEngine ea(a), eb(b);
+  pap::TileGrid tiles(32, 32, 8, 8);
+  for (int iter = 0; iter < 5; ++iter) {
+    for (int i = 0; i < tiles.count(); ++i) {
+      ea.compute_tile(tiles.tile(i));
+      eb.compute_tile_vector(tiles.tile(i));
+    }
+    ea.swap_buffers();
+    eb.swap_buffers();
+    ASSERT_TRUE(a.same_interior(b)) << "iter " << iter;
+  }
+}
+
+TEST(SyncEngine, RepeatedSyncIterationsReachReferenceFixedPoint) {
+  Field f = center_pile(17, 17, 1000);
+  Field expected = f;
+  stabilize_reference(expected);
+  SyncEngine e(f);
+  int iterations = 0;
+  while (e.compute_tile(whole(f))) {
+    e.swap_buffers();
+    ASSERT_LT(++iterations, 100000);
+  }
+  e.swap_buffers();
+  EXPECT_TRUE(f.same_interior(expected));
+}
+
+TEST(AsyncEngine, SweepMatchesFig2Semantics) {
+  Field f(3, 3);
+  f.at(1, 1) = 11;
+  AsyncEngine e(f);
+  EXPECT_TRUE(e.sweep_tile(whole(f)));
+  EXPECT_EQ(f.at(1, 1), 3u);
+  EXPECT_EQ(f.at(0, 1), 2u);
+  EXPECT_EQ(f.at(1, 0), 2u);
+  EXPECT_EQ(f.at(1, 2), 2u);
+  EXPECT_EQ(f.at(2, 1), 2u);
+}
+
+TEST(AsyncEngine, SweepIsInPlaceAndOrderDependent) {
+  // Row-major sweep: a topple can cascade within the same sweep (cells after
+  // the toppled one see the new grains immediately).
+  Field f(1, 3);
+  f.at(0, 0) = 4;
+  f.at(0, 1) = 3;
+  AsyncEngine e(f);
+  e.sweep_tile(whole(f));
+  // (0,0) topples first making (0,1) hold 4, which topples in the same sweep.
+  EXPECT_EQ(f.at(0, 1), 0u);
+  EXPECT_EQ(f.at(0, 2), 1u);
+}
+
+TEST(AsyncEngine, SweepStableReturnsFalse) {
+  Field f = max_stable_pile(4, 4);
+  AsyncEngine e(f);
+  EXPECT_FALSE(e.sweep_tile(whole(f)));
+}
+
+TEST(AsyncEngine, DrainStabilizesTileLocally) {
+  Field f = center_pile(9, 9, 300);
+  Field expected = f;
+  stabilize_reference(expected);
+  AsyncEngine e(f);
+  EXPECT_TRUE(e.drain_tile(whole(f)));
+  EXPECT_TRUE(f.is_stable());
+  EXPECT_TRUE(f.same_interior(expected));
+}
+
+TEST(AsyncEngine, AsyncDepositsIntoSinkFrame) {
+  Field f(2, 2);
+  f.at(0, 0) = 8;
+  AsyncEngine e(f);
+  e.drain_tile(whole(f));
+  const std::int64_t total = f.interior_grains() + f.sink_grains();
+  EXPECT_EQ(total, 8);         // async never destroys grains
+  EXPECT_GT(f.sink_grains(), 0);
+}
+
+TEST(Engines, SyncAndAsyncAgreeOnFixedPoint) {
+  for (std::uint64_t seed : {11ull, 22ull, 33ull}) {
+    Field sync_f = sparse_random_pile(21, 27, 0.3, 4, 50, seed);
+    Field async_f = sync_f;
+
+    SyncEngine se(sync_f);
+    while (se.compute_tile(whole(sync_f))) se.swap_buffers();
+    se.swap_buffers();
+
+    AsyncEngine ae(async_f);
+    ae.drain_tile(whole(async_f));
+
+    EXPECT_TRUE(sync_f.same_interior(async_f)) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace peachy::sandpile

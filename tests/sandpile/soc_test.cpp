@@ -1,0 +1,172 @@
+#include "sandpile/soc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace peachy::sandpile {
+namespace {
+
+TEST(DropGrain, NoAvalancheBelowThreshold) {
+  Field f(8, 8);
+  const Avalanche av = drop_grain(f, 3, 3);
+  EXPECT_EQ(av.size, 0);
+  EXPECT_EQ(av.area, 0);
+  EXPECT_EQ(av.duration, 0);
+  EXPECT_EQ(f.at(3, 3), 1u);
+}
+
+TEST(DropGrain, SingleToppleAvalanche) {
+  Field f(8, 8);
+  f.at(3, 3) = 3;
+  const Avalanche av = drop_grain(f, 3, 3);
+  EXPECT_EQ(av.size, 1);
+  EXPECT_EQ(av.area, 1);
+  EXPECT_EQ(av.duration, 1);
+  EXPECT_EQ(av.lost, 0);
+  EXPECT_EQ(f.at(3, 3), 0u);
+  EXPECT_EQ(f.at(2, 3), 1u);
+}
+
+TEST(DropGrain, FieldStableAfterDrop) {
+  Field f = max_stable_pile(16, 16);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const int y = static_cast<int>(rng.uniform_int(0, 15));
+    const int x = static_cast<int>(rng.uniform_int(0, 15));
+    drop_grain(f, y, x);
+    ASSERT_TRUE(f.is_stable());
+  }
+}
+
+TEST(DropGrain, GrainConservedIntoSink) {
+  Field f = max_stable_pile(8, 8);
+  const std::int64_t before = f.interior_grains() + f.sink_grains();
+  const Avalanche av = drop_grain(f, 0, 0);  // corner: guaranteed losses
+  EXPECT_EQ(f.interior_grains() + f.sink_grains(), before + 1);
+  EXPECT_GT(av.lost, 0);
+}
+
+TEST(DropGrain, MatchesReferenceFixedPoint) {
+  Field a = max_stable_pile(12, 12);
+  Field b = a;
+  drop_grain(a, 5, 5);
+  ++b.at(5, 5);
+  stabilize_reference(b);
+  EXPECT_TRUE(a.same_interior(b));
+}
+
+TEST(DropGrain, MaxStableFullCascade) {
+  // Dropping on the all-3s pile topples at least the connected component
+  // reached by the cascade; area must exceed 1 and duration the manhattan
+  // radius to the border.
+  Field f = max_stable_pile(9, 9);
+  const Avalanche av = drop_grain(f, 4, 4);
+  EXPECT_GT(av.area, 9);
+  EXPECT_GE(av.duration, 4);
+  EXPECT_GE(av.size, av.area);
+}
+
+TEST(DropGrain, OutOfBoundsThrows) {
+  Field f(4, 4);
+  EXPECT_THROW(drop_grain(f, -1, 0), Error);
+  EXPECT_THROW(drop_grain(f, 0, 4), Error);
+}
+
+TEST(DriveToCriticality, ReachesStationaryDensity) {
+  Field f(24, 24);
+  Rng rng(7);
+  drive_to_criticality(f, 20000, rng);
+  // The 2-D BTW stationary state has mean grain density ~2.12.
+  const double density = static_cast<double>(f.interior_grains()) /
+                         (24.0 * 24.0);
+  EXPECT_GT(density, 1.9);
+  EXPECT_LT(density, 2.4);
+  EXPECT_TRUE(f.is_stable());
+}
+
+TEST(DriveToCriticality, DeterministicInSeed) {
+  Field a(12, 12), b(12, 12);
+  Rng ra(3), rb(3);
+  const std::int64_t ta = drive_to_criticality(a, 2000, ra);
+  const std::int64_t tb = drive_to_criticality(b, 2000, rb);
+  EXPECT_EQ(ta, tb);
+  EXPECT_TRUE(a.same_interior(b));
+}
+
+TEST(SampleAvalanches, HeavyTailAtCriticality) {
+  Field f(32, 32);
+  Rng rng(11);
+  drive_to_criticality(f, 30000, rng);
+  const auto avalanches = sample_avalanches(f, 3000, rng);
+  ASSERT_EQ(avalanches.size(), 3000u);
+  std::vector<std::int64_t> sizes;
+  for (const Avalanche& a : avalanches) sizes.push_back(a.size);
+  std::sort(sizes.begin(), sizes.end());
+  const std::int64_t median = sizes[sizes.size() / 2];
+  const std::int64_t max = sizes.back();
+  // Criticality: the largest avalanche dwarfs the median (heavy tail).
+  EXPECT_GE(max, 20 * std::max<std::int64_t>(median, 1));
+}
+
+TEST(LogBinned, BinsAndDensities) {
+  std::int64_t zeros = 0;
+  const auto bins = log_binned({0, 1, 1, 2, 3, 4, 7, 8}, &zeros);
+  EXPECT_EQ(zeros, 1);
+  ASSERT_EQ(bins.size(), 4u);  // [1,2) [2,4) [4,8) [8,16)
+  EXPECT_EQ(bins[0].count, 2);
+  EXPECT_EQ(bins[1].count, 2);
+  EXPECT_EQ(bins[2].count, 2);
+  EXPECT_EQ(bins[3].count, 1);
+  // density = count / (positives * width); positives = 7.
+  EXPECT_NEAR(bins[0].density, 2.0 / 7.0, 1e-12);
+  EXPECT_NEAR(bins[2].density, 2.0 / (7.0 * 4.0), 1e-12);
+}
+
+TEST(LogBinned, RejectsNegatives) {
+  EXPECT_THROW(log_binned({1, -2, 3}), Error);
+}
+
+TEST(PowerLawExponent, RecoversKnownSlope) {
+  // Construct bins whose density is exactly center^-1.5.
+  std::vector<LogBin> bins;
+  for (std::int64_t lo = 1; lo <= 1 << 12; lo *= 2) {
+    LogBin b;
+    b.lo = lo;
+    b.hi = 2 * lo;
+    b.count = 1000;  // above min_count
+    const double center = std::sqrt(static_cast<double>(lo) * (2.0 * lo));
+    b.density = std::pow(center, -1.5);
+    bins.push_back(b);
+  }
+  EXPECT_NEAR(power_law_exponent(bins), 1.5, 1e-9);
+}
+
+TEST(PowerLawExponent, NeedsTwoBins) {
+  std::vector<LogBin> bins(1);
+  bins[0] = {1, 2, 100, 0.5};
+  EXPECT_THROW(power_law_exponent(bins), Error);
+}
+
+TEST(Criticality, AvalancheSizesFollowPowerLaw) {
+  // The headline SOC result: at criticality the avalanche-size
+  // distribution is a power law with tau roughly 1.0-1.4 (finite-size
+  // effects widen the window on small grids).
+  Field f(48, 48);
+  Rng rng(2024);
+  drive_to_criticality(f, 60000, rng);
+  const auto avalanches = sample_avalanches(f, 8000, rng);
+  std::vector<std::int64_t> sizes;
+  for (const Avalanche& a : avalanches)
+    if (a.size > 0) sizes.push_back(a.size);
+  const auto bins = log_binned(sizes);
+  const double tau = power_law_exponent(bins, 20);
+  EXPECT_GT(tau, 0.8);
+  EXPECT_LT(tau, 1.6);
+}
+
+}  // namespace
+}  // namespace peachy::sandpile

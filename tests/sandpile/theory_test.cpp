@@ -1,0 +1,113 @@
+#include "sandpile/theory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "sandpile/field.hpp"
+
+namespace peachy::sandpile {
+namespace {
+
+TEST(Theory, AddAndSubtract) {
+  Field a = uniform_pile(3, 3, 2);
+  Field b = uniform_pile(3, 3, 1);
+  const Field sum = add(a, b);
+  EXPECT_EQ(sum.count_cells_with(3), 9);
+  const Field diff = subtract(sum, b);
+  EXPECT_TRUE(diff.same_interior(a));
+}
+
+TEST(Theory, SubtractUnderflowThrows) {
+  Field a = uniform_pile(3, 3, 1);
+  Field b = uniform_pile(3, 3, 2);
+  EXPECT_THROW(subtract(a, b), Error);
+}
+
+TEST(Theory, ShapeMismatchThrows) {
+  Field a(3, 3), b(3, 4);
+  EXPECT_THROW(add(a, b), Error);
+  EXPECT_THROW(subtract(a, b), Error);
+}
+
+TEST(Theory, ScaleMultiplies) {
+  const Field f = scale(uniform_pile(2, 2, 3), 2);
+  EXPECT_EQ(f.count_cells_with(6), 4);
+}
+
+TEST(Theory, GroupAddStabilizes) {
+  const Field m = max_stable_pile(8, 8);
+  const Field sum = group_add(m, m);
+  EXPECT_TRUE(sum.is_stable());
+}
+
+TEST(Theory, GroupAddIsCommutative) {
+  const Field a = group_add(max_stable_pile(12, 12),
+                            uniform_pile(12, 12, 2));
+  Field x = sparse_random_pile(12, 12, 0.5, 1, 3, 4);
+  stabilize_reference(x);
+  EXPECT_TRUE(group_add(a, x).same_interior(group_add(x, a)));
+}
+
+TEST(Theory, GroupAddIsAssociativeOnStableConfigs) {
+  Field a = sparse_random_pile(10, 10, 0.6, 1, 3, 1);
+  Field b = sparse_random_pile(10, 10, 0.6, 1, 3, 2);
+  Field c = sparse_random_pile(10, 10, 0.6, 1, 3, 3);
+  stabilize_reference(a);
+  stabilize_reference(b);
+  stabilize_reference(c);
+  const Field left = group_add(group_add(a, b), c);
+  const Field right = group_add(a, group_add(b, c));
+  EXPECT_TRUE(left.same_interior(right));
+}
+
+TEST(Theory, IdentityIsStableAndIdempotent) {
+  const Field id = group_identity(16, 16);
+  EXPECT_TRUE(id.is_stable());
+  EXPECT_TRUE(group_add(id, id).same_interior(id));
+}
+
+TEST(Theory, IdentityIsNeutralOnRecurrentConfigs) {
+  const Field id = group_identity(12, 12);
+  // Stabilizations of configurations >= the max-stable one are recurrent.
+  Field r = uniform_pile(12, 12, 6);
+  stabilize_reference(r);
+  EXPECT_TRUE(group_add(r, id).same_interior(r));
+}
+
+TEST(Theory, IdentityIsRecurrent) {
+  EXPECT_TRUE(is_recurrent(group_identity(12, 12)));
+}
+
+TEST(Theory, IdentityHasFourFoldSymmetry) {
+  const int n = 14;
+  const Field id = group_identity(n, n);
+  for (int y = 0; y < n; ++y)
+    for (int x = 0; x < n; ++x) {
+      EXPECT_EQ(id.at(y, x), id.at(n - 1 - y, x));
+      EXPECT_EQ(id.at(y, x), id.at(y, n - 1 - x));
+    }
+}
+
+TEST(Theory, BurningTestRejectsAllZeros) {
+  // The all-zero configuration is famously non-recurrent.
+  EXPECT_FALSE(is_recurrent(Field(8, 8)));
+}
+
+TEST(Theory, BurningTestAcceptsMaxStable) {
+  EXPECT_TRUE(is_recurrent(max_stable_pile(8, 8)));
+}
+
+TEST(Theory, BurningTestRequiresStableInput) {
+  Field f(4, 4);
+  f.at(1, 1) = 10;
+  EXPECT_THROW(is_recurrent(f), Error);
+}
+
+TEST(Theory, StabilizedLargeUniformIsRecurrent) {
+  Field f = uniform_pile(10, 10, 8);
+  stabilize_reference(f);
+  EXPECT_TRUE(is_recurrent(f));
+}
+
+}  // namespace
+}  // namespace peachy::sandpile

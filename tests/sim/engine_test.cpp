@@ -1,0 +1,103 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace peachy::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine e;
+  EXPECT_DOUBLE_EQ(e.now(), 0.0);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Engine, EventsFireInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(3.0, [&] { order.push_back(3); });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(e.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, TiesBreakByScheduleOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    e.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, NowAdvancesWithEvents) {
+  Engine e;
+  double seen = -1;
+  e.schedule_at(2.5, [&] { seen = e.now(); });
+  e.run();
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+  EXPECT_DOUBLE_EQ(e.now(), 2.5);
+}
+
+TEST(Engine, ScheduleInIsRelative) {
+  Engine e;
+  std::vector<double> times;
+  e.schedule_at(1.0, [&] {
+    e.schedule_in(0.5, [&] { times.push_back(e.now()); });
+  });
+  e.run();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_DOUBLE_EQ(times[0], 1.5);
+}
+
+TEST(Engine, CascadingEventsRun) {
+  Engine e;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) e.schedule_in(1.0, chain);
+  };
+  e.schedule_at(0.0, chain);
+  EXPECT_EQ(e.run(), 100u);
+  EXPECT_EQ(depth, 100);
+  EXPECT_DOUBLE_EQ(e.now(), 99.0);
+}
+
+TEST(Engine, RunUntilLeavesLaterEventsQueued) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(1.0, [&] { ++fired; });
+  e.schedule_at(2.0, [&] { ++fired; });
+  e.schedule_at(10.0, [&] { ++fired; });
+  EXPECT_EQ(e.run_until(5.0), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(e.empty());
+  EXPECT_EQ(e.run(), 1u);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  Engine e;
+  e.schedule_at(5.0, [] {});
+  e.run();
+  EXPECT_THROW(e.schedule_at(4.0, [] {}), Error);
+  EXPECT_NO_THROW(e.schedule_at(5.0, [] {}));  // now is allowed
+}
+
+TEST(Engine, NullCallbackRejected) {
+  Engine e;
+  EXPECT_THROW(e.schedule_at(1.0, nullptr), Error);
+}
+
+TEST(Engine, ProcessedCountsAcrossRuns) {
+  Engine e;
+  e.schedule_at(1.0, [] {});
+  e.run();
+  e.schedule_at(2.0, [] {});
+  e.run();
+  EXPECT_EQ(e.processed(), 2u);
+}
+
+}  // namespace
+}  // namespace peachy::sim

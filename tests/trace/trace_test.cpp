@@ -1,0 +1,166 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "core/colormap.hpp"
+#include "core/csv.hpp"
+#include "core/error.hpp"
+
+namespace peachy {
+namespace {
+
+TaskRecord rec(int iter, int worker, int y0, int x0, int h, int w,
+               std::int64_t start, std::int64_t end) {
+  return TaskRecord{iter, worker, y0, x0, h, w, start, end};
+}
+
+TEST(TraceRecorder, RequiresWorkerLane) {
+  EXPECT_THROW(TraceRecorder(0), Error);
+  TraceRecorder t(2);
+  EXPECT_THROW(t.record(rec(0, 2, 0, 0, 1, 1, 0, 1)), Error);
+  EXPECT_THROW(t.record(rec(0, -1, 0, 0, 1, 1, 0, 1)), Error);
+}
+
+TEST(TraceRecorder, MergedSortsByIterationThenStart) {
+  TraceRecorder t(2);
+  t.record(rec(1, 0, 0, 0, 8, 8, 50, 60));
+  t.record(rec(0, 1, 0, 0, 8, 8, 40, 45));
+  t.record(rec(0, 0, 8, 0, 8, 8, 10, 20));
+  const auto all = t.merged();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].iteration, 0);
+  EXPECT_EQ(all[0].start_ns, 10);
+  EXPECT_EQ(all[1].start_ns, 40);
+  EXPECT_EQ(all[2].iteration, 1);
+}
+
+TEST(TraceRecorder, IterationFilter) {
+  TraceRecorder t(1);
+  t.record(rec(0, 0, 0, 0, 1, 1, 0, 1));
+  t.record(rec(2, 0, 0, 0, 1, 1, 2, 3));
+  t.record(rec(2, 0, 1, 0, 1, 1, 1, 2));
+  const auto it2 = t.iteration(2);
+  ASSERT_EQ(it2.size(), 2u);
+  EXPECT_EQ(it2[0].start_ns, 1);  // sorted by start
+  EXPECT_TRUE(t.iteration(5).empty());
+}
+
+TEST(TraceRecorder, ConcurrentLanesDoNotInterfere) {
+  TraceRecorder t(4);
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 4; ++w)
+    threads.emplace_back([&t, w] {
+      for (int i = 0; i < 1000; ++i)
+        t.record(rec(0, w, i, w, 1, 1, i, i + 1));
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(t.total_tasks(), 4000u);
+}
+
+TEST(TraceRecorder, ClearResets) {
+  TraceRecorder t(1);
+  t.record(rec(0, 0, 0, 0, 1, 1, 0, 1));
+  t.clear();
+  EXPECT_EQ(t.total_tasks(), 0u);
+}
+
+TEST(TraceRecorder, CsvExport) {
+  const auto dir = std::filesystem::temp_directory_path() / "peachy_trace";
+  std::filesystem::create_directories(dir);
+  TraceRecorder t(2);
+  t.record(rec(0, 1, 4, 8, 16, 16, 100, 250));
+  const std::string path = (dir / "trace.csv").string();
+  t.write_csv(path);
+  const auto rows = read_csv(path);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "iteration");
+  EXPECT_EQ(rows[1][1], "1");    // worker
+  EXPECT_EQ(rows[1][7], "250");  // end_ns
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SummarizeIteration, ComputesBusySpanImbalance) {
+  std::vector<TaskRecord> records = {
+      rec(0, 0, 0, 0, 1, 1, 0, 30),   // worker 0 busy 30
+      rec(0, 1, 0, 1, 1, 1, 0, 10),   // worker 1 busy 10
+      rec(1, 0, 0, 0, 1, 1, 50, 60),  // other iteration, ignored
+  };
+  const IterationSummary s = summarize_iteration(records, 0, 2);
+  EXPECT_EQ(s.tasks, 2u);
+  EXPECT_EQ(s.busy_ns, 40);
+  EXPECT_EQ(s.span_ns, 30);
+  // mean busy 20, max 30 -> 1.5.
+  EXPECT_DOUBLE_EQ(s.imbalance, 1.5);
+  EXPECT_EQ(s.per_worker_busy_ns[0], 30);
+  EXPECT_EQ(s.per_worker_busy_ns[1], 10);
+}
+
+TEST(SummarizeIteration, EmptyIterationIsNeutral) {
+  const IterationSummary s = summarize_iteration({}, 3, 4);
+  EXPECT_EQ(s.tasks, 0u);
+  EXPECT_EQ(s.span_ns, 0);
+  EXPECT_DOUBLE_EQ(s.imbalance, 1.0);
+}
+
+TEST(RenderOwnerMap, PaintsTilesAndLeavesStableBlack) {
+  std::vector<TaskRecord> records = {rec(0, 2, 0, 0, 4, 4, 0, 1)};
+  const Image img = render_owner_map(records, 8, 8);
+  EXPECT_EQ(img.height(), 8);
+  EXPECT_EQ(img.width(), 8);
+  EXPECT_EQ(img(1, 1), distinct_color(2));
+  EXPECT_EQ(img(6, 6), (Rgb{0, 0, 0}));  // untouched = stable = black
+}
+
+TEST(RenderTimeline, GeometryAndLanes) {
+  std::vector<TaskRecord> records = {
+      rec(0, 0, 0, 0, 8, 8, 0, 500),     // worker 0: first half
+      rec(0, 1, 8, 0, 8, 8, 500, 1000),  // worker 1: second half
+  };
+  const Image img = render_timeline(records, 2, 100, 10);
+  EXPECT_EQ(img.height(), 2 * 11 - 1);
+  EXPECT_EQ(img.width(), 100);
+  // Worker 0 busy early, idle late.
+  EXPECT_NE(img(5, 10), (Rgb{0, 0, 0}));
+  EXPECT_EQ(img(5, 90), (Rgb{0, 0, 0}));
+  // Worker 1 idle early, busy late.
+  EXPECT_EQ(img(16, 10), (Rgb{0, 0, 0}));
+  EXPECT_NE(img(16, 90), (Rgb{0, 0, 0}));
+  // Lane separator row stays black.
+  EXPECT_EQ(img(10, 50), (Rgb{0, 0, 0}));
+}
+
+TEST(RenderTimeline, TinyTasksStillVisible) {
+  std::vector<TaskRecord> records = {
+      rec(0, 0, 0, 0, 1, 1, 0, 1),          // 1 ns task
+      rec(0, 0, 0, 0, 1, 1, 1000000, 1000001),
+  };
+  const Image img = render_timeline(records, 1, 50, 8);
+  EXPECT_NE(img(4, 0), (Rgb{0, 0, 0}));  // first task occupies >= 1 px
+}
+
+TEST(RenderTimeline, EmptyTraceIsBlack) {
+  const Image img = render_timeline({}, 3, 64, 8);
+  EXPECT_EQ(img.height(), 3 * 9 - 1);
+  for (int x = 0; x < img.width(); x += 7)
+    EXPECT_EQ(img(4, x), (Rgb{0, 0, 0}));
+}
+
+TEST(RenderTimeline, ValidatesGeometry) {
+  EXPECT_THROW(render_timeline({}, 0, 64, 8), Error);
+  EXPECT_THROW(render_timeline({}, 2, 1, 8), Error);
+  EXPECT_THROW(render_timeline({}, 2, 64, 1), Error);
+}
+
+TEST(RenderOwnerMap, Downscaling) {
+  std::vector<TaskRecord> records = {rec(0, 0, 0, 0, 32, 32, 0, 1)};
+  const Image img = render_owner_map(records, 64, 64, 8);
+  EXPECT_EQ(img.height(), 8);
+  EXPECT_EQ(img(0, 0), distinct_color(0));
+  EXPECT_EQ(img(7, 7), (Rgb{0, 0, 0}));
+}
+
+}  // namespace
+}  // namespace peachy

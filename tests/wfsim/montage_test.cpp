@@ -1,0 +1,86 @@
+#include "wfsim/montage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace peachy::wf {
+namespace {
+
+TEST(Montage, PaperInstanceHas738TasksAnd75GB) {
+  const Workflow wf = make_montage();
+  EXPECT_EQ(wf.num_tasks(), 738);
+  EXPECT_NEAR(wf.total_bytes(), 7.5e9, 1.0);
+}
+
+TEST(Montage, NineLevelStructure) {
+  const Workflow wf = make_montage();
+  ASSERT_EQ(wf.num_levels(), 9);
+  EXPECT_EQ(wf.tasks_in_level(0).size(), 180u);  // mProject
+  EXPECT_EQ(wf.tasks_in_level(1).size(), 360u);  // mDiffFit
+  EXPECT_EQ(wf.tasks_in_level(2).size(), 1u);    // mConcatFit
+  EXPECT_EQ(wf.tasks_in_level(3).size(), 1u);    // mBgModel
+  EXPECT_EQ(wf.tasks_in_level(4).size(), 180u);  // mBackground
+  EXPECT_EQ(wf.tasks_in_level(5).size(), 1u);    // mImgtbl
+  EXPECT_EQ(wf.tasks_in_level(6).size(), 1u);    // mAdd
+  EXPECT_EQ(wf.tasks_in_level(7).size(), 13u);   // mShrink
+  EXPECT_EQ(wf.tasks_in_level(8).size(), 1u);    // mJPEG
+  EXPECT_EQ(wf.width(), 360);
+}
+
+TEST(Montage, TaskNamesFollowLevels) {
+  const Workflow wf = make_montage();
+  EXPECT_EQ(wf.task(wf.tasks_in_level(0)[0]).name.substr(0, 8), "mProject");
+  EXPECT_EQ(wf.task(wf.tasks_in_level(6)[0]).name, "mAdd");
+  EXPECT_EQ(wf.task(wf.tasks_in_level(8)[0]).name, "mJPEG");
+}
+
+TEST(Montage, EntryTasksReadWorkflowInputs) {
+  const Workflow wf = make_montage();
+  for (int id : wf.tasks_in_level(0)) {
+    const Task& t = wf.task(id);
+    ASSERT_EQ(t.inputs.size(), 1u);
+    EXPECT_EQ(wf.file(t.inputs[0]).producer, -1);
+  }
+}
+
+TEST(Montage, CustomWidthScalesTaskCount) {
+  MontageParams p;
+  p.base_width = 10;
+  p.shrink_tasks = 2;
+  const Workflow wf = make_montage(p);
+  EXPECT_EQ(wf.num_tasks(), 4 * 10 + 2 + 5);
+  EXPECT_NEAR(wf.total_bytes(), 7.5e9, 1.0);  // still normalized
+}
+
+TEST(Montage, FlopsScaleMultipliesWork) {
+  MontageParams p;
+  p.flops_scale = 2.0;
+  const Workflow doubled = make_montage(p);
+  const Workflow base = make_montage();
+  EXPECT_NEAR(doubled.total_flops(), 2.0 * base.total_flops(), 1.0);
+}
+
+TEST(Montage, ValidatesParams) {
+  MontageParams p;
+  p.base_width = 1;
+  EXPECT_THROW(make_montage(p), Error);
+  p = {};
+  p.shrink_tasks = 0;
+  EXPECT_THROW(make_montage(p), Error);
+  p = {};
+  p.total_bytes = 0;
+  EXPECT_THROW(make_montage(p), Error);
+}
+
+TEST(Montage, MosaicFeedsEveryShrink) {
+  const Workflow wf = make_montage();
+  const int add_id = wf.tasks_in_level(6)[0];
+  const Task& add = wf.task(add_id);
+  ASSERT_EQ(add.outputs.size(), 1u);
+  const File& mosaic = wf.file(add.outputs[0]);
+  EXPECT_EQ(mosaic.consumers.size(), 13u);
+}
+
+}  // namespace
+}  // namespace peachy::wf

@@ -1,0 +1,234 @@
+#include "wfsim/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "wfsim/montage.hpp"
+
+namespace peachy::wf {
+namespace {
+
+struct Fixture : ::testing::Test {
+  Workflow wf = make_montage();
+  Platform plat = eduwrench_platform();
+  // The assignment's bound: "execute the workflow in under 3 minutes".
+  static constexpr double kDeadline = 180.0;
+};
+
+TEST_F(Fixture, BaselineIsComfortablyUnderDeadline) {
+  RunConfig cfg;
+  cfg.nodes_on = 64;
+  cfg.pstate = plat.max_pstate();
+  const SimResult r = simulate(wf, plat, cfg);
+  EXPECT_LT(r.makespan_s, kDeadline);
+  EXPECT_GT(r.makespan_s, 30.0);  // not trivially fast either
+}
+
+TEST_F(Fixture, MinNodesSearchFindsBoundary) {
+  const ClusterChoice c =
+      min_nodes_for_deadline(wf, plat, plat.max_pstate(), kDeadline);
+  ASSERT_TRUE(c.feasible);
+  EXPECT_LT(c.nodes_on, 64);
+  EXPECT_GT(c.nodes_on, 1);
+  EXPECT_LE(c.result.makespan_s, kDeadline);
+  // One fewer node must miss the deadline (minimality).
+  RunConfig cfg;
+  cfg.nodes_on = c.nodes_on - 1;
+  cfg.pstate = plat.max_pstate();
+  EXPECT_GT(simulate(wf, plat, cfg).makespan_s, kDeadline);
+}
+
+TEST_F(Fixture, MinPstateSearchFindsBoundary) {
+  const ClusterChoice c = min_pstate_for_deadline(wf, plat, 64, kDeadline);
+  ASSERT_TRUE(c.feasible);
+  EXPECT_GT(c.pstate, 0);
+  EXPECT_LT(c.pstate, plat.max_pstate());
+  EXPECT_LE(c.result.makespan_s, kDeadline);
+  RunConfig cfg;
+  cfg.nodes_on = 64;
+  cfg.pstate = c.pstate - 1;
+  EXPECT_GT(simulate(wf, plat, cfg).makespan_s, kDeadline);
+}
+
+TEST_F(Fixture, BothSingleKnobOptionsCutCo2VersusBaseline) {
+  RunConfig base;
+  base.nodes_on = 64;
+  base.pstate = plat.max_pstate();
+  const double baseline = simulate(wf, plat, base).total_gco2;
+  const ClusterChoice fewer =
+      min_nodes_for_deadline(wf, plat, plat.max_pstate(), kDeadline);
+  const ClusterChoice slower = min_pstate_for_deadline(wf, plat, 64, kDeadline);
+  EXPECT_LT(fewer.result.total_gco2, baseline);
+  EXPECT_LT(slower.result.total_gco2, baseline);
+}
+
+TEST_F(Fixture, CombinedHeuristicBeatsBothSingleKnobOptions) {
+  // Q3 of Tab #1: "it leads to lower CO2 emission than both previously
+  // evaluated options".
+  const ClusterChoice fewer =
+      min_nodes_for_deadline(wf, plat, plat.max_pstate(), kDeadline);
+  const ClusterChoice slower = min_pstate_for_deadline(wf, plat, 64, kDeadline);
+  const ClusterChoice combined = combined_power_heuristic(wf, plat, kDeadline);
+  ASSERT_TRUE(combined.feasible);
+  EXPECT_LE(combined.result.total_gco2, fewer.result.total_gco2);
+  EXPECT_LE(combined.result.total_gco2, slower.result.total_gco2);
+  EXPECT_LT(combined.result.total_gco2,
+            std::min(fewer.result.total_gco2, slower.result.total_gco2));
+  EXPECT_LE(combined.result.makespan_s, kDeadline);
+}
+
+TEST_F(Fixture, InfeasibleDeadlineReported) {
+  const ClusterChoice c = min_nodes_for_deadline(wf, plat, 0, 1.0);
+  EXPECT_FALSE(c.feasible);
+  const ClusterChoice h = combined_power_heuristic(wf, plat, 1.0);
+  EXPECT_FALSE(h.feasible);
+}
+
+TEST_F(Fixture, SearchValidation) {
+  EXPECT_THROW(min_nodes_for_deadline(wf, plat, 0, -1.0), Error);
+  EXPECT_THROW(min_pstate_for_deadline(wf, plat, 64, 0.0), Error);
+}
+
+TEST(CloudSearch, ExhaustiveFindsGridOptimum) {
+  // Small workflow so {0,1}^levels is enumerable and verifiable.
+  MontageParams p;
+  p.base_width = 8;
+  p.shrink_tasks = 2;
+  const Workflow wf = make_montage(p);
+  const Platform plat = eduwrench_platform();
+
+  const CloudSearchResult best =
+      exhaustive_cloud_search(wf, plat, 12, 0, {0.0, 1.0});
+  EXPECT_EQ(best.evaluated, 512u);  // 2^9 combinations
+  ASSERT_EQ(best.fractions.size(), 9u);
+
+  // The optimum must beat (or match) both trivial placements.
+  RunConfig all_local;
+  all_local.nodes_on = 12;
+  all_local.pstate = 0;
+  const double local_co2 = simulate(wf, plat, all_local).total_gco2;
+  RunConfig all_cloud = all_local;
+  all_cloud.placement = Placement::all(wf, Site::kCloud);
+  const double cloud_co2 = simulate(wf, plat, all_cloud).total_gco2;
+  EXPECT_LE(best.result.total_gco2, local_co2);
+  EXPECT_LE(best.result.total_gco2, cloud_co2);
+}
+
+TEST(CloudSearch, RefinementNeverWorsens) {
+  MontageParams p;
+  p.base_width = 8;
+  p.shrink_tasks = 2;
+  const Workflow wf = make_montage(p);
+  const Platform plat = eduwrench_platform();
+
+  const std::vector<double> start(9, 0.5);
+  RunConfig cfg;
+  cfg.nodes_on = 12;
+  cfg.pstate = 0;
+  cfg.placement = Placement::level_fractions(wf, start);
+  const double start_co2 = simulate(wf, plat, cfg).total_gco2;
+
+  const CloudSearchResult refined =
+      refine_cloud_fractions(wf, plat, 12, 0, start, 0.25);
+  EXPECT_LE(refined.result.total_gco2, start_co2);
+  EXPECT_GE(refined.evaluated, 1u);
+}
+
+TEST(PerTaskSearch, LocalSearchNeverWorsens) {
+  MontageParams p;
+  p.base_width = 8;
+  p.shrink_tasks = 2;
+  const Workflow wf = make_montage(p);
+  const Platform plat = eduwrench_platform();
+
+  RunConfig start_cfg;
+  start_cfg.nodes_on = 12;
+  start_cfg.pstate = 0;
+  const double start_co2 = simulate(wf, plat, start_cfg).total_gco2;
+
+  const PlacementSearchResult r = per_task_local_search(
+      wf, plat, 12, 0, Placement::all(wf, Site::kCluster), 4);
+  EXPECT_LE(r.result.total_gco2, start_co2);
+  EXPECT_GE(r.evaluated, static_cast<std::size_t>(wf.num_tasks()));
+}
+
+TEST(PerTaskSearch, BeatsOrMatchesLevelFractions) {
+  // Per-level fractions are a strict subset of per-task placements, so
+  // local search seeded at the fraction optimum can only improve.
+  MontageParams p;
+  p.base_width = 8;
+  p.shrink_tasks = 2;
+  const Workflow wf = make_montage(p);
+  const Platform plat = eduwrench_platform();
+
+  const CloudSearchResult frac =
+      exhaustive_cloud_search(wf, plat, 12, 0, {0.0, 0.5, 1.0});
+  const PlacementSearchResult local = per_task_local_search(
+      wf, plat, 12, 0, Placement::level_fractions(wf, frac.fractions), 4);
+  EXPECT_LE(local.result.total_gco2, frac.result.total_gco2 + 1e-9);
+}
+
+TEST(PerTaskSearch, AnnealingDeterministicInSeed) {
+  MontageParams p;
+  p.base_width = 6;
+  p.shrink_tasks = 2;
+  const Workflow wf = make_montage(p);
+  const Platform plat = eduwrench_platform();
+  AnnealParams ap;
+  ap.iterations = 300;
+  ap.seed = 42;
+  const PlacementSearchResult a =
+      anneal_placement(wf, plat, 12, 0, Placement{}, ap);
+  const PlacementSearchResult b =
+      anneal_placement(wf, plat, 12, 0, Placement{}, ap);
+  EXPECT_DOUBLE_EQ(a.result.total_gco2, b.result.total_gco2);
+  for (int t = 0; t < wf.num_tasks(); ++t)
+    EXPECT_EQ(a.placement.site_of(t) == Site::kCloud,
+              b.placement.site_of(t) == Site::kCloud);
+}
+
+TEST(PerTaskSearch, AnnealingImprovesOnAllLocal) {
+  MontageParams p;
+  p.base_width = 8;
+  p.shrink_tasks = 2;
+  const Workflow wf = make_montage(p);
+  const Platform plat = eduwrench_platform();
+  RunConfig cfg;
+  cfg.nodes_on = 12;
+  cfg.pstate = 0;
+  const double all_local = simulate(wf, plat, cfg).total_gco2;
+  AnnealParams ap;
+  ap.iterations = 800;
+  ap.seed = 3;
+  const PlacementSearchResult r =
+      anneal_placement(wf, plat, 12, 0, Placement{}, ap);
+  EXPECT_LT(r.result.total_gco2, all_local);
+}
+
+TEST(PerTaskSearch, Validation) {
+  MontageParams p;
+  p.base_width = 6;
+  p.shrink_tasks = 2;
+  const Workflow wf = make_montage(p);
+  const Platform plat = eduwrench_platform();
+  EXPECT_THROW(per_task_local_search(wf, plat, 12, 0, Placement{}, 0), Error);
+  AnnealParams bad;
+  bad.iterations = 0;
+  EXPECT_THROW(anneal_placement(wf, plat, 12, 0, Placement{}, bad), Error);
+  bad = AnnealParams{};
+  bad.cooling = 1.5;
+  EXPECT_THROW(anneal_placement(wf, plat, 12, 0, Placement{}, bad), Error);
+}
+
+TEST(CloudSearch, Validation) {
+  const Workflow wf = make_montage();
+  const Platform plat = eduwrench_platform();
+  EXPECT_THROW(exhaustive_cloud_search(wf, plat, 12, 0, {}), Error);
+  EXPECT_THROW(exhaustive_cloud_search(wf, plat, 12, 0, {2.0}), Error);
+  EXPECT_THROW(refine_cloud_fractions(wf, plat, 12, 0, {0.5}, 0.0), Error);
+}
+
+}  // namespace
+}  // namespace peachy::wf

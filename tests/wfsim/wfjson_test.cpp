@@ -1,0 +1,102 @@
+#include "wfsim/wfjson.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/error.hpp"
+#include "wfsim/montage.hpp"
+#include "wfsim/simulate.hpp"
+
+namespace peachy::wf {
+namespace {
+
+TEST(WfJson, MontageRoundTripsExactly) {
+  const Workflow original = make_montage();
+  const Workflow back = from_json(to_json(original, "montage"));
+  ASSERT_EQ(back.num_tasks(), original.num_tasks());
+  ASSERT_EQ(back.num_files(), original.num_files());
+  EXPECT_EQ(back.num_levels(), original.num_levels());
+  EXPECT_DOUBLE_EQ(back.total_flops(), original.total_flops());
+  EXPECT_DOUBLE_EQ(back.total_bytes(), original.total_bytes());
+  for (int t = 0; t < original.num_tasks(); ++t) {
+    EXPECT_EQ(back.task(t).name, original.task(t).name);
+    EXPECT_EQ(back.task(t).parents, original.task(t).parents);
+    EXPECT_EQ(back.task(t).level, original.task(t).level);
+  }
+}
+
+TEST(WfJson, RoundTripSimulatesIdentically) {
+  MontageParams p;
+  p.base_width = 12;
+  p.shrink_tasks = 3;
+  const Workflow original = make_montage(p);
+  const Workflow back = from_json(to_json(original));
+  const Platform plat = eduwrench_platform();
+  RunConfig cfg;
+  cfg.nodes_on = 8;
+  cfg.pstate = 3;
+  const SimResult a = simulate(original, plat, cfg);
+  const SimResult b = simulate(back, plat, cfg);
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_DOUBLE_EQ(a.total_gco2, b.total_gco2);
+}
+
+TEST(WfJson, FileRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path() / "peachy_wfjson";
+  std::filesystem::create_directories(dir);
+  MontageParams p;
+  p.base_width = 6;
+  p.shrink_tasks = 2;
+  const Workflow original = make_montage(p);
+  const std::string path = (dir / "wf.json").string();
+  save_workflow(original, path, "mini-montage");
+  const Workflow back = load_workflow(path);
+  EXPECT_EQ(back.num_tasks(), original.num_tasks());
+  EXPECT_DOUBLE_EQ(back.total_bytes(), original.total_bytes());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WfJson, ParsesHandWrittenDocument) {
+  const Workflow wf = from_json(json::parse(R"({
+    "name": "tiny",
+    "files": [
+      {"name": "in",  "sizeInBytes": 100},
+      {"name": "mid", "sizeInBytes": 50},
+      {"name": "out", "sizeInBytes": 10}
+    ],
+    "tasks": [
+      {"name": "a", "runtimeInFlops": 1e9,
+       "inputFiles": ["in"], "outputFiles": ["mid"]},
+      {"name": "b", "runtimeInFlops": 2e9,
+       "inputFiles": ["mid"], "outputFiles": ["out"]}
+    ]
+  })"));
+  EXPECT_EQ(wf.num_tasks(), 2);
+  EXPECT_EQ(wf.num_levels(), 2);
+  EXPECT_EQ(wf.task(1).parents, (std::vector<int>{0}));
+}
+
+TEST(WfJson, RejectsBadDocuments) {
+  // Unknown file reference.
+  EXPECT_THROW(from_json(json::parse(R"({
+    "files": [], "tasks": [
+      {"name": "a", "runtimeInFlops": 1,
+       "inputFiles": ["ghost"], "outputFiles": []}]})")),
+               Error);
+  // Duplicate file names.
+  EXPECT_THROW(from_json(json::parse(R"({
+    "files": [{"name": "f", "sizeInBytes": 1},
+              {"name": "f", "sizeInBytes": 2}],
+    "tasks": []})")),
+               Error);
+  // Missing required keys.
+  EXPECT_THROW(from_json(json::parse(R"({"files": []})")), Error);
+}
+
+TEST(WfJson, LoadMissingFileThrows) {
+  EXPECT_THROW(load_workflow("/nonexistent/wf.json"), Error);
+}
+
+}  // namespace
+}  // namespace peachy::wf

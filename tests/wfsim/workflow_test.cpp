@@ -1,0 +1,116 @@
+#include "wfsim/workflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace peachy::wf {
+namespace {
+
+// Diamond: t0 -> (t1, t2) -> t3.
+Workflow diamond() {
+  WorkflowBuilder b;
+  const int in = b.add_file("in", 100);
+  const int a = b.add_file("a", 10);
+  const int c = b.add_file("c", 10);
+  const int d = b.add_file("d", 10);
+  const int out = b.add_file("out", 5);
+  b.add_task("t0", 1e9, {in}, {a, c});
+  b.add_task("t1", 2e9, {a}, {d});
+  b.add_task("t2", 3e9, {c}, {});
+  b.add_task("t3", 4e9, {d}, {out});
+  return b.build();
+}
+
+TEST(Workflow, DerivesParentsAndChildren) {
+  const Workflow wf = diamond();
+  EXPECT_TRUE(wf.task(0).parents.empty());
+  EXPECT_EQ(wf.task(0).children, (std::vector<int>{1, 2}));
+  EXPECT_EQ(wf.task(1).parents, (std::vector<int>{0}));
+  EXPECT_EQ(wf.task(3).parents, (std::vector<int>{1}));
+  EXPECT_TRUE(wf.task(3).children.empty());
+}
+
+TEST(Workflow, DerivesLevels) {
+  const Workflow wf = diamond();
+  EXPECT_EQ(wf.num_levels(), 3);
+  EXPECT_EQ(wf.task(0).level, 0);
+  EXPECT_EQ(wf.task(1).level, 1);
+  EXPECT_EQ(wf.task(2).level, 1);
+  EXPECT_EQ(wf.task(3).level, 2);
+  EXPECT_EQ(wf.tasks_in_level(1), (std::vector<int>{1, 2}));
+  EXPECT_EQ(wf.width(), 2);
+}
+
+TEST(Workflow, Totals) {
+  const Workflow wf = diamond();
+  EXPECT_DOUBLE_EQ(wf.total_flops(), 10e9);
+  EXPECT_DOUBLE_EQ(wf.total_bytes(), 135);
+}
+
+TEST(Workflow, FileProducersAndConsumers) {
+  const Workflow wf = diamond();
+  EXPECT_EQ(wf.file(0).producer, -1);  // workflow input
+  EXPECT_EQ(wf.file(1).producer, 0);
+  EXPECT_EQ(wf.file(1).consumers, (std::vector<int>{1}));
+}
+
+TEST(WorkflowBuilder, RejectsTwoProducers) {
+  WorkflowBuilder b;
+  const int f = b.add_file("f", 1);
+  b.add_task("t0", 1, {}, {f});
+  EXPECT_THROW(b.add_task("t1", 1, {}, {f}), Error);
+}
+
+TEST(WorkflowBuilder, RejectsUnknownFiles) {
+  WorkflowBuilder b;
+  EXPECT_THROW(b.add_task("t", 1, {42}, {}), Error);
+  EXPECT_THROW(b.add_task("t", 1, {}, {42}), Error);
+}
+
+TEST(WorkflowBuilder, RejectsNegativeSizes) {
+  WorkflowBuilder b;
+  EXPECT_THROW(b.add_file("f", -1), Error);
+  EXPECT_THROW(b.add_task("t", -1, {}, {}), Error);
+}
+
+TEST(WorkflowBuilder, RejectsEmptyWorkflow) {
+  WorkflowBuilder b;
+  EXPECT_THROW(b.build(), Error);
+}
+
+TEST(WorkflowBuilder, DetectsCycles) {
+  // t0 consumes t1's output and vice versa.
+  WorkflowBuilder b;
+  const int f0 = b.add_file("f0", 1);
+  const int f1 = b.add_file("f1", 1);
+  b.add_task("t0", 1, {f1}, {f0});
+  b.add_task("t1", 1, {f0}, {f1});
+  EXPECT_THROW(b.build(), Error);
+}
+
+TEST(Workflow, LevelIsLongestPath) {
+  // t0 -> t1 -> t3, and t0 -> t3 directly: t3 is level 2, not 1.
+  WorkflowBuilder b;
+  const int a = b.add_file("a", 1);
+  const int c = b.add_file("c", 1);
+  const int d = b.add_file("d", 1);
+  b.add_task("t0", 1, {}, {a, c});
+  b.add_task("t1", 1, {a}, {d});
+  b.add_task("t3", 1, {c, d}, {});
+  const Workflow wf = b.build();
+  EXPECT_EQ(wf.task(2).level, 2);
+}
+
+TEST(Workflow, IndependentTasksAllLevelZero) {
+  WorkflowBuilder b;
+  b.add_task("a", 1, {}, {});
+  b.add_task("b", 1, {}, {});
+  const Workflow wf = b.build();
+  EXPECT_EQ(wf.num_levels(), 1);
+  EXPECT_EQ(wf.tasks_in_level(0).size(), 2u);
+  EXPECT_THROW(wf.tasks_in_level(1), Error);
+}
+
+}  // namespace
+}  // namespace peachy::wf
