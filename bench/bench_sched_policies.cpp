@@ -47,8 +47,9 @@ double replay_imbalance(const std::vector<double>& costs, int workers,
             costs[static_cast<std::size_t>(i)];
       break;
     }
-    case pap::Schedule::kDynamic: {  // self-scheduling, chunk 1: each task
-      // goes to the earliest-available lane.
+    case pap::Schedule::kDynamic:        // self-scheduling, chunk 1: each
+    case pap::Schedule::kWorkStealing: { // task goes to the earliest lane
+      // (an idealized work-stealing run balances the same way).
       for (int i = 0; i < n; ++i) {
         auto it = std::min_element(lane.begin(), lane.end());
         *it += costs[static_cast<std::size_t>(i)];

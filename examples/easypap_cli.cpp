@@ -19,7 +19,8 @@
 //   --seed S         sparse config seed (default 42)
 //   --tile T         tile side (default 32)
 //   --threads N      OpenMP threads (default: runtime default)
-//   --schedule P     static | static1 | dynamic | guided (default dynamic)
+//   --schedule P     static | static1 | dynamic | guided | ws
+//                    (default dynamic; ws = work-stealing task runtime)
 //   --iterations N   cap iterations (default: run to fixed point)
 //   --dump PATH      write the final state as PPM
 //   --trace PATH     write the per-task trace CSV
@@ -51,6 +52,8 @@ pap::Schedule schedule_by_name(const std::string& name) {
   if (name == "static1") return pap::Schedule::kStaticChunk1;
   if (name == "dynamic") return pap::Schedule::kDynamic;
   if (name == "guided") return pap::Schedule::kGuided;
+  if (name == "ws" || name == "workstealing")
+    return pap::Schedule::kWorkStealing;
   throw Error("unknown schedule \"" + name + "\"");
 }
 

@@ -1,66 +1,42 @@
 #include "core/thread_pool.hpp"
 
-#include <algorithm>
-
 #include "core/error.hpp"
 
 namespace peachy {
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads)
+    : arena_(TaskArena::shared()), threads_(threads) {
   PEACHY_REQUIRE(threads >= 1, "thread pool needs >= 1 thread");
-  workers_.reserve(threads);
-  for (std::size_t i = 0; i < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
 }
 
 ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard lock(mutex_);
-    stopping_ = true;
-  }
-  cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  std::unique_lock lock(mutex_);
+  stopping_ = true;
+  cv_.wait(lock, [this] { return pending_ == 0; });
 }
 
 void ThreadPool::enqueue(std::function<void()> task) {
   {
     std::lock_guard lock(mutex_);
     PEACHY_CHECK(!stopping_);
-    queue_.push(std::move(task));
+    ++pending_;
   }
-  cv_.notify_one();
-}
-
-void ThreadPool::worker_loop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
-      task = std::move(queue_.front());
-      queue_.pop();
-    }
+  // The wrapper only touches this pool's bookkeeping; the destructor keeps
+  // `this` alive until pending_ drains, so the capture is safe.
+  arena_.post([this, task = std::move(task)] {
     task();
-  }
+    {
+      std::lock_guard lock(mutex_);
+      --pending_;
+    }
+    cv_.notify_all();
+  });
 }
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  const std::size_t chunks = std::min(n, thread_count() * 4);
-  const std::size_t chunk = (n + chunks - 1) / chunks;
-  std::vector<std::future<void>> futs;
-  futs.reserve(chunks);
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t lo = c * chunk;
-    const std::size_t hi = std::min(n, lo + chunk);
-    if (lo >= hi) break;
-    futs.push_back(submit([lo, hi, &fn] {
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
-    }));
-  }
-  for (auto& f : futs) f.get();  // rethrows the first exception, if any
+  arena_.parallel_for_index(n, fn, {.max_workers = threads_});
 }
 
 }  // namespace peachy

@@ -1,6 +1,11 @@
-// Fixed-size worker pool used by the MapReduce engine and the pap hybrid
-// dispatcher. (OpenMP handles the stencil loops; the pool serves the parts
-// of the system that need explicit task queues.)
+// Compatibility shim over the work-stealing task runtime (task_runtime.hpp).
+//
+// Historically this was a mutex-queue worker pool constructed per phase by
+// the MapReduce engine; the worker threads now live in the process-wide
+// TaskArena and a ThreadPool is just a lightweight handle that (a) caps the
+// concurrency of its parallel_for at the requested width and (b) tracks its
+// own submitted tasks so the destructor can drain them. Constructing and
+// destroying a ThreadPool no longer spawns or joins any thread.
 #pragma once
 
 #include <condition_variable>
@@ -8,28 +13,30 @@
 #include <functional>
 #include <future>
 #include <mutex>
-#include <queue>
-#include <thread>
-#include <vector>
+#include <type_traits>
+
+#include "core/task_runtime.hpp"
 
 namespace peachy {
 
-/// Fixed-size thread pool with a FIFO task queue.
-///
-/// Tasks are std::function<void()>; submit() returns a future for the
-/// wrapped callable. The destructor drains the queue, then joins.
+/// Thread-pool facade: submit() posts detached tasks to the shared
+/// TaskArena, parallel_for runs the runtime's chunked work-stealing loop
+/// capped at this pool's width. The destructor blocks until every task
+/// submitted through this pool has finished.
 class ThreadPool {
  public:
-  /// Spawns `threads` workers (>= 1; throws peachy::Error otherwise).
+  /// `threads` (>= 1; throws peachy::Error otherwise) caps parallel_for
+  /// concurrency. No OS threads are created.
   explicit ThreadPool(std::size_t threads);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  std::size_t thread_count() const { return workers_.size(); }
+  std::size_t thread_count() const { return threads_; }
 
-  /// Enqueues a callable; the returned future yields its result.
+  /// Enqueues a callable on the shared arena; the returned future yields
+  /// its result (or rethrows its exception).
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -39,18 +46,19 @@ class ThreadPool {
     return fut;
   }
 
-  /// Runs fn(i) for i in [0, n) across the pool and blocks until all done.
-  /// Work is split into contiguous chunks (at most 4 per worker).
+  /// Runs fn(i) for i in [0, n) across at most thread_count() lanes and
+  /// blocks until all done. An exception thrown by fn is rethrown exactly
+  /// once on the caller.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
   void enqueue(std::function<void()> task);
-  void worker_loop();
 
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  TaskArena& arena_;
+  std::size_t threads_;
   std::mutex mutex_;
   std::condition_variable cv_;
+  std::size_t pending_ = 0;
   bool stopping_ = false;
 };
 

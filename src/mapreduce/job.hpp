@@ -6,22 +6,32 @@
 // The engine is typed and in-memory, with the Hadoop execution structure:
 // inputs are split across map tasks, map outputs are partitioned by a
 // (pluggable) partitioner, each partition is sorted and grouped by key, and
-// reducers run one partition each. Map and reduce phases run on a thread
-// pool. An optional combiner runs after each map task on its local output.
+// reducers run one partition each. Map and reduce phases run on the
+// process-wide work-stealing TaskArena (no per-phase thread spawning). An
+// optional combiner runs after each map task on its local output.
+//
+// Shuffle layout: each map task stores its output flat — one contiguous
+// record vector grouped by partition with an offsets table, each partition
+// slice key-sorted by the map task itself. A reducer merges its pre-sorted
+// per-task runs (stable across task order) instead of re-sorting the whole
+// partition.
 //
 // Output determinism: partitions are concatenated in partition order and
-// each partition is key-sorted, so a job's output is a pure function of its
-// input — asserted by tests regardless of worker count.
+// each partition is key-sorted with per-key values in (map task, emit)
+// order, so a job's output is a pure function of its input — asserted by
+// tests regardless of worker count or arena width.
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <map>
+#include <numeric>
 #include <utility>
 #include <vector>
 
 #include "core/error.hpp"
-#include "core/thread_pool.hpp"
+#include "core/task_runtime.hpp"
 
 namespace peachy::mr {
 
@@ -42,10 +52,11 @@ class Emitter {
 
 /// Job execution knobs.
 struct JobConfig {
-  int map_workers = 1;     ///< threads for the map phase
-  int reduce_workers = 1;  ///< threads for the reduce phase
+  int map_workers = 1;     ///< concurrency cap for the map phase
+  int reduce_workers = 1;  ///< concurrency cap for the reduce phase
   int map_tasks = 0;       ///< input splits; 0 = 4x map_workers
   int partitions = 0;      ///< reduce partitions; 0 = reduce_workers
+  TaskArena* arena = nullptr;  ///< nullptr = the process-shared arena
 };
 
 /// Phase counters (the numbers Hadoop prints after a job).
@@ -129,86 +140,145 @@ class Job {
         config_.partitions > 0 ? config_.partitions : config_.reduce_workers;
     Partitioner partition =
         partitioner_ ? partitioner_ : Partitioner(HashPartitioner<K2>{});
+    TaskArena& arena =
+        config_.arena != nullptr ? *config_.arena : TaskArena::shared();
 
-    // --- Map phase: one task per split, each partitioning its own output.
-    // buckets[task][partition] -> intermediate pairs.
-    std::vector<std::vector<std::vector<std::pair<K2, V2>>>> buckets(
-        static_cast<std::size_t>(splits));
+    // --- Map phase: one task per split. Each task lays its output out flat:
+    // one contiguous record vector grouped by partition (offsets table says
+    // where each partition's slice starts), every slice key-sorted. The
+    // counting sort that builds the layout and the per-slice stable_sort
+    // both preserve emit order, so a slice holds this task's records for
+    // that partition in key order with ties in emit order.
+    struct TaskOutput {
+      std::vector<std::pair<K2, V2>> records;
+      std::vector<std::size_t> offsets;  // partitions + 1 entries
+    };
+    std::vector<TaskOutput> task_out(static_cast<std::size_t>(splits));
     std::vector<std::size_t> map_out(static_cast<std::size_t>(splits), 0);
     std::vector<std::size_t> comb_out(static_cast<std::size_t>(splits), 0);
-    {
-      ThreadPool pool(static_cast<std::size_t>(config_.map_workers));
-      pool.parallel_for(static_cast<std::size_t>(splits), [&](std::size_t s) {
-        const std::size_t lo = inputs.size() * s / splits;
-        const std::size_t hi = inputs.size() * (s + 1) / splits;
-        Emitter<K2, V2> emitter;
-        for (std::size_t i = lo; i < hi; ++i)
-          mapper_(inputs[i].first, inputs[i].second, emitter);
-        map_out[s] = emitter.pairs().size();
+    arena.parallel_for_index(
+        static_cast<std::size_t>(splits),
+        [&](std::size_t s) {
+          const std::size_t lo = inputs.size() * s / splits;
+          const std::size_t hi = inputs.size() * (s + 1) / splits;
+          Emitter<K2, V2> emitter;
+          for (std::size_t i = lo; i < hi; ++i)
+            mapper_(inputs[i].first, inputs[i].second, emitter);
+          map_out[s] = emitter.pairs().size();
 
-        std::vector<std::pair<K2, V2>> intermediate =
-            combiner_ ? combine_locally(std::move(emitter.pairs()))
-                      : std::move(emitter.pairs());
-        comb_out[s] = intermediate.size();
+          std::vector<std::pair<K2, V2>> intermediate =
+              combiner_ ? combine_locally(std::move(emitter.pairs()))
+                        : std::move(emitter.pairs());
+          comb_out[s] = intermediate.size();
 
-        auto& mine = buckets[s];
-        mine.resize(static_cast<std::size_t>(partitions));
-        for (auto& kv : intermediate) {
-          const int p = partition(kv.first, partitions);
-          PEACHY_REQUIRE(p >= 0 && p < partitions,
-                         "partitioner returned " << p << " of " << partitions);
-          mine[static_cast<std::size_t>(p)].push_back(std::move(kv));
-        }
-      });
-    }
+          TaskOutput& out = task_out[s];
+          const std::size_t m = intermediate.size();
+          std::vector<int> pid(m);
+          out.offsets.assign(static_cast<std::size_t>(partitions) + 1, 0);
+          for (std::size_t i = 0; i < m; ++i) {
+            const int p = partition(intermediate[i].first, partitions);
+            PEACHY_REQUIRE(
+                p >= 0 && p < partitions,
+                "partitioner returned " << p << " of " << partitions);
+            pid[i] = p;
+            ++out.offsets[static_cast<std::size_t>(p) + 1];
+          }
+          std::partial_sum(out.offsets.begin(), out.offsets.end(),
+                           out.offsets.begin());
+
+          // Stable counting-sort scatter via an index permutation (avoids
+          // requiring default-constructible records).
+          std::vector<std::size_t> cursor(out.offsets.begin(),
+                                          out.offsets.end() - 1);
+          std::vector<std::size_t> order(m);
+          for (std::size_t i = 0; i < m; ++i)
+            order[cursor[static_cast<std::size_t>(pid[i])]++] = i;
+          out.records.reserve(m);
+          for (std::size_t k = 0; k < m; ++k)
+            out.records.push_back(std::move(intermediate[order[k]]));
+          for (int p = 0; p < partitions; ++p) {
+            auto first = out.records.begin() +
+                         static_cast<std::ptrdiff_t>(
+                             out.offsets[static_cast<std::size_t>(p)]);
+            auto last = out.records.begin() +
+                        static_cast<std::ptrdiff_t>(
+                            out.offsets[static_cast<std::size_t>(p) + 1]);
+            std::stable_sort(first, last, [](const auto& a, const auto& b) {
+              return a.first < b.first;
+            });
+          }
+        },
+        {.max_workers = static_cast<std::size_t>(config_.map_workers),
+         .grain = 1});
     for (int s = 0; s < splits; ++s) {
       counters_.map_outputs += map_out[static_cast<std::size_t>(s)];
       counters_.combine_outputs += comb_out[static_cast<std::size_t>(s)];
     }
 
-    // --- Shuffle + sort + reduce, one partition at a time.
+    // --- Shuffle + merge + reduce, one partition at a time. Each map task
+    // contributes an already key-sorted run; a k-way merge that breaks key
+    // ties by task index replaces the old whole-partition stable_sort and
+    // yields the identical (map task, emit order) value ordering.
     std::vector<std::vector<std::pair<K3, V3>>> outputs(
         static_cast<std::size_t>(partitions));
     std::vector<std::size_t> group_counts(static_cast<std::size_t>(partitions),
                                           0);
     std::vector<std::size_t> shuffled(static_cast<std::size_t>(partitions), 0);
-    {
-      ThreadPool pool(static_cast<std::size_t>(config_.reduce_workers));
-      pool.parallel_for(
-          static_cast<std::size_t>(partitions), [&](std::size_t p) {
-            // Shuffle: gather this partition from every map task.
-            std::vector<std::pair<K2, V2>> part;
-            for (auto& task_buckets : buckets)
-              if (p < task_buckets.size())
-                for (auto& kv : task_buckets[p]) part.push_back(std::move(kv));
-            shuffled[p] = part.size();
-
-            // Group-by-keys: stable sort keeps per-key value order
-            // deterministic (map task order, then emit order).
-            std::stable_sort(part.begin(), part.end(),
-                             [](const auto& a, const auto& b) {
-                               return a.first < b.first;
-                             });
-
-            Emitter<K3, V3> emitter;
-            std::size_t i = 0;
-            while (i < part.size()) {
-              std::size_t j = i;
-              std::vector<V2> values;
-              while (j < part.size() && !(part[i].first < part[j].first) &&
-                     !(part[j].first < part[i].first)) {
-                values.push_back(std::move(part[j].second));
-                ++j;
-              }
-              if (value_cmp_)
-                std::stable_sort(values.begin(), values.end(), value_cmp_);
-              reducer_(part[i].first, values, emitter);
-              ++group_counts[p];
-              i = j;
+    arena.parallel_for_index(
+        static_cast<std::size_t>(partitions),
+        [&](std::size_t p) {
+          struct Run {
+            std::vector<std::pair<K2, V2>>* records;
+            std::size_t pos, end;
+          };
+          std::vector<Run> runs;
+          std::size_t total = 0;
+          for (TaskOutput& t : task_out) {
+            const std::size_t lo = t.offsets[p];
+            const std::size_t hi = t.offsets[p + 1];
+            if (lo < hi) {
+              runs.push_back(Run{&t.records, lo, hi});
+              total += hi - lo;
             }
-            outputs[p] = std::move(emitter.pairs());
-          });
-    }
+          }
+          shuffled[p] = total;
+
+          std::vector<std::pair<K2, V2>> part;
+          part.reserve(total);
+          while (part.size() < total) {
+            // Lowest key wins; on ties the earliest run (lowest map task
+            // index) wins — the merge is stable across tasks.
+            Run* best = nullptr;
+            for (Run& r : runs) {
+              if (r.pos == r.end) continue;
+              if (best == nullptr ||
+                  (*r.records)[r.pos].first < (*best->records)[best->pos].first)
+                best = &r;
+            }
+            part.push_back(std::move((*best->records)[best->pos]));
+            ++best->pos;
+          }
+
+          Emitter<K3, V3> emitter;
+          std::size_t i = 0;
+          while (i < part.size()) {
+            std::size_t j = i;
+            std::vector<V2> values;
+            while (j < part.size() && !(part[i].first < part[j].first) &&
+                   !(part[j].first < part[i].first)) {
+              values.push_back(std::move(part[j].second));
+              ++j;
+            }
+            if (value_cmp_)
+              std::stable_sort(values.begin(), values.end(), value_cmp_);
+            reducer_(part[i].first, values, emitter);
+            ++group_counts[p];
+            i = j;
+          }
+          outputs[p] = std::move(emitter.pairs());
+        },
+        {.max_workers = static_cast<std::size_t>(config_.reduce_workers),
+         .grain = 1});
 
     std::vector<std::pair<K3, V3>> all;
     for (std::size_t p = 0; p < outputs.size(); ++p) {
@@ -216,6 +286,9 @@ class Job {
       counters_.shuffle_records += shuffled[p];
       for (auto& kv : outputs[p]) all.push_back(std::move(kv));
     }
+    // Every combined record lands in exactly one partition slice and the
+    // merge consumes every slice — the shuffle neither drops nor duplicates.
+    PEACHY_CHECK(counters_.shuffle_records == counters_.combine_outputs);
     counters_.reduce_outputs = all.size();
     return all;
   }

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "core/error.hpp"
-#include "core/thread_pool.hpp"
+#include "core/task_runtime.hpp"
 
 namespace peachy::mr::streaming {
 
@@ -25,22 +25,25 @@ std::vector<std::string> run_streaming(const std::vector<std::string>& input,
       config.partitions > 0 ? config.partitions : config.reduce_workers;
 
   // --- Map phase: one split per worker chunk; each split keeps its own
-  // output so the merged order is deterministic.
+  // output so the merged order is deterministic. Both phases run on the
+  // process-shared work-stealing arena instead of throwaway pools.
+  TaskArena& arena = TaskArena::shared();
   const int splits = 4 * config.map_workers;
   std::vector<std::vector<std::string>> map_out(
       static_cast<std::size_t>(splits));
-  {
-    ThreadPool pool(static_cast<std::size_t>(config.map_workers));
-    pool.parallel_for(static_cast<std::size_t>(splits), [&](std::size_t s) {
-      const std::size_t lo = input.size() * s / splits;
-      const std::size_t hi = input.size() * (s + 1) / splits;
-      auto& out = map_out[s];
-      const LineEmit emit = [&out](const std::string& line) {
-        out.push_back(line);
-      };
-      for (std::size_t i = lo; i < hi; ++i) mapper(input[i], emit);
-    });
-  }
+  arena.parallel_for_index(
+      static_cast<std::size_t>(splits),
+      [&](std::size_t s) {
+        const std::size_t lo = input.size() * s / splits;
+        const std::size_t hi = input.size() * (s + 1) / splits;
+        auto& out = map_out[s];
+        const LineEmit emit = [&out](const std::string& line) {
+          out.push_back(line);
+        };
+        for (std::size_t i = lo; i < hi; ++i) mapper(input[i], emit);
+      },
+      {.max_workers = static_cast<std::size_t>(config.map_workers),
+       .grain = 1});
 
   // --- Partition by key hash (split order preserved within a partition,
   // mirroring Hadoop's stable shuffle of this engine).
@@ -57,22 +60,22 @@ std::vector<std::string> run_streaming(const std::vector<std::string>& input,
   // --- Sort each partition by key and run the reducer over the stream.
   std::vector<std::vector<std::string>> outputs(
       static_cast<std::size_t>(partitions));
-  {
-    ThreadPool pool(static_cast<std::size_t>(config.reduce_workers));
-    pool.parallel_for(
-        static_cast<std::size_t>(partitions), [&](std::size_t p) {
-          auto& lines = parts[p];
-          std::stable_sort(lines.begin(), lines.end(),
-                           [](const std::string& a, const std::string& b) {
-                             return split_kv(a).first < split_kv(b).first;
-                           });
-          auto& out = outputs[p];
-          const LineEmit emit = [&out](const std::string& line) {
-            out.push_back(line);
-          };
-          reducer(lines, emit);
-        });
-  }
+  arena.parallel_for_index(
+      static_cast<std::size_t>(partitions),
+      [&](std::size_t p) {
+        auto& lines = parts[p];
+        std::stable_sort(lines.begin(), lines.end(),
+                         [](const std::string& a, const std::string& b) {
+                           return split_kv(a).first < split_kv(b).first;
+                         });
+        auto& out = outputs[p];
+        const LineEmit emit = [&out](const std::string& line) {
+          out.push_back(line);
+        };
+        reducer(lines, emit);
+      },
+      {.max_workers = static_cast<std::size_t>(config.reduce_workers),
+       .grain = 1});
 
   std::vector<std::string> all;
   for (auto& part_out : outputs)

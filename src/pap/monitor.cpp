@@ -8,8 +8,15 @@ namespace peachy::pap {
 
 IterationHook Monitor::hook(IterationHook chained) {
   armed_ = false;
+  if (arena_ != nullptr) last_counters_ = arena_->counters();
   return [this, chained = std::move(chained)](int iter, bool changed) {
     const std::int64_t now = now_ns();
+    RuntimeCounters delta;
+    if (arena_ != nullptr) {
+      const RuntimeCounters current = arena_->counters();
+      delta = current - last_counters_;
+      last_counters_ = current;
+    }
     if (!armed_) {
       // First callback: no start reference for iteration 0's predecessor,
       // so anchor on the runner's own start by treating the gap as the
@@ -18,13 +25,14 @@ IterationHook Monitor::hook(IterationHook chained) {
       if (iter == 0) {
         // Iteration 0's start time is unknown; estimate from this sample
         // onwards — record a zero-based anchor instead of guessing.
-        samples_.push_back({iter, 0, changed});
+        samples_.push_back({iter, 0, changed, delta.tasks, delta.steals});
         last_ns_ = now;
         if (chained) chained(iter, changed);
         return;
       }
     }
-    samples_.push_back({iter, now - last_ns_, changed});
+    samples_.push_back(
+        {iter, now - last_ns_, changed, delta.tasks, delta.steals});
     last_ns_ = now;
     if (chained) chained(iter, changed);
   };
@@ -34,6 +42,7 @@ void Monitor::clear() {
   samples_.clear();
   last_ns_ = 0;
   armed_ = false;
+  last_counters_ = RuntimeCounters{};
 }
 
 std::int64_t Monitor::total_ns() const {
@@ -42,12 +51,19 @@ std::int64_t Monitor::total_ns() const {
   return total;
 }
 
+std::uint64_t Monitor::total_steals() const {
+  std::uint64_t total = 0;
+  for (const IterationSample& s : samples_) total += s.steals;
+  return total;
+}
+
 void Monitor::write_csv(const std::string& path) const {
   CsvWriter csv(path);
-  csv.row({"iteration", "wall_ns", "changed"});
+  csv.row({"iteration", "wall_ns", "changed", "tasks", "steals"});
   for (const IterationSample& s : samples_)
     csv.row({std::to_string(s.iteration), std::to_string(s.wall_ns),
-             s.changed ? "1" : "0"});
+             s.changed ? "1" : "0", std::to_string(s.tasks),
+             std::to_string(s.steals)});
 }
 
 Experiment::Experiment(std::vector<std::string> factors,

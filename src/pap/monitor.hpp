@@ -23,9 +23,14 @@ struct IterationSample {
   int iteration = 0;
   std::int64_t wall_ns = 0;  ///< time spent in this iteration
   bool changed = false;
+  std::uint64_t tasks = 0;   ///< runtime chunks run this iteration (watched)
+  std::uint64_t steals = 0;  ///< runtime steals this iteration (watched)
 };
 
 /// Samples per-iteration wall time through the Runner's iteration hook.
+/// When watching a TaskArena, also samples per-iteration task/steal deltas
+/// so traces can tell scheduling policies apart (OpenMP policies never
+/// touch the arena, so their deltas stay 0).
 class Monitor {
  public:
   /// Returns the hook to install as RunOptions::on_iteration; `chained`
@@ -34,19 +39,29 @@ class Monitor {
   /// `engine.swap_hook(monitor.hook())`.
   IterationHook hook(IterationHook chained = nullptr);
 
+  /// Samples `arena`'s task/steal counters per iteration into the samples
+  /// (pass nullptr to stop watching). Watch the arena the run schedules on
+  /// — TaskArena::shared() unless RunOptions::arena overrides it.
+  void watch(const TaskArena* arena) { arena_ = arena; }
+
   const std::vector<IterationSample>& samples() const { return samples_; }
   void clear();
 
   /// Total wall time over all sampled iterations.
   std::int64_t total_ns() const;
 
-  /// Writes "iteration,wall_ns,changed" rows.
+  /// Total runtime steals over all sampled iterations.
+  std::uint64_t total_steals() const;
+
+  /// Writes "iteration,wall_ns,changed,tasks,steals" rows.
   void write_csv(const std::string& path) const;
 
  private:
   std::vector<IterationSample> samples_;
   std::int64_t last_ns_ = 0;
   bool armed_ = false;
+  const TaskArena* arena_ = nullptr;
+  RuntimeCounters last_counters_;
 };
 
 /// Records (factor..., metric...) rows of a parameter sweep.

@@ -2,7 +2,8 @@
 
 #include <omp.h>
 
-#include <vector>
+#include <algorithm>
+#include <atomic>
 
 #include "core/timer.hpp"
 
@@ -14,6 +15,7 @@ std::string to_string(Schedule s) {
     case Schedule::kStaticChunk1: return "static,1";
     case Schedule::kDynamic: return "dynamic";
     case Schedule::kGuided: return "guided";
+    case Schedule::kWorkStealing: return "work-stealing";
   }
   return "?";
 }
@@ -26,6 +28,7 @@ void apply_schedule(Schedule s) {
     case Schedule::kStaticChunk1: omp_set_schedule(omp_sched_static, 1); break;
     case Schedule::kDynamic: omp_set_schedule(omp_sched_dynamic, 1); break;
     case Schedule::kGuided: omp_set_schedule(omp_sched_guided, 1); break;
+    case Schedule::kWorkStealing: break;  // runs on the task runtime
   }
 }
 
@@ -42,12 +45,24 @@ Runner::Runner(TileGrid tiles, RunOptions options)
                        << tiles_.tile_h() << "x" << tiles_.tile_w());
   }
   if (options_.trace != nullptr) {
-    const int lanes_needed =
-        options_.threads > 0 ? options_.threads : omp_get_max_threads();
+    const int lanes_needed = lane_count();
     PEACHY_REQUIRE(options_.trace->workers() >= lanes_needed,
                    "trace has " << options_.trace->workers()
                                 << " lanes, run may use " << lanes_needed);
   }
+}
+
+TaskArena& Runner::arena() const {
+  return options_.arena != nullptr ? *options_.arena : TaskArena::shared();
+}
+
+int Runner::lane_count() const {
+  if (options_.schedule == Schedule::kWorkStealing) {
+    int lanes = static_cast<int>(arena().lanes());
+    if (options_.threads > 0) lanes = std::min(lanes, options_.threads);
+    return std::max(1, lanes);
+  }
+  return options_.threads > 0 ? options_.threads : omp_get_max_threads();
 }
 
 // Executes all tiles of one wave (or all tiles when parity < 0) and returns
@@ -55,11 +70,45 @@ Runner::Runner(TileGrid tiles, RunOptions options)
 int Runner::execute_eager(const TileKernel& kernel, int iter,
                           std::size_t* tasks, int parity_phases) {
   const int n = tiles_.count();
+  TraceRecorder* trace = options_.trace;
+
+  if (options_.schedule == Schedule::kWorkStealing) {
+    std::atomic<int> changed_any{0};
+    std::atomic<std::size_t> executed{0};
+    TaskArena::ForOptions fo;
+    fo.max_workers =
+        options_.threads > 0 ? static_cast<std::size_t>(options_.threads) : 0;
+    fo.grain = 1;  // one tile per task, the analogue of dynamic,1
+    for (int phase = 0; phase < parity_phases; ++phase) {
+      const bool filter = parity_phases == 2;
+      arena().parallel_for(
+          static_cast<std::size_t>(n),
+          [&](std::size_t lo, std::size_t hi) {
+            int local_changed = 0;
+            std::size_t local_executed = 0;
+            for (std::size_t i = lo; i < hi; ++i) {
+              const Tile t = tiles_.tile(static_cast<int>(i));
+              if (filter && ((t.ty + t.tx) & 1) != phase) continue;
+              const std::int64_t t0 = trace ? now_ns() : 0;
+              local_changed |= kernel(t, iter) ? 1 : 0;
+              if (trace) {
+                trace->record(TaskRecord{iter, TaskArena::current_lane(),
+                                         t.y0, t.x0, t.h, t.w, t0, now_ns()});
+              }
+              ++local_executed;
+            }
+            if (local_changed) changed_any.store(1, std::memory_order_relaxed);
+            executed.fetch_add(local_executed, std::memory_order_relaxed);
+          },
+          fo);
+    }
+    *tasks += executed.load(std::memory_order_relaxed);
+    return changed_any.load(std::memory_order_relaxed);
+  }
+
   int changed_any = 0;
   std::size_t executed = 0;
   apply_schedule(options_.schedule);
-  TraceRecorder* trace = options_.trace;
-
   for (int phase = 0; phase < parity_phases; ++phase) {
     const bool filter = parity_phases == 2;
 #pragma omp parallel for schedule(runtime) reduction(| : changed_any) \
@@ -82,64 +131,87 @@ int Runner::execute_eager(const TileKernel& kernel, int iter,
   return changed_any;
 }
 
-// Lazy execution: only tiles in `active` run; tiles that change wake
-// themselves and their 4 neighbours for the next iteration. Returns whether
-// any tile changed and replaces `active` with the next activation set.
+// Lazy execution: only tiles in the activation bitmap run; tiles that
+// change wake themselves and their 4 neighbours for the next iteration.
+// All scratch (worklist, per-lane changed tiles, both bitmaps) is reused
+// across iterations — steady state performs no allocation.
 int Runner::execute_lazy(const TileKernel& kernel, int iter,
-                         std::vector<std::uint8_t>& active, std::size_t* tasks,
-                         int parity_phases) {
+                         std::size_t* tasks, int parity_phases) {
   const int n = tiles_.count();
-  apply_schedule(options_.schedule);
   TraceRecorder* trace = options_.trace;
+  const bool ws = options_.schedule == Schedule::kWorkStealing;
+  if (!ws) apply_schedule(options_.schedule);
   const int num_threads =
       options_.threads > 0 ? options_.threads : omp_get_max_threads();
 
-  // Worklist of active tiles, split by wave parity when checkerboarding.
-  std::vector<int> work;
-  work.reserve(static_cast<std::size_t>(n));
-  std::vector<std::vector<int>> changed_tiles(
-      static_cast<std::size_t>(num_threads));
-
   for (int phase = 0; phase < parity_phases; ++phase) {
-    work.clear();
+    work_.clear();
     for (int i = 0; i < n; ++i) {
-      if (!active[static_cast<std::size_t>(i)]) continue;
+      if (!active_[static_cast<std::size_t>(i)]) continue;
       if (parity_phases == 2) {
         const Tile t = tiles_.tile(i);
         if (((t.ty + t.tx) & 1) != phase) continue;
       }
-      work.push_back(i);
+      work_.push_back(i);
     }
-    const int m = static_cast<int>(work.size());
+    const int m = static_cast<int>(work_.size());
+    if (ws) {
+      TaskArena::ForOptions fo;
+      fo.max_workers = options_.threads > 0
+                           ? static_cast<std::size_t>(options_.threads)
+                           : 0;
+      fo.grain = 1;
+      arena().parallel_for(
+          static_cast<std::size_t>(m),
+          [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t k = lo; k < hi; ++k) {
+              const Tile t = tiles_.tile(work_[k]);
+              const std::int64_t t0 = trace ? now_ns() : 0;
+              const bool changed = kernel(t, iter);
+              if (trace) {
+                trace->record(TaskRecord{iter, TaskArena::current_lane(),
+                                         t.y0, t.x0, t.h, t.w, t0, now_ns()});
+              }
+              if (changed)
+                changed_[static_cast<std::size_t>(TaskArena::current_lane())]
+                    .push_back(t.index);
+            }
+          },
+          fo);
+    } else {
 #pragma omp parallel for schedule(runtime) num_threads(num_threads)
-    for (int k = 0; k < m; ++k) {
-      const Tile t = tiles_.tile(work[static_cast<std::size_t>(k)]);
-      const std::int64_t t0 = trace ? now_ns() : 0;
-      const bool changed = kernel(t, iter);
-      if (trace) {
-        trace->record(TaskRecord{iter, omp_get_thread_num(), t.y0, t.x0, t.h,
-                                 t.w, t0, now_ns()});
+      for (int k = 0; k < m; ++k) {
+        const Tile t = tiles_.tile(work_[static_cast<std::size_t>(k)]);
+        const std::int64_t t0 = trace ? now_ns() : 0;
+        const bool changed = kernel(t, iter);
+        if (trace) {
+          trace->record(TaskRecord{iter, omp_get_thread_num(), t.y0, t.x0, t.h,
+                                   t.w, t0, now_ns()});
+        }
+        if (changed)
+          changed_[static_cast<std::size_t>(omp_get_thread_num())]
+              .push_back(t.index);
       }
-      if (changed)
-        changed_tiles[static_cast<std::size_t>(omp_get_thread_num())]
-            .push_back(t.index);
     }
     *tasks += static_cast<std::size_t>(m);
   }
 
-  // Build the next activation set serially (cheap: O(changed tiles)).
-  std::vector<std::uint8_t> next(static_cast<std::size_t>(n), 0);
+  // Build the next activation set serially (cheap: O(changed tiles)) into
+  // the double buffer, then swap.
+  std::fill(next_active_.begin(), next_active_.end(), 0);
   int changed_any = 0;
-  for (auto& lane : changed_tiles) {
+  int nb[4];
+  for (auto& lane : changed_) {
     for (int idx : lane) {
       changed_any = 1;
-      next[static_cast<std::size_t>(idx)] = 1;
-      for (int nb : tiles_.neighbors(idx))
-        next[static_cast<std::size_t>(nb)] = 1;
+      next_active_[static_cast<std::size_t>(idx)] = 1;
+      const int count = tiles_.neighbors(idx, nb);
+      for (int j = 0; j < count; ++j)
+        next_active_[static_cast<std::size_t>(nb[j])] = 1;
     }
     lane.clear();
   }
-  active.swap(next);
+  active_.swap(next_active_);
   return changed_any;
 }
 
@@ -148,16 +220,25 @@ RunResult Runner::run(const TileKernel& kernel) {
   RunResult result;
   WallTimer timer;
 
+  const bool ws = options_.schedule == Schedule::kWorkStealing;
+  RuntimeCounters before;
+  if (ws) before = arena().counters();
+
   const int parity_phases = options_.checkerboard ? 2 : 1;
-  std::vector<std::uint8_t> active;
-  if (options_.lazy)
-    active.assign(static_cast<std::size_t>(tiles_.count()), 1);
+  if (options_.lazy) {
+    const std::size_t n = static_cast<std::size_t>(tiles_.count());
+    active_.assign(n, 1);
+    next_active_.assign(n, 0);
+    work_.clear();
+    work_.reserve(n);
+    changed_.resize(static_cast<std::size_t>(lane_count()));
+  }
 
   for (int iter = 0;; ++iter) {
     if (options_.max_iterations > 0 && iter >= options_.max_iterations) break;
     const int changed =
         options_.lazy
-            ? execute_lazy(kernel, iter, active, &result.tasks, parity_phases)
+            ? execute_lazy(kernel, iter, &result.tasks, parity_phases)
             : execute_eager(kernel, iter, &result.tasks, parity_phases);
     ++result.iterations;
     if (options_.on_iteration) options_.on_iteration(iter, changed != 0);
@@ -167,6 +248,7 @@ RunResult Runner::run(const TileKernel& kernel) {
     }
   }
 
+  if (ws) result.steals = (arena().counters() - before).steals;
   result.elapsed_ns = timer.elapsed_ns();
   return result;
 }

@@ -42,14 +42,19 @@ int TileGrid::tile_of_cell(int y, int x) const {
 }
 
 std::vector<int> TileGrid::neighbors(int index) const {
+  int buf[4];
+  const int n = neighbors(index, buf);
+  return std::vector<int>(buf, buf + n);
+}
+
+int TileGrid::neighbors(int index, int out[4]) const {
   const Tile t = tile(index);
-  std::vector<int> out;
-  out.reserve(4);
-  if (t.ty > 0) out.push_back(index - tiles_x_);
-  if (t.ty < tiles_y_ - 1) out.push_back(index + tiles_x_);
-  if (t.tx > 0) out.push_back(index - 1);
-  if (t.tx < tiles_x_ - 1) out.push_back(index + 1);
-  return out;
+  int n = 0;
+  if (t.ty > 0) out[n++] = index - tiles_x_;
+  if (t.ty < tiles_y_ - 1) out[n++] = index + tiles_x_;
+  if (t.tx > 0) out[n++] = index - 1;
+  if (t.tx < tiles_x_ - 1) out[n++] = index + 1;
+  return n;
 }
 
 bool TileGrid::is_outer(int index) const {

@@ -42,6 +42,10 @@ class TileGrid {
   /// (2 to 4 entries; used by lazy evaluation to wake neighbours).
   std::vector<int> neighbors(int index) const;
 
+  /// Allocation-free variant: writes up to 4 neighbour indices into `out`
+  /// and returns how many (the Runner's per-iteration hot path).
+  int neighbors(int index, int out[4]) const;
+
   /// True if the tile touches the grid border (EASYPAP's "outer tiles",
   /// which carry the sink boundary and defeat vectorization).
   bool is_outer(int index) const;

@@ -1,6 +1,15 @@
 #include "sandpile/kernels.hpp"
 
+#include <bit>
+
 namespace peachy::sandpile {
+
+// The kernels replace % kTopple and / kTopple with mask/shift; that rewrite
+// is only an identity while the threshold stays a power of two.
+static_assert(std::has_single_bit(kTopple),
+              "kTopple must be a power of two for the mask/shift kernels");
+inline constexpr Cell kToppleMask = kTopple - 1;
+inline constexpr int kToppleShift = std::countr_zero(kTopple);
 
 SyncEngine::SyncEngine(Field& field)
     : field_(&field), next_(field.padded()) {}
@@ -10,13 +19,17 @@ bool SyncEngine::compute_tile(const pap::Tile& t) {
   Grid2D<Cell>& nxt = next_;
   bool changed = false;
   for (int y = t.y0; y < t.y0 + t.h; ++y) {
-    for (int x = t.x0; x < t.x0 + t.w; ++x) {
-      const int py = y + 1, px = x + 1;  // padded coordinates
-      const Cell v = cur(py, px) % kTopple + cur(py, px - 1) / kTopple +
-                     cur(py, px + 1) / kTopple + cur(py - 1, px) / kTopple +
-                     cur(py + 1, px) / kTopple;
-      nxt(py, px) = v;
-      changed |= v != cur(py, px);
+    const int py = y + 1;  // padded row
+    const Cell* mid = cur.row(py) + t.x0 + 1;
+    const Cell* up = cur.row(py - 1) + t.x0 + 1;
+    const Cell* down = cur.row(py + 1) + t.x0 + 1;
+    Cell* out = nxt.row(py) + t.x0 + 1;
+    for (int x = 0; x < t.w; ++x) {
+      const Cell v = (mid[x] & kToppleMask) + (mid[x - 1] >> kToppleShift) +
+                     (mid[x + 1] >> kToppleShift) + (up[x] >> kToppleShift) +
+                     (down[x] >> kToppleShift);
+      out[x] = v;
+      changed |= v != mid[x];
     }
   }
   return changed;
@@ -35,9 +48,9 @@ bool SyncEngine::compute_tile_vector(const pap::Tile& t) {
     const Cell* __restrict down = cur.row(py + 1) + t.x0 + 1;
     Cell* __restrict out = nxt.row(py) + t.x0 + 1;
     for (int x = 0; x < t.w; ++x) {
-      const Cell v = mid[x] % kTopple + mid[x - 1] / kTopple +
-                     mid[x + 1] / kTopple + up[x] / kTopple +
-                     down[x] / kTopple;
+      const Cell v = (mid[x] & kToppleMask) + (mid[x - 1] >> kToppleShift) +
+                     (mid[x + 1] >> kToppleShift) + (up[x] >> kToppleShift) +
+                     (down[x] >> kToppleShift);
       out[x] = v;
       diff |= v ^ mid[x];
     }
@@ -70,12 +83,12 @@ bool AsyncEngine::sweep_tile(const pap::Tile& t) {
       const int py = y + 1, px = x + 1;
       const Cell grains = g(py, px);
       if (grains < kTopple) continue;
-      const Cell share = grains / kTopple;
+      const Cell share = grains >> kToppleShift;
       g(py, px - 1) += share;
       g(py, px + 1) += share;
       g(py - 1, px) += share;
       g(py + 1, px) += share;
-      g(py, px) = grains % kTopple;
+      g(py, px) = grains & kToppleMask;
       changed = true;
     }
   }

@@ -67,6 +67,27 @@ TEST(ThreadPool, ParallelForPropagatesException) {
                std::runtime_error);
 }
 
+TEST(ThreadPool, ParallelForDeliversExceptionExactlyOnce) {
+  // Regression test for the task-runtime rewire: one failing index must
+  // surface as exactly one exception on the caller, and the pool must stay
+  // usable afterwards.
+  ThreadPool pool(4);
+  int caught = 0;
+  try {
+    pool.parallel_for(100, [](std::size_t i) {
+      if (i == 13) throw std::runtime_error("boom");
+    });
+  } catch (const std::runtime_error& e) {
+    ++caught;
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  EXPECT_EQ(caught, 1);
+
+  std::atomic<int> counter{0};
+  pool.parallel_for(25, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 25);
+}
+
 TEST(ThreadPool, DestructorDrainsQueue) {
   std::atomic<int> counter{0};
   {

@@ -231,6 +231,59 @@ TEST(Job, SecondarySortIsStable) {
   EXPECT_EQ(out[0].second, "bdac");
 }
 
+TEST(Job, OutputIdenticalAcrossWorkerCountsAndArenas) {
+  // The determinism guarantee must hold whether phases run serially, on a
+  // narrow explicit arena or on a wide one: 1, 2 and 8 workers, each with
+  // its own work-stealing arena, must produce byte-identical output.
+  JobConfig base{1, 1, 8, 1};
+  const auto baseline = word_count(sample_lines(), base, true);
+  for (const int workers : {1, 2, 8}) {
+    TaskArena arena(static_cast<std::size_t>(workers));
+    JobConfig cfg{workers, workers, 8, 1};
+    cfg.arena = &arena;
+    const auto out = word_count(sample_lines(), cfg, true);
+    EXPECT_EQ(out, baseline) << workers << " workers";
+  }
+}
+
+TEST(Job, GroupOrderDeterministicOnWideArena) {
+  // Per-key value order must stay (map task, emit order) even when map
+  // tasks finish out of order on many lanes.
+  TaskArena arena(4);
+  Job<int, std::string, std::string, std::string, std::string, std::string>
+      job;
+  JobConfig cfg{4, 2, 8, 1};
+  cfg.arena = &arena;
+  job.mapper([](const int& id, const std::string& v,
+                Emitter<std::string, std::string>& out) {
+       out.emit("k", std::to_string(id) + ":" + v);
+     })
+      .reducer([](const std::string& k, const std::vector<std::string>& vs,
+                  Emitter<std::string, std::string>& out) {
+        std::string joined;
+        for (const auto& v : vs) joined += v + "|";
+        out.emit(k, joined);
+      })
+      .config(cfg);
+  const auto out = job.run(
+      {{0, "a"}, {1, "b"}, {2, "c"}, {3, "d"}, {4, "e"}, {5, "f"}});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].second, "0:a|1:b|2:c|3:d|4:e|5:f|");
+}
+
+TEST(Job, ShuffleRecordsAlwaysEqualCombineOutputs) {
+  // The flat shuffle must neither drop nor duplicate records: what leaves
+  // the combiners is exactly what the reducers receive.
+  for (const bool combiner : {false, true})
+    for (const int parts : {1, 2, 5}) {
+      JobCounters c{};
+      word_count(sample_lines(), JobConfig{2, 2, 3, parts}, combiner, &c);
+      EXPECT_EQ(c.shuffle_records, c.combine_outputs)
+          << (combiner ? "with" : "without") << " combiner, " << parts
+          << " partitions";
+    }
+}
+
 TEST(Job, MeanViaSumCountPairsMatchesDirectMean) {
   // The pattern the climate pipeline uses: emit (key, (sum, count)).
   struct Acc {

@@ -85,6 +85,37 @@ TEST(Monitor, CsvExport) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(Monitor, WatchedArenaCountersSampledPerIteration) {
+  TaskArena arena(2);
+  TileGrid tiles(32, 32, 8, 8);  // 16 tiles per iteration
+  Monitor monitor;
+  monitor.watch(&arena);
+  RunOptions opt;
+  opt.schedule = Schedule::kWorkStealing;
+  opt.arena = &arena;
+  opt.max_iterations = 3;
+  opt.on_iteration = monitor.hook();
+  Runner(tiles, opt).run([](const Tile&, int) { return true; });
+  ASSERT_EQ(monitor.samples().size(), 3u);
+  std::uint64_t tasks = 0;
+  for (const IterationSample& s : monitor.samples()) tasks += s.tasks;
+  EXPECT_GE(tasks, 16u * 3);  // every tile chunk shows up in some sample
+  EXPECT_LE(monitor.total_steals(), tasks);
+}
+
+TEST(Monitor, UnwatchedRunsReportZeroRuntimeCounters) {
+  TileGrid tiles(8, 8, 4, 4);
+  Monitor monitor;  // no watch(): OpenMP run, counters must stay zero
+  RunOptions opt;
+  opt.max_iterations = 2;
+  opt.on_iteration = monitor.hook();
+  Runner(tiles, opt).run([](const Tile&, int) { return true; });
+  for (const IterationSample& s : monitor.samples()) {
+    EXPECT_EQ(s.tasks, 0u);
+    EXPECT_EQ(s.steals, 0u);
+  }
+}
+
 TEST(Experiment, TableAndCsv) {
   Experiment exp({"variant", "tile"}, {"ms", "tasks"});
   exp.record({"lazy", "32"}, {12.5, 900});

@@ -7,6 +7,8 @@
 #include <set>
 
 #include "core/error.hpp"
+#include "sandpile/field.hpp"
+#include "sandpile/kernels.hpp"
 
 namespace peachy::pap {
 namespace {
@@ -49,8 +51,9 @@ TEST(Runner, MaxIterationsBoundsRun) {
 }
 
 TEST(Runner, EverySchedulePolicyCoversAllTiles) {
-  for (const Schedule s : {Schedule::kStatic, Schedule::kStaticChunk1,
-                           Schedule::kDynamic, Schedule::kGuided}) {
+  for (const Schedule s :
+       {Schedule::kStatic, Schedule::kStaticChunk1, Schedule::kDynamic,
+        Schedule::kGuided, Schedule::kWorkStealing}) {
     TileGrid tiles(32, 32, 8, 8);
     RunOptions opt;
     opt.schedule = s;
@@ -224,6 +227,104 @@ TEST(Runner, MultiThreadedRunMatchesSingleThreaded) {
     const RunResult r = runner.run(k.stable_after(2));
     EXPECT_EQ(r.iterations, 3) << threads;
     EXPECT_EQ(r.tasks, 64u * 3) << threads;
+  }
+}
+
+TEST(Runner, WorkStealingLazyMatchesDynamicLazy) {
+  // The same sandpile relaxed lazily under OpenMP dynamic and under the
+  // work-stealing runtime must reach the identical stable field (Dhar's
+  // abelian property makes any execution order legal; the runner must not
+  // lose or duplicate tile updates).
+  auto relax = [](Schedule s) {
+    sandpile::Field f = sandpile::center_pile(64, 64, 4096);
+    sandpile::SyncEngine engine(f);
+    TileGrid tiles(64, 64, 16, 16);
+    RunOptions opt;
+    opt.schedule = s;
+    opt.lazy = true;
+    opt.threads = 4;
+    opt.on_iteration = engine.swap_hook();
+    Runner runner(tiles, opt);
+    const RunResult r = runner.run(engine.kernel(false));
+    EXPECT_TRUE(r.stable) << to_string(s);
+    return f;
+  };
+  const sandpile::Field dyn = relax(Schedule::kDynamic);
+  const sandpile::Field ws = relax(Schedule::kWorkStealing);
+  EXPECT_TRUE(dyn.same_interior(ws));
+  EXPECT_TRUE(ws.is_stable());
+}
+
+TEST(Runner, WorkStealingHandlesUnbalancedTileCosts) {
+  // Tile 0 is ~1000x more expensive than the rest; every tile must still
+  // run exactly once per iteration and the run must terminate.
+  TileGrid tiles(64, 64, 8, 8);  // 64 tiles
+  RunOptions opt;
+  opt.schedule = Schedule::kWorkStealing;
+  opt.max_iterations = 4;
+  CountingKernel k(tiles.count());
+  std::atomic<std::uint64_t> sink{0};
+  Runner runner(tiles, opt);
+  const RunResult r = runner.run([&](const Tile& t, int) {
+    const int reps = t.index == 0 ? 200000 : 200;
+    std::uint64_t acc = 0;
+    for (int i = 0; i < reps; ++i) acc += static_cast<std::uint64_t>(i) % 13;
+    sink.fetch_add(acc);
+    ++k.calls[static_cast<std::size_t>(t.index)];
+    return true;
+  });
+  EXPECT_EQ(r.tasks, 64u * 4);
+  for (auto& c : k.calls) EXPECT_EQ(c.load(), 4);
+}
+
+TEST(Runner, WorkStealingReportsStealsOtherPoliciesDoNot) {
+  TileGrid tiles(64, 64, 8, 8);
+  CountingKernel k(tiles.count());
+  RunOptions opt;
+  opt.max_iterations = 2;
+  opt.schedule = Schedule::kDynamic;
+  const RunResult omp_run = Runner(tiles, opt).run(k.stable_after(1000));
+  EXPECT_EQ(omp_run.steals, 0u);  // OpenMP runs never touch the arena
+
+  opt.schedule = Schedule::kWorkStealing;
+  const RunResult ws_run = Runner(tiles, opt).run(k.stable_after(1000));
+  EXPECT_EQ(ws_run.tasks, omp_run.tasks);
+  // Steals are scheduling-dependent (possibly 0 on an idle machine), but
+  // the delta must never exceed the chunks that existed to steal.
+  EXPECT_LE(ws_run.steals, ws_run.tasks);
+}
+
+TEST(Runner, WorkStealingUsesExplicitArena) {
+  TaskArena arena(2);
+  arena.reset_counters();
+  TileGrid tiles(32, 32, 8, 8);
+  RunOptions opt;
+  opt.schedule = Schedule::kWorkStealing;
+  opt.arena = &arena;
+  opt.max_iterations = 3;
+  CountingKernel k(tiles.count());
+  Runner runner(tiles, opt);
+  const RunResult r = runner.run(k.stable_after(1000));
+  EXPECT_EQ(r.tasks, 16u * 3);
+  // The tile chunks must have run on the supplied arena, not the shared one.
+  EXPECT_GE(arena.counters().tasks, r.tasks);
+}
+
+TEST(Runner, WorkStealingTraceRecordsArenaLanes) {
+  TaskArena arena(2);
+  TraceRecorder trace(static_cast<int>(arena.lanes()));
+  TileGrid tiles(32, 32, 8, 8);
+  RunOptions opt;
+  opt.schedule = Schedule::kWorkStealing;
+  opt.arena = &arena;
+  opt.trace = &trace;
+  opt.max_iterations = 2;
+  Runner runner(tiles, opt);
+  const RunResult r = runner.run([](const Tile&, int) { return true; });
+  EXPECT_EQ(trace.total_tasks(), r.tasks);
+  for (const TaskRecord& rec : trace.merged()) {
+    EXPECT_GE(rec.worker, 0);
+    EXPECT_LT(rec.worker, static_cast<int>(arena.lanes()));
   }
 }
 
