@@ -7,7 +7,8 @@
 //
 //   $ ./easypap_cli --variant omp-lazy-sync --size 512 --tile 32 \
 //                   --config center --grains 100000 \
-//                   --dump out/state.ppm --trace out/trace.csv \
+//                   --dump out/state.ppm --trace out/trace.json \
+//                   --metrics out/metrics.txt \
 //                   --monitor out/iters.csv --check
 //
 // Options:
@@ -23,7 +24,12 @@
 //                    (default dynamic; ws = work-stealing task runtime)
 //   --iterations N   cap iterations (default: run to fixed point)
 //   --dump PATH      write the final state as PPM
-//   --trace PATH     write the per-task trace CSV
+//   --trace PATH     write the per-task trace; a .json path produces a
+//                    Chrome trace-event file (open in Perfetto or
+//                    chrome://tracing) with runtime spans merged in, any
+//                    other path the per-task CSV
+//   --metrics PATH   write the obs::Registry counters after the run; a
+//                    .json path dumps JSON, any other path Prometheus text
 //   --monitor PATH   write per-iteration wall times CSV
 //   --check          verify against the sequential reference
 //   --list           list variants and exit
@@ -65,8 +71,8 @@ int main(int argc, char** argv) {
     const Args args(argc, argv, flags);
     const auto unknown = args.unknown_options(
         {"variant", "config", "size", "grains", "density", "seed", "tile",
-         "threads", "schedule", "iterations", "dump", "trace", "monitor",
-         "check", "list"});
+         "threads", "schedule", "iterations", "dump", "trace", "metrics",
+         "monitor", "check", "list"});
     if (!unknown.empty()) {
       std::cerr << "unknown option --" << unknown.front() << "\n";
       return 2;
@@ -98,10 +104,18 @@ int main(int argc, char** argv) {
     opt.threads = args.get_int("threads", 0);
     opt.schedule = schedule_by_name(args.get("schedule", "dynamic"));
     opt.max_iterations = args.get_int("iterations", 0);
+    const std::string trace_path = args.get("trace", "");
+    const bool json_trace =
+        trace_path.size() >= 5 &&
+        trace_path.compare(trace_path.size() - 5, 5, ".json") == 0;
+    // A .json trace comes from the obs tracer (tiles + runtime spans, one
+    // Perfetto row per thread); the CSV path keeps the worker-indexed
+    // TraceRecorder.
     TraceRecorder trace(256);
-    if (args.has("trace")) opt.trace = &trace;
+    if (args.has("trace") && !json_trace) opt.trace = &trace;
     pap::Monitor monitor;
     if (args.has("monitor")) opt.on_iteration = monitor.hook();
+    if (json_trace || args.has("metrics")) obs::set_enabled(true);
 
     const Variant variant =
         variant_by_name(args.get("variant", "omp-lazy-sync"));
@@ -137,8 +151,18 @@ int main(int argc, char** argv) {
       std::cout << "state image: " << args.get("dump", "") << "\n";
     }
     if (args.has("trace")) {
-      trace.write_csv(args.get("trace", ""));
-      std::cout << "task trace: " << args.get("trace", "") << "\n";
+      if (json_trace) {
+        obs::Tracer::global().write_chrome_json(trace_path);
+        std::cout << "chrome trace: " << trace_path
+                  << " (open in Perfetto / chrome://tracing)\n";
+      } else {
+        trace.write_csv(trace_path);
+        std::cout << "task trace: " << trace_path << "\n";
+      }
+    }
+    if (args.has("metrics")) {
+      obs::Registry::global().write(args.get("metrics", ""));
+      std::cout << "metrics: " << args.get("metrics", "") << "\n";
     }
     if (args.has("monitor")) {
       monitor.write_csv(args.get("monitor", ""));

@@ -6,6 +6,11 @@
 // of a height x width pile, stabilizes it with the lazy OpenMP variant,
 // checks the result against the sequential reference, and writes
 // out/quickstart.ppm with the paper's 4-color palette.
+//
+// To watch the run instead of just timing it, use the full CLI driver:
+// `easypap_cli --trace out/trace.json` writes a Chrome trace (open it in
+// Perfetto / chrome://tracing) and `--metrics out/metrics.txt` dumps the
+// runtime's counters; see docs/assignment_sandpile.md.
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>

@@ -5,6 +5,8 @@
 #include <string>
 
 #include "core/error.hpp"
+#include "core/timer.hpp"
+#include "obs/obs.hpp"
 
 namespace peachy {
 
@@ -12,6 +14,25 @@ namespace {
 
 // Lane index of the arena loop body running on this thread; -1 outside.
 thread_local int tl_lane = -1;
+
+// Registry handles resolved once; the metrics themselves are lock-free.
+obs::Counter& obs_dispatches() {
+  static obs::Counter& c = obs::Registry::global().counter("arena.dispatches");
+  return c;
+}
+obs::Counter& obs_chunks() {
+  static obs::Counter& c = obs::Registry::global().counter("arena.chunks");
+  return c;
+}
+obs::Counter& obs_steals() {
+  static obs::Counter& c = obs::Registry::global().counter("arena.steals");
+  return c;
+}
+obs::Counter& obs_idle_ns() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("arena.lane_idle_ns");
+  return c;
+}
 
 std::size_t shared_worker_count() {
   if (const char* env = std::getenv("PEACHY_ARENA_THREADS")) {
@@ -148,9 +169,15 @@ void TaskArena::worker_loop(std::size_t worker_index) {
     bool joined = false;
     {
       std::unique_lock lock(mutex_);
+      // Idle accounting: the time a worker sleeps between jobs. Gated and
+      // measured around the wait only, so the armed path costs two clock
+      // reads per wake-up and the disabled path one relaxed load.
+      const std::int64_t idle_from = obs::enabled() ? now_ns() : 0;
       cv_.wait(lock, [&] {
         return stopping_ || epoch_ != seen || !inject_.empty();
       });
+      if (idle_from != 0)
+        obs_idle_ns().add(static_cast<std::uint64_t>(now_ns() - idle_from));
       if (!inject_.empty()) {
         inject = std::move(inject_.front());
         inject_.pop_front();
@@ -219,6 +246,13 @@ void TaskArena::parallel_for(std::size_t n, const RangeBody& body,
   }
 
   std::lock_guard for_lock(for_mutex_);
+  const bool obs_on = obs::enabled();
+  std::uint64_t steals_before = 0;
+  if (obs_on) {
+    for (const LaneCounters& lc : lane_counters_)
+      steals_before += lc.steals.load(std::memory_order_relaxed);
+    obs::Tracer::global().begin("arena.parallel_for", "arena");
+  }
   // Deal chunks round-robin into the first p lane deques (single-threaded:
   // workers are still asleep or finishing an older epoch behind mutex_).
   const std::size_t per_lane = (chunks + p - 1) / p;
@@ -253,6 +287,19 @@ void TaskArena::parallel_for(std::size_t n, const RangeBody& body,
     });
     job_live_ = false;  // stragglers waking later must not touch the deques
     job_body_ = nullptr;
+  }
+  if (obs_on) {
+    std::uint64_t steals_after = 0;
+    for (const LaneCounters& lc : lane_counters_)
+      steals_after += lc.steals.load(std::memory_order_relaxed);
+    obs_dispatches().add(1);
+    obs_chunks().add(chunks);
+    obs_steals().add(steals_after - steals_before);
+    obs::Tracer::global().end({{"n", static_cast<std::int64_t>(n)},
+                               {"chunks", static_cast<std::int64_t>(chunks)},
+                               {"lanes", static_cast<std::int64_t>(p)},
+                               {"steals", static_cast<std::int64_t>(
+                                              steals_after - steals_before)}});
   }
   if (failed_.load(std::memory_order_relaxed)) {
     std::lock_guard lock(error_mutex_);

@@ -32,6 +32,8 @@
 
 #include "core/error.hpp"
 #include "core/task_runtime.hpp"
+#include "core/timer.hpp"
+#include "obs/obs.hpp"
 
 namespace peachy::mr {
 
@@ -153,12 +155,18 @@ class Job {
       std::vector<std::pair<K2, V2>> records;
       std::vector<std::size_t> offsets;  // partitions + 1 entries
     };
+    obs::Span job_span("mr.job", "mr");
+    job_span.arg("inputs", static_cast<std::int64_t>(inputs.size()));
+    job_span.arg("splits", splits);
+    job_span.arg("partitions", partitions);
+    obs::Span map_span("mr.map", "mr");
     std::vector<TaskOutput> task_out(static_cast<std::size_t>(splits));
     std::vector<std::size_t> map_out(static_cast<std::size_t>(splits), 0);
     std::vector<std::size_t> comb_out(static_cast<std::size_t>(splits), 0);
     arena.parallel_for_index(
         static_cast<std::size_t>(splits),
         [&](std::size_t s) {
+          const std::int64_t split_t0 = obs::enabled() ? now_ns() : 0;
           const std::size_t lo = inputs.size() * s / splits;
           const std::size_t hi = inputs.size() * (s + 1) / splits;
           Emitter<K2, V2> emitter;
@@ -207,6 +215,12 @@ class Job {
               return a.first < b.first;
             });
           }
+          if (split_t0 != 0) {
+            obs::Tracer::global().complete(
+                "mr.map_split", "mr", split_t0, now_ns(),
+                {{"split", static_cast<std::int64_t>(s)},
+                 {"records", static_cast<std::int64_t>(m)}});
+          }
         },
         {.max_workers = static_cast<std::size_t>(config_.map_workers),
          .grain = 1});
@@ -214,11 +228,15 @@ class Job {
       counters_.map_outputs += map_out[static_cast<std::size_t>(s)];
       counters_.combine_outputs += comb_out[static_cast<std::size_t>(s)];
     }
+    map_span.arg("map_outputs",
+                 static_cast<std::int64_t>(counters_.map_outputs));
+    map_span.close();
 
     // --- Shuffle + merge + reduce, one partition at a time. Each map task
     // contributes an already key-sorted run; a k-way merge that breaks key
     // ties by task index replaces the old whole-partition stable_sort and
     // yields the identical (map task, emit order) value ordering.
+    obs::Span reduce_span("mr.reduce", "mr");
     std::vector<std::vector<std::pair<K3, V3>>> outputs(
         static_cast<std::size_t>(partitions));
     std::vector<std::size_t> group_counts(static_cast<std::size_t>(partitions),
@@ -227,6 +245,7 @@ class Job {
     arena.parallel_for_index(
         static_cast<std::size_t>(partitions),
         [&](std::size_t p) {
+          const std::int64_t part_t0 = obs::enabled() ? now_ns() : 0;
           struct Run {
             std::vector<std::pair<K2, V2>>* records;
             std::size_t pos, end;
@@ -258,6 +277,15 @@ class Job {
             part.push_back(std::move((*best->records)[best->pos]));
             ++best->pos;
           }
+          // The merge above IS the shuffle for this partition; the reducer
+          // loop below is the reduce proper — two spans per partition.
+          const std::int64_t merge_done = part_t0 != 0 ? now_ns() : 0;
+          if (part_t0 != 0) {
+            obs::Tracer::global().complete(
+                "mr.shuffle_partition", "mr", part_t0, merge_done,
+                {{"partition", static_cast<std::int64_t>(p)},
+                 {"records", static_cast<std::int64_t>(total)}});
+          }
 
           Emitter<K3, V3> emitter;
           std::size_t i = 0;
@@ -276,6 +304,12 @@ class Job {
             i = j;
           }
           outputs[p] = std::move(emitter.pairs());
+          if (part_t0 != 0) {
+            obs::Tracer::global().complete(
+                "mr.reduce_partition", "mr", merge_done, now_ns(),
+                {{"partition", static_cast<std::int64_t>(p)},
+                 {"groups", static_cast<std::int64_t>(group_counts[p])}});
+          }
         },
         {.max_workers = static_cast<std::size_t>(config_.reduce_workers),
          .grain = 1});
@@ -290,6 +324,18 @@ class Job {
     // merge consumes every slice — the shuffle neither drops nor duplicates.
     PEACHY_CHECK(counters_.shuffle_records == counters_.combine_outputs);
     counters_.reduce_outputs = all.size();
+    reduce_span.arg("groups", static_cast<std::int64_t>(counters_.groups));
+    reduce_span.arg("outputs",
+                    static_cast<std::int64_t>(counters_.reduce_outputs));
+    reduce_span.close();
+    if (obs::enabled()) {
+      obs::Registry& reg = obs::Registry::global();
+      reg.counter("mr.jobs").add(1);
+      reg.counter("mr.map_outputs").add(counters_.map_outputs);
+      reg.counter("mr.shuffle_records").add(counters_.shuffle_records);
+      reg.counter("mr.reduce_outputs").add(counters_.reduce_outputs);
+      reg.counter("mr.groups").add(counters_.groups);
+    }
     return all;
   }
 

@@ -5,7 +5,27 @@
 #include <exception>
 #include <thread>
 
+#include "obs/obs.hpp"
+
 namespace peachy::mpp {
+
+namespace {
+
+obs::Counter& obs_messages() {
+  static obs::Counter& c = obs::Registry::global().counter("mpp.messages");
+  return c;
+}
+obs::Counter& obs_bytes() {
+  static obs::Counter& c = obs::Registry::global().counter("mpp.bytes");
+  return c;
+}
+obs::Histogram& obs_msg_bytes() {
+  static obs::Histogram& h =
+      obs::Registry::global().histogram("mpp.message_bytes");
+  return h;
+}
+
+}  // namespace
 
 World::World(int ranks) : ranks_(ranks), mailboxes_(ranks > 0 ? ranks : 0) {
   PEACHY_REQUIRE(ranks >= 1, "world needs >= 1 rank, got " << ranks);
@@ -28,6 +48,17 @@ void Comm::send_bytes(int dest, int tag, const void* data, std::size_t bytes) {
   box.cv.notify_all();
   ++stats_.messages_sent;
   stats_.bytes_sent += bytes;
+  if (obs::enabled()) {
+    obs_messages().add(1);
+    obs_bytes().add(bytes);
+    obs_msg_bytes().observe(static_cast<std::int64_t>(bytes));
+    obs::Tracer::global().instant(
+        "mpp.send", "mpp",
+        {{"src", rank_},
+         {"dst", dest},
+         {"tag", tag},
+         {"bytes", static_cast<std::int64_t>(bytes)}});
+  }
 }
 
 void Comm::recv_bytes(int src, int tag, void* data, std::size_t bytes) {
@@ -42,6 +73,14 @@ void Comm::recv_bytes(int src, int tag, void* data, std::size_t bytes) {
                  "message size mismatch: expected " << bytes << " bytes, got "
                                                     << msg.payload.size());
   if (bytes) std::memcpy(data, msg.payload.data(), bytes);
+  if (obs::enabled()) {
+    obs::Tracer::global().instant(
+        "mpp.recv", "mpp",
+        {{"src", src},
+         {"dst", rank_},
+         {"tag", tag},
+         {"bytes", static_cast<std::int64_t>(bytes)}});
+  }
 }
 
 void Comm::barrier() {

@@ -1,0 +1,438 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "core/error.hpp"
+#include "core/timer.hpp"
+
+namespace peachy::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+bool env_default() {
+  const char* env = std::getenv("PEACHY_OBS");
+  if (env == nullptr) return false;
+  return std::strcmp(env, "") != 0 && std::strcmp(env, "0") != 0 &&
+         std::strcmp(env, "false") != 0 && std::strcmp(env, "off") != 0;
+}
+
+// Reads PEACHY_OBS once at static-init time; set_enabled overrides later.
+const bool g_env_init = [] {
+  detail::g_enabled.store(env_default(), std::memory_order_relaxed);
+  return true;
+}();
+
+// Per-thread ids, assigned on first use. The shard id spreads counter
+// increments across cache lines; the lane id names the tracer tid.
+std::atomic<int> g_next_thread{0};
+thread_local int tl_thread_id = -1;
+
+int this_thread_id() {
+  if (tl_thread_id < 0)
+    tl_thread_id = g_next_thread.fetch_add(1, std::memory_order_relaxed);
+  return tl_thread_id;
+}
+
+// Minimal JSON string escaping (metric/span names are code-controlled, but
+// stay safe for quotes, backslashes and control bytes).
+void escape_json(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; dots and dashes become '_'.
+std::string prometheus_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out)
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':'))
+      c = '_';
+  return out;
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  PEACHY_REQUIRE(out.good(), "cannot open \"" << path << "\" for writing");
+  out << text;
+  PEACHY_REQUIRE(out.good(), "write to \"" << path << "\" failed");
+}
+
+}  // namespace
+
+bool set_enabled(bool on) {
+  (void)g_env_init;
+  return detail::g_enabled.exchange(on, std::memory_order_relaxed);
+}
+
+// --- Counter / Histogram ----------------------------------------------------
+
+void Counter::add(std::uint64_t delta) {
+  shards_[static_cast<std::size_t>(this_thread_id()) % kShards].v.fetch_add(
+      delta, std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::value() const {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::reset() {
+  for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+}
+
+void Histogram::observe(std::int64_t v) {
+  const std::size_t b =
+      v <= 0 ? 0
+             : std::min<std::size_t>(kBuckets - 1,
+                                     std::bit_width(static_cast<std::uint64_t>(v)));
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::vector<std::uint64_t> Histogram::buckets() const {
+  std::vector<std::uint64_t> out(kBuckets);
+  for (std::size_t i = 0; i < kBuckets; ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+// --- Registry ---------------------------------------------------------------
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  PEACHY_REQUIRE(!gauges_.count(name) && !histograms_.count(name),
+                 "metric \"" << name << "\" already registered as another kind");
+  auto& slot = counters_[name];
+  if (!slot) slot.reset(new Counter());
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  PEACHY_REQUIRE(!counters_.count(name) && !histograms_.count(name),
+                 "metric \"" << name << "\" already registered as another kind");
+  auto& slot = gauges_[name];
+  if (!slot) slot.reset(new Gauge());
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  PEACHY_REQUIRE(!counters_.count(name) && !gauges_.count(name),
+                 "metric \"" << name << "\" already registered as another kind");
+  auto& slot = histograms_[name];
+  if (!slot) slot.reset(new Histogram());
+  return *slot;
+}
+
+std::string Registry::prometheus_text() const {
+  std::lock_guard lock(mutex_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    const std::string pn = prometheus_name(name);
+    out += "# TYPE " + pn + " counter\n";
+    out += pn + " " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string pn = prometheus_name(name);
+    out += "# TYPE " + pn + " gauge\n";
+    out += pn + " " + std::to_string(g->value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string pn = prometheus_name(name);
+    out += "# TYPE " + pn + " histogram\n";
+    const std::vector<std::uint64_t> buckets = h->buckets();
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      cumulative += buckets[b];
+      // Bucket b holds values < 2^b (bucket 0 holds {0}, le="1" covers it);
+      // the overflow bucket 63 only shows up in the +Inf line.
+      if (buckets[b] == 0 || b > 62) continue;
+      out += pn + "_bucket{le=\"" + std::to_string(std::uint64_t{1} << b) +
+             "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += pn + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) + "\n";
+    out += pn + "_sum " + std::to_string(h->sum()) + "\n";
+    out += pn + "_count " + std::to_string(cumulative) + "\n";
+  }
+  return out;
+}
+
+std::string Registry::json_dump() const {
+  std::lock_guard lock(mutex_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out.push_back(',');
+    first = false;
+    escape_json(name, out);
+    out.push_back(':');
+    out += std::to_string(c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out.push_back(',');
+    first = false;
+    escape_json(name, out);
+    out.push_back(':');
+    out += std::to_string(g->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out.push_back(',');
+    first = false;
+    escape_json(name, out);
+    out += ":{\"count\":" + std::to_string(h->count()) +
+           ",\"sum\":" + std::to_string(h->sum()) + ",\"buckets\":[";
+    const std::vector<std::uint64_t> buckets = h->buckets();
+    std::size_t last = 0;
+    for (std::size_t b = 0; b < buckets.size(); ++b)
+      if (buckets[b] != 0) last = b + 1;
+    for (std::size_t b = 0; b < last; ++b) {
+      if (b) out.push_back(',');
+      out += std::to_string(buckets[b]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+void Registry::write(const std::string& path) const {
+  const bool json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  write_text_file(path, json ? json_dump() : prometheus_text());
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+// --- Chrome trace export ----------------------------------------------------
+
+std::string chrome_trace_json(std::vector<TraceEvent> events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  // Rebase timestamps so microsecond doubles keep sub-ns precision even
+  // with steady-clock epochs far from zero.
+  const std::int64_t base = events.empty() ? 0 : events.front().ts_ns;
+
+  std::string out = "[";
+  char buf[64];
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& ev = events[i];
+    if (i) out.push_back(',');
+    out += "\n{\"name\":";
+    escape_json(ev.name, out);
+    out += ",\"cat\":";
+    escape_json(ev.cat.empty() ? std::string("peachy") : ev.cat, out);
+    out += ",\"ph\":\"";
+    out.push_back(static_cast<char>(ev.ph));
+    out += "\",\"ts\":";
+    std::snprintf(buf, sizeof buf, "%.3f",
+                  static_cast<double>(ev.ts_ns - base) / 1e3);
+    out += buf;
+    if (ev.ph == TraceEvent::Phase::kComplete) {
+      std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(ev.dur_ns) / 1e3);
+      out += ",\"dur\":";
+      out += buf;
+    }
+    if (ev.ph == TraceEvent::Phase::kInstant) out += ",\"s\":\"t\"";
+    out += ",\"pid\":0,\"tid\":" + std::to_string(ev.tid);
+    if (!ev.args.empty()) {
+      out += ",\"args\":{";
+      for (std::size_t a = 0; a < ev.args.size(); ++a) {
+        if (a) out.push_back(',');
+        escape_json(ev.args[a].first, out);
+        out.push_back(':');
+        out += std::to_string(ev.args[a].second);
+      }
+      out.push_back('}');
+    }
+    out.push_back('}');
+  }
+  out += "\n]\n";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path,
+                        std::vector<TraceEvent> events) {
+  write_text_file(path, chrome_trace_json(std::move(events)));
+}
+
+// --- Tracer -----------------------------------------------------------------
+
+std::vector<Tracer::OpenSpan>& Tracer::span_stack() {
+  thread_local std::vector<OpenSpan> stack;
+  return stack;
+}
+
+Tracer::Tracer(int max_lanes) : lanes_(static_cast<std::size_t>(max_lanes)) {
+  PEACHY_REQUIRE(max_lanes >= 1, "tracer needs >= 1 lane, got " << max_lanes);
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+int Tracer::lane_id_for_this_thread() {
+  return this_thread_id() % static_cast<int>(lanes_.size());
+}
+
+Tracer::Lane& Tracer::lane_for_this_thread() {
+  return lanes_[static_cast<std::size_t>(lane_id_for_this_thread())];
+}
+
+void Tracer::append(TraceEvent ev) {
+  Lane& lane = lane_for_this_thread();
+  std::lock_guard lock(lane.mutex);
+  lane.events.push_back(std::move(ev));
+}
+
+void Tracer::begin(std::string name, std::string cat) {
+  if (!enabled()) return;
+  span_stack().push_back(
+      OpenSpan{this, std::move(name), std::move(cat), now_ns()});
+}
+
+void Tracer::end(std::vector<std::pair<std::string, std::int64_t>> args) {
+  std::vector<OpenSpan>& stack = span_stack();
+  // A begin() skipped while disabled leaves nothing to close; a span opened
+  // while enabled still closes cleanly if the gate flipped off meanwhile.
+  if (stack.empty() || stack.back().tracer != this) return;
+  OpenSpan span = std::move(stack.back());
+  stack.pop_back();
+  TraceEvent ev;
+  ev.name = std::move(span.name);
+  ev.cat = std::move(span.cat);
+  ev.ph = TraceEvent::Phase::kComplete;
+  ev.ts_ns = span.start_ns;
+  ev.dur_ns = now_ns() - span.start_ns;
+  ev.tid = lane_id_for_this_thread();
+  ev.args = std::move(args);
+  append(std::move(ev));
+}
+
+void Tracer::complete(std::string name, std::string cat, std::int64_t start_ns,
+                      std::int64_t end_ns,
+                      std::vector<std::pair<std::string, std::int64_t>> args) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.cat = std::move(cat);
+  ev.ph = TraceEvent::Phase::kComplete;
+  ev.ts_ns = start_ns;
+  ev.dur_ns = end_ns - start_ns;
+  ev.tid = lane_id_for_this_thread();
+  ev.args = std::move(args);
+  append(std::move(ev));
+}
+
+void Tracer::instant(std::string name, std::string cat,
+                     std::vector<std::pair<std::string, std::int64_t>> args) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.cat = std::move(cat);
+  ev.ph = TraceEvent::Phase::kInstant;
+  ev.ts_ns = now_ns();
+  ev.tid = lane_id_for_this_thread();
+  ev.args = std::move(args);
+  append(std::move(ev));
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<TraceEvent> all;
+  for (const Lane& lane : lanes_) {
+    std::lock_guard lock(lane.mutex);
+    all.insert(all.end(), lane.events.begin(), lane.events.end());
+  }
+  return all;
+}
+
+std::size_t Tracer::total_events() const {
+  std::size_t total = 0;
+  for (const Lane& lane : lanes_) {
+    std::lock_guard lock(lane.mutex);
+    total += lane.events.size();
+  }
+  return total;
+}
+
+void Tracer::clear() {
+  for (Lane& lane : lanes_) {
+    std::lock_guard lock(lane.mutex);
+    lane.events.clear();
+  }
+}
+
+// --- Span -------------------------------------------------------------------
+
+Span::Span(std::string name, std::string cat) : active_(enabled()) {
+  if (active_) Tracer::global().begin(std::move(name), std::move(cat));
+}
+
+Span::~Span() { close(); }
+
+void Span::arg(std::string key, std::int64_t value) {
+  if (active_) args_.emplace_back(std::move(key), value);
+}
+
+void Span::close() {
+  if (!active_) return;
+  active_ = false;
+  Tracer::global().end(std::move(args_));
+}
+
+}  // namespace peachy::obs

@@ -1,0 +1,266 @@
+// Unified observability layer: the one tracing/metrics substrate every
+// execution layer feeds (DESIGN.md "Observability").
+//
+// Two facilities share a single process-wide on/off gate:
+//  * Registry — named counters/gauges/histograms. Counter increments land in
+//    per-lane cache-line-sized shards (one relaxed atomic add, no sharing
+//    between threads); scrape-time aggregation sums the shards. Export as
+//    Prometheus-style text or a JSON dump.
+//  * Tracer — nested spans and instant events. Each thread owns a lane
+//    (append-only buffer, like trace::TraceRecorder) and a thread-local
+//    stack of open spans; export is Chrome trace-event JSON loadable in
+//    Perfetto / chrome://tracing.
+//
+// Overhead contract: every instrumentation site is gated on obs::enabled(),
+// a single relaxed atomic load, so the disabled path adds one predictable
+// branch to hot loops and touches no shared state. The gate defaults to the
+// PEACHY_OBS environment variable (unset/"0" = off) and can be flipped at
+// runtime with obs::set_enabled().
+//
+// This library sits *below* peachy_core (core/task_runtime.cpp feeds it),
+// so it only uses core's header-only pieces (error.hpp, timer.hpp) and
+// serializes JSON itself instead of depending on core/json.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace peachy::obs {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// True when instrumentation is recording. One relaxed load — cheap enough
+/// to gate per-tile / per-message hot paths.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Flips the process-wide gate (overrides the PEACHY_OBS environment
+/// default). Returns the previous state.
+bool set_enabled(bool on);
+
+// --- Metrics registry -------------------------------------------------------
+
+/// Monotonic counter. add() increments this thread's shard; value() sums
+/// all shards (scrape-time aggregation, never exact mid-increment).
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1);
+  std::uint64_t value() const;
+  void reset();
+
+ private:
+  friend class Registry;
+  Counter() = default;
+  static constexpr std::size_t kShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+/// Last-write-wins signed gauge (set) with relaxed add for deltas.
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  friend class Registry;
+  Gauge() = default;
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Exponential (power-of-two) histogram of non-negative values: bucket b
+/// holds observations in [2^(b-1), 2^b) (bucket 0 holds {0}). Buckets are
+/// single relaxed atomics — contention is bounded by enabled-path traffic.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void observe(std::int64_t v);
+  std::uint64_t count() const;
+  std::int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Copy of all bucket counts (index = bucket).
+  std::vector<std::uint64_t> buckets() const;
+  void reset();
+
+ private:
+  friend class Registry;
+  Histogram() = default;
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::int64_t> sum_{0};
+};
+
+/// Named metric registry. Lookup by name is mutex-guarded — call sites
+/// should resolve once (e.g. a function-local static reference) and then
+/// hit only the lock-free metric itself.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry every subsystem feeds.
+  static Registry& global();
+
+  /// Get-or-create. A name stays one kind forever (mismatch throws).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Prometheus text exposition: "# TYPE name counter|gauge|histogram" then
+  /// one "name value" line (histograms expand to _count/_sum/_bucket{le=}).
+  /// Names are sorted, so output is deterministic.
+  std::string prometheus_text() const;
+
+  /// JSON dump: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string json_dump() const;
+
+  /// Writes prometheus_text() (or json_dump() when `path` ends in ".json").
+  void write(const std::string& path) const;
+
+  /// Zeroes every metric in place. Outstanding metric references stay
+  /// valid — instrumentation sites may cache them across resets.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// --- Tracer -----------------------------------------------------------------
+
+/// One trace event in Chrome trace-event terms: a complete span ("X", with
+/// duration), an instant ("i") or a counter sample ("C"). Timestamps are
+/// now_ns() (steady clock); tid is the recording thread's obs lane.
+struct TraceEvent {
+  enum class Phase : char { kComplete = 'X', kInstant = 'i' };
+
+  std::string name;
+  std::string cat;
+  Phase ph = Phase::kComplete;
+  std::int64_t ts_ns = 0;
+  std::int64_t dur_ns = 0;  ///< kComplete only
+  int tid = 0;
+  /// Numeric arguments ("args" in the JSON) — enough for ids, sizes, iters.
+  std::vector<std::pair<std::string, std::int64_t>> args;
+};
+
+/// Serializes events as a Chrome trace-event JSON array (ts/dur in
+/// microseconds, sorted by timestamp so every tid's sequence is monotonic).
+/// The result loads in Perfetto and chrome://tracing.
+std::string chrome_trace_json(std::vector<TraceEvent> events);
+
+/// chrome_trace_json() straight to a file.
+void write_chrome_trace(const std::string& path,
+                        std::vector<TraceEvent> events);
+
+/// Collects spans and instants from concurrent threads. Every recording
+/// thread is assigned a process-wide lane id on first use; a lane's buffer
+/// is appended only by its owner (the per-lane mutex it shares with
+/// snapshot() is therefore uncontended on the hot path).
+class Tracer {
+ public:
+  /// `max_lanes` bounds distinct tids; surplus threads hash onto existing
+  /// lanes (buffer stays correct, attribution degrades).
+  explicit Tracer(int max_lanes = 256);
+
+  /// The process-wide tracer every subsystem feeds.
+  static Tracer& global();
+
+  int max_lanes() const { return static_cast<int>(lanes_.size()); }
+
+  /// Opens a nested span on this thread; close with end(). Records nothing
+  /// when obs is disabled (the matching end() is then a no-op too).
+  void begin(std::string name, std::string cat);
+
+  /// Closes this thread's innermost open span, attaching `args`.
+  void end(std::vector<std::pair<std::string, std::int64_t>> args = {});
+
+  /// Records an already-timed span (e.g. a tile measured around a kernel
+  /// call) without touching the span stack.
+  void complete(std::string name, std::string cat, std::int64_t start_ns,
+                std::int64_t end_ns,
+                std::vector<std::pair<std::string, std::int64_t>> args = {});
+
+  /// Records a zero-duration instant event.
+  void instant(std::string name, std::string cat,
+               std::vector<std::pair<std::string, std::int64_t>> args = {});
+
+  /// All events recorded so far (stable within each lane). Safe to call
+  /// concurrently with recording; events being written race only with their
+  /// own lane's mutex, never with readers of other lanes.
+  std::vector<TraceEvent> snapshot() const;
+
+  std::size_t total_events() const;
+  void clear();
+
+  /// Chrome trace-event JSON of everything recorded so far.
+  std::string chrome_json() const { return chrome_trace_json(snapshot()); }
+  void write_chrome_json(const std::string& path) const {
+    write_chrome_trace(path, snapshot());
+  }
+
+ private:
+  struct alignas(64) Lane {
+    mutable std::mutex mutex;
+    std::vector<TraceEvent> events;
+  };
+  struct OpenSpan {
+    Tracer* tracer;
+    std::string name;
+    std::string cat;
+    std::int64_t start_ns;
+  };
+
+  /// This thread's stack of open spans (shared across Tracer instances;
+  /// entries carry their owning tracer).
+  static std::vector<OpenSpan>& span_stack();
+
+  Lane& lane_for_this_thread();
+  int lane_id_for_this_thread();
+  void append(TraceEvent ev);
+
+  std::vector<Lane> lanes_;
+};
+
+/// RAII span on the global tracer: opens at construction when obs is
+/// enabled, closes at destruction. Args may be attached before close.
+class Span {
+ public:
+  Span(std::string name, std::string cat);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a numeric argument to the span (recorded at close).
+  void arg(std::string key, std::int64_t value);
+
+  /// Closes the span now (phase-style spans inside a longer scope); the
+  /// destructor then does nothing.
+  void close();
+
+ private:
+  bool active_;
+  std::vector<std::pair<std::string, std::int64_t>> args_;
+};
+
+}  // namespace peachy::obs

@@ -25,14 +25,15 @@ IterationHook Monitor::hook(IterationHook chained) {
       if (iter == 0) {
         // Iteration 0's start time is unknown; estimate from this sample
         // onwards — record a zero-based anchor instead of guessing.
-        samples_.push_back({iter, 0, changed, delta.tasks, delta.steals});
+        samples_.push_back(
+            {iter, 0, changed, delta.tasks, delta.steals, delta.dispatches});
         last_ns_ = now;
         if (chained) chained(iter, changed);
         return;
       }
     }
-    samples_.push_back(
-        {iter, now - last_ns_, changed, delta.tasks, delta.steals});
+    samples_.push_back({iter, now - last_ns_, changed, delta.tasks,
+                        delta.steals, delta.dispatches});
     last_ns_ = now;
     if (chained) chained(iter, changed);
   };
@@ -59,11 +60,11 @@ std::uint64_t Monitor::total_steals() const {
 
 void Monitor::write_csv(const std::string& path) const {
   CsvWriter csv(path);
-  csv.row({"iteration", "wall_ns", "changed", "tasks", "steals"});
+  csv.row({"iteration", "wall_ns", "changed", "tasks", "steals", "dispatches"});
   for (const IterationSample& s : samples_)
     csv.row({std::to_string(s.iteration), std::to_string(s.wall_ns),
              s.changed ? "1" : "0", std::to_string(s.tasks),
-             std::to_string(s.steals)});
+             std::to_string(s.steals), std::to_string(s.dispatches)});
 }
 
 Experiment::Experiment(std::vector<std::string> factors,

@@ -25,6 +25,8 @@ struct IterationSample {
   bool changed = false;
   std::uint64_t tasks = 0;   ///< runtime chunks run this iteration (watched)
   std::uint64_t steals = 0;  ///< runtime steals this iteration (watched)
+  std::uint64_t dispatches = 0;  ///< parallel_for dispatches this iteration
+                                 ///< (watched)
 };
 
 /// Samples per-iteration wall time through the Runner's iteration hook.
@@ -53,7 +55,7 @@ class Monitor {
   /// Total runtime steals over all sampled iterations.
   std::uint64_t total_steals() const;
 
-  /// Writes "iteration,wall_ns,changed,tasks,steals" rows.
+  /// Writes "iteration,wall_ns,changed,tasks,steals,dispatches" rows.
   void write_csv(const std::string& path) const;
 
  private:

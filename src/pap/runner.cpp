@@ -6,6 +6,7 @@
 #include <atomic>
 
 #include "core/timer.hpp"
+#include "obs/obs.hpp"
 
 namespace peachy::pap {
 
@@ -30,6 +31,12 @@ void apply_schedule(Schedule s) {
     case Schedule::kGuided: omp_set_schedule(omp_sched_guided, 1); break;
     case Schedule::kWorkStealing: break;  // runs on the task runtime
   }
+}
+
+// Tile span on the executing thread's tracer lane (any scheduling policy).
+inline void obs_tile(std::int64_t t0, const Tile& t, int iter) {
+  obs::Tracer::global().complete("tile", "pap", t0, now_ns(),
+                                 {{"iter", iter}, {"y0", t.y0}, {"x0", t.x0}});
 }
 
 }  // namespace
@@ -71,6 +78,7 @@ int Runner::execute_eager(const TileKernel& kernel, int iter,
                           std::size_t* tasks, int parity_phases) {
   const int n = tiles_.count();
   TraceRecorder* trace = options_.trace;
+  const bool obs_on = obs::enabled();  // hoisted: one gate per iteration
 
   if (options_.schedule == Schedule::kWorkStealing) {
     std::atomic<int> changed_any{0};
@@ -89,12 +97,13 @@ int Runner::execute_eager(const TileKernel& kernel, int iter,
             for (std::size_t i = lo; i < hi; ++i) {
               const Tile t = tiles_.tile(static_cast<int>(i));
               if (filter && ((t.ty + t.tx) & 1) != phase) continue;
-              const std::int64_t t0 = trace ? now_ns() : 0;
+              const std::int64_t t0 = (trace || obs_on) ? now_ns() : 0;
               local_changed |= kernel(t, iter) ? 1 : 0;
               if (trace) {
                 trace->record(TaskRecord{iter, TaskArena::current_lane(),
                                          t.y0, t.x0, t.h, t.w, t0, now_ns()});
               }
+              if (obs_on) obs_tile(t0, t, iter);
               ++local_executed;
             }
             if (local_changed) changed_any.store(1, std::memory_order_relaxed);
@@ -117,12 +126,13 @@ int Runner::execute_eager(const TileKernel& kernel, int iter,
     for (int i = 0; i < n; ++i) {
       const Tile t = tiles_.tile(i);
       if (filter && ((t.ty + t.tx) & 1) != phase) continue;
-      const std::int64_t t0 = trace ? now_ns() : 0;
+      const std::int64_t t0 = (trace || obs_on) ? now_ns() : 0;
       const bool changed = kernel(t, iter);
       if (trace) {
         trace->record(TaskRecord{iter, omp_get_thread_num(), t.y0, t.x0, t.h,
                                  t.w, t0, now_ns()});
       }
+      if (obs_on) obs_tile(t0, t, iter);
       changed_any |= changed ? 1 : 0;
       ++executed;
     }
@@ -139,6 +149,7 @@ int Runner::execute_lazy(const TileKernel& kernel, int iter,
                          std::size_t* tasks, int parity_phases) {
   const int n = tiles_.count();
   TraceRecorder* trace = options_.trace;
+  const bool obs_on = obs::enabled();  // hoisted: one gate per iteration
   const bool ws = options_.schedule == Schedule::kWorkStealing;
   if (!ws) apply_schedule(options_.schedule);
   const int num_threads =
@@ -166,12 +177,13 @@ int Runner::execute_lazy(const TileKernel& kernel, int iter,
           [&](std::size_t lo, std::size_t hi) {
             for (std::size_t k = lo; k < hi; ++k) {
               const Tile t = tiles_.tile(work_[k]);
-              const std::int64_t t0 = trace ? now_ns() : 0;
+              const std::int64_t t0 = (trace || obs_on) ? now_ns() : 0;
               const bool changed = kernel(t, iter);
               if (trace) {
                 trace->record(TaskRecord{iter, TaskArena::current_lane(),
                                          t.y0, t.x0, t.h, t.w, t0, now_ns()});
               }
+              if (obs_on) obs_tile(t0, t, iter);
               if (changed)
                 changed_[static_cast<std::size_t>(TaskArena::current_lane())]
                     .push_back(t.index);
@@ -182,12 +194,13 @@ int Runner::execute_lazy(const TileKernel& kernel, int iter,
 #pragma omp parallel for schedule(runtime) num_threads(num_threads)
       for (int k = 0; k < m; ++k) {
         const Tile t = tiles_.tile(work_[static_cast<std::size_t>(k)]);
-        const std::int64_t t0 = trace ? now_ns() : 0;
+        const std::int64_t t0 = (trace || obs_on) ? now_ns() : 0;
         const bool changed = kernel(t, iter);
         if (trace) {
           trace->record(TaskRecord{iter, omp_get_thread_num(), t.y0, t.x0, t.h,
                                    t.w, t0, now_ns()});
         }
+        if (obs_on) obs_tile(t0, t, iter);
         if (changed)
           changed_[static_cast<std::size_t>(omp_get_thread_num())]
               .push_back(t.index);
@@ -236,10 +249,15 @@ RunResult Runner::run(const TileKernel& kernel) {
 
   for (int iter = 0;; ++iter) {
     if (options_.max_iterations > 0 && iter >= options_.max_iterations) break;
+    obs::Span span("pap.iteration", "pap");
+    const std::size_t tasks_before = result.tasks;
     const int changed =
         options_.lazy
             ? execute_lazy(kernel, iter, &result.tasks, parity_phases)
             : execute_eager(kernel, iter, &result.tasks, parity_phases);
+    span.arg("iter", iter);
+    span.arg("changed", changed);
+    span.arg("tasks", static_cast<std::int64_t>(result.tasks - tasks_before));
     ++result.iterations;
     if (options_.on_iteration) options_.on_iteration(iter, changed != 0);
     if (!changed) {
@@ -250,6 +268,17 @@ RunResult Runner::run(const TileKernel& kernel) {
 
   if (ws) result.steals = (arena().counters() - before).steals;
   result.elapsed_ns = timer.elapsed_ns();
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    static obs::Counter& runs = reg.counter("pap.runs");
+    static obs::Counter& iters = reg.counter("pap.iterations");
+    static obs::Counter& tile_tasks = reg.counter("pap.tile_tasks");
+    static obs::Histogram& iter_ns = reg.histogram("pap.run_ns");
+    runs.add(1);
+    iters.add(static_cast<std::uint64_t>(result.iterations));
+    tile_tasks.add(result.tasks);
+    iter_ns.observe(result.elapsed_ns);
+  }
   return result;
 }
 

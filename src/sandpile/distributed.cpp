@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace peachy::sandpile {
 
 namespace {
@@ -70,15 +72,21 @@ DistributedResult stabilize_distributed(const Field& initial,
 
       // --- Halo exchange (mpp sends never block, so send-then-recv is
       // deadlock-free in any order).
-      if (rank > 0)
-        comm.send(rank - 1, kTagUp, blk.cur.row(k), row_cells * k);
-      if (rank < R - 1)
-        comm.send(rank + 1, kTagDown, blk.cur.row(blk.owned()), row_cells * k);
-      if (rank > 0)
-        comm.recv(rank - 1, kTagDown, blk.cur.row(0), row_cells * k);
-      if (rank < R - 1)
-        comm.recv(rank + 1, kTagUp, blk.cur.row(blk.owned() + k),
-                  row_cells * k);
+      {
+        obs::Span exchange("sandpile.ghost_exchange", "sandpile");
+        exchange.arg("rank", rank);
+        exchange.arg("round", round);
+        if (rank > 0)
+          comm.send(rank - 1, kTagUp, blk.cur.row(k), row_cells * k);
+        if (rank < R - 1)
+          comm.send(rank + 1, kTagDown, blk.cur.row(blk.owned()),
+                    row_cells * k);
+        if (rank > 0)
+          comm.recv(rank - 1, kTagDown, blk.cur.row(0), row_cells * k);
+        if (rank < R - 1)
+          comm.recv(rank + 1, kTagUp, blk.cur.row(blk.owned() + k),
+                    row_cells * k);
+      }
 
       // --- k synchronous sub-iterations on a shrinking valid band.
       bool changed_owned = false;
@@ -105,6 +113,8 @@ DistributedResult stabilize_distributed(const Field& initial,
       }
 
       ++round;
+      if (rank == 0 && obs::enabled())
+        obs::Registry::global().counter("sandpile.exchange_rounds").add(1);
       if (!comm.allreduce_or(changed_owned)) {
         globally_stable = true;
         break;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace peachy::sandpile {
 
 namespace {
@@ -100,6 +102,10 @@ Distributed2dResult stabilize_distributed_2d(const Field& initial,
     for (;;) {
       if (opt.max_rounds > 0 && round >= opt.max_rounds) break;
 
+      obs::Span exchange("sandpile.ghost_exchange", "sandpile");
+      exchange.arg("rank", comm.rank());
+      exchange.arg("round", round);
+
       // Phase 1: vertical exchange (owned-column strips).
       if (north >= 0) {
         pack_rows(k, row_out);
@@ -136,6 +142,7 @@ Distributed2dResult stabilize_distributed_2d(const Field& initial,
         comm.recv(east, kTagWest, col_in.data(), col_in.size());
         unpack_cols(blk.cols() + k, col_in);
       }
+      exchange.close();
 
       // k synchronous sub-iterations on a band shrinking in both axes.
       bool changed_owned = false;

@@ -3,6 +3,8 @@
 #include <limits>
 #include <utility>
 
+#include "obs/obs.hpp"
+
 namespace peachy::sim {
 
 void Engine::schedule_at(Time t, std::function<void()> fn) {
@@ -17,6 +19,7 @@ std::size_t Engine::run() {
 }
 
 std::size_t Engine::run_until(Time horizon) {
+  obs::Span span("sim.run", "sim");
   std::size_t n = 0;
   while (!queue_.empty() && queue_.top().t <= horizon) {
     // priority_queue::top() is const; move the callback out via const_cast,
@@ -27,6 +30,12 @@ std::size_t Engine::run_until(Time horizon) {
     ev.fn();
     ++n;
     ++processed_;
+  }
+  span.arg("events", static_cast<std::int64_t>(n));
+  if (n != 0 && obs::enabled()) {
+    static obs::Counter& events =
+        obs::Registry::global().counter("sim.events");
+    events.add(n);
   }
   return n;
 }

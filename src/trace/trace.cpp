@@ -54,6 +54,32 @@ void TraceRecorder::clear() {
   for (auto& lane : lanes_) lane.clear();
 }
 
+std::vector<obs::TraceEvent> to_trace_events(
+    const std::vector<TaskRecord>& records) {
+  std::vector<obs::TraceEvent> events;
+  events.reserve(records.size());
+  for (const TaskRecord& r : records) {
+    obs::TraceEvent ev;
+    ev.name = "tile";
+    ev.cat = "pap";
+    ev.ph = obs::TraceEvent::Phase::kComplete;
+    ev.ts_ns = r.start_ns;
+    ev.dur_ns = r.duration_ns();
+    ev.tid = r.worker;
+    ev.args = {{"iter", r.iteration},
+               {"y0", r.y0},
+               {"x0", r.x0},
+               {"h", r.h},
+               {"w", r.w}};
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+void TraceRecorder::write_chrome_json(const std::string& path) const {
+  obs::write_chrome_trace(path, to_trace_events(merged()));
+}
+
 void TraceRecorder::write_csv(const std::string& path) const {
   CsvWriter csv(path);
   csv.row({"iteration", "worker", "y0", "x0", "h", "w", "start_ns", "end_ns"});

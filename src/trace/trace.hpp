@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/image.hpp"
+#include "obs/obs.hpp"
 
 namespace peachy {
 
@@ -54,9 +55,20 @@ class TraceRecorder {
   /// Writes all records as CSV: iteration,worker,y0,x0,h,w,start_ns,end_ns.
   void write_csv(const std::string& path) const;
 
+  /// Writes all records as Chrome trace-event JSON (see to_trace_events),
+  /// loadable in Perfetto / chrome://tracing.
+  void write_chrome_json(const std::string& path) const;
+
  private:
   std::vector<std::vector<TaskRecord>> lanes_;
 };
+
+/// Converts task records into Chrome trace events: one complete ("X") span
+/// per task named "tile", tid = worker lane, args = iteration and tile
+/// rectangle. Feed the result to obs::chrome_trace_json / write_chrome_trace
+/// (optionally merged with an obs::Tracer snapshot).
+std::vector<obs::TraceEvent> to_trace_events(
+    const std::vector<TaskRecord>& records);
 
 /// Summary of one iteration of a trace (the numbers behind Fig. 3).
 struct IterationSummary {

@@ -5,6 +5,7 @@
 #include <deque>
 #include <set>
 
+#include "obs/obs.hpp"
 #include "sim/engine.hpp"
 
 namespace peachy::wf {
@@ -269,12 +270,32 @@ void SimState::start_task(int task) {
     result.cloud_busy_vm_s += duration;
     ++result.tasks_on_cloud;
   }
+  if (obs::enabled()) {
+    // Task lifecycle: wall timestamps order events; sim-time lives in args
+    // (milliseconds, since trace args are integral).
+    obs::Tracer::global().instant(
+        "wf.task_start", "wfsim",
+        {{"task", task},
+         {"site", site == Site::kCluster ? 0 : 1},
+         {"sim_ms", static_cast<std::int64_t>(engine.now() * 1e3)}});
+    obs::Registry::global()
+        .counter(site == Site::kCluster ? "wfsim.tasks_cluster"
+                                        : "wfsim.tasks_cloud")
+        .add(1);
+  }
   engine.schedule_in(duration, [this, task] { on_task_done(task); });
 }
 
 void SimState::on_task_done(int task) {
   const Site site = site_of(task);
   const int si = site_index(site);
+  if (obs::enabled()) {
+    obs::Tracer::global().instant(
+        "wf.task_done", "wfsim",
+        {{"task", task},
+         {"site", site == Site::kCluster ? 0 : 1},
+         {"sim_ms", static_cast<std::int64_t>(engine.now() * 1e3)}});
+  }
   for (int fid : wf->task(task).outputs)
     present[static_cast<std::size_t>(si)][static_cast<std::size_t>(fid)] = true;
   if (site == Site::kCluster) {
@@ -361,7 +382,12 @@ SimResult simulate(const Workflow& wf, const Platform& platform,
     }
   }
   st.engine.schedule_at(0.0, [&st] { st.try_dispatch(); });
-  st.engine.run();
+  {
+    obs::Span span("wf.simulate", "wfsim");
+    span.arg("tasks", wf.num_tasks());
+    span.arg("files", wf.num_files());
+    st.engine.run();
+  }
 
   PEACHY_REQUIRE(st.tasks_done == wf.num_tasks(),
                  "simulation stalled: " << st.tasks_done << " of "

@@ -1,0 +1,298 @@
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/json.hpp"
+#include "core/timer.hpp"
+#include "pap/runner.hpp"
+#include "trace/trace.hpp"
+
+namespace peachy::obs {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Enables the gate for the test body and restores the prior state after.
+class ObsEnabled : public ::testing::Test {
+ protected:
+  void SetUp() override { prev_ = set_enabled(true); }
+  void TearDown() override { set_enabled(prev_); }
+
+ private:
+  bool prev_ = false;
+};
+
+TEST(ObsGate, SetEnabledReturnsPreviousState) {
+  const bool prev = set_enabled(true);
+  EXPECT_TRUE(set_enabled(false));
+  EXPECT_FALSE(enabled());
+  set_enabled(prev);
+}
+
+TEST(ObsRegistry, CounterSumsShardsAcrossThreads) {
+  Registry r;
+  Counter& c = r.counter("test.adds");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t)
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.add();
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), 80000u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsRegistry, NamesAreStickyPerKind) {
+  Registry r;
+  Counter& a = r.counter("metric");
+  Counter& b = r.counter("metric");
+  EXPECT_EQ(&a, &b);
+  EXPECT_THROW(r.gauge("metric"), Error);
+  EXPECT_THROW(r.histogram("metric"), Error);
+}
+
+TEST(ObsRegistry, GaugeSetsAndAdds) {
+  Registry r;
+  Gauge& g = r.gauge("lanes");
+  g.set(4);
+  g.add(-1);
+  EXPECT_EQ(g.value(), 3);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(ObsRegistry, HistogramUsesPowerOfTwoBuckets) {
+  Registry r;
+  Histogram& h = r.histogram("ns");
+  h.observe(0);     // bucket 0
+  h.observe(1);     // bucket 1: [1,2)
+  h.observe(2);     // bucket 2: [2,4)
+  h.observe(3);     // bucket 2
+  h.observe(1000);  // bucket 10: [512,1024)
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 1006);
+  const auto buckets = h.buckets();
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 2u);
+  EXPECT_EQ(buckets[10], 1u);
+}
+
+TEST(ObsRegistry, PrometheusTextExposition) {
+  Registry r;
+  r.counter("pap.tile_tasks").add(7);
+  r.gauge("arena.lanes").set(4);
+  r.histogram("run.ns").observe(5);  // bucket 3, le="8"
+  const std::string text = r.prometheus_text();
+  EXPECT_NE(text.find("# TYPE pap_tile_tasks counter\npap_tile_tasks 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE arena_lanes gauge\narena_lanes 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE run_ns histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("run_ns_bucket{le=\"8\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("run_ns_bucket{le=\"+Inf\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("run_ns_sum 5\n"), std::string::npos);
+  EXPECT_NE(text.find("run_ns_count 1\n"), std::string::npos);
+}
+
+TEST(ObsRegistry, JsonDumpParsesBackWithCoreJson) {
+  Registry r;
+  r.counter("pap.tile_tasks").add(7);
+  r.gauge("arena.lanes").set(-2);
+  r.histogram("run.ns").observe(5);
+  const json::Value doc = json::parse(r.json_dump());
+  EXPECT_EQ(doc.at("counters").at("pap.tile_tasks").as_int(), 7);
+  EXPECT_EQ(doc.at("gauges").at("arena.lanes").as_int(), -2);
+  const json::Value& h = doc.at("histograms").at("run.ns");
+  EXPECT_EQ(h.at("count").as_int(), 1);
+  EXPECT_EQ(h.at("sum").as_int(), 5);
+  ASSERT_EQ(h.at("buckets").as_array().size(), 4u);  // trimmed after bucket 3
+  EXPECT_EQ(h.at("buckets").as_array()[3].as_int(), 1);
+}
+
+TEST(ObsRegistry, ResetKeepsCachedReferencesValid) {
+  Registry r;
+  Counter& c = r.counter("c");
+  c.add(5);
+  r.reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(1);  // instrumentation sites cache references across resets
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(ObsRegistry, WritePicksFormatFromExtension) {
+  const auto dir = std::filesystem::temp_directory_path() / "peachy_obs_reg";
+  std::filesystem::create_directories(dir);
+  Registry r;
+  r.counter("hits").add(3);
+  const std::string json_path = (dir / "m.json").string();
+  const std::string text_path = (dir / "m.txt").string();
+  r.write(json_path);
+  r.write(text_path);
+  EXPECT_EQ(json::parse(read_file(json_path)).at("counters").at("hits").as_int(),
+            3);
+  EXPECT_EQ(read_file(text_path).rfind("# TYPE", 0), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ObsTracer, DisabledTracerRecordsNothing) {
+  const bool prev = set_enabled(false);
+  Tracer t(4);
+  t.begin("a", "test");
+  t.end();
+  t.instant("b", "test");
+  t.complete("c", "test", 0, 10);
+  EXPECT_EQ(t.total_events(), 0u);
+  set_enabled(prev);
+}
+
+TEST_F(ObsEnabled, MismatchedEndIsNoOp) {
+  Tracer t(4);
+  t.end();  // nothing open on this tracer — must not crash or record
+  EXPECT_EQ(t.total_events(), 0u);
+}
+
+TEST_F(ObsEnabled, NestedSpansExportContainedChromeEvents) {
+  Tracer t(4);
+  t.begin("outer", "test");
+  t.begin("inner", "test");
+  t.end({{"k", 42}});
+  t.end();
+  ASSERT_EQ(t.total_events(), 2u);
+
+  const json::Value doc = json::parse(t.chrome_json());
+  const json::Array& events = doc.as_array();
+  ASSERT_EQ(events.size(), 2u);
+  double outer_ts = -1, outer_end = -1, inner_ts = -1, inner_end = -1;
+  for (const json::Value& ev : events) {
+    EXPECT_EQ(ev.at("ph").as_string(), "X");
+    EXPECT_TRUE(ev.at("ts").is_number());
+    EXPECT_TRUE(ev.at("dur").is_number());
+    EXPECT_TRUE(ev.at("tid").is_number());
+    const double ts = ev.at("ts").as_number();
+    const double end = ts + ev.at("dur").as_number();
+    if (ev.at("name").as_string() == "outer") {
+      outer_ts = ts;
+      outer_end = end;
+    } else {
+      EXPECT_EQ(ev.at("name").as_string(), "inner");
+      EXPECT_EQ(ev.at("args").at("k").as_int(), 42);
+      inner_ts = ts;
+      inner_end = end;
+    }
+  }
+  // The inner span nests inside the outer one (1 ns of slack for the
+  // microsecond rounding in the export).
+  const double eps = 0.0011;
+  EXPECT_GE(inner_ts, outer_ts - eps);
+  EXPECT_LE(inner_end, outer_end + eps);
+}
+
+TEST_F(ObsEnabled, ChromeJsonIsSortedRebasedAndMarksInstants) {
+  Tracer t(4);
+  t.complete("late", "test", 2000, 3000);
+  t.complete("early", "test", 1000, 1500);
+  t.instant("now", "test", {{"x", 1}});
+  const json::Value doc = json::parse(t.chrome_json());
+  const json::Array& events = doc.as_array();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].at("name").as_string(), "early");
+  EXPECT_EQ(events[0].at("ts").as_number(), 0.0);  // rebased to first event
+  double prev = 0.0;
+  for (const json::Value& ev : events) {
+    EXPECT_GE(ev.at("ts").as_number(), prev);  // monotonic after sort
+    prev = ev.at("ts").as_number();
+    if (ev.at("ph").as_string() == "i") {
+      EXPECT_EQ(ev.at("s").as_string(), "t");
+      EXPECT_FALSE(ev.contains("dur"));
+    } else {
+      EXPECT_TRUE(ev.contains("dur"));
+    }
+  }
+  EXPECT_EQ(events[1].at("dur").as_number(), 1.0);  // 1000 ns = 1 µs
+}
+
+TEST_F(ObsEnabled, TaskRecordsConvertToChromeTrace) {
+  TraceRecorder rec(2);
+  rec.record(TaskRecord{0, 0, 0, 0, 8, 8, 1000, 3000});
+  rec.record(TaskRecord{0, 1, 8, 0, 8, 8, 1500, 2500});
+  const std::vector<TraceEvent> events = to_trace_events(rec.merged());
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "tile");
+  EXPECT_EQ(events[0].tid, 0);
+  EXPECT_EQ(events[1].tid, 1);
+  EXPECT_EQ(events[0].dur_ns, 2000);
+
+  const auto dir = std::filesystem::temp_directory_path() / "peachy_obs_trace";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "trace.json").string();
+  rec.write_chrome_json(path);
+  const json::Value doc = json::parse(read_file(path));
+  const json::Array& arr = doc.as_array();
+  ASSERT_EQ(arr.size(), 2u);
+  for (const json::Value& ev : arr) {
+    EXPECT_EQ(ev.at("ph").as_string(), "X");
+    EXPECT_EQ(ev.at("name").as_string(), "tile");
+    EXPECT_TRUE(ev.at("args").contains("iter"));
+    EXPECT_TRUE(ev.at("args").contains("y0"));
+  }
+  EXPECT_EQ(arr[0].at("tid").as_int(), 0);
+  EXPECT_EQ(arr[1].at("tid").as_int(), 1);
+  EXPECT_EQ(arr[1].at("dur").as_number(), 1.0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ObsEnabled, SpanRaiiRecordsOnGlobalTracer) {
+  Tracer::global().clear();
+  {
+    Span span("raii.test", "test");
+    span.arg("k", 7);
+  }
+  int hits = 0;
+  for (const TraceEvent& ev : Tracer::global().snapshot())
+    if (ev.name == "raii.test") {
+      ++hits;
+      ASSERT_EQ(ev.args.size(), 1u);
+      EXPECT_EQ(ev.args[0].second, 7);
+    }
+  EXPECT_EQ(hits, 1);
+  Tracer::global().clear();
+}
+
+// End-to-end: a Runner iteration feeds both the global registry and the
+// global tracer (the instrumentation the CLI's --trace/--metrics expose).
+TEST_F(ObsEnabled, RunnerFeedsGlobalRegistryAndTracer) {
+  Tracer::global().clear();
+  const std::uint64_t runs_before =
+      Registry::global().counter("pap.runs").value();
+  pap::TileGrid tiles(16, 16, 8, 8);
+  pap::RunOptions opt;
+  opt.max_iterations = 2;
+  pap::Runner(tiles, opt).run([](const pap::Tile&, int) { return true; });
+  EXPECT_EQ(Registry::global().counter("pap.runs").value(), runs_before + 1);
+  int iteration_spans = 0, tile_spans = 0;
+  for (const TraceEvent& ev : Tracer::global().snapshot()) {
+    if (ev.name == "pap.iteration") ++iteration_spans;
+    if (ev.name == "tile") ++tile_spans;
+  }
+  EXPECT_EQ(iteration_spans, 2);
+  EXPECT_EQ(tile_spans, 2 * 4);  // 4 tiles per iteration
+  Tracer::global().clear();
+}
+
+}  // namespace
+}  // namespace peachy::obs

@@ -80,7 +80,9 @@ TEST(Monitor, CsvExport) {
   monitor.write_csv(path);
   const auto rows = read_csv(path);
   ASSERT_EQ(rows.size(), 3u);
+  ASSERT_EQ(rows[0].size(), 6u);
   EXPECT_EQ(rows[0][0], "iteration");
+  EXPECT_EQ(rows[0][5], "dispatches");
   EXPECT_EQ(rows[1][2], "1");
   std::filesystem::remove_all(dir);
 }
@@ -98,9 +100,14 @@ TEST(Monitor, WatchedArenaCountersSampledPerIteration) {
   Runner(tiles, opt).run([](const Tile&, int) { return true; });
   ASSERT_EQ(monitor.samples().size(), 3u);
   std::uint64_t tasks = 0;
-  for (const IterationSample& s : monitor.samples()) tasks += s.tasks;
+  std::uint64_t dispatches = 0;
+  for (const IterationSample& s : monitor.samples()) {
+    tasks += s.tasks;
+    dispatches += s.dispatches;
+  }
   EXPECT_GE(tasks, 16u * 3);  // every tile chunk shows up in some sample
   EXPECT_LE(monitor.total_steals(), tasks);
+  EXPECT_GE(dispatches, 3u);  // one parallel_for dispatch per iteration
 }
 
 TEST(Monitor, UnwatchedRunsReportZeroRuntimeCounters) {
@@ -113,6 +120,7 @@ TEST(Monitor, UnwatchedRunsReportZeroRuntimeCounters) {
   for (const IterationSample& s : monitor.samples()) {
     EXPECT_EQ(s.tasks, 0u);
     EXPECT_EQ(s.steals, 0u);
+    EXPECT_EQ(s.dispatches, 0u);
   }
 }
 

@@ -24,6 +24,19 @@ TEST(TraceRecorder, RequiresWorkerLane) {
   EXPECT_THROW(t.record(rec(0, -1, 0, 0, 1, 1, 0, 1)), Error);
 }
 
+TEST(TraceRecorder, RejectsOutOfRangeWorkerWithoutCorruptingLanes) {
+  // Regression: an out-of-range worker id must be rejected up front, not
+  // index lanes_[] out of bounds, and must leave prior records intact.
+  TraceRecorder t(3);
+  t.record(rec(0, 0, 0, 0, 1, 1, 0, 1));
+  t.record(rec(0, 2, 0, 0, 1, 1, 1, 2));  // last valid lane is fine
+  EXPECT_THROW(t.record(rec(0, 3, 0, 0, 1, 1, 2, 3)), Error);
+  EXPECT_THROW(t.record(rec(0, 1000000, 0, 0, 1, 1, 2, 3)), Error);
+  EXPECT_THROW(t.record(rec(0, -1000000, 0, 0, 1, 1, 2, 3)), Error);
+  EXPECT_EQ(t.total_tasks(), 2u);
+  EXPECT_EQ(t.merged().size(), 2u);
+}
+
 TEST(TraceRecorder, MergedSortsByIterationThenStart) {
   TraceRecorder t(2);
   t.record(rec(1, 0, 0, 0, 8, 8, 50, 60));
