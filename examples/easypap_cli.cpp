@@ -33,11 +33,19 @@
 //   --monitor PATH   write per-iteration wall times CSV
 //   --check          verify against the sequential reference
 //   --list           list variants and exit
+//
+// Distributed mode (replaces the variant run when --ranks is given):
+//   --ranks N            distribute over N message-passing ranks (1-D)
+//   --halo K             ghost-cell halo depth (default 1)
+//   --transport NAME     inproc | tcp (default inproc)
+//   --spawn              ranks are real worker processes (implies tcp)
+//   --net-fault-seed S   seeded frame drop/duplication on the tcp wire
 #include <iostream>
 
 #include "core/args.hpp"
 #include "core/table.hpp"
 #include "pap/monitor.hpp"
+#include "sandpile/distributed.hpp"
 #include "sandpile/field.hpp"
 #include "sandpile/variants.hpp"
 #include "trace/trace.hpp"
@@ -67,12 +75,13 @@ pap::Schedule schedule_by_name(const std::string& name) {
 
 int main(int argc, char** argv) {
   try {
-    const std::set<std::string> flags = {"check", "list"};
+    const std::set<std::string> flags = {"check", "list", "spawn"};
     const Args args(argc, argv, flags);
     const auto unknown = args.unknown_options(
         {"variant", "config", "size", "grains", "density", "seed", "tile",
          "threads", "schedule", "iterations", "dump", "trace", "metrics",
-         "monitor", "check", "list"});
+         "monitor", "check", "list", "ranks", "halo", "transport", "spawn",
+         "net-fault-seed"});
     if (!unknown.empty()) {
       std::cerr << "unknown option --" << unknown.front() << "\n";
       return 2;
@@ -98,6 +107,69 @@ int main(int argc, char** argv) {
       throw Error("unknown config \"" + config + "\"");
     }();
     const Field initial = field;
+
+    if (args.has("ranks")) {
+      // Distributed mode: the grid is block-partitioned over message-passing
+      // ranks instead of tiled over OpenMP threads.
+      DistributedOptions opt;
+      opt.ranks = args.get_int("ranks", 2);
+      opt.halo_depth = args.get_int("halo", 1);
+      opt.run.transport =
+          mpp::transport_from_string(args.get("transport", "inproc"));
+      opt.run.spawn = args.has("spawn");
+      if (opt.run.spawn) opt.run.transport = mpp::TransportKind::kTcp;
+      const auto fault_seed =
+          static_cast<std::uint64_t>(args.get_int("net-fault-seed", 0));
+      if (fault_seed) {
+        opt.run.tcp.fault.seed = fault_seed;
+        opt.run.tcp.fault.drop = 0.02;
+        opt.run.tcp.fault.duplicate = 0.02;
+        opt.run.tcp.ack_timeout_ms = 20;
+      }
+
+      const DistributedResult out = stabilize_distributed(initial, opt);
+
+      TextTable table({"metric", "value"});
+      table.row({"mode", std::string("distributed (") +
+                             (opt.run.spawn ? "spawned processes + tcp"
+                                            : mpp::to_string(opt.run.transport)) +
+                             ")"});
+      table.row({"config", config + " " + std::to_string(size) + "x" +
+                               std::to_string(size)});
+      table.row({"ranks", TextTable::num(static_cast<std::int64_t>(opt.ranks))});
+      table.row({"halo depth",
+                 TextTable::num(static_cast<std::int64_t>(opt.halo_depth))});
+      table.row({"exchange rounds",
+                 TextTable::num(static_cast<std::int64_t>(out.rounds))});
+      table.row({"iterations",
+                 TextTable::num(static_cast<std::int64_t>(out.iterations))});
+      table.row({"stable", out.stable ? "yes" : "no (capped)"});
+      table.row({"messages", TextTable::num(static_cast<std::int64_t>(
+                                 out.comm.messages_sent))});
+      table.row({"MB sent",
+                 TextTable::num(static_cast<double>(out.comm.bytes_sent) / 1e6,
+                                2)});
+      table.row({"retransmits", TextTable::num(static_cast<std::int64_t>(
+                                    out.net.retransmits))});
+
+      if (args.has("check")) {
+        Field reference = initial;
+        stabilize_reference(reference);
+        const bool ok = out.stable && out.field.same_interior(reference);
+        table.row({"matches reference", ok ? "yes" : "NO"});
+        if (!ok && out.stable) {
+          table.print(std::cout);
+          return 1;
+        }
+      }
+      table.print(std::cout);
+
+      if (args.has("dump")) {
+        out.field.render().write_ppm(args.get("dump", ""));
+        std::cout << "state image: " << args.get("dump", "") << "\n";
+      }
+      return 0;
+    }
 
     VariantOptions opt;
     opt.tile_h = opt.tile_w = args.get_int("tile", 32);

@@ -6,40 +6,102 @@
 // halos exchange every iteration. Prints the communication/computation
 // trade-off and verifies every configuration against the sequential
 // reference.
+//
+// By default the ranks are threads exchanging through in-process mailboxes;
+// with --transport tcp every halo crosses a real loopback socket, and with
+// --spawn the ranks become separate worker processes. --net-fault-seed
+// turns on deterministic frame drop/duplication to show the wire protocol
+// absorbing faults.
+#include <cstdlib>
 #include <iostream>
 
+#include "core/args.hpp"
 #include "core/table.hpp"
 #include "sandpile/distributed.hpp"
 #include "sandpile/field.hpp"
 
-int main() {
+namespace {
+
+void usage() {
+  std::cout <<
+      "ghost_cells_demo [options]\n"
+      "  --size N             grid side length (default 256)\n"
+      "  --grains N           grains on the center cell (default 60000)\n"
+      "  --ranks N            message-passing ranks (default 4)\n"
+      "  --transport NAME     inproc | tcp (default inproc)\n"
+      "  --spawn              ranks are real processes (implies tcp)\n"
+      "  --net-fault-seed S   inject seeded frame drops/duplicates (tcp)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace peachy;
   using namespace peachy::sandpile;
 
-  const int size = 256;
-  const Field initial = center_pile(size, size, 60000);
+  const Args args(argc, argv, {"spawn", "help"});
+  if (args.has("help")) {
+    usage();
+    return 0;
+  }
+  const auto unknown = args.unknown_options(
+      {"size", "grains", "ranks", "transport", "spawn", "net-fault-seed",
+       "help"});
+  if (!unknown.empty()) {
+    std::cerr << "unknown option --" << unknown.front() << "\n";
+    usage();
+    return 2;
+  }
+
+  const int size = args.get_int("size", 256);
+  const int grains = args.get_int("grains", 60000);
+  const int ranks = args.get_int("ranks", 4);
+
+  mpp::RunOptions run;
+  run.transport = mpp::transport_from_string(args.get("transport", "inproc"));
+  run.spawn = args.has("spawn");
+  if (run.spawn) run.transport = mpp::TransportKind::kTcp;
+  const std::uint64_t fault_seed = static_cast<std::uint64_t>(
+      args.get_int("net-fault-seed", 0));
+  if (fault_seed) {
+    run.tcp.fault.seed = fault_seed;
+    run.tcp.fault.drop = 0.02;
+    run.tcp.fault.duplicate = 0.02;
+    run.tcp.ack_timeout_ms = 20;
+  }
+
+  const Field initial = center_pile(size, size, static_cast<Cell>(grains));
   Field reference = initial;
   stabilize_reference(reference);
-  std::cout << "distributed sandpile: " << size << "x" << size
-            << ", 60 000 grains centered, 4 ranks (in-process message "
-               "passing)\n\n";
+  std::cout << "distributed sandpile: " << size << "x" << size << ", "
+            << grains << " grains centered, " << ranks << " ranks over "
+            << (run.spawn ? "spawned processes + tcp"
+                          : mpp::to_string(run.transport))
+            << "\n\n";
 
   TextTable table({"halo depth k", "exchange rounds", "iterations",
-                   "messages", "MB sent", "matches reference"});
+                   "messages", "MB sent", "retransmits",
+                   "matches reference"});
   for (int k : {1, 2, 4, 8, 16}) {
     DistributedOptions opt;
-    opt.ranks = 4;
+    opt.ranks = ranks;
     opt.halo_depth = k;
+    opt.run = run;
     const DistributedResult r = stabilize_distributed(initial, opt);
     table.row({TextTable::num(static_cast<std::int64_t>(k)),
                TextTable::num(static_cast<std::int64_t>(r.rounds)),
                TextTable::num(static_cast<std::int64_t>(r.iterations)),
                TextTable::num(static_cast<std::int64_t>(r.comm.messages_sent)),
                TextTable::num(static_cast<double>(r.comm.bytes_sent) / 1e6, 2),
+               TextTable::num(static_cast<std::int64_t>(r.net.retransmits)),
                r.field.same_interior(reference) ? "yes" : "NO"});
   }
   table.print(std::cout);
   std::cout << "\nDeeper halos trade redundant border computation for "
                "fewer (larger) messages — the paper's §II.B trade-off.\n";
+  if (fault_seed)
+    std::cout << "Injected faults (seed " << fault_seed
+              << ") were absorbed by the wire protocol's ack/retransmit "
+                 "loop; the grids above still match the reference.\n";
   return 0;
 }

@@ -1,10 +1,16 @@
 #include "mpp/mpp.hpp"
 
-#include <algorithm>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <thread>
+#include <utility>
 
+#include "net/process.hpp"
+#include "net/rendezvous.hpp"
 #include "obs/obs.hpp"
 
 namespace peachy::mpp {
@@ -27,25 +33,22 @@ obs::Histogram& obs_msg_bytes() {
 
 }  // namespace
 
-World::World(int ranks) : ranks_(ranks), mailboxes_(ranks > 0 ? ranks : 0) {
-  PEACHY_REQUIRE(ranks >= 1, "world needs >= 1 rank, got " << ranks);
+const char* to_string(TransportKind kind) {
+  return kind == TransportKind::kTcp ? "tcp" : "inproc";
 }
 
-int Comm::size() const { return world_->size(); }
+TransportKind transport_from_string(const std::string& name) {
+  if (name == "inproc") return TransportKind::kInproc;
+  if (name == "tcp") return TransportKind::kTcp;
+  throw Error("unknown transport '" + name + "' (expected inproc or tcp)");
+}
 
 void Comm::send_bytes(int dest, int tag, const void* data, std::size_t bytes) {
-  PEACHY_REQUIRE(dest >= 0 && dest < world_->size(),
-                 "send to bad rank " << dest);
-  World::Message msg;
-  msg.src = rank_;
-  msg.payload.resize(bytes);
-  if (bytes) std::memcpy(msg.payload.data(), data, bytes);
-  auto& box = world_->mailboxes_[static_cast<std::size_t>(dest)];
-  {
-    std::lock_guard lock(box.mutex);
-    box.channels[{rank_, tag}].push_back(std::move(msg));
-  }
-  box.cv.notify_all();
+  PEACHY_REQUIRE(dest >= 0 && dest < size(),
+                 "rank " << rank() << ": send to bad rank " << dest
+                         << " (world size " << size() << ", tag " << tag
+                         << ")");
+  transport_->send(dest, tag, data, bytes);
   ++stats_.messages_sent;
   stats_.bytes_sent += bytes;
   if (obs::enabled()) {
@@ -54,7 +57,7 @@ void Comm::send_bytes(int dest, int tag, const void* data, std::size_t bytes) {
     obs_msg_bytes().observe(static_cast<std::int64_t>(bytes));
     obs::Tracer::global().instant(
         "mpp.send", "mpp",
-        {{"src", rank_},
+        {{"src", rank()},
          {"dst", dest},
          {"tag", tag},
          {"bytes", static_cast<std::int64_t>(bytes)}});
@@ -62,110 +65,345 @@ void Comm::send_bytes(int dest, int tag, const void* data, std::size_t bytes) {
 }
 
 void Comm::recv_bytes(int src, int tag, void* data, std::size_t bytes) {
-  PEACHY_REQUIRE(src >= 0 && src < world_->size(), "recv from bad rank " << src);
-  auto& box = world_->mailboxes_[static_cast<std::size_t>(rank_)];
-  std::unique_lock lock(box.mutex);
-  auto& channel = box.channels[{src, tag}];
-  box.cv.wait(lock, [&channel] { return !channel.empty(); });
-  World::Message msg = std::move(channel.front());
-  channel.pop_front();
-  PEACHY_REQUIRE(msg.payload.size() == bytes,
-                 "message size mismatch: expected " << bytes << " bytes, got "
-                                                    << msg.payload.size());
-  if (bytes) std::memcpy(data, msg.payload.data(), bytes);
+  PEACHY_REQUIRE(src >= 0 && src < size(),
+                 "rank " << rank() << ": recv from bad rank " << src
+                         << " (world size " << size() << ", tag " << tag
+                         << ")");
+  const std::vector<std::byte> payload = transport_->recv(src, tag);
+  PEACHY_REQUIRE(payload.size() == bytes,
+                 "rank " << rank() << ": message size mismatch from rank "
+                         << src << " tag " << tag << ": expected " << bytes
+                         << " bytes, got " << payload.size());
+  if (bytes) std::memcpy(data, payload.data(), bytes);
   if (obs::enabled()) {
     obs::Tracer::global().instant(
         "mpp.recv", "mpp",
         {{"src", src},
-         {"dst", rank_},
+         {"dst", rank()},
          {"tag", tag},
          {"bytes", static_cast<std::int64_t>(bytes)}});
   }
 }
 
+// Collectives are plain messages through rank 0 on reserved tags, so they
+// behave identically over mailboxes, sockets, and processes. A size-1 world
+// sends nothing (single-rank runs must report zero communication).
+
 void Comm::barrier() {
-  World& w = *world_;
-  std::unique_lock lock(w.barrier_mutex_);
-  const std::uint64_t my_gen = w.barrier_generation_;
-  if (++w.barrier_waiting_ == w.size()) {
-    w.barrier_waiting_ = 0;
-    ++w.barrier_generation_;
-    w.barrier_cv_.notify_all();
+  if (size() == 1) return;
+  std::uint8_t token = 0;
+  if (rank_() == 0) {
+    for (int r = 1; r < size(); ++r) recv(r, detail_tag_barrier(), &token, 1);
+    for (int r = 1; r < size(); ++r) send(r, detail_tag_barrier(), &token, 1);
   } else {
-    w.barrier_cv_.wait(lock, [&w, my_gen] {
-      return w.barrier_generation_ != my_gen;
-    });
+    send(0, detail_tag_barrier(), &token, 1);
+    recv(0, detail_tag_barrier(), &token, 1);
   }
 }
 
-namespace {
-// Shared reduction over the barrier state machine. The generation pattern
-// guarantees the published accumulator stays valid until every participant
-// of this generation has read it (a rank cannot join generation g+1 before
-// leaving generation g).
-std::int64_t reduce(World& w, std::mutex& m, std::condition_variable& cv,
-                    std::uint64_t& gen, std::int64_t& acc,
-                    std::int64_t& result, int& count, std::int64_t value,
-                    std::int64_t (*op)(std::int64_t, std::int64_t)) {
-  std::unique_lock lock(m);
-  if (count == 0) acc = value;
-  else acc = op(acc, value);
-  ++count;
-  const std::uint64_t my_gen = gen;
-  if (count == w.size()) {
-    count = 0;
-    result = acc;  // publish: stays untouched until this generation's
-    ++gen;         // waiters have all returned (see World comment)
-    cv.notify_all();
-    return result;
+std::int64_t Comm::allreduce(std::int64_t value,
+                             std::int64_t (*op)(std::int64_t, std::int64_t)) {
+  if (size() == 1) return value;
+  if (rank_() == 0) {
+    std::int64_t acc = value;
+    for (int r = 1; r < size(); ++r) {
+      std::int64_t part = 0;
+      recv(r, detail_tag_reduce(), &part, 1);
+      acc = op(acc, part);
+    }
+    for (int r = 1; r < size(); ++r) send(r, detail_tag_reduce(), &acc, 1);
+    return acc;
   }
-  cv.wait(lock, [&gen, my_gen] { return gen != my_gen; });
+  send(0, detail_tag_reduce(), &value, 1);
+  std::int64_t result = 0;
+  recv(0, detail_tag_reduce(), &result, 1);
   return result;
 }
-}  // namespace
 
 std::int64_t Comm::allreduce_sum(std::int64_t value) {
-  World& w = *world_;
-  return reduce(w, w.barrier_mutex_, w.barrier_cv_, w.barrier_generation_,
-                w.reduce_acc_, w.reduce_result_, w.reduce_count_, value,
-                [](std::int64_t a, std::int64_t b) { return a + b; });
+  return allreduce(value,
+                   [](std::int64_t a, std::int64_t b) { return a + b; });
 }
 
 std::int64_t Comm::allreduce_max(std::int64_t value) {
-  World& w = *world_;
-  return reduce(w, w.barrier_mutex_, w.barrier_cv_, w.barrier_generation_,
-                w.reduce_acc_, w.reduce_result_, w.reduce_count_, value,
-                [](std::int64_t a, std::int64_t b) { return std::max(a, b); });
+  return allreduce(
+      value, [](std::int64_t a, std::int64_t b) { return std::max(a, b); });
 }
 
-bool Comm::allreduce_or(bool value) { return allreduce_max(value ? 1 : 0) != 0; }
+bool Comm::allreduce_or(bool value) {
+  return allreduce_max(value ? 1 : 0) != 0;
+}
 
-CommStats run(int ranks, const std::function<void(Comm&)>& body) {
-  World world(ranks);
+void Comm::set_result(const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const std::byte*>(data);
+  result_.assign(p, p + bytes);
+}
+
+World::World(int ranks) : hub_(std::make_shared<net::InprocHub>(ranks)) {}
+
+Comm World::comm(int rank) {
+  PEACHY_REQUIRE(rank >= 0 && rank < hub_->size(),
+                 "no rank " << rank << " in a world of " << hub_->size());
+  return Comm(std::make_unique<net::InprocTransport>(hub_, rank));
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Threaded runner (inproc mailboxes or tcp sockets; ranks are threads).
+
+struct ThreadRank {
+  CommStats stats;
+  net::TcpTransport::Stats net;
+  bool is_tcp = false;
+  std::exception_ptr error;
+  std::vector<std::byte> result;
+};
+
+RunOutcome run_threads(int ranks, const RunOptions& options,
+                       const std::function<void(Comm&)>& body) {
+  PEACHY_REQUIRE(ranks >= 1, "world needs >= 1 rank, got " << ranks);
+  const bool tcp = options.transport == TransportKind::kTcp;
+
+  std::shared_ptr<net::InprocHub> hub;
+  std::unique_ptr<net::RendezvousServer> server;
+  if (tcp) {
+    server = std::make_unique<net::RendezvousServer>(
+        ranks, /*collect_results=*/false, options.tcp.connect_timeout_ms);
+    server->start();
+  } else {
+    hub = std::make_shared<net::InprocHub>(ranks);
+  }
+
+  std::vector<ThreadRank> outcomes(static_cast<std::size_t>(ranks));
   std::vector<std::thread> threads;
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(ranks));
-  std::vector<CommStats> stats(static_cast<std::size_t>(ranks));
   threads.reserve(static_cast<std::size_t>(ranks));
   for (int r = 0; r < ranks; ++r) {
     threads.emplace_back([&, r] {
-      Comm comm = world.comm(r);
+      ThreadRank& mine = outcomes[static_cast<std::size_t>(r)];
       try {
-        body(comm);
+        std::unique_ptr<net::Transport> transport;
+        net::TcpTransport* tcp_ptr = nullptr;
+        if (tcp) {
+          auto t = std::make_unique<net::TcpTransport>(
+              r, ranks, server->port(), options.tcp);
+          tcp_ptr = t.get();
+          transport = std::move(t);
+        } else {
+          transport = std::make_unique<net::InprocTransport>(hub, r);
+        }
+        Comm comm(std::move(transport));
+        try {
+          body(comm);
+        } catch (...) {
+          mine.error = std::current_exception();
+        }
+        // Say goodbye even when the body failed, so peers blocked on this
+        // rank observe a shutdown (or PeerDied) instead of hanging.
+        try {
+          comm.transport().shutdown();
+        } catch (...) {
+          // Peers that died mid-shutdown are already accounted for.
+        }
+        mine.stats = comm.stats();
+        if (tcp_ptr) {
+          mine.net = tcp_ptr->stats();
+          mine.is_tcp = true;
+        }
+        if (r == 0) mine.result = comm.take_result();
       } catch (...) {
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        if (!mine.error) mine.error = std::current_exception();
       }
-      stats[static_cast<std::size_t>(r)] = comm.stats();
     });
   }
   for (auto& t : threads) t.join();
-  for (const auto& err : errors)
-    if (err) std::rethrow_exception(err);
-  CommStats total;
-  for (const auto& s : stats) {
-    total.messages_sent += s.messages_sent;
-    total.bytes_sent += s.bytes_sent;
+
+  std::exception_ptr server_error;
+  if (server) {
+    try {
+      server->join();
+    } catch (...) {
+      server_error = std::current_exception();
+    }
   }
-  return total;
+  for (const auto& o : outcomes)
+    if (o.error) std::rethrow_exception(o.error);
+  if (server_error) std::rethrow_exception(server_error);
+
+  RunOutcome out;
+  for (auto& o : outcomes) {
+    out.comm.messages_sent += o.stats.messages_sent;
+    out.comm.bytes_sent += o.stats.bytes_sent;
+    if (o.is_tcp) {
+      out.net.retransmits += o.net.retransmits;
+      out.net.fault_dropped += o.net.fault.dropped;
+      out.net.fault_duplicated += o.net.fault.duplicated;
+      out.net.fault_delayed += o.net.fault.delayed;
+      out.net.fault_severed += o.net.fault.severed;
+    }
+  }
+  out.rank0_result = std::move(outcomes[0].result);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Spawned runner (ranks are processes; tcp is the only possible substrate).
+
+constexpr const char* kEnvRank = "PEACHY_MPP_WORKER_RANK";
+constexpr const char* kEnvWorld = "PEACHY_MPP_WORLD";
+constexpr const char* kEnvPort = "PEACHY_MPP_RENDEZVOUS_PORT";
+constexpr const char* kEnvFault = "PEACHY_MPP_FAULT";
+
+/// Runs one worker's life: join the mesh, run the body, report the outcome
+/// over the rendezvous connection, _exit. Never returns — a worker process
+/// must not fall back into the launcher's code path.
+[[noreturn]] void worker_main(int rank, int world, int port,
+                              const net::TcpOptions& tcp,
+                              const std::function<void(Comm&)>& body) {
+  net::WorkerReport report;
+  report.reported = true;
+  bool sent = false;
+  try {
+    auto transport =
+        std::make_unique<net::TcpTransport>(rank, world, port, tcp);
+    net::TcpTransport* raw = transport.get();
+    Comm comm(std::move(transport));
+    try {
+      body(comm);
+      report.ok = true;
+    } catch (const std::exception& e) {
+      report.error = e.what();
+    } catch (...) {
+      report.error = "unknown exception";
+    }
+    try {
+      comm.transport().shutdown();
+    } catch (...) {
+      if (report.ok) {
+        report.ok = false;
+        report.error = "shutdown failed";
+      }
+    }
+    report.messages_sent = comm.stats().messages_sent;
+    report.bytes_sent = comm.stats().bytes_sent;
+    const net::TcpTransport::Stats net_stats = raw->stats();
+    report.retransmits = net_stats.retransmits;
+    report.fault_dropped = net_stats.fault.dropped;
+    report.fault_duplicated = net_stats.fault.duplicated;
+    report.fault_delayed = net_stats.fault.delayed;
+    report.fault_severed = net_stats.fault.severed;
+    if (rank == 0) report.result = comm.take_result();
+    net::rendezvous_report(raw->rendezvous_socket(), rank, report);
+    sent = true;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "peachy mpp worker rank %d: %s\n", rank, e.what());
+  }
+  ::_exit(sent && report.ok ? 0 : 1);
+}
+
+}  // namespace
+
+RunOutcome run_spawned(int ranks, const std::vector<std::string>& worker_argv,
+                       const std::function<void(Comm&)>& body,
+                       const net::TcpOptions& tcp) {
+  // An exec'd worker re-enters main() and reaches this same call site; the
+  // environment routes it into the worker path instead of launching again.
+  if (const char* rank_env = std::getenv(kEnvRank)) {
+    const char* world_env = std::getenv(kEnvWorld);
+    const char* port_env = std::getenv(kEnvPort);
+    PEACHY_REQUIRE(world_env && port_env,
+                   "worker environment incomplete: "
+                       << kEnvRank << " set without " << kEnvWorld << "/"
+                       << kEnvPort);
+    net::TcpOptions worker_tcp = tcp;
+    if (const char* fault_env = std::getenv(kEnvFault))
+      worker_tcp.fault = net::FaultPlan::decode(fault_env);
+    worker_main(std::atoi(rank_env), std::atoi(world_env),
+                std::atoi(port_env), worker_tcp, body);
+  }
+
+  PEACHY_REQUIRE(ranks >= 1, "world needs >= 1 rank, got " << ranks);
+  // The serve/wait budget has to cover mesh setup plus the whole body.
+  const int budget_ms = tcp.connect_timeout_ms + tcp.recv_timeout_ms;
+
+  net::RendezvousServer server(ranks, /*collect_results=*/true, budget_ms);
+  net::ProcessLauncher launcher;
+  if (worker_argv.empty()) {
+    launcher.fork_workers(ranks, [&](int rank) -> int {
+      server.close_listener_in_child();
+      worker_main(rank, ranks, server.port(), tcp, body);
+    });
+  } else {
+    const int port = server.port();
+    launcher.exec_workers(
+        ranks, worker_argv,
+        [&](int rank) -> std::vector<std::pair<std::string, std::string>> {
+          return {{kEnvRank, std::to_string(rank)},
+                  {kEnvWorld, std::to_string(ranks)},
+                  {kEnvPort, std::to_string(port)},
+                  {kEnvFault, tcp.fault.encode()}};
+        });
+  }
+
+  // Serve inline — no threads existed at fork time, so the parent stayed
+  // fork-safe — then reap every worker (deadline-bounded, never hangs).
+  std::exception_ptr serve_error;
+  try {
+    server.serve();
+  } catch (...) {
+    serve_error = std::current_exception();
+  }
+  const std::vector<int> codes = launcher.wait_all(budget_ms);
+
+  // One failing rank usually drags its peers down with PeerDied; report
+  // the root cause (a silent death or a non-peer-death failure), not the
+  // first cascade victim.
+  RunOutcome out;
+  std::string root_error, any_error;
+  for (int r = 0; r < ranks; ++r) {
+    const net::WorkerReport& rep =
+        server.reports()[static_cast<std::size_t>(r)];
+    if (!rep.reported) {
+      const std::string msg = "mpp worker rank " + std::to_string(r) +
+                              " died before reporting (exit code " +
+                              std::to_string(codes[static_cast<std::size_t>(r)]) +
+                              ")";
+      if (root_error.empty()) root_error = msg;
+      if (any_error.empty()) any_error = msg;
+      continue;
+    }
+    if (!rep.ok) {
+      const std::string msg =
+          "mpp worker rank " + std::to_string(r) + " failed: " + rep.error;
+      if (any_error.empty()) any_error = msg;
+      if (root_error.empty() &&
+          rep.error.find("peer rank") == std::string::npos)
+        root_error = msg;
+    }
+    out.comm.messages_sent += rep.messages_sent;
+    out.comm.bytes_sent += rep.bytes_sent;
+    out.net.retransmits += rep.retransmits;
+    out.net.fault_dropped += rep.fault_dropped;
+    out.net.fault_duplicated += rep.fault_duplicated;
+    out.net.fault_delayed += rep.fault_delayed;
+    out.net.fault_severed += rep.fault_severed;
+    if (r == 0) out.rank0_result = rep.result;
+  }
+  if (!root_error.empty()) throw Error(root_error);
+  if (!any_error.empty()) throw Error(any_error);
+  if (serve_error) std::rethrow_exception(serve_error);
+  return out;
+}
+
+RunOutcome run_world(int ranks, const RunOptions& options,
+                     const std::function<void(Comm&)>& body) {
+  if (options.spawn)
+    return run_spawned(ranks, options.worker_argv, body, options.tcp);
+  return run_threads(ranks, options, body);
+}
+
+CommStats run(int ranks, const std::function<void(Comm&)>& body) {
+  return run_world(ranks, RunOptions{}, body).comm;
 }
 
 }  // namespace peachy::mpp

@@ -1,28 +1,48 @@
-// mpp — a message-passing runtime with MPI-shaped semantics, in-process.
+// mpp — a message-passing runtime with MPI-shaped semantics, over a
+// pluggable transport.
 //
 // The paper's fourth sandpile assignment distributes the stencil over a
-// cluster with MPI and the Ghost Cell Pattern [Kjolstad & Snir 2010]. This
-// container has no MPI, so mpp substitutes for it: ranks run as threads of
-// one process, each with a private mailbox; send/recv/sendrecv/barrier/
-// allreduce/gather carry the same semantics (blocking point-to-point with
-// source+tag matching, FIFO per (source, tag) channel). Message and byte
-// counters make communication volume measurable, which is what the
-// ghost-cell trade-off experiment (bench_ghost_cells) reports.
+// cluster with MPI and the Ghost Cell Pattern [Kjolstad & Snir 2010]. mpp
+// substitutes for MPI with the same semantics (blocking point-to-point with
+// source+tag matching, FIFO per (source, tag) channel; collectives built on
+// top of point-to-point so they behave identically everywhere) over one of
+// three substrates:
+//
+//  * inproc — ranks are threads, messages are memcpys into mailboxes.
+//    Fast, cost-free communication; the original teaching default.
+//  * tcp    — ranks are threads but every message crosses a real loopback
+//    socket through peachy_net's framed, CRC-checked, acked wire protocol
+//    (net/tcp.hpp). Communication has genuine latency and the fault
+//    injector can drop/delay/duplicate frames or sever links.
+//  * spawned — mpp::run_spawned forks real worker *processes* wired up by
+//    a rendezvous server; the ghost-cell trade-off runs against separate
+//    address spaces, like the MPI original.
+//
+// Message and byte counters make communication volume measurable, which is
+// what the ghost-cell trade-off experiment (bench_ghost_cells) reports.
 #pragma once
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
-#include <mutex>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "core/error.hpp"
+#include "net/inproc.hpp"
+#include "net/tcp.hpp"
+#include "net/transport.hpp"
 
 namespace peachy::mpp {
+
+/// Which substrate carries the messages.
+enum class TransportKind { kInproc, kTcp };
+
+const char* to_string(TransportKind kind);
+/// Parses "inproc" or "tcp" (CLI flag values); throws on anything else.
+TransportKind transport_from_string(const std::string& name);
 
 /// Aggregate communication counters for one rank.
 struct CommStats {
@@ -30,15 +50,49 @@ struct CommStats {
   std::uint64_t bytes_sent = 0;
 };
 
-class World;
+/// Frame-level counters from the tcp substrate (zero under inproc).
+struct NetStats {
+  std::uint64_t retransmits = 0;
+  std::uint64_t fault_dropped = 0;
+  std::uint64_t fault_duplicated = 0;
+  std::uint64_t fault_delayed = 0;
+  std::uint64_t fault_severed = 0;
+};
 
-/// A rank's endpoint into a World. Equivalent to an MPI communicator handle
-/// bound to one rank. Not copyable; lives on the rank's stack inside
-/// mpp::run.
+/// How to run a world (mpp::run_world).
+struct RunOptions {
+  TransportKind transport = TransportKind::kInproc;
+  /// Fork real worker processes instead of threads (tcp only). With a
+  /// non-empty `worker_argv`, workers are fork+exec'd from that command
+  /// line and find their way back via PEACHY_MPP_* environment variables;
+  /// with an empty one they are plain fork() children.
+  bool spawn = false;
+  std::vector<std::string> worker_argv;
+  /// Socket timeouts, retry budget, and fault plan for the tcp substrate.
+  net::TcpOptions tcp;
+};
+
+/// What a world run produced beyond side effects: aggregate stats and the
+/// bytes rank 0 stashed with Comm::set_result — the only way results leave
+/// a spawned world, since worker processes share no memory with the
+/// launcher.
+struct RunOutcome {
+  CommStats comm;
+  NetStats net;
+  std::vector<std::byte> rank0_result;
+};
+
+/// A rank's endpoint into a world: an MPI communicator handle bound to one
+/// rank. Move-only; lives on the rank's stack inside mpp::run*.
 class Comm {
  public:
-  int rank() const { return rank_; }
-  int size() const;
+  explicit Comm(std::unique_ptr<net::Transport> transport)
+      : transport_(std::move(transport)) {}
+  Comm(Comm&&) = default;
+  Comm& operator=(Comm&&) = default;
+
+  int rank() const { return transport_->rank(); }
+  int size() const { return transport_->size(); }
 
   /// Blocking typed send of `count` elements of trivially copyable T.
   template <typename T>
@@ -55,8 +109,8 @@ class Comm {
     recv_bytes(src, tag, data, count * sizeof(T));
   }
 
-  /// Exchange with a partner: sends then receives (internally safe against
-  /// deadlock because sends never block on the receiver).
+  /// Exchange with a partner: sends then receives (deadlock-free because
+  /// sends never block on the receiver's matching recv).
   template <typename T>
   void sendrecv(int partner, int tag, const T* send_buf, T* recv_buf,
                 std::size_t count) {
@@ -79,23 +133,22 @@ class Comm {
   template <typename T>
   std::vector<T> gather(int root, const std::vector<T>& mine) {
     static_assert(std::is_trivially_copyable_v<T>);
-    constexpr int kGatherTag = -4242;
-    if (rank_ != root) {
+    if (rank_() != root) {
       const std::uint64_t n = mine.size();
-      send(root, kGatherTag, &n, 1);
-      if (n) send(root, kGatherTag, mine.data(), mine.size());
+      send(root, detail_tag_gather(), &n, 1);
+      if (n) send(root, detail_tag_gather(), mine.data(), mine.size());
       return {};
     }
     std::vector<T> all;
     for (int r = 0; r < size(); ++r) {
-      if (r == rank_) {
+      if (r == rank_()) {
         all.insert(all.end(), mine.begin(), mine.end());
         continue;
       }
       std::uint64_t n = 0;
-      recv(r, kGatherTag, &n, 1);
+      recv(r, detail_tag_gather(), &n, 1);
       std::vector<T> part(n);
-      if (n) recv(r, kGatherTag, part.data(), n);
+      if (n) recv(r, detail_tag_gather(), part.data(), n);
       all.insert(all.end(), part.begin(), part.end());
     }
     return all;
@@ -106,12 +159,11 @@ class Comm {
   template <typename T>
   void broadcast(int root, T* data, std::size_t count) {
     static_assert(std::is_trivially_copyable_v<T>);
-    constexpr int kBcastTag = -4243;
-    if (rank_ == root) {
+    if (rank_() == root) {
       for (int r = 0; r < size(); ++r)
-        if (r != rank_) send(r, kBcastTag, data, count);
+        if (r != rank_()) send(r, detail_tag_bcast(), data, count);
     } else {
-      recv(root, kBcastTag, data, count);
+      recv(root, detail_tag_bcast(), data, count);
     }
   }
 
@@ -122,93 +174,97 @@ class Comm {
   std::vector<T> scatter(int root, const std::vector<T>& all,
                          std::size_t chunk) {
     static_assert(std::is_trivially_copyable_v<T>);
-    constexpr int kScatterTag = -4244;
     std::vector<T> mine(chunk);
-    if (rank_ == root) {
+    if (rank_() == root) {
       PEACHY_REQUIRE(all.size() == chunk * static_cast<std::size_t>(size()),
                      "scatter needs " << chunk * static_cast<std::size_t>(size())
                                       << " elements, got " << all.size());
       for (int r = 0; r < size(); ++r) {
-        if (r == rank_) {
+        if (r == rank_()) {
           std::copy_n(all.begin() + static_cast<std::ptrdiff_t>(chunk) * r,
                       chunk, mine.begin());
         } else {
-          send(r, kScatterTag, all.data() + chunk * static_cast<std::size_t>(r),
-               chunk);
+          send(r, detail_tag_scatter(),
+               all.data() + chunk * static_cast<std::size_t>(r), chunk);
         }
       }
     } else {
-      if (chunk) recv(root, kScatterTag, mine.data(), chunk);
+      if (chunk) recv(root, detail_tag_scatter(), mine.data(), chunk);
     }
     return mine;
   }
 
+  /// Stashes bytes that run_world()/run_spawned() hand back to the
+  /// launcher as RunOutcome::rank0_result. Only rank 0's stash is
+  /// collected — it is how a spawned world returns its answer across the
+  /// process boundary.
+  void set_result(const void* data, std::size_t bytes);
+  std::vector<std::byte> take_result() { return std::move(result_); }
+
   /// Communication counters accumulated by this rank so far.
   const CommStats& stats() const { return stats_; }
 
+  /// The substrate underneath (tests and the runtime peek at tcp stats).
+  net::Transport& transport() { return *transport_; }
+
  private:
-  friend class World;
-  Comm(World& world, int rank) : world_(&world), rank_(rank) {}
+  int rank_() const { return transport_->rank(); }
+  // Reserved negative tags for collectives (user code uses its own tags;
+  // a (source, tag) channel keyed on these never collides with it).
+  static constexpr int detail_tag_gather() { return -4242; }
+  static constexpr int detail_tag_bcast() { return -4243; }
+  static constexpr int detail_tag_scatter() { return -4244; }
+  static constexpr int detail_tag_barrier() { return -4245; }
+  static constexpr int detail_tag_reduce() { return -4246; }
 
   void send_bytes(int dest, int tag, const void* data, std::size_t bytes);
   void recv_bytes(int src, int tag, void* data, std::size_t bytes);
+  std::int64_t allreduce(std::int64_t value,
+                         std::int64_t (*op)(std::int64_t, std::int64_t));
 
-  World* world_;
-  int rank_;
+  std::unique_ptr<net::Transport> transport_;
   CommStats stats_;
+  std::vector<std::byte> result_;
 };
 
-/// SPMD launcher: runs `body(comm)` on `ranks` threads and joins them.
-/// Any exception thrown by a rank is rethrown (first one wins) after all
-/// ranks finish or abort. Aggregate stats of all ranks are returned.
+/// SPMD launcher: runs `body(comm)` on `ranks` threads over the in-process
+/// transport and joins them. Any exception thrown by a rank is rethrown
+/// (lowest rank wins) after all ranks finish. Aggregate stats returned.
 CommStats run(int ranks, const std::function<void(Comm&)>& body);
 
-/// The shared state behind a group of ranks. Exposed for tests that need
-/// to drive ranks manually; most code should use mpp::run.
+/// Like run(), but the substrate is chosen by `options` — the same body
+/// runs bit-identically over mailboxes, loopback sockets, or (with
+/// options.spawn) real forked worker processes.
+RunOutcome run_world(int ranks, const RunOptions& options,
+                     const std::function<void(Comm&)>& body);
+
+/// SPMD launcher whose ranks are real processes talking tcp through a
+/// rendezvous server hosted by the launcher. With an empty `worker_argv`
+/// the workers are plain fork() children running `body` directly; with a
+/// non-empty one each worker is fork+exec'd from that command line, runs
+/// main() until it reaches this same run_spawned call site, and is routed
+/// into the worker path by the PEACHY_MPP_* environment variables (so pass
+/// e.g. {"/proc/self/exe", "--gtest_filter=<this test>"} to re-enter a
+/// test body). Worker failures surface as peachy::Error naming the rank;
+/// a worker that dies silently is detected, reaped, and reported — the
+/// launcher never hangs on a dead child.
+RunOutcome run_spawned(int ranks, const std::vector<std::string>& worker_argv,
+                       const std::function<void(Comm&)>& body,
+                       const net::TcpOptions& tcp = {});
+
+/// The shared state behind a group of in-process ranks. Exposed for tests
+/// that need to drive ranks manually; most code should use mpp::run*.
 class World {
  public:
   explicit World(int ranks);
 
-  int size() const { return ranks_; }
+  int size() const { return hub_->size(); }
 
   /// Creates the endpoint for `rank` (each rank exactly once).
-  Comm comm(int rank) {
-    PEACHY_REQUIRE(rank >= 0 && rank < ranks_, "bad rank " << rank);
-    return Comm(*this, rank);
-  }
+  Comm comm(int rank);
 
  private:
-  friend class Comm;
-
-  struct Message {
-    int src;
-    std::vector<std::byte> payload;
-  };
-  struct Mailbox {
-    std::mutex mutex;
-    std::condition_variable cv;
-    // FIFO per (src, tag) channel, preserving MPI's non-overtaking rule.
-    std::map<std::pair<int, int>, std::deque<Message>> channels;
-  };
-
-  int ranks_;
-  std::vector<Mailbox> mailboxes_;
-
-  // Centralized barrier (sense-reversing via generation counter).
-  std::mutex barrier_mutex_;
-  std::condition_variable barrier_cv_;
-  int barrier_waiting_ = 0;
-  std::uint64_t barrier_generation_ = 0;
-
-  // Reduction scratch: guarded by barrier_mutex_. reduce_acc_ accumulates
-  // the in-progress generation; reduce_result_ is published only when a
-  // generation completes (late waiters of generation g may read it while
-  // generation g+1 is already accumulating into reduce_acc_ — but g+1
-  // cannot *complete* before every g-waiter returned, so the published
-  // value stays valid).
-  std::int64_t reduce_acc_ = 0;
-  std::int64_t reduce_result_ = 0;
-  int reduce_count_ = 0;
+  std::shared_ptr<net::InprocHub> hub_;
 };
 
 }  // namespace peachy::mpp

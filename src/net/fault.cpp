@@ -1,0 +1,69 @@
+#include "net/fault.hpp"
+
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace peachy::net {
+
+std::string FaultPlan::encode() const {
+  std::ostringstream os;
+  os << seed << ":" << drop << ":" << duplicate << ":" << delay << ":"
+     << delay_ms << ":" << sever_after;
+  return os.str();
+}
+
+FaultPlan FaultPlan::decode(const std::string& text) {
+  FaultPlan plan;
+  std::istringstream is(text);
+  char c = 0;
+  is >> plan.seed >> c >> plan.drop >> c >> plan.duplicate >> c >>
+      plan.delay >> c >> plan.delay_ms >> c >> plan.sever_after;
+  PEACHY_REQUIRE(!is.fail(), "bad fault plan encoding \"" << text << "\"");
+  return plan;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, int src, int dst)
+    : plan_(plan) {
+  std::uint64_t s = plan.seed;
+  stream_ = splitmix64(s) ^ (static_cast<std::uint64_t>(src) << 32 |
+                             static_cast<std::uint32_t>(dst));
+}
+
+FaultInjector::Decision FaultInjector::next() {
+  const std::uint64_t index = frame_++;
+  Decision d;
+  if (!plan_.active()) return d;
+  if (plan_.sever_after >= 0 &&
+      index >= static_cast<std::uint64_t>(plan_.sever_after)) {
+    d.sever = true;
+    // The transport closes the link on the first sever; count the event
+    // once even if it (defensively) asks again.
+    if (index == static_cast<std::uint64_t>(plan_.sever_after))
+      ++counters_.severed;
+    return d;
+  }
+  // One hash per fault class so the probabilities are independent; the
+  // state is (stream, frame index), never wall time or thread order.
+  std::uint64_t h = stream_ + index * 0x9e3779b97f4a7c15ULL;
+  const auto roll = [&h] {
+    return static_cast<double>(splitmix64(h) >> 11) * 0x1.0p-53;
+  };
+  if (roll() < plan_.drop) {
+    d.drop = true;
+    ++counters_.dropped;
+    return d;  // a dropped frame is neither delayed nor duplicated
+  }
+  if (roll() < plan_.duplicate) {
+    d.duplicate = true;
+    ++counters_.duplicated;
+  }
+  if (roll() < plan_.delay) {
+    d.delay_ms = plan_.delay_ms;
+    ++counters_.delayed;
+  }
+  return d;
+}
+
+}  // namespace peachy::net

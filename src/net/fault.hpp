@@ -1,0 +1,68 @@
+// Deterministic fault injection for the TCP transport.
+//
+// The injector sits on the *send* path of every connection and decides, per
+// fresh data frame, whether to drop it (never write it — the retransmit
+// timer recovers it), delay it, duplicate it, or sever the connection
+// outright. Decisions are a pure function of (seed, src, dst, frame index),
+// so a seeded run injects the exact same faults every time regardless of
+// thread or process scheduling — which is what makes fault-injection tests
+// reproducible. Retransmissions bypass the injector: a frame is judged once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace peachy::net {
+
+/// What to inject, with which probabilities. Inactive unless `seed` != 0.
+struct FaultPlan {
+  std::uint64_t seed = 0;        ///< 0 disables the injector entirely
+  double drop = 0.0;             ///< P(frame is never written)
+  double duplicate = 0.0;        ///< P(frame is written twice)
+  double delay = 0.0;            ///< P(frame is written late)
+  int delay_ms = 2;              ///< how late
+  std::int64_t sever_after = -1; ///< hard-close after this many frames (-1 off)
+
+  bool active() const {
+    return seed != 0 &&
+           (drop > 0 || duplicate > 0 || delay > 0 || sever_after >= 0);
+  }
+
+  /// Round-trips through a string so spawned (exec'd) workers inherit the
+  /// plan via one environment variable.
+  std::string encode() const;
+  static FaultPlan decode(const std::string& text);
+};
+
+/// Per-connection decision stream. One instance per (src, dst) direction.
+class FaultInjector {
+ public:
+  struct Decision {
+    bool drop = false;
+    bool duplicate = false;
+    bool sever = false;
+    int delay_ms = 0;
+  };
+
+  struct Counters {
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t delayed = 0;
+    std::uint64_t severed = 0;
+  };
+
+  FaultInjector(const FaultPlan& plan, int src, int dst);
+
+  /// Judges the next fresh data frame and advances the stream.
+  Decision next();
+
+  const Counters& counters() const { return counters_; }
+
+ private:
+  FaultPlan plan_;
+  std::uint64_t stream_;   // hash of (seed, src, dst)
+  std::uint64_t frame_ = 0;
+  Counters counters_;
+};
+
+}  // namespace peachy::net

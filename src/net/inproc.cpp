@@ -1,0 +1,42 @@
+#include "net/inproc.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "core/error.hpp"
+
+namespace peachy::net {
+
+Transport::~Transport() = default;
+
+InprocHub::InprocHub(int ranks)
+    : ranks_(ranks), mailboxes_(ranks > 0 ? static_cast<std::size_t>(ranks) : 0) {
+  PEACHY_REQUIRE(ranks >= 1, "world needs >= 1 rank, got " << ranks);
+}
+
+InprocTransport::InprocTransport(std::shared_ptr<InprocHub> hub, int rank)
+    : hub_(std::move(hub)), rank_(rank) {}
+
+void InprocTransport::send(int dest, int tag, const void* data,
+                           std::size_t bytes) {
+  std::vector<std::byte> payload(bytes);
+  if (bytes) std::memcpy(payload.data(), data, bytes);
+  auto& box = hub_->mailboxes_[static_cast<std::size_t>(dest)];
+  {
+    std::lock_guard lock(box.mutex);
+    box.channels[{rank_, tag}].push_back(std::move(payload));
+  }
+  box.cv.notify_all();
+}
+
+std::vector<std::byte> InprocTransport::recv(int src, int tag) {
+  auto& box = hub_->mailboxes_[static_cast<std::size_t>(rank_)];
+  std::unique_lock lock(box.mutex);
+  auto& channel = box.channels[{src, tag}];
+  box.cv.wait(lock, [&channel] { return !channel.empty(); });
+  std::vector<std::byte> payload = std::move(channel.front());
+  channel.pop_front();
+  return payload;
+}
+
+}  // namespace peachy::net

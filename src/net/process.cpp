@@ -1,0 +1,107 @@
+#include "net/process.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "core/error.hpp"
+
+namespace peachy::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+ProcessLauncher::~ProcessLauncher() {
+  // Never leak children: if the launcher unwinds (an exception between
+  // spawn and wait), take the workers down with it.
+  kill_all();
+  for (pid_t pid : pids_)
+    if (pid > 0) ::waitpid(pid, nullptr, 0);
+}
+
+void ProcessLauncher::fork_workers(int n,
+                                   const std::function<int(int)>& child_fn) {
+  for (int r = 0; r < n; ++r) {
+    const pid_t pid = ::fork();
+    PEACHY_REQUIRE(pid >= 0, "fork failed: " << std::strerror(errno));
+    if (pid == 0) {
+      int code = 1;
+      try {
+        code = child_fn(r);
+      } catch (...) {
+        code = 1;
+      }
+      ::_exit(code);
+    }
+    pids_.push_back(pid);
+  }
+}
+
+void ProcessLauncher::exec_workers(
+    int n, const std::vector<std::string>& argv,
+    const std::function<std::vector<std::pair<std::string, std::string>>(int)>&
+        env_for_rank) {
+  PEACHY_REQUIRE(!argv.empty(), "exec_workers needs a command line");
+  for (int r = 0; r < n; ++r) {
+    const pid_t pid = ::fork();
+    PEACHY_REQUIRE(pid >= 0, "fork failed: " << std::strerror(errno));
+    if (pid == 0) {
+      for (const auto& [key, value] : env_for_rank(r))
+        ::setenv(key.c_str(), value.c_str(), 1);
+      std::vector<char*> cargv;
+      cargv.reserve(argv.size() + 1);
+      for (const auto& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+      cargv.push_back(nullptr);
+      ::execv(cargv[0], cargv.data());
+      ::_exit(127);  // exec failed
+    }
+    pids_.push_back(pid);
+  }
+}
+
+std::vector<int> ProcessLauncher::wait_all(int timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  std::vector<int> codes(pids_.size(), -1);
+  std::size_t done = 0;
+  bool killed = false;
+  while (done < pids_.size()) {
+    for (std::size_t i = 0; i < pids_.size(); ++i) {
+      if (codes[i] >= 0 || pids_[i] <= 0) continue;
+      int status = 0;
+      const pid_t rc = ::waitpid(pids_[i], &status, WNOHANG);
+      if (rc == 0) continue;
+      if (WIFEXITED(status))
+        codes[i] = WEXITSTATUS(status);
+      else if (WIFSIGNALED(status))
+        codes[i] = killed ? 255 : 128 + WTERMSIG(status);
+      else
+        codes[i] = 255;
+      pids_[i] = -1;
+      ++done;
+    }
+    if (done == pids_.size()) break;
+    if (Clock::now() >= deadline && !killed) {
+      kill_all();
+      killed = true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  pids_.clear();
+  return codes;
+}
+
+void ProcessLauncher::kill_all() {
+  for (pid_t pid : pids_)
+    if (pid > 0) ::kill(pid, SIGKILL);
+}
+
+}  // namespace peachy::net

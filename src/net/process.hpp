@@ -1,0 +1,55 @@
+// ProcessLauncher: forks the worker processes behind mpp::run_spawned.
+//
+// Two spawning styles:
+//  * fork_workers — plain fork(); the child shares the parent's code and
+//    runs a callback directly. Cheapest path to real address-space-isolated
+//    ranks on one machine.
+//  * exec_workers — fork() + execv() of a caller-supplied command line
+//    (typically the current binary re-invoked with a filter that routes
+//    straight back to the same mpp::run_spawned call site). The worker
+//    discovers its identity through PEACHY_MPP_* environment variables.
+//
+// wait_all() is deadline-bounded: stragglers are SIGKILLed and reported
+// instead of hanging the launcher — a crashed worker must surface as an
+// error, never as a stuck test.
+#pragma once
+
+#include <sys/types.h>
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace peachy::net {
+
+class ProcessLauncher {
+ public:
+  ~ProcessLauncher();
+
+  /// Forks `n` children; child i runs `child_fn(i)` and _exits with its
+  /// return value (it never returns into the caller's stack).
+  void fork_workers(int n, const std::function<int(int rank)>& child_fn);
+
+  /// Forks `n` children that execv `argv` with `env_for_rank(rank)`
+  /// appended to the environment. argv[0] must be an executable path.
+  void exec_workers(
+      int n, const std::vector<std::string>& argv,
+      const std::function<std::vector<std::pair<std::string, std::string>>(
+          int rank)>& env_for_rank);
+
+  /// Waits for every child; after `timeout_ms`, survivors are SIGKILLed.
+  /// Returns one exit code per rank (128+signal for signal deaths, 255 for
+  /// a child that had to be killed).
+  std::vector<int> wait_all(int timeout_ms);
+
+  /// SIGKILLs every child still running (error-path cleanup).
+  void kill_all();
+
+  int spawned() const { return static_cast<int>(pids_.size()); }
+
+ private:
+  std::vector<pid_t> pids_;
+};
+
+}  // namespace peachy::net

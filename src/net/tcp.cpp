@@ -1,0 +1,456 @@
+#include "net/tcp.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "net/wire.hpp"
+#include "obs/obs.hpp"
+
+namespace peachy::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+obs::Counter& obs_frames_sent() {
+  static obs::Counter& c = obs::Registry::global().counter("net.frames_sent");
+  return c;
+}
+obs::Counter& obs_frames_received() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("net.frames_received");
+  return c;
+}
+obs::Counter& obs_retransmits() {
+  static obs::Counter& c = obs::Registry::global().counter("net.retransmits");
+  return c;
+}
+obs::Histogram& obs_frame_bytes() {
+  static obs::Histogram& h =
+      obs::Registry::global().histogram("net.frame_bytes");
+  return h;
+}
+obs::Histogram& obs_rtt_ns() {
+  static obs::Histogram& h = obs::Registry::global().histogram("net.rtt_ns");
+  return h;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(int rank, int world, int rendezvous_port,
+                           const TcpOptions& options)
+    : rank_(rank), world_(world), opt_(options) {
+  PEACHY_REQUIRE(world >= 1, "tcp world needs >= 1 rank, got " << world);
+  PEACHY_REQUIRE(rank >= 0 && rank < world,
+                 "bad rank " << rank << " for world of " << world);
+  obs::Span connect_span("net.connect", "net");
+  connect_span.arg("rank", rank);
+  connect_span.arg("world", world);
+
+  peers_.resize(static_cast<std::size_t>(world));
+  listen_ = Socket::listen_on(opt_.host, 0, world + 8);
+  session_ = rendezvous_register(opt_.host, rendezvous_port, rank, world,
+                                 listen_.local_port(),
+                                 opt_.connect_timeout_ms);
+
+  const auto make_peer = [&](int r, Socket sock) {
+    auto p = std::make_unique<Peer>();
+    p->sock = std::move(sock);
+    if (opt_.fault.active())
+      p->fault = std::make_unique<FaultInjector>(opt_.fault, rank_, r);
+    peers_[static_cast<std::size_t>(r)] = std::move(p);
+  };
+
+  // Dial every lower rank (lower ranks are already accepting by induction:
+  // rank 0 dials nobody, so its accept loop starts first).
+  for (int j = 0; j < rank; ++j) {
+    Socket s = Socket::connect_to(opt_.host, session_.peer_ports[
+                                      static_cast<std::size_t>(j)],
+                                  opt_.connect_timeout_ms);
+    FrameHeader hello;
+    hello.type = FrameType::kHello;
+    hello.src = rank_;
+    hello.tag = j;
+    send_frame(s, hello);
+    FrameHeader h;
+    std::vector<std::byte> payload;
+    PEACHY_REQUIRE(recv_frame(s, h, payload, opt_.connect_timeout_ms),
+                   "rank " << rank_ << ": rank " << j
+                           << " closed during the handshake");
+    PEACHY_REQUIRE(h.type == FrameType::kHelloAck,
+                   "rank " << rank_ << ": expected HELLO_ACK from rank " << j
+                           << ", got frame type " << static_cast<int>(h.type));
+    make_peer(j, std::move(s));
+  }
+
+  // Accept every higher rank, in whatever order they arrive.
+  for (int n = 0; n < world - rank - 1; ++n) {
+    Socket s = listen_.accept(opt_.connect_timeout_ms);
+    FrameHeader h;
+    std::vector<std::byte> payload;
+    PEACHY_REQUIRE(recv_frame(s, h, payload, opt_.connect_timeout_ms),
+                   "rank " << rank_ << ": peer closed before HELLO");
+    PEACHY_REQUIRE(h.type == FrameType::kHello,
+                   "rank " << rank_ << ": expected HELLO, got frame type "
+                           << static_cast<int>(h.type));
+    PEACHY_REQUIRE(h.tag == rank_, "rank " << rank_
+                       << ": HELLO addressed to rank " << h.tag);
+    PEACHY_REQUIRE(h.src > rank_ && h.src < world,
+                   "rank " << rank_ << ": HELLO from unexpected rank "
+                           << h.src);
+    PEACHY_REQUIRE(!peers_[static_cast<std::size_t>(h.src)],
+                   "rank " << rank_ << ": duplicate connection from rank "
+                           << h.src);
+    FrameHeader ack;
+    ack.type = FrameType::kHelloAck;
+    ack.src = rank_;
+    ack.tag = h.src;
+    send_frame(s, ack);
+    make_peer(h.src, std::move(s));
+  }
+
+  PEACHY_CHECK(::pipe2(wake_pipe_, O_CLOEXEC) == 0);
+  reader_ = std::thread([this] { reader_loop(); });
+  if (obs::enabled())
+    obs::Tracer::global().instant(
+        "net.mesh_up", "net",
+        {{"rank", rank_}, {"links", world_ - 1}});
+}
+
+TcpTransport::~TcpTransport() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  if (wake_pipe_[1] >= 0) {
+    const char b = 'x';
+    [[maybe_unused]] ssize_t rc = ::write(wake_pipe_[1], &b, 1);
+  }
+  if (reader_.joinable()) reader_.join();
+  for (int fd : wake_pipe_)
+    if (fd >= 0) ::close(fd);
+}
+
+void TcpTransport::throw_peer_dead(int peer_rank) {
+  std::string why;
+  {
+    std::lock_guard lock(mu_);
+    why = peer(peer_rank).why;
+  }
+  throw PeerDied(rank_, peer_rank, why.empty() ? "connection lost" : why);
+}
+
+void TcpTransport::mark_dead(int src, const std::string& why) {
+  {
+    std::lock_guard lock(mu_);
+    Peer& p = peer(src);
+    if (!p.dead) {
+      p.dead = true;
+      p.why = why;
+    }
+  }
+  cv_.notify_all();
+}
+
+void TcpTransport::write_frame(Peer& p, const std::vector<std::byte>& frame) {
+  std::lock_guard lock(p.write_mutex);
+  p.sock.send_all(frame.data(), frame.size());
+}
+
+void TcpTransport::send(int dest, int tag, const void* data,
+                        std::size_t bytes) {
+  if (dest == rank_) {  // self-send never touches a socket
+    std::vector<std::byte> payload(bytes);
+    if (bytes) std::memcpy(payload.data(), data, bytes);
+    {
+      std::lock_guard lock(mu_);
+      channels_[{rank_, tag}].push_back(std::move(payload));
+    }
+    cv_.notify_all();
+    return;
+  }
+
+  Peer& p = peer(dest);
+  std::lock_guard send_lock(p.send_mutex);
+
+  FrameHeader h;
+  h.type = FrameType::kData;
+  h.src = rank_;
+  h.tag = tag;
+  h.seq = p.send_seq++;
+  const std::vector<std::byte> frame = encode_frame(h, data, bytes);
+
+  // Judge the fresh frame once; retransmissions below bypass the injector.
+  FaultInjector::Decision fault;
+  if (p.fault) fault = p.fault->next();
+  if (fault.sever) {
+    p.sock.shutdown_both();
+    mark_dead(dest, "fault injector severed the connection");
+    throw_peer_dead(dest);
+  }
+  if (fault.delay_ms > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(fault.delay_ms));
+
+  const auto t0 = Clock::now();
+  int timeout_ms = opt_.ack_timeout_ms;
+  for (int attempt = 0;; ++attempt) {
+    {
+      std::unique_lock lock(mu_);
+      if (p.dead) {
+        lock.unlock();
+        throw_peer_dead(dest);
+      }
+    }
+    const bool skip_write = attempt == 0 && fault.drop;
+    if (!skip_write) {
+      try {
+        write_frame(p, frame);
+        if (attempt == 0 && fault.duplicate) write_frame(p, frame);
+      } catch (const Error& e) {
+        mark_dead(dest, e.what());
+        throw_peer_dead(dest);
+      }
+      if (obs::enabled()) {
+        obs_frames_sent().add(1);
+        obs_frame_bytes().observe(static_cast<std::int64_t>(frame.size()));
+      }
+    }
+    {
+      std::unique_lock lock(mu_);
+      const bool acked = cv_.wait_for(
+          lock, std::chrono::milliseconds(timeout_ms),
+          [&] { return p.acked > h.seq || p.dead; });
+      if (p.dead) {
+        lock.unlock();
+        throw_peer_dead(dest);
+      }
+      if (acked && p.acked > h.seq) break;
+    }
+    if (attempt >= opt_.max_retries) {
+      mark_dead(dest, "no ACK for seq " + std::to_string(h.seq) + " after " +
+                          std::to_string(opt_.max_retries) +
+                          " retransmissions");
+      throw_peer_dead(dest);
+    }
+    {
+      std::lock_guard lock(mu_);
+      ++retransmits_;
+    }
+    if (obs::enabled()) obs_retransmits().add(1);
+    timeout_ms = std::min(timeout_ms * 2, 10000);
+  }
+  if (obs::enabled()) {
+    obs_rtt_ns().observe(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             Clock::now() - t0)
+                             .count());
+    obs::Tracer::global().instant(
+        "net.send", "net",
+        {{"src", rank_},
+         {"dst", dest},
+         {"tag", tag},
+         {"bytes", static_cast<std::int64_t>(bytes)}});
+  }
+}
+
+std::vector<std::byte> TcpTransport::recv(int src, int tag) {
+  obs::Span span("net.recv", "net");
+  span.arg("src", src);
+  span.arg("dst", rank_);
+  span.arg("tag", tag);
+  std::unique_lock lock(mu_);
+  auto& channel = channels_[{src, tag}];
+  // A peer that said GOODBYE will never send again — fail a still-pending
+  // recv right away instead of waiting for the socket to actually close.
+  const bool got = cv_.wait_for(
+      lock, std::chrono::milliseconds(opt_.recv_timeout_ms), [&] {
+        return !channel.empty() ||
+               (src != rank_ && (peer(src).dead || peer(src).goodbye));
+      });
+  if (channel.empty()) {
+    if (src != rank_ && (peer(src).dead || peer(src).goodbye)) {
+      const std::string why = peer(src).why;
+      lock.unlock();
+      throw PeerDied(rank_, src,
+                     why.empty() ? "peer shut down with this recv pending"
+                                 : why);
+    }
+    PEACHY_REQUIRE(got, "rank " << rank_ << ": recv from rank " << src
+                                << " tag " << tag << " timed out after "
+                                << opt_.recv_timeout_ms << " ms");
+  }
+  std::vector<std::byte> payload = std::move(channel.front());
+  channel.pop_front();
+  return payload;
+}
+
+void TcpTransport::handle_frame(int src, const FrameHeader& h,
+                                std::vector<std::byte> payload) {
+  Peer& p = peer(src);
+  switch (h.type) {
+    case FrameType::kAck: {
+      {
+        std::lock_guard lock(mu_);
+        p.acked = std::max(p.acked, h.seq + 1);
+      }
+      cv_.notify_all();
+      break;
+    }
+    case FrameType::kData: {
+      if (h.src != src) {
+        mark_dead(src, "DATA frame claims src rank " +
+                           std::to_string(h.src) + " on the link to rank " +
+                           std::to_string(src));
+        break;
+      }
+      bool fresh = false;
+      {
+        std::lock_guard lock(mu_);
+        if (h.seq == p.recv_seq) {
+          ++p.recv_seq;
+          fresh = true;
+          channels_[{src, h.tag}].push_back(std::move(payload));
+        } else if (h.seq > p.recv_seq) {
+          // Impossible under stop-and-wait over ordered TCP.
+          p.dead = true;
+          p.why = "sequence gap: got " + std::to_string(h.seq) +
+                  ", expected " + std::to_string(p.recv_seq);
+        }
+        // h.seq < recv_seq: an injected duplicate (or a retransmission that
+        // crossed our ACK) — drop the payload, but ack it again below.
+      }
+      cv_.notify_all();
+      if (obs::enabled() && fresh) obs_frames_received().add(1);
+      FrameHeader ack;
+      ack.type = FrameType::kAck;
+      ack.src = rank_;
+      ack.seq = h.seq;
+      try {
+        const std::vector<std::byte> frame = encode_frame(ack, nullptr, 0);
+        write_frame(p, frame);
+      } catch (const Error& e) {
+        mark_dead(src, e.what());
+      }
+      break;
+    }
+    case FrameType::kGoodbye: {
+      {
+        std::lock_guard lock(mu_);
+        p.goodbye = true;
+      }
+      cv_.notify_all();
+      break;
+    }
+    default:
+      mark_dead(src, "unexpected frame type " +
+                         std::to_string(static_cast<int>(h.type)) +
+                         " after the handshake");
+  }
+}
+
+void TcpTransport::reader_loop() {
+  for (;;) {
+    std::vector<pollfd> fds;
+    std::vector<int> fd_rank;
+    {
+      std::lock_guard lock(mu_);
+      if (stopping_) return;
+      for (int r = 0; r < world_; ++r) {
+        if (r == rank_) continue;
+        Peer& p = peer(r);
+        if (p.dead || !p.sock.valid()) continue;
+        fds.push_back({p.sock.fd(), POLLIN, 0});
+        fd_rank.push_back(r);
+      }
+    }
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    const int rc = ::poll(fds.data(), fds.size(), 500);
+    if (rc < 0) continue;  // EINTR
+    if (rc == 0) continue;
+    if (fds.back().revents & POLLIN) return;  // destructor wake-up
+    for (std::size_t i = 0; i + 1 < fds.size(); ++i) {
+      if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+      const int src = fd_rank[i];
+      Peer& p = peer(src);
+      FrameHeader h;
+      std::vector<std::byte> payload;
+      try {
+        if (!recv_frame(p.sock, h, payload, opt_.recv_timeout_ms)) {
+          bool graceful;
+          {
+            std::lock_guard lock(mu_);
+            graceful = p.goodbye;
+          }
+          mark_dead(src, graceful
+                             ? "peer closed the connection (graceful shutdown)"
+                             : "connection closed without a goodbye");
+          continue;
+        }
+      } catch (const Error& e) {
+        mark_dead(src, e.what());
+        continue;
+      }
+      handle_frame(src, h, std::move(payload));
+    }
+  }
+}
+
+void TcpTransport::shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  FrameHeader bye;
+  bye.type = FrameType::kGoodbye;
+  bye.src = rank_;
+  const std::vector<std::byte> frame = encode_frame(bye, nullptr, 0);
+  for (int r = 0; r < world_; ++r) {
+    if (r == rank_) continue;
+    Peer& p = peer(r);
+    {
+      std::lock_guard lock(mu_);
+      if (p.dead) continue;
+    }
+    try {
+      write_frame(p, frame);
+    } catch (const Error&) {
+      // a peer that died first still counts as shut down
+    }
+  }
+  // Drain: wait (bounded) until every peer said goodbye or died, so no rank
+  // tears its sockets down while a neighbour still awaits an ACK.
+  std::unique_lock lock(mu_);
+  cv_.wait_for(lock, std::chrono::milliseconds(opt_.goodbye_timeout_ms), [&] {
+    for (int r = 0; r < world_; ++r) {
+      if (r == rank_) continue;
+      const Peer& p = *peers_[static_cast<std::size_t>(r)];
+      if (!p.goodbye && !p.dead) return false;
+    }
+    return true;
+  });
+}
+
+TcpTransport::Stats TcpTransport::stats() const {
+  Stats s;
+  {
+    std::lock_guard lock(mu_);
+    s.retransmits = retransmits_;
+  }
+  // Injector counters are written under each peer's send_mutex; reading
+  // them here is only exact once the world has quiesced (which is when the
+  // runtime collects stats).
+  for (const auto& p : peers_) {
+    if (!p || !p->fault) continue;
+    const auto& c = p->fault->counters();
+    s.fault.dropped += c.dropped;
+    s.fault.duplicated += c.duplicated;
+    s.fault.delayed += c.delayed;
+    s.fault.severed += c.severed;
+  }
+  return s;
+}
+
+}  // namespace peachy::net

@@ -1,0 +1,120 @@
+// TcpTransport: MPI-shaped point-to-point messaging over real sockets.
+//
+// Topology: a full mesh of loopback TCP connections, wired up through the
+// rendezvous (net/rendezvous.hpp) — rank i dials every j < i and accepts
+// every j > i, with a versioned HELLO/HELLO_ACK handshake on each link.
+//
+// Protocol: stop-and-wait with per-connection sequence numbers. send()
+// frames the payload (header + CRC32), writes it, and blocks until the
+// peer's ACK; on timeout it retransmits with exponential backoff and, once
+// the retry budget is exhausted, throws PeerDied. The receiver acks every
+// DATA frame and drops already-seen sequence numbers, so injected drops and
+// duplicates (net/fault.hpp) are absorbed by the protocol instead of
+// corrupting the stream. A background reader thread demultiplexes every
+// peer socket into per-(source, tag) FIFO channels — the same matching
+// semantics as the in-process mailboxes — and hands ACKs to blocked
+// senders, which is what keeps "everyone sends, then everyone receives"
+// exchange patterns deadlock-free.
+//
+// Failure semantics: EOF after a GOODBYE frame is a graceful shutdown; EOF
+// without one, a reset, a CRC mismatch, or an exhausted retry budget marks
+// the peer dead and every blocked or future send()/recv() against it
+// throws PeerDied naming both ends. Nothing hangs: every wait carries a
+// configurable timeout.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/fault.hpp"
+#include "net/rendezvous.hpp"
+#include "net/socket.hpp"
+#include "net/transport.hpp"
+#include "net/wire.hpp"
+
+namespace peachy::net {
+
+/// Timeouts, retry policy, and fault plan for one TCP world.
+struct TcpOptions {
+  std::string host = "127.0.0.1";
+  int connect_timeout_ms = 10000;   ///< rendezvous + mesh dial budget
+  int recv_timeout_ms = 30000;      ///< application-level recv wait
+  int ack_timeout_ms = 100;         ///< initial retransmit timer
+  int max_retries = 8;              ///< retransmissions (backoff doubles)
+  int goodbye_timeout_ms = 2000;    ///< graceful-shutdown drain
+  FaultPlan fault;                  ///< inactive unless seed != 0
+};
+
+class TcpTransport final : public Transport {
+ public:
+  /// Connects the full mesh; blocks until every link is handshaken.
+  TcpTransport(int rank, int world, int rendezvous_port,
+               const TcpOptions& options);
+  ~TcpTransport() override;
+
+  int rank() const override { return rank_; }
+  int size() const override { return world_; }
+  void send(int dest, int tag, const void* data, std::size_t bytes) override;
+  std::vector<std::byte> recv(int src, int tag) override;
+  void shutdown() override;
+
+  /// Frame-level counters, aggregated over all of this rank's connections.
+  struct Stats {
+    std::uint64_t retransmits = 0;
+    FaultInjector::Counters fault;
+  };
+  Stats stats() const;
+
+  /// The still-open rendezvous connection (spawned workers report over it).
+  const Socket& rendezvous_socket() const { return session_.sock; }
+
+ private:
+  struct Peer {
+    Socket sock;
+    std::unique_ptr<FaultInjector> fault;
+    std::mutex write_mutex;       // sender + reader-thread acks share it
+    std::uint64_t send_seq = 0;   // guarded by send_mutex
+    std::mutex send_mutex;        // serializes send() per peer
+    // Guarded by the transport-wide state mutex:
+    std::uint64_t acked = 0;      // data frames acked by this peer
+    std::uint64_t recv_seq = 0;   // next expected inbound data seq
+    bool goodbye = false;
+    bool dead = false;
+    std::string why;
+  };
+
+  Peer& peer(int r) { return *peers_[static_cast<std::size_t>(r)]; }
+  void write_frame(Peer& p, const std::vector<std::byte>& frame);
+  void reader_loop();
+  void handle_frame(int src, const FrameHeader& h,
+                    std::vector<std::byte> payload);
+  void mark_dead(int src, const std::string& why);
+  [[noreturn]] void throw_peer_dead(int peer_rank);
+
+  int rank_;
+  int world_;
+  TcpOptions opt_;
+  Socket listen_;
+  RendezvousSession session_;
+  std::vector<std::unique_ptr<Peer>> peers_;  // [rank_] stays null
+
+  // Channel queues + peer liveness/ack state.
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::pair<int, int>, std::deque<std::vector<std::byte>>> channels_;
+  std::uint64_t retransmits_ = 0;
+
+  std::thread reader_;
+  int wake_pipe_[2] = {-1, -1};
+  bool stopping_ = false;  // guarded by mu_
+  bool shut_down_ = false;
+};
+
+}  // namespace peachy::net

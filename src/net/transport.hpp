@@ -1,0 +1,40 @@
+// The transport seam between the mpp runtime and its substrate.
+//
+// mpp::Comm speaks MPI-shaped point-to-point semantics (blocking send/recv
+// with source+tag matching, FIFO per (source, tag) channel); a Transport
+// provides exactly that primitive and nothing more — collectives are built
+// on top of it in mpp, so they behave identically over every backend.
+// Implementations: InprocTransport (mailboxes in one process, zero real
+// communication cost) and TcpTransport (length-prefixed CRC-checked frames
+// over real sockets; see net/tcp.hpp).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace peachy::net {
+
+class Transport {
+ public:
+  virtual ~Transport();
+
+  virtual int rank() const = 0;
+  virtual int size() const = 0;
+
+  /// Blocking send of `bytes` to `dest`. Returns once the payload is safely
+  /// buffered (inproc) or acknowledged by the peer (tcp). Throws PeerDied
+  /// when the destination is gone for good.
+  virtual void send(int dest, int tag, const void* data,
+                    std::size_t bytes) = 0;
+
+  /// Blocking receive of the next message on the (src, tag) channel.
+  /// Throws PeerDied when `src` dies, or Error on timeout (tcp only;
+  /// inproc waits forever, like a deadlocked MPI run would).
+  virtual std::vector<std::byte> recv(int src, int tag) = 0;
+
+  /// Graceful close: flush goodbyes so peers can tell shutdown from death.
+  /// Idempotent; never throws.
+  virtual void shutdown() {}
+};
+
+}  // namespace peachy::net

@@ -1,0 +1,92 @@
+// Wire protocol for the peachy socket transport (DESIGN.md "Transports").
+//
+// Every unit on the wire — handshake, data, ack, rendezvous traffic — is one
+// *frame*: a fixed 32-byte little-endian header optionally followed by a
+// payload. The header is versioned (a connection is refused when the two
+// ends disagree) and carries a CRC32 of the payload so corruption is caught
+// at the receiver instead of surfacing as a wrong grid cell three layers up.
+//
+// Layout (offsets in bytes, little-endian):
+//   0  u32 magic   "PEAC" (0x43414550 as LE bytes 'P','E','A','C')
+//   4  u16 version kWireVersion
+//   6  u8  type    FrameType
+//   7  u8  flags   FrameType-specific bits
+//   8  i32 src     sending rank (or rendezvous client rank)
+//   12 i32 tag     message tag / handshake destination rank / listen port
+//   16 u64 seq     per-connection data sequence number (acks echo it)
+//   24 u32 len     payload bytes following the header
+//   28 u32 crc     CRC32 (IEEE) of the payload, 0 when len == 0
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace peachy::net {
+
+inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 32;
+/// Frames larger than this are rejected as corrupt (a 4096x4096 u32 grid
+/// gathered in one message is 64 MiB; leave headroom above that).
+inline constexpr std::uint32_t kMaxPayloadBytes = 256u << 20;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,     ///< mesh handshake: src=connector rank, tag=acceptor rank
+  kHelloAck = 2,  ///< handshake accepted
+  kData = 3,      ///< application message: src, tag, seq, payload
+  kAck = 4,       ///< acknowledges the data frame with the same seq
+  kGoodbye = 5,   ///< graceful close; EOF after this is not a peer death
+  kRegister = 6,  ///< rendezvous: src=rank, tag=peer listen port
+  kTable = 7,     ///< rendezvous reply: payload = world_size u32 ports
+  kResult = 8,    ///< spawned worker -> launcher: stats + status + result
+};
+
+struct FrameHeader {
+  std::uint16_t version = kWireVersion;
+  FrameType type = FrameType::kData;
+  std::uint8_t flags = 0;
+  std::int32_t src = 0;
+  std::int32_t tag = 0;
+  std::uint64_t seq = 0;
+  std::uint32_t len = 0;
+  std::uint32_t crc = 0;
+};
+
+/// CRC32 (IEEE 802.3, polynomial 0xEDB88320, reflected).
+std::uint32_t crc32(const void* data, std::size_t bytes);
+
+/// Serializes `h` into exactly kHeaderBytes at `out`.
+void encode_header(const FrameHeader& h, std::byte* out);
+
+/// Parses a header; throws peachy::Error on bad magic, version mismatch
+/// (the message names both versions), unknown type, or oversized len.
+FrameHeader decode_header(const std::byte* in);
+
+/// Header + payload in one contiguous buffer (one write syscall per frame).
+std::vector<std::byte> encode_frame(FrameHeader h, const void* payload,
+                                    std::size_t bytes);
+
+class Socket;
+
+/// Writes one frame (header + payload) in a single send.
+void send_frame(const Socket& sock, FrameHeader h, const void* payload = nullptr,
+                std::size_t bytes = 0);
+
+/// Reads one frame and verifies the payload CRC. Returns false on clean EOF
+/// before the header; throws on timeout, torn frames, or CRC mismatch.
+bool recv_frame(const Socket& sock, FrameHeader& header,
+                std::vector<std::byte>& payload, int timeout_ms);
+
+// Little-endian scalar (de)serialization for frame payloads (rendezvous
+// tables, worker reports, result blobs).
+void append_u32(std::vector<std::byte>& out, std::uint32_t v);
+void append_u64(std::vector<std::byte>& out, std::uint64_t v);
+void append_bytes(std::vector<std::byte>& out, const void* data,
+                  std::size_t bytes);
+/// Reads advance `p`; running past `end` throws (truncated payload).
+std::uint32_t read_u32(const std::byte*& p, const std::byte* end);
+std::uint64_t read_u64(const std::byte*& p, const std::byte* end);
+
+}  // namespace peachy::net

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "sandpile/result_blob.hpp"
 
 namespace peachy::sandpile {
 
@@ -37,13 +38,10 @@ DistributedResult stabilize_distributed(const Field& initial,
   PEACHY_REQUIRE(k >= 1, "halo depth must be >= 1, got " << k);
   PEACHY_REQUIRE(H >= R, "need height >= ranks (" << H << " < " << R << ")");
 
-  DistributedResult result{Field(H, W), false, 0, 0, {}};
-  // Written by rank 0 only, read after mpp::run joins all ranks.
-  Field* gathered = &result.field;
-  int rounds_done = 0;
-  bool stable = false;
-
-  result.comm = mpp::run(R, [&](mpp::Comm& comm) {
+  // Rank 0 ships the gathered field home as a result blob — worker ranks
+  // may be separate processes, so nothing is written through captures.
+  const mpp::RunOutcome outcome = mpp::run_world(R, options.run, [&](
+                                                     mpp::Comm& comm) {
     const int rank = comm.rank();
     LocalBlock blk;
     blk.lo = rank * H / R;
@@ -129,17 +127,19 @@ DistributedResult stabilize_distributed(const Field& initial,
     std::vector<Cell> all = comm.gather(0, mine);
     if (rank == 0) {
       PEACHY_CHECK(all.size() == static_cast<std::size_t>(H) * W);
+      Field gathered(H, W);
       for (int y = 0; y < H; ++y)
         for (int x = 0; x < W; ++x)
-          gathered->at(y, x) = all[static_cast<std::size_t>(y) * W + x];
-      rounds_done = round;
-      stable = globally_stable;
+          gathered.at(y, x) = all[static_cast<std::size_t>(y) * W + x];
+      const std::vector<std::byte> blob =
+          detail::encode_result(gathered, globally_stable, round);
+      comm.set_result(blob.data(), blob.size());
     }
   });
 
-  result.rounds = rounds_done;
-  result.iterations = rounds_done * k;
-  result.stable = stable;
+  detail::ResultBlob blob = detail::decode_result(outcome.rank0_result);
+  DistributedResult result{std::move(blob.field), blob.stable, blob.rounds,
+                           blob.rounds * k, outcome.comm, outcome.net};
   return result;
 }
 

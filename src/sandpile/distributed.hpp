@@ -19,6 +19,7 @@ struct DistributedOptions {
   int ranks = 4;
   int halo_depth = 1;      ///< k: iterations per halo exchange
   int max_rounds = 0;      ///< 0 = run until globally stable
+  mpp::RunOptions run;     ///< which substrate carries the halos
 };
 
 /// Outcome of a distributed stabilization.
@@ -28,6 +29,7 @@ struct DistributedResult {
   int rounds = 0;              ///< halo-exchange rounds executed
   int iterations = 0;          ///< synchronous iterations (== rounds * k)
   mpp::CommStats comm;         ///< aggregate messages/bytes over all ranks
+  mpp::NetStats net;           ///< frame-level counters (tcp only)
 };
 
 /// Stabilizes `initial` with `options.ranks` ranks using synchronous

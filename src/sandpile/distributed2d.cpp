@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "sandpile/result_blob.hpp"
 
 namespace peachy::sandpile {
 
@@ -36,12 +37,10 @@ Distributed2dResult stabilize_distributed_2d(const Field& initial,
                  "grid " << H << "x" << W << " too small for " << Py << "x"
                          << Px << " ranks");
 
-  Distributed2dResult result{Field(H, W), false, 0, 0, {}};
-  Field* gathered = &result.field;
-  int rounds_done = 0;
-  bool stable = false;
-
-  result.comm = mpp::run(Py * Px, [&](mpp::Comm& comm) {
+  // Rank 0 ships the gathered field home as a result blob — worker ranks
+  // may be separate processes, so nothing is written through captures.
+  const mpp::RunOutcome outcome = mpp::run_world(Py * Px, opt.run, [&](
+                                                     mpp::Comm& comm) {
     Block2d blk;
     blk.py = comm.rank() / Px;
     blk.px = comm.rank() % Px;
@@ -185,22 +184,24 @@ Distributed2dResult stabilize_distributed_2d(const Field& initial,
     std::vector<Cell> all = comm.gather(0, mine);
     if (comm.rank() == 0) {
       PEACHY_CHECK(all.size() == static_cast<std::size_t>(H) * W);
+      Field gathered(H, W);
       std::size_t i = 0;
       for (int r = 0; r < Py * Px; ++r) {
         const int py = r / Px, px = r % Px;
         const int rlo = py * H / Py, rhi = (py + 1) * H / Py;
         const int clo = px * W / Px, chi = (px + 1) * W / Px;
         for (int y = rlo; y < rhi; ++y)
-          for (int x = clo; x < chi; ++x) gathered->at(y, x) = all[i++];
+          for (int x = clo; x < chi; ++x) gathered.at(y, x) = all[i++];
       }
-      rounds_done = round;
-      stable = globally_stable;
+      const std::vector<std::byte> blob =
+          detail::encode_result(gathered, globally_stable, round);
+      comm.set_result(blob.data(), blob.size());
     }
   });
 
-  result.rounds = rounds_done;
-  result.iterations = rounds_done * k;
-  result.stable = stable;
+  detail::ResultBlob blob = detail::decode_result(outcome.rank0_result);
+  Distributed2dResult result{std::move(blob.field), blob.stable, blob.rounds,
+                             blob.rounds * k, outcome.comm, outcome.net};
   return result;
 }
 

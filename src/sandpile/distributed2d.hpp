@@ -19,6 +19,7 @@ struct Distributed2dOptions {
   int ranks_x = 2;       ///< process-grid columns
   int halo_depth = 1;    ///< k: iterations per halo exchange
   int max_rounds = 0;    ///< 0 = run until globally stable
+  mpp::RunOptions run;   ///< which substrate carries the halos
 };
 
 /// Outcome of a 2-D distributed stabilization.
@@ -28,6 +29,7 @@ struct Distributed2dResult {
   int rounds = 0;
   int iterations = 0;
   mpp::CommStats comm;
+  mpp::NetStats net;     ///< frame-level counters (tcp only)
 };
 
 /// Stabilizes `initial` on a ranks_y x ranks_x process grid with depth-k

@@ -1,0 +1,53 @@
+// Serialization of a distributed stabilization's outcome into the rank-0
+// result blob (mpp::Comm::set_result). Inside a thread world this is a
+// round-trip through a vector; inside a spawned world it is the only road
+// home — rank 0's worker process sends these bytes to the launcher over its
+// rendezvous connection.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/error.hpp"
+#include "net/wire.hpp"
+#include "sandpile/field.hpp"
+
+namespace peachy::sandpile::detail {
+
+struct ResultBlob {
+  Field field{1, 1};
+  bool stable = false;
+  int rounds = 0;
+};
+
+inline std::vector<std::byte> encode_result(const Field& field, bool stable,
+                                            int rounds) {
+  const int H = field.height(), W = field.width();
+  std::vector<std::byte> blob;
+  blob.reserve(13 + static_cast<std::size_t>(H) * W * sizeof(Cell));
+  net::append_u32(blob, static_cast<std::uint32_t>(H));
+  net::append_u32(blob, static_cast<std::uint32_t>(W));
+  net::append_u32(blob, static_cast<std::uint32_t>(rounds));
+  blob.push_back(static_cast<std::byte>(stable ? 1 : 0));
+  for (int y = 0; y < H; ++y)
+    for (int x = 0; x < W; ++x) net::append_u32(blob, field.at(y, x));
+  return blob;
+}
+
+inline ResultBlob decode_result(const std::vector<std::byte>& blob) {
+  const std::byte* p = blob.data();
+  const std::byte* end = p + blob.size();
+  ResultBlob r;
+  const int H = static_cast<int>(net::read_u32(p, end));
+  const int W = static_cast<int>(net::read_u32(p, end));
+  r.rounds = static_cast<int>(net::read_u32(p, end));
+  PEACHY_REQUIRE(p < end, "truncated sandpile result blob");
+  r.stable = std::to_integer<int>(*p++) != 0;
+  r.field = Field(H, W);
+  for (int y = 0; y < H; ++y)
+    for (int x = 0; x < W; ++x)
+      r.field.at(y, x) = static_cast<Cell>(net::read_u32(p, end));
+  return r;
+}
+
+}  // namespace peachy::sandpile::detail

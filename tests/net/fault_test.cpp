@@ -1,0 +1,121 @@
+// FaultInjector: seeded decisions must be deterministic and per-connection
+// independent — the properties the reproducible fault tests lean on.
+#include "net/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace peachy::net {
+namespace {
+
+std::vector<FaultInjector::Decision> roll(const FaultPlan& plan, int src,
+                                          int dst, int n) {
+  FaultInjector inj(plan, src, dst);
+  std::vector<FaultInjector::Decision> out;
+  for (int i = 0; i < n; ++i) out.push_back(inj.next());
+  return out;
+}
+
+TEST(Fault, InactiveByDefault) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.active());
+  plan.drop = 0.5;  // still inactive: seed 0 disables everything
+  EXPECT_FALSE(plan.active());
+  plan.seed = 42;
+  EXPECT_TRUE(plan.active());
+}
+
+TEST(Fault, SeededDecisionsAreDeterministic) {
+  FaultPlan plan;
+  plan.seed = 1234;
+  plan.drop = 0.3;
+  plan.duplicate = 0.2;
+  plan.delay = 0.1;
+  const auto a = roll(plan, 0, 1, 200);
+  const auto b = roll(plan, 0, 1, 200);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].drop, b[i].drop) << "frame " << i;
+    EXPECT_EQ(a[i].duplicate, b[i].duplicate) << "frame " << i;
+    EXPECT_EQ(a[i].sever, b[i].sever) << "frame " << i;
+    EXPECT_EQ(a[i].delay_ms, b[i].delay_ms) << "frame " << i;
+  }
+}
+
+TEST(Fault, DirectionsAreIndependentStreams) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.drop = 0.5;
+  const auto forward = roll(plan, 0, 1, 100);
+  const auto backward = roll(plan, 1, 0, 100);
+  int differing = 0;
+  for (std::size_t i = 0; i < forward.size(); ++i)
+    if (forward[i].drop != backward[i].drop) ++differing;
+  // Identical streams would mean the direction is not part of the hash.
+  EXPECT_GT(differing, 0);
+}
+
+TEST(Fault, DifferentSeedsDiffer) {
+  FaultPlan a, b;
+  a.seed = 1;
+  b.seed = 2;
+  a.drop = b.drop = 0.5;
+  const auto ra = roll(a, 0, 1, 100);
+  const auto rb = roll(b, 0, 1, 100);
+  int differing = 0;
+  for (std::size_t i = 0; i < ra.size(); ++i)
+    if (ra[i].drop != rb[i].drop) ++differing;
+  EXPECT_GT(differing, 0);
+}
+
+TEST(Fault, DropRateRoughlyHonored) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.drop = 0.25;
+  FaultInjector inj(plan, 2, 3);
+  for (int i = 0; i < 2000; ++i) inj.next();
+  const double rate =
+      static_cast<double>(inj.counters().dropped) / 2000.0;
+  EXPECT_NEAR(rate, 0.25, 0.05);
+}
+
+TEST(Fault, SeverAfterFiresExactlyOnce) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.sever_after = 3;
+  FaultInjector inj(plan, 0, 1);
+  int severed_at = -1;
+  for (int i = 0; i < 10; ++i) {
+    const auto d = inj.next();
+    if (d.sever && severed_at < 0) severed_at = i;
+  }
+  EXPECT_EQ(severed_at, 3);
+  EXPECT_EQ(inj.counters().severed, 1u);
+}
+
+TEST(Fault, PlanEncodeDecodeRoundTrip) {
+  FaultPlan plan;
+  plan.seed = 0xabcdef;
+  plan.drop = 0.125;
+  plan.duplicate = 0.25;
+  plan.delay = 0.5;
+  plan.delay_ms = 7;
+  plan.sever_after = 42;
+  const FaultPlan back = FaultPlan::decode(plan.encode());
+  EXPECT_EQ(back.seed, plan.seed);
+  EXPECT_DOUBLE_EQ(back.drop, plan.drop);
+  EXPECT_DOUBLE_EQ(back.duplicate, plan.duplicate);
+  EXPECT_DOUBLE_EQ(back.delay, plan.delay);
+  EXPECT_EQ(back.delay_ms, plan.delay_ms);
+  EXPECT_EQ(back.sever_after, plan.sever_after);
+
+  // A seeded run must see the same faults after the env round trip.
+  const auto a = roll(plan, 0, 1, 50);
+  const auto b = roll(back, 0, 1, 50);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i].drop, b[i].drop) << "frame " << i;
+}
+
+}  // namespace
+}  // namespace peachy::net

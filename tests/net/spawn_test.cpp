@@ -1,0 +1,170 @@
+// mpp::run_spawned: ranks as real forked (or fork+exec'd) processes, wired
+// up through the rendezvous server. These tests fork, so they carry the
+// `spawn` label and are excluded from the tsan preset (TSan cannot follow
+// threads created after fork; ASan is fine).
+#include <gtest/gtest.h>
+
+#include <signal.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mpp/mpp.hpp"
+#include "sandpile/distributed.hpp"
+#include "sandpile/distributed2d.hpp"
+#include "sandpile/field.hpp"
+
+namespace peachy {
+namespace {
+
+TEST(Spawn, ForkedWorkersAllreduceAndReturnResult) {
+  const mpp::RunOutcome out = mpp::run_spawned(
+      3, {}, [](mpp::Comm& comm) {
+        const std::int64_t sum = comm.allreduce_sum(comm.rank() + 1);
+        EXPECT_EQ(sum, 6);  // runs inside the worker process
+        if (comm.rank() == 0) {
+          const std::uint32_t answer = static_cast<std::uint32_t>(sum);
+          comm.set_result(&answer, sizeof(answer));
+        }
+      });
+  ASSERT_EQ(out.rank0_result.size(), sizeof(std::uint32_t));
+  std::uint32_t answer = 0;
+  std::memcpy(&answer, out.rank0_result.data(), sizeof(answer));
+  EXPECT_EQ(answer, 6u);
+  EXPECT_GT(out.comm.messages_sent, 0u);
+}
+
+TEST(Spawn, WorkerExceptionPropagatesNamingRank) {
+  try {
+    mpp::run_spawned(2, {}, [](mpp::Comm& comm) {
+      if (comm.rank() == 1) throw Error("boom in worker");
+      // Rank 0 blocks on rank 1 and is released by its death.
+      std::int64_t x = 0;
+      comm.recv(1, 1, &x, 1);
+    });
+    FAIL() << "worker failure should propagate";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("rank 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("boom in worker"), std::string::npos) << msg;
+  }
+}
+
+TEST(Spawn, KilledWorkerIsDetectedNotHung) {
+  try {
+    mpp::run_spawned(2, {}, [](mpp::Comm& comm) {
+      if (comm.rank() == 1) ::raise(SIGKILL);
+      std::int64_t x = 0;
+      comm.recv(1, 1, &x, 1);  // released as PeerDied by the death
+    });
+    FAIL() << "killed worker should surface as an error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("rank 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("died before reporting"), std::string::npos) << msg;
+  }
+}
+
+TEST(Spawn, Sandpile1dByteIdenticalAcrossAllBackends) {
+  const sandpile::Field initial =
+      sandpile::sparse_random_pile(40, 40, 0.35, 2, 9, 777);
+
+  sandpile::DistributedOptions opts;
+  opts.ranks = 3;
+  opts.halo_depth = 2;
+  const sandpile::DistributedResult inproc =
+      sandpile::stabilize_distributed(initial, opts);
+
+  sandpile::DistributedOptions spawned = opts;
+  spawned.run.transport = mpp::TransportKind::kTcp;
+  spawned.run.spawn = true;
+  const sandpile::DistributedResult procs =
+      sandpile::stabilize_distributed(initial, spawned);
+
+  ASSERT_TRUE(inproc.stable);
+  ASSERT_TRUE(procs.stable);
+  EXPECT_EQ(inproc.rounds, procs.rounds);
+  EXPECT_EQ(inproc.comm.messages_sent, procs.comm.messages_sent);
+  EXPECT_EQ(inproc.comm.bytes_sent, procs.comm.bytes_sent);
+  EXPECT_TRUE(inproc.field.same_interior(procs.field));
+}
+
+TEST(Spawn, Sandpile2dByteIdenticalAcrossAllBackends) {
+  const sandpile::Field initial =
+      sandpile::sparse_random_pile(36, 44, 0.35, 2, 9, 4242);
+
+  sandpile::Distributed2dOptions opts;
+  opts.ranks_y = 2;
+  opts.ranks_x = 2;
+  opts.halo_depth = 2;
+  const sandpile::Distributed2dResult inproc =
+      sandpile::stabilize_distributed_2d(initial, opts);
+
+  sandpile::Distributed2dOptions spawned = opts;
+  spawned.run.transport = mpp::TransportKind::kTcp;
+  spawned.run.spawn = true;
+  const sandpile::Distributed2dResult procs =
+      sandpile::stabilize_distributed_2d(initial, spawned);
+
+  ASSERT_TRUE(inproc.stable);
+  ASSERT_TRUE(procs.stable);
+  EXPECT_EQ(inproc.rounds, procs.rounds);
+  EXPECT_EQ(inproc.comm.messages_sent, procs.comm.messages_sent);
+  EXPECT_EQ(inproc.comm.bytes_sent, procs.comm.bytes_sent);
+  EXPECT_TRUE(inproc.field.same_interior(procs.field));
+}
+
+TEST(Spawn, SeededFaultsAreDeterministicAcrossProcessRuns) {
+  const sandpile::Field initial = sandpile::center_pile(16, 16, 800);
+
+  sandpile::DistributedOptions opts;
+  opts.ranks = 2;
+  opts.halo_depth = 2;
+  opts.run.transport = mpp::TransportKind::kTcp;
+  opts.run.spawn = true;
+  opts.run.tcp.fault.seed = 99;
+  opts.run.tcp.fault.drop = 0.05;
+  opts.run.tcp.fault.duplicate = 0.05;
+  opts.run.tcp.ack_timeout_ms = 20;  // recover injected drops quickly
+
+  const sandpile::DistributedResult a =
+      sandpile::stabilize_distributed(initial, opts);
+  const sandpile::DistributedResult b =
+      sandpile::stabilize_distributed(initial, opts);
+
+  ASSERT_TRUE(a.stable);
+  EXPECT_TRUE(a.field.same_interior(b.field));
+  EXPECT_GT(a.net.fault_dropped + a.net.fault_duplicated, 0u);
+  EXPECT_EQ(a.net.fault_dropped, b.net.fault_dropped);
+  EXPECT_EQ(a.net.fault_duplicated, b.net.fault_duplicated);
+}
+
+// Exec mode: each worker is a fresh copy of this very test binary. The
+// child runs main(), gtest filters it down to this one test, and the
+// PEACHY_MPP_* environment routes the re-entered run_spawned call into the
+// worker path (it never launches grandchildren).
+TEST(Spawn, ExecModeRespawnsThisBinary) {
+  const std::vector<std::string> argv = {
+      "/proc/self/exe", "--gtest_filter=Spawn.ExecModeRespawnsThisBinary"};
+  const mpp::RunOutcome out =
+      mpp::run_spawned(2, argv, [](mpp::Comm& comm) {
+        std::int64_t token = comm.rank() == 0 ? 7 : 0;
+        if (comm.rank() == 0) {
+          comm.send(1, 2, &token, 1);
+        } else {
+          comm.recv(0, 2, &token, 1);
+          EXPECT_EQ(token, 7);
+        }
+        const std::int64_t hi = comm.allreduce_max(comm.rank());
+        if (comm.rank() == 0) comm.set_result(&hi, sizeof(hi));
+      });
+  ASSERT_EQ(out.rank0_result.size(), sizeof(std::int64_t));
+  std::int64_t hi = 0;
+  std::memcpy(&hi, out.rank0_result.data(), sizeof(hi));
+  EXPECT_EQ(hi, 1);
+}
+
+}  // namespace
+}  // namespace peachy
