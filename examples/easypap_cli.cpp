@@ -40,6 +40,13 @@
 //   --transport NAME     inproc | tcp (default inproc)
 //   --spawn              ranks are real worker processes (implies tcp)
 //   --net-fault-seed S   seeded frame drop/duplication on the tcp wire
+//   --net-fault-drop P        explicit frame drop probability [0,1]
+//   --net-fault-dup P         explicit frame duplication probability
+//   --net-fault-sever-after N hard-kill each link after its Nth frame
+//   --checkpoint-every N cut a checkpoint every N exchange rounds
+//   --max-restarts M     respawn+restore a failed world up to M times
+//   --checkpoint-dir P   keep checkpoints in P (enables resuming an
+//                        interrupted run on the next invocation)
 #include <iostream>
 
 #include "core/args.hpp"
@@ -81,7 +88,9 @@ int main(int argc, char** argv) {
         {"variant", "config", "size", "grains", "density", "seed", "tile",
          "threads", "schedule", "iterations", "dump", "trace", "metrics",
          "monitor", "check", "list", "ranks", "halo", "transport", "spawn",
-         "net-fault-seed"});
+         "net-fault-seed", "net-fault-drop", "net-fault-dup",
+         "net-fault-sever-after", "checkpoint-every", "max-restarts",
+         "checkpoint-dir"});
     if (!unknown.empty()) {
       std::cerr << "unknown option --" << unknown.front() << "\n";
       return 2;
@@ -118,14 +127,29 @@ int main(int argc, char** argv) {
           mpp::transport_from_string(args.get("transport", "inproc"));
       opt.run.spawn = args.has("spawn");
       if (opt.run.spawn) opt.run.transport = mpp::TransportKind::kTcp;
+      // --net-fault-seed alone keeps the legacy 2% drop/dup demo; any
+      // explicit knob switches to exactly the requested plan.
       const auto fault_seed =
           static_cast<std::uint64_t>(args.get_int("net-fault-seed", 0));
-      if (fault_seed) {
+      const bool explicit_plan = args.has("net-fault-drop") ||
+                                 args.has("net-fault-dup") ||
+                                 args.has("net-fault-sever-after");
+      if (explicit_plan) {
+        opt.run.tcp.fault.seed = fault_seed ? fault_seed : 1;
+        opt.run.tcp.fault.drop = args.get_double("net-fault-drop", 0.0);
+        opt.run.tcp.fault.duplicate = args.get_double("net-fault-dup", 0.0);
+        opt.run.tcp.fault.sever_after =
+            args.get_int("net-fault-sever-after", -1);
+        opt.run.tcp.ack_timeout_ms = 20;
+      } else if (fault_seed) {
         opt.run.tcp.fault.seed = fault_seed;
         opt.run.tcp.fault.drop = 0.02;
         opt.run.tcp.fault.duplicate = 0.02;
         opt.run.tcp.ack_timeout_ms = 20;
       }
+      opt.checkpoint_every = args.get_int("checkpoint-every", 0);
+      opt.run.resilience.max_restarts = args.get_int("max-restarts", 0);
+      opt.run.resilience.checkpoint_dir = args.get("checkpoint-dir", "");
 
       const DistributedResult out = stabilize_distributed(initial, opt);
 
@@ -151,6 +175,8 @@ int main(int argc, char** argv) {
                                 2)});
       table.row({"retransmits", TextTable::num(static_cast<std::int64_t>(
                                     out.net.retransmits))});
+      table.row({"restarts",
+                 TextTable::num(static_cast<std::int64_t>(out.restarts))});
 
       if (args.has("check")) {
         Field reference = initial;

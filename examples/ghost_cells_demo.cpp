@@ -30,7 +30,14 @@ void usage() {
       "  --ranks N            message-passing ranks (default 4)\n"
       "  --transport NAME     inproc | tcp (default inproc)\n"
       "  --spawn              ranks are real processes (implies tcp)\n"
-      "  --net-fault-seed S   inject seeded frame drops/duplicates (tcp)\n";
+      "  --net-fault-seed S   inject seeded frame drops/duplicates (tcp)\n"
+      "  --net-fault-drop P        explicit frame drop probability [0,1]\n"
+      "  --net-fault-dup P         explicit frame duplication probability\n"
+      "  --net-fault-sever-after N hard-kill each link after its Nth frame\n"
+      "  --checkpoint-every N  checkpoint local slabs every N rounds\n"
+      "  --max-restarts M      respawn+restore a failed world up to M times\n"
+      "  --checkpoint-dir PATH keep checkpoints here (enables resume across\n"
+      "                        invocations; default: private temp dir)\n";
 }
 
 }  // namespace
@@ -46,7 +53,8 @@ int main(int argc, char** argv) {
   }
   const auto unknown = args.unknown_options(
       {"size", "grains", "ranks", "transport", "spawn", "net-fault-seed",
-       "help"});
+       "net-fault-drop", "net-fault-dup", "net-fault-sever-after",
+       "checkpoint-every", "max-restarts", "checkpoint-dir", "help"});
   if (!unknown.empty()) {
     std::cerr << "unknown option --" << unknown.front() << "\n";
     usage();
@@ -61,14 +69,29 @@ int main(int argc, char** argv) {
   run.transport = mpp::transport_from_string(args.get("transport", "inproc"));
   run.spawn = args.has("spawn");
   if (run.spawn) run.transport = mpp::TransportKind::kTcp;
+  // Fault plan: --net-fault-seed alone keeps the legacy 2% drop/dup demo;
+  // any explicit knob switches to exactly the requested plan (unset knobs
+  // default to off).
   const std::uint64_t fault_seed = static_cast<std::uint64_t>(
       args.get_int("net-fault-seed", 0));
-  if (fault_seed) {
+  const bool explicit_plan = args.has("net-fault-drop") ||
+                             args.has("net-fault-dup") ||
+                             args.has("net-fault-sever-after");
+  if (explicit_plan) {
+    run.tcp.fault.seed = fault_seed ? fault_seed : 1;
+    run.tcp.fault.drop = args.get_double("net-fault-drop", 0.0);
+    run.tcp.fault.duplicate = args.get_double("net-fault-dup", 0.0);
+    run.tcp.fault.sever_after = args.get_int("net-fault-sever-after", -1);
+    run.tcp.ack_timeout_ms = 20;
+  } else if (fault_seed) {
     run.tcp.fault.seed = fault_seed;
     run.tcp.fault.drop = 0.02;
     run.tcp.fault.duplicate = 0.02;
     run.tcp.ack_timeout_ms = 20;
   }
+  run.resilience.max_restarts = args.get_int("max-restarts", 0);
+  run.resilience.checkpoint_dir = args.get("checkpoint-dir", "");
+  const int checkpoint_every = args.get_int("checkpoint-every", 0);
 
   const Field initial = center_pile(size, size, static_cast<Cell>(grains));
   Field reference = initial;
@@ -80,13 +103,19 @@ int main(int argc, char** argv) {
             << "\n\n";
 
   TextTable table({"halo depth k", "exchange rounds", "iterations",
-                   "messages", "MB sent", "retransmits",
+                   "messages", "MB sent", "retransmits", "restarts",
                    "matches reference"});
   for (int k : {1, 2, 4, 8, 16}) {
     DistributedOptions opt;
     opt.ranks = ranks;
     opt.halo_depth = k;
+    opt.checkpoint_every = checkpoint_every;
     opt.run = run;
+    // Each sweep run gets its own checkpoint subdirectory — slab geometry
+    // depends on k, so runs must not restore each other's checkpoints.
+    if (!run.resilience.checkpoint_dir.empty())
+      opt.run.resilience.checkpoint_dir =
+          run.resilience.checkpoint_dir + "/k" + std::to_string(k);
     const DistributedResult r = stabilize_distributed(initial, opt);
     table.row({TextTable::num(static_cast<std::int64_t>(k)),
                TextTable::num(static_cast<std::int64_t>(r.rounds)),
@@ -94,6 +123,7 @@ int main(int argc, char** argv) {
                TextTable::num(static_cast<std::int64_t>(r.comm.messages_sent)),
                TextTable::num(static_cast<double>(r.comm.bytes_sent) / 1e6, 2),
                TextTable::num(static_cast<std::int64_t>(r.net.retransmits)),
+               TextTable::num(static_cast<std::int64_t>(r.restarts)),
                r.field.same_interior(reference) ? "yes" : "NO"});
   }
   table.print(std::cout);

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Sweeps the kill-and-recover integration test across 25 fault seeds. Each
+# seed moves the link-sever point (see sweep_sever_after() in
+# tests/sandpile/recovery_test.cpp), so the world dies at 25 different
+# instants — early in the run, mid-checkpoint-interval, late — and must
+# recover to the byte-identical grid every time. A hang (per-seed timeout)
+# or a wrong grid fails the sweep.
+#
+# Usage: scripts/fault_sweep.sh <recovery_test binary> [seeds] [timeout_s]
+# Wired as the optional `fault_sweep` ctest target behind
+# -DPEACHY_ENABLE_FAULT_SWEEP=ON.
+set -u
+
+BIN="${1:?usage: fault_sweep.sh <recovery_test binary> [seeds] [timeout_s]}"
+SEEDS="${2:-25}"
+PER_SEED_TIMEOUT="${3:-120}"
+FILTER='Recovery.Spawned2dSeveredRankRecoversByteIdentical'
+
+if [ ! -x "$BIN" ]; then
+  echo "fault_sweep: $BIN is not an executable" >&2
+  exit 2
+fi
+
+failed=0
+for seed in $(seq 1 "$SEEDS"); do
+  if PEACHY_FAULT_SEED="$seed" timeout "$PER_SEED_TIMEOUT" \
+      "$BIN" --gtest_filter="$FILTER" --gtest_brief=1 > /dev/null 2>&1; then
+    echo "seed $seed: recovered"
+  else
+    rc=$?
+    if [ "$rc" -eq 124 ]; then
+      echo "seed $seed: HUNG (killed after ${PER_SEED_TIMEOUT}s)" >&2
+    else
+      echo "seed $seed: FAILED (exit $rc)" >&2
+    fi
+    failed=$((failed + 1))
+  fi
+done
+
+if [ "$failed" -ne 0 ]; then
+  echo "fault_sweep: $failed of $SEEDS seeds failed" >&2
+  exit 1
+fi
+echo "fault_sweep: all $SEEDS seeds recovered"

@@ -27,6 +27,7 @@
 #include <functional>
 #include <map>
 #include <numeric>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -58,6 +59,11 @@ struct JobConfig {
   int reduce_workers = 1;  ///< concurrency cap for the reduce phase
   int map_tasks = 0;       ///< input splits; 0 = 4x map_workers
   int partitions = 0;      ///< reduce partitions; 0 = reduce_workers
+  /// Hadoop-style task containment: a map/reduce task that throws is
+  /// re-dispatched (a fresh arena dispatch, so typically a different lane)
+  /// up to this many extra attempts before the job fails. A retried task
+  /// re-runs the same split from scratch, so output determinism survives.
+  int max_task_retries = 0;
   TaskArena* arena = nullptr;  ///< nullptr = the process-shared arena
 };
 
@@ -70,6 +76,11 @@ struct JobCounters {
   std::size_t groups = 0;          ///< distinct keys seen by reducers
   std::size_t reduce_outputs = 0;
   std::size_t shuffle_records = 0; ///< records moved into partitions
+  std::size_t map_task_retries = 0;    ///< re-dispatched map tasks
+  std::size_t reduce_task_retries = 0; ///< re-dispatched reduce tasks
+  /// Task ids ("map:3", "reduce:1") that failed every attempt. Non-empty
+  /// only on a failed job — run() throws right after filling it.
+  std::vector<std::string> failed_tasks;
 };
 
 /// Default partitioner: std::hash of the key modulo partition count.
@@ -160,12 +171,16 @@ class Job {
     job_span.arg("splits", splits);
     job_span.arg("partitions", partitions);
     obs::Span map_span("mr.map", "mr");
+    const int max_retries = std::max(0, config_.max_task_retries);
     std::vector<TaskOutput> task_out(static_cast<std::size_t>(splits));
     std::vector<std::size_t> map_out(static_cast<std::size_t>(splits), 0);
     std::vector<std::size_t> comb_out(static_cast<std::size_t>(splits), 0);
-    arena.parallel_for_index(
-        static_cast<std::size_t>(splits),
-        [&](std::size_t s) {
+    const auto run_map_split = [&](std::size_t s) {
+          // A retried split starts from scratch, so its output is identical
+          // to what a first-attempt success would have produced.
+          task_out[s] = TaskOutput{};
+          map_out[s] = 0;
+          comb_out[s] = 0;
           const std::int64_t split_t0 = obs::enabled() ? now_ns() : 0;
           const std::size_t lo = inputs.size() * s / splits;
           const std::size_t hi = inputs.size() * (s + 1) / splits;
@@ -221,9 +236,10 @@ class Job {
                 {{"split", static_cast<std::int64_t>(s)},
                  {"records", static_cast<std::int64_t>(m)}});
           }
-        },
-        {.max_workers = static_cast<std::size_t>(config_.map_workers),
-         .grain = 1});
+    };
+    run_tasks_with_retries("map", static_cast<std::size_t>(splits),
+                           max_retries, config_.map_workers, arena,
+                           run_map_split, counters_.map_task_retries);
     for (int s = 0; s < splits; ++s) {
       counters_.map_outputs += map_out[static_cast<std::size_t>(s)];
       counters_.combine_outputs += comb_out[static_cast<std::size_t>(s)];
@@ -242,9 +258,10 @@ class Job {
     std::vector<std::size_t> group_counts(static_cast<std::size_t>(partitions),
                                           0);
     std::vector<std::size_t> shuffled(static_cast<std::size_t>(partitions), 0);
-    arena.parallel_for_index(
-        static_cast<std::size_t>(partitions),
-        [&](std::size_t p) {
+    const auto run_reduce_partition = [&](std::size_t p) {
+          outputs[p].clear();  // a retried partition starts from scratch
+          group_counts[p] = 0;
+          shuffled[p] = 0;
           const std::int64_t part_t0 = obs::enabled() ? now_ns() : 0;
           struct Run {
             std::vector<std::pair<K2, V2>>* records;
@@ -274,7 +291,13 @@ class Job {
                   (*r.records)[r.pos].first < (*best->records)[best->pos].first)
                 best = &r;
             }
-            part.push_back(std::move((*best->records)[best->pos]));
+            // With retries enabled the merge must leave the map-task runs
+            // intact (a failed partition re-reads them), so it copies; the
+            // fail-fast path keeps the cheaper move.
+            if (max_retries > 0)
+              part.push_back((*best->records)[best->pos]);
+            else
+              part.push_back(std::move((*best->records)[best->pos]));
             ++best->pos;
           }
           // The merge above IS the shuffle for this partition; the reducer
@@ -310,9 +333,11 @@ class Job {
                 {{"partition", static_cast<std::int64_t>(p)},
                  {"groups", static_cast<std::int64_t>(group_counts[p])}});
           }
-        },
-        {.max_workers = static_cast<std::size_t>(config_.reduce_workers),
-         .grain = 1});
+    };
+    run_tasks_with_retries("reduce", static_cast<std::size_t>(partitions),
+                           max_retries, config_.reduce_workers, arena,
+                           run_reduce_partition,
+                           counters_.reduce_task_retries);
 
     std::vector<std::pair<K3, V3>> all;
     for (std::size_t p = 0; p < outputs.size(); ++p) {
@@ -340,6 +365,68 @@ class Job {
   }
 
  private:
+  // Runs `task(i)` for every i in [0, n) on the arena, containing per-task
+  // exceptions: a failed task is re-dispatched on the next pass (a fresh
+  // dispatch, so the work-stealing arena is free to place it on a different
+  // lane than the one that just failed) until it succeeds or the retry
+  // budget is spent. Permanent failures are recorded in
+  // counters_.failed_tasks as "<phase>:<index>" and the job throws with the
+  // per-task root causes.
+  template <typename TaskFn>
+  void run_tasks_with_retries(const char* phase, std::size_t n,
+                              int max_retries, int workers, TaskArena& arena,
+                              const TaskFn& task,
+                              std::size_t& retry_counter) {
+    std::vector<std::uint8_t> done(n, 0);
+    std::vector<std::string> errors(n);
+    for (int attempt = 0; attempt <= max_retries; ++attempt) {
+      std::vector<std::size_t> pending;
+      for (std::size_t i = 0; i < n; ++i)
+        if (!done[i]) pending.push_back(i);
+      if (pending.empty()) return;
+      if (attempt > 0) {
+        retry_counter += pending.size();
+        if (obs::enabled()) {
+          obs::Registry::global().counter("mr.task_retries")
+              .add(pending.size());
+          obs::Tracer::global().instant(
+              std::string("mr.task_retry.") + phase, "mr",
+              {{"tasks", static_cast<std::int64_t>(pending.size())},
+               {"attempt", attempt}});
+        }
+      }
+      arena.parallel_for_index(
+          pending.size(),
+          [&](std::size_t idx) {
+            const std::size_t t = pending[idx];
+            try {
+              task(t);
+              done[t] = 1;
+            } catch (const std::exception& e) {
+              errors[t] = e.what();
+            } catch (...) {
+              errors[t] = "unknown exception";
+            }
+          },
+          {.max_workers = static_cast<std::size_t>(workers), .grain = 1});
+    }
+    std::size_t failed = 0;
+    std::string detail;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (done[i]) continue;
+      ++failed;
+      const std::string id = std::string(phase) + ":" + std::to_string(i);
+      counters_.failed_tasks.push_back(id);
+      detail += " " + id + " (" + errors[i] + ")";
+    }
+    if (failed == 0) return;
+    if (obs::enabled())
+      obs::Registry::global().counter("mr.task_failures").add(failed);
+    throw Error("mapreduce: " + std::to_string(failed) + " " + phase +
+                " task(s) still failing after " +
+                std::to_string(max_retries + 1) + " attempt(s):" + detail);
+  }
+
   // Groups a map task's local output by key and applies the combiner.
   std::vector<std::pair<K2, V2>> combine_locally(
       std::vector<std::pair<K2, V2>> pairs) {

@@ -1,0 +1,40 @@
+// Durable world checkpoints for the mpp runtime.
+//
+// A checkpoint is one file holding every rank's opaque state blob plus the
+// epoch that produced it. Rank 0 is the only writer: Comm::checkpoint()
+// funnels all blobs to rank 0, which commits them here with the classic
+// write-to-temp + atomic-rename protocol — a checkpoint either exists
+// completely (rename happened) or not at all (crash mid-write leaves only
+// the temp file, which the next load ignores). The payload carries a CRC32
+// so a torn or tampered file is rejected loudly instead of restoring
+// garbage state into every rank.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace peachy::mpp {
+
+/// Everything needed to restart a world: the epoch counter and one state
+/// blob per rank (indexed by rank; blobs may be empty).
+struct CheckpointImage {
+  int epoch = 0;
+  std::vector<std::vector<std::byte>> blobs;
+};
+
+/// Name of the committed checkpoint file inside a checkpoint directory.
+inline constexpr const char* kCheckpointFile = "ckpt.bin";
+
+/// Atomically commits `image` as `dir/ckpt.bin`. Throws peachy::Error on
+/// I/O failure; on success the previous checkpoint is replaced as a unit.
+void save_checkpoint(const std::string& dir, const CheckpointImage& image);
+
+/// Loads the committed checkpoint, or nullopt when none has ever been
+/// committed. Throws peachy::Error on a corrupt file or when the file was
+/// written by a world of a different size than `world`.
+std::optional<CheckpointImage> load_checkpoint(const std::string& dir,
+                                               int world);
+
+}  // namespace peachy::mpp

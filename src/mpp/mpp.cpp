@@ -2,13 +2,16 @@
 
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <filesystem>
 #include <thread>
 #include <utility>
 
+#include "mpp/checkpoint.hpp"
 #include "net/process.hpp"
 #include "net/rendezvous.hpp"
 #include "obs/obs.hpp"
@@ -29,6 +32,23 @@ obs::Histogram& obs_msg_bytes() {
   static obs::Histogram& h =
       obs::Registry::global().histogram("mpp.message_bytes");
   return h;
+}
+obs::Counter& obs_checkpoints() {
+  static obs::Counter& c = obs::Registry::global().counter("mpp.checkpoints");
+  return c;
+}
+obs::Counter& obs_checkpoint_bytes() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("mpp.checkpoint_bytes");
+  return c;
+}
+obs::Counter& obs_restores() {
+  static obs::Counter& c = obs::Registry::global().counter("mpp.restores");
+  return c;
+}
+obs::Counter& obs_restarts() {
+  static obs::Counter& c = obs::Registry::global().counter("mpp.restarts");
+  return c;
 }
 
 }  // namespace
@@ -134,6 +154,81 @@ bool Comm::allreduce_or(bool value) {
   return allreduce_max(value ? 1 : 0) != 0;
 }
 
+int Comm::checkpoint(const void* data, std::size_t bytes) {
+  PEACHY_REQUIRE(checkpointing(),
+                 "rank " << rank() << ": Comm::checkpoint called without a "
+                            "checkpoint directory (set Resilience::"
+                            "checkpoint_dir or run supervised)");
+  obs::Span span("mpp.checkpoint", "mpp");
+  span.arg("rank", rank());
+  span.arg("bytes", static_cast<std::int64_t>(bytes));
+  if (rank_() != 0) {
+    const std::uint64_t n = bytes;
+    send(0, detail_tag_ckpt(), &n, 1);
+    if (bytes) send_bytes(0, detail_tag_ckpt(), data, bytes);
+    std::int32_t epoch = 0;
+    recv(0, detail_tag_ckpt(), &epoch, 1);
+    epoch_ = epoch;
+    return epoch_;
+  }
+  CheckpointImage image;
+  image.epoch = epoch_ + 1;
+  image.blobs.resize(static_cast<std::size_t>(size()));
+  const auto* p = static_cast<const std::byte*>(data);
+  image.blobs[0].assign(p, p + bytes);
+  std::uint64_t total = bytes;
+  for (int r = 1; r < size(); ++r) {
+    std::uint64_t n = 0;
+    recv(r, detail_tag_ckpt(), &n, 1);
+    auto& blob = image.blobs[static_cast<std::size_t>(r)];
+    blob.resize(n);
+    if (n) recv_bytes(r, detail_tag_ckpt(), blob.data(), n);
+    total += n;
+  }
+  save_checkpoint(ckpt_dir_, image);  // the commit point for this epoch
+  epoch_ = image.epoch;
+  const std::int32_t epoch = epoch_;
+  for (int r = 1; r < size(); ++r) send(r, detail_tag_ckpt(), &epoch, 1);
+  if (obs::enabled()) {
+    obs_checkpoints().add(1);
+    obs_checkpoint_bytes().add(total);
+  }
+  return epoch_;
+}
+
+std::optional<std::vector<std::byte>> Comm::restore() {
+  PEACHY_REQUIRE(checkpointing(),
+                 "rank " << rank() << ": Comm::restore called without a "
+                            "checkpoint directory");
+  obs::Span span("mpp.restore", "mpp");
+  span.arg("rank", rank());
+  if (rank_() == 0) {
+    std::optional<CheckpointImage> image = load_checkpoint(ckpt_dir_, size());
+    const std::int32_t epoch = image ? image->epoch : -1;
+    for (int r = 1; r < size(); ++r) send(r, detail_tag_ckpt(), &epoch, 1);
+    if (!image) return std::nullopt;
+    for (int r = 1; r < size(); ++r) {
+      const auto& blob = image->blobs[static_cast<std::size_t>(r)];
+      const std::uint64_t n = blob.size();
+      send(r, detail_tag_ckpt(), &n, 1);
+      if (n) send_bytes(r, detail_tag_ckpt(), blob.data(), n);
+    }
+    epoch_ = image->epoch;
+    if (obs::enabled()) obs_restores().add(1);
+    return std::move(image->blobs[0]);
+  }
+  std::int32_t epoch = 0;
+  recv(0, detail_tag_ckpt(), &epoch, 1);
+  if (epoch < 0) return std::nullopt;
+  std::uint64_t n = 0;
+  recv(0, detail_tag_ckpt(), &n, 1);
+  std::vector<std::byte> blob(n);
+  if (n) recv_bytes(0, detail_tag_ckpt(), blob.data(), n);
+  epoch_ = epoch;
+  if (obs::enabled()) obs_restores().add(1);
+  return blob;
+}
+
 void Comm::set_result(const void* data, std::size_t bytes) {
   const auto* p = static_cast<const std::byte*>(data);
   result_.assign(p, p + bytes);
@@ -161,6 +256,7 @@ struct ThreadRank {
 };
 
 RunOutcome run_threads(int ranks, const RunOptions& options,
+                       const std::string& ckpt_dir,
                        const std::function<void(Comm&)>& body) {
   PEACHY_REQUIRE(ranks >= 1, "world needs >= 1 rank, got " << ranks);
   const bool tcp = options.transport == TransportKind::kTcp;
@@ -193,6 +289,7 @@ RunOutcome run_threads(int ranks, const RunOptions& options,
           transport = std::make_unique<net::InprocTransport>(hub, r);
         }
         Comm comm(std::move(transport));
+        comm.set_checkpoint_dir(ckpt_dir);
         try {
           body(comm);
         } catch (...) {
@@ -253,12 +350,14 @@ constexpr const char* kEnvRank = "PEACHY_MPP_WORKER_RANK";
 constexpr const char* kEnvWorld = "PEACHY_MPP_WORLD";
 constexpr const char* kEnvPort = "PEACHY_MPP_RENDEZVOUS_PORT";
 constexpr const char* kEnvFault = "PEACHY_MPP_FAULT";
+constexpr const char* kEnvCkpt = "PEACHY_MPP_CKPT_DIR";
 
 /// Runs one worker's life: join the mesh, run the body, report the outcome
 /// over the rendezvous connection, _exit. Never returns — a worker process
 /// must not fall back into the launcher's code path.
 [[noreturn]] void worker_main(int rank, int world, int port,
                               const net::TcpOptions& tcp,
+                              const std::string& ckpt_dir,
                               const std::function<void(Comm&)>& body) {
   net::WorkerReport report;
   report.reported = true;
@@ -268,6 +367,7 @@ constexpr const char* kEnvFault = "PEACHY_MPP_FAULT";
         std::make_unique<net::TcpTransport>(rank, world, port, tcp);
     net::TcpTransport* raw = transport.get();
     Comm comm(std::move(transport));
+    comm.set_checkpoint_dir(ckpt_dir);
     try {
       body(comm);
       report.ok = true;
@@ -301,47 +401,72 @@ constexpr const char* kEnvFault = "PEACHY_MPP_FAULT";
   ::_exit(sent && report.ok ? 0 : 1);
 }
 
-}  // namespace
-
-RunOutcome run_spawned(int ranks, const std::vector<std::string>& worker_argv,
-                       const std::function<void(Comm&)>& body,
-                       const net::TcpOptions& tcp) {
-  // An exec'd worker re-enters main() and reaches this same call site; the
-  // environment routes it into the worker path instead of launching again.
-  if (const char* rank_env = std::getenv(kEnvRank)) {
-    const char* world_env = std::getenv(kEnvWorld);
-    const char* port_env = std::getenv(kEnvPort);
-    PEACHY_REQUIRE(world_env && port_env,
-                   "worker environment incomplete: "
-                       << kEnvRank << " set without " << kEnvWorld << "/"
-                       << kEnvPort);
-    net::TcpOptions worker_tcp = tcp;
-    if (const char* fault_env = std::getenv(kEnvFault))
-      worker_tcp.fault = net::FaultPlan::decode(fault_env);
-    worker_main(std::atoi(rank_env), std::atoi(world_env),
-                std::atoi(port_env), worker_tcp, body);
+// Resolves the checkpoint directory a supervised run uses. A caller-named
+// directory is created and kept (that is what cross-invocation resume needs);
+// an unnamed one under supervision gets a private temp directory that dies
+// with the run. Unsupervised runs with no directory get "" — checkpointing
+// stays disabled and Comm::checkpoint throws.
+class CkptDirGuard {
+ public:
+  explicit CkptDirGuard(const Resilience& resilience) {
+    if (!resilience.checkpoint_dir.empty()) {
+      dir_ = resilience.checkpoint_dir;
+      std::filesystem::create_directories(dir_);
+    } else if (resilience.max_restarts > 0) {
+      char tmpl[] = "/tmp/peachy-ckpt-XXXXXX";
+      PEACHY_REQUIRE(::mkdtemp(tmpl) != nullptr,
+                     "mkdtemp failed: " << std::strerror(errno));
+      dir_ = tmpl;
+      owned_ = true;
+    }
   }
+  ~CkptDirGuard() {
+    if (owned_) {
+      std::error_code ec;
+      std::filesystem::remove_all(dir_, ec);
+    }
+  }
+  CkptDirGuard(const CkptDirGuard&) = delete;
+  CkptDirGuard& operator=(const CkptDirGuard&) = delete;
 
-  PEACHY_REQUIRE(ranks >= 1, "world needs >= 1 rank, got " << ranks);
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+  bool owned_ = false;
+};
+
+/// One attempt at a spawned world: spawn every rank (through the launcher's
+/// respawn slots, so a later attempt replaces earlier incarnations), serve
+/// the rendezvous, reap, and either assemble the outcome or throw the
+/// root-cause error.
+RunOutcome spawn_attempt(int ranks,
+                         const std::vector<std::string>& worker_argv,
+                         const std::function<void(Comm&)>& body,
+                         const net::TcpOptions& tcp,
+                         const std::string& ckpt_dir,
+                         net::ProcessLauncher& launcher) {
   // The serve/wait budget has to cover mesh setup plus the whole body.
   const int budget_ms = tcp.connect_timeout_ms + tcp.recv_timeout_ms;
 
   net::RendezvousServer server(ranks, /*collect_results=*/true, budget_ms);
-  net::ProcessLauncher launcher;
   if (worker_argv.empty()) {
     launcher.fork_workers(ranks, [&](int rank) -> int {
       server.close_listener_in_child();
-      worker_main(rank, ranks, server.port(), tcp, body);
+      worker_main(rank, ranks, server.port(), tcp, ckpt_dir, body);
     });
   } else {
     const int port = server.port();
     launcher.exec_workers(
         ranks, worker_argv,
         [&](int rank) -> std::vector<std::pair<std::string, std::string>> {
-          return {{kEnvRank, std::to_string(rank)},
-                  {kEnvWorld, std::to_string(ranks)},
-                  {kEnvPort, std::to_string(port)},
-                  {kEnvFault, tcp.fault.encode()}};
+          std::vector<std::pair<std::string, std::string>> env = {
+              {kEnvRank, std::to_string(rank)},
+              {kEnvWorld, std::to_string(ranks)},
+              {kEnvPort, std::to_string(port)},
+              {kEnvFault, tcp.fault.encode()}};
+          if (!ckpt_dir.empty()) env.emplace_back(kEnvCkpt, ckpt_dir);
+          return env;
         });
   }
 
@@ -364,10 +489,11 @@ RunOutcome run_spawned(int ranks, const std::vector<std::string>& worker_argv,
     const net::WorkerReport& rep =
         server.reports()[static_cast<std::size_t>(r)];
     if (!rep.reported) {
-      const std::string msg = "mpp worker rank " + std::to_string(r) +
-                              " died before reporting (exit code " +
-                              std::to_string(codes[static_cast<std::size_t>(r)]) +
-                              ")";
+      const std::string msg =
+          "mpp worker rank " + std::to_string(r) +
+          " died before reporting (exit code " +
+          std::to_string(codes[static_cast<std::size_t>(r)]) + ": " +
+          net::describe_exit_code(codes[static_cast<std::size_t>(r)]) + ")";
       if (root_error.empty()) root_error = msg;
       if (any_error.empty()) any_error = msg;
       continue;
@@ -395,11 +521,84 @@ RunOutcome run_spawned(int ranks, const std::vector<std::string>& worker_argv,
   return out;
 }
 
+/// Shared supervision loop: run one attempt, and on a runtime Error either
+/// give up (budget exhausted) or disarm the injected faults and go again —
+/// the next attempt restores from whatever checkpoint the failed one
+/// committed. `attempt_fn(tcp)` runs one full world attempt.
+RunOutcome supervise(const Resilience& resilience, const net::TcpOptions& tcp,
+                     const std::function<RunOutcome(const net::TcpOptions&)>&
+                         attempt_fn) {
+  net::TcpOptions attempt_tcp = tcp;
+  int restarts = 0;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      RunOutcome out = attempt_fn(attempt_tcp);
+      out.restarts = restarts;
+      return out;
+    } catch (const Error& e) {
+      if (attempt >= resilience.max_restarts) throw;
+      ++restarts;
+      if (obs::enabled()) {
+        obs_restarts().add(1);
+        obs::Tracer::global().instant("mpp.restart", "mpp",
+                                      {{"attempt", attempt + 1}});
+      }
+      std::fprintf(stderr,
+                   "peachy mpp: world failed (%s); restart %d of %d\n",
+                   e.what(), restarts, resilience.max_restarts);
+      if (resilience.disarm_faults_on_restart)
+        attempt_tcp.fault = net::FaultPlan{};
+    }
+  }
+}
+
+}  // namespace
+
+RunOutcome run_spawned(int ranks, const std::vector<std::string>& worker_argv,
+                       const std::function<void(Comm&)>& body,
+                       const net::TcpOptions& tcp,
+                       const Resilience& resilience) {
+  // An exec'd worker re-enters main() and reaches this same call site; the
+  // environment routes it into the worker path instead of launching again.
+  if (const char* rank_env = std::getenv(kEnvRank)) {
+    const char* world_env = std::getenv(kEnvWorld);
+    const char* port_env = std::getenv(kEnvPort);
+    PEACHY_REQUIRE(world_env && port_env,
+                   "worker environment incomplete: "
+                       << kEnvRank << " set without " << kEnvWorld << "/"
+                       << kEnvPort);
+    net::TcpOptions worker_tcp = tcp;
+    if (const char* fault_env = std::getenv(kEnvFault))
+      worker_tcp.fault = net::FaultPlan::decode(fault_env);
+    const char* ckpt_env = std::getenv(kEnvCkpt);
+    worker_main(std::atoi(rank_env), std::atoi(world_env),
+                std::atoi(port_env), worker_tcp,
+                ckpt_env ? ckpt_env : "", body);
+  }
+
+  PEACHY_REQUIRE(ranks >= 1, "world needs >= 1 rank, got " << ranks);
+  CkptDirGuard ckpt(resilience);
+  // One launcher across attempts: respawned ranks replace (kill + reap)
+  // their previous incarnations slot by slot.
+  net::ProcessLauncher launcher;
+  return supervise(resilience, tcp, [&](const net::TcpOptions& attempt_tcp) {
+    return spawn_attempt(ranks, worker_argv, body, attempt_tcp, ckpt.dir(),
+                         launcher);
+  });
+}
+
 RunOutcome run_world(int ranks, const RunOptions& options,
                      const std::function<void(Comm&)>& body) {
   if (options.spawn)
-    return run_spawned(ranks, options.worker_argv, body, options.tcp);
-  return run_threads(ranks, options, body);
+    return run_spawned(ranks, options.worker_argv, body, options.tcp,
+                       options.resilience);
+  CkptDirGuard ckpt(options.resilience);
+  return supervise(options.resilience, options.tcp,
+                   [&](const net::TcpOptions& attempt_tcp) {
+                     RunOptions attempt = options;
+                     attempt.tcp = attempt_tcp;
+                     return run_threads(ranks, attempt, ckpt.dir(), body);
+                   });
 }
 
 CommStats run(int ranks, const std::function<void(Comm&)>& body) {

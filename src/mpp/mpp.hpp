@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,24 @@ struct NetStats {
   std::uint64_t fault_severed = 0;
 };
 
+/// Recovery policy for a supervised world (mpp::run_world / run_spawned).
+/// With max_restarts > 0 a failed attempt (PeerDied, a dead worker process,
+/// a worker error) is not propagated: every rank is respawned and the body
+/// re-runs, restoring from the last committed checkpoint via
+/// Comm::restore(). The restart budget bounds how long a persistent fault
+/// can spin before the original error finally surfaces.
+struct Resilience {
+  int max_restarts = 0;        ///< 0 = fail fast (the pre-recovery behavior)
+  /// Where checkpoints live. Empty + supervised: a private temp directory
+  /// is created and removed with the run. Non-empty: created if missing,
+  /// kept afterwards — which is what lets a *new invocation* resume.
+  std::string checkpoint_dir;
+  /// Clear the fault plan on restart (transient-fault model: the injector
+  /// proved the failure path; replaying the same deterministic faults
+  /// forever would exhaust the budget without ever finishing).
+  bool disarm_faults_on_restart = true;
+};
+
 /// How to run a world (mpp::run_world).
 struct RunOptions {
   TransportKind transport = TransportKind::kInproc;
@@ -70,6 +89,8 @@ struct RunOptions {
   std::vector<std::string> worker_argv;
   /// Socket timeouts, retry budget, and fault plan for the tcp substrate.
   net::TcpOptions tcp;
+  /// Checkpoint/restart policy; inert by default.
+  Resilience resilience;
 };
 
 /// What a world run produced beyond side effects: aggregate stats and the
@@ -80,6 +101,8 @@ struct RunOutcome {
   CommStats comm;
   NetStats net;
   std::vector<std::byte> rank0_result;
+  /// How many times the supervisor restarted the world (0 = clean run).
+  int restarts = 0;
 };
 
 /// A rank's endpoint into a world: an MPI communicator handle bound to one
@@ -194,6 +217,27 @@ class Comm {
     return mine;
   }
 
+  /// Collective checkpoint: every rank contributes its local state blob,
+  /// rank 0 durably commits the set (mpp/checkpoint.hpp) and broadcasts the
+  /// new epoch, which is returned on every rank. Call at a point where all
+  /// ranks agree on progress (e.g. right after a collective) so the saved
+  /// cut is consistent. Throws unless checkpointing() is enabled.
+  int checkpoint(const void* data, std::size_t bytes);
+
+  /// Collective restore: rank 0 loads the last committed checkpoint and
+  /// redistributes the blobs; every rank gets its own back, or nullopt
+  /// when no checkpoint has ever been committed. Sets checkpoint_epoch().
+  std::optional<std::vector<std::byte>> restore();
+
+  /// Epoch of the last checkpoint this rank committed or restored; 0 when
+  /// neither has happened.
+  int checkpoint_epoch() const { return epoch_; }
+
+  /// True when a checkpoint directory is configured (Resilience policy or
+  /// set_checkpoint_dir) — bodies gate their checkpoint/restore calls on it.
+  bool checkpointing() const { return !ckpt_dir_.empty(); }
+  void set_checkpoint_dir(std::string dir) { ckpt_dir_ = std::move(dir); }
+
   /// Stashes bytes that run_world()/run_spawned() hand back to the
   /// launcher as RunOutcome::rank0_result. Only rank 0's stash is
   /// collected — it is how a spawned world returns its answer across the
@@ -216,6 +260,7 @@ class Comm {
   static constexpr int detail_tag_scatter() { return -4244; }
   static constexpr int detail_tag_barrier() { return -4245; }
   static constexpr int detail_tag_reduce() { return -4246; }
+  static constexpr int detail_tag_ckpt() { return -4247; }
 
   void send_bytes(int dest, int tag, const void* data, std::size_t bytes);
   void recv_bytes(int src, int tag, void* data, std::size_t bytes);
@@ -225,6 +270,8 @@ class Comm {
   std::unique_ptr<net::Transport> transport_;
   CommStats stats_;
   std::vector<std::byte> result_;
+  std::string ckpt_dir_;
+  int epoch_ = 0;
 };
 
 /// SPMD launcher: runs `body(comm)` on `ranks` threads over the in-process
@@ -247,10 +294,13 @@ RunOutcome run_world(int ranks, const RunOptions& options,
 /// e.g. {"/proc/self/exe", "--gtest_filter=<this test>"} to re-enter a
 /// test body). Worker failures surface as peachy::Error naming the rank;
 /// a worker that dies silently is detected, reaped, and reported — the
-/// launcher never hangs on a dead child.
+/// launcher never hangs on a dead child. With resilience.max_restarts > 0
+/// the world is supervised instead: failed attempts are respawned and
+/// resume from the last committed checkpoint (see Resilience).
 RunOutcome run_spawned(int ranks, const std::vector<std::string>& worker_argv,
                        const std::function<void(Comm&)>& body,
-                       const net::TcpOptions& tcp = {});
+                       const net::TcpOptions& tcp = {},
+                       const Resilience& resilience = {});
 
 /// The shared state behind a group of in-process ranks. Exposed for tests
 /// that need to drive ranks manually; most code should use mpp::run*.

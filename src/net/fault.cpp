@@ -1,26 +1,93 @@
 #include "net/fault.hpp"
 
+#include <cerrno>
+#include <charconv>
+#include <cstdlib>
 #include <sstream>
+#include <vector>
 
 #include "core/error.hpp"
 #include "core/rng.hpp"
 
 namespace peachy::net {
 
+namespace {
+
+// The encoding travels through one environment variable into exec'd
+// workers, so decode() must treat it as untrusted input: a truncated or
+// hand-edited plan has to fail loudly instead of silently zeroing fields
+// (a worker running with *no* faults when the launcher injects them would
+// desynchronize every seeded-fault test).
+
+[[noreturn]] void bad_plan(const std::string& text, const std::string& why) {
+  throw Error("bad fault plan encoding \"" + text + "\": " + why);
+}
+
+std::vector<std::string> split_fields(const std::string& text) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t colon = text.find(':', start);
+    if (colon == std::string::npos) {
+      fields.push_back(text.substr(start));
+      return fields;
+    }
+    fields.push_back(text.substr(start, colon - start));
+    start = colon + 1;
+  }
+}
+
+template <typename Int>
+Int parse_int(const std::string& text, const std::string& field,
+              const std::string& value) {
+  Int out{};
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || ptr != value.data() + value.size())
+    bad_plan(text, field + " \"" + value + "\" is not an integer");
+  return out;
+}
+
+double parse_probability(const std::string& text, const std::string& field,
+                         const std::string& value) {
+  if (value.empty()) bad_plan(text, field + " is empty");
+  errno = 0;
+  char* end = nullptr;
+  const double p = std::strtod(value.c_str(), &end);
+  if (errno != 0 || end != value.c_str() + value.size())
+    bad_plan(text, field + " \"" + value + "\" is not a number");
+  if (!(p >= 0.0 && p <= 1.0))
+    bad_plan(text, field + " " + value + " is outside [0, 1]");
+  return p;
+}
+
+}  // namespace
+
 std::string FaultPlan::encode() const {
   std::ostringstream os;
+  os.precision(17);  // doubles survive the env-var round trip bit-exactly
   os << seed << ":" << drop << ":" << duplicate << ":" << delay << ":"
      << delay_ms << ":" << sever_after;
   return os.str();
 }
 
 FaultPlan FaultPlan::decode(const std::string& text) {
+  const std::vector<std::string> fields = split_fields(text);
+  if (fields.size() != 6)
+    bad_plan(text, "expected 6 ':'-separated fields "
+                   "(seed:drop:dup:delay:delay_ms:sever_after), got " +
+                       std::to_string(fields.size()));
   FaultPlan plan;
-  std::istringstream is(text);
-  char c = 0;
-  is >> plan.seed >> c >> plan.drop >> c >> plan.duplicate >> c >>
-      plan.delay >> c >> plan.delay_ms >> c >> plan.sever_after;
-  PEACHY_REQUIRE(!is.fail(), "bad fault plan encoding \"" << text << "\"");
+  plan.seed = parse_int<std::uint64_t>(text, "seed", fields[0]);
+  plan.drop = parse_probability(text, "drop probability", fields[1]);
+  plan.duplicate = parse_probability(text, "duplicate probability", fields[2]);
+  plan.delay = parse_probability(text, "delay probability", fields[3]);
+  plan.delay_ms = parse_int<int>(text, "delay_ms", fields[4]);
+  if (plan.delay_ms < 0)
+    bad_plan(text, "delay_ms " + fields[4] + " is negative");
+  plan.sever_after = parse_int<std::int64_t>(text, "sever_after", fields[5]);
+  if (plan.sever_after < -1)
+    bad_plan(text, "sever_after " + fields[5] + " must be >= -1");
   return plan;
 }
 

@@ -28,22 +28,38 @@ ProcessLauncher::~ProcessLauncher() {
     if (pid > 0) ::waitpid(pid, nullptr, 0);
 }
 
-void ProcessLauncher::fork_workers(int n,
-                                   const std::function<int(int)>& child_fn) {
-  for (int r = 0; r < n; ++r) {
-    const pid_t pid = ::fork();
-    PEACHY_REQUIRE(pid >= 0, "fork failed: " << std::strerror(errno));
-    if (pid == 0) {
+pid_t ProcessLauncher::spawn_one(int rank) {
+  const pid_t pid = ::fork();
+  PEACHY_REQUIRE(pid >= 0, "fork failed: " << std::strerror(errno));
+  if (pid == 0) {
+    if (fork_recipe_) {
       int code = 1;
       try {
-        code = child_fn(r);
+        code = fork_recipe_(rank);
       } catch (...) {
         code = 1;
       }
       ::_exit(code);
     }
-    pids_.push_back(pid);
+    for (const auto& [key, value] : exec_env_(rank))
+      ::setenv(key.c_str(), value.c_str(), 1);
+    std::vector<char*> cargv;
+    cargv.reserve(exec_argv_.size() + 1);
+    for (const auto& a : exec_argv_)
+      cargv.push_back(const_cast<char*>(a.c_str()));
+    cargv.push_back(nullptr);
+    ::execv(cargv[0], cargv.data());
+    ::_exit(127);  // exec failed
   }
+  return pid;
+}
+
+void ProcessLauncher::fork_workers(int n,
+                                   const std::function<int(int)>& child_fn) {
+  fork_recipe_ = child_fn;
+  exec_argv_.clear();
+  exec_env_ = nullptr;
+  for (int r = 0; r < n; ++r) respawn(r);
 }
 
 void ProcessLauncher::exec_workers(
@@ -51,21 +67,28 @@ void ProcessLauncher::exec_workers(
     const std::function<std::vector<std::pair<std::string, std::string>>(int)>&
         env_for_rank) {
   PEACHY_REQUIRE(!argv.empty(), "exec_workers needs a command line");
-  for (int r = 0; r < n; ++r) {
-    const pid_t pid = ::fork();
-    PEACHY_REQUIRE(pid >= 0, "fork failed: " << std::strerror(errno));
-    if (pid == 0) {
-      for (const auto& [key, value] : env_for_rank(r))
-        ::setenv(key.c_str(), value.c_str(), 1);
-      std::vector<char*> cargv;
-      cargv.reserve(argv.size() + 1);
-      for (const auto& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
-      cargv.push_back(nullptr);
-      ::execv(cargv[0], cargv.data());
-      ::_exit(127);  // exec failed
-    }
-    pids_.push_back(pid);
+  fork_recipe_ = nullptr;
+  exec_argv_ = argv;
+  exec_env_ = env_for_rank;
+  for (int r = 0; r < n; ++r) respawn(r);
+}
+
+pid_t ProcessLauncher::respawn(int rank) {
+  PEACHY_REQUIRE(rank >= 0, "respawn of negative rank " << rank);
+  PEACHY_REQUIRE(fork_recipe_ || !exec_argv_.empty(),
+                 "respawn(" << rank << ") before any spawn call set a recipe");
+  if (static_cast<std::size_t>(rank) >= pids_.size())
+    pids_.resize(static_cast<std::size_t>(rank) + 1, -1);
+  pid_t& slot = pids_[static_cast<std::size_t>(rank)];
+  if (slot > 0) {
+    // The old incarnation may be live, a zombie, or already reaped by
+    // wait_all; kill is advisory, the reap is what frees the slot.
+    ::kill(slot, SIGKILL);
+    ::waitpid(slot, nullptr, 0);
+    slot = -1;
   }
+  slot = spawn_one(rank);
+  return slot;
 }
 
 std::vector<int> ProcessLauncher::wait_all(int timeout_ms) {
@@ -102,6 +125,19 @@ std::vector<int> ProcessLauncher::wait_all(int timeout_ms) {
 void ProcessLauncher::kill_all() {
   for (pid_t pid : pids_)
     if (pid > 0) ::kill(pid, SIGKILL);
+}
+
+std::string describe_exit_code(int code) {
+  if (code == 0) return "exited cleanly";
+  if (code == 127) return "exec failed (exit code 127)";
+  if (code == 255) return "SIGKILLed at the wait_all deadline";
+  if (code > 128) {
+    const int sig = code - 128;
+    const char* name = ::strsignal(sig);
+    return "killed by signal " + std::to_string(sig) +
+           (name ? " (" + std::string(name) + ")" : "");
+  }
+  return "exited with code " + std::to_string(code);
 }
 
 }  // namespace peachy::net

@@ -12,6 +12,10 @@
 // wait_all() is deadline-bounded: stragglers are SIGKILLed and reported
 // instead of hanging the launcher — a crashed worker must surface as an
 // error, never as a stuck test.
+//
+// Both spawn styles record their recipe, so respawn(rank) can fork a
+// replacement for a single failed rank later — the building block of the
+// supervised restart loop in mpp::run_spawned.
 #pragma once
 
 #include <sys/types.h>
@@ -38,6 +42,11 @@ class ProcessLauncher {
       const std::function<std::vector<std::pair<std::string, std::string>>(
           int rank)>& env_for_rank);
 
+  /// Forks a fresh worker for `rank` from the recipe captured by the last
+  /// fork_workers/exec_workers call. A still-running previous incarnation
+  /// of that rank is SIGKILLed and reaped first. Returns the new pid.
+  pid_t respawn(int rank);
+
   /// Waits for every child; after `timeout_ms`, survivors are SIGKILLed.
   /// Returns one exit code per rank (128+signal for signal deaths, 255 for
   /// a child that had to be killed).
@@ -49,7 +58,18 @@ class ProcessLauncher {
   int spawned() const { return static_cast<int>(pids_.size()); }
 
  private:
-  std::vector<pid_t> pids_;
+  pid_t spawn_one(int rank);
+
+  std::vector<pid_t> pids_;  // indexed by rank; -1 = reaped / never spawned
+  // Exactly one of these recipes is set after the first spawn call.
+  std::function<int(int)> fork_recipe_;
+  std::vector<std::string> exec_argv_;
+  std::function<std::vector<std::pair<std::string, std::string>>(int)>
+      exec_env_;
 };
+
+/// Human-readable root cause for a wait_all exit code, e.g.
+/// "killed by signal 9 (Killed)" or "exec failed (exit code 127)".
+std::string describe_exit_code(int code);
 
 }  // namespace peachy::net

@@ -40,6 +40,16 @@ obs::Histogram& obs_rtt_ns() {
   static obs::Histogram& h = obs::Registry::global().histogram("net.rtt_ns");
   return h;
 }
+obs::Counter& obs_heartbeats_sent() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("net.heartbeats_sent");
+  return c;
+}
+obs::Counter& obs_heartbeats_missed() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("net.heartbeats_missed");
+  return c;
+}
 
 }  // namespace
 
@@ -62,6 +72,7 @@ TcpTransport::TcpTransport(int rank, int world, int rendezvous_port,
   const auto make_peer = [&](int r, Socket sock) {
     auto p = std::make_unique<Peer>();
     p->sock = std::move(sock);
+    p->last_rx = Clock::now();  // the handshake just proved liveness
     if (opt_.fault.active())
       p->fault = std::make_unique<FaultInjector>(opt_.fault, rank_, r);
     peers_[static_cast<std::size_t>(r)] = std::move(p);
@@ -346,6 +357,9 @@ void TcpTransport::handle_frame(int src, const FrameHeader& h,
       cv_.notify_all();
       break;
     }
+    case FrameType::kPing:
+      // Pure liveness proof — last_rx was already refreshed by the reader.
+      break;
     default:
       mark_dead(src, "unexpected frame type " +
                          std::to_string(static_cast<int>(h.type)) +
@@ -353,7 +367,59 @@ void TcpTransport::handle_frame(int src, const FrameHeader& h,
   }
 }
 
+void TcpTransport::heartbeat_pass() {
+  if (opt_.heartbeat_ms <= 0) return;
+  const auto now = Clock::now();
+  const int suspicion_ms = opt_.suspicion_timeout_ms > 0
+                               ? opt_.suspicion_timeout_ms
+                               : 4 * opt_.heartbeat_ms;
+  for (int r = 0; r < world_; ++r) {
+    if (r == rank_) continue;
+    Peer& p = peer(r);
+    {
+      std::lock_guard lock(mu_);
+      // A peer that said goodbye is draining, not dead — stop judging it.
+      if (p.dead || p.goodbye) continue;
+    }
+    if (!p.sock.valid()) continue;
+    const auto silence_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(now - p.last_rx)
+            .count();
+    if (silence_ms > suspicion_ms) {
+      if (obs::enabled()) obs_heartbeats_missed().add(1);
+      mark_dead(r, "no frames from rank " + std::to_string(r) + " for " +
+                       std::to_string(silence_ms) +
+                       " ms (heartbeat suspicion timeout " +
+                       std::to_string(suspicion_ms) + " ms)");
+      continue;
+    }
+    if (now - p.last_ping_tx <
+        std::chrono::milliseconds(opt_.heartbeat_ms))
+      continue;
+    p.last_ping_tx = now;
+    FrameHeader ping;
+    ping.type = FrameType::kPing;
+    ping.src = rank_;
+    try {
+      write_frame(p, encode_frame(ping, nullptr, 0));
+    } catch (const Error& e) {
+      mark_dead(r, e.what());
+      continue;
+    }
+    {
+      std::lock_guard lock(mu_);
+      ++heartbeats_sent_;
+    }
+    if (obs::enabled()) obs_heartbeats_sent().add(1);
+  }
+}
+
 void TcpTransport::reader_loop() {
+  // With heartbeats on, wake at least twice per period so pings go out and
+  // silence is noticed on time even when no socket turns readable.
+  const int poll_ms = opt_.heartbeat_ms > 0
+                          ? std::clamp(opt_.heartbeat_ms / 2, 1, 500)
+                          : 500;
   for (;;) {
     std::vector<pollfd> fds;
     std::vector<int> fd_rank;
@@ -369,34 +435,37 @@ void TcpTransport::reader_loop() {
       }
     }
     fds.push_back({wake_pipe_[0], POLLIN, 0});
-    const int rc = ::poll(fds.data(), fds.size(), 500);
-    if (rc < 0) continue;  // EINTR
-    if (rc == 0) continue;
-    if (fds.back().revents & POLLIN) return;  // destructor wake-up
-    for (std::size_t i = 0; i + 1 < fds.size(); ++i) {
-      if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
-      const int src = fd_rank[i];
-      Peer& p = peer(src);
-      FrameHeader h;
-      std::vector<std::byte> payload;
-      try {
-        if (!recv_frame(p.sock, h, payload, opt_.recv_timeout_ms)) {
-          bool graceful;
-          {
-            std::lock_guard lock(mu_);
-            graceful = p.goodbye;
+    const int rc = ::poll(fds.data(), fds.size(), poll_ms);
+    if (rc > 0) {
+      if (fds.back().revents & POLLIN) return;  // destructor wake-up
+      for (std::size_t i = 0; i + 1 < fds.size(); ++i) {
+        if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+        const int src = fd_rank[i];
+        Peer& p = peer(src);
+        FrameHeader h;
+        std::vector<std::byte> payload;
+        try {
+          if (!recv_frame(p.sock, h, payload, opt_.recv_timeout_ms)) {
+            bool graceful;
+            {
+              std::lock_guard lock(mu_);
+              graceful = p.goodbye;
+            }
+            mark_dead(src,
+                      graceful
+                          ? "peer closed the connection (graceful shutdown)"
+                          : "connection closed without a goodbye");
+            continue;
           }
-          mark_dead(src, graceful
-                             ? "peer closed the connection (graceful shutdown)"
-                             : "connection closed without a goodbye");
+        } catch (const Error& e) {
+          mark_dead(src, e.what());
           continue;
         }
-      } catch (const Error& e) {
-        mark_dead(src, e.what());
-        continue;
+        p.last_rx = Clock::now();
+        handle_frame(src, h, std::move(payload));
       }
-      handle_frame(src, h, std::move(payload));
     }
+    heartbeat_pass();  // rc < 0 is EINTR; rc == 0 is the idle tick
   }
 }
 
@@ -438,6 +507,7 @@ TcpTransport::Stats TcpTransport::stats() const {
   {
     std::lock_guard lock(mu_);
     s.retransmits = retransmits_;
+    s.heartbeats_sent = heartbeats_sent_;
   }
   // Injector counters are written under each peer's send_mutex; reading
   // them here is only exact once the world has quiesced (which is when the

@@ -20,9 +20,15 @@
 // without one, a reset, a CRC mismatch, or an exhausted retry budget marks
 // the peer dead and every blocked or future send()/recv() against it
 // throws PeerDied naming both ends. Nothing hangs: every wait carries a
-// configurable timeout.
+// configurable timeout. With TcpOptions::heartbeat_ms > 0 the reader thread
+// additionally PINGs every idle link and suspects a peer that has been
+// silent past the suspicion timeout — so a wedged (not closed) peer is
+// detected even when no application data is in flight. PINGs ride outside
+// the data sequence space, are never acked, and bypass the fault injector,
+// so enabling them does not perturb seeded-fault determinism.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -49,6 +55,8 @@ struct TcpOptions {
   int ack_timeout_ms = 100;         ///< initial retransmit timer
   int max_retries = 8;              ///< retransmissions (backoff doubles)
   int goodbye_timeout_ms = 2000;    ///< graceful-shutdown drain
+  int heartbeat_ms = 0;             ///< >0: PING every idle link this often
+  int suspicion_timeout_ms = 0;     ///< silence budget; 0 = 4 * heartbeat_ms
   FaultPlan fault;                  ///< inactive unless seed != 0
 };
 
@@ -68,6 +76,7 @@ class TcpTransport final : public Transport {
   /// Frame-level counters, aggregated over all of this rank's connections.
   struct Stats {
     std::uint64_t retransmits = 0;
+    std::uint64_t heartbeats_sent = 0;
     FaultInjector::Counters fault;
   };
   Stats stats() const;
@@ -88,11 +97,15 @@ class TcpTransport final : public Transport {
     bool goodbye = false;
     bool dead = false;
     std::string why;
+    // Reader-thread-only (never locked): heartbeat liveness bookkeeping.
+    std::chrono::steady_clock::time_point last_rx{};
+    std::chrono::steady_clock::time_point last_ping_tx{};
   };
 
   Peer& peer(int r) { return *peers_[static_cast<std::size_t>(r)]; }
   void write_frame(Peer& p, const std::vector<std::byte>& frame);
   void reader_loop();
+  void heartbeat_pass();
   void handle_frame(int src, const FrameHeader& h,
                     std::vector<std::byte> payload);
   void mark_dead(int src, const std::string& why);
@@ -110,6 +123,7 @@ class TcpTransport final : public Transport {
   std::condition_variable cv_;
   std::map<std::pair<int, int>, std::deque<std::vector<std::byte>>> channels_;
   std::uint64_t retransmits_ = 0;
+  std::uint64_t heartbeats_sent_ = 0;
 
   std::thread reader_;
   int wake_pipe_[2] = {-1, -1};

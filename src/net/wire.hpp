@@ -41,6 +41,7 @@ enum class FrameType : std::uint8_t {
   kRegister = 6,  ///< rendezvous: src=rank, tag=peer listen port
   kTable = 7,     ///< rendezvous reply: payload = world_size u32 ports
   kResult = 8,    ///< spawned worker -> launcher: stats + status + result
+  kPing = 9,      ///< heartbeat; proves liveness, carries no payload, no ack
 };
 
 struct FrameHeader {

@@ -65,6 +65,17 @@ DistributedResult stabilize_distributed(const Field& initial,
 
     bool globally_stable = false;
     int round = 0;
+    // Resume from the last committed checkpoint, if any: each rank gets its
+    // own slab back and the loop continues at the recorded round.
+    if (comm.checkpointing()) {
+      if (auto blob = comm.restore()) {
+        detail::SlabBlob slab =
+            detail::decode_slab(*blob, blk.local_rows(), W + 2);
+        round = slab.round;
+        blk.cur = std::move(slab.grid);
+        blk.next = blk.cur;
+      }
+    }
     for (;;) {
       if (options.max_rounds > 0 && round >= options.max_rounds) break;
 
@@ -117,6 +128,13 @@ DistributedResult stabilize_distributed(const Field& initial,
         globally_stable = true;
         break;
       }
+      // Checkpoint right after the allreduce: every rank is provably at the
+      // same round here, so the saved cut is globally consistent.
+      if (options.checkpoint_every > 0 && comm.checkpointing() &&
+          round % options.checkpoint_every == 0) {
+        const std::vector<std::byte> slab = detail::encode_slab(round, blk.cur);
+        comm.checkpoint(slab.data(), slab.size());
+      }
     }
 
     // --- Gather owned rows (interior cells only) at rank 0.
@@ -138,8 +156,10 @@ DistributedResult stabilize_distributed(const Field& initial,
   });
 
   detail::ResultBlob blob = detail::decode_result(outcome.rank0_result);
-  DistributedResult result{std::move(blob.field), blob.stable, blob.rounds,
-                           blob.rounds * k, outcome.comm, outcome.net};
+  DistributedResult result{std::move(blob.field), blob.stable,
+                           blob.rounds,          blob.rounds * k,
+                           outcome.comm,         outcome.net,
+                           outcome.restarts};
   return result;
 }
 

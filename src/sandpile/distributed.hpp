@@ -19,6 +19,11 @@ struct DistributedOptions {
   int ranks = 4;
   int halo_depth = 1;      ///< k: iterations per halo exchange
   int max_rounds = 0;      ///< 0 = run until globally stable
+  /// Checkpoint every N exchange rounds (0 = never). Needs a checkpoint
+  /// directory — run supervised (run.resilience.max_restarts > 0) or set
+  /// run.resilience.checkpoint_dir. On start the body restores the last
+  /// committed slab set, so an interrupted run resumes mid-computation.
+  int checkpoint_every = 0;
   mpp::RunOptions run;     ///< which substrate carries the halos
 };
 
@@ -30,6 +35,7 @@ struct DistributedResult {
   int iterations = 0;          ///< synchronous iterations (== rounds * k)
   mpp::CommStats comm;         ///< aggregate messages/bytes over all ranks
   mpp::NetStats net;           ///< frame-level counters (tcp only)
+  int restarts = 0;            ///< supervised world restarts (0 = clean run)
 };
 
 /// Stabilizes `initial` with `options.ranks` ranks using synchronous

@@ -98,6 +98,16 @@ Distributed2dResult stabilize_distributed_2d(const Field& initial,
 
     bool globally_stable = false;
     int round = 0;
+    // Resume from the last committed checkpoint, if any: each rank gets its
+    // own slab back and the loop continues at the recorded round.
+    if (comm.checkpointing()) {
+      if (auto blob = comm.restore()) {
+        detail::SlabBlob slab = detail::decode_slab(*blob, LR, LC);
+        round = slab.round;
+        cur = std::move(slab.grid);
+        next = cur;
+      }
+    }
     for (;;) {
       if (opt.max_rounds > 0 && round >= opt.max_rounds) break;
 
@@ -173,6 +183,13 @@ Distributed2dResult stabilize_distributed_2d(const Field& initial,
         globally_stable = true;
         break;
       }
+      // Checkpoint right after the allreduce: every rank is provably at the
+      // same round here, so the saved cut is globally consistent.
+      if (opt.checkpoint_every > 0 && comm.checkpointing() &&
+          round % opt.checkpoint_every == 0) {
+        const std::vector<std::byte> slab = detail::encode_slab(round, cur);
+        comm.checkpoint(slab.data(), slab.size());
+      }
     }
 
     // Gather owned blocks at rank 0 (rank order; root reassembles from the
@@ -200,8 +217,10 @@ Distributed2dResult stabilize_distributed_2d(const Field& initial,
   });
 
   detail::ResultBlob blob = detail::decode_result(outcome.rank0_result);
-  Distributed2dResult result{std::move(blob.field), blob.stable, blob.rounds,
-                             blob.rounds * k, outcome.comm, outcome.net};
+  Distributed2dResult result{std::move(blob.field), blob.stable,
+                             blob.rounds,          blob.rounds * k,
+                             outcome.comm,         outcome.net,
+                             outcome.restarts};
   return result;
 }
 

@@ -19,6 +19,9 @@ struct Distributed2dOptions {
   int ranks_x = 2;       ///< process-grid columns
   int halo_depth = 1;    ///< k: iterations per halo exchange
   int max_rounds = 0;    ///< 0 = run until globally stable
+  /// Checkpoint every N exchange rounds (0 = never); see
+  /// DistributedOptions::checkpoint_every for the directory requirements.
+  int checkpoint_every = 0;
   mpp::RunOptions run;   ///< which substrate carries the halos
 };
 
@@ -30,6 +33,7 @@ struct Distributed2dResult {
   int iterations = 0;
   mpp::CommStats comm;
   mpp::NetStats net;     ///< frame-level counters (tcp only)
+  int restarts = 0;      ///< supervised world restarts (0 = clean run)
 };
 
 /// Stabilizes `initial` on a ranks_y x ranks_x process grid with depth-k

@@ -50,4 +50,48 @@ inline ResultBlob decode_result(const std::vector<std::byte>& blob) {
   return r;
 }
 
+// --- Per-rank checkpoint slabs --------------------------------------------
+// What one rank saves through mpp::Comm::checkpoint: the exchange round it
+// completed plus its entire local buffer (owned cells, halos, and sink
+// padding). Checkpoints are taken right after the termination allreduce, so
+// every rank's slab describes the same global round — restoring the set and
+// re-entering the loop continues the deterministic run exactly where the
+// failed attempt stood.
+
+struct SlabBlob {
+  int round = 0;
+  Grid2D<Cell> grid;
+};
+
+inline std::vector<std::byte> encode_slab(int round, const Grid2D<Cell>& grid) {
+  std::vector<std::byte> blob;
+  blob.reserve(12 + grid.size() * sizeof(Cell));
+  net::append_u32(blob, static_cast<std::uint32_t>(round));
+  net::append_u32(blob, static_cast<std::uint32_t>(grid.height()));
+  net::append_u32(blob, static_cast<std::uint32_t>(grid.width()));
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    net::append_u32(blob, grid.data()[i]);
+  return blob;
+}
+
+/// `rows` x `cols` is the geometry this rank expects — a slab saved under a
+/// different decomposition must fail loudly, not restore into the wrong shape.
+inline SlabBlob decode_slab(const std::vector<std::byte>& blob, int rows,
+                            int cols) {
+  const std::byte* p = blob.data();
+  const std::byte* end = p + blob.size();
+  SlabBlob s;
+  s.round = static_cast<int>(net::read_u32(p, end));
+  const int h = static_cast<int>(net::read_u32(p, end));
+  const int w = static_cast<int>(net::read_u32(p, end));
+  PEACHY_REQUIRE(h == rows && w == cols,
+                 "checkpoint slab is " << h << "x" << w << ", this rank needs "
+                                       << rows << "x" << cols);
+  s.grid = Grid2D<Cell>(h, w, 0);
+  for (std::size_t i = 0; i < s.grid.size(); ++i)
+    s.grid.data()[i] = static_cast<Cell>(net::read_u32(p, end));
+  PEACHY_REQUIRE(p == end, "trailing garbage in checkpoint slab");
+  return s;
+}
+
 }  // namespace peachy::sandpile::detail

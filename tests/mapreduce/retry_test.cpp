@@ -1,0 +1,163 @@
+// Per-task failure containment: a throwing mapper/reducer is re-dispatched
+// up to JobConfig::max_task_retries times before the job fails, retried
+// tasks re-run their split from scratch, and the output stays byte-equal to
+// a clean run — Hadoop's task-level fault tolerance in miniature.
+#include "mapreduce/job.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace peachy::mr {
+namespace {
+
+using WordCountJob = Job<int, std::string, std::string, int, std::string, int>;
+
+void word_mapper(const int&, const std::string& line,
+                 Emitter<std::string, int>& out) {
+  std::string word;
+  for (char c : line + " ") {
+    if (c == ' ') {
+      if (!word.empty()) out.emit(word, 1);
+      word.clear();
+    } else {
+      word += c;
+    }
+  }
+}
+
+void sum_reducer(const std::string& w, const std::vector<int>& vs,
+                 Emitter<std::string, int>& out) {
+  int total = 0;
+  for (int v : vs) total += v;
+  out.emit(w, total);
+}
+
+std::vector<std::pair<int, std::string>> sample_lines() {
+  return {{0, "the quick brown fox"},
+          {1, "the lazy dog"},
+          {2, "poison the quick dog"},
+          {3, "fox barks"}};
+}
+
+std::vector<std::pair<std::string, int>> clean_run(const JobConfig& cfg) {
+  WordCountJob job;
+  job.mapper(word_mapper).reducer(sum_reducer).config(cfg);
+  return job.run(sample_lines());
+}
+
+TEST(TaskRetry, FlakyMapperCompletesWithIdenticalOutput) {
+  JobConfig cfg{2, 2, 4, 1};
+  cfg.max_task_retries = 2;
+  const auto expected = clean_run(cfg);
+
+  std::atomic<int> failures_left{1};
+  WordCountJob job;
+  job.mapper([&](const int& k, const std::string& line,
+                 Emitter<std::string, int>& out) {
+       if (line.find("poison") != std::string::npos &&
+           failures_left.fetch_sub(1) > 0)
+         throw Error("simulated mapper crash");
+       word_mapper(k, line, out);
+     })
+      .reducer(sum_reducer)
+      .config(cfg);
+  const auto out = job.run(sample_lines());
+
+  EXPECT_EQ(out, expected);  // same records in the same order
+  EXPECT_GE(job.counters().map_task_retries, 1u);
+  EXPECT_TRUE(job.counters().failed_tasks.empty());
+}
+
+TEST(TaskRetry, FlakyReducerCompletesWithIdenticalOutput) {
+  JobConfig cfg{2, 2, 4, 2};
+  cfg.max_task_retries = 1;
+  WordCountJob clean;
+  clean.mapper(word_mapper).reducer(sum_reducer).config(cfg);
+  const auto expected = clean.run(sample_lines());
+
+  std::atomic<int> failures_left{1};
+  WordCountJob job;
+  job.mapper(word_mapper)
+      .reducer([&](const std::string& w, const std::vector<int>& vs,
+                   Emitter<std::string, int>& out) {
+        if (w == "the" && failures_left.fetch_sub(1) > 0)
+          throw Error("simulated reducer crash");
+        sum_reducer(w, vs, out);
+      })
+      .config(cfg);
+  const auto out = job.run(sample_lines());
+
+  EXPECT_EQ(out, expected);
+  EXPECT_GE(job.counters().reduce_task_retries, 1u);
+  EXPECT_TRUE(job.counters().failed_tasks.empty());
+}
+
+TEST(TaskRetry, ExhaustedRetriesFailTheJobNamingTheTask) {
+  JobConfig cfg{2, 1, 4, 1};
+  cfg.max_task_retries = 1;
+  WordCountJob job;
+  job.mapper([](const int&, const std::string& line,
+                Emitter<std::string, int>&) {
+       if (line.find("poison") != std::string::npos)
+         throw Error("permanent mapper failure");
+       // Other splits succeed; only the poisoned one exhausts its budget.
+     })
+      .reducer(sum_reducer)
+      .config(cfg);
+  try {
+    job.run(sample_lines());
+    FAIL() << "a permanently failing task must fail the job";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("map task(s) still failing"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("permanent mapper failure"), std::string::npos) << msg;
+  }
+  ASSERT_EQ(job.counters().failed_tasks.size(), 1u);
+  EXPECT_EQ(job.counters().failed_tasks[0].rfind("map:", 0), 0u)
+      << job.counters().failed_tasks[0];
+  EXPECT_EQ(job.counters().map_task_retries, 1u);
+}
+
+TEST(TaskRetry, ZeroRetriesFailsFast) {
+  WordCountJob job;
+  JobConfig cfg{1, 1, 2, 1};  // max_task_retries defaults to 0
+  job.mapper([](const int&, const std::string& line,
+                Emitter<std::string, int>&) {
+       if (line.find("poison") != std::string::npos)
+         throw Error("crash with retries disabled");
+     })
+      .reducer(sum_reducer)
+      .config(cfg);
+  EXPECT_THROW(job.run(sample_lines()), Error);
+  EXPECT_EQ(job.counters().map_task_retries, 0u);
+}
+
+TEST(TaskRetry, OutputIndependentOfWorkerCountUnderRetries) {
+  JobConfig base{1, 1, 4, 1};
+  base.max_task_retries = 2;
+  const auto expected = clean_run(base);
+  for (int workers : {2, 4}) {
+    std::atomic<int> failures_left{2};  // two distinct crashes per job
+    JobConfig cfg{workers, workers, 4, 1};
+    cfg.max_task_retries = 2;
+    WordCountJob job;
+    job.mapper([&](const int& k, const std::string& line,
+                   Emitter<std::string, int>& out) {
+         if (failures_left.fetch_sub(1) > 0)
+           throw Error("simulated crash");
+         word_mapper(k, line, out);
+       })
+        .reducer(sum_reducer)
+        .config(cfg);
+    EXPECT_EQ(job.run(sample_lines()), expected) << workers << " workers";
+    EXPECT_GE(job.counters().map_task_retries, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace peachy::mr

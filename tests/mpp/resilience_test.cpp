@@ -1,0 +1,231 @@
+// Checkpoint/restore and the supervised restart loop: the pieces that turn
+// "a rank died" from a propagated error into a bounded recovery.
+#include <gtest/gtest.h>
+
+#include <stdlib.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "mpp/checkpoint.hpp"
+#include "mpp/mpp.hpp"
+
+namespace peachy::mpp {
+namespace {
+
+// A fresh private directory per test, removed on teardown.
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/peachy-resilience-XXXXXX";
+    path_ = ::mkdtemp(tmpl);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::vector<std::byte> blob_of(std::int32_t value) {
+  std::vector<std::byte> b(sizeof(value));
+  std::memcpy(b.data(), &value, sizeof(value));
+  return b;
+}
+
+std::int32_t value_of(const std::vector<std::byte>& b) {
+  std::int32_t value = -1;
+  EXPECT_EQ(b.size(), sizeof(value));
+  if (b.size() == sizeof(value)) std::memcpy(&value, b.data(), sizeof(value));
+  return value;
+}
+
+TEST(Checkpoint, FileRoundTripPreservesEpochAndBlobs) {
+  TempDir dir;
+  CheckpointImage image;
+  image.epoch = 3;
+  image.blobs = {blob_of(10), blob_of(20), {}};  // empty blob is legal
+  save_checkpoint(dir.path(), image);
+  // The commit is an atomic rename: no temp file may survive it.
+  EXPECT_FALSE(std::filesystem::exists(dir.path() + "/ckpt.tmp"));
+
+  const auto back = load_checkpoint(dir.path(), 3);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->epoch, 3);
+  ASSERT_EQ(back->blobs.size(), 3u);
+  EXPECT_EQ(value_of(back->blobs[0]), 10);
+  EXPECT_EQ(value_of(back->blobs[1]), 20);
+  EXPECT_TRUE(back->blobs[2].empty());
+}
+
+TEST(Checkpoint, MissingFileIsNotAnError) {
+  TempDir dir;
+  EXPECT_FALSE(load_checkpoint(dir.path(), 2).has_value());
+}
+
+TEST(Checkpoint, CorruptedFileIsRejected) {
+  TempDir dir;
+  CheckpointImage image;
+  image.epoch = 1;
+  image.blobs = {blob_of(42), blob_of(43)};
+  save_checkpoint(dir.path(), image);
+
+  const std::string file = dir.path() + "/" + kCheckpointFile;
+  {
+    // Flip one payload byte; the CRC trailer must catch it.
+    std::fstream f(file, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(18);
+    char b = 0;
+    f.seekg(18);
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x40);
+    f.seekp(18);
+    f.write(&b, 1);
+  }
+  EXPECT_THROW(load_checkpoint(dir.path(), 2), Error);
+}
+
+TEST(Checkpoint, TruncatedFileIsRejected) {
+  TempDir dir;
+  CheckpointImage image;
+  image.epoch = 1;
+  image.blobs = {blob_of(42)};
+  save_checkpoint(dir.path(), image);
+  const std::string file = dir.path() + "/" + kCheckpointFile;
+  std::filesystem::resize_file(file, std::filesystem::file_size(file) - 3);
+  EXPECT_THROW(load_checkpoint(dir.path(), 1), Error);
+}
+
+TEST(Checkpoint, WorldSizeMismatchIsRejected) {
+  TempDir dir;
+  CheckpointImage image;
+  image.epoch = 1;
+  image.blobs = {blob_of(1), blob_of(2)};
+  save_checkpoint(dir.path(), image);
+  EXPECT_THROW(load_checkpoint(dir.path(), 3), Error);
+}
+
+TEST(Resilience, CommCheckpointRestoreRoundTrip) {
+  TempDir dir;
+  RunOptions opt;
+  opt.resilience.checkpoint_dir = dir.path();
+  run_world(3, opt, [](Comm& comm) {
+    ASSERT_TRUE(comm.checkpointing());
+    const std::int32_t mine = 100 + comm.rank();
+    const std::vector<std::byte> blob = blob_of(mine);
+    const int epoch = comm.checkpoint(blob.data(), blob.size());
+    EXPECT_EQ(epoch, 1);
+    const auto back = comm.restore();
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(value_of(*back), mine);  // each rank gets its own slab back
+    EXPECT_EQ(comm.checkpoint_epoch(), 1);
+  });
+}
+
+TEST(Resilience, RestoreWithoutACommittedCheckpointIsEmpty) {
+  TempDir dir;
+  RunOptions opt;
+  opt.resilience.checkpoint_dir = dir.path();
+  run_world(2, opt, [](Comm& comm) {
+    EXPECT_FALSE(comm.restore().has_value());
+    EXPECT_EQ(comm.checkpoint_epoch(), 0);
+  });
+}
+
+TEST(Resilience, CheckpointWithoutADirectoryThrows) {
+  run_world(1, RunOptions{}, [](Comm& comm) {
+    EXPECT_FALSE(comm.checkpointing());
+    const std::int32_t x = 1;
+    EXPECT_THROW(comm.checkpoint(&x, sizeof(x)), Error);
+    EXPECT_THROW(comm.restore(), Error);
+  });
+}
+
+TEST(Resilience, SupervisedRunRestartsFromTheLastCheckpoint) {
+  std::atomic<int> attempts{0};
+  RunOptions opt;
+  opt.resilience.max_restarts = 3;  // unnamed dir: private, auto-removed
+  const RunOutcome out = run_world(1, opt, [&](Comm& comm) {
+    attempts.fetch_add(1);
+    if (const auto blob = comm.restore()) {
+      // Second attempt: resume from what the failed attempt committed.
+      EXPECT_EQ(value_of(*blob), 7);
+      EXPECT_EQ(comm.checkpoint_epoch(), 1);
+      return;
+    }
+    const std::vector<std::byte> blob = blob_of(7);
+    comm.checkpoint(blob.data(), blob.size());
+    throw Error("transient failure after the first checkpoint");
+  });
+  EXPECT_EQ(attempts.load(), 2);
+  EXPECT_EQ(out.restarts, 1);
+}
+
+TEST(Resilience, MultiRankSupervisedRestoreHandsEachRankItsSlab) {
+  std::atomic<int> bodies{0};
+  RunOptions opt;
+  opt.resilience.max_restarts = 2;
+  const RunOutcome out = run_world(2, opt, [&](Comm& comm) {
+    bodies.fetch_add(1);
+    const auto blob = comm.restore();
+    if (!blob) {
+      const std::vector<std::byte> mine = blob_of(10 * (comm.rank() + 1));
+      comm.checkpoint(mine.data(), mine.size());
+      // Every rank throws, so nobody blocks on a peer that already left.
+      throw Error("transient failure on rank " +
+                  std::to_string(comm.rank()));
+    }
+    EXPECT_EQ(value_of(*blob), 10 * (comm.rank() + 1));
+    const std::int64_t sum = comm.allreduce_sum(value_of(*blob));
+    EXPECT_EQ(sum, 30);
+  });
+  EXPECT_EQ(bodies.load(), 4);  // 2 ranks x 2 attempts
+  EXPECT_EQ(out.restarts, 1);
+}
+
+TEST(Resilience, ExhaustedRestartBudgetPropagatesTheError) {
+  std::atomic<int> attempts{0};
+  RunOptions opt;
+  opt.resilience.max_restarts = 2;
+  try {
+    run_world(1, opt, [&](Comm&) {
+      attempts.fetch_add(1);
+      throw Error("persistent failure");
+    });
+    FAIL() << "a persistent failure must eventually surface";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("persistent failure"),
+              std::string::npos);
+  }
+  EXPECT_EQ(attempts.load(), 3);  // initial + 2 restarts
+}
+
+TEST(Resilience, NamedCheckpointDirSurvivesTheRun) {
+  // Cross-invocation resume: the first (capped) run commits a checkpoint
+  // into a caller-named directory; a second run restores from it.
+  TempDir dir;
+  RunOptions opt;
+  opt.resilience.checkpoint_dir = dir.path();
+  run_world(1, opt, [](Comm& comm) {
+    const std::vector<std::byte> blob = blob_of(55);
+    comm.checkpoint(blob.data(), blob.size());
+  });
+  ASSERT_TRUE(
+      std::filesystem::exists(dir.path() + "/" + std::string(kCheckpointFile)));
+  run_world(1, opt, [](Comm& comm) {
+    const auto blob = comm.restore();
+    ASSERT_TRUE(blob.has_value());
+    EXPECT_EQ(value_of(*blob), 55);
+  });
+}
+
+}  // namespace
+}  // namespace peachy::mpp

@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
+
+#include "core/error.hpp"
 
 namespace peachy::net {
 namespace {
@@ -115,6 +118,55 @@ TEST(Fault, PlanEncodeDecodeRoundTrip) {
   const auto b = roll(back, 0, 1, 50);
   for (std::size_t i = 0; i < a.size(); ++i)
     EXPECT_EQ(a[i].drop, b[i].drop) << "frame " << i;
+}
+
+// --- Decode hardening: a fault plan travels through an environment
+// variable into forked workers, so a corrupted encoding must fail loudly
+// (clear error naming the input) instead of silently disabling faults.
+
+void expect_bad_plan(const std::string& text) {
+  try {
+    FaultPlan::decode(text);
+    FAIL() << "decode accepted \"" << text << "\"";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("bad fault plan encoding"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Fault, DecodeRejectsTruncatedEncodings) {
+  expect_bad_plan("");
+  expect_bad_plan("12");
+  expect_bad_plan("12:0.5");
+  expect_bad_plan("12:0.5:0.5:0.5:2");       // 5 of 6 fields
+  expect_bad_plan("12:0.5:0.5:0.5:2:3:9");   // 7 fields
+}
+
+TEST(Fault, DecodeRejectsCorruptFields) {
+  expect_bad_plan("abc:0:0:0:2:-1");      // seed not a number
+  expect_bad_plan("12:zero:0:0:2:-1");    // probability not a number
+  expect_bad_plan("12:0.5x:0:0:2:-1");    // trailing garbage in a field
+  expect_bad_plan("12:0:0:0:2:-1x");      // trailing garbage at the end
+  expect_bad_plan("12:0:0:0::-1");        // empty field
+}
+
+TEST(Fault, DecodeRejectsOutOfRangeValues) {
+  expect_bad_plan("12:1.5:0:0:2:-1");    // drop probability > 1
+  expect_bad_plan("12:-0.1:0:0:2:-1");   // negative probability
+  expect_bad_plan("12:0:2:0:2:-1");      // duplicate probability > 1
+  expect_bad_plan("12:0:0:0:-3:-1");     // negative delay_ms
+  expect_bad_plan("12:0:0:0:2:-2");      // sever_after below -1
+}
+
+TEST(Fault, DecodeAcceptsBoundaryValues) {
+  const FaultPlan plan = FaultPlan::decode("1:0:1:0.5:0:-1");
+  EXPECT_EQ(plan.seed, 1u);
+  EXPECT_DOUBLE_EQ(plan.drop, 0.0);
+  EXPECT_DOUBLE_EQ(plan.duplicate, 1.0);
+  EXPECT_DOUBLE_EQ(plan.delay, 0.5);
+  EXPECT_EQ(plan.delay_ms, 0);
+  EXPECT_EQ(plan.sever_after, -1);
 }
 
 }  // namespace

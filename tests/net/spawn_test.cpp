@@ -5,13 +5,16 @@
 #include <gtest/gtest.h>
 
 #include <signal.h>
+#include <unistd.h>
 
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "mpp/mpp.hpp"
+#include "net/process.hpp"
 #include "sandpile/distributed.hpp"
 #include "sandpile/distributed2d.hpp"
 #include "sandpile/field.hpp"
@@ -64,7 +67,47 @@ TEST(Spawn, KilledWorkerIsDetectedNotHung) {
     const std::string msg = e.what();
     EXPECT_NE(msg.find("rank 1"), std::string::npos) << msg;
     EXPECT_NE(msg.find("died before reporting"), std::string::npos) << msg;
+    // The report names the root cause decoded from the wait status.
+    EXPECT_NE(msg.find("signal 9"), std::string::npos) << msg;
   }
+}
+
+TEST(Spawn, WaitAllKillsAndReapsASleeperAtTheDeadline) {
+  net::ProcessLauncher launcher;
+  launcher.fork_workers(2, [](int rank) {
+    if (rank == 1) ::sleep(30);  // far past the deadline
+    return 0;
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<int> codes = launcher.wait_all(300);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::seconds(5)) << "wait_all hung";
+  ASSERT_EQ(codes.size(), 2u);
+  EXPECT_EQ(codes[0], 0);
+  EXPECT_EQ(codes[1], 255);  // SIGKILLed straggler
+  EXPECT_NE(net::describe_exit_code(codes[1]).find("deadline"),
+            std::string::npos)
+      << net::describe_exit_code(codes[1]);
+}
+
+TEST(Spawn, RespawnReplacesARanksProcess) {
+  net::ProcessLauncher launcher;
+  launcher.fork_workers(1, [](int) {
+    ::sleep(30);
+    return 0;
+  });
+  ASSERT_EQ(launcher.spawned(), 1);
+  // Each respawn SIGKILLs + reaps the previous incarnation and forks a
+  // fresh one from the recorded recipe.
+  const pid_t second = launcher.respawn(0);
+  const pid_t third = launcher.respawn(0);
+  EXPECT_GT(second, 0);
+  EXPECT_GT(third, 0);
+  EXPECT_NE(second, third);
+  EXPECT_EQ(launcher.spawned(), 1);
+  const std::vector<int> codes = launcher.wait_all(200);
+  ASSERT_EQ(codes.size(), 1u);
+  EXPECT_EQ(codes[0], 255);  // the live incarnation still sleeps
 }
 
 TEST(Spawn, Sandpile1dByteIdenticalAcrossAllBackends) {
