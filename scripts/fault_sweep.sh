@@ -1,20 +1,40 @@
 #!/usr/bin/env bash
-# Sweeps the kill-and-recover integration test across 25 fault seeds. Each
-# seed moves the link-sever point (see sweep_sever_after() in
-# tests/sandpile/recovery_test.cpp), so the world dies at 25 different
-# instants — early in the run, mid-checkpoint-interval, late — and must
-# recover to the byte-identical grid every time. A hang (per-seed timeout)
-# or a wrong grid fails the sweep.
+# Sweeps a kill-and-recover integration test across 25 fault seeds. Each
+# seed moves the link-sever point (see sweep_sever_after() in the suite's
+# test file), so the world dies at 25 different instants — early in the
+# run, mid-checkpoint-interval, late — and must recover to byte-identical
+# output every time. A hang (per-seed timeout) or wrong output fails the
+# sweep.
 #
-# Usage: scripts/fault_sweep.sh <recovery_test binary> [seeds] [timeout_s]
-# Wired as the optional `fault_sweep` ctest target behind
-# -DPEACHY_ENABLE_FAULT_SWEEP=ON.
+# Suites:
+#   sandpile (default) — recovery_test, severed rank mid-halo-exchange,
+#                        recovered grid must match the fault-free one
+#   dmr                — dmr_recovery_test, severed rank mid-shuffle,
+#                        reduced output must match the in-process engine
+#
+# Usage: fault_sweep.sh [--suite sandpile|dmr] <test binary> [seeds] [timeout_s]
+# Wired as the optional `fault_sweep` / `fault_sweep_dmr` ctest targets
+# behind -DPEACHY_ENABLE_FAULT_SWEEP=ON.
 set -u
 
-BIN="${1:?usage: fault_sweep.sh <recovery_test binary> [seeds] [timeout_s]}"
+SUITE=sandpile
+if [ "${1:-}" = "--suite" ]; then
+  SUITE="${2:?--suite needs an argument (sandpile|dmr)}"
+  shift 2
+fi
+
+case "$SUITE" in
+  sandpile) FILTER='Recovery.Spawned2dSeveredRankRecoversByteIdentical' ;;
+  dmr)      FILTER='DmrRecovery.SpawnedSeveredRankRecoversByteIdentical' ;;
+  *)
+    echo "fault_sweep: unknown suite '$SUITE' (expected sandpile or dmr)" >&2
+    exit 2
+    ;;
+esac
+
+BIN="${1:?usage: fault_sweep.sh [--suite sandpile|dmr] <test binary> [seeds] [timeout_s]}"
 SEEDS="${2:-25}"
 PER_SEED_TIMEOUT="${3:-120}"
-FILTER='Recovery.Spawned2dSeveredRankRecoversByteIdentical'
 
 if [ ! -x "$BIN" ]; then
   echo "fault_sweep: $BIN is not an executable" >&2
@@ -38,7 +58,7 @@ for seed in $(seq 1 "$SEEDS"); do
 done
 
 if [ "$failed" -ne 0 ]; then
-  echo "fault_sweep: $failed of $SEEDS seeds failed" >&2
+  echo "fault_sweep: $failed of $SEEDS seeds failed ($SUITE suite)" >&2
   exit 1
 fi
-echo "fault_sweep: all $SEEDS seeds recovered"
+echo "fault_sweep: all $SEEDS seeds recovered ($SUITE suite)"

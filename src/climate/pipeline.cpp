@@ -18,6 +18,7 @@ struct MeanAcc {
 };
 
 thread_local mr::JobCounters g_last_counters;
+thread_local DmrPipelineStats g_last_dmr_stats;
 
 bool parse_int(const std::string& s, int* out) {
   const char* begin = s.data();
@@ -37,64 +38,38 @@ bool parse_double(const std::string& s, double* out) {
   }
 }
 
-}  // namespace
+// The three phases of the annual-means job, shared by the in-process and
+// the distributed pipeline — one definition is what keeps their floating-
+// point accumulation, and therefore their output, bit-identical.
 
-std::vector<std::string> month_major_all_lines(const MonthlyDataset& data) {
-  std::vector<std::string> lines;
-  for (int m = 1; m <= 12; ++m)
-    for (auto& line : month_major_lines(data, m)) lines.push_back(std::move(line));
-  return lines;
+void annual_mapper(const int&, const std::string& line,
+                   mr::Emitter<int, MeanAcc>& out) {
+  const auto fields = split_csv_line(line);
+  int year = 0;
+  if (fields.empty() || !parse_int(fields[0], &year)) return;  // header
+  MeanAcc acc;
+  for (std::size_t i = 1; i < fields.size(); ++i) {
+    double t = 0.0;
+    if (!parse_double(fields[i], &t)) continue;  // missing cell
+    acc.sum += t;
+    ++acc.count;
+  }
+  if (acc.count > 0) out.emit(year, acc);
 }
 
-AnnualSeries annual_means_mapreduce(const MonthlyDataset& data,
-                                    const PipelineConfig& config) {
-  const std::vector<std::string> lines = month_major_all_lines(data);
-
-  // Input records: (line number, line).
-  std::vector<std::pair<int, std::string>> inputs;
-  inputs.reserve(lines.size());
-  for (std::size_t i = 0; i < lines.size(); ++i)
-    inputs.emplace_back(static_cast<int>(i), lines[i]);
-
-  mr::Job<int, std::string, int, MeanAcc, int, MeanAcc> job;
-  job.mapper([](const int&, const std::string& line,
+void annual_sum(const int& year, const std::vector<MeanAcc>& values,
                 mr::Emitter<int, MeanAcc>& out) {
-       const auto fields = split_csv_line(line);
-       int year = 0;
-       if (fields.empty() || !parse_int(fields[0], &year)) return;  // header
-       MeanAcc acc;
-       for (std::size_t i = 1; i < fields.size(); ++i) {
-         double t = 0.0;
-         if (!parse_double(fields[i], &t)) continue;  // missing cell
-         acc.sum += t;
-         ++acc.count;
-       }
-       if (acc.count > 0) out.emit(year, acc);
-     })
-      .reducer([](const int& year, const std::vector<MeanAcc>& values,
-                  mr::Emitter<int, MeanAcc>& out) {
-        MeanAcc total;
-        for (const MeanAcc& v : values) {
-          total.sum += v.sum;
-          total.count += v.count;
-        }
-        out.emit(year, total);
-      })
-      .config(mr::JobConfig{config.map_workers, config.reduce_workers, 0, 0});
-  if (config.use_combiner)
-    job.combiner([](const int& year, const std::vector<MeanAcc>& values,
-                    mr::Emitter<int, MeanAcc>& out) {
-      MeanAcc total;
-      for (const MeanAcc& v : values) {
-        total.sum += v.sum;
-        total.count += v.count;
-      }
-      out.emit(year, total);
-    });
+  MeanAcc total;
+  for (const MeanAcc& v : values) {
+    total.sum += v.sum;
+    total.count += v.count;
+  }
+  out.emit(year, total);
+}
 
-  const auto results = job.run(inputs);
-  g_last_counters = job.counters();
-
+/// Folds reducer output (year, {sum, count}) into the AnnualSeries shape.
+AnnualSeries to_series(const MonthlyDataset& data,
+                       const std::vector<std::pair<int, MeanAcc>>& results) {
   AnnualSeries series;
   series.first_year = data.first_year();
   const auto years = static_cast<std::size_t>(data.num_years());
@@ -110,6 +85,52 @@ AnnualSeries annual_means_mapreduce(const MonthlyDataset& data,
     series.complete[i] = acc.count == 12 * kNumStates;
   }
   return series;
+}
+
+/// Input records: (line number, line) over all month-major lines.
+std::vector<std::pair<int, std::string>> numbered_lines(
+    const MonthlyDataset& data) {
+  const std::vector<std::string> lines = month_major_all_lines(data);
+  std::vector<std::pair<int, std::string>> inputs;
+  inputs.reserve(lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i)
+    inputs.emplace_back(static_cast<int>(i), lines[i]);
+  return inputs;
+}
+
+}  // namespace
+
+std::vector<std::string> month_major_all_lines(const MonthlyDataset& data) {
+  std::vector<std::string> lines;
+  for (int m = 1; m <= 12; ++m)
+    for (auto& line : month_major_lines(data, m)) lines.push_back(std::move(line));
+  return lines;
+}
+
+AnnualSeries annual_means_mapreduce(const MonthlyDataset& data,
+                                    const PipelineConfig& config) {
+  mr::Job<int, std::string, int, MeanAcc, int, MeanAcc> job;
+  job.mapper(annual_mapper)
+      .reducer(annual_sum)
+      .config(mr::JobConfig{config.map_workers, config.reduce_workers,
+                            config.map_tasks, config.partitions});
+  if (config.use_combiner) job.combiner(annual_sum);
+
+  const auto results = job.run(numbered_lines(data));
+  g_last_counters = job.counters();
+  return to_series(data, results);
+}
+
+AnnualSeries annual_means_dmr(const MonthlyDataset& data,
+                              const DmrPipelineConfig& config) {
+  dmr::Job<int, std::string, int, MeanAcc, int, MeanAcc> job;
+  job.mapper(annual_mapper).reducer(annual_sum).options(config.options);
+  if (config.use_combiner) job.combiner(annual_sum);
+
+  const auto result = job.run(numbered_lines(data));
+  g_last_dmr_stats =
+      DmrPipelineStats{result.counters, result.comm, result.restarts};
+  return to_series(data, result.output);
 }
 
 AnnualSeries annual_means_streaming(const std::vector<std::string>& lines,
@@ -203,5 +224,7 @@ AnnualSeries annual_means_streaming(const std::vector<std::string>& lines,
 }
 
 const mr::JobCounters& last_pipeline_counters() { return g_last_counters; }
+
+const DmrPipelineStats& last_dmr_stats() { return g_last_dmr_stats; }
 
 }  // namespace peachy::climate

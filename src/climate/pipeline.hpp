@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "climate/dwd.hpp"
+#include "dmr/job.hpp"
 #include "mapreduce/job.hpp"
 #include "mapreduce/streaming.hpp"
 
@@ -32,6 +33,17 @@ namespace peachy::climate {
 struct PipelineConfig {
   int map_workers = 2;
   int reduce_workers = 2;
+  bool use_combiner = true;
+  int map_tasks = 0;   ///< input splits; 0 = the engine default
+  int partitions = 0;  ///< reduce partitions; 0 = the engine default
+};
+
+/// Configuration for the distributed pipeline: the full dmr::Options
+/// (ranks, transport, spawn, spill budget, checkpointing) plus the same
+/// combiner toggle the in-process pipeline has. For output identical to
+/// annual_means_mapreduce, run both with the same map_tasks/partitions.
+struct DmrPipelineConfig {
+  dmr::Options options;
   bool use_combiner = true;
 };
 
@@ -43,6 +55,13 @@ std::vector<std::string> month_major_all_lines(const MonthlyDataset& data);
 AnnualSeries annual_means_mapreduce(const MonthlyDataset& data,
                                     const PipelineConfig& config = {});
 
+/// Distributed pipeline: the same job as annual_means_mapreduce executed
+/// on the dmr engine across config.options.ranks ranks (threads, sockets
+/// or spawned processes). Forks when options.run.spawn is set — call it
+/// before anything creates the shared task arena.
+AnnualSeries annual_means_dmr(const MonthlyDataset& data,
+                              const DmrPipelineConfig& config = {});
+
 /// Streaming pipeline over raw `lines` in either layout (may be mixed).
 /// Years outside [first_year, last_year] are rejected with an error.
 AnnualSeries annual_means_streaming(const std::vector<std::string>& lines,
@@ -53,5 +72,14 @@ AnnualSeries annual_means_streaming(const std::vector<std::string>& lines,
 /// Counters of the last annual_means_mapreduce call on this thread
 /// (exposed for tests/benchmarks that check engine behaviour).
 const mr::JobCounters& last_pipeline_counters();
+
+/// Counters and world stats of the last annual_means_dmr call on this
+/// thread (shuffle bytes, spills, partition skew, restarts).
+struct DmrPipelineStats {
+  dmr::Counters counters;
+  mpp::CommStats comm;
+  int restarts = 0;
+};
+const DmrPipelineStats& last_dmr_stats();
 
 }  // namespace peachy::climate

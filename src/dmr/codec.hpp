@@ -1,0 +1,77 @@
+// Record serialization for the distributed MapReduce shuffle (src/dmr).
+//
+// Intermediate and output records must cross rank boundaries (sockets,
+// process gaps) and survive on disk in spill runs, so dmr needs a byte
+// codec per key/value type. The default handles every trivially copyable
+// type by memcpy; std::string gets its own specialization. Anything else
+// must specialize Codec<T> — a compile-time error points there.
+//
+// Ordering note: encoded bytes are NOT compared; the external sorter
+// decodes keys and compares with the type's operator<, so dmr orders
+// records exactly like the single-process mr::Job does. Codecs only need
+// to round-trip, not to be order-preserving.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace peachy::dmr {
+
+/// Byte codec for one record component. encode() appends to `out`;
+/// decode() consumes exactly `n` bytes at `p` (the record framing stores
+/// per-field lengths, so decoders never need to guess).
+template <typename T, typename Enable = void>
+struct Codec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "no dmr::Codec for this type: specialize Codec<T> to ship "
+                "it through the distributed shuffle");
+
+  static void encode(const T& v, std::vector<std::byte>& out) {
+    const auto* p = reinterpret_cast<const std::byte*>(&v);
+    out.insert(out.end(), p, p + sizeof(T));
+  }
+
+  static T decode(const std::byte* p, std::size_t n) {
+    PEACHY_REQUIRE(n == sizeof(T), "dmr codec: expected " << sizeof(T)
+                                                          << " bytes, got "
+                                                          << n);
+    T v;
+    std::memcpy(&v, p, sizeof(T));
+    return v;
+  }
+};
+
+template <>
+struct Codec<std::string> {
+  static void encode(const std::string& v, std::vector<std::byte>& out) {
+    const auto* p = reinterpret_cast<const std::byte*>(v.data());
+    out.insert(out.end(), p, p + v.size());
+  }
+
+  static std::string decode(const std::byte* p, std::size_t n) {
+    return std::string(reinterpret_cast<const char*>(p), n);
+  }
+};
+
+/// Approximate in-memory footprint of a record component — the unit the
+/// spill buffer cap and the shuffle-byte counters are measured in. For
+/// encoded-on-the-wire records this matches the payload bytes exactly.
+template <typename T>
+std::size_t byte_size(const T& v) {
+  if constexpr (std::is_same_v<T, std::string>) {
+    return v.size();
+  } else if constexpr (std::is_trivially_copyable_v<T>) {
+    return sizeof(T);
+  } else {
+    std::vector<std::byte> tmp;  // custom-codec types: measure by encoding
+    Codec<T>::encode(v, tmp);
+    return tmp.size();
+  }
+}
+
+}  // namespace peachy::dmr

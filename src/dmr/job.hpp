@@ -1,0 +1,699 @@
+// dmr — distributed MapReduce over the mpp/net stack (DESIGN.md
+// "Distributed MapReduce").
+//
+// The in-process engine (mapreduce/job.hpp) fans a job out over threads;
+// this engine fans the *same job* out over ranks — threads, loopback
+// sockets, or forked worker processes, whichever substrate
+// mpp::RunOptions selects — the shape a real Hadoop deployment takes.
+// Execution per rank:
+//
+//   1. map      — global splits are dealt round-robin to ranks; each rank
+//                 maps its splits (map_workers threads) and runs the
+//                 combiner per task, exactly like mr::Job.
+//   2. shuffle  — intermediate records are hash-partitioned; partition p
+//                 lives on rank p mod R. Each epoch ends with an
+//                 all-to-all exchange of framed record blocks over the
+//                 transport (one length-prefixed message per peer).
+//   3. sort     — every rank feeds received records into per-partition
+//                 external sorters: bounded in-memory buffers that spill
+//                 sorted run files to disk, k-way merged at reduce — so a
+//                 shuffle larger than memory still completes.
+//   4. reduce   — each rank reduces its partitions (reduce_workers
+//                 threads) streaming groups off the merge; rank 0 gathers
+//                 per-partition outputs in partition order.
+//
+// Determinism: records are ordered by (partition, key, map task, emit
+// seq); keys are compared with K2's operator< after decode, and the
+// (task, seq) tie-break reproduces mr::Job's (map task, emit order) value
+// ordering — so for the same JobConfig-shaped knobs (map_tasks,
+// partitions, combiner) the output is byte-identical to the in-process
+// engine, for any rank/worker count and any transport. Tests assert it.
+//
+// Fault tolerance: the unit of recovery is the *world*, not the task
+// (mr::Job's per-task retries stay an in-process feature). Map progress
+// is cut into epochs; after each exchanged epoch a rank can checkpoint
+// its received-so-far record set through Comm::checkpoint. When a rank
+// dies mid-shuffle (PeerDied, severed link, killed process), the PR-4
+// supervisor respawns the world and the body restores the last committed
+// epoch — the shuffle restarts from there instead of from scratch.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/error.hpp"
+#include "dmr/codec.hpp"
+#include "dmr/sorter.hpp"
+#include "dmr/spill.hpp"
+#include "mapreduce/job.hpp"
+#include "mpp/mpp.hpp"
+#include "obs/obs.hpp"
+
+namespace peachy::dmr {
+
+/// Defaults chosen independent of the rank count on purpose: a job's
+/// output is a function of (input, map_tasks, partitions), so defaults
+/// tied to ranks would silently change the result between world sizes.
+inline constexpr int kDefaultMapTasks = 16;
+inline constexpr int kDefaultPartitions = 8;
+
+/// Distributed execution knobs.
+struct Options {
+  int ranks = 2;             ///< world size (>= 1)
+  mpp::RunOptions run;       ///< transport | spawn | faults | resilience
+  int map_workers = 1;       ///< map threads per rank
+  int reduce_workers = 1;    ///< reduce threads per rank
+  int map_tasks = 0;         ///< global input splits; 0 = kDefaultMapTasks
+  int partitions = 0;        ///< reduce partitions; 0 = kDefaultPartitions
+  /// Map progress is cut into this many shuffle epochs; an epoch is the
+  /// checkpoint/restart granularity (1 = single monolithic shuffle).
+  int map_epochs = 1;
+  /// Checkpoint after every N committed epochs (0 = never). Requires a
+  /// checkpoint directory: run supervised (run.resilience.max_restarts >
+  /// 0) or name run.resilience.checkpoint_dir.
+  int checkpoint_every = 0;
+  /// Per-rank cap on the external sorters' in-memory buffers, split
+  /// evenly across the rank's partitions. 0 = unbounded (never spills).
+  std::size_t spill_buffer_bytes = 0;
+  /// Base directory for spill runs ("" = a private mkdtemp per rank,
+  /// removed when the job ends).
+  std::string spill_dir;
+};
+
+/// Aggregate counters over all ranks (the distributed JobCounters).
+struct Counters {
+  std::size_t map_inputs = 0;
+  std::size_t map_outputs = 0;
+  std::size_t combine_outputs = 0;
+  std::size_t shuffle_records = 0;  ///< records routed into partitions
+  std::size_t shuffle_bytes = 0;    ///< framed bytes sent rank-to-rank
+  std::size_t local_bytes = 0;      ///< framed bytes that stayed local
+  std::size_t groups = 0;
+  std::size_t reduce_outputs = 0;
+  SpillStats spill;                 ///< external-sort spill accounting
+  /// Records per partition (index = partition id) — the skew profile.
+  std::vector<std::size_t> partition_records;
+  int epochs = 0;                   ///< map epochs executed (any attempt)
+};
+
+/// What a distributed job run produced.
+template <typename K3, typename V3>
+struct Result {
+  std::vector<std::pair<K3, V3>> output;
+  Counters counters;
+  mpp::CommStats comm;
+  mpp::NetStats net;
+  int restarts = 0;  ///< supervised world restarts (0 = clean run)
+};
+
+namespace detail {
+
+/// Runs fn(0..n-1) on up to `workers` plain threads (not the TaskArena:
+/// dmr bodies execute inside forked worker processes, where the shared
+/// arena's threads would not exist). Rethrows the first failure.
+inline void run_indexed(std::size_t n, int workers,
+                        const std::function<void(std::size_t)>& fn) {
+  const std::size_t w =
+      std::min<std::size_t>(n, static_cast<std::size_t>(std::max(1, workers)));
+  if (w <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::mutex mu;
+  std::exception_ptr error;
+  std::vector<std::thread> threads;
+  threads.reserve(w);
+  for (std::size_t t = 0; t < w; ++t) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        try {
+          fn(i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(mu);
+          if (!error) error = std::current_exception();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+inline void put_u32(std::uint32_t v, std::vector<std::byte>& out) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+}
+
+inline void put_u64(std::uint64_t v, std::vector<std::byte>& out) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+}
+
+inline std::uint32_t take_u32(const std::vector<std::byte>& buf,
+                              std::size_t& pos) {
+  PEACHY_REQUIRE(buf.size() - pos >= 4, "dmr blob truncated reading u32");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(buf[pos + static_cast<std::size_t>(i)])
+         << (8 * i);
+  pos += 4;
+  return v;
+}
+
+inline std::uint64_t take_u64(const std::vector<std::byte>& buf,
+                              std::size_t& pos) {
+  PEACHY_REQUIRE(buf.size() - pos >= 8, "dmr blob truncated reading u64");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(buf[pos + static_cast<std::size_t>(i)])
+         << (8 * i);
+  pos += 8;
+  return v;
+}
+
+/// Per-rank counter block shipped to rank 0 with the outputs. Fixed-width
+/// so it frames trivially.
+struct RankCounters {
+  std::uint64_t map_outputs = 0;
+  std::uint64_t combine_outputs = 0;
+  std::uint64_t shuffle_records = 0;
+  std::uint64_t shuffle_bytes = 0;
+  std::uint64_t local_bytes = 0;
+  std::uint64_t groups = 0;
+  std::uint64_t reduce_outputs = 0;
+  std::uint64_t spills = 0;
+  std::uint64_t spilled_records = 0;
+  std::uint64_t spilled_bytes = 0;
+  std::uint64_t epochs = 0;
+};
+
+}  // namespace detail
+
+/// A typed distributed MapReduce job. Same phase signatures as mr::Job;
+/// K2/V2 (and K3/V3) additionally need a dmr::Codec so they can cross
+/// rank boundaries and spill to disk.
+template <typename K1, typename V1, typename K2, typename V2, typename K3,
+          typename V3>
+class Job {
+ public:
+  using Mapper = std::function<void(const K1&, const V1&, mr::Emitter<K2, V2>&)>;
+  using Combiner = std::function<void(const K2&, const std::vector<V2>&,
+                                      mr::Emitter<K2, V2>&)>;
+  using Reducer = std::function<void(const K2&, const std::vector<V2>&,
+                                     mr::Emitter<K3, V3>&)>;
+  using Partitioner = std::function<int(const K2&, int)>;
+  using ValueComparator = std::function<bool(const V2&, const V2&)>;
+
+  Job& mapper(Mapper m) { mapper_ = std::move(m); return *this; }
+  Job& combiner(Combiner c) { combiner_ = std::move(c); return *this; }
+  Job& reducer(Reducer r) { reducer_ = std::move(r); return *this; }
+  Job& partitioner(Partitioner p) { partitioner_ = std::move(p); return *this; }
+  Job& sort_values(ValueComparator cmp) {
+    value_cmp_ = std::move(cmp);
+    return *this;
+  }
+  Job& options(Options opt) { options_ = std::move(opt); return *this; }
+
+  /// Runs the job distributed over options().ranks ranks. Every rank must
+  /// see the same `inputs` (the replicated-input model: each worker reads
+  /// the same job files) — with spawned workers the vector is inherited
+  /// through fork or rebuilt by the re-exec'd main on its way back here.
+  Result<K3, V3> run(const std::vector<std::pair<K1, V1>>& inputs) {
+    PEACHY_REQUIRE(mapper_ != nullptr, "dmr job has no mapper");
+    PEACHY_REQUIRE(reducer_ != nullptr, "dmr job has no reducer");
+    PEACHY_REQUIRE(options_.ranks >= 1,
+                   "dmr job needs >= 1 rank, got " << options_.ranks);
+    PEACHY_REQUIRE(options_.map_workers >= 1 && options_.reduce_workers >= 1,
+                   "worker counts must be >= 1");
+    const int splits =
+        options_.map_tasks > 0 ? options_.map_tasks : kDefaultMapTasks;
+    const int partitions =
+        options_.partitions > 0 ? options_.partitions : kDefaultPartitions;
+    const int epochs = std::max(1, options_.map_epochs);
+    PEACHY_REQUIRE(options_.checkpoint_every == 0 ||
+                       options_.run.resilience.max_restarts > 0 ||
+                       !options_.run.resilience.checkpoint_dir.empty(),
+                   "checkpoint_every needs a checkpoint directory: run "
+                   "supervised or set resilience.checkpoint_dir");
+    Partitioner partition =
+        partitioner_ ? partitioner_ : Partitioner(mr::HashPartitioner<K2>{});
+
+    obs::Span job_span("dmr.job", "dmr");
+    job_span.arg("ranks", options_.ranks);
+    job_span.arg("splits", splits);
+    job_span.arg("partitions", partitions);
+    job_span.arg("epochs", epochs);
+
+    const mpp::RunOutcome outcome = mpp::run_world(
+        options_.ranks, options_.run, [&](mpp::Comm& comm) {
+          rank_body(comm, inputs, splits, partitions, epochs, partition);
+        });
+
+    Result<K3, V3> result = decode_result(outcome.rank0_result, partitions);
+    result.counters.map_inputs = inputs.size();
+    result.comm = outcome.comm;
+    result.net = outcome.net;
+    result.restarts = outcome.restarts;
+    job_span.arg("restarts", result.restarts);
+    if (obs::enabled()) {
+      obs::Registry& reg = obs::Registry::global();
+      reg.counter("dmr.jobs").add(1);
+      reg.counter("dmr.shuffle_records").add(result.counters.shuffle_records);
+      reg.counter("dmr.shuffle_bytes").add(result.counters.shuffle_bytes);
+      reg.counter("dmr.spills").add(result.counters.spill.spills);
+      reg.counter("dmr.spilled_bytes").add(result.counters.spill.spilled_bytes);
+      obs::Histogram& skew =
+          obs::Registry::global().histogram("dmr.partition_records");
+      for (const std::size_t n : result.counters.partition_records)
+        skew.observe(static_cast<std::int64_t>(n));
+    }
+    return result;
+  }
+
+ private:
+  // Reserved application tags (positive, high to stay clear of user tags
+  // in mixed workloads; FIFO per (src, tag) keeps epochs ordered anyway).
+  static constexpr int tag_shuffle(int epoch) { return 9100 + epoch; }
+  static constexpr int tag_result() { return 9050; }
+
+  /// The SPMD body every rank runs.
+  void rank_body(mpp::Comm& comm,
+                 const std::vector<std::pair<K1, V1>>& inputs, int splits,
+                 int partitions, int epochs, const Partitioner& partition) {
+    const int R = comm.size();
+    const int me = comm.rank();
+
+    // Partition p lives on rank p mod R; this rank's partitions ascending.
+    std::vector<int> owned;
+    for (int p = me; p < partitions; p += R) owned.push_back(p);
+    std::sort(owned.begin(), owned.end());
+
+    // One external sorter per owned partition; the per-rank spill budget
+    // is split evenly across them.
+    const std::size_t per_sorter_cap =
+        owned.empty() ? 0
+                      : options_.spill_buffer_bytes / owned.size();
+    std::vector<std::unique_ptr<SpillDir>> spill_dirs;
+    std::vector<std::unique_ptr<ExternalSorter<K2, V2>>> sorters;
+    std::vector<int> owner_index(static_cast<std::size_t>(partitions), -1);
+    for (std::size_t i = 0; i < owned.size(); ++i) {
+      spill_dirs.push_back(std::make_unique<SpillDir>(
+          options_.spill_dir.empty()
+              ? ""
+              : options_.spill_dir + "/rank" + std::to_string(me) + "-p" +
+                    std::to_string(owned[i])));
+      sorters.push_back(std::make_unique<ExternalSorter<K2, V2>>(
+          *spill_dirs.back(), per_sorter_cap));
+      owner_index[static_cast<std::size_t>(owned[i])] = static_cast<int>(i);
+    }
+    const auto ingest = [&](const RawRecord& rec) {
+      PEACHY_REQUIRE(rec.partition < static_cast<std::uint32_t>(partitions) &&
+                         owner_index[rec.partition] >= 0,
+                     "rank " << me << ": received record for partition "
+                             << rec.partition << " it does not own");
+      sorters[static_cast<std::size_t>(owner_index[rec.partition])]->add_raw(
+          rec);
+    };
+
+    detail::RankCounters rc;
+
+    // Resume from the last committed shuffle epoch, if any: the blob is
+    // [u32 next_epoch][framed records received so far].
+    int start_epoch = 0;
+    if (comm.checkpointing()) {
+      if (auto blob = comm.restore()) {
+        std::size_t pos = 0;
+        start_epoch = static_cast<int>(detail::take_u32(*blob, pos));
+        RawRecord rec;
+        std::size_t restored = 0;
+        while (read_record(*blob, pos, rec)) {
+          ingest(rec);
+          ++restored;
+        }
+        if (obs::enabled())
+          obs::Tracer::global().instant(
+              "dmr.restore", "dmr",
+              {{"rank", me},
+               {"epoch", start_epoch},
+               {"records", static_cast<std::int64_t>(restored)}});
+      }
+    }
+
+    // --- Map + shuffle, one epoch at a time.
+    for (int e = start_epoch; e < epochs; ++e) {
+      obs::Span epoch_span("dmr.map_epoch", "dmr");
+      epoch_span.arg("rank", me);
+      epoch_span.arg("epoch", e);
+
+      // Splits of this epoch dealt round-robin to ranks.
+      std::vector<int> my_tasks;
+      const int ep_lo = splits * e / epochs;
+      const int ep_hi = splits * (e + 1) / epochs;
+      for (int s = ep_lo; s < ep_hi; ++s)
+        if (s % R == me) my_tasks.push_back(s);
+
+      // Map + combine + partition each task; outputs are framed straight
+      // into per-destination blocks, kept per task so the concatenation
+      // below is deterministic in task order.
+      std::vector<std::vector<std::vector<std::byte>>> task_blocks(
+          my_tasks.size(),
+          std::vector<std::vector<std::byte>>(static_cast<std::size_t>(R)));
+      std::vector<std::size_t> task_map_out(my_tasks.size(), 0);
+      std::vector<std::size_t> task_comb_out(my_tasks.size(), 0);
+      detail::run_indexed(
+          my_tasks.size(), options_.map_workers, [&](std::size_t i) {
+            const int s = my_tasks[i];
+            const std::size_t lo =
+                inputs.size() * static_cast<std::size_t>(s) /
+                static_cast<std::size_t>(splits);
+            const std::size_t hi =
+                inputs.size() * (static_cast<std::size_t>(s) + 1) /
+                static_cast<std::size_t>(splits);
+            mr::Emitter<K2, V2> emitter;
+            for (std::size_t r = lo; r < hi; ++r)
+              mapper_(inputs[r].first, inputs[r].second, emitter);
+            task_map_out[i] = emitter.pairs().size();
+            std::vector<std::pair<K2, V2>> intermediate =
+                combiner_ ? mr::detail::combine_pairs(
+                                std::move(emitter.pairs()), combiner_)
+                          : std::move(emitter.pairs());
+            task_comb_out[i] = intermediate.size();
+            RawRecord rec;
+            for (std::size_t k = 0; k < intermediate.size(); ++k) {
+              const int p = partition(intermediate[k].first, partitions);
+              PEACHY_REQUIRE(p >= 0 && p < partitions,
+                             "partitioner returned " << p << " of "
+                                                     << partitions);
+              rec.partition = static_cast<std::uint32_t>(p);
+              rec.task = static_cast<std::uint32_t>(s);
+              rec.seq = static_cast<std::uint32_t>(k);
+              rec.key.clear();
+              rec.value.clear();
+              Codec<K2>::encode(intermediate[k].first, rec.key);
+              Codec<V2>::encode(intermediate[k].second, rec.value);
+              append_record(rec, task_blocks[i][static_cast<std::size_t>(
+                                     p % R)]);
+            }
+          });
+      for (std::size_t i = 0; i < my_tasks.size(); ++i) {
+        rc.map_outputs += task_map_out[i];
+        rc.combine_outputs += task_comb_out[i];
+      }
+
+      // Concatenate per-destination blocks in task order.
+      std::vector<std::vector<std::byte>> dest(static_cast<std::size_t>(R));
+      for (std::size_t i = 0; i < my_tasks.size(); ++i)
+        for (int d = 0; d < R; ++d) {
+          auto& block = task_blocks[i][static_cast<std::size_t>(d)];
+          dest[static_cast<std::size_t>(d)].insert(
+              dest[static_cast<std::size_t>(d)].end(), block.begin(),
+              block.end());
+          block.clear();
+          block.shrink_to_fit();
+        }
+
+      // All-to-all exchange: everyone sends first (sends never block),
+      // then receives in rank order. One length-prefixed message per peer
+      // per epoch, empty blocks included — the recv doubles as the epoch
+      // barrier.
+      obs::Span exchange_span("dmr.exchange", "dmr");
+      exchange_span.arg("rank", me);
+      exchange_span.arg("epoch", e);
+      for (int d = 0; d < R; ++d) {
+        if (d == me) continue;
+        const auto& block = dest[static_cast<std::size_t>(d)];
+        const std::uint64_t n = block.size();
+        comm.send(d, tag_shuffle(e), &n, 1);
+        if (n) comm.send(d, tag_shuffle(e), block.data(), block.size());
+        rc.shuffle_bytes += n;
+      }
+      {
+        std::size_t pos = 0;
+        RawRecord rec;
+        const auto& mine = dest[static_cast<std::size_t>(me)];
+        while (read_record(mine, pos, rec)) ingest(rec);
+        rc.local_bytes += mine.size();
+      }
+      for (int src = 0; src < R; ++src) {
+        if (src == me) continue;
+        std::uint64_t n = 0;
+        comm.recv(src, tag_shuffle(e), &n, 1);
+        std::vector<std::byte> block(n);
+        if (n) comm.recv(src, tag_shuffle(e), block.data(), block.size());
+        std::size_t pos = 0;
+        RawRecord rec;
+        while (read_record(block, pos, rec)) ingest(rec);
+      }
+      rc.epochs = static_cast<std::uint64_t>(e) + 1;
+      exchange_span.arg("bytes_out",
+                        static_cast<std::int64_t>(rc.shuffle_bytes));
+      exchange_span.close();
+
+      // Commit the epoch: every rank's received-so-far record set becomes
+      // the restart point. The exchange recv above is the all-ranks-agree
+      // cut the checkpoint collective needs.
+      if (comm.checkpointing() && options_.checkpoint_every > 0 &&
+          (e + 1) % options_.checkpoint_every == 0 && e + 1 < epochs) {
+        std::vector<std::byte> blob;
+        detail::put_u32(static_cast<std::uint32_t>(e) + 1, blob);
+        for (const auto& sorter : sorters)
+          sorter->snapshot(
+              [&blob](const RawRecord& rec) { append_record(rec, blob); });
+        comm.checkpoint(blob.data(), blob.size());
+      }
+    }
+
+    // --- Reduce: each owned partition streams groups off its merge.
+    std::vector<std::vector<std::pair<K3, V3>>> part_out(owned.size());
+    std::vector<std::size_t> part_groups(owned.size(), 0);
+    std::vector<std::size_t> part_records(owned.size(), 0);
+    detail::run_indexed(
+        owned.size(), options_.reduce_workers, [&](std::size_t i) {
+          obs::Span reduce_span("dmr.reduce_partition", "dmr");
+          reduce_span.arg("rank", me);
+          reduce_span.arg("partition", owned[i]);
+          ExternalSorter<K2, V2>& sorter = *sorters[i];
+          part_records[i] = sorter.total_records();
+          mr::Emitter<K3, V3> emitter;
+          bool open = false;
+          K2 current_key{};
+          std::vector<V2> values;
+          const auto flush = [&] {
+            if (!open) return;
+            if (value_cmp_)
+              std::stable_sort(values.begin(), values.end(), value_cmp_);
+            reducer_(current_key, values, emitter);
+            ++part_groups[i];
+            values.clear();
+          };
+          sorter.stream([&](std::uint32_t, const K2& key, V2& value,
+                            std::uint32_t) {
+            if (!open || current_key < key || key < current_key) {
+              flush();
+              current_key = key;
+              open = true;
+            }
+            values.push_back(std::move(value));
+          });
+          flush();
+          part_out[i] = std::move(emitter.pairs());
+          reduce_span.arg("groups",
+                          static_cast<std::int64_t>(part_groups[i]));
+        });
+    for (std::size_t i = 0; i < owned.size(); ++i) {
+      rc.shuffle_records += part_records[i];
+      rc.groups += part_groups[i];
+      rc.reduce_outputs += part_out[i].size();
+    }
+    for (const auto& sorter : sorters) {
+      rc.spills += sorter->stats().spills;
+      rc.spilled_records += sorter->stats().spilled_records;
+      rc.spilled_bytes += sorter->stats().spilled_bytes;
+    }
+
+    // --- Collect at rank 0: each rank ships one blob of [counters]
+    // [per-partition outputs]; rank 0 assembles the result in partition
+    // order and stashes it for the launcher.
+    std::vector<std::byte> mine;
+    encode_rank_blob(rc, owned, part_records, part_out, mine);
+    if (me != 0) {
+      const std::uint64_t n = mine.size();
+      comm.send(0, tag_result(), &n, 1);
+      if (n) comm.send(0, tag_result(), mine.data(), mine.size());
+      return;
+    }
+    std::vector<std::vector<std::byte>> rank_blobs(
+        static_cast<std::size_t>(R));
+    rank_blobs[0] = std::move(mine);
+    for (int src = 1; src < R; ++src) {
+      std::uint64_t n = 0;
+      comm.recv(src, tag_result(), &n, 1);
+      rank_blobs[static_cast<std::size_t>(src)].resize(n);
+      if (n)
+        comm.recv(src, tag_result(),
+                  rank_blobs[static_cast<std::size_t>(src)].data(), n);
+    }
+    const std::vector<std::byte> result_blob =
+        assemble_result(rank_blobs, partitions);
+    comm.set_result(result_blob.data(), result_blob.size());
+  }
+
+  /// Rank blob layout: [11 x u64 counters][u32 owned_count]
+  /// ([u32 partition][u64 records_in][u64 out_count] framed outputs)*.
+  static void encode_rank_blob(
+      const detail::RankCounters& rc, const std::vector<int>& owned,
+      const std::vector<std::size_t>& part_records,
+      const std::vector<std::vector<std::pair<K3, V3>>>& part_out,
+      std::vector<std::byte>& out) {
+    for (const std::uint64_t v :
+         {rc.map_outputs, rc.combine_outputs, rc.shuffle_records,
+          rc.shuffle_bytes, rc.local_bytes, rc.groups, rc.reduce_outputs,
+          rc.spills, rc.spilled_records, rc.spilled_bytes, rc.epochs})
+      detail::put_u64(v, out);
+    detail::put_u32(static_cast<std::uint32_t>(owned.size()), out);
+    RawRecord rec;
+    for (std::size_t i = 0; i < owned.size(); ++i) {
+      detail::put_u32(static_cast<std::uint32_t>(owned[i]), out);
+      detail::put_u64(part_records[i], out);
+      detail::put_u64(part_out[i].size(), out);
+      for (std::size_t k = 0; k < part_out[i].size(); ++k) {
+        rec.partition = static_cast<std::uint32_t>(owned[i]);
+        rec.task = 0;
+        rec.seq = static_cast<std::uint32_t>(k);
+        rec.key.clear();
+        rec.value.clear();
+        Codec<K3>::encode(part_out[i][k].first, rec.key);
+        Codec<V3>::encode(part_out[i][k].second, rec.value);
+        append_record(rec, out);
+      }
+    }
+  }
+
+  /// Merges every rank's blob into the final result blob rank 0 stashes:
+  /// [11 x u64 summed counters][u32 partitions][u64 records_in per
+  /// partition][u64 total outputs][framed outputs in partition order].
+  static std::vector<std::byte> assemble_result(
+      const std::vector<std::vector<std::byte>>& rank_blobs, int partitions) {
+    detail::RankCounters total;
+    std::vector<std::uint64_t> per_partition(
+        static_cast<std::size_t>(partitions), 0);
+    std::vector<std::vector<std::byte>> outputs(
+        static_cast<std::size_t>(partitions));
+    std::vector<std::uint64_t> out_counts(
+        static_cast<std::size_t>(partitions), 0);
+    for (const auto& blob : rank_blobs) {
+      std::size_t pos = 0;
+      std::uint64_t* const fields[] = {
+          &total.map_outputs, &total.combine_outputs, &total.shuffle_records,
+          &total.shuffle_bytes, &total.local_bytes, &total.groups,
+          &total.reduce_outputs, &total.spills, &total.spilled_records,
+          &total.spilled_bytes, &total.epochs};
+      for (std::uint64_t* f : fields) {
+        const std::uint64_t v = detail::take_u64(blob, pos);
+        // Epochs agree on every rank; everything else sums.
+        if (f == &total.epochs)
+          *f = std::max(*f, v);
+        else
+          *f += v;
+      }
+      const std::uint32_t owned_count = detail::take_u32(blob, pos);
+      RawRecord rec;
+      for (std::uint32_t i = 0; i < owned_count; ++i) {
+        const std::uint32_t p = detail::take_u32(blob, pos);
+        PEACHY_REQUIRE(p < per_partition.size(),
+                       "result blob names partition " << p << " of "
+                                                      << partitions);
+        per_partition[p] = detail::take_u64(blob, pos);
+        const std::uint64_t n = detail::take_u64(blob, pos);
+        out_counts[p] = n;
+        for (std::uint64_t k = 0; k < n; ++k) {
+          PEACHY_REQUIRE(read_record(blob, pos, rec),
+                         "result blob truncated mid-partition");
+          append_record(rec, outputs[p]);
+        }
+      }
+    }
+    std::vector<std::byte> out;
+    for (const std::uint64_t v :
+         {total.map_outputs, total.combine_outputs, total.shuffle_records,
+          total.shuffle_bytes, total.local_bytes, total.groups,
+          total.reduce_outputs, total.spills, total.spilled_records,
+          total.spilled_bytes, total.epochs})
+      detail::put_u64(v, out);
+    detail::put_u32(static_cast<std::uint32_t>(partitions), out);
+    for (const std::uint64_t n : per_partition) detail::put_u64(n, out);
+    std::uint64_t total_outputs = 0;
+    for (const std::uint64_t n : out_counts) total_outputs += n;
+    detail::put_u64(total_outputs, out);
+    for (const auto& part : outputs)
+      out.insert(out.end(), part.begin(), part.end());
+    return out;
+  }
+
+  /// Decodes the blob rank 0 stashed into the caller-facing Result.
+  static Result<K3, V3> decode_result(const std::vector<std::byte>& blob,
+                                      int partitions) {
+    PEACHY_REQUIRE(!blob.empty(),
+                   "dmr job produced no result blob (rank 0 died?)");
+    Result<K3, V3> result;
+    std::size_t pos = 0;
+    detail::RankCounters total;
+    std::uint64_t* const fields[] = {
+        &total.map_outputs, &total.combine_outputs, &total.shuffle_records,
+        &total.shuffle_bytes, &total.local_bytes, &total.groups,
+        &total.reduce_outputs, &total.spills, &total.spilled_records,
+        &total.spilled_bytes, &total.epochs};
+    for (std::uint64_t* f : fields) *f = detail::take_u64(blob, pos);
+    const std::uint32_t p_count = detail::take_u32(blob, pos);
+    PEACHY_REQUIRE(p_count == static_cast<std::uint32_t>(partitions),
+                   "result blob has " << p_count << " partitions, expected "
+                                      << partitions);
+    result.counters.partition_records.resize(p_count);
+    for (std::uint32_t p = 0; p < p_count; ++p)
+      result.counters.partition_records[p] =
+          static_cast<std::size_t>(detail::take_u64(blob, pos));
+    const std::uint64_t n = detail::take_u64(blob, pos);
+    result.output.reserve(n);
+    RawRecord rec;
+    for (std::uint64_t k = 0; k < n; ++k) {
+      PEACHY_REQUIRE(read_record(blob, pos, rec),
+                     "result blob truncated mid-output");
+      result.output.emplace_back(
+          Codec<K3>::decode(rec.key.data(), rec.key.size()),
+          Codec<V3>::decode(rec.value.data(), rec.value.size()));
+    }
+    result.counters.map_outputs = total.map_outputs;
+    result.counters.combine_outputs = total.combine_outputs;
+    result.counters.shuffle_records = total.shuffle_records;
+    result.counters.shuffle_bytes = total.shuffle_bytes;
+    result.counters.local_bytes = total.local_bytes;
+    result.counters.groups = total.groups;
+    result.counters.reduce_outputs = total.reduce_outputs;
+    result.counters.spill.spills = total.spills;
+    result.counters.spill.spilled_records = total.spilled_records;
+    result.counters.spill.spilled_bytes = total.spilled_bytes;
+    result.counters.epochs = static_cast<int>(total.epochs);
+    return result;
+  }
+
+  Mapper mapper_;
+  Combiner combiner_;
+  Reducer reducer_;
+  Partitioner partitioner_;
+  ValueComparator value_cmp_;
+  Options options_;
+};
+
+}  // namespace peachy::dmr

@@ -1,0 +1,198 @@
+// Spill-to-disk external sort for the dmr shuffle (DESIGN.md "Distributed
+// MapReduce").
+//
+// A rank's reducer input — every shuffle record whose partition it owns —
+// may not fit in memory. The sorter accumulates typed records in a bounded
+// in-memory buffer; when the buffer's byte footprint exceeds the cap it is
+// sorted by (partition, key, task, seq) and written out as one sorted run
+// file. stream() k-way merges the run files with the final in-memory
+// buffer, so records come out in globally sorted order using bounded
+// memory (one head record per run).
+//
+// Ordering: keys are decoded and compared with K's operator< — the same
+// comparison the single-process mr::Job uses — and ties break by (task,
+// seq), i.e. (map task, emit order). The merged stream therefore groups
+// and orders records exactly like mr::Job's in-memory merge, which is what
+// makes distributed output byte-identical to the single-process engine.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/error.hpp"
+#include "dmr/codec.hpp"
+#include "dmr/spill.hpp"
+
+namespace peachy::dmr {
+
+/// Spill accounting for one sorter (surfaced in dmr::Counters).
+struct SpillStats {
+  std::size_t spills = 0;           ///< sorted run files written
+  std::size_t spilled_records = 0;  ///< records that hit disk
+  std::size_t spilled_bytes = 0;    ///< framed bytes written to runs
+};
+
+template <typename K, typename V>
+class ExternalSorter {
+ public:
+  /// One buffered shuffle record (typed; encoded only when spilled).
+  struct Record {
+    std::uint32_t partition;
+    std::uint32_t task;
+    std::uint32_t seq;
+    K key;
+    V value;
+  };
+
+  /// `dir` owns the run files; `buffer_cap_bytes` bounds the in-memory
+  /// buffer (0 = unbounded, never spills).
+  ExternalSorter(const SpillDir& dir, std::size_t buffer_cap_bytes)
+      : dir_(dir), cap_(buffer_cap_bytes) {}
+
+  void add(std::uint32_t partition, K key, V value, std::uint32_t task,
+           std::uint32_t seq) {
+    buffered_bytes_ += 20 + byte_size(key) + byte_size(value);
+    buffer_.push_back(
+        Record{partition, task, seq, std::move(key), std::move(value)});
+    ++total_records_;
+    if (cap_ > 0 && buffered_bytes_ > cap_) spill();
+  }
+
+  /// Re-adds an encoded record (checkpoint restore path).
+  void add_raw(const RawRecord& raw) {
+    add(raw.partition, Codec<K>::decode(raw.key.data(), raw.key.size()),
+        Codec<V>::decode(raw.value.data(), raw.value.size()), raw.task,
+        raw.seq);
+  }
+
+  std::size_t total_records() const { return total_records_; }
+  const SpillStats& stats() const { return stats_; }
+
+  /// Streams every record in arbitrary order (checkpoint encoding: the
+  /// sort is total, so restore order does not matter). Readable while
+  /// buffered; must not be called after stream().
+  void snapshot(const std::function<void(const RawRecord&)>& fn) const {
+    for (std::size_t r = 0; r < runs_; ++r) {
+      RunReader reader(dir_.run_path(r));
+      RawRecord rec;
+      while (reader.next(rec)) fn(rec);
+    }
+    RawRecord rec;
+    for (const Record& b : buffer_) {
+      encode(b, rec);
+      fn(rec);
+    }
+  }
+
+  /// Sorts what is still buffered and merges it with every spilled run,
+  /// invoking `fn` once per record in (partition, key, task, seq) order.
+  /// Consumes the sorter.
+  void stream(
+      const std::function<void(std::uint32_t partition, const K& key,
+                               V& value, std::uint32_t task)>& fn) {
+    sort_buffer();
+
+    // One cursor per source: each spilled run plus the final buffer.
+    struct Cursor {
+      std::unique_ptr<RunReader> reader;  // nullptr = the in-memory buffer
+      Record head;
+      bool alive = false;
+    };
+    const auto advance = [](Cursor& c) {
+      RawRecord raw;
+      if (!c.reader->next(raw)) return false;
+      c.head.partition = raw.partition;
+      c.head.task = raw.task;
+      c.head.seq = raw.seq;
+      c.head.key = Codec<K>::decode(raw.key.data(), raw.key.size());
+      c.head.value = Codec<V>::decode(raw.value.data(), raw.value.size());
+      return true;
+    };
+    std::vector<Cursor> cursors(runs_ + 1);
+    for (std::size_t r = 0; r < runs_; ++r) {
+      cursors[r].reader = std::make_unique<RunReader>(dir_.run_path(r));
+      cursors[r].alive = advance(cursors[r]);
+    }
+    std::size_t buffer_pos = 0;
+    Cursor& mem = cursors[runs_];
+    if (buffer_pos < buffer_.size()) {
+      mem.head = std::move(buffer_[buffer_pos++]);
+      mem.alive = true;
+    }
+
+    std::size_t emitted = 0;
+    while (true) {
+      Cursor* best = nullptr;
+      for (Cursor& c : cursors)
+        if (c.alive && (best == nullptr || before(c.head, best->head)))
+          best = &c;
+      if (best == nullptr) break;
+      fn(best->head.partition, best->head.key, best->head.value,
+         best->head.task);
+      ++emitted;
+      if (best->reader) {
+        best->alive = advance(*best);
+      } else if (buffer_pos < buffer_.size()) {
+        best->head = std::move(buffer_[buffer_pos++]);
+      } else {
+        best->alive = false;
+      }
+    }
+    PEACHY_CHECK(emitted == total_records_);
+  }
+
+ private:
+  static bool before(const Record& a, const Record& b) {
+    if (a.partition != b.partition) return a.partition < b.partition;
+    if (a.key < b.key) return true;
+    if (b.key < a.key) return false;
+    if (a.task != b.task) return a.task < b.task;
+    return a.seq < b.seq;
+  }
+
+  static void encode(const Record& rec, RawRecord& out) {
+    out.partition = rec.partition;
+    out.task = rec.task;
+    out.seq = rec.seq;
+    out.key.clear();
+    out.value.clear();
+    Codec<K>::encode(rec.key, out.key);
+    Codec<V>::encode(rec.value, out.value);
+  }
+
+  void sort_buffer() {
+    std::sort(buffer_.begin(), buffer_.end(), before);
+  }
+
+  void spill() {
+    sort_buffer();
+    RunWriter writer(dir_.run_path(runs_));
+    RawRecord raw;
+    for (const Record& rec : buffer_) {
+      encode(rec, raw);
+      writer.write(raw);
+    }
+    writer.close();
+    ++runs_;
+    ++stats_.spills;
+    stats_.spilled_records += writer.records();
+    stats_.spilled_bytes += writer.bytes();
+    buffer_.clear();
+    buffered_bytes_ = 0;
+  }
+
+  const SpillDir& dir_;
+  std::size_t cap_;
+  std::vector<Record> buffer_;
+  std::size_t buffered_bytes_ = 0;
+  std::size_t total_records_ = 0;
+  std::size_t runs_ = 0;
+  SpillStats stats_;
+};
+
+}  // namespace peachy::dmr

@@ -1,0 +1,138 @@
+#include "dmr/spill.hpp"
+
+#include <stdlib.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "core/error.hpp"
+
+namespace peachy::dmr {
+
+namespace {
+
+void put_u32(std::uint32_t v, std::vector<std::byte>& out) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t get_u32(const std::byte* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+void append_record(const RawRecord& rec, std::vector<std::byte>& out) {
+  out.reserve(out.size() + rec.framed_bytes());
+  put_u32(rec.partition, out);
+  put_u32(rec.task, out);
+  put_u32(rec.seq, out);
+  put_u32(static_cast<std::uint32_t>(rec.key.size()), out);
+  put_u32(static_cast<std::uint32_t>(rec.value.size()), out);
+  out.insert(out.end(), rec.key.begin(), rec.key.end());
+  out.insert(out.end(), rec.value.begin(), rec.value.end());
+}
+
+bool read_record(const std::vector<std::byte>& buf, std::size_t& pos,
+                 RawRecord& rec) {
+  if (pos == buf.size()) return false;
+  PEACHY_REQUIRE(buf.size() - pos >= 20,
+                 "dmr record frame truncated: " << buf.size() - pos
+                                                << " bytes left, need 20");
+  const std::byte* p = buf.data() + pos;
+  rec.partition = get_u32(p);
+  rec.task = get_u32(p + 4);
+  rec.seq = get_u32(p + 8);
+  const std::uint32_t key_len = get_u32(p + 12);
+  const std::uint32_t val_len = get_u32(p + 16);
+  PEACHY_REQUIRE(buf.size() - pos - 20 >= key_len + std::size_t{val_len},
+                 "dmr record payload truncated: need "
+                     << key_len + std::size_t{val_len} << " bytes, have "
+                     << buf.size() - pos - 20);
+  rec.key.assign(p + 20, p + 20 + key_len);
+  rec.value.assign(p + 20 + key_len, p + 20 + key_len + val_len);
+  pos += 20 + key_len + std::size_t{val_len};
+  return true;
+}
+
+RunWriter::RunWriter(const std::string& path)
+    : os_(path, std::ios::binary | std::ios::trunc), path_(path) {
+  PEACHY_REQUIRE(os_.good(), "cannot create spill run " << path);
+}
+
+void RunWriter::write(const RawRecord& rec) {
+  std::vector<std::byte> frame;
+  append_record(rec, frame);
+  os_.write(reinterpret_cast<const char*>(frame.data()),
+            static_cast<std::streamsize>(frame.size()));
+  ++records_;
+  bytes_ += frame.size();
+}
+
+void RunWriter::close() {
+  os_.flush();
+  PEACHY_REQUIRE(os_.good(), "spill run write failed: " << path_);
+  os_.close();
+}
+
+RunReader::RunReader(const std::string& path)
+    : is_(path, std::ios::binary), path_(path) {
+  PEACHY_REQUIRE(is_.good(), "cannot open spill run " << path);
+}
+
+bool RunReader::next(RawRecord& rec) {
+  char header[20];
+  is_.read(header, sizeof header);
+  if (is_.gcount() == 0 && is_.eof()) return false;
+  PEACHY_REQUIRE(is_.gcount() == sizeof header,
+                 "spill run " << path_ << " torn mid-header");
+  const auto* h = reinterpret_cast<const std::byte*>(header);
+  rec.partition = get_u32(h);
+  rec.task = get_u32(h + 4);
+  rec.seq = get_u32(h + 8);
+  const std::uint32_t key_len = get_u32(h + 12);
+  const std::uint32_t val_len = get_u32(h + 16);
+  rec.key.resize(key_len);
+  rec.value.resize(val_len);
+  if (key_len) {
+    is_.read(reinterpret_cast<char*>(rec.key.data()), key_len);
+    PEACHY_REQUIRE(is_.gcount() == static_cast<std::streamsize>(key_len),
+                   "spill run " << path_ << " torn mid-key");
+  }
+  if (val_len) {
+    is_.read(reinterpret_cast<char*>(rec.value.data()), val_len);
+    PEACHY_REQUIRE(is_.gcount() == static_cast<std::streamsize>(val_len),
+                   "spill run " << path_ << " torn mid-value");
+  }
+  return true;
+}
+
+SpillDir::SpillDir(const std::string& hint) {
+  if (!hint.empty()) {
+    path_ = hint;
+    std::filesystem::create_directories(path_);
+    return;
+  }
+  char tmpl[] = "/tmp/peachy-dmr-XXXXXX";
+  PEACHY_REQUIRE(::mkdtemp(tmpl) != nullptr,
+                 "mkdtemp failed: " << std::strerror(errno));
+  path_ = tmpl;
+  owned_ = true;
+}
+
+SpillDir::~SpillDir() {
+  if (owned_) {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+}
+
+std::string SpillDir::run_path(std::size_t n) const {
+  return path_ + "/run-" + std::to_string(n) + ".spill";
+}
+
+}  // namespace peachy::dmr

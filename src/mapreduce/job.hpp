@@ -76,6 +76,15 @@ struct JobCounters {
   std::size_t groups = 0;          ///< distinct keys seen by reducers
   std::size_t reduce_outputs = 0;
   std::size_t shuffle_records = 0; ///< records moved into partitions
+  /// Approximate payload bytes moved by the shuffle (sizeof for trivially
+  /// copyable keys/values, content bytes for strings). The in-process
+  /// engine moves no real bytes; this is the figure a distributed shuffle
+  /// of the same job would put on the wire, and what bench/skew tooling
+  /// compares against dmr's measured counts.
+  std::size_t shuffle_bytes = 0;
+  /// Records per partition (index = partition id) — the skew profile. A
+  /// hot key shows up here as one entry dwarfing the rest.
+  std::vector<std::size_t> partition_records;
   std::size_t map_task_retries = 0;    ///< re-dispatched map tasks
   std::size_t reduce_task_retries = 0; ///< re-dispatched reduce tasks
   /// Task ids ("map:3", "reduce:1") that failed every attempt. Non-empty
@@ -101,6 +110,49 @@ struct HashPartitioner {
     }
   }
 };
+
+namespace detail {
+
+/// Approximate payload footprint of one shuffled component — the unit
+/// JobCounters::shuffle_bytes is measured in.
+template <typename T>
+std::size_t approx_bytes(const T& v) {
+  if constexpr (std::is_same_v<T, std::string>) {
+    return v.size();
+  } else if constexpr (std::is_trivially_copyable_v<T>) {
+    return sizeof(T);
+  } else {
+    return sizeof(T);  // best effort for exotic key/value types
+  }
+}
+
+/// Groups `pairs` by key (stable sort, emit order preserved within a key)
+/// and applies `combiner` per group — the Hadoop combiner contract. Shared
+/// by the in-process engine and the distributed one (dmr), which must
+/// pre-aggregate identically for their outputs to stay byte-identical.
+template <typename K2, typename V2, typename Combiner>
+std::vector<std::pair<K2, V2>> combine_pairs(std::vector<std::pair<K2, V2>> pairs,
+                                             const Combiner& combiner) {
+  std::stable_sort(
+      pairs.begin(), pairs.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  Emitter<K2, V2> emitter;
+  std::size_t i = 0;
+  while (i < pairs.size()) {
+    std::size_t j = i;
+    std::vector<V2> values;
+    while (j < pairs.size() && !(pairs[i].first < pairs[j].first) &&
+           !(pairs[j].first < pairs[i].first)) {
+      values.push_back(std::move(pairs[j].second));
+      ++j;
+    }
+    combiner(pairs[i].first, values, emitter);
+    i = j;
+  }
+  return std::move(emitter.pairs());
+}
+
+}  // namespace detail
 
 /// A typed MapReduce job: K1/V1 input records, K2/V2 intermediate records,
 /// K3/V3 output records.
@@ -190,7 +242,8 @@ class Job {
           map_out[s] = emitter.pairs().size();
 
           std::vector<std::pair<K2, V2>> intermediate =
-              combiner_ ? combine_locally(std::move(emitter.pairs()))
+              combiner_ ? detail::combine_pairs(std::move(emitter.pairs()),
+                                                combiner_)
                         : std::move(emitter.pairs());
           comb_out[s] = intermediate.size();
 
@@ -258,10 +311,13 @@ class Job {
     std::vector<std::size_t> group_counts(static_cast<std::size_t>(partitions),
                                           0);
     std::vector<std::size_t> shuffled(static_cast<std::size_t>(partitions), 0);
+    std::vector<std::size_t> shuffled_bytes(
+        static_cast<std::size_t>(partitions), 0);
     const auto run_reduce_partition = [&](std::size_t p) {
           outputs[p].clear();  // a retried partition starts from scratch
           group_counts[p] = 0;
           shuffled[p] = 0;
+          shuffled_bytes[p] = 0;
           const std::int64_t part_t0 = obs::enabled() ? now_ns() : 0;
           struct Run {
             std::vector<std::pair<K2, V2>>* records;
@@ -294,6 +350,9 @@ class Job {
             // With retries enabled the merge must leave the map-task runs
             // intact (a failed partition re-reads them), so it copies; the
             // fail-fast path keeps the cheaper move.
+            shuffled_bytes[p] +=
+                detail::approx_bytes((*best->records)[best->pos].first) +
+                detail::approx_bytes((*best->records)[best->pos].second);
             if (max_retries > 0)
               part.push_back((*best->records)[best->pos]);
             else
@@ -340,9 +399,11 @@ class Job {
                            counters_.reduce_task_retries);
 
     std::vector<std::pair<K3, V3>> all;
+    counters_.partition_records.assign(shuffled.begin(), shuffled.end());
     for (std::size_t p = 0; p < outputs.size(); ++p) {
       counters_.groups += group_counts[p];
       counters_.shuffle_records += shuffled[p];
+      counters_.shuffle_bytes += shuffled_bytes[p];
       for (auto& kv : outputs[p]) all.push_back(std::move(kv));
     }
     // Every combined record lands in exactly one partition slice and the
@@ -358,6 +419,7 @@ class Job {
       reg.counter("mr.jobs").add(1);
       reg.counter("mr.map_outputs").add(counters_.map_outputs);
       reg.counter("mr.shuffle_records").add(counters_.shuffle_records);
+      reg.counter("mr.shuffle_bytes").add(counters_.shuffle_bytes);
       reg.counter("mr.reduce_outputs").add(counters_.reduce_outputs);
       reg.counter("mr.groups").add(counters_.groups);
     }
@@ -425,28 +487,6 @@ class Job {
     throw Error("mapreduce: " + std::to_string(failed) + " " + phase +
                 " task(s) still failing after " +
                 std::to_string(max_retries + 1) + " attempt(s):" + detail);
-  }
-
-  // Groups a map task's local output by key and applies the combiner.
-  std::vector<std::pair<K2, V2>> combine_locally(
-      std::vector<std::pair<K2, V2>> pairs) {
-    std::stable_sort(
-        pairs.begin(), pairs.end(),
-        [](const auto& a, const auto& b) { return a.first < b.first; });
-    Emitter<K2, V2> emitter;
-    std::size_t i = 0;
-    while (i < pairs.size()) {
-      std::size_t j = i;
-      std::vector<V2> values;
-      while (j < pairs.size() && !(pairs[i].first < pairs[j].first) &&
-             !(pairs[j].first < pairs[i].first)) {
-        values.push_back(std::move(pairs[j].second));
-        ++j;
-      }
-      combiner_(pairs[i].first, values, emitter);
-      i = j;
-    }
-    return std::move(emitter.pairs());
   }
 
   Mapper mapper_;

@@ -13,6 +13,25 @@ std::pair<std::string, std::string> split_kv(const std::string& line) {
   return {line.substr(0, tab), line.substr(tab + 1)};
 }
 
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) {
+      // Missing trailing newline: the final line still counts.
+      end = text.size();
+      lines.push_back(text.substr(start, end - start));
+      break;
+    }
+    std::size_t len = end - start;
+    if (len > 0 && text[start + len - 1] == '\r') --len;  // CRLF
+    lines.push_back(text.substr(start, len));
+    start = end + 1;
+  }
+  return lines;
+}
+
 std::vector<std::string> run_streaming(const std::vector<std::string>& input,
                                        const LineMapper& mapper,
                                        const StreamReducer& reducer,
@@ -40,7 +59,17 @@ std::vector<std::string> run_streaming(const std::vector<std::string>& input,
         const LineEmit emit = [&out](const std::string& line) {
           out.push_back(line);
         };
-        for (std::size_t i = lo; i < hi; ++i) mapper(input[i], emit);
+        for (std::size_t i = lo; i < hi; ++i) {
+          // Tolerate CRLF input: a caller that split Windows-authored text
+          // on '\n' alone leaves a trailing '\r' on every line, which would
+          // otherwise leak into keys and break sorting and grouping.
+          const std::string& raw = input[i];
+          if (!raw.empty() && raw.back() == '\r') {
+            mapper(raw.substr(0, raw.size() - 1), emit);
+          } else {
+            mapper(raw, emit);
+          }
+        }
       },
       {.max_workers = static_cast<std::size_t>(config.map_workers),
        .grain = 1});

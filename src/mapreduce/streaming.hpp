@@ -39,6 +39,12 @@ struct StreamingConfig {
 /// (line, "").
 std::pair<std::string, std::string> split_kv(const std::string& line);
 
+/// Splits raw text into lines the way the streaming harness feeds them:
+/// terminators may be "\n" or "\r\n" (Windows-authored job files), a final
+/// line without a trailing newline still counts, and a trailing newline
+/// does not produce a phantom empty line.
+std::vector<std::string> split_lines(const std::string& text);
+
 /// Runs the streaming job: map every input line, partition map-output lines
 /// by key hash, sort each partition by key (stable within equal keys), run
 /// the reducer once per partition. Output lines are concatenated in

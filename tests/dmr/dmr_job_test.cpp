@@ -1,0 +1,300 @@
+// Distributed MapReduce acceptance: dmr::Job output must be byte-identical
+// to the single-process mr::Job for the same job shape (map_tasks,
+// partitions, combiner) across any rank/worker count and any transport —
+// including when a small spill budget forces the external sort to disk.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dmr/job.hpp"
+#include "mapreduce/job.hpp"
+#include "mpp/mpp.hpp"
+
+namespace peachy::dmr {
+namespace {
+
+using InputPair = std::pair<int, std::string>;
+using CountPair = std::pair<std::string, std::uint64_t>;
+
+// The canonical word-count corpus: enough text that every partition and
+// map task sees work, with deliberately repeated hot words.
+std::vector<InputPair> word_corpus(int lines) {
+  const char* words[] = {"peach",  "stripe", "rank",  "shuffle", "spill",
+                         "merge",  "peach",  "epoch", "peach",   "reduce",
+                         "stripe", "sort"};
+  std::vector<InputPair> inputs;
+  inputs.reserve(static_cast<std::size_t>(lines));
+  for (int i = 0; i < lines; ++i) {
+    std::string line;
+    for (int w = 0; w < 7; ++w) {
+      if (w) line += ' ';
+      line += words[(i * 5 + w * 3 + i % 4) % 12];
+    }
+    inputs.emplace_back(i, line);
+  }
+  return inputs;
+}
+
+void word_mapper(const int&, const std::string& line,
+                 mr::Emitter<std::string, std::uint64_t>& out) {
+  std::size_t start = 0;
+  while (start < line.size()) {
+    std::size_t end = line.find(' ', start);
+    if (end == std::string::npos) end = line.size();
+    if (end > start) out.emit(line.substr(start, end - start), 1);
+    start = end + 1;
+  }
+}
+
+void sum_reducer(const std::string& key,
+                 const std::vector<std::uint64_t>& values,
+                 mr::Emitter<std::string, std::uint64_t>& out) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t v : values) total += v;
+  out.emit(key, total);
+}
+
+// The single-process reference for a given job shape.
+std::vector<CountPair> reference_counts(const std::vector<InputPair>& inputs,
+                                        int map_tasks, int partitions,
+                                        bool combine) {
+  mr::Job<int, std::string, std::string, std::uint64_t, std::string,
+          std::uint64_t>
+      job;
+  job.mapper(word_mapper).reducer(sum_reducer);
+  if (combine) job.combiner(sum_reducer);
+  mr::JobConfig cfg;
+  cfg.map_workers = 2;
+  cfg.reduce_workers = 2;
+  cfg.map_tasks = map_tasks;
+  cfg.partitions = partitions;
+  job.config(cfg);
+  return job.run(inputs);
+}
+
+Result<std::string, std::uint64_t> run_dmr(
+    const std::vector<InputPair>& inputs, Options opt, bool combine = true) {
+  Job<int, std::string, std::string, std::uint64_t, std::string,
+      std::uint64_t>
+      job;
+  job.mapper(word_mapper).reducer(sum_reducer);
+  if (combine) job.combiner(sum_reducer);
+  job.options(std::move(opt));
+  return job.run(inputs);
+}
+
+Options base_options(int ranks, mpp::TransportKind transport,
+                     bool spawn = false) {
+  Options opt;
+  opt.ranks = ranks;
+  opt.run.transport = transport;
+  opt.run.spawn = spawn;
+  opt.map_workers = 2;
+  opt.reduce_workers = 2;
+  opt.map_tasks = 8;
+  opt.partitions = 4;
+  return opt;
+}
+
+TEST(DmrJob, SingleRankInprocMatchesReference) {
+  const auto inputs = word_corpus(64);
+  const auto expect = reference_counts(inputs, 8, 4, true);
+  const auto r = run_dmr(inputs, base_options(1, mpp::TransportKind::kInproc));
+  EXPECT_EQ(r.output, expect);
+  EXPECT_EQ(r.counters.map_inputs, inputs.size());
+  EXPECT_EQ(r.counters.reduce_outputs, expect.size());
+  EXPECT_EQ(r.counters.shuffle_bytes, 0u) << "one rank has no wire traffic";
+  EXPECT_GT(r.counters.local_bytes, 0u);
+}
+
+TEST(DmrJob, MultiRankInprocMatchesReference) {
+  const auto inputs = word_corpus(96);
+  const auto expect = reference_counts(inputs, 8, 4, true);
+  for (const int ranks : {2, 4}) {
+    const auto r =
+        run_dmr(inputs, base_options(ranks, mpp::TransportKind::kInproc));
+    EXPECT_EQ(r.output, expect) << "ranks=" << ranks;
+    EXPECT_GT(r.counters.shuffle_bytes, 0u) << "ranks=" << ranks;
+    EXPECT_EQ(r.counters.groups, expect.size()) << "ranks=" << ranks;
+  }
+}
+
+TEST(DmrJob, TcpTransportMatchesReference) {
+  const auto inputs = word_corpus(80);
+  const auto expect = reference_counts(inputs, 8, 4, true);
+  for (const int ranks : {2, 4}) {
+    const auto r =
+        run_dmr(inputs, base_options(ranks, mpp::TransportKind::kTcp));
+    EXPECT_EQ(r.output, expect) << "ranks=" << ranks;
+    EXPECT_GT(r.comm.bytes_sent, 0u);
+  }
+}
+
+TEST(DmrJob, WithoutCombinerMatchesReference) {
+  const auto inputs = word_corpus(64);
+  const auto expect = reference_counts(inputs, 8, 4, false);
+  const auto r = run_dmr(
+      inputs, base_options(2, mpp::TransportKind::kInproc), /*combine=*/false);
+  EXPECT_EQ(r.output, expect);
+  // No combiner: every mapped record crosses the shuffle.
+  EXPECT_EQ(r.counters.combine_outputs, r.counters.map_outputs);
+  EXPECT_EQ(r.counters.shuffle_records, r.counters.map_outputs);
+}
+
+TEST(DmrJob, ForcedSpillStaysByteIdentical) {
+  const auto inputs = word_corpus(128);
+  const auto expect = reference_counts(inputs, 8, 4, true);
+  Options opt = base_options(2, mpp::TransportKind::kInproc);
+  opt.spill_buffer_bytes = 256;  // far below the intermediate size
+  const auto r = run_dmr(inputs, opt);
+  EXPECT_EQ(r.output, expect);
+  EXPECT_GT(r.counters.spill.spills, 0u) << "the cap never forced a spill";
+  EXPECT_GT(r.counters.spill.spilled_bytes, 0u);
+}
+
+TEST(DmrJob, MapEpochsDoNotChangeTheOutput) {
+  const auto inputs = word_corpus(96);
+  const auto expect = reference_counts(inputs, 8, 4, true);
+  Options opt = base_options(2, mpp::TransportKind::kInproc);
+  opt.map_epochs = 4;
+  const auto r = run_dmr(inputs, opt);
+  EXPECT_EQ(r.output, expect);
+  EXPECT_EQ(r.counters.epochs, 4);
+}
+
+TEST(DmrJob, MoreRanksThanPartitionsWorks) {
+  const auto inputs = word_corpus(40);
+  const auto expect = reference_counts(inputs, 8, 2, true);
+  Options opt = base_options(4, mpp::TransportKind::kInproc);
+  opt.partitions = 2;  // ranks 2 and 3 own nothing
+  const auto r = run_dmr(inputs, opt);
+  EXPECT_EQ(r.output, expect);
+}
+
+TEST(DmrJob, CountersMatchSingleProcessEngine) {
+  const auto inputs = word_corpus(64);
+  mr::Job<int, std::string, std::string, std::uint64_t, std::string,
+          std::uint64_t>
+      ref;
+  ref.mapper(word_mapper).combiner(sum_reducer).reducer(sum_reducer);
+  mr::JobConfig cfg;
+  cfg.map_workers = 2;
+  cfg.reduce_workers = 2;
+  cfg.map_tasks = 8;
+  cfg.partitions = 4;
+  ref.config(cfg);
+  const auto expect = ref.run(inputs);
+
+  const auto r = run_dmr(inputs, base_options(2, mpp::TransportKind::kInproc));
+  ASSERT_EQ(r.output, expect);
+  // The distributed engine's phase counters agree with the in-process ones.
+  EXPECT_EQ(r.counters.map_outputs, ref.counters().map_outputs);
+  EXPECT_EQ(r.counters.combine_outputs, ref.counters().combine_outputs);
+  EXPECT_EQ(r.counters.shuffle_records, ref.counters().shuffle_records);
+  EXPECT_EQ(r.counters.groups, ref.counters().groups);
+  EXPECT_EQ(r.counters.reduce_outputs, ref.counters().reduce_outputs);
+  // Same records, same partitioner: the skew profile is identical too.
+  ASSERT_EQ(r.counters.partition_records.size(),
+            ref.counters().partition_records.size());
+  EXPECT_EQ(r.counters.partition_records, ref.counters().partition_records);
+}
+
+TEST(DmrJob, SecondarySortOrdersValues) {
+  // Values carry (weight); sort_values orders each group descending before
+  // the reducer concatenates — both engines must agree.
+  using Pair = std::pair<std::string, std::string>;
+  const std::vector<std::pair<int, std::string>> inputs = {
+      {0, "k1 c"}, {1, "k1 a"}, {2, "k2 z"}, {3, "k1 b"}, {4, "k2 y"}};
+  const auto mapper = [](const int&, const std::string& line,
+                         mr::Emitter<std::string, std::string>& out) {
+    out.emit(line.substr(0, 2), line.substr(3));
+  };
+  const auto reducer = [](const std::string& key,
+                          const std::vector<std::string>& values,
+                          mr::Emitter<std::string, std::string>& out) {
+    std::string joined;
+    for (const auto& v : values) joined += v;
+    out.emit(key, joined);
+  };
+  const auto desc = [](const std::string& a, const std::string& b) {
+    return a > b;
+  };
+
+  mr::Job<int, std::string, std::string, std::string, std::string,
+          std::string>
+      ref;
+  mr::JobConfig cfg;
+  cfg.map_tasks = 3;
+  cfg.partitions = 2;
+  ref.mapper(mapper).reducer(reducer).sort_values(desc).config(cfg);
+  const auto expect = ref.run(inputs);
+
+  Job<int, std::string, std::string, std::string, std::string, std::string>
+      job;
+  Options opt;
+  opt.ranks = 2;
+  opt.map_tasks = 3;
+  opt.partitions = 2;
+  job.mapper(mapper).reducer(reducer).sort_values(desc).options(opt);
+  const auto r = job.run(inputs);
+  EXPECT_EQ(r.output, expect);
+  std::vector<Pair> flat(r.output.begin(), r.output.end());
+  for (const auto& [k, joined] : flat) {
+    if (k == "k1") {
+      EXPECT_EQ(joined, "cba");
+    }
+  }
+}
+
+TEST(DmrJob, FloatingPointSumsAreBitExact) {
+  // Doubles summed in a fixed order: the distributed engine must add the
+  // same values in the same order or the bits drift.
+  std::vector<std::pair<int, double>> inputs;
+  double x = 0.1;
+  for (int i = 0; i < 200; ++i) {
+    inputs.emplace_back(i, x);
+    x = x * 1.31 + 0.017;
+    if (x > 1e6) x = 0.1;
+  }
+  const auto mapper = [](const int& i, const double& v,
+                         mr::Emitter<std::uint64_t, double>& out) {
+    out.emit(static_cast<std::uint64_t>(i % 7), v);
+  };
+  const auto reducer = [](const std::uint64_t& key,
+                          const std::vector<double>& values,
+                          mr::Emitter<std::uint64_t, double>& out) {
+    double sum = 0;
+    for (const double v : values) sum += v;
+    out.emit(key, sum);
+  };
+
+  mr::Job<int, double, std::uint64_t, double, std::uint64_t, double> ref;
+  mr::JobConfig cfg;
+  cfg.map_tasks = 6;
+  cfg.partitions = 3;
+  ref.mapper(mapper).combiner(reducer).reducer(reducer).config(cfg);
+  const auto expect = ref.run(inputs);
+
+  for (const int ranks : {1, 2, 3}) {
+    Job<int, double, std::uint64_t, double, std::uint64_t, double> job;
+    Options opt;
+    opt.ranks = ranks;
+    opt.map_tasks = 6;
+    opt.partitions = 3;
+    job.mapper(mapper).combiner(reducer).reducer(reducer).options(opt);
+    const auto r = job.run(inputs);
+    ASSERT_EQ(r.output.size(), expect.size()) << "ranks=" << ranks;
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_EQ(r.output[i].first, expect[i].first);
+      // Bit-exact, not approximately equal.
+      EXPECT_EQ(r.output[i].second, expect[i].second)
+          << "ranks=" << ranks << " key=" << expect[i].first;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace peachy::dmr

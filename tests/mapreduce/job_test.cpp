@@ -329,5 +329,57 @@ TEST(Job, MeanViaSumCountPairsMatchesDirectMean) {
     EXPECT_NEAR(mean, direct[k].first / direct[k].second, 1e-9) << "key " << k;
 }
 
+TEST(Job, ShuffleBytesCountPayloads) {
+  JobCounters c{};
+  word_count(sample_lines(), JobConfig{1, 1, 2, 2}, false, &c);
+  // String keys count content bytes, int values count sizeof: the exact
+  // figure is the sum over shuffled records of key.size() + sizeof(int).
+  std::size_t expect = 0;
+  for (const auto& [id, line] : sample_lines()) {
+    std::string word;
+    for (char ch : line + " ") {
+      if (ch == ' ') {
+        if (!word.empty()) expect += word.size() + sizeof(int);
+        word.clear();
+      } else {
+        word += ch;
+      }
+    }
+  }
+  EXPECT_EQ(c.shuffle_bytes, expect);
+}
+
+TEST(Job, CombinerShrinksShuffleBytes) {
+  JobCounters with{};
+  JobCounters without{};
+  word_count(sample_lines(), JobConfig{2, 2, 2, 2}, true, &with);
+  word_count(sample_lines(), JobConfig{2, 2, 2, 2}, false, &without);
+  EXPECT_LT(with.shuffle_bytes, without.shuffle_bytes);
+}
+
+TEST(Job, PartitionRecordsProfileSkew) {
+  JobCounters c{};
+  word_count(sample_lines(), JobConfig{2, 2, 0, 3}, false, &c);
+  ASSERT_EQ(c.partition_records.size(), 3u);
+  std::size_t total = 0;
+  for (const std::size_t n : c.partition_records) total += n;
+  EXPECT_EQ(total, c.shuffle_records);
+
+  // A single-partition job shows all records in one bucket.
+  JobCounters one{};
+  word_count(sample_lines(), JobConfig{1, 1, 0, 1}, false, &one);
+  ASSERT_EQ(one.partition_records.size(), 1u);
+  EXPECT_EQ(one.partition_records[0], one.shuffle_records);
+}
+
+TEST(Job, PartitionRecordsIndependentOfWorkerCounts) {
+  JobCounters a{};
+  JobCounters b{};
+  word_count(sample_lines(), JobConfig{1, 1, 4, 4}, false, &a);
+  word_count(sample_lines(), JobConfig{4, 4, 4, 4}, false, &b);
+  EXPECT_EQ(a.partition_records, b.partition_records);
+  EXPECT_EQ(a.shuffle_bytes, b.shuffle_bytes);
+}
+
 }  // namespace
 }  // namespace peachy::mr

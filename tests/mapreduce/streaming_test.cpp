@@ -138,5 +138,54 @@ TEST(Streaming, BadWorkerCountsRejected) {
                Error);
 }
 
+TEST(SplitLines, HandlesUnixCrlfAndMissingTrailingNewline) {
+  EXPECT_EQ(split_lines("a\nb\nc\n"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  // CRLF terminators (Windows-authored job files).
+  EXPECT_EQ(split_lines("a\r\nb\r\nc\r\n"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  // Missing trailing newline: the final line still counts.
+  EXPECT_EQ(split_lines("a\nb\nc"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_lines("a\r\nb\r\nc"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  // Mixed endings in one file.
+  EXPECT_EQ(split_lines("a\r\nb\nc"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_lines(""), (std::vector<std::string>{}));
+  EXPECT_EQ(split_lines("\n"), (std::vector<std::string>{""}));
+  // A lone '\r' mid-line is content, not a terminator.
+  EXPECT_EQ(split_lines("a\rb\n"), (std::vector<std::string>{"a\rb"}));
+}
+
+TEST(Streaming, CrlfInputMatchesUnixInput) {
+  // A caller that split CRLF text on '\n' alone leaves '\r' on every line;
+  // run_streaming must strip it so keys (and therefore counts) match the
+  // Unix-authored equivalent of the same file.
+  const std::vector<std::string> unix_lines = {"the quick fox",
+                                               "the lazy dog"};
+  std::vector<std::string> crlf_lines;
+  for (const auto& line : unix_lines) crlf_lines.push_back(line + "\r");
+
+  const auto expect =
+      run_streaming(unix_lines, word_mapper(), counting_reducer());
+  const auto got =
+      run_streaming(crlf_lines, word_mapper(), counting_reducer());
+  EXPECT_EQ(to_map(got), to_map(expect));
+  EXPECT_EQ(to_map(got).count("fox\r"), 0u) << "CR leaked into a key";
+}
+
+TEST(Streaming, SplitLinesFeedsStreamingUnchanged) {
+  // End to end: raw CRLF text with no trailing newline, split with
+  // split_lines, produces the same counts as the clean Unix text.
+  const std::string crlf_text = "the quick fox\r\nthe lazy dog";
+  const std::string unix_text = "the quick fox\nthe lazy dog\n";
+  const auto expect = run_streaming(split_lines(unix_text), word_mapper(),
+                                    counting_reducer());
+  const auto got = run_streaming(split_lines(crlf_text), word_mapper(),
+                                 counting_reducer());
+  EXPECT_EQ(to_map(got), to_map(expect));
+}
+
 }  // namespace
 }  // namespace peachy::mr::streaming
