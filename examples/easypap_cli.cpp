@@ -39,6 +39,8 @@
 //   --halo K             ghost-cell halo depth (default 1)
 //   --transport NAME     inproc | tcp (default inproc)
 //   --spawn              ranks are real worker processes (implies tcp)
+//   --net-window W       unacked frames per peer on the tcp wire
+//                        (default 32; 1 = stop-and-wait)
 //   --net-fault-seed S   seeded frame drop/duplication on the tcp wire
 //   --net-fault-drop P        explicit frame drop probability [0,1]
 //   --net-fault-dup P         explicit frame duplication probability
@@ -47,6 +49,7 @@
 //   --max-restarts M     respawn+restore a failed world up to M times
 //   --checkpoint-dir P   keep checkpoints in P (enables resuming an
 //                        interrupted run on the next invocation)
+#include <algorithm>
 #include <iostream>
 
 #include "core/args.hpp"
@@ -88,7 +91,7 @@ int main(int argc, char** argv) {
         {"variant", "config", "size", "grains", "density", "seed", "tile",
          "threads", "schedule", "iterations", "dump", "trace", "metrics",
          "monitor", "check", "list", "ranks", "halo", "transport", "spawn",
-         "net-fault-seed", "net-fault-drop", "net-fault-dup",
+         "net-window", "net-fault-seed", "net-fault-drop", "net-fault-dup",
          "net-fault-sever-after", "checkpoint-every", "max-restarts",
          "checkpoint-dir"});
     if (!unknown.empty()) {
@@ -147,6 +150,8 @@ int main(int argc, char** argv) {
         opt.run.tcp.fault.duplicate = 0.02;
         opt.run.tcp.ack_timeout_ms = 20;
       }
+      opt.run.tcp.window_frames = std::max(
+          1, args.get_int("net-window", opt.run.tcp.window_frames));
       opt.checkpoint_every = args.get_int("checkpoint-every", 0);
       opt.run.resilience.max_restarts = args.get_int("max-restarts", 0);
       opt.run.resilience.checkpoint_dir = args.get("checkpoint-dir", "");

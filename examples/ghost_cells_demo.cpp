@@ -12,6 +12,7 @@
 // --spawn the ranks become separate worker processes. --net-fault-seed
 // turns on deterministic frame drop/duplication to show the wire protocol
 // absorbing faults.
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 
@@ -30,6 +31,8 @@ void usage() {
       "  --ranks N            message-passing ranks (default 4)\n"
       "  --transport NAME     inproc | tcp (default inproc)\n"
       "  --spawn              ranks are real processes (implies tcp)\n"
+      "  --net-window W       unacked frames per peer on the tcp wire\n"
+      "                       (default 32; 1 = stop-and-wait)\n"
       "  --net-fault-seed S   inject seeded frame drops/duplicates (tcp)\n"
       "  --net-fault-drop P        explicit frame drop probability [0,1]\n"
       "  --net-fault-dup P         explicit frame duplication probability\n"
@@ -52,7 +55,8 @@ int main(int argc, char** argv) {
     return 0;
   }
   const auto unknown = args.unknown_options(
-      {"size", "grains", "ranks", "transport", "spawn", "net-fault-seed",
+      {"size", "grains", "ranks", "transport", "spawn", "net-window",
+       "net-fault-seed",
        "net-fault-drop", "net-fault-dup", "net-fault-sever-after",
        "checkpoint-every", "max-restarts", "checkpoint-dir", "help"});
   if (!unknown.empty()) {
@@ -89,6 +93,8 @@ int main(int argc, char** argv) {
     run.tcp.fault.duplicate = 0.02;
     run.tcp.ack_timeout_ms = 20;
   }
+  run.tcp.window_frames =
+      std::max(1, args.get_int("net-window", run.tcp.window_frames));
   run.resilience.max_restarts = args.get_int("max-restarts", 0);
   run.resilience.checkpoint_dir = args.get("checkpoint-dir", "");
   const int checkpoint_every = args.get_int("checkpoint-every", 0);

@@ -18,6 +18,7 @@
 // (forcing the external sort to disk), and --sever-after K severs the wire
 // after K frames to demonstrate checkpoint/respawn recovery (see README
 // "Distributed Warming Stripes").
+#include <algorithm>
 #include <filesystem>
 #include <iostream>
 
@@ -35,11 +36,12 @@ int main(int argc, char** argv) {
 
   const Args args(argc, argv, {"spawn"});
   const auto unknown = args.unknown_options(
-      {"ranks", "transport", "spawn", "spill-bytes", "sever-after"});
+      {"ranks", "transport", "spawn", "spill-bytes", "sever-after",
+       "net-window"});
   if (!unknown.empty()) {
     std::cerr << "unknown option --" << unknown.front()
               << " (try --ranks N --transport inproc|tcp --spawn "
-                 "--spill-bytes B --sever-after K)\n";
+                 "--spill-bytes B --sever-after K --net-window W)\n";
     return 2;
   }
   std::filesystem::create_directories("out/dwd");
@@ -70,6 +72,8 @@ int main(int argc, char** argv) {
     dcfg.options.reduce_workers = 2;
     dcfg.options.spill_buffer_bytes =
         static_cast<std::size_t>(args.get_int("spill-bytes", 0));
+    dcfg.options.run.tcp.window_frames = std::max(
+        1, args.get_int("net-window", dcfg.options.run.tcp.window_frames));
     const int sever_after = args.get_int("sever-after", 0);
     if (sever_after > 0) {
       // Kill-and-recover demo: sever the wire mid-shuffle; the supervisor

@@ -45,6 +45,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <utility>
@@ -436,7 +437,10 @@ class Job {
         const auto& block = dest[static_cast<std::size_t>(d)];
         const std::uint64_t n = block.size();
         comm.send(d, tag_shuffle(e), &n, 1);
-        if (n) comm.send(d, tag_shuffle(e), block.data(), block.size());
+        // Zero-copy lane: the concatenated block goes down as a span, so
+        // the tcp transport frames it with scatter-gather I/O instead of
+        // copying it into another intermediate vector.
+        if (n) comm.send(d, tag_shuffle(e), std::span<const std::byte>(block));
         rc.shuffle_bytes += n;
       }
       {
@@ -531,7 +535,7 @@ class Job {
     if (me != 0) {
       const std::uint64_t n = mine.size();
       comm.send(0, tag_result(), &n, 1);
-      if (n) comm.send(0, tag_result(), mine.data(), mine.size());
+      if (n) comm.send(0, tag_result(), std::span<const std::byte>(mine));
       return;
     }
     std::vector<std::vector<std::byte>> rank_blobs(

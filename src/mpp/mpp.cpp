@@ -84,6 +84,27 @@ void Comm::send_bytes(int dest, int tag, const void* data, std::size_t bytes) {
   }
 }
 
+void Comm::send(int dest, int tag, std::span<const std::byte> payload) {
+  PEACHY_REQUIRE(dest >= 0 && dest < size(),
+                 "rank " << rank() << ": send to bad rank " << dest
+                         << " (world size " << size() << ", tag " << tag
+                         << ")");
+  transport_->send(dest, tag, payload);
+  ++stats_.messages_sent;
+  stats_.bytes_sent += payload.size();
+  if (obs::enabled()) {
+    obs_messages().add(1);
+    obs_bytes().add(payload.size());
+    obs_msg_bytes().observe(static_cast<std::int64_t>(payload.size()));
+    obs::Tracer::global().instant(
+        "mpp.send", "mpp",
+        {{"src", rank()},
+         {"dst", dest},
+         {"tag", tag},
+         {"bytes", static_cast<std::int64_t>(payload.size())}});
+  }
+}
+
 void Comm::recv_bytes(int src, int tag, void* data, std::size_t bytes) {
   PEACHY_REQUIRE(src >= 0 && src < size(),
                  "rank " << rank() << ": recv from bad rank " << src
@@ -333,6 +354,8 @@ RunOutcome run_threads(int ranks, const RunOptions& options,
     out.comm.bytes_sent += o.stats.bytes_sent;
     if (o.is_tcp) {
       out.net.retransmits += o.net.retransmits;
+      out.net.window_stalls += o.net.window_stalls;
+      out.net.acks_sent += o.net.acks_sent;
       out.net.fault_dropped += o.net.fault.dropped;
       out.net.fault_duplicated += o.net.fault.duplicated;
       out.net.fault_delayed += o.net.fault.delayed;
@@ -351,6 +374,7 @@ constexpr const char* kEnvWorld = "PEACHY_MPP_WORLD";
 constexpr const char* kEnvPort = "PEACHY_MPP_RENDEZVOUS_PORT";
 constexpr const char* kEnvFault = "PEACHY_MPP_FAULT";
 constexpr const char* kEnvCkpt = "PEACHY_MPP_CKPT_DIR";
+constexpr const char* kEnvWindow = "PEACHY_MPP_NET_WINDOW";
 
 /// Runs one worker's life: join the mesh, run the body, report the outcome
 /// over the rendezvous connection, _exit. Never returns — a worker process
@@ -388,6 +412,8 @@ constexpr const char* kEnvCkpt = "PEACHY_MPP_CKPT_DIR";
     report.bytes_sent = comm.stats().bytes_sent;
     const net::TcpTransport::Stats net_stats = raw->stats();
     report.retransmits = net_stats.retransmits;
+    report.window_stalls = net_stats.window_stalls;
+    report.acks_sent = net_stats.acks_sent;
     report.fault_dropped = net_stats.fault.dropped;
     report.fault_duplicated = net_stats.fault.duplicated;
     report.fault_delayed = net_stats.fault.delayed;
@@ -464,7 +490,8 @@ RunOutcome spawn_attempt(int ranks,
               {kEnvRank, std::to_string(rank)},
               {kEnvWorld, std::to_string(ranks)},
               {kEnvPort, std::to_string(port)},
-              {kEnvFault, tcp.fault.encode()}};
+              {kEnvFault, tcp.fault.encode()},
+              {kEnvWindow, std::to_string(tcp.window_frames)}};
           if (!ckpt_dir.empty()) env.emplace_back(kEnvCkpt, ckpt_dir);
           return env;
         });
@@ -509,6 +536,8 @@ RunOutcome spawn_attempt(int ranks,
     out.comm.messages_sent += rep.messages_sent;
     out.comm.bytes_sent += rep.bytes_sent;
     out.net.retransmits += rep.retransmits;
+    out.net.window_stalls += rep.window_stalls;
+    out.net.acks_sent += rep.acks_sent;
     out.net.fault_dropped += rep.fault_dropped;
     out.net.fault_duplicated += rep.fault_duplicated;
     out.net.fault_delayed += rep.fault_delayed;
@@ -570,6 +599,8 @@ RunOutcome run_spawned(int ranks, const std::vector<std::string>& worker_argv,
     net::TcpOptions worker_tcp = tcp;
     if (const char* fault_env = std::getenv(kEnvFault))
       worker_tcp.fault = net::FaultPlan::decode(fault_env);
+    if (const char* window_env = std::getenv(kEnvWindow))
+      worker_tcp.window_frames = std::max(1, std::atoi(window_env));
     const char* ckpt_env = std::getenv(kEnvCkpt);
     worker_main(std::atoi(rank_env), std::atoi(world_env),
                 std::atoi(port_env), worker_tcp,

@@ -28,6 +28,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,8 @@ struct CommStats {
 /// Frame-level counters from the tcp substrate (zero under inproc).
 struct NetStats {
   std::uint64_t retransmits = 0;
+  std::uint64_t window_stalls = 0;  ///< sends that blocked on a full window
+  std::uint64_t acks_sent = 0;      ///< cumulative acks, pure + piggybacked
   std::uint64_t fault_dropped = 0;
   std::uint64_t fault_duplicated = 0;
   std::uint64_t fault_delayed = 0;
@@ -123,6 +126,12 @@ class Comm {
     static_assert(std::is_trivially_copyable_v<T>);
     send_bytes(dest, tag, data, count * sizeof(T));
   }
+
+  /// Zero-copy byte-view send: the payload reaches the transport as a span
+  /// (the tcp backend frames it with scatter-gather I/O instead of staging
+  /// it through an intermediate vector). Same blocking semantics as the
+  /// typed send.
+  void send(int dest, int tag, std::span<const std::byte> payload);
 
   /// Blocking typed receive; the message size must be exactly `count`
   /// elements (mismatch throws, like an MPI truncation error).

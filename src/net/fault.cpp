@@ -120,7 +120,10 @@ FaultInjector::Decision FaultInjector::next() {
   if (roll() < plan_.drop) {
     d.drop = true;
     ++counters_.dropped;
-    return d;  // a dropped frame is neither delayed nor duplicated
+    // A dropped frame is neither delayed nor duplicated — and in the
+    // windowed transport it must not be: a dropped frame's only wire copy
+    // is the retransmission, which is judged exactly zero times.
+    return d;
   }
   if (roll() < plan_.duplicate) {
     d.duplicate = true;

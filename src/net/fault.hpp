@@ -1,12 +1,26 @@
 // Deterministic fault injection for the TCP transport.
 //
 // The injector sits on the *send* path of every connection and decides, per
-// fresh data frame, whether to drop it (never write it — the retransmit
-// timer recovers it), delay it, duplicate it, or sever the connection
-// outright. Decisions are a pure function of (seed, src, dst, frame index),
-// so a seeded run injects the exact same faults every time regardless of
-// thread or process scheduling — which is what makes fault-injection tests
-// reproducible. Retransmissions bypass the injector: a frame is judged once.
+// fresh data frame, whether to drop it, delay it, duplicate it, or sever
+// the connection outright. Decisions are a pure function of
+// (seed, src, dst, frame index), so a seeded run injects the exact same
+// faults every time regardless of thread or process scheduling — which is
+// what makes fault-injection tests reproducible. Retransmissions bypass the
+// injector: a frame is judged once.
+//
+// Under the pipelined (sliding-window) transport the decisions act on
+// individual frames of an in-flight stream, never on the sender thread:
+//  * drop      — the first copy is never staged; the per-peer retransmit
+//                timer recovers it without stalling the rest of the window.
+//  * delay     — the frame is *held* (a hold-until timestamp) and written
+//                late by the reader thread while newer frames go out on
+//                time, creating genuine reordering on the wire; sleeping
+//                the sender would instead delay the whole window.
+//  * duplicate — both copies go out in the same writev batch; the
+//                receiver's cumulative-seq bookkeeping (and its
+//                reassembly map for out-of-order duplicates) guarantees a
+//                payload is delivered at most once.
+//  * sever     — the link is hard-closed and the send throws PeerDied.
 #pragma once
 
 #include <cstdint>

@@ -46,6 +46,7 @@ class InprocTransport final : public Transport {
 
   int rank() const override { return rank_; }
   int size() const override { return hub_->size(); }
+  using Transport::send;  // the span overload forwards to the pointer one
   void send(int dest, int tag, const void* data, std::size_t bytes) override;
   std::vector<std::byte> recv(int src, int tag) override;
 

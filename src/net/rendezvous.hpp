@@ -31,6 +31,8 @@ struct WorkerReport {
   std::uint64_t messages_sent = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t retransmits = 0;
+  std::uint64_t window_stalls = 0;
+  std::uint64_t acks_sent = 0;
   std::uint64_t fault_dropped = 0;
   std::uint64_t fault_duplicated = 0;
   std::uint64_t fault_delayed = 0;

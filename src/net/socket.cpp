@@ -6,8 +6,10 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -148,6 +150,37 @@ void Socket::send_all(const void* data, std::size_t n) const {
     }
     p += w;
     n -= static_cast<std::size_t>(w);
+  }
+}
+
+void Socket::sendv_all(struct iovec* iov, int iovcnt) const {
+  // msghdr + MSG_NOSIGNAL (writev would raise SIGPIPE on a dead peer).
+  // The kernel caps iovecs per call at IOV_MAX (>= 1024); larger batches
+  // just take more than one sendmsg.
+  while (iovcnt > 0) {
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<std::size_t>(std::min(iovcnt, 1024));
+    const ssize_t w = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        poll_one(fd_, POLLOUT, 1000);
+        continue;
+      }
+      throw Error(std::string("sendmsg failed: ") + std::strerror(errno));
+    }
+    // Advance past fully written iovecs, then trim the partial one.
+    std::size_t left = static_cast<std::size_t>(w);
+    while (iovcnt > 0 && left >= iov->iov_len) {
+      left -= iov->iov_len;
+      ++iov;
+      --iovcnt;
+    }
+    if (iovcnt > 0 && left > 0) {
+      iov->iov_base = static_cast<char*>(iov->iov_base) + left;
+      iov->iov_len -= left;
+    }
   }
 }
 

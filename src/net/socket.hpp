@@ -6,6 +6,8 @@
 // MSG_NOSIGNAL so a dead peer raises an exception, not SIGPIPE.
 #pragma once
 
+#include <sys/uio.h>
+
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -61,6 +63,14 @@ class Socket {
 
   /// Writes all `n` bytes; throws Error when the connection breaks.
   void send_all(const void* data, std::size_t n) const;
+
+  /// Scatter-gather write: sends every iovec completely, in order, with as
+  /// few syscalls as the kernel allows. The zero-copy framing path — a
+  /// header iovec plus a payload iovec per frame, so neither headers nor
+  /// payloads are ever copied into an intermediate contiguous buffer.
+  /// `iov` is clobbered (advanced past written bytes). Throws like
+  /// send_all on a broken connection.
+  void sendv_all(struct iovec* iov, int iovcnt) const;
 
   /// Reads exactly `n` bytes. Returns false on clean EOF *before the first
   /// byte*; EOF mid-buffer (a torn frame) and timeouts throw.

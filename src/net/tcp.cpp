@@ -18,6 +18,14 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// Frames parked out of order beyond this distance from recv_next are
+/// stream corruption, not reassembly work (the sender's window can never
+/// legitimately run this far ahead).
+constexpr std::uint64_t kMaxReassemblyGap = 1u << 16;
+/// Frames drained from one socket before the other sockets get a turn
+/// (and before the burst's single cumulative ack goes out).
+constexpr int kMaxBurstFrames = 64;
+
 obs::Counter& obs_frames_sent() {
   static obs::Counter& c = obs::Registry::global().counter("net.frames_sent");
   return c;
@@ -30,6 +38,21 @@ obs::Counter& obs_frames_received() {
 obs::Counter& obs_retransmits() {
   static obs::Counter& c = obs::Registry::global().counter("net.retransmits");
   return c;
+}
+obs::Counter& obs_window_stalls() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("net.window_stalls");
+  return c;
+}
+obs::Counter& obs_cumulative_acks() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("net.cumulative_acks");
+  return c;
+}
+obs::Histogram& obs_coalesced_frames() {
+  static obs::Histogram& h =
+      obs::Registry::global().histogram("net.coalesced_frames_per_writev");
+  return h;
 }
 obs::Histogram& obs_frame_bytes() {
   static obs::Histogram& h =
@@ -59,6 +82,8 @@ TcpTransport::TcpTransport(int rank, int world, int rendezvous_port,
   PEACHY_REQUIRE(world >= 1, "tcp world needs >= 1 rank, got " << world);
   PEACHY_REQUIRE(rank >= 0 && rank < world,
                  "bad rank " << rank << " for world of " << world);
+  PEACHY_REQUIRE(opt_.window_frames >= 1,
+                 "window_frames must be >= 1, got " << opt_.window_frames);
   obs::Span connect_span("net.connect", "net");
   connect_span.arg("rank", rank);
   connect_span.arg("world", world);
@@ -72,6 +97,9 @@ TcpTransport::TcpTransport(int rank, int world, int rendezvous_port,
   const auto make_peer = [&](int r, Socket sock) {
     auto p = std::make_unique<Peer>();
     p->sock = std::move(sock);
+    p->send_seq = opt_.first_seq;
+    p->recv_next = opt_.first_seq;
+    p->last_ack_sent = opt_.first_seq;
     p->last_rx = Clock::now();  // the handshake just proved liveness
     if (opt_.fault.active())
       p->fault = std::make_unique<FaultInjector>(opt_.fault, rank_, r);
@@ -126,7 +154,7 @@ TcpTransport::TcpTransport(int rank, int world, int rendezvous_port,
     make_peer(h.src, std::move(s));
   }
 
-  PEACHY_CHECK(::pipe2(wake_pipe_, O_CLOEXEC) == 0);
+  PEACHY_CHECK(::pipe2(wake_pipe_, O_CLOEXEC | O_NONBLOCK) == 0);
   reader_ = std::thread([this] { reader_loop(); });
   if (obs::enabled())
     obs::Tracer::global().instant(
@@ -139,10 +167,7 @@ TcpTransport::~TcpTransport() {
     std::lock_guard lock(mu_);
     stopping_ = true;
   }
-  if (wake_pipe_[1] >= 0) {
-    const char b = 'x';
-    [[maybe_unused]] ssize_t rc = ::write(wake_pipe_[1], &b, 1);
-  }
+  wake_reader();
   if (reader_.joinable()) reader_.join();
   for (int fd : wake_pipe_)
     if (fd >= 0) ::close(fd);
@@ -174,6 +199,13 @@ void TcpTransport::write_frame(Peer& p, const std::vector<std::byte>& frame) {
   p.sock.send_all(frame.data(), frame.size());
 }
 
+void TcpTransport::wake_reader() {
+  if (wake_pipe_[1] < 0) return;
+  const char b = 'x';
+  // EAGAIN means a wake-up is already pending — exactly as good.
+  [[maybe_unused]] ssize_t rc = ::write(wake_pipe_[1], &b, 1);
+}
+
 void TcpTransport::send(int dest, int tag, const void* data,
                         std::size_t bytes) {
   if (dest == rank_) {  // self-send never touches a socket
@@ -186,18 +218,43 @@ void TcpTransport::send(int dest, int tag, const void* data,
     cv_.notify_all();
     return;
   }
+  PEACHY_REQUIRE(bytes <= kMaxPayloadBytes,
+                 "payload of " << bytes << " bytes exceeds the "
+                               << kMaxPayloadBytes << "-byte cap");
 
   Peer& p = peer(dest);
   std::lock_guard send_lock(p.send_mutex);
 
-  FrameHeader h;
-  h.type = FrameType::kData;
-  h.src = rank_;
-  h.tag = tag;
-  h.seq = p.send_seq++;
-  const std::vector<std::byte> frame = encode_frame(h, data, bytes);
+  // Window admission: park until the peer acks a slot free. Staged frames
+  // can't be acked, so put them on the wire before waiting.
+  const auto window = static_cast<std::size_t>(opt_.window_frames);
+  bool stalled = false;
+  {
+    std::unique_lock lock(mu_);
+    while (!p.dead && p.unacked.size() >= window) {
+      if (!stalled) {
+        stalled = true;
+        ++window_stalls_;
+        if (obs::enabled()) obs_window_stalls().add(1);
+      }
+      if (!p.staged.empty()) {
+        lock.unlock();
+        flush_peer(dest);
+        lock.lock();
+        continue;
+      }
+      // The reader's retransmit budget bounds this wait: it either frees
+      // window space (ack progress) or marks the peer dead.
+      cv_.wait_for(lock, std::chrono::milliseconds(100));
+    }
+    if (p.dead) {
+      lock.unlock();
+      throw_peer_dead(dest);
+    }
+  }
 
-  // Judge the fresh frame once; retransmissions below bypass the injector.
+  // Judge the fresh frame once, in seq order (send_mutex holds the order);
+  // retransmissions bypass the injector.
   FaultInjector::Decision fault;
   if (p.fault) fault = p.fault->next();
   if (fault.sever) {
@@ -205,68 +262,247 @@ void TcpTransport::send(int dest, int tag, const void* data,
     mark_dead(dest, "fault injector severed the connection");
     throw_peer_dead(dest);
   }
-  if (fault.delay_ms > 0)
-    std::this_thread::sleep_for(std::chrono::milliseconds(fault.delay_ms));
 
-  const auto t0 = Clock::now();
-  int timeout_ms = opt_.ack_timeout_ms;
-  for (int attempt = 0;; ++attempt) {
-    {
-      std::unique_lock lock(mu_);
-      if (p.dead) {
-        lock.unlock();
-        throw_peer_dead(dest);
-      }
+  auto f = std::make_shared<TxFrame>();
+  f->h.type = FrameType::kData;
+  f->h.src = rank_;
+  f->h.tag = tag;
+  f->h.seq = p.send_seq++;
+  f->h.len = static_cast<std::uint32_t>(bytes);
+  f->h.crc = bytes ? crc32(data, bytes) : 0;
+  f->payload.assign(static_cast<const std::byte*>(data),
+                    static_cast<const std::byte*>(data) + bytes);
+  f->staged_at = Clock::now();
+  f->write_twice = fault.duplicate;
+  if (fault.delay_ms > 0)
+    f->hold_until = f->staged_at + std::chrono::milliseconds(fault.delay_ms);
+
+  bool flush_now = false;
+  {
+    std::lock_guard lock(mu_);
+    if (p.unacked.empty()) {  // arm the per-peer timer for the oldest frame
+      p.attempts = 0;
+      p.retransmit_at =
+          f->staged_at + std::chrono::milliseconds(opt_.ack_timeout_ms);
     }
-    const bool skip_write = attempt == 0 && fault.drop;
-    if (!skip_write) {
-      try {
-        write_frame(p, frame);
-        if (attempt == 0 && fault.duplicate) write_frame(p, frame);
-      } catch (const Error& e) {
-        mark_dead(dest, e.what());
-        throw_peer_dead(dest);
-      }
-      if (obs::enabled()) {
-        obs_frames_sent().add(1);
-        obs_frame_bytes().observe(static_cast<std::int64_t>(frame.size()));
-      }
+    p.unacked.push_back(f);
+    if (fault.drop) {
+      // Never stage the first copy — the retransmit timer recovers it.
+    } else if (fault.delay_ms > 0) {
+      p.held.push_back(f);  // the reader writes it late: real reordering
+    } else {
+      p.staged.push_back(f);
+      p.staged_bytes += kHeaderBytes + bytes;
+      flush_now = p.staged_bytes >= opt_.coalesce_bytes;
     }
-    {
-      std::unique_lock lock(mu_);
-      const bool acked = cv_.wait_for(
-          lock, std::chrono::milliseconds(timeout_ms),
-          [&] { return p.acked > h.seq || p.dead; });
-      if (p.dead) {
-        lock.unlock();
-        throw_peer_dead(dest);
-      }
-      if (acked && p.acked > h.seq) break;
-    }
-    if (attempt >= opt_.max_retries) {
-      mark_dead(dest, "no ACK for seq " + std::to_string(h.seq) + " after " +
-                          std::to_string(opt_.max_retries) +
-                          " retransmissions");
-      throw_peer_dead(dest);
-    }
-    {
-      std::lock_guard lock(mu_);
-      ++retransmits_;
-    }
-    if (obs::enabled()) obs_retransmits().add(1);
-    timeout_ms = std::min(timeout_ms * 2, 10000);
   }
-  if (obs::enabled()) {
-    obs_rtt_ns().observe(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                             Clock::now() - t0)
-                             .count());
+  if (flush_now) flush_peer(dest);
+  wake_reader();  // coalesce the rest: the reader flushes the batch
+
+  if (obs::enabled())
     obs::Tracer::global().instant(
         "net.send", "net",
         {{"src", rank_},
          {"dst", dest},
          {"tag", tag},
          {"bytes", static_cast<std::int64_t>(bytes)}});
+}
+
+bool TcpTransport::write_batch(int r, const std::vector<TxFramePtr>& batch,
+                               std::uint64_t ack) {
+  Peer& p = peer(r);
+  // Header iovec + payload iovec per frame: nothing is copied into an
+  // intermediate contiguous buffer on the way to the kernel.
+  std::vector<struct iovec> iov;
+  iov.reserve(batch.size() * 2 + 2);
+  for (const auto& f : batch) {
+    f->h.flags |= kFlagCarriesAck;
+    f->h.ack = ack;
+    encode_header(f->h, f->hdr);
+    iov.push_back({f->hdr, kHeaderBytes});
+    if (!f->payload.empty())
+      iov.push_back({f->payload.data(), f->payload.size()});
+    if (f->write_twice) {  // injected duplicate: same bytes, same batch
+      f->write_twice = false;
+      iov.push_back({f->hdr, kHeaderBytes});
+      if (!f->payload.empty())
+        iov.push_back({f->payload.data(), f->payload.size()});
+    }
   }
+  try {
+    p.sock.sendv_all(iov.data(), static_cast<int>(iov.size()));
+  } catch (const Error& e) {
+    mark_dead(r, e.what());
+    return false;
+  }
+  if (obs::enabled()) {
+    obs_frames_sent().add(static_cast<std::int64_t>(batch.size()));
+    obs_coalesced_frames().observe(static_cast<std::int64_t>(batch.size()));
+    for (const auto& f : batch)
+      obs_frame_bytes().observe(
+          static_cast<std::int64_t>(kHeaderBytes + f->payload.size()));
+  }
+  return true;
+}
+
+void TcpTransport::flush_peer(int r) {
+  Peer& p = peer(r);
+  {
+    std::lock_guard lock(mu_);
+    if (p.dead || p.staged.empty()) return;
+  }
+  std::lock_guard wlock(p.write_mutex);
+  std::vector<TxFramePtr> batch;
+  std::uint64_t ack_val = 0;
+  bool carried_ack = false;
+  {
+    std::lock_guard lock(mu_);
+    if (p.dead || p.staged.empty()) return;
+    batch.assign(p.staged.begin(), p.staged.end());
+    p.staged.clear();
+    p.staged_bytes = 0;
+    // Every DATA frame piggybacks the current cumulative ack, so a burst
+    // flowing the other way usually needs no pure ACK at all.
+    ack_val = p.recv_next;
+    p.last_ack_sent = ack_val;
+    if (p.ack_pending) {
+      p.ack_pending = false;
+      carried_ack = true;
+      ++acks_sent_;
+    }
+  }
+  if (write_batch(r, batch, ack_val) && carried_ack && obs::enabled())
+    obs_cumulative_acks().add(1);
+}
+
+void TcpTransport::flush_all() {
+  for (int r = 0; r < world_; ++r)
+    if (r != rank_) flush_peer(r);
+}
+
+void TcpTransport::send_pure_ack(int r) {
+  Peer& p = peer(r);
+  {
+    std::lock_guard lock(mu_);
+    if (p.dead || !p.ack_pending) return;
+  }
+  std::lock_guard wlock(p.write_mutex);
+  std::uint64_t ack_val = 0;
+  {
+    std::lock_guard lock(mu_);
+    if (p.dead || !p.ack_pending) return;
+    ack_val = p.recv_next;
+    p.last_ack_sent = ack_val;
+    p.ack_pending = false;
+    ++acks_sent_;
+  }
+  FrameHeader a;
+  a.type = FrameType::kAck;
+  a.src = rank_;
+  a.flags = kFlagCarriesAck;
+  a.ack = ack_val;
+  std::byte buf[kHeaderBytes];
+  encode_header(a, buf);
+  try {
+    p.sock.send_all(buf, kHeaderBytes);
+  } catch (const Error& e) {
+    mark_dead(r, e.what());
+    return;
+  }
+  if (obs::enabled()) obs_cumulative_acks().add(1);
+}
+
+void TcpTransport::release_held(int r, Clock::time_point now) {
+  Peer& p = peer(r);
+  std::lock_guard lock(mu_);
+  // hold_until is monotone within a peer (stage times are, and the plan's
+  // delay is constant), so draining from the front is exact.
+  while (!p.held.empty() && p.held.front()->hold_until <= now) {
+    TxFramePtr f = p.held.front();
+    p.held.pop_front();
+    p.staged.push_back(f);
+    p.staged_bytes += kHeaderBytes + f->payload.size();
+  }
+}
+
+void TcpTransport::retransmit_pass(int r, Clock::time_point now) {
+  Peer& p = peer(r);
+  {
+    std::lock_guard lock(mu_);
+    if (p.dead || p.unacked.empty() || now < p.retransmit_at) return;
+  }
+  std::lock_guard wlock(p.write_mutex);
+  std::vector<TxFramePtr> batch;
+  std::uint64_t ack_val = 0;
+  bool exhausted = false;
+  std::uint64_t oldest_seq = 0;
+  {
+    std::lock_guard lock(mu_);
+    if (p.dead || p.unacked.empty() || now < p.retransmit_at) return;
+    oldest_seq = p.unacked.front()->h.seq;
+    if (p.attempts >= opt_.max_retries) {
+      exhausted = true;
+    } else {
+      ++p.attempts;
+      const int backoff =
+          std::min(opt_.ack_timeout_ms << std::min(p.attempts, 7), 10000);
+      p.retransmit_at = now + std::chrono::milliseconds(backoff);
+      // Go-back-N: rewrite everything unacked and due in one batch — the
+      // receiver's reassembly buffer absorbs the overlap, and multiple
+      // dropped frames recover in a single timeout.
+      for (const auto& f : p.unacked)
+        if (f->hold_until == Clock::time_point{} || f->hold_until <= now)
+          batch.push_back(f);
+      // Staged frames are a subset of what's being rewritten; frames whose
+      // injected hold just expired are being written here, not twice.
+      p.staged.clear();
+      p.staged_bytes = 0;
+      while (!p.held.empty() && p.held.front()->hold_until <= now)
+        p.held.pop_front();
+      if (!batch.empty()) {
+        ack_val = p.recv_next;
+        p.last_ack_sent = ack_val;
+        if (p.ack_pending) {
+          p.ack_pending = false;
+          ++acks_sent_;
+        }
+        retransmits_ += batch.size();
+      }
+    }
+  }
+  if (exhausted) {
+    mark_dead(r, "no ACK for seq " + std::to_string(oldest_seq) + " after " +
+                     std::to_string(opt_.max_retries) + " retransmit passes");
+    return;
+  }
+  if (batch.empty()) return;
+  if (write_batch(r, batch, ack_val) && obs::enabled())
+    obs_retransmits().add(static_cast<std::int64_t>(batch.size()));
+}
+
+void TcpTransport::apply_ack(int src, std::uint64_t ack) {
+  Peer& p = peer(src);
+  bool progress = false;
+  {
+    std::lock_guard lock(mu_);
+    const auto now = Clock::now();
+    while (!p.unacked.empty() && seq_before(p.unacked.front()->h.seq, ack)) {
+      if (obs::enabled())
+        obs_rtt_ns().observe(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                now - p.unacked.front()->staged_at)
+                .count());
+      p.unacked.pop_front();
+      progress = true;
+    }
+    if (progress) {
+      p.attempts = 0;  // the link is alive; restart the backoff ladder
+      if (!p.unacked.empty())
+        p.retransmit_at =
+            now + std::chrono::milliseconds(opt_.ack_timeout_ms);
+    }
+  }
+  if (progress) cv_.notify_all();  // window space freed; shutdown may drain
 }
 
 std::vector<std::byte> TcpTransport::recv(int src, int tag) {
@@ -274,6 +510,9 @@ std::vector<std::byte> TcpTransport::recv(int src, int tag) {
   span.arg("src", src);
   span.arg("dst", rank_);
   span.arg("tag", tag);
+  // Entering a blocking recv is a natural batch boundary: put everything
+  // staged on the wire so the answer this recv waits on can be provoked.
+  flush_all();
   std::unique_lock lock(mu_);
   auto& channel = channels_[{src, tag}];
   // A peer that said GOODBYE will never send again — fail a still-pending
@@ -305,11 +544,7 @@ void TcpTransport::handle_frame(int src, const FrameHeader& h,
   Peer& p = peer(src);
   switch (h.type) {
     case FrameType::kAck: {
-      {
-        std::lock_guard lock(mu_);
-        p.acked = std::max(p.acked, h.seq + 1);
-      }
-      cv_.notify_all();
+      if (h.flags & kFlagCarriesAck) apply_ack(src, h.ack);
       break;
     }
     case FrameType::kData: {
@@ -319,34 +554,46 @@ void TcpTransport::handle_frame(int src, const FrameHeader& h,
                            std::to_string(src));
         break;
       }
-      bool fresh = false;
+      if (h.flags & kFlagCarriesAck) apply_ack(src, h.ack);
+      std::uint64_t delivered = 0;
       {
         std::lock_guard lock(mu_);
-        if (h.seq == p.recv_seq) {
-          ++p.recv_seq;
-          fresh = true;
+        if (h.seq == p.recv_next) {
           channels_[{src, h.tag}].push_back(std::move(payload));
-        } else if (h.seq > p.recv_seq) {
-          // Impossible under stop-and-wait over ordered TCP.
-          p.dead = true;
-          p.why = "sequence gap: got " + std::to_string(h.seq) +
-                  ", expected " + std::to_string(p.recv_seq);
+          ++p.recv_next;
+          ++delivered;
+          // Drain the reassembly run this frame just completed.
+          for (auto it = p.reassembly.find(p.recv_next);
+               it != p.reassembly.end();
+               it = p.reassembly.find(p.recv_next)) {
+            channels_[{src, it->second.first}].push_back(
+                std::move(it->second.second));
+            p.reassembly.erase(it);
+            ++p.recv_next;
+            ++delivered;
+          }
+        } else if (seq_before(p.recv_next, h.seq)) {
+          if (h.seq - p.recv_next > kMaxReassemblyGap) {
+            p.dead = true;
+            p.why = "sequence gap: got " + std::to_string(h.seq) +
+                    ", expected " + std::to_string(p.recv_next) +
+                    " (beyond any legal window)";
+          } else {
+            // Out of order: park it. emplace keeps the first copy, so an
+            // injected duplicate inside the window can never
+            // double-deliver.
+            p.reassembly.emplace(h.seq,
+                                 std::make_pair(h.tag, std::move(payload)));
+          }
         }
-        // h.seq < recv_seq: an injected duplicate (or a retransmission that
-        // crossed our ACK) — drop the payload, but ack it again below.
+        // h.seq below recv_next: an already-delivered duplicate (injected,
+        // or a retransmission that crossed our ack) — drop the payload but
+        // re-ack below so the sender's window still opens.
+        p.ack_pending = true;
       }
       cv_.notify_all();
-      if (obs::enabled() && fresh) obs_frames_received().add(1);
-      FrameHeader ack;
-      ack.type = FrameType::kAck;
-      ack.src = rank_;
-      ack.seq = h.seq;
-      try {
-        const std::vector<std::byte> frame = encode_frame(ack, nullptr, 0);
-        write_frame(p, frame);
-      } catch (const Error& e) {
-        mark_dead(src, e.what());
-      }
+      if (obs::enabled() && delivered)
+        obs_frames_received().add(static_cast<std::int64_t>(delivered));
       break;
     }
     case FrameType::kGoodbye: {
@@ -386,12 +633,38 @@ void TcpTransport::heartbeat_pass() {
         std::chrono::duration_cast<std::chrono::milliseconds>(now - p.last_rx)
             .count();
     if (silence_ms > suspicion_ms) {
-      if (obs::enabled()) obs_heartbeats_missed().add(1);
-      mark_dead(r, "no frames from rank " + std::to_string(r) + " for " +
-                       std::to_string(silence_ms) +
-                       " ms (heartbeat suspicion timeout " +
-                       std::to_string(suspicion_ms) + " ms)");
-      continue;
+      // Unread bytes in the receive buffer are proof of liveness the
+      // reader simply has not drained yet (it also writes batches now, so
+      // a loaded machine can lag it past an aggressive suspicion timeout).
+      // Suspect only a peer that is silent on the wire itself.
+      pollfd pending{p.sock.fd(), POLLIN, 0};
+      if (::poll(&pending, 1, 0) > 0 && (pending.revents & POLLIN)) {
+        p.last_rx = now;  // reset the clock; the drain is already queued
+        p.suspected = false;
+        continue;
+      }
+      // Two-phase suspicion: a one-shot clock comparison cannot tell a
+      // dead peer from one starved of CPU alongside this very thread.
+      // The first trigger only arms suspicion and keeps pinging; the peer
+      // is declared dead when it stays silent for a further full window
+      // measured from a moment this reader was demonstrably running.
+      if (p.suspected && p.last_rx <= p.suspect_since &&
+          now - p.suspect_since > std::chrono::milliseconds(suspicion_ms)) {
+        if (obs::enabled()) obs_heartbeats_missed().add(1);
+        mark_dead(r, "no frames from rank " + std::to_string(r) + " for " +
+                         std::to_string(silence_ms) +
+                         " ms (heartbeat suspicion timeout " +
+                         std::to_string(suspicion_ms) + " ms)");
+        continue;
+      }
+      if (!p.suspected || p.last_rx > p.suspect_since) {
+        p.suspected = true;
+        p.suspect_since = now;
+      }
+      // Fall through: the suspect keeps receiving pings at heartbeat
+      // cadence so an alive-but-idle peer has something to answer.
+    } else {
+      p.suspected = false;
     }
     if (now - p.last_ping_tx <
         std::chrono::milliseconds(opt_.heartbeat_ms))
@@ -414,10 +687,30 @@ void TcpTransport::heartbeat_pass() {
   }
 }
 
+int TcpTransport::next_deadline_ms(int cap) {
+  auto next = Clock::time_point::max();
+  {
+    std::lock_guard lock(mu_);
+    for (int r = 0; r < world_; ++r) {
+      if (r == rank_) continue;
+      Peer& p = peer(r);
+      if (p.dead) continue;
+      if (!p.unacked.empty()) next = std::min(next, p.retransmit_at);
+      if (!p.held.empty())
+        next = std::min(next, p.held.front()->hold_until);
+    }
+  }
+  if (next == Clock::time_point::max()) return cap;
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      next - Clock::now())
+                      .count();
+  return static_cast<int>(std::clamp<long long>(ms, 1, cap));
+}
+
 void TcpTransport::reader_loop() {
   // With heartbeats on, wake at least twice per period so pings go out and
   // silence is noticed on time even when no socket turns readable.
-  const int poll_ms = opt_.heartbeat_ms > 0
+  const int base_ms = opt_.heartbeat_ms > 0
                           ? std::clamp(opt_.heartbeat_ms / 2, 1, 500)
                           : 500;
   for (;;) {
@@ -435,35 +728,68 @@ void TcpTransport::reader_loop() {
       }
     }
     fds.push_back({wake_pipe_[0], POLLIN, 0});
-    const int rc = ::poll(fds.data(), fds.size(), poll_ms);
+    const int rc = ::poll(fds.data(), fds.size(), next_deadline_ms(base_ms));
     if (rc > 0) {
-      if (fds.back().revents & POLLIN) return;  // destructor wake-up
+      if (fds.back().revents & POLLIN) {
+        char buf[256];  // drain every pending poke in one gulp
+        while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+        }
+        {
+          std::lock_guard lock(mu_);
+          if (stopping_) return;
+        }
+      }
       for (std::size_t i = 0; i + 1 < fds.size(); ++i) {
         if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
         const int src = fd_rank[i];
         Peer& p = peer(src);
-        FrameHeader h;
-        std::vector<std::byte> payload;
-        try {
-          if (!recv_frame(p.sock, h, payload, opt_.recv_timeout_ms)) {
-            bool graceful;
-            {
-              std::lock_guard lock(mu_);
-              graceful = p.goodbye;
+        // Drain the whole readable burst before acking once (delayed
+        // acking): kMaxBurstFrames bounds one socket's turn.
+        for (int n = 0; n < kMaxBurstFrames; ++n) {
+          FrameHeader h;
+          std::vector<std::byte> payload;
+          try {
+            if (!recv_frame(p.sock, h, payload, opt_.recv_timeout_ms)) {
+              bool graceful;
+              {
+                std::lock_guard lock(mu_);
+                graceful = p.goodbye;
+              }
+              mark_dead(src,
+                        graceful
+                            ? "peer closed the connection (graceful shutdown)"
+                            : "connection closed without a goodbye");
+              break;
             }
-            mark_dead(src,
-                      graceful
-                          ? "peer closed the connection (graceful shutdown)"
-                          : "connection closed without a goodbye");
-            continue;
+          } catch (const Error& e) {
+            mark_dead(src, e.what());
+            break;
           }
-        } catch (const Error& e) {
-          mark_dead(src, e.what());
-          continue;
+          p.last_rx = Clock::now();
+          handle_frame(src, h, std::move(payload));
+          {
+            std::lock_guard lock(mu_);
+            if (p.dead) break;
+          }
+          pollfd more{p.sock.fd(), POLLIN, 0};
+          if (::poll(&more, 1, 0) <= 0 || !(more.revents & POLLIN)) break;
         }
-        p.last_rx = Clock::now();
-        handle_frame(src, h, std::move(payload));
       }
+    }
+    // Service pass: write due held frames, flush staging (piggybacking
+    // acks), answer each drained burst with one cumulative ack, and run
+    // the per-peer retransmit timers.
+    const auto now = Clock::now();
+    for (int r = 0; r < world_; ++r) {
+      if (r == rank_) continue;
+      {
+        std::lock_guard lock(mu_);
+        if (peer(r).dead || !peer(r).sock.valid()) continue;
+      }
+      release_held(r, now);
+      flush_peer(r);
+      send_pure_ack(r);
+      retransmit_pass(r, now);
     }
     heartbeat_pass();  // rc < 0 is EINTR; rc == 0 is the idle tick
   }
@@ -472,6 +798,22 @@ void TcpTransport::reader_loop() {
 void TcpTransport::shutdown() {
   if (shut_down_) return;
   shut_down_ = true;
+  // send() only promises window admission; shutdown is where delivery of
+  // everything is confirmed. Flush staging, then drain the windows (the
+  // reader keeps retransmitting and releasing held frames meanwhile).
+  flush_all();
+  {
+    std::unique_lock lock(mu_);
+    cv_.wait_for(lock, std::chrono::milliseconds(opt_.goodbye_timeout_ms),
+                 [&] {
+                   for (int r = 0; r < world_; ++r) {
+                     if (r == rank_) continue;
+                     const Peer& p = *peers_[static_cast<std::size_t>(r)];
+                     if (!p.dead && !p.unacked.empty()) return false;
+                   }
+                   return true;
+                 });
+  }
   FrameHeader bye;
   bye.type = FrameType::kGoodbye;
   bye.src = rank_;
@@ -507,6 +849,8 @@ TcpTransport::Stats TcpTransport::stats() const {
   {
     std::lock_guard lock(mu_);
     s.retransmits = retransmits_;
+    s.window_stalls = window_stalls_;
+    s.acks_sent = acks_sent_;
     s.heartbeats_sent = heartbeats_sent_;
   }
   // Injector counters are written under each peer's send_mutex; reading

@@ -4,28 +4,50 @@
 // rendezvous (net/rendezvous.hpp) — rank i dials every j < i and accepts
 // every j > i, with a versioned HELLO/HELLO_ACK handshake on each link.
 //
-// Protocol: stop-and-wait with per-connection sequence numbers. send()
-// frames the payload (header + CRC32), writes it, and blocks until the
-// peer's ACK; on timeout it retransmits with exponential backoff and, once
-// the retry budget is exhausted, throws PeerDied. The receiver acks every
-// DATA frame and drops already-seen sequence numbers, so injected drops and
-// duplicates (net/fault.hpp) are absorbed by the protocol instead of
-// corrupting the stream. A background reader thread demultiplexes every
-// peer socket into per-(source, tag) FIFO channels — the same matching
-// semantics as the in-process mailboxes — and hands ACKs to blocked
-// senders, which is what keeps "everyone sends, then everyone receives"
-// exchange patterns deadlock-free.
+// Protocol: sliding window with cumulative acks. send() assigns the frame a
+// per-connection sequence number, copies the payload once into a retransmit
+// slot, and returns as soon as the window admits it — up to
+// TcpOptions::window_frames frames ride unacked per peer, so a burst of
+// sends costs one RTT, not one RTT each. Frames are *staged*, not written
+// inline: the reader thread (or the next recv()/window-full wait) flushes
+// every staged frame for a peer as one scatter-gather writev batch — small
+// frames coalesce into a single syscall, and neither headers nor payloads
+// are ever copied into an intermediate contiguous buffer.
+//
+// Acks are cumulative (FrameHeader::ack covers every seq below it) and
+// delayed: the receiver drains a burst of readable frames, then answers
+// with a single ACK — or none at all when an outgoing DATA frame piggybacks
+// the ack first (kFlagCarriesAck). Loss recovery is one retransmit timer
+// per peer, armed for the oldest unacked frame: on expiry every unacked
+// frame is rewritten in one batch (go-back-N; the receiver's reassembly
+// buffer absorbs the overlap), with exponential backoff and the attempt
+// counter reset whenever the cumulative ack makes progress. The receive
+// path delivers in order, parks out-of-order frames in a per-peer
+// reassembly map, and drops already-delivered duplicates — injected drops,
+// duplicates, and delays (net/fault.hpp) are absorbed by the protocol
+// instead of corrupting the stream. window_frames = 1 degenerates to
+// stop-and-wait: one frame in flight, one ack per frame, same byte stream.
+//
+// A background reader thread demultiplexes every peer socket into
+// per-(source, tag) FIFO channels — the same matching semantics as the
+// in-process mailboxes — applies acks to blocked senders, flushes staged
+// frames (senders poke it through a pipe), and runs the retransmit timers,
+// which is what keeps "everyone sends, then everyone receives" exchange
+// patterns deadlock-free.
 //
 // Failure semantics: EOF after a GOODBYE frame is a graceful shutdown; EOF
-// without one, a reset, a CRC mismatch, or an exhausted retry budget marks
-// the peer dead and every blocked or future send()/recv() against it
-// throws PeerDied naming both ends. Nothing hangs: every wait carries a
-// configurable timeout. With TcpOptions::heartbeat_ms > 0 the reader thread
-// additionally PINGs every idle link and suspects a peer that has been
-// silent past the suspicion timeout — so a wedged (not closed) peer is
-// detected even when no application data is in flight. PINGs ride outside
-// the data sequence space, are never acked, and bypass the fault injector,
-// so enabling them does not perturb seeded-fault determinism.
+// without one, a reset, a CRC mismatch, or an exhausted retransmit budget
+// marks the peer dead and every blocked or future send()/recv() against it
+// throws PeerDied naming both ends. send() returning only promises the
+// frame is in the window — delivery is confirmed by the time shutdown()
+// returns, which drains every unacked frame before saying GOODBYE. Nothing
+// hangs: every wait carries a configurable timeout. With
+// TcpOptions::heartbeat_ms > 0 the reader thread additionally PINGs every
+// idle link and suspects a peer that has been silent past the suspicion
+// timeout — so a wedged (not closed) peer is detected even when no
+// application data is in flight. PINGs ride outside the data sequence
+// space, are never acked, and bypass the fault injector, so enabling them
+// does not perturb seeded-fault determinism.
 #pragma once
 
 #include <chrono>
@@ -37,6 +59,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "net/fault.hpp"
@@ -47,16 +70,23 @@
 
 namespace peachy::net {
 
-/// Timeouts, retry policy, and fault plan for one TCP world.
+/// Timeouts, window geometry, retry policy, and fault plan for one TCP world.
 struct TcpOptions {
   std::string host = "127.0.0.1";
   int connect_timeout_ms = 10000;   ///< rendezvous + mesh dial budget
   int recv_timeout_ms = 30000;      ///< application-level recv wait
   int ack_timeout_ms = 100;         ///< initial retransmit timer
-  int max_retries = 8;              ///< retransmissions (backoff doubles)
+  int max_retries = 8;              ///< retransmit passes (backoff doubles)
   int goodbye_timeout_ms = 2000;    ///< graceful-shutdown drain
   int heartbeat_ms = 0;             ///< >0: PING every idle link this often
   int suspicion_timeout_ms = 0;     ///< silence budget; 0 = 4 * heartbeat_ms
+  int window_frames = 32;           ///< unacked frames per peer; 1 = stop-and-wait
+  std::size_t coalesce_bytes = 64 * 1024;  ///< staged bytes that force an
+                                           ///< inline flush from the sender
+  /// First sequence number on every connection (both directions, all
+  /// links). A test hook: start near UINT64_MAX to prove the window
+  /// bookkeeping survives a seq wrap (see wire.hpp seq_before()).
+  std::uint64_t first_seq = 0;
   FaultPlan fault;                  ///< inactive unless seed != 0
 };
 
@@ -69,6 +99,7 @@ class TcpTransport final : public Transport {
 
   int rank() const override { return rank_; }
   int size() const override { return world_; }
+  using Transport::send;  // the span overload forwards to the pointer one
   void send(int dest, int tag, const void* data, std::size_t bytes) override;
   std::vector<std::byte> recv(int src, int tag) override;
   void shutdown() override;
@@ -76,6 +107,8 @@ class TcpTransport final : public Transport {
   /// Frame-level counters, aggregated over all of this rank's connections.
   struct Stats {
     std::uint64_t retransmits = 0;
+    std::uint64_t window_stalls = 0;  ///< sends that blocked on a full window
+    std::uint64_t acks_sent = 0;      ///< cumulative acks, pure + piggybacked
     std::uint64_t heartbeats_sent = 0;
     FaultInjector::Counters fault;
   };
@@ -85,25 +118,82 @@ class TcpTransport final : public Transport {
   const Socket& rendezvous_socket() const { return session_.sock; }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
+  /// One window slot: the single copy of an in-flight payload, kept until
+  /// the cumulative ack passes it. Header bytes are encoded at write time
+  /// (each write stamps the current piggyback ack) under the peer's
+  /// write_mutex; a shared_ptr keeps the buffers alive when an ack pops the
+  /// slot while a writev batch still references it.
+  struct TxFrame {
+    FrameHeader h;                   // len + crc fixed at stage time
+    std::vector<std::byte> payload;
+    std::byte hdr[kHeaderBytes];
+    Clock::time_point staged_at{};
+    Clock::time_point hold_until{};  // injected delay: not on the wire before
+    bool write_twice = false;        // injected duplicate (first write only)
+  };
+  using TxFramePtr = std::shared_ptr<TxFrame>;
+
   struct Peer {
     Socket sock;
     std::unique_ptr<FaultInjector> fault;
-    std::mutex write_mutex;       // sender + reader-thread acks share it
-    std::uint64_t send_seq = 0;   // guarded by send_mutex
-    std::mutex send_mutex;        // serializes send() per peer
-    // Guarded by the transport-wide state mutex:
-    std::uint64_t acked = 0;      // data frames acked by this peer
-    std::uint64_t recv_seq = 0;   // next expected inbound data seq
+    std::mutex write_mutex;  // serializes every socket write (flush, acks,
+                             // retransmits, control frames)
+    std::mutex send_mutex;   // serializes send(): seq assignment + injector
+                             // judgment happen in seq order
+    std::uint64_t send_seq = 0;  // guarded by send_mutex
+
+    // Sender window state — guarded by the transport-wide mu_:
+    std::deque<TxFramePtr> unacked;  // oldest first; size caps the window
+    std::deque<TxFramePtr> staged;   // admitted, not yet on the wire
+    std::deque<TxFramePtr> held;     // injector-delayed, not yet due
+    std::size_t staged_bytes = 0;
+    int attempts = 0;                // retransmit passes since last progress
+    Clock::time_point retransmit_at{};
+
+    // Receiver state — guarded by mu_:
+    std::uint64_t recv_next = 0;      // next in-order inbound seq
+    std::uint64_t last_ack_sent = 0;  // cumulative ack the peer has seen
+    bool ack_pending = false;
+    std::map<std::uint64_t, std::pair<int, std::vector<std::byte>>>
+        reassembly;  // out-of-order frames: seq -> (tag, payload)
+
     bool goodbye = false;
     bool dead = false;
     std::string why;
     // Reader-thread-only (never locked): heartbeat liveness bookkeeping.
-    std::chrono::steady_clock::time_point last_rx{};
-    std::chrono::steady_clock::time_point last_ping_tx{};
+    Clock::time_point last_rx{};
+    Clock::time_point last_ping_tx{};
+    bool suspected = false;          // first suspicion probes, second kills
+    Clock::time_point suspect_since{};
   };
 
   Peer& peer(int r) { return *peers_[static_cast<std::size_t>(r)]; }
   void write_frame(Peer& p, const std::vector<std::byte>& frame);
+  /// Writes every staged frame for `r` as one writev batch (piggybacking
+  /// the current cumulative ack). Safe from any thread; no-op when nothing
+  /// is staged.
+  void flush_peer(int r);
+  void flush_all();
+  /// Sends a pure cumulative ACK when one is still owed (no DATA carried it).
+  void send_pure_ack(int r);
+  /// Expired retransmit timer: rewrites every due unacked frame, or kills
+  /// the peer once the attempt budget is gone.
+  void retransmit_pass(int r, Clock::time_point now);
+  /// Moves injector-delayed frames whose hold time has passed into staging.
+  void release_held(int r, Clock::time_point now);
+  /// Applies a cumulative ack from `src` (pure or piggybacked).
+  void apply_ack(int src, std::uint64_t ack);
+  /// Requires peer(r).write_mutex held. Stamps `ack` into every header and
+  /// writes the whole batch as one scatter-gather call; marks the peer dead
+  /// and returns false on a write error.
+  bool write_batch(int r, const std::vector<TxFramePtr>& batch,
+                   std::uint64_t ack);
+  void wake_reader();
+  /// Milliseconds until the nearest retransmit/hold deadline, capped at
+  /// `cap`.
+  int next_deadline_ms(int cap);
   void reader_loop();
   void heartbeat_pass();
   void handle_frame(int src, const FrameHeader& h,
@@ -118,11 +208,13 @@ class TcpTransport final : public Transport {
   RendezvousSession session_;
   std::vector<std::unique_ptr<Peer>> peers_;  // [rank_] stays null
 
-  // Channel queues + peer liveness/ack state.
+  // Channel queues + peer window/liveness state.
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::map<std::pair<int, int>, std::deque<std::vector<std::byte>>> channels_;
   std::uint64_t retransmits_ = 0;
+  std::uint64_t window_stalls_ = 0;
+  std::uint64_t acks_sent_ = 0;
   std::uint64_t heartbeats_sent_ = 0;
 
   std::thread reader_;

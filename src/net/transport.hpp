@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace peachy::net {
@@ -22,10 +23,20 @@ class Transport {
   virtual int size() const = 0;
 
   /// Blocking send of `bytes` to `dest`. Returns once the payload is safely
-  /// buffered (inproc) or acknowledged by the peer (tcp). Throws PeerDied
-  /// when the destination is gone for good.
+  /// buffered — copied into a mailbox (inproc) or admitted to the peer's
+  /// send window (tcp, which then guarantees delivery or a PeerDied on a
+  /// later call). Throws PeerDied when the destination is gone for good.
   virtual void send(int dest, int tag, const void* data,
                     std::size_t bytes) = 0;
+
+  /// Zero-copy lane: same semantics as the pointer overload, but callers
+  /// that already hold a contiguous byte view (dmr shuffle blocks, sandpile
+  /// halo rows) pass it without materializing an intermediate vector —
+  /// the tcp backend frames it with scatter-gather I/O. Derived classes
+  /// re-expose this via `using Transport::send;`.
+  virtual void send(int dest, int tag, std::span<const std::byte> payload) {
+    send(dest, tag, payload.data(), payload.size());
+  }
 
   /// Blocking receive of the next message on the (src, tag) channel.
   /// Throws PeerDied when `src` dies, or Error on timeout (tcp only;

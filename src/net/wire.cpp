@@ -66,8 +66,9 @@ void encode_header(const FrameHeader& h, std::byte* out) {
   put_u32(out + 8, static_cast<std::uint32_t>(h.src));
   put_u32(out + 12, static_cast<std::uint32_t>(h.tag));
   put_u64(out + 16, h.seq);
-  put_u32(out + 24, h.len);
-  put_u32(out + 28, h.crc);
+  put_u64(out + 24, h.ack);
+  put_u32(out + 32, h.len);
+  put_u32(out + 36, h.crc);
 }
 
 FrameHeader decode_header(const std::byte* in) {
@@ -86,11 +87,12 @@ FrameHeader decode_header(const std::byte* in) {
   h.src = static_cast<std::int32_t>(get_u32(in + 8));
   h.tag = static_cast<std::int32_t>(get_u32(in + 12));
   h.seq = get_u64(in + 16);
-  h.len = get_u32(in + 24);
+  h.ack = get_u64(in + 24);
+  h.len = get_u32(in + 32);
   PEACHY_REQUIRE(h.len <= kMaxPayloadBytes,
                  "frame payload of " << h.len << " bytes exceeds the "
                                      << kMaxPayloadBytes << "-byte cap");
-  h.crc = get_u32(in + 28);
+  h.crc = get_u32(in + 36);
   return h;
 }
 

@@ -1,7 +1,7 @@
 // Wire protocol for the peachy socket transport (DESIGN.md "Transports").
 //
 // Every unit on the wire — handshake, data, ack, rendezvous traffic — is one
-// *frame*: a fixed 32-byte little-endian header optionally followed by a
+// *frame*: a fixed 40-byte little-endian header optionally followed by a
 // payload. The header is versioned (a connection is refused when the two
 // ends disagree) and carries a CRC32 of the payload so corruption is caught
 // at the receiver instead of surfacing as a wrong grid cell three layers up.
@@ -10,12 +10,20 @@
 //   0  u32 magic   "PEAC" (0x43414550 as LE bytes 'P','E','A','C')
 //   4  u16 version kWireVersion
 //   6  u8  type    FrameType
-//   7  u8  flags   FrameType-specific bits
+//   7  u8  flags   FrameFlag bits
 //   8  i32 src     sending rank (or rendezvous client rank)
 //   12 i32 tag     message tag / handshake destination rank / listen port
-//   16 u64 seq     per-connection data sequence number (acks echo it)
-//   24 u32 len     payload bytes following the header
-//   28 u32 crc     CRC32 (IEEE) of the payload, 0 when len == 0
+//   16 u64 seq     per-connection data sequence number
+//   24 u64 ack     cumulative ack: every seq < ack has been received
+//                  (valid only when kFlagCarriesAck is set — DATA frames
+//                  piggyback it, ACK frames exist for it)
+//   32 u32 len     payload bytes following the header
+//   36 u32 crc     CRC32 (IEEE) of the payload, 0 when len == 0
+//
+// v2 replaced v1's echo-this-seq ACK with the cumulative `ack` field: one
+// ACK (or any data frame flowing the other way) acknowledges every frame
+// below it, which is what lets the sliding-window sender keep a whole
+// window in flight and collapse per-frame timers into one per-peer timer.
 #pragma once
 
 #include <cstddef>
@@ -26,8 +34,8 @@
 
 namespace peachy::net {
 
-inline constexpr std::uint16_t kWireVersion = 1;
-inline constexpr std::size_t kHeaderBytes = 32;
+inline constexpr std::uint16_t kWireVersion = 2;
+inline constexpr std::size_t kHeaderBytes = 40;
 /// Frames larger than this are rejected as corrupt (a 4096x4096 u32 grid
 /// gathered in one message is 64 MiB; leave headroom above that).
 inline constexpr std::uint32_t kMaxPayloadBytes = 256u << 20;
@@ -36,12 +44,19 @@ enum class FrameType : std::uint8_t {
   kHello = 1,     ///< mesh handshake: src=connector rank, tag=acceptor rank
   kHelloAck = 2,  ///< handshake accepted
   kData = 3,      ///< application message: src, tag, seq, payload
-  kAck = 4,       ///< acknowledges the data frame with the same seq
+  kAck = 4,       ///< pure cumulative ack (see FrameHeader::ack)
   kGoodbye = 5,   ///< graceful close; EOF after this is not a peer death
   kRegister = 6,  ///< rendezvous: src=rank, tag=peer listen port
   kTable = 7,     ///< rendezvous reply: payload = world_size u32 ports
   kResult = 8,    ///< spawned worker -> launcher: stats + status + result
   kPing = 9,      ///< heartbeat; proves liveness, carries no payload, no ack
+};
+
+/// FrameHeader::flags bits.
+enum FrameFlag : std::uint8_t {
+  /// The `ack` field is meaningful: everything below it has been received.
+  /// Set on every ACK frame and piggybacked on outgoing DATA frames.
+  kFlagCarriesAck = 0x01,
 };
 
 struct FrameHeader {
@@ -51,9 +66,18 @@ struct FrameHeader {
   std::int32_t src = 0;
   std::int32_t tag = 0;
   std::uint64_t seq = 0;
+  std::uint64_t ack = 0;
   std::uint32_t len = 0;
   std::uint32_t crc = 0;
 };
+
+/// Serial-number comparison (RFC 1982 style): true when `a` precedes `b`
+/// even across a u64 wrap. The window arithmetic uses this everywhere so
+/// sequence numbers starting near the top of the space (see
+/// TcpOptions::first_seq) behave identically to ones starting at zero.
+inline bool seq_before(std::uint64_t a, std::uint64_t b) {
+  return static_cast<std::int64_t>(a - b) < 0;
+}
 
 /// CRC32 (IEEE 802.3, polynomial 0xEDB88320, reflected).
 std::uint32_t crc32(const void* data, std::size_t bytes);

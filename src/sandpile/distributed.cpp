@@ -1,6 +1,7 @@
 #include "sandpile/distributed.hpp"
 
 #include <algorithm>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -85,11 +86,15 @@ DistributedResult stabilize_distributed(const Field& initial,
         obs::Span exchange("sandpile.ghost_exchange", "sandpile");
         exchange.arg("rank", rank);
         exchange.arg("round", round);
+        // Halo rows leave as byte views over the grid itself (zero-copy
+        // lane: no intermediate vector between the slab and the wire).
         if (rank > 0)
-          comm.send(rank - 1, kTagUp, blk.cur.row(k), row_cells * k);
+          comm.send(rank - 1, kTagUp,
+                    std::as_bytes(std::span(blk.cur.row(k), row_cells * k)));
         if (rank < R - 1)
-          comm.send(rank + 1, kTagDown, blk.cur.row(blk.owned()),
-                    row_cells * k);
+          comm.send(rank + 1, kTagDown,
+                    std::as_bytes(std::span(blk.cur.row(blk.owned()),
+                                            row_cells * k)));
         if (rank > 0)
           comm.recv(rank - 1, kTagDown, blk.cur.row(0), row_cells * k);
         if (rank < R - 1)

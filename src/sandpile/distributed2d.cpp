@@ -1,6 +1,7 @@
 #include "sandpile/distributed2d.hpp"
 
 #include <algorithm>
+#include <span>
 #include <vector>
 
 #include "obs/obs.hpp"
@@ -118,11 +119,12 @@ Distributed2dResult stabilize_distributed_2d(const Field& initial,
       // Phase 1: vertical exchange (owned-column strips).
       if (north >= 0) {
         pack_rows(k, row_out);
-        comm.send(north, kTagNorth, row_out.data(), row_out.size());
+        // Packed strips ride the zero-copy lane as byte views.
+        comm.send(north, kTagNorth, std::as_bytes(std::span(row_out)));
       }
       if (south >= 0) {
         pack_rows(blk.rows(), row_out);
-        comm.send(south, kTagSouth, row_out.data(), row_out.size());
+        comm.send(south, kTagSouth, std::as_bytes(std::span(row_out)));
       }
       if (north >= 0) {
         comm.recv(north, kTagSouth, row_in.data(), row_in.size());
@@ -137,11 +139,11 @@ Distributed2dResult stabilize_distributed_2d(const Field& initial,
       // strips include the rows just received, which carries the corners.
       if (west >= 0) {
         pack_cols(k, col_out);
-        comm.send(west, kTagWest, col_out.data(), col_out.size());
+        comm.send(west, kTagWest, std::as_bytes(std::span(col_out)));
       }
       if (east >= 0) {
         pack_cols(blk.cols(), col_out);
-        comm.send(east, kTagEast, col_out.data(), col_out.size());
+        comm.send(east, kTagEast, std::as_bytes(std::span(col_out)));
       }
       if (west >= 0) {
         comm.recv(west, kTagEast, col_in.data(), col_in.size());

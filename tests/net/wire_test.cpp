@@ -18,6 +18,7 @@ TEST(Wire, HeaderRoundTrip) {
   h.src = 3;
   h.tag = -4242;
   h.seq = 0x0123456789abcdefULL;
+  h.ack = 0xfedcba9876543210ULL;
   h.len = 1024;
   h.crc = 0xdeadbeef;
 
@@ -30,8 +31,22 @@ TEST(Wire, HeaderRoundTrip) {
   EXPECT_EQ(back.src, 3);
   EXPECT_EQ(back.tag, -4242);
   EXPECT_EQ(back.seq, 0x0123456789abcdefULL);
+  EXPECT_EQ(back.ack, 0xfedcba9876543210ULL);
   EXPECT_EQ(back.len, 1024u);
   EXPECT_EQ(back.crc, 0xdeadbeefu);
+}
+
+TEST(Wire, SeqBeforeIsSerialArithmetic) {
+  EXPECT_TRUE(seq_before(0, 1));
+  EXPECT_FALSE(seq_before(1, 0));
+  EXPECT_FALSE(seq_before(5, 5));
+  // Across the u64 wrap: max precedes 0, and a window straddling the wrap
+  // stays ordered — the property TcpOptions::first_seq tests lean on.
+  const std::uint64_t top = ~std::uint64_t{0};
+  EXPECT_TRUE(seq_before(top, 0));
+  EXPECT_TRUE(seq_before(top - 3, top));
+  EXPECT_TRUE(seq_before(top, 7));
+  EXPECT_FALSE(seq_before(7, top));
 }
 
 TEST(Wire, BadMagicRejected) {
