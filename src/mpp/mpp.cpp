@@ -356,6 +356,7 @@ RunOutcome run_threads(int ranks, const RunOptions& options,
       out.net.retransmits += o.net.retransmits;
       out.net.window_stalls += o.net.window_stalls;
       out.net.acks_sent += o.net.acks_sent;
+      out.net.frames_abandoned += o.net.frames_abandoned;
       out.net.fault_dropped += o.net.fault.dropped;
       out.net.fault_duplicated += o.net.fault.duplicated;
       out.net.fault_delayed += o.net.fault.delayed;
@@ -414,6 +415,7 @@ constexpr const char* kEnvWindow = "PEACHY_MPP_NET_WINDOW";
     report.retransmits = net_stats.retransmits;
     report.window_stalls = net_stats.window_stalls;
     report.acks_sent = net_stats.acks_sent;
+    report.frames_abandoned = net_stats.frames_abandoned;
     report.fault_dropped = net_stats.fault.dropped;
     report.fault_duplicated = net_stats.fault.duplicated;
     report.fault_delayed = net_stats.fault.delayed;
@@ -538,6 +540,7 @@ RunOutcome spawn_attempt(int ranks,
     out.net.retransmits += rep.retransmits;
     out.net.window_stalls += rep.window_stalls;
     out.net.acks_sent += rep.acks_sent;
+    out.net.frames_abandoned += rep.frames_abandoned;
     out.net.fault_dropped += rep.fault_dropped;
     out.net.fault_duplicated += rep.fault_duplicated;
     out.net.fault_delayed += rep.fault_delayed;

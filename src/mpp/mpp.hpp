@@ -57,6 +57,9 @@ struct NetStats {
   std::uint64_t retransmits = 0;
   std::uint64_t window_stalls = 0;  ///< sends that blocked on a full window
   std::uint64_t acks_sent = 0;      ///< cumulative acks, pure + piggybacked
+  /// send()-accepted frames never confirmed before shutdown()'s bounded
+  /// drain expired (the affected peers are marked dead).
+  std::uint64_t frames_abandoned = 0;
   std::uint64_t fault_dropped = 0;
   std::uint64_t fault_duplicated = 0;
   std::uint64_t fault_delayed = 0;

@@ -28,6 +28,7 @@ std::vector<std::byte> encode_report(const WorkerReport& r) {
   append_u64(out, r.retransmits);
   append_u64(out, r.window_stalls);
   append_u64(out, r.acks_sent);
+  append_u64(out, r.frames_abandoned);
   append_u64(out, r.fault_dropped);
   append_u64(out, r.fault_duplicated);
   append_u64(out, r.fault_delayed);
@@ -51,6 +52,7 @@ WorkerReport decode_report(const std::vector<std::byte>& payload) {
   r.retransmits = read_u64(p, end);
   r.window_stalls = read_u64(p, end);
   r.acks_sent = read_u64(p, end);
+  r.frames_abandoned = read_u64(p, end);
   r.fault_dropped = read_u64(p, end);
   r.fault_duplicated = read_u64(p, end);
   r.fault_delayed = read_u64(p, end);

@@ -33,6 +33,7 @@ struct WorkerReport {
   std::uint64_t retransmits = 0;
   std::uint64_t window_stalls = 0;
   std::uint64_t acks_sent = 0;
+  std::uint64_t frames_abandoned = 0;
   std::uint64_t fault_dropped = 0;
   std::uint64_t fault_duplicated = 0;
   std::uint64_t fault_delayed = 0;

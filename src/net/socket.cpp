@@ -136,14 +136,17 @@ int Socket::local_port() const {
   return ntohs(addr.sin_port);
 }
 
-void Socket::send_all(const void* data, std::size_t n) const {
+void Socket::send_all(const void* data, std::size_t n, int timeout_ms) const {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
   const auto* p = static_cast<const std::byte*>(data);
   while (n > 0) {
     const ssize_t w = ::send(fd_, p, n, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        poll_one(fd_, POLLOUT, 1000);
+        PEACHY_REQUIRE(poll_one(fd_, POLLOUT, remaining_ms(deadline)),
+                       "send timed out after " << timeout_ms
+                           << " ms (" << n << " bytes still unwritten)");
         continue;
       }
       throw Error(std::string("send failed: ") + std::strerror(errno));
@@ -153,10 +156,11 @@ void Socket::send_all(const void* data, std::size_t n) const {
   }
 }
 
-void Socket::sendv_all(struct iovec* iov, int iovcnt) const {
+void Socket::sendv_all(struct iovec* iov, int iovcnt, int timeout_ms) const {
   // msghdr + MSG_NOSIGNAL (writev would raise SIGPIPE on a dead peer).
   // The kernel caps iovecs per call at IOV_MAX (>= 1024); larger batches
   // just take more than one sendmsg.
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
   while (iovcnt > 0) {
     msghdr msg{};
     msg.msg_iov = iov;
@@ -165,7 +169,9 @@ void Socket::sendv_all(struct iovec* iov, int iovcnt) const {
     if (w < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        poll_one(fd_, POLLOUT, 1000);
+        PEACHY_REQUIRE(poll_one(fd_, POLLOUT, remaining_ms(deadline)),
+                       "sendmsg timed out after " << timeout_ms << " ms ("
+                           << iovcnt << " iovecs still unwritten)");
         continue;
       }
       throw Error(std::string("sendmsg failed: ") + std::strerror(errno));
@@ -181,6 +187,39 @@ void Socket::sendv_all(struct iovec* iov, int iovcnt) const {
       iov->iov_base = static_cast<char*>(iov->iov_base) + left;
       iov->iov_len -= left;
     }
+  }
+}
+
+ssize_t Socket::send_some(const void* data, std::size_t n) const {
+  for (;;) {
+    const ssize_t w = ::send(fd_, data, n, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (w >= 0) return w;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    throw Error(std::string("send failed: ") + std::strerror(errno));
+  }
+}
+
+ssize_t Socket::sendv_some(const struct iovec* iov, int iovcnt) const {
+  msghdr msg{};
+  msg.msg_iov = const_cast<struct iovec*>(iov);
+  msg.msg_iovlen = static_cast<std::size_t>(std::min(iovcnt, 1024));
+  for (;;) {
+    const ssize_t w = ::sendmsg(fd_, &msg, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (w >= 0) return w;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    throw Error(std::string("sendmsg failed: ") + std::strerror(errno));
+  }
+}
+
+ssize_t Socket::recv_some(void* data, std::size_t n) const {
+  for (;;) {
+    const ssize_t r = ::recv(fd_, data, n, MSG_DONTWAIT);
+    if (r >= 0) return r;  // 0 is EOF
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    throw Error(std::string("recv failed: ") + std::strerror(errno));
   }
 }
 

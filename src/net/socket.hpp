@@ -61,20 +61,37 @@ class Socket {
   int fd() const { return fd_; }
   int local_port() const;
 
-  /// Writes all `n` bytes; throws Error when the connection breaks.
-  void send_all(const void* data, std::size_t n) const;
+  /// Writes all `n` bytes; throws Error when the connection breaks or the
+  /// kernel refuses bytes past the deadline (a peer that stopped reading).
+  void send_all(const void* data, std::size_t n,
+                int timeout_ms = 30000) const;
 
   /// Scatter-gather write: sends every iovec completely, in order, with as
   /// few syscalls as the kernel allows. The zero-copy framing path — a
   /// header iovec plus a payload iovec per frame, so neither headers nor
   /// payloads are ever copied into an intermediate contiguous buffer.
   /// `iov` is clobbered (advanced past written bytes). Throws like
-  /// send_all on a broken connection.
-  void sendv_all(struct iovec* iov, int iovcnt) const;
+  /// send_all on a broken connection or an expired deadline.
+  void sendv_all(struct iovec* iov, int iovcnt, int timeout_ms = 30000) const;
+
+  /// One non-blocking write attempt (MSG_DONTWAIT): returns the byte count
+  /// the kernel accepted, or -1 when its buffer is full right now. Throws
+  /// Error when the connection breaks. Never blocks — the backpressure
+  /// path of the transport, which must not park a thread mid-write.
+  ssize_t send_some(const void* data, std::size_t n) const;
+  /// Scatter-gather flavor of send_some: one non-blocking sendmsg over up
+  /// to IOV_MAX iovecs; -1 means the kernel buffer is full.
+  ssize_t sendv_some(const struct iovec* iov, int iovcnt) const;
 
   /// Reads exactly `n` bytes. Returns false on clean EOF *before the first
   /// byte*; EOF mid-buffer (a torn frame) and timeouts throw.
   bool recv_all(void* data, std::size_t n, int timeout_ms) const;
+
+  /// One non-blocking read attempt (MSG_DONTWAIT): returns the bytes read,
+  /// 0 on EOF, or -1 when nothing is buffered right now. Throws Error on a
+  /// broken connection. The transport reader's drain path — it must never
+  /// park mid-frame while its own outbox needs service.
+  ssize_t recv_some(void* data, std::size_t n) const;
 
   /// Half-close: no more writes from this side; reads still drain.
   void shutdown_write() const;

@@ -22,9 +22,9 @@ using Clock = std::chrono::steady_clock;
 /// stream corruption, not reassembly work (the sender's window can never
 /// legitimately run this far ahead).
 constexpr std::uint64_t kMaxReassemblyGap = 1u << 16;
-/// Frames drained from one socket before the other sockets get a turn
+/// Bytes drained from one socket before the other sockets get a turn
 /// (and before the burst's single cumulative ack goes out).
-constexpr int kMaxBurstFrames = 64;
+constexpr std::size_t kMaxBurstBytes = 4u << 20;
 
 obs::Counter& obs_frames_sent() {
   static obs::Counter& c = obs::Registry::global().counter("net.frames_sent");
@@ -62,6 +62,11 @@ obs::Histogram& obs_frame_bytes() {
 obs::Histogram& obs_rtt_ns() {
   static obs::Histogram& h = obs::Registry::global().histogram("net.rtt_ns");
   return h;
+}
+obs::Counter& obs_frames_abandoned() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("net.frames_abandoned");
+  return c;
 }
 obs::Counter& obs_heartbeats_sent() {
   static obs::Counter& c =
@@ -194,9 +199,74 @@ void TcpTransport::mark_dead(int src, const std::string& why) {
   cv_.notify_all();
 }
 
-void TcpTransport::write_frame(Peer& p, const std::vector<std::byte>& frame) {
+void TcpTransport::write_or_queue(int r, struct iovec* iov,
+                                  std::size_t iovcnt) {
+  Peer& p = peer(r);
+  std::size_t idx = 0;
+  if (p.outbox_off == p.outbox.size()) {  // nothing queued: try the kernel
+    p.outbox.clear();
+    p.outbox_off = 0;
+    while (idx < iovcnt) {
+      const ssize_t w = p.sock.sendv_some(
+          iov + idx,
+          static_cast<int>(std::min<std::size_t>(iovcnt - idx, 1024)));
+      if (w < 0) break;  // kernel send buffer full: queue the rest
+      std::size_t left = static_cast<std::size_t>(w);
+      while (idx < iovcnt && left >= iov[idx].iov_len) {
+        left -= iov[idx].iov_len;
+        ++idx;
+      }
+      if (idx < iovcnt && left > 0) {
+        iov[idx].iov_base = static_cast<char*>(iov[idx].iov_base) + left;
+        iov[idx].iov_len -= left;
+      }
+    }
+    if (idx == iovcnt) return;
+  }
+  // Backpressure: the refused tail is copied so it outlives the caller —
+  // the one place framing gives up zero-copy, bounded by the window. New
+  // writes behind a non-empty outbox queue in full to keep the byte order.
+  if (p.outbox_off > 0) {
+    p.outbox.erase(
+        p.outbox.begin(),
+        p.outbox.begin() + static_cast<std::ptrdiff_t>(p.outbox_off));
+    p.outbox_off = 0;
+  }
+  for (std::size_t i = idx; i < iovcnt; ++i) {
+    const auto* b = static_cast<const std::byte*>(iov[i].iov_base);
+    p.outbox.insert(p.outbox.end(), b, b + iov[i].iov_len);
+  }
+  {
+    std::lock_guard lock(mu_);
+    p.outbox_pending = true;
+  }
+  wake_reader();  // start polling this socket for POLLOUT
+}
+
+void TcpTransport::drain_outbox(int r) {
+  Peer& p = peer(r);
+  std::lock_guard wlock(p.write_mutex);
+  try {
+    while (p.outbox_off < p.outbox.size()) {
+      const ssize_t w = p.sock.send_some(p.outbox.data() + p.outbox_off,
+                                         p.outbox.size() - p.outbox_off);
+      if (w < 0) return;  // buffer filled again; POLLOUT will re-fire
+      p.outbox_off += static_cast<std::size_t>(w);
+    }
+  } catch (const Error& e) {
+    mark_dead(r, e.what());  // the queue dies with the connection
+  }
+  p.outbox.clear();
+  p.outbox_off = 0;
+  std::lock_guard lock(mu_);
+  p.outbox_pending = false;
+}
+
+void TcpTransport::write_frame(int r, const std::vector<std::byte>& frame) {
+  Peer& p = peer(r);
   std::lock_guard lock(p.write_mutex);
-  p.sock.send_all(frame.data(), frame.size());
+  struct iovec one{const_cast<std::byte*>(frame.data()), frame.size()};
+  write_or_queue(r, &one, 1);
 }
 
 void TcpTransport::wake_reader() {
@@ -310,7 +380,6 @@ void TcpTransport::send(int dest, int tag, const void* data,
 
 bool TcpTransport::write_batch(int r, const std::vector<TxFramePtr>& batch,
                                std::uint64_t ack) {
-  Peer& p = peer(r);
   // Header iovec + payload iovec per frame: nothing is copied into an
   // intermediate contiguous buffer on the way to the kernel.
   std::vector<struct iovec> iov;
@@ -330,7 +399,7 @@ bool TcpTransport::write_batch(int r, const std::vector<TxFramePtr>& batch,
     }
   }
   try {
-    p.sock.sendv_all(iov.data(), static_cast<int>(iov.size()));
+    write_or_queue(r, iov.data(), iov.size());
   } catch (const Error& e) {
     mark_dead(r, e.what());
     return false;
@@ -404,7 +473,8 @@ void TcpTransport::send_pure_ack(int r) {
   std::byte buf[kHeaderBytes];
   encode_header(a, buf);
   try {
-    p.sock.send_all(buf, kHeaderBytes);
+    struct iovec one{buf, kHeaderBytes};
+    write_or_queue(r, &one, 1);
   } catch (const Error& e) {
     mark_dead(r, e.what());
     return;
@@ -440,6 +510,25 @@ void TcpTransport::retransmit_pass(int r, Clock::time_point now) {
     std::lock_guard lock(mu_);
     if (p.dead || p.unacked.empty() || now < p.retransmit_at) return;
     oldest_seq = p.unacked.front()->h.seq;
+    // Go-back-N: rewrite everything unacked and due in one batch — the
+    // receiver's reassembly buffer absorbs the overlap, and multiple
+    // dropped frames recover in a single timeout.
+    for (const auto& f : p.unacked)
+      if (f->hold_until == Clock::time_point{} || f->hold_until <= now)
+        batch.push_back(f);
+    if (batch.empty()) {
+      // Every unacked frame is still injector-held: no copy has reached
+      // the wire yet, so the silence proves nothing about the link. Rearm
+      // the timer to the earliest hold deadline without burning an
+      // attempt — a hold longer than the backoff ladder must not kill a
+      // healthy peer.
+      auto earliest = Clock::time_point::max();
+      for (const auto& f : p.unacked)
+        earliest = std::min(earliest, f->hold_until);
+      p.retransmit_at =
+          earliest + std::chrono::milliseconds(opt_.ack_timeout_ms);
+      return;
+    }
     if (p.attempts >= opt_.max_retries) {
       exhausted = true;
     } else {
@@ -447,27 +536,27 @@ void TcpTransport::retransmit_pass(int r, Clock::time_point now) {
       const int backoff =
           std::min(opt_.ack_timeout_ms << std::min(p.attempts, 7), 10000);
       p.retransmit_at = now + std::chrono::milliseconds(backoff);
-      // Go-back-N: rewrite everything unacked and due in one batch — the
-      // receiver's reassembly buffer absorbs the overlap, and multiple
-      // dropped frames recover in a single timeout.
-      for (const auto& f : p.unacked)
-        if (f->hold_until == Clock::time_point{} || f->hold_until <= now)
-          batch.push_back(f);
+      if (p.outbox_off < p.outbox.size()) {
+        // The previous copy has not even cleared this host's outbox (the
+        // peer is not reading): rewriting would only duplicate bytes in
+        // the local queue. The pass still costs an attempt — no ack while
+        // the kernel refuses bytes is evidence against the peer, and the
+        // retry budget must stay bounded.
+        return;
+      }
       // Staged frames are a subset of what's being rewritten; frames whose
       // injected hold just expired are being written here, not twice.
       p.staged.clear();
       p.staged_bytes = 0;
       while (!p.held.empty() && p.held.front()->hold_until <= now)
         p.held.pop_front();
-      if (!batch.empty()) {
-        ack_val = p.recv_next;
-        p.last_ack_sent = ack_val;
-        if (p.ack_pending) {
-          p.ack_pending = false;
-          ++acks_sent_;
-        }
-        retransmits_ += batch.size();
+      ack_val = p.recv_next;
+      p.last_ack_sent = ack_val;
+      if (p.ack_pending) {
+        p.ack_pending = false;
+        ++acks_sent_;
       }
+      retransmits_ += batch.size();
     }
   }
   if (exhausted) {
@@ -674,7 +763,7 @@ void TcpTransport::heartbeat_pass() {
     ping.type = FrameType::kPing;
     ping.src = rank_;
     try {
-      write_frame(p, encode_frame(ping, nullptr, 0));
+      write_frame(r, encode_frame(ping, nullptr, 0));
     } catch (const Error& e) {
       mark_dead(r, e.what());
       continue;
@@ -713,6 +802,7 @@ void TcpTransport::reader_loop() {
   const int base_ms = opt_.heartbeat_ms > 0
                           ? std::clamp(opt_.heartbeat_ms / 2, 1, 500)
                           : 500;
+  std::vector<std::byte> chunk(256 * 1024);  // one recv_some scratch buffer
   for (;;) {
     std::vector<pollfd> fds;
     std::vector<int> fd_rank;
@@ -723,7 +813,11 @@ void TcpTransport::reader_loop() {
         if (r == rank_) continue;
         Peer& p = peer(r);
         if (p.dead || !p.sock.valid()) continue;
-        fds.push_back({p.sock.fd(), POLLIN, 0});
+        // POLLOUT only while backpressured bytes wait, else it would be
+        // level-triggered busy polling on an idle writable socket.
+        const short events =
+            static_cast<short>(POLLIN | (p.outbox_pending ? POLLOUT : 0));
+        fds.push_back({p.sock.fd(), events, 0});
         fd_rank.push_back(r);
       }
     }
@@ -740,39 +834,79 @@ void TcpTransport::reader_loop() {
         }
       }
       for (std::size_t i = 0; i + 1 < fds.size(); ++i) {
-        if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
         const int src = fd_rank[i];
+        if (fds[i].revents & POLLOUT) drain_outbox(src);
+        if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
         Peer& p = peer(src);
-        // Drain the whole readable burst before acking once (delayed
-        // acking): kMaxBurstFrames bounds one socket's turn.
-        for (int n = 0; n < kMaxBurstFrames; ++n) {
-          FrameHeader h;
-          std::vector<std::byte> payload;
+        // Drain the readable bytes without ever blocking: frames arrive in
+        // arbitrary fragments, accumulate in rx_buf, and are handled as each
+        // completes. The reader must not park inside a recv mid-frame — a
+        // frame larger than the kernel buffers only finishes arriving if
+        // this loop keeps coming back around to drain its own outbox, which
+        // is what frees the peer's writes (and, transitively, the bytes this
+        // side is waiting on). kMaxBurstBytes bounds one socket's turn so
+        // the other sockets still get serviced under a sustained blast.
+        std::size_t burst = 0;
+        bool keep_reading = true;
+        while (keep_reading && burst < kMaxBurstBytes) {
+          ssize_t got = 0;
           try {
-            if (!recv_frame(p.sock, h, payload, opt_.recv_timeout_ms)) {
-              bool graceful;
-              {
-                std::lock_guard lock(mu_);
-                graceful = p.goodbye;
-              }
-              mark_dead(src,
-                        graceful
-                            ? "peer closed the connection (graceful shutdown)"
-                            : "connection closed without a goodbye");
-              break;
-            }
+            got = p.sock.recv_some(chunk.data(), chunk.size());
           } catch (const Error& e) {
             mark_dead(src, e.what());
             break;
           }
-          p.last_rx = Clock::now();
-          handle_frame(src, h, std::move(payload));
-          {
-            std::lock_guard lock(mu_);
-            if (p.dead) break;
+          if (got < 0) break;  // drained for now; poll re-arms POLLIN
+          if (got == 0) {      // EOF
+            bool graceful;
+            {
+              std::lock_guard lock(mu_);
+              graceful = p.goodbye;
+            }
+            mark_dead(
+                src,
+                !p.rx_buf.empty()
+                    ? "connection closed mid-frame (" +
+                          std::to_string(p.rx_buf.size()) +
+                          " bytes of a frame pending)"
+                : graceful ? "peer closed the connection (graceful shutdown)"
+                           : "connection closed without a goodbye");
+            break;
           }
-          pollfd more{p.sock.fd(), POLLIN, 0};
-          if (::poll(&more, 1, 0) <= 0 || !(more.revents & POLLIN)) break;
+          p.last_rx = Clock::now();
+          burst += static_cast<std::size_t>(got);
+          p.rx_buf.insert(p.rx_buf.end(), chunk.data(), chunk.data() + got);
+          // Handle every frame now complete in rx_buf; keep a partial tail.
+          std::size_t off = 0;
+          try {
+            while (p.rx_buf.size() - off >= kHeaderBytes) {
+              const FrameHeader h = decode_header(p.rx_buf.data() + off);
+              if (p.rx_buf.size() - off < kHeaderBytes + h.len) break;
+              const std::byte* body = p.rx_buf.data() + off + kHeaderBytes;
+              if (h.len) {
+                PEACHY_REQUIRE(crc32(body, h.len) == h.crc,
+                               "payload CRC mismatch on a "
+                                   << h.len << "-byte frame (corrupt link?)");
+              }
+              std::vector<std::byte> payload(body, body + h.len);
+              off += kHeaderBytes + h.len;
+              handle_frame(src, h, std::move(payload));
+              {
+                std::lock_guard lock(mu_);
+                if (p.dead) {
+                  keep_reading = false;
+                  break;
+                }
+              }
+            }
+          } catch (const Error& e) {  // header/CRC: the stream is corrupt
+            mark_dead(src, e.what());
+            keep_reading = false;
+          }
+          if (off) {
+            p.rx_buf.erase(p.rx_buf.begin(),
+                           p.rx_buf.begin() + static_cast<std::ptrdiff_t>(off));
+          }
         }
       }
     }
@@ -814,6 +948,29 @@ void TcpTransport::shutdown() {
                    return true;
                  });
   }
+  // The drain is bounded, so it can expire with frames still unacked.
+  // Abandoning those silently would break the delivery contract invisibly
+  // (the loss would only surface as a confusing recv failure on the peer):
+  // count every abandoned frame and kill the link, so the sender sees
+  // PeerDied on any further use and stats()/net.frames_abandoned record
+  // exactly how many accepted sends were never confirmed.
+  for (int r = 0; r < world_; ++r) {
+    if (r == rank_) continue;
+    std::size_t leftover = 0;
+    {
+      std::lock_guard lock(mu_);
+      const Peer& p = peer(r);
+      if (!p.dead) leftover = p.unacked.size();
+      frames_abandoned_ += leftover;
+    }
+    if (!leftover) continue;
+    if (obs::enabled())
+      obs_frames_abandoned().add(static_cast<std::int64_t>(leftover));
+    mark_dead(r, "shutdown abandoned " + std::to_string(leftover) +
+                     " unacked frame(s): no ack within the " +
+                     std::to_string(opt_.goodbye_timeout_ms) +
+                     " ms drain budget");
+  }
   FrameHeader bye;
   bye.type = FrameType::kGoodbye;
   bye.src = rank_;
@@ -826,7 +983,7 @@ void TcpTransport::shutdown() {
       if (p.dead) continue;
     }
     try {
-      write_frame(p, frame);
+      write_frame(r, frame);
     } catch (const Error&) {
       // a peer that died first still counts as shut down
     }
@@ -852,6 +1009,7 @@ TcpTransport::Stats TcpTransport::stats() const {
     s.window_stalls = window_stalls_;
     s.acks_sent = acks_sent_;
     s.heartbeats_sent = heartbeats_sent_;
+    s.frames_abandoned = frames_abandoned_;
   }
   // Injector counters are written under each peer's send_mutex; reading
   // them here is only exact once the world has quiesced (which is when the

@@ -14,6 +14,16 @@
 // frames coalesce into a single syscall, and neither headers nor payloads
 // are ever copied into an intermediate contiguous buffer.
 //
+// Every post-handshake socket write is non-blocking (MSG_DONTWAIT): bytes
+// the kernel will not take right now are queued in a per-peer outbox that
+// the reader thread drains on POLLOUT. No thread ever parks inside a
+// socket write, so the reader always returns to draining inbound frames —
+// which is what makes two ranks blasting bursts larger than the kernel
+// socket buffers at each other drain instead of deadlock (each side's
+// reader keeps emptying its receive buffer, freeing the other side's
+// writes; backpressure surfaces as outbox growth bounded by the window,
+// never as a blocked thread).
+//
 // Acks are cumulative (FrameHeader::ack covers every seq below it) and
 // delayed: the receiver drains a burst of readable frames, then answers
 // with a single ACK — or none at all when an outgoing DATA frame piggybacks
@@ -39,9 +49,12 @@
 // without one, a reset, a CRC mismatch, or an exhausted retransmit budget
 // marks the peer dead and every blocked or future send()/recv() against it
 // throws PeerDied naming both ends. send() returning only promises the
-// frame is in the window — delivery is confirmed by the time shutdown()
-// returns, which drains every unacked frame before saying GOODBYE. Nothing
-// hangs: every wait carries a configurable timeout. With
+// frame is in the window — shutdown() confirms delivery by draining every
+// unacked frame before saying GOODBYE, and when that drain exceeds
+// goodbye_timeout_ms it does not fail silently: the peers still holding
+// unacked frames are marked dead (subsequent sends throw PeerDied) and the
+// loss is counted in Stats::frames_abandoned / net.frames_abandoned.
+// Nothing hangs: every wait carries a configurable timeout. With
 // TcpOptions::heartbeat_ms > 0 the reader thread additionally PINGs every
 // idle link and suspects a peer that has been silent past the suspicion
 // timeout — so a wedged (not closed) peer is detected even when no
@@ -110,6 +123,9 @@ class TcpTransport final : public Transport {
     std::uint64_t window_stalls = 0;  ///< sends that blocked on a full window
     std::uint64_t acks_sent = 0;      ///< cumulative acks, pure + piggybacked
     std::uint64_t heartbeats_sent = 0;
+    /// Frames still unacked when shutdown()'s bounded drain expired — each
+    /// one is a send() whose delivery was never confirmed.
+    std::uint64_t frames_abandoned = 0;
     FaultInjector::Counters fault;
   };
   Stats stats() const;
@@ -139,10 +155,20 @@ class TcpTransport final : public Transport {
     Socket sock;
     std::unique_ptr<FaultInjector> fault;
     std::mutex write_mutex;  // serializes every socket write (flush, acks,
-                             // retransmits, control frames)
+                             // retransmits, control frames); never held
+                             // across a blocking syscall — writes are
+                             // MSG_DONTWAIT with the overflow queued below
     std::mutex send_mutex;   // serializes send(): seq assignment + injector
                              // judgment happen in seq order
     std::uint64_t send_seq = 0;  // guarded by send_mutex
+
+    // Backpressure overflow — guarded by write_mutex. Bytes (in wire order)
+    // that the kernel's send buffer refused; the reader drains them on
+    // POLLOUT. Bounded by the window: at most window_frames framed payloads
+    // plus control frames per peer.
+    std::vector<std::byte> outbox;
+    std::size_t outbox_off = 0;    // consumed prefix of outbox
+    bool outbox_pending = false;   // mirror for the poll set — guarded by mu_
 
     // Sender window state — guarded by the transport-wide mu_:
     std::deque<TxFramePtr> unacked;  // oldest first; size caps the window
@@ -162,6 +188,12 @@ class TcpTransport final : public Transport {
     bool goodbye = false;
     bool dead = false;
     std::string why;
+    // Reader-thread-only (never locked): inbound reassembly. Frames arrive
+    // in arbitrary fragments from non-blocking reads; bytes accumulate here
+    // until a whole header+payload is present. Mirrors the outbox on the
+    // read side — the reader never parks inside a recv mid-frame, so it
+    // always comes back around to drain its own outbox.
+    std::vector<std::byte> rx_buf;
     // Reader-thread-only (never locked): heartbeat liveness bookkeeping.
     Clock::time_point last_rx{};
     Clock::time_point last_ping_tx{};
@@ -170,7 +202,15 @@ class TcpTransport final : public Transport {
   };
 
   Peer& peer(int r) { return *peers_[static_cast<std::size_t>(r)]; }
-  void write_frame(Peer& p, const std::vector<std::byte>& frame);
+  /// Requires peer(r).write_mutex held. Hands the iovecs to the kernel
+  /// without blocking and copies whatever it refused into the peer's
+  /// outbox (order preserved); throws Error only on a broken connection.
+  /// `iov` is clobbered.
+  void write_or_queue(int r, struct iovec* iov, std::size_t iovcnt);
+  /// POLLOUT service: writes queued outbox bytes until drained or the
+  /// kernel buffer fills again; marks the peer dead on a write error.
+  void drain_outbox(int r);
+  void write_frame(int r, const std::vector<std::byte>& frame);
   /// Writes every staged frame for `r` as one writev batch (piggybacking
   /// the current cumulative ack). Safe from any thread; no-op when nothing
   /// is staged.
@@ -216,6 +256,7 @@ class TcpTransport final : public Transport {
   std::uint64_t window_stalls_ = 0;
   std::uint64_t acks_sent_ = 0;
   std::uint64_t heartbeats_sent_ = 0;
+  std::uint64_t frames_abandoned_ = 0;
 
   std::thread reader_;
   int wake_pipe_[2] = {-1, -1};

@@ -332,6 +332,163 @@ TEST(Window, SeededDuplicatesInsideTheWindowDeliverOnce) {
   EXPECT_GT(out.net.fault_duplicated + out.net.fault_delayed, 0u);
 }
 
+TEST(Window, BidirectionalBurstsDrainUnderBackpressure) {
+  // Regression for a cross-rank write deadlock: both ranks push a burst
+  // whose bytes far exceed the kernel socket buffers *before either
+  // receives anything*. Under blocking batch writes each side's app thread
+  // wedged in sendmsg waiting for the other side to read, while each
+  // side's reader was parked on the same write mutex and so never drained
+  // its inbound socket — a circular wait with no timeout. Non-blocking
+  // writes + the POLLOUT outbox keep the readers draining, so the
+  // exchange must complete (and deliver intact payloads).
+  mpp::RunOptions opts;
+  opts.transport = mpp::TransportKind::kTcp;
+  opts.tcp.window_frames = 32;
+
+  constexpr int kFrames = 6;
+  constexpr std::size_t kWords = 1024 * 1024;  // 8 MiB/frame, 48 MiB/direction
+  std::atomic<std::uint64_t> corrupt{0};
+  mpp::run_world(2, opts, [&corrupt](mpp::Comm& comm) {
+    const int peer = 1 - comm.rank();
+    std::vector<std::uint64_t> block(kWords);
+    for (std::size_t i = 0; i < kWords; ++i)
+      block[i] = (static_cast<std::uint64_t>(comm.rank()) << 56) | i;
+    for (int f = 0; f < kFrames; ++f)
+      comm.send(peer, 6, block.data(), block.size());
+    std::uint64_t bad = 0;
+    for (int f = 0; f < kFrames; ++f) {
+      std::vector<std::uint64_t> got(kWords, 0);
+      comm.recv(peer, 6, got.data(), got.size());
+      for (std::size_t i = 0; i < kWords; ++i)
+        if (got[i] != ((static_cast<std::uint64_t>(peer) << 56) | i)) ++bad;
+    }
+    corrupt += bad;
+  });
+  EXPECT_EQ(corrupt.load(), 0u);
+}
+
+TEST(Window, SendsNeverBlockOnAStalledSocket) {
+  // The no-blocking-writes contract, pinned deterministically: the fake
+  // peer joins the mesh and then reads *nothing* while the transport sends
+  // a full window of 1 MiB frames — far more than the kernel socket
+  // buffers hold. Backpressure must park a sender only in window
+  // admission, never inside a socket write: every send below is window-
+  // admitted, so every send must return (the refused bytes wait in the
+  // peer's outbox). Blocking batch writes would wedge send() mid-sendmsg
+  // the moment the buffers fill, with no timeout to break it. Once the
+  // fake starts reading, the reader's POLLOUT drain must push the queued
+  // bytes out and shutdown() must confirm full delivery.
+  RendezvousServer server(2, /*collect_results=*/false, 5000);
+  server.start();
+
+  constexpr int kFrames = 32;
+  constexpr std::size_t kBytes = 1024 * 1024;
+  std::atomic<bool> sends_returned{false};
+  std::thread fake([&] {
+    Socket s = fake_rank1_join(server.port());
+    // Stall: no reads until every send() has already returned.
+    while (!sends_returned.load()) std::this_thread::sleep_for(1ms);
+    std::uint64_t next = 0;
+    while (next < kFrames) {
+      std::vector<std::byte> payload;
+      const FrameHeader h = fake_expect(s, FrameType::kData, &payload);
+      EXPECT_EQ(h.seq, next);
+      EXPECT_EQ(payload.size(), kBytes);
+      ++next;
+      fake_send_ack(s, next);
+    }
+    fake_expect(s, FrameType::kGoodbye);
+    fake_send_goodbye(s);
+  });
+
+  TcpOptions opt;
+  opt.window_frames = kFrames;  // every frame window-admits immediately
+  opt.ack_timeout_ms = 30000;   // quiet: no retransmit churn while stalled
+  opt.goodbye_timeout_ms = 10000;
+  TcpTransport transport(/*rank=*/0, /*world=*/2, server.port(), opt);
+  std::vector<std::byte> block(kBytes, std::byte{0x5a});
+  for (int i = 0; i < kFrames; ++i)
+    transport.send(1, 8, block.data(), block.size());
+  sends_returned = true;  // reached only if no send blocked on the socket
+  transport.shutdown();
+  fake.join();
+  server.join();
+  EXPECT_EQ(transport.stats().frames_abandoned, 0u);
+  EXPECT_EQ(transport.stats().window_stalls, 0u);
+}
+
+TEST(Window, InjectedDelayBeyondTheRetryBudgetStillDelivers) {
+  // Regression: a retransmit pass used to burn an attempt (and double the
+  // backoff) even when every unacked frame was still injector-held — so a
+  // hold longer than the whole backoff ladder exhausted max_retries and
+  // killed the peer without a single copy of the frame ever reaching the
+  // wire. The budget here (~50+100+200 ms) is well short of the 600 ms
+  // hold; the run only completes if held-only passes cost no attempt.
+  mpp::RunOptions opts;
+  opts.transport = mpp::TransportKind::kTcp;
+  opts.tcp.window_frames = 4;
+  opts.tcp.ack_timeout_ms = 50;
+  opts.tcp.max_retries = 2;
+  opts.tcp.fault.seed = 7;
+  opts.tcp.fault.delay = 1.0;  // hold every frame...
+  opts.tcp.fault.delay_ms = 600;  // ...past the whole retry budget
+
+  std::int64_t echoed = -1;
+  const mpp::RunOutcome out =
+      mpp::run_world(2, opts, [&echoed](mpp::Comm& comm) {
+        if (comm.rank() == 0) {
+          std::int64_t x = 42;
+          comm.send(1, 9, &x, 1);
+          std::int64_t back = 0;
+          comm.recv(1, 9, &back, 1);
+          echoed = back;
+        } else {
+          std::int64_t got = 0;
+          comm.recv(0, 9, &got, 1);
+          got += 1;
+          comm.send(0, 9, &got, 1);
+        }
+      });
+  EXPECT_EQ(echoed, 43);
+  EXPECT_GE(out.net.fault_delayed, 2u);  // both directions actually held
+}
+
+TEST(Window, ShutdownDrainTimeoutSurfacesAbandonedFrames) {
+  // shutdown() confirms delivery by draining unacked frames — but the
+  // drain is bounded. When it expires the abandonment must be loud at the
+  // sender: the peer is marked dead (further sends throw PeerDied) and
+  // stats count exactly how many accepted sends were never confirmed.
+  RendezvousServer server(2, /*collect_results=*/false, 5000);
+  server.start();
+
+  std::thread fake([&] {
+    Socket s = fake_rank1_join(server.port());
+    // Read frames but never ack anything.
+    FrameHeader h;
+    std::vector<std::byte> payload;
+    try {
+      while (recv_frame(s, h, payload, 10000)) {
+      }
+    } catch (const Error&) {
+      // socket torn down under us — equally fine, the test is over
+    }
+  });
+
+  TcpOptions opt;
+  opt.ack_timeout_ms = 30000;    // no retransmit churn inside the drain
+  opt.goodbye_timeout_ms = 150;  // short, observable drain budget
+  {
+    TcpTransport transport(/*rank=*/0, /*world=*/2, server.port(), opt);
+    const std::uint64_t value = 7;
+    transport.send(1, 2, &value, sizeof value);
+    transport.shutdown();  // must give up after ~150 ms, not hang or lie
+    EXPECT_EQ(transport.stats().frames_abandoned, 1u);
+    EXPECT_THROW(transport.send(1, 2, &value, sizeof value), PeerDied);
+  }
+  fake.join();
+  server.join();
+}
+
 TEST(Window, SweepIsByteIdenticalAcrossWindowSizes) {
   // The window size is a pure performance knob: the stabilized field must
   // be identical at every setting, including the stop-and-wait degenerate
