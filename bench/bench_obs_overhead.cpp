@@ -1,4 +1,5 @@
-// Overhead of the obs layer on the sandpile omp-tiled kernel.
+// Overhead of the obs layer: on the sandpile omp-tiled kernel, and on a
+// spawned 4-rank world over the pipelined tcp transport.
 //
 // The acceptance contract for src/obs is "near-zero when disabled, cheap
 // when enabled": every instrumentation site is gated on one relaxed atomic
@@ -10,9 +11,16 @@
 // measurement noise and demonstrates the disabled gate costs nothing
 // beyond it. The "enabled" series runs with the registry and tracer live.
 //
+// The cluster case measures the distributed tier on top: a 4-rank spawned
+// ring exchange where "enabled" adds per-message trace contexts on the
+// wire plus span/counter recording, and "aggregation" further ships
+// periodic metric snapshots to rank 0 over the telemetry channel.
+//
 // Thresholds (DESIGN.md "Observability"): disabled <= 2% over baseline,
-// enabled <= 10%. Writes out/BENCH_obs.json for regression tracking.
+// enabled <= 10%; telemetry aggregation <= 3% on top of enabled. Writes
+// out/BENCH_obs.json for regression tracking.
 #include <algorithm>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -21,6 +29,7 @@
 #include "core/json.hpp"
 #include "core/table.hpp"
 #include "core/timer.hpp"
+#include "mpp/mpp.hpp"
 #include "obs/obs.hpp"
 #include "sandpile/field.hpp"
 #include "sandpile/variants.hpp"
@@ -33,6 +42,33 @@ using namespace peachy::sandpile;
 double median(std::vector<double> samples) {
   std::sort(samples.begin(), samples.end());
   return samples[samples.size() / 2];
+}
+
+// The cluster workload: every rank pushes fixed-size payloads around a
+// 4-rank ring for a fixed round count — pure transport pressure through
+// the sliding-window/coalescing send path, with a Comm-level context mint
+// per message when telemetry is on.
+constexpr int kClusterRanks = 4;
+constexpr int kClusterRounds = 150;
+constexpr std::size_t kPayloadInts = 8192;  // 64 KiB per message
+
+void ring_exchange(mpp::Comm& comm) {
+  const int next = (comm.rank() + 1) % comm.size();
+  const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+  std::vector<std::int64_t> out(kPayloadInts, comm.rank());
+  std::vector<std::int64_t> in(kPayloadInts);
+  for (int round = 0; round < kClusterRounds; ++round) {
+    comm.send(next, 1, out.data(), out.size());
+    comm.recv(prev, 1, in.data(), in.size());
+  }
+}
+
+/// One spawned 4-rank run under the given telemetry policy; returns wall
+/// ns including spawn + rendezvous (identical across the three series).
+double timed_cluster_run(const mpp::Telemetry& telemetry) {
+  WallTimer timer;
+  mpp::run_spawned(kClusterRanks, {}, ring_exchange, {}, {}, telemetry);
+  return static_cast<double>(timer.elapsed_ns());
 }
 
 }  // namespace
@@ -101,6 +137,45 @@ int main() {
             << (disabled_pct <= 2.0 && enabled_pct <= 10.0 ? "OK" : "EXCEEDED")
             << "\n";
 
+  // --- Cluster tier: spawned ranks over the pipelined tcp transport ------
+  mpp::Telemetry off;  // baseline: obs gate off in every rank
+  mpp::Telemetry on;   // contexts on the wire + recording, no shipping
+  on.enabled = true;
+  on.interval_ms = 1 << 30;  // periodic shipper never fires; one final snap
+  mpp::Telemetry shipping = on;  // + periodic metric snapshots to rank 0
+  shipping.interval_ms = 25;
+
+  constexpr int kClusterReps = 9;
+  timed_cluster_run(off);  // warm the page cache / listen queue path
+  std::vector<double> cl_base, cl_enabled, cl_shipping;
+  for (int r = 0; r < kClusterReps; ++r) {
+    cl_base.push_back(timed_cluster_run(off));
+    cl_enabled.push_back(timed_cluster_run(on));
+    cl_shipping.push_back(timed_cluster_run(shipping));
+  }
+
+  const double cl_base_ms = median(cl_base) / 1e6;
+  const double cl_enabled_ms = median(cl_enabled) / 1e6;
+  const double cl_shipping_ms = median(cl_shipping) / 1e6;
+  const double cl_enabled_pct = (cl_enabled_ms / cl_base_ms - 1.0) * 100.0;
+  const double cl_agg_pct = (cl_shipping_ms / cl_enabled_ms - 1.0) * 100.0;
+
+  std::cout << "\nobs overhead on a spawned " << kClusterRanks
+            << "-rank tcp ring, " << kClusterRounds << " rounds x "
+            << kPayloadInts * sizeof(std::int64_t) / 1024
+            << " KiB (median of " << kClusterReps << ")\n";
+  TextTable cluster({"mode", "wall ms", "vs previous"});
+  cluster.row({"telemetry off", TextTable::num(cl_base_ms, 2), "—"});
+  cluster.row({"enabled (ctx + spans)", TextTable::num(cl_enabled_ms, 2),
+               TextTable::num(cl_enabled_pct, 2) + "%"});
+  cluster.row({"+ aggregation (25 ms)", TextTable::num(cl_shipping_ms, 2),
+               TextTable::num(cl_agg_pct, 2) + "%"});
+  cluster.print(std::cout);
+  std::cout << "contract: enabled <= 10%, aggregation <= 3% on top  ->  "
+            << (cl_enabled_pct <= 10.0 && cl_agg_pct <= 3.0 ? "OK"
+                                                            : "EXCEEDED")
+            << "\n";
+
   json::Object doc;
   doc["kernel"] = json::Value("omp-tiled-sync");
   doc["size"] = json::Value(static_cast<std::int64_t>(kSize));
@@ -111,6 +186,18 @@ int main() {
   doc["enabled_ms"] = json::Value(enabled_ms);
   doc["disabled_overhead_pct"] = json::Value(disabled_pct);
   doc["enabled_overhead_pct"] = json::Value(enabled_pct);
+  json::Object cl;
+  cl["ranks"] = json::Value(static_cast<std::int64_t>(kClusterRanks));
+  cl["rounds"] = json::Value(static_cast<std::int64_t>(kClusterRounds));
+  cl["payload_bytes"] = json::Value(
+      static_cast<std::int64_t>(kPayloadInts * sizeof(std::int64_t)));
+  cl["reps"] = json::Value(static_cast<std::int64_t>(kClusterReps));
+  cl["baseline_ms"] = json::Value(cl_base_ms);
+  cl["enabled_ms"] = json::Value(cl_enabled_ms);
+  cl["aggregation_ms"] = json::Value(cl_shipping_ms);
+  cl["enabled_overhead_pct"] = json::Value(cl_enabled_pct);
+  cl["aggregation_overhead_pct"] = json::Value(cl_agg_pct);
+  doc["cluster"] = json::Value(std::move(cl));
   std::filesystem::create_directories("out");
   std::ofstream("out/BENCH_obs.json")
       << json::Value(std::move(doc)).dump(true) << "\n";

@@ -93,7 +93,7 @@ int main(int argc, char** argv) {
          "monitor", "check", "list", "ranks", "halo", "transport", "spawn",
          "net-window", "net-fault-seed", "net-fault-drop", "net-fault-dup",
          "net-fault-sever-after", "checkpoint-every", "max-restarts",
-         "checkpoint-dir"});
+         "checkpoint-dir", "metrics-port", "metrics-port-file"});
     if (!unknown.empty()) {
       std::cerr << "unknown option --" << unknown.front() << "\n";
       return 2;
@@ -155,6 +155,17 @@ int main(int argc, char** argv) {
       opt.checkpoint_every = args.get_int("checkpoint-every", 0);
       opt.run.resilience.max_restarts = args.get_int("max-restarts", 0);
       opt.run.resilience.checkpoint_dir = args.get("checkpoint-dir", "");
+      // In distributed mode --trace means the *cluster* trace: rank 0
+      // merges every rank's spans into one clock-corrected Perfetto file.
+      // --metrics-port serves the rank-labeled rollup live at /metrics.
+      const std::string cluster_trace = args.get("trace", "");
+      const int metrics_port = args.get_int("metrics-port", -1);
+      if (!cluster_trace.empty() || metrics_port >= 0) {
+        opt.run.telemetry.enabled = true;
+        opt.run.telemetry.trace_path = cluster_trace;
+        opt.run.telemetry.metrics_port = metrics_port;
+        opt.run.telemetry.port_file = args.get("metrics-port-file", "");
+      }
 
       const DistributedResult out = stabilize_distributed(initial, opt);
 
@@ -199,6 +210,9 @@ int main(int argc, char** argv) {
         out.field.render().write_ppm(args.get("dump", ""));
         std::cout << "state image: " << args.get("dump", "") << "\n";
       }
+      if (!cluster_trace.empty())
+        std::cout << "cluster trace: " << cluster_trace
+                  << " (open in Perfetto / chrome://tracing)\n";
       return 0;
     }
 

@@ -37,11 +37,12 @@ int main(int argc, char** argv) {
   const Args args(argc, argv, {"spawn"});
   const auto unknown = args.unknown_options(
       {"ranks", "transport", "spawn", "spill-bytes", "sever-after",
-       "net-window"});
+       "net-window", "trace", "metrics-port", "metrics-port-file"});
   if (!unknown.empty()) {
     std::cerr << "unknown option --" << unknown.front()
               << " (try --ranks N --transport inproc|tcp --spawn "
-                 "--spill-bytes B --sever-after K --net-window W)\n";
+                 "--spill-bytes B --sever-after K --net-window W "
+                 "--trace FILE --metrics-port P --metrics-port-file FILE)\n";
     return 2;
   }
   std::filesystem::create_directories("out/dwd");
@@ -74,6 +75,18 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(args.get_int("spill-bytes", 0));
     dcfg.options.run.tcp.window_frames = std::max(
         1, args.get_int("net-window", dcfg.options.run.tcp.window_frames));
+    // Cluster telemetry (README "Watching a cluster run"): --trace writes
+    // one merged clock-corrected Perfetto trace; --metrics-port serves the
+    // rank-labeled Prometheus rollup live at /metrics while the job runs.
+    const std::string trace_path = args.get("trace", "");
+    const int metrics_port = args.get_int("metrics-port", -1);
+    if (!trace_path.empty() || metrics_port >= 0) {
+      dcfg.options.run.telemetry.enabled = true;
+      dcfg.options.run.telemetry.trace_path = trace_path;
+      dcfg.options.run.telemetry.metrics_port = metrics_port;
+      dcfg.options.run.telemetry.port_file =
+          args.get("metrics-port-file", "");
+    }
     const int sever_after = args.get_int("sever-after", 0);
     if (sever_after > 0) {
       // Kill-and-recover demo: sever the wire mid-shuffle; the supervisor

@@ -12,6 +12,12 @@
 #   dmr                — dmr_recovery_test, severed rank mid-shuffle,
 #                        reduced output must match the in-process engine
 #
+# Every seed's run deliberately kills a rank, so every seed must leave at
+# least one flight-recorder post-mortem (flight-<rank>.json); a dying rank
+# that recorded nothing is itself a failure. Dumps from FAILING seeds are
+# collected into out/flight/<suite>-seed<N>/ for offline debugging; dumps
+# from recovered seeds are discarded.
+#
 # Usage: fault_sweep.sh [--suite sandpile|dmr] <test binary> [seeds] [timeout_s]
 # Wired as the optional `fault_sweep` / `fault_sweep_dmr` ctest targets
 # behind -DPEACHY_ENABLE_FAULT_SWEEP=ON.
@@ -41,20 +47,43 @@ if [ ! -x "$BIN" ]; then
   exit 2
 fi
 
+COLLECT_DIR="out/flight"
+SCRATCH="$(mktemp -d "${TMPDIR:-/tmp}/peachy-fault-sweep.XXXXXX")"
+trap 'rm -rf "$SCRATCH"' EXIT
+
 failed=0
 for seed in $(seq 1 "$SEEDS"); do
-  if PEACHY_FAULT_SEED="$seed" timeout "$PER_SEED_TIMEOUT" \
+  FLIGHT_DIR="$SCRATCH/seed$seed"
+  mkdir -p "$FLIGHT_DIR"
+  if PEACHY_FAULT_SEED="$seed" PEACHY_FLIGHT_DIR="$FLIGHT_DIR" \
+      timeout "$PER_SEED_TIMEOUT" \
       "$BIN" --gtest_filter="$FILTER" --gtest_brief=1 > /dev/null 2>&1; then
-    echo "seed $seed: recovered"
+    status="recovered"
   else
     rc=$?
     if [ "$rc" -eq 124 ]; then
-      echo "seed $seed: HUNG (killed after ${PER_SEED_TIMEOUT}s)" >&2
+      status="HUNG (killed after ${PER_SEED_TIMEOUT}s)"
     else
-      echo "seed $seed: FAILED (exit $rc)" >&2
+      status="FAILED (exit $rc)"
     fi
     failed=$((failed + 1))
+    # Keep the post-mortems from the broken seed for offline debugging.
+    if ls "$FLIGHT_DIR"/flight-*.json > /dev/null 2>&1; then
+      mkdir -p "$COLLECT_DIR/$SUITE-seed$seed"
+      cp "$FLIGHT_DIR"/flight-*.json "$COLLECT_DIR/$SUITE-seed$seed/"
+      status="$status, dumps -> $COLLECT_DIR/$SUITE-seed$seed/"
+    fi
   fi
+  # Pass or fail, this seed severed a link and killed a rank — a run whose
+  # dying rank left no flight dump means the post-mortem path is broken.
+  if ! ls "$FLIGHT_DIR"/flight-*.json > /dev/null 2>&1; then
+    echo "seed $seed: NO FLIGHT DUMP — a rank died but recorded no post-mortem" >&2
+    failed=$((failed + 1))
+  fi
+  case "$status" in
+    recovered) echo "seed $seed: $status" ;;
+    *)         echo "seed $seed: $status" >&2 ;;
+  esac
 done
 
 if [ "$failed" -ne 0 ]; then

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Validates a merged cluster trace (Chrome trace-event JSON).
+
+Checks, in order:
+  1. The file is a JSON array of trace events.
+  2. Every (pid, tid) track's timestamps are monotonically non-decreasing
+     (metadata events, ph == "M", are exempt: they carry no timeline).
+  3. Complete events ("X") have a non-negative duration.
+  4. Every nonzero parent_span_id arg resolves to some event's span_id —
+     the cross-rank causal tree is connected, with no dangling references.
+  5. With --min-ranks N: at least N distinct pids recorded real events
+     (a merged 4-rank trace that silently dropped three ranks fails).
+
+Stdlib only; exits 0 on a valid trace, 1 with a diagnostic otherwise.
+Usage: trace_check.py TRACE.json [--min-ranks N]
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"trace_check: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument("--min-ranks", type=int, default=0,
+                        help="require events from at least this many pids")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            events = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {args.trace}: {e}")
+    if not isinstance(events, list):
+        fail("top-level JSON value is not an array")
+    if not events:
+        fail("trace is empty")
+
+    last_ts = {}          # (pid, tid) -> last timestamp seen
+    span_ids = set()
+    parent_refs = []      # (index, name, parent_span_id)
+    pids_with_events = set()
+
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event {i} is not an object")
+        if ev.get("ph") == "M":
+            continue
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in ev:
+                fail(f"event {i} ({ev.get('name', '?')}) lacks '{key}'")
+        track = (ev["pid"], ev["tid"])
+        ts = ev["ts"]
+        if track in last_ts and ts < last_ts[track]:
+            fail(f"event {i} ({ev['name']}): ts {ts} < previous "
+                 f"{last_ts[track]} on track pid={track[0]} tid={track[1]}")
+        last_ts[track] = ts
+        if ev["ph"] == "X" and ev.get("dur", 0) < 0:
+            fail(f"event {i} ({ev['name']}): negative dur {ev['dur']}")
+        pids_with_events.add(ev["pid"])
+        trace_args = ev.get("args", {})
+        if "span_id" in trace_args:
+            span_ids.add(trace_args["span_id"])
+        parent = trace_args.get("parent_span_id", 0)
+        if parent:
+            parent_refs.append((i, ev["name"], parent))
+
+    dangling = [(i, name, p) for i, name, p in parent_refs
+                if p not in span_ids]
+    if dangling:
+        i, name, p = dangling[0]
+        fail(f"{len(dangling)} dangling parent_span_id reference(s); first: "
+             f"event {i} ({name}) -> {p}")
+
+    if len(pids_with_events) < args.min_ranks:
+        fail(f"events from only {len(pids_with_events)} rank(s) "
+             f"({sorted(pids_with_events)}), need {args.min_ranks}")
+
+    n_events = sum(1 for ev in events if ev.get("ph") != "M")
+    print(f"trace_check: OK: {n_events} events, {len(pids_with_events)} "
+          f"rank(s), {len(span_ids)} spans, "
+          f"{len(parent_refs)} parent links, all resolved")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,12 +8,17 @@
 #include <cstring>
 #include <exception>
 #include <filesystem>
+#include <fstream>
 #include <thread>
 #include <utility>
 
 #include "mpp/checkpoint.hpp"
+#include "mpp/telemetry.hpp"
+#include "net/metrics_server.hpp"
 #include "net/process.hpp"
 #include "net/rendezvous.hpp"
+#include "obs/cluster.hpp"
+#include "obs/flight.hpp"
 #include "obs/obs.hpp"
 
 namespace peachy::mpp {
@@ -68,20 +73,38 @@ void Comm::send_bytes(int dest, int tag, const void* data, std::size_t bytes) {
                  "rank " << rank() << ": send to bad rank " << dest
                          << " (world size " << size() << ", tag " << tag
                          << ")");
-  transport_->send(dest, tag, data, bytes);
+  if (!obs::enabled()) {
+    transport_->send(dest, tag, data, bytes);
+    ++stats_.messages_sent;
+    stats_.bytes_sent += bytes;
+    return;
+  }
+  // Propagation rule (DESIGN.md "Distributed telemetry"): every traced send
+  // mints a span whose parent is the thread's current context (usually the
+  // last adopted recv) and travels as the context on the wire, so the
+  // receiving rank's recv span becomes its child.
+  namespace cluster = obs::cluster;
+  const std::uint64_t trace = cluster::trace_id();
+  const std::uint64_t span = cluster::next_span_id();
+  const std::uint64_t parent = cluster::current().span_id;
+  {
+    cluster::ScopedContext ctx({trace, span});
+    transport_->send(dest, tag, data, bytes);
+  }
   ++stats_.messages_sent;
   stats_.bytes_sent += bytes;
-  if (obs::enabled()) {
-    obs_messages().add(1);
-    obs_bytes().add(bytes);
-    obs_msg_bytes().observe(static_cast<std::int64_t>(bytes));
-    obs::Tracer::global().instant(
-        "mpp.send", "mpp",
-        {{"src", rank()},
-         {"dst", dest},
-         {"tag", tag},
-         {"bytes", static_cast<std::int64_t>(bytes)}});
-  }
+  obs_messages().add(1);
+  obs_bytes().add(bytes);
+  obs_msg_bytes().observe(static_cast<std::int64_t>(bytes));
+  obs::Tracer::global().instant(
+      "mpp.send", "mpp",
+      {{"src", rank()},
+       {"dst", dest},
+       {"tag", tag},
+       {"bytes", static_cast<std::int64_t>(bytes)},
+       {"trace_id", static_cast<std::int64_t>(trace)},
+       {"span_id", static_cast<std::int64_t>(span)},
+       {"parent_span_id", static_cast<std::int64_t>(parent)}});
 }
 
 void Comm::send(int dest, int tag, std::span<const std::byte> payload) {
@@ -89,20 +112,34 @@ void Comm::send(int dest, int tag, std::span<const std::byte> payload) {
                  "rank " << rank() << ": send to bad rank " << dest
                          << " (world size " << size() << ", tag " << tag
                          << ")");
-  transport_->send(dest, tag, payload);
+  if (!obs::enabled()) {
+    transport_->send(dest, tag, payload);
+    ++stats_.messages_sent;
+    stats_.bytes_sent += payload.size();
+    return;
+  }
+  namespace cluster = obs::cluster;
+  const std::uint64_t trace = cluster::trace_id();
+  const std::uint64_t span = cluster::next_span_id();
+  const std::uint64_t parent = cluster::current().span_id;
+  {
+    cluster::ScopedContext ctx({trace, span});
+    transport_->send(dest, tag, payload);
+  }
   ++stats_.messages_sent;
   stats_.bytes_sent += payload.size();
-  if (obs::enabled()) {
-    obs_messages().add(1);
-    obs_bytes().add(payload.size());
-    obs_msg_bytes().observe(static_cast<std::int64_t>(payload.size()));
-    obs::Tracer::global().instant(
-        "mpp.send", "mpp",
-        {{"src", rank()},
-         {"dst", dest},
-         {"tag", tag},
-         {"bytes", static_cast<std::int64_t>(payload.size())}});
-  }
+  obs_messages().add(1);
+  obs_bytes().add(payload.size());
+  obs_msg_bytes().observe(static_cast<std::int64_t>(payload.size()));
+  obs::Tracer::global().instant(
+      "mpp.send", "mpp",
+      {{"src", rank()},
+       {"dst", dest},
+       {"tag", tag},
+       {"bytes", static_cast<std::int64_t>(payload.size())},
+       {"trace_id", static_cast<std::int64_t>(trace)},
+       {"span_id", static_cast<std::int64_t>(span)},
+       {"parent_span_id", static_cast<std::int64_t>(parent)}});
 }
 
 void Comm::recv_bytes(int src, int tag, void* data, std::size_t bytes) {
@@ -110,19 +147,32 @@ void Comm::recv_bytes(int src, int tag, void* data, std::size_t bytes) {
                  "rank " << rank() << ": recv from bad rank " << src
                          << " (world size " << size() << ", tag " << tag
                          << ")");
-  const std::vector<std::byte> payload = transport_->recv(src, tag);
+  net::MsgInfo info;
+  const std::vector<std::byte> payload = transport_->recv(src, tag, &info);
   PEACHY_REQUIRE(payload.size() == bytes,
                  "rank " << rank() << ": message size mismatch from rank "
                          << src << " tag " << tag << ": expected " << bytes
                          << " bytes, got " << payload.size());
   if (bytes) std::memcpy(data, payload.data(), bytes);
   if (obs::enabled()) {
-    obs::Tracer::global().instant(
-        "mpp.recv", "mpp",
-        {{"src", src},
-         {"dst", rank()},
-         {"tag", tag},
-         {"bytes", static_cast<std::int64_t>(bytes)}});
+    namespace cluster = obs::cluster;
+    std::vector<std::pair<std::string, std::int64_t>> args = {
+        {"src", src},
+        {"dst", rank()},
+        {"tag", tag},
+        {"bytes", static_cast<std::int64_t>(bytes)}};
+    if (info.has_ctx) {
+      // Adopt the sender's context: this recv span is a child of the send
+      // span, and it stays current on this thread so follow-up sends chain
+      // off it — the cross-rank causal tree the merged trace renders.
+      const std::uint64_t span = cluster::next_span_id();
+      args.emplace_back("trace_id", static_cast<std::int64_t>(info.trace_id));
+      args.emplace_back("span_id", static_cast<std::int64_t>(span));
+      args.emplace_back("parent_span_id",
+                        static_cast<std::int64_t>(info.span_id));
+      cluster::set_current({info.trace_id, span});
+    }
+    obs::Tracer::global().instant("mpp.recv", "mpp", std::move(args));
   }
 }
 
@@ -282,6 +332,24 @@ RunOutcome run_threads(int ranks, const RunOptions& options,
   PEACHY_REQUIRE(ranks >= 1, "world needs >= 1 rank, got " << ranks);
   const bool tcp = options.transport == TransportKind::kTcp;
 
+  // Threaded telemetry is the degenerate single-process case: every rank
+  // already feeds the same registry/tracer, so there is nothing to ship —
+  // serve the process registry live and write the trace after the join.
+  const Telemetry& telemetry = options.telemetry;
+  std::unique_ptr<obs::MetricsServer> metrics_server;
+  if (telemetry.active()) {
+    obs::set_enabled(true);
+    if (telemetry.metrics_port >= 0) {
+      obs::MetricsServer::Options opts;
+      opts.port = telemetry.metrics_port;
+      metrics_server = std::make_unique<obs::MetricsServer>(opts);
+      if (!telemetry.port_file.empty()) {
+        std::ofstream out(telemetry.port_file, std::ios::trunc);
+        out << metrics_server->port() << "\n";
+      }
+    }
+  }
+
   std::shared_ptr<net::InprocHub> hub;
   std::unique_ptr<net::RendezvousServer> server;
   if (tcp) {
@@ -336,6 +404,15 @@ RunOutcome run_threads(int ranks, const RunOptions& options,
   }
   for (auto& t : threads) t.join();
 
+  if (metrics_server) metrics_server->stop();
+  if (telemetry.active() && !telemetry.trace_path.empty()) {
+    try {
+      obs::Tracer::global().write_chrome_json(telemetry.trace_path);
+    } catch (const Error&) {
+      // An unwritable trace path must not fail the world.
+    }
+  }
+
   std::exception_ptr server_error;
   if (server) {
     try {
@@ -376,6 +453,11 @@ constexpr const char* kEnvPort = "PEACHY_MPP_RENDEZVOUS_PORT";
 constexpr const char* kEnvFault = "PEACHY_MPP_FAULT";
 constexpr const char* kEnvCkpt = "PEACHY_MPP_CKPT_DIR";
 constexpr const char* kEnvWindow = "PEACHY_MPP_NET_WINDOW";
+constexpr const char* kEnvTelemetryMs = "PEACHY_MPP_TELEMETRY_MS";
+constexpr const char* kEnvTrace = "PEACHY_MPP_TRACE";
+constexpr const char* kEnvMetricsPort = "PEACHY_MPP_METRICS_PORT";
+constexpr const char* kEnvPortFile = "PEACHY_MPP_PORT_FILE";
+constexpr const char* kEnvTraceId = "PEACHY_MPP_TRACE_ID";
 
 /// Runs one worker's life: join the mesh, run the body, report the outcome
 /// over the rendezvous connection, _exit. Never returns — a worker process
@@ -383,14 +465,36 @@ constexpr const char* kEnvWindow = "PEACHY_MPP_NET_WINDOW";
 [[noreturn]] void worker_main(int rank, int world, int port,
                               const net::TcpOptions& tcp,
                               const std::string& ckpt_dir,
+                              const Telemetry& telemetry,
                               const std::function<void(Comm&)>& body) {
   net::WorkerReport report;
   report.reported = true;
   bool sent = false;
+  net::TcpOptions worker_tcp = tcp;
+  // Flight-recorder identity first, telemetry or not: the ring is always
+  // on, and a crash or PeerDied dump must name this rank even when the
+  // failure happens during mesh setup. Re-reading the dump dir matters for
+  // fork()ed workers, which inherit a recorder that may have been
+  // constructed in the launcher before the env var was set.
+  obs::FlightRecorder::global().set_identity(rank);
+  if (const char* dir = std::getenv("PEACHY_FLIGHT_DIR"))
+    obs::FlightRecorder::global().set_dump_dir(dir);
+  obs::FlightRecorder::install_crash_handler();
+  if (telemetry.active()) {
+    obs::set_enabled(true);
+    obs::cluster::set_rank(rank);
+    if (telemetry.trace_id) obs::cluster::set_trace_id(telemetry.trace_id);
+    // Clock probes ride the heartbeat path; without them the rank-0 trace
+    // merge has no offsets to correct with.
+    if (worker_tcp.clock_sync_ms <= 0) worker_tcp.clock_sync_ms = 50;
+  }
   try {
     auto transport =
-        std::make_unique<net::TcpTransport>(rank, world, port, tcp);
+        std::make_unique<net::TcpTransport>(rank, world, port, worker_tcp);
     net::TcpTransport* raw = transport.get();
+    std::unique_ptr<TelemetrySession> session;
+    if (telemetry.active())
+      session = std::make_unique<TelemetrySession>(*raw, world, telemetry);
     Comm comm(std::move(transport));
     comm.set_checkpoint_dir(ckpt_dir);
     try {
@@ -401,6 +505,8 @@ constexpr const char* kEnvWindow = "PEACHY_MPP_NET_WINDOW";
     } catch (...) {
       report.error = "unknown exception";
     }
+    // Finals must ship before the goodbye; finish() never throws.
+    if (session) session->finish();
     try {
       comm.transport().shutdown();
     } catch (...) {
@@ -473,6 +579,7 @@ RunOutcome spawn_attempt(int ranks,
                          const std::function<void(Comm&)>& body,
                          const net::TcpOptions& tcp,
                          const std::string& ckpt_dir,
+                         const Telemetry& telemetry,
                          net::ProcessLauncher& launcher) {
   // The serve/wait budget has to cover mesh setup plus the whole body.
   const int budget_ms = tcp.connect_timeout_ms + tcp.recv_timeout_ms;
@@ -481,7 +588,7 @@ RunOutcome spawn_attempt(int ranks,
   if (worker_argv.empty()) {
     launcher.fork_workers(ranks, [&](int rank) -> int {
       server.close_listener_in_child();
-      worker_main(rank, ranks, server.port(), tcp, ckpt_dir, body);
+      worker_main(rank, ranks, server.port(), tcp, ckpt_dir, telemetry, body);
     });
   } else {
     const int port = server.port();
@@ -495,6 +602,19 @@ RunOutcome spawn_attempt(int ranks,
               {kEnvFault, tcp.fault.encode()},
               {kEnvWindow, std::to_string(tcp.window_frames)}};
           if (!ckpt_dir.empty()) env.emplace_back(kEnvCkpt, ckpt_dir);
+          if (telemetry.active()) {
+            env.emplace_back(kEnvTelemetryMs,
+                             std::to_string(telemetry.interval_ms));
+            env.emplace_back(kEnvTraceId,
+                             std::to_string(telemetry.trace_id));
+            if (!telemetry.trace_path.empty())
+              env.emplace_back(kEnvTrace, telemetry.trace_path);
+            if (telemetry.metrics_port >= 0)
+              env.emplace_back(kEnvMetricsPort,
+                               std::to_string(telemetry.metrics_port));
+            if (!telemetry.port_file.empty())
+              env.emplace_back(kEnvPortFile, telemetry.port_file);
+          }
           return env;
         });
   }
@@ -589,7 +709,8 @@ RunOutcome supervise(const Resilience& resilience, const net::TcpOptions& tcp,
 RunOutcome run_spawned(int ranks, const std::vector<std::string>& worker_argv,
                        const std::function<void(Comm&)>& body,
                        const net::TcpOptions& tcp,
-                       const Resilience& resilience) {
+                       const Resilience& resilience,
+                       const Telemetry& telemetry) {
   // An exec'd worker re-enters main() and reaches this same call site; the
   // environment routes it into the worker path instead of launching again.
   if (const char* rank_env = std::getenv(kEnvRank)) {
@@ -605,19 +726,37 @@ RunOutcome run_spawned(int ranks, const std::vector<std::string>& worker_argv,
     if (const char* window_env = std::getenv(kEnvWindow))
       worker_tcp.window_frames = std::max(1, std::atoi(window_env));
     const char* ckpt_env = std::getenv(kEnvCkpt);
+    Telemetry worker_telemetry;  // env wins over the call site's default
+    if (const char* ms_env = std::getenv(kEnvTelemetryMs)) {
+      worker_telemetry.enabled = true;
+      worker_telemetry.interval_ms = std::max(1, std::atoi(ms_env));
+      if (const char* trace_env = std::getenv(kEnvTrace))
+        worker_telemetry.trace_path = trace_env;
+      if (const char* mport_env = std::getenv(kEnvMetricsPort))
+        worker_telemetry.metrics_port = std::atoi(mport_env);
+      if (const char* pfile_env = std::getenv(kEnvPortFile))
+        worker_telemetry.port_file = pfile_env;
+      if (const char* tid_env = std::getenv(kEnvTraceId))
+        worker_telemetry.trace_id = std::strtoull(tid_env, nullptr, 10);
+    }
     worker_main(std::atoi(rank_env), std::atoi(world_env),
                 std::atoi(port_env), worker_tcp,
-                ckpt_env ? ckpt_env : "", body);
+                ckpt_env ? ckpt_env : "", worker_telemetry, body);
   }
 
   PEACHY_REQUIRE(ranks >= 1, "world needs >= 1 rank, got " << ranks);
   CkptDirGuard ckpt(resilience);
+  // Mint the cluster trace id once in the launcher so every rank (and every
+  // restart attempt) lands in the same trace.
+  Telemetry run_telemetry = telemetry;
+  if (run_telemetry.active() && run_telemetry.trace_id == 0)
+    run_telemetry.trace_id = obs::cluster::trace_id();
   // One launcher across attempts: respawned ranks replace (kill + reap)
   // their previous incarnations slot by slot.
   net::ProcessLauncher launcher;
   return supervise(resilience, tcp, [&](const net::TcpOptions& attempt_tcp) {
     return spawn_attempt(ranks, worker_argv, body, attempt_tcp, ckpt.dir(),
-                         launcher);
+                         run_telemetry, launcher);
   });
 }
 
@@ -625,7 +764,7 @@ RunOutcome run_world(int ranks, const RunOptions& options,
                      const std::function<void(Comm&)>& body) {
   if (options.spawn)
     return run_spawned(ranks, options.worker_argv, body, options.tcp,
-                       options.resilience);
+                       options.resilience, options.telemetry);
   CkptDirGuard ckpt(options.resilience);
   return supervise(options.resilience, options.tcp,
                    [&](const net::TcpOptions& attempt_tcp) {

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "core/error.hpp"
+#include "mpp/telemetry.hpp"
 #include "net/inproc.hpp"
 #include "net/tcp.hpp"
 #include "net/transport.hpp"
@@ -97,6 +98,11 @@ struct RunOptions {
   net::TcpOptions tcp;
   /// Checkpoint/restart policy; inert by default.
   Resilience resilience;
+  /// Cluster telemetry policy (mpp/telemetry.hpp); inert by default. When
+  /// enabled, obs recording is switched on in every rank, trace contexts
+  /// propagate across sends, workers ship snapshots to rank 0, and rank 0
+  /// can serve /metrics and write a merged clock-corrected trace.
+  Telemetry telemetry;
 };
 
 /// What a world run produced beyond side effects: aggregate stats and the
@@ -312,7 +318,8 @@ RunOutcome run_world(int ranks, const RunOptions& options,
 RunOutcome run_spawned(int ranks, const std::vector<std::string>& worker_argv,
                        const std::function<void(Comm&)>& body,
                        const net::TcpOptions& tcp = {},
-                       const Resilience& resilience = {});
+                       const Resilience& resilience = {},
+                       const Telemetry& telemetry = {});
 
 /// The shared state behind a group of in-process ranks. Exposed for tests
 /// that need to drive ranks manually; most code should use mpp::run*.

@@ -1,0 +1,109 @@
+// Cluster-wide telemetry for mpp worlds (DESIGN.md "Distributed telemetry").
+//
+// A spawned world has no shared memory, so per-rank observability state
+// (obs::Registry metrics, obs::Tracer spans) is stranded in worker
+// processes. This layer ships it to rank 0 over the world's own transport:
+//
+//  * Workers run a shipper thread that serializes their metric registry
+//    every interval_ms and sends it to rank 0 on a reserved tag; a final
+//    snapshot (metrics + the full trace buffer) goes out when the body
+//    finishes, before the transport says goodbye — FIFO channel order
+//    guarantees rank 0 sees it before the goodbye.
+//  * Rank 0 runs a hub thread that drains periodic snapshots with
+//    Transport::try_recv (never blocking, never killed by a dying peer)
+//    and keeps the latest per rank. A live obs::MetricsServer serves the
+//    cluster rollup — every metric labeled {rank="N"} — at /metrics.
+//  * At finish, rank 0 gathers the final snapshots, corrects each rank's
+//    event timestamps with the clock offsets estimated on the heartbeat
+//    path (net::TcpTransport::clock_estimates), and writes one merged
+//    Chrome/Perfetto trace where every rank is its own process track.
+//
+// Snapshots are framed with the same little-endian scalar helpers as the
+// rest of the wire (net/wire.hpp append_/read_) — no JSON in the data path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace peachy::net {
+class Transport;
+}
+
+namespace peachy::mpp {
+
+/// Telemetry policy for a world (RunOptions::telemetry). Inert by default.
+struct Telemetry {
+  bool enabled = false;
+  /// Shipper period for worker -> rank 0 metric snapshots.
+  int interval_ms = 200;
+  /// Rank 0 writes the merged, clock-corrected Chrome trace here ("" = no
+  /// trace file).
+  std::string trace_path;
+  /// Port for rank 0's /metrics endpoint: -1 = no server, 0 = ephemeral
+  /// (read the bound port back from `port_file`).
+  int metrics_port = -1;
+  /// Rank 0 writes the bound metrics port (decimal + newline) here, so
+  /// launchers and scripts can find an ephemeral endpoint.
+  std::string port_file;
+  /// Cluster-wide trace id. 0 = the launcher mints one; every rank of a
+  /// world must share it for cross-rank spans to join one trace.
+  std::uint64_t trace_id = 0;
+
+  bool active() const { return enabled; }
+};
+
+namespace telemetry {
+
+/// One rank's shipped observability state, decoded.
+struct Snapshot {
+  int rank = -1;
+  std::vector<obs::MetricSample> samples;
+  std::vector<obs::TraceEvent> events;
+};
+
+/// Reserved channel tags (below the collectives' -4242..-4247 block).
+constexpr int kTagPeriodic = -4248;  ///< metrics-only snapshots, latest wins
+constexpr int kTagFinal = -4249;     ///< metrics + trace, exactly one per rank
+
+/// Binary snapshot codec (little-endian, versioned). Periodic snapshots
+/// ship with an empty event list to keep the steady-state payload small.
+std::vector<std::byte> encode_snapshot(
+    int rank, const std::vector<obs::MetricSample>& samples,
+    const std::vector<obs::TraceEvent>& events);
+Snapshot decode_snapshot(const std::vector<std::byte>& payload);
+
+}  // namespace telemetry
+
+/// Per-rank telemetry driver, alive while the world body runs. Construct
+/// after the transport joins the mesh, call finish() after the body but
+/// *before* Transport::shutdown (the final snapshots ride the same
+/// channels as application data). The destructor finishes if finish()
+/// was never reached, so an exceptional exit still ships what it can.
+class TelemetrySession {
+ public:
+  TelemetrySession(net::Transport& transport, int world_size,
+                   const Telemetry& config);
+  ~TelemetrySession();
+  TelemetrySession(const TelemetrySession&) = delete;
+  TelemetrySession& operator=(const TelemetrySession&) = delete;
+
+  /// Rank 0's bound /metrics port (-1 when no server is running).
+  int metrics_port() const;
+
+  /// Workers: ship the final snapshot. Rank 0: gather every rank's final
+  /// snapshot (skipping ranks that died first), stop the hub and server,
+  /// and write the merged clock-corrected trace. Idempotent; never throws
+  /// (telemetry must not mask the body's own outcome).
+  void finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace peachy::mpp

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/error.hpp"
+#include "obs/cluster.hpp"
 
 namespace peachy::net {
 
@@ -19,24 +20,50 @@ InprocTransport::InprocTransport(std::shared_ptr<InprocHub> hub, int rank)
 
 void InprocTransport::send(int dest, int tag, const void* data,
                            std::size_t bytes) {
-  std::vector<std::byte> payload(bytes);
-  if (bytes) std::memcpy(payload.data(), data, bytes);
+  InprocHub::Delivery delivery;
+  delivery.payload.resize(bytes);
+  if (bytes) std::memcpy(delivery.payload.data(), data, bytes);
+  // Same propagation rule as the tcp backend: a message sent under an
+  // active trace context carries it (obs-gated so the disabled path costs
+  // one relaxed load).
+  if (obs::enabled()) {
+    const obs::cluster::TraceContext ctx = obs::cluster::current();
+    if (ctx.valid()) {
+      delivery.info.trace_id = ctx.trace_id;
+      delivery.info.span_id = ctx.span_id;
+      delivery.info.has_ctx = true;
+    }
+  }
   auto& box = hub_->mailboxes_[static_cast<std::size_t>(dest)];
   {
     std::lock_guard lock(box.mutex);
-    box.channels[{rank_, tag}].push_back(std::move(payload));
+    box.channels[{rank_, tag}].push_back(std::move(delivery));
   }
   box.cv.notify_all();
 }
 
-std::vector<std::byte> InprocTransport::recv(int src, int tag) {
+std::vector<std::byte> InprocTransport::recv(int src, int tag, MsgInfo* info) {
   auto& box = hub_->mailboxes_[static_cast<std::size_t>(rank_)];
   std::unique_lock lock(box.mutex);
   auto& channel = box.channels[{src, tag}];
   box.cv.wait(lock, [&channel] { return !channel.empty(); });
-  std::vector<std::byte> payload = std::move(channel.front());
+  InprocHub::Delivery delivery = std::move(channel.front());
   channel.pop_front();
-  return payload;
+  if (info) *info = delivery.info;
+  return std::move(delivery.payload);
+}
+
+bool InprocTransport::try_recv(int src, int tag, std::vector<std::byte>& out,
+                               MsgInfo* info) {
+  auto& box = hub_->mailboxes_[static_cast<std::size_t>(rank_)];
+  std::lock_guard lock(box.mutex);
+  auto& channel = box.channels[{src, tag}];
+  if (channel.empty()) return false;
+  InprocHub::Delivery delivery = std::move(channel.front());
+  channel.pop_front();
+  if (info) *info = delivery.info;
+  out = std::move(delivery.payload);
+  return true;
 }
 
 }  // namespace peachy::net

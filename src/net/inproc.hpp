@@ -29,11 +29,16 @@ class InprocHub {
  private:
   friend class InprocTransport;
 
+  struct Delivery {
+    std::vector<std::byte> payload;
+    MsgInfo info;
+  };
+
   struct Mailbox {
     std::mutex mutex;
     std::condition_variable cv;
     // FIFO per (src, tag) channel — MPI's non-overtaking rule.
-    std::map<std::pair<int, int>, std::deque<std::vector<std::byte>>> channels;
+    std::map<std::pair<int, int>, std::deque<Delivery>> channels;
   };
 
   int ranks_;
@@ -47,8 +52,11 @@ class InprocTransport final : public Transport {
   int rank() const override { return rank_; }
   int size() const override { return hub_->size(); }
   using Transport::send;  // the span overload forwards to the pointer one
+  using Transport::recv;  // the no-info overload forwards to the full one
   void send(int dest, int tag, const void* data, std::size_t bytes) override;
-  std::vector<std::byte> recv(int src, int tag) override;
+  std::vector<std::byte> recv(int src, int tag, MsgInfo* info) override;
+  bool try_recv(int src, int tag, std::vector<std::byte>& out,
+                MsgInfo* info = nullptr) override;
 
  private:
   std::shared_ptr<InprocHub> hub_;

@@ -1,0 +1,104 @@
+#include "net/metrics_server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "obs/obs.hpp"
+
+namespace peachy::obs {
+
+namespace {
+
+/// Requests larger than this are junk for a two-route GET server.
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+std::string http_response(int code, const char* status,
+                          const std::string& content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.0 " + std::to_string(code) + " " + status +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+MetricsServer::MetricsServer(Options options, Provider provider)
+    : provider_(std::move(provider)) {
+  if (!provider_)
+    provider_ = [] { return Registry::global().prometheus_text(); };
+  listen_ = net::Socket::listen_on(options.host, options.port, 16);
+  port_ = listen_.local_port();
+  PEACHY_CHECK(::pipe2(wake_pipe_, O_CLOEXEC | O_NONBLOCK) == 0);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+MetricsServer::~MetricsServer() {
+  stop();
+  for (int fd : wake_pipe_)
+    if (fd >= 0) ::close(fd);
+}
+
+void MetricsServer::stop() {
+  if (stopping_.exchange(true)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (wake_pipe_[1] >= 0) {
+    const char b = 'x';
+    [[maybe_unused]] ssize_t rc = ::write(wake_pipe_[1], &b, 1);
+  }
+  if (thread_.joinable()) thread_.join();
+  listen_.close();
+}
+
+void MetricsServer::serve_loop() {
+  for (;;) {
+    pollfd fds[2] = {{listen_.fd(), POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, 1000);
+    if (stopping_.load(std::memory_order_relaxed)) return;
+    if (rc <= 0 || !(fds[0].revents & POLLIN)) continue;
+
+    try {
+      net::Socket client = listen_.accept(1000);
+      // Read until the blank line ending the request head (we ignore
+      // everything past the request line anyway) or the size bound.
+      std::string req;
+      char buf[1024];
+      while (req.size() < kMaxRequestBytes &&
+             req.find("\r\n\r\n") == std::string::npos) {
+        ssize_t n = client.recv_some(buf, sizeof buf);
+        if (n == 0) break;
+        if (n < 0) {  // nothing buffered yet: wait briefly for the client
+          pollfd pf{client.fd(), POLLIN, 0};
+          if (::poll(&pf, 1, 2000) <= 0) break;
+          continue;
+        }
+        req.append(buf, static_cast<std::size_t>(n));
+      }
+
+      std::string response;
+      if (req.rfind("GET /metrics", 0) == 0) {
+        response = http_response(200, "OK",
+                                 "text/plain; version=0.0.4; charset=utf-8",
+                                 provider_());
+      } else if (req.rfind("GET /healthz", 0) == 0) {
+        response = http_response(200, "OK", "text/plain", "ok\n");
+      } else {
+        response = http_response(404, "Not Found", "text/plain",
+                                 "not found\n");
+      }
+      client.send_all(response.data(), response.size(), 5000);
+      client.shutdown_write();
+    } catch (const Error&) {
+      // A misbehaving client (timeout, reset) must not kill the server.
+    }
+  }
+}
+
+}  // namespace peachy::obs

@@ -1,0 +1,67 @@
+// Live observability endpoint: a minimal single-threaded HTTP/1.0 server
+// serving Prometheus text (DESIGN.md "Distributed telemetry"; ROADMAP
+// "always-on peachyd" wants exactly this wired to the job service).
+//
+// Routes:
+//   GET /metrics  -> 200, text/plain; version=0.0.4 (Prometheus exposition)
+//   GET /healthz  -> 200, "ok\n"
+//   anything else -> 404
+//
+// Design: one background thread, blocking accept with a wake pipe, one
+// request per connection (Connection: close), bounded request read. The
+// provider callback is invoked per scrape, so the text is always current —
+// rank 0 of a spawned world plugs in the cluster rollup; a single process
+// defaults to its own registry. Deliberately not a general HTTP server:
+// no keep-alive, no chunking, no TLS — the minimum that curl, Prometheus,
+// and a browser all speak.
+//
+// The class lives in the net library (it needs net::Socket) but in the obs
+// namespace: conceptually it is the export tier of the metrics registry.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "net/socket.hpp"
+
+namespace peachy::obs {
+
+class MetricsServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    int port = 0;  ///< 0 picks an ephemeral port; read it back with port()
+  };
+
+  /// Returns the Prometheus text served at /metrics. Called per scrape on
+  /// the server thread — must be thread-safe against the rest of the
+  /// process.
+  using Provider = std::function<std::string()>;
+
+  /// Binds and starts serving immediately. An empty provider serves the
+  /// process-global obs::Registry.
+  explicit MetricsServer(Options options, Provider provider = nullptr);
+  ~MetricsServer();
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  /// The bound TCP port (resolved when Options::port was 0).
+  int port() const { return port_; }
+
+  /// Stops the server thread and closes the listener. Idempotent.
+  void stop();
+
+ private:
+  void serve_loop();
+
+  net::Socket listen_;
+  Provider provider_;
+  int port_ = 0;
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+}  // namespace peachy::obs

@@ -9,7 +9,10 @@
 #include <cstring>
 #include <thread>
 
+#include "core/timer.hpp"
 #include "net/wire.hpp"
+#include "obs/cluster.hpp"
+#include "obs/flight.hpp"
 #include "obs/obs.hpp"
 
 namespace peachy::net {
@@ -184,19 +187,31 @@ void TcpTransport::throw_peer_dead(int peer_rank) {
     std::lock_guard lock(mu_);
     why = peer(peer_rank).why;
   }
+  obs::FlightRecorder::global().note("net.throw_peer_died", peer_rank);
+  obs::FlightRecorder::global().dump("peer-died");
   throw PeerDied(rank_, peer_rank, why.empty() ? "connection lost" : why);
 }
 
-void TcpTransport::mark_dead(int src, const std::string& why) {
+void TcpTransport::mark_dead(int src, const std::string& why, bool graceful) {
+  bool first = false;
   {
     std::lock_guard lock(mu_);
     Peer& p = peer(src);
     if (!p.dead) {
       p.dead = true;
       p.why = why;
+      first = true;
     }
   }
   cv_.notify_all();
+  if (first) {
+    obs::FlightRecorder::global().note(
+        graceful ? "net.peer_goodbye_eof" : "net.peer_dead", src);
+    // A real death gets its post-mortem immediately — the application
+    // thread may be wedged far from any throw site (or the whole failure
+    // may be on another rank), so the reader writes the dump itself.
+    if (!graceful) obs::FlightRecorder::global().dump("peer-died");
+  }
 }
 
 void TcpTransport::write_or_queue(int r, struct iovec* iov,
@@ -279,11 +294,20 @@ void TcpTransport::wake_reader() {
 void TcpTransport::send(int dest, int tag, const void* data,
                         std::size_t bytes) {
   if (dest == rank_) {  // self-send never touches a socket
-    std::vector<std::byte> payload(bytes);
-    if (bytes) std::memcpy(payload.data(), data, bytes);
+    Delivery d;
+    d.payload.resize(bytes);
+    if (bytes) std::memcpy(d.payload.data(), data, bytes);
+    if (obs::enabled()) {
+      const obs::cluster::TraceContext ctx = obs::cluster::current();
+      if (ctx.valid()) {
+        d.info.trace_id = ctx.trace_id;
+        d.info.span_id = ctx.span_id;
+        d.info.has_ctx = true;
+      }
+    }
     {
       std::lock_guard lock(mu_);
-      channels_[{rank_, tag}].push_back(std::move(payload));
+      channels_[{rank_, tag}].push_back(std::move(d));
     }
     cv_.notify_all();
     return;
@@ -346,6 +370,18 @@ void TcpTransport::send(int dest, int tag, const void* data,
   f->write_twice = fault.duplicate;
   if (fault.delay_ms > 0)
     f->hold_until = f->staged_at + std::chrono::milliseconds(fault.delay_ms);
+  // Trace-context propagation: a message sent under an active context
+  // carries it as a trailer, linking the receiver's spans to this send.
+  // Attached before the injector's copies are written so drops, dups, and
+  // delays all carry (and dedup to) the same context.
+  if (obs::enabled()) {
+    const obs::cluster::TraceContext ctx = obs::cluster::current();
+    if (ctx.valid()) {
+      obs::cluster::encode_context(ctx, f->ctx);
+      f->has_ctx = true;
+      f->h.flags |= kFlagCarriesCtx;
+    }
+  }
 
   bool flush_now = false;
   {
@@ -362,7 +398,8 @@ void TcpTransport::send(int dest, int tag, const void* data,
       p.held.push_back(f);  // the reader writes it late: real reordering
     } else {
       p.staged.push_back(f);
-      p.staged_bytes += kHeaderBytes + bytes;
+      p.staged_bytes +=
+          kHeaderBytes + bytes + (f->has_ctx ? kCtxTrailerBytes : 0);
       flush_now = p.staged_bytes >= opt_.coalesce_bytes;
     }
   }
@@ -383,7 +420,7 @@ bool TcpTransport::write_batch(int r, const std::vector<TxFramePtr>& batch,
   // Header iovec + payload iovec per frame: nothing is copied into an
   // intermediate contiguous buffer on the way to the kernel.
   std::vector<struct iovec> iov;
-  iov.reserve(batch.size() * 2 + 2);
+  iov.reserve(batch.size() * 3 + 2);
   for (const auto& f : batch) {
     f->h.flags |= kFlagCarriesAck;
     f->h.ack = ack;
@@ -391,11 +428,13 @@ bool TcpTransport::write_batch(int r, const std::vector<TxFramePtr>& batch,
     iov.push_back({f->hdr, kHeaderBytes});
     if (!f->payload.empty())
       iov.push_back({f->payload.data(), f->payload.size()});
+    if (f->has_ctx) iov.push_back({f->ctx, kCtxTrailerBytes});
     if (f->write_twice) {  // injected duplicate: same bytes, same batch
       f->write_twice = false;
       iov.push_back({f->hdr, kHeaderBytes});
       if (!f->payload.empty())
         iov.push_back({f->payload.data(), f->payload.size()});
+      if (f->has_ctx) iov.push_back({f->ctx, kCtxTrailerBytes});
     }
   }
   try {
@@ -491,7 +530,8 @@ void TcpTransport::release_held(int r, Clock::time_point now) {
     TxFramePtr f = p.held.front();
     p.held.pop_front();
     p.staged.push_back(f);
-    p.staged_bytes += kHeaderBytes + f->payload.size();
+    p.staged_bytes += kHeaderBytes + f->payload.size() +
+                      (f->has_ctx ? kCtxTrailerBytes : 0);
   }
 }
 
@@ -560,11 +600,16 @@ void TcpTransport::retransmit_pass(int r, Clock::time_point now) {
     }
   }
   if (exhausted) {
+    obs::FlightRecorder::global().note("net.retry_exhausted", r,
+                                       static_cast<std::int64_t>(oldest_seq));
     mark_dead(r, "no ACK for seq " + std::to_string(oldest_seq) + " after " +
                      std::to_string(opt_.max_retries) + " retransmit passes");
     return;
   }
   if (batch.empty()) return;
+  obs::FlightRecorder::global().note(
+      "net.retransmit", r, static_cast<std::int64_t>(batch.size()),
+      static_cast<std::int64_t>(oldest_seq));
   if (write_batch(r, batch, ack_val) && obs::enabled())
     obs_retransmits().add(static_cast<std::int64_t>(batch.size()));
 }
@@ -594,7 +639,7 @@ void TcpTransport::apply_ack(int src, std::uint64_t ack) {
   if (progress) cv_.notify_all();  // window space freed; shutdown may drain
 }
 
-std::vector<std::byte> TcpTransport::recv(int src, int tag) {
+std::vector<std::byte> TcpTransport::recv(int src, int tag, MsgInfo* info) {
   obs::Span span("net.recv", "net");
   span.arg("src", src);
   span.arg("dst", rank_);
@@ -615,6 +660,8 @@ std::vector<std::byte> TcpTransport::recv(int src, int tag) {
     if (src != rank_ && (peer(src).dead || peer(src).goodbye)) {
       const std::string why = peer(src).why;
       lock.unlock();
+      obs::FlightRecorder::global().note("net.recv_orphaned", src, tag);
+      obs::FlightRecorder::global().dump("recv-orphaned");
       throw PeerDied(rank_, src,
                      why.empty() ? "peer shut down with this recv pending"
                                  : why);
@@ -623,13 +670,27 @@ std::vector<std::byte> TcpTransport::recv(int src, int tag) {
                                 << " tag " << tag << " timed out after "
                                 << opt_.recv_timeout_ms << " ms");
   }
-  std::vector<std::byte> payload = std::move(channel.front());
+  Delivery d = std::move(channel.front());
   channel.pop_front();
-  return payload;
+  if (info) *info = d.info;
+  return std::move(d.payload);
+}
+
+bool TcpTransport::try_recv(int src, int tag, std::vector<std::byte>& out,
+                            MsgInfo* info) {
+  std::lock_guard lock(mu_);
+  auto it = channels_.find({src, tag});
+  if (it == channels_.end() || it->second.empty()) return false;
+  Delivery d = std::move(it->second.front());
+  it->second.pop_front();
+  if (info) *info = d.info;
+  out = std::move(d.payload);
+  return true;
 }
 
 void TcpTransport::handle_frame(int src, const FrameHeader& h,
-                                std::vector<std::byte> payload) {
+                                std::vector<std::byte> payload,
+                                const std::byte* ctx_trailer) {
   Peer& p = peer(src);
   switch (h.type) {
     case FrameType::kAck: {
@@ -644,11 +705,22 @@ void TcpTransport::handle_frame(int src, const FrameHeader& h,
         break;
       }
       if (h.flags & kFlagCarriesAck) apply_ack(src, h.ack);
+      Delivery d;
+      d.payload = std::move(payload);
+      if (ctx_trailer != nullptr) {
+        const obs::cluster::TraceContext ctx =
+            obs::cluster::decode_context(ctx_trailer);
+        if (ctx.valid()) {
+          d.info.trace_id = ctx.trace_id;
+          d.info.span_id = ctx.span_id;
+          d.info.has_ctx = true;
+        }
+      }
       std::uint64_t delivered = 0;
       {
         std::lock_guard lock(mu_);
         if (h.seq == p.recv_next) {
-          channels_[{src, h.tag}].push_back(std::move(payload));
+          channels_[{src, h.tag}].push_back(std::move(d));
           ++p.recv_next;
           ++delivered;
           // Drain the reassembly run this frame just completed.
@@ -670,9 +742,9 @@ void TcpTransport::handle_frame(int src, const FrameHeader& h,
           } else {
             // Out of order: park it. emplace keeps the first copy, so an
             // injected duplicate inside the window can never
-            // double-deliver.
-            p.reassembly.emplace(h.seq,
-                                 std::make_pair(h.tag, std::move(payload)));
+            // double-deliver (and its context dedups with it — one
+            // delivery, one context, no duplicate child spans).
+            p.reassembly.emplace(h.seq, std::make_pair(h.tag, std::move(d)));
           }
         }
         // h.seq below recv_next: an already-delivered duplicate (injected,
@@ -693,9 +765,47 @@ void TcpTransport::handle_frame(int src, const FrameHeader& h,
       cv_.notify_all();
       break;
     }
-    case FrameType::kPing:
-      // Pure liveness proof — last_rx was already refreshed by the reader.
+    case FrameType::kPing: {
+      // Empty PING: pure liveness proof — last_rx was already refreshed by
+      // the reader. A clock probe carries the sender's origin timestamp and
+      // wants it echoed back next to our clock reading.
+      if (payload.size() == 8) {
+        const std::byte* q = payload.data();
+        const std::uint64_t origin = read_u64(q, q + 8);
+        std::vector<std::byte> reply;
+        append_u64(reply, origin);
+        append_u64(reply, static_cast<std::uint64_t>(now_ns()));
+        FrameHeader pong;
+        pong.type = FrameType::kPong;
+        pong.src = rank_;
+        try {
+          write_frame(src, encode_frame(pong, reply.data(), reply.size()));
+        } catch (const Error& e) {
+          mark_dead(src, e.what());
+        }
+      }
       break;
+    }
+    case FrameType::kPong: {
+      if (payload.size() == 16) {
+        const std::byte* q = payload.data();
+        const std::byte* end = q + payload.size();
+        const auto origin = static_cast<std::int64_t>(read_u64(q, end));
+        const auto peer_now = static_cast<std::int64_t>(read_u64(q, end));
+        bool accepted = false;
+        std::int64_t offset_us = 0;
+        {
+          std::lock_guard lock(mu_);
+          accepted = p.clock_est.sample(origin, peer_now, now_ns());
+          offset_us = p.clock_est.offset_ns() / 1000;
+        }
+        if (accepted && obs::enabled())
+          obs::Registry::global()
+              .gauge("net.clock_offset_us.peer" + std::to_string(src))
+              .set(offset_us);
+      }
+      break;
+    }
     default:
       mark_dead(src, "unexpected frame type " +
                          std::to_string(static_cast<int>(h.type)) +
@@ -749,6 +859,8 @@ void TcpTransport::heartbeat_pass() {
       if (!p.suspected || p.last_rx > p.suspect_since) {
         p.suspected = true;
         p.suspect_since = now;
+        obs::FlightRecorder::global().note(
+            "net.peer_suspected", r, static_cast<std::int64_t>(silence_ms));
       }
       // Fall through: the suspect keeps receiving pings at heartbeat
       // cadence so an alive-but-idle peer has something to answer.
@@ -776,6 +888,56 @@ void TcpTransport::heartbeat_pass() {
   }
 }
 
+void TcpTransport::clock_pass() {
+  if (opt_.clock_sync_ms <= 0) return;
+  const auto now = Clock::now();
+  for (int r = 0; r < world_; ++r) {
+    if (r == rank_) continue;
+    Peer& p = peer(r);
+    {
+      std::lock_guard lock(mu_);
+      if (p.dead || p.goodbye) continue;
+    }
+    if (!p.sock.valid()) continue;
+    // The first few probes per peer go out at a tight cadence so even a
+    // sub-second run converges on an estimate (the min-RTT filter needs a
+    // couple of samples to find a clean round trip); after the burst the
+    // cadence relaxes to clock_sync_ms.
+    const int interval_ms = p.probes_sent < 4
+                                ? std::min(opt_.clock_sync_ms, 20)
+                                : opt_.clock_sync_ms;
+    if (p.probes_sent > 0 &&
+        now - p.last_probe_tx < std::chrono::milliseconds(interval_ms))
+      continue;
+    p.last_probe_tx = now;
+    ++p.probes_sent;
+    std::vector<std::byte> origin;
+    append_u64(origin, static_cast<std::uint64_t>(now_ns()));
+    FrameHeader probe;
+    probe.type = FrameType::kPing;
+    probe.src = rank_;
+    try {
+      write_frame(r, encode_frame(probe, origin.data(), origin.size()));
+    } catch (const Error& e) {
+      mark_dead(r, e.what());
+    }
+  }
+}
+
+std::map<int, TcpTransport::ClockEstimate> TcpTransport::clock_estimates()
+    const {
+  std::map<int, ClockEstimate> out;
+  std::lock_guard lock(mu_);
+  for (int r = 0; r < world_; ++r) {
+    if (r == rank_ || !peers_[static_cast<std::size_t>(r)]) continue;
+    const auto& est = peers_[static_cast<std::size_t>(r)]->clock_est;
+    if (!est.valid()) continue;
+    out[r] = ClockEstimate{true, est.offset_ns(), est.min_rtt_ns(),
+                           est.samples()};
+  }
+  return out;
+}
+
 int TcpTransport::next_deadline_ms(int cap) {
   auto next = Clock::time_point::max();
   {
@@ -798,10 +960,13 @@ int TcpTransport::next_deadline_ms(int cap) {
 
 void TcpTransport::reader_loop() {
   // With heartbeats on, wake at least twice per period so pings go out and
-  // silence is noticed on time even when no socket turns readable.
-  const int base_ms = opt_.heartbeat_ms > 0
-                          ? std::clamp(opt_.heartbeat_ms / 2, 1, 500)
-                          : 500;
+  // silence is noticed on time even when no socket turns readable. Clock
+  // probes tighten the tick the same way.
+  int base_ms = opt_.heartbeat_ms > 0
+                    ? std::clamp(opt_.heartbeat_ms / 2, 1, 500)
+                    : 500;
+  if (opt_.clock_sync_ms > 0)
+    base_ms = std::min(base_ms, std::clamp(opt_.clock_sync_ms / 2, 1, 500));
   std::vector<std::byte> chunk(256 * 1024);  // one recv_some scratch buffer
   for (;;) {
     std::vector<pollfd> fds;
@@ -870,7 +1035,8 @@ void TcpTransport::reader_loop() {
                           std::to_string(p.rx_buf.size()) +
                           " bytes of a frame pending)"
                 : graceful ? "peer closed the connection (graceful shutdown)"
-                           : "connection closed without a goodbye");
+                           : "connection closed without a goodbye",
+                /*graceful=*/graceful && p.rx_buf.empty());
             break;
           }
           p.last_rx = Clock::now();
@@ -881,7 +1047,12 @@ void TcpTransport::reader_loop() {
           try {
             while (p.rx_buf.size() - off >= kHeaderBytes) {
               const FrameHeader h = decode_header(p.rx_buf.data() + off);
-              if (p.rx_buf.size() - off < kHeaderBytes + h.len) break;
+              // The trace-context trailer rides after the payload, outside
+              // len/crc — it is part of this frame's wire footprint.
+              const std::size_t trailer =
+                  (h.flags & kFlagCarriesCtx) ? kCtxTrailerBytes : 0;
+              if (p.rx_buf.size() - off < kHeaderBytes + h.len + trailer)
+                break;
               const std::byte* body = p.rx_buf.data() + off + kHeaderBytes;
               if (h.len) {
                 PEACHY_REQUIRE(crc32(body, h.len) == h.crc,
@@ -889,8 +1060,9 @@ void TcpTransport::reader_loop() {
                                    << h.len << "-byte frame (corrupt link?)");
               }
               std::vector<std::byte> payload(body, body + h.len);
-              off += kHeaderBytes + h.len;
-              handle_frame(src, h, std::move(payload));
+              const std::byte* ctx_trailer = trailer ? body + h.len : nullptr;
+              off += kHeaderBytes + h.len + trailer;
+              handle_frame(src, h, std::move(payload), ctx_trailer);
               {
                 std::lock_guard lock(mu_);
                 if (p.dead) {
@@ -926,6 +1098,7 @@ void TcpTransport::reader_loop() {
       retransmit_pass(r, now);
     }
     heartbeat_pass();  // rc < 0 is EINTR; rc == 0 is the idle tick
+    clock_pass();
   }
 }
 

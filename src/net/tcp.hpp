@@ -80,6 +80,7 @@
 #include "net/socket.hpp"
 #include "net/transport.hpp"
 #include "net/wire.hpp"
+#include "obs/cluster.hpp"
 
 namespace peachy::net {
 
@@ -93,6 +94,12 @@ struct TcpOptions {
   int goodbye_timeout_ms = 2000;    ///< graceful-shutdown drain
   int heartbeat_ms = 0;             ///< >0: PING every idle link this often
   int suspicion_timeout_ms = 0;     ///< silence budget; 0 = 4 * heartbeat_ms
+  /// >0: run Cristian-style clock probes against every peer this often
+  /// (an initial burst goes out faster so short runs still converge).
+  /// Probes ride the PING/PONG path: outside the data sequence space,
+  /// never acked, invisible to the fault injector. Feeds clock_estimates()
+  /// and the net.clock_offset_us gauges for offset-corrected trace merges.
+  int clock_sync_ms = 0;
   int window_frames = 32;           ///< unacked frames per peer; 1 = stop-and-wait
   std::size_t coalesce_bytes = 64 * 1024;  ///< staged bytes that force an
                                            ///< inline flush from the sender
@@ -113,8 +120,11 @@ class TcpTransport final : public Transport {
   int rank() const override { return rank_; }
   int size() const override { return world_; }
   using Transport::send;  // the span overload forwards to the pointer one
+  using Transport::recv;  // the no-info overload forwards to the full one
   void send(int dest, int tag, const void* data, std::size_t bytes) override;
-  std::vector<std::byte> recv(int src, int tag) override;
+  std::vector<std::byte> recv(int src, int tag, MsgInfo* info) override;
+  bool try_recv(int src, int tag, std::vector<std::byte>& out,
+                MsgInfo* info = nullptr) override;
   void shutdown() override;
 
   /// Frame-level counters, aggregated over all of this rank's connections.
@@ -133,8 +143,27 @@ class TcpTransport final : public Transport {
   /// The still-open rendezvous connection (spawned workers report over it).
   const Socket& rendezvous_socket() const { return session_.sock; }
 
+  /// One peer's Cristian clock-offset estimate (peer_clock − local_clock).
+  struct ClockEstimate {
+    bool valid = false;
+    std::int64_t offset_ns = 0;
+    std::int64_t min_rtt_ns = 0;
+    std::uint64_t samples = 0;
+  };
+  /// Estimates for every peer with at least one accepted probe. Only
+  /// populated when TcpOptions::clock_sync_ms > 0 — rank 0's trace merger
+  /// uses these to rebase worker timestamps onto its own clock.
+  std::map<int, ClockEstimate> clock_estimates() const;
+
  private:
   using Clock = std::chrono::steady_clock;
+
+  /// One received message plus its out-of-band metadata, queued on a
+  /// (src, tag) channel until recv()/try_recv() claims it.
+  struct Delivery {
+    std::vector<std::byte> payload;
+    MsgInfo info;
+  };
 
   /// One window slot: the single copy of an in-flight payload, kept until
   /// the cumulative ack passes it. Header bytes are encoded at write time
@@ -145,6 +174,12 @@ class TcpTransport final : public Transport {
     FrameHeader h;                   // len + crc fixed at stage time
     std::vector<std::byte> payload;
     std::byte hdr[kHeaderBytes];
+    // Trace-context trailer (kFlagCarriesCtx): rides after the payload on
+    // every write of this frame, retransmissions and injected duplicates
+    // included, so dedup at the receiver keeps exactly one copy of the
+    // context along with the one delivered payload.
+    std::byte ctx[kCtxTrailerBytes];
+    bool has_ctx = false;
     Clock::time_point staged_at{};
     Clock::time_point hold_until{};  // injected delay: not on the wire before
     bool write_twice = false;        // injected duplicate (first write only)
@@ -182,8 +217,11 @@ class TcpTransport final : public Transport {
     std::uint64_t recv_next = 0;      // next in-order inbound seq
     std::uint64_t last_ack_sent = 0;  // cumulative ack the peer has seen
     bool ack_pending = false;
-    std::map<std::uint64_t, std::pair<int, std::vector<std::byte>>>
-        reassembly;  // out-of-order frames: seq -> (tag, payload)
+    std::map<std::uint64_t, std::pair<int, Delivery>>
+        reassembly;  // out-of-order frames: seq -> (tag, delivery)
+
+    // Clock-offset estimate for this peer — guarded by mu_.
+    obs::cluster::OffsetEstimator clock_est;
 
     bool goodbye = false;
     bool dead = false;
@@ -199,6 +237,9 @@ class TcpTransport final : public Transport {
     Clock::time_point last_ping_tx{};
     bool suspected = false;          // first suspicion probes, second kills
     Clock::time_point suspect_since{};
+    // Reader-thread-only (never locked): clock-probe cadence.
+    Clock::time_point last_probe_tx{};
+    int probes_sent = 0;
   };
 
   Peer& peer(int r) { return *peers_[static_cast<std::size_t>(r)]; }
@@ -236,9 +277,15 @@ class TcpTransport final : public Transport {
   int next_deadline_ms(int cap);
   void reader_loop();
   void heartbeat_pass();
+  /// Sends due clock probes (TcpOptions::clock_sync_ms cadence, with a
+  /// fast initial burst per peer so short runs still converge).
+  void clock_pass();
   void handle_frame(int src, const FrameHeader& h,
-                    std::vector<std::byte> payload);
-  void mark_dead(int src, const std::string& why);
+                    std::vector<std::byte> payload,
+                    const std::byte* ctx_trailer);
+  /// `graceful` distinguishes an orderly GOODBYE-then-EOF (no flight dump)
+  /// from a real death (flight-recorder post-mortem is written).
+  void mark_dead(int src, const std::string& why, bool graceful = false);
   [[noreturn]] void throw_peer_dead(int peer_rank);
 
   int rank_;
@@ -251,7 +298,7 @@ class TcpTransport final : public Transport {
   // Channel queues + peer window/liveness state.
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::map<std::pair<int, int>, std::deque<std::vector<std::byte>>> channels_;
+  std::map<std::pair<int, int>, std::deque<Delivery>> channels_;
   std::uint64_t retransmits_ = 0;
   std::uint64_t window_stalls_ = 0;
   std::uint64_t acks_sent_ = 0;

@@ -10,10 +10,20 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 namespace peachy::net {
+
+/// Out-of-band metadata delivered with one received message. Today that is
+/// the propagated trace context (obs::cluster): the sender's (trace_id,
+/// span_id) pair when the message was sent under an active context.
+struct MsgInfo {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  bool has_ctx = false;
+};
 
 class Transport {
  public:
@@ -40,8 +50,23 @@ class Transport {
 
   /// Blocking receive of the next message on the (src, tag) channel.
   /// Throws PeerDied when `src` dies, or Error on timeout (tcp only;
-  /// inproc waits forever, like a deadlocked MPI run would).
-  virtual std::vector<std::byte> recv(int src, int tag) = 0;
+  /// inproc waits forever, like a deadlocked MPI run would). When `info`
+  /// is non-null it is filled with the message's trace context (has_ctx
+  /// false when the sender attached none).
+  virtual std::vector<std::byte> recv(int src, int tag, MsgInfo* info) = 0;
+
+  /// Convenience overload for callers that ignore message metadata.
+  std::vector<std::byte> recv(int src, int tag) {
+    return recv(src, tag, nullptr);
+  }
+
+  /// Non-blocking receive: pops the next (src, tag) message into `out` and
+  /// returns true, or returns false when none is queued right now. Never
+  /// blocks and never throws on peer death (a dead peer simply stops
+  /// producing messages) — the polling primitive the rank-0 telemetry hub
+  /// drains worker snapshots with.
+  virtual bool try_recv(int src, int tag, std::vector<std::byte>& out,
+                        MsgInfo* info = nullptr) = 0;
 
   /// Graceful close: flush goodbyes so peers can tell shutdown from death.
   /// Idempotent; never throws.

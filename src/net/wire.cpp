@@ -81,7 +81,7 @@ FrameHeader decode_header(const std::byte* in) {
                  "wire protocol version mismatch: peer speaks v" << h.version
                      << ", this build speaks v" << kWireVersion);
   const auto type = std::to_integer<std::uint8_t>(in[6]);
-  PEACHY_REQUIRE(type >= 1 && type <= 9, "unknown frame type " << int{type});
+  PEACHY_REQUIRE(type >= 1 && type <= 10, "unknown frame type " << int{type});
   h.type = static_cast<FrameType>(type);
   h.flags = std::to_integer<std::uint8_t>(in[7]);
   h.src = static_cast<std::int32_t>(get_u32(in + 8));
@@ -116,7 +116,8 @@ void send_frame(const Socket& sock, FrameHeader h, const void* payload,
 }
 
 bool recv_frame(const Socket& sock, FrameHeader& header,
-                std::vector<std::byte>& payload, int timeout_ms) {
+                std::vector<std::byte>& payload, int timeout_ms,
+                std::byte (*ctx_trailer)[kCtxTrailerBytes]) {
   std::byte raw[kHeaderBytes];
   if (!sock.recv_all(raw, kHeaderBytes, timeout_ms)) return false;
   header = decode_header(raw);
@@ -128,6 +129,12 @@ bool recv_frame(const Socket& sock, FrameHeader& header,
     PEACHY_REQUIRE(crc32(payload.data(), payload.size()) == header.crc,
                    "payload CRC mismatch on a " << header.len
                                                 << "-byte frame (corrupt link?)");
+  }
+  if (header.flags & kFlagCarriesCtx) {
+    std::byte discard[kCtxTrailerBytes];
+    std::byte* dst = ctx_trailer ? *ctx_trailer : discard;
+    PEACHY_REQUIRE(sock.recv_all(dst, kCtxTrailerBytes, timeout_ms),
+                   "connection closed before the trace-context trailer");
   }
   return true;
 }

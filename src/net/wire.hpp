@@ -49,7 +49,9 @@ enum class FrameType : std::uint8_t {
   kRegister = 6,  ///< rendezvous: src=rank, tag=peer listen port
   kTable = 7,     ///< rendezvous reply: payload = world_size u32 ports
   kResult = 8,    ///< spawned worker -> launcher: stats + status + result
-  kPing = 9,      ///< heartbeat; proves liveness, carries no payload, no ack
+  kPing = 9,      ///< heartbeat; proves liveness. No payload in heartbeat
+                  ///< use; clock probes carry an 8-byte origin timestamp
+  kPong = 10,     ///< clock-probe reply: payload = origin echo + peer now_ns
 };
 
 /// FrameHeader::flags bits.
@@ -57,7 +59,16 @@ enum FrameFlag : std::uint8_t {
   /// The `ack` field is meaningful: everything below it has been received.
   /// Set on every ACK frame and piggybacked on outgoing DATA frames.
   kFlagCarriesAck = 0x01,
+  /// A 16-byte trace-context trailer (trace_id u64, parent span_id u64,
+  /// little-endian) follows the payload. The trailer rides *after* the
+  /// payload and outside `len`/`crc` — CRC semantics of every existing
+  /// frame are untouched, and a v2 receiver that knows the flag consumes
+  /// it without any header-layout change. Only DATA frames carry it.
+  kFlagCarriesCtx = 0x02,
 };
+
+/// Byte count of the kFlagCarriesCtx trailer.
+inline constexpr std::size_t kCtxTrailerBytes = 16;
 
 struct FrameHeader {
   std::uint16_t version = kWireVersion;
@@ -101,8 +112,12 @@ void send_frame(const Socket& sock, FrameHeader h, const void* payload = nullptr
 
 /// Reads one frame and verifies the payload CRC. Returns false on clean EOF
 /// before the header; throws on timeout, torn frames, or CRC mismatch.
+/// A kFlagCarriesCtx trailer is consumed from the stream and stored in
+/// `ctx_trailer` when given (else discarded), so callers that ignore trace
+/// contexts — rendezvous, handshakes, tests' fake peers — never desync.
 bool recv_frame(const Socket& sock, FrameHeader& header,
-                std::vector<std::byte>& payload, int timeout_ms);
+                std::vector<std::byte>& payload, int timeout_ms,
+                std::byte (*ctx_trailer)[kCtxTrailerBytes] = nullptr);
 
 // Little-endian scalar (de)serialization for frame payloads (rendezvous
 // tables, worker reports, result blobs).

@@ -1,0 +1,126 @@
+// Distributed tier of the observability layer (DESIGN.md "Distributed
+// telemetry"): the pieces that turn per-process spans and counters into one
+// cluster-wide picture.
+//
+//  * TraceContext — a compact (trace_id, span_id) pair carried across rank
+//    boundaries. The sending side stamps the current thread's context onto
+//    the wire (net DATA frames grow a 16-byte trailer, inproc mailboxes an
+//    extra field); the receiving side adopts it, so a dmr shuffle or a halo
+//    exchange links sender and receiver spans into one causal tree. Span
+//    ids embed the rank in their high bits, which is what keeps ids unique
+//    across processes without coordination.
+//  * OffsetEstimator — Cristian-style clock-offset/RTT estimation from
+//    (origin, peer, now) timestamp triples. Min-RTT filtered (samples taken
+//    under congestion are discarded) and EWMA-smoothed; the TCP transport
+//    runs one per peer off the heartbeat PING path.
+//  * cluster_prometheus_text — the rank-0 rollup: per-rank metric samples
+//    merged into one Prometheus exposition where every sample carries a
+//    rank label. Families are sorted by name, so output is byte-stable.
+//
+// Like the rest of obs this header sits below peachy_core: no dependencies
+// beyond the standard library and obs.hpp itself.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace peachy::obs::cluster {
+
+/// The causal context one message carries: which trace it belongs to and
+/// which span caused it. trace_id == 0 means "no context".
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  bool valid() const { return trace_id != 0; }
+};
+
+/// Wire size of an encoded context: trace_id then span_id, little-endian.
+inline constexpr std::size_t kContextBytes = 16;
+
+/// Encodes `ctx` into exactly kContextBytes at `out` / decodes it back.
+void encode_context(const TraceContext& ctx, std::byte* out);
+TraceContext decode_context(const std::byte* in);
+
+/// This process's rank identity (stamped into span ids and telemetry
+/// snapshots). -1 until a runtime (mpp) claims one.
+void set_rank(int rank);
+int rank();
+
+/// The trace id every context minted by this process belongs to. A
+/// launcher picks one id for the whole world (spawned workers inherit it
+/// through the environment); unset, a process-local id is generated on
+/// first use so single-process traces still form one tree.
+void set_trace_id(std::uint64_t id);
+std::uint64_t trace_id();
+
+/// Mints a span id unique across the world: (rank+1) in the high 16 bits,
+/// a process-wide counter below. Never returns 0 (0 means "no parent").
+std::uint64_t next_span_id();
+
+/// The calling thread's current context. Messages sent while a context is
+/// current carry it; adopting a received context makes subsequent sends its
+/// causal children.
+TraceContext current();
+void set_current(const TraceContext& ctx);
+void clear_current();
+
+/// RAII set/restore of the calling thread's context (the send path pins the
+/// fresh send-span context exactly for the duration of the transport call).
+class ScopedContext {
+ public:
+  explicit ScopedContext(const TraceContext& ctx);
+  ~ScopedContext();
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+/// Cristian-style clock-offset estimator for one peer. Feed it the three
+/// timestamps of a probe round trip — origin (probe sent, our clock), peer
+/// (peer's clock when it answered), now (answer received, our clock) — and
+/// it maintains offset ≈ peer_clock − our_clock:
+///
+///   rtt    = now − origin
+///   sample = peer − (origin + rtt/2)       (peer read its clock mid-flight)
+///
+/// Samples whose rtt exceeds 1.5× the minimum observed rtt are rejected
+/// (queueing delay corrupts the midpoint assumption); accepted samples are
+/// EWMA-smoothed (α = 1/4) so the estimate tracks drift without jitter.
+class OffsetEstimator {
+ public:
+  /// Returns true when the sample was accepted into the estimate.
+  bool sample(std::int64_t origin_ns, std::int64_t peer_ns,
+              std::int64_t now_ns);
+
+  bool valid() const { return samples_ > 0; }
+  /// peer_clock − our_clock, in ns. 0 until the first accepted sample.
+  std::int64_t offset_ns() const { return static_cast<std::int64_t>(offset_); }
+  std::int64_t min_rtt_ns() const { return min_rtt_ns_; }
+  std::uint64_t samples() const { return samples_; }
+
+ private:
+  double offset_ = 0.0;
+  std::int64_t min_rtt_ns_ = 0;
+  std::uint64_t samples_ = 0;
+};
+
+/// One rank's contribution to the cluster rollup.
+struct RankMetrics {
+  int rank = 0;
+  std::vector<MetricSample> samples;
+};
+
+/// Merges per-rank metric samples into one Prometheus exposition with a
+/// rank="N" label on every sample line. Families are sorted by name (and
+/// ranks within a family by rank), so the output is deterministic — fit
+/// for golden tests, diffing, and the /metrics endpoint.
+std::string cluster_prometheus_text(const std::vector<RankMetrics>& per_rank);
+
+}  // namespace peachy::obs::cluster

@@ -1,0 +1,234 @@
+#include "obs/flight.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "core/timer.hpp"
+
+namespace peachy::obs {
+
+namespace {
+
+// Ring storage is static and every field is a lock-free relaxed atomic:
+// note() racing dump() (a heartbeat thread noting while the main thread
+// post-mortems a PeerDied) stays well-defined, and the signal-handler dump
+// path touches nothing that could deadlock or allocate. A note overwritten
+// mid-dump may appear torn across fields — acceptable for a post-mortem
+// artifact, never undefined behavior.
+struct Note {
+  std::atomic<std::int64_t> ts_ns{0};
+  std::atomic<char> name[FlightRecorder::kNameBytes];
+  std::atomic<std::int64_t> a[4];
+};
+
+Note g_ring[FlightRecorder::kCapacity];
+std::atomic<std::uint64_t> g_seq{0};
+std::atomic<int> g_rank{-1};
+
+// Precomputed dump path so the signal handler never formats one. Guarded by
+// g_path_mutex against concurrent setters; the handler only reads, and a
+// torn read during a simultaneous set_identity is a tolerable misname.
+char g_path[512] = "flight.json";
+std::mutex g_path_mutex;
+char g_dir[384] = ".";
+
+void rebuild_path_locked() {
+  const int rank = g_rank.load(std::memory_order_relaxed);
+  if (rank >= 0)
+    std::snprintf(g_path, sizeof g_path, "%s/flight-%d.json", g_dir, rank);
+  else
+    std::snprintf(g_path, sizeof g_path, "%s/flight.json", g_dir);
+}
+
+// --- async-signal-safe JSON writer -----------------------------------------
+
+// Buffered writer over write(2). No allocation, no stdio, no locale.
+struct SafeWriter {
+  int fd;
+  char buf[4096];
+  std::size_t len = 0;
+
+  void flush() {
+    std::size_t off = 0;
+    while (off < len) {
+      const ssize_t n = ::write(fd, buf + off, len - off);
+      if (n <= 0) break;  // best effort: a failing dump must not throw
+      off += static_cast<std::size_t>(n);
+    }
+    len = 0;
+  }
+  void put(char c) {
+    if (len == sizeof buf) flush();
+    buf[len++] = c;
+  }
+  void str(const char* s) {
+    for (; *s; ++s) put(*s);
+  }
+  void num(std::int64_t v) {
+    char tmp[24];
+    std::size_t n = 0;
+    std::uint64_t u =
+        v < 0 ? ~static_cast<std::uint64_t>(v) + 1 : static_cast<std::uint64_t>(v);
+    do {
+      tmp[n++] = static_cast<char>('0' + u % 10);
+      u /= 10;
+    } while (u != 0);
+    if (v < 0) put('-');
+    while (n > 0) put(tmp[--n]);
+  }
+  // Names are code-controlled ASCII; anything that would need JSON escaping
+  // degrades to '_' instead of growing an escaper onto the signal path.
+  void name(const std::atomic<char>* s, std::size_t max) {
+    put('"');
+    for (std::size_t i = 0; i < max; ++i) {
+      const char c = s[i].load(std::memory_order_relaxed);
+      if (c == '\0') break;
+      const bool safe = c >= 0x20 && c != '"' && c != '\\' && c < 0x7f;
+      put(safe ? c : '_');
+    }
+    put('"');
+  }
+};
+
+// The core dump routine — everything it calls is async-signal-safe.
+// Returns true when a file was written.
+bool dump_to_path(const char* path, const char* reason) {
+  const std::uint64_t seq = g_seq.load(std::memory_order_acquire);
+  if (seq == 0) return false;
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+
+  SafeWriter w;
+  w.fd = fd;
+  w.str("{\"reason\":\"");
+  for (const char* s = reason; *s; ++s) {
+    const char c = *s;
+    const bool safe = c >= 0x20 && c != '"' && c != '\\' && c < 0x7f;
+    w.put(safe ? c : '_');
+  }
+  w.str("\",\"rank\":");
+  w.num(g_rank.load(std::memory_order_relaxed));
+  w.str(",\"total_notes\":");
+  w.num(static_cast<std::int64_t>(seq));
+  w.str(",\"events\":[");
+
+  const std::uint64_t count =
+      std::min<std::uint64_t>(seq, FlightRecorder::kCapacity);
+  for (std::uint64_t i = seq - count; i < seq; ++i) {
+    const Note& n = g_ring[i % FlightRecorder::kCapacity];
+    if (i != seq - count) w.put(',');
+    w.str("\n{\"ts_ns\":");
+    w.num(n.ts_ns.load(std::memory_order_relaxed));
+    w.str(",\"name\":");
+    w.name(n.name, FlightRecorder::kNameBytes);
+    w.str(",\"args\":[");
+    for (int k = 0; k < 4; ++k) {
+      if (k) w.put(',');
+      w.num(n.a[k].load(std::memory_order_relaxed));
+    }
+    w.str("]}");
+  }
+  w.str("\n]}\n");
+  w.flush();
+  ::close(fd);
+  return true;
+}
+
+void crash_handler(int sig) {
+  char reason[32];
+  std::size_t n = 0;
+  for (const char* s = "fatal-signal-"; *s; ++s) reason[n++] = *s;
+  if (sig >= 10) reason[n++] = static_cast<char>('0' + sig / 10);
+  reason[n++] = static_cast<char>('0' + sig % 10);
+  reason[n] = '\0';
+  dump_to_path(g_path, reason);
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder() {
+  const char* dir = std::getenv("PEACHY_FLIGHT_DIR");
+  if (dir != nullptr && dir[0] != '\0') {
+    std::lock_guard lock(g_path_mutex);
+    std::snprintf(g_dir, sizeof g_dir, "%s", dir);
+    rebuild_path_locked();
+  }
+}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::note(const char* name, std::int64_t a0, std::int64_t a1,
+                          std::int64_t a2, std::int64_t a3) {
+  const std::uint64_t slot = g_seq.fetch_add(1, std::memory_order_acq_rel);
+  Note& n = g_ring[slot % kCapacity];
+  n.ts_ns.store(now_ns(), std::memory_order_relaxed);
+  std::size_t i = 0;
+  for (; i < kNameBytes - 1 && name[i] != '\0'; ++i)
+    n.name[i].store(name[i], std::memory_order_relaxed);
+  n.name[i].store('\0', std::memory_order_relaxed);
+  n.a[0].store(a0, std::memory_order_relaxed);
+  n.a[1].store(a1, std::memory_order_relaxed);
+  n.a[2].store(a2, std::memory_order_relaxed);
+  n.a[3].store(a3, std::memory_order_relaxed);
+}
+
+void FlightRecorder::set_identity(int rank) {
+  std::lock_guard lock(g_path_mutex);
+  g_rank.store(rank, std::memory_order_relaxed);
+  rebuild_path_locked();
+}
+
+int FlightRecorder::identity() const {
+  return g_rank.load(std::memory_order_relaxed);
+}
+
+void FlightRecorder::set_dump_dir(const std::string& dir) {
+  std::lock_guard lock(g_path_mutex);
+  std::snprintf(g_dir, sizeof g_dir, "%s", dir.c_str());
+  rebuild_path_locked();
+}
+
+std::string FlightRecorder::dump(const char* reason) {
+  char path[sizeof g_path];
+  {
+    std::lock_guard lock(g_path_mutex);
+    std::memcpy(path, g_path, sizeof path);
+  }
+  if (!dump_to_path(path, reason)) return "";
+  return path;
+}
+
+void FlightRecorder::install_crash_handler() {
+  // Touch the singleton so the PEACHY_FLIGHT_DIR default is resolved before
+  // any signal can arrive.
+  (void)global();
+  static std::atomic<bool> installed{false};
+  if (installed.exchange(true)) return;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_handler = crash_handler;
+  sigemptyset(&sa.sa_mask);
+  for (int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE})
+    ::sigaction(sig, &sa, nullptr);
+}
+
+std::uint64_t FlightRecorder::total_notes() const {
+  return g_seq.load(std::memory_order_relaxed);
+}
+
+void FlightRecorder::clear() { g_seq.store(0, std::memory_order_release); }
+
+}  // namespace peachy::obs

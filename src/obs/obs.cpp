@@ -43,6 +43,17 @@ int this_thread_id() {
   return tl_thread_id;
 }
 
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  PEACHY_REQUIRE(out.good(), "cannot open \"" << path << "\" for writing");
+  out << text;
+  PEACHY_REQUIRE(out.good(), "write to \"" << path << "\" failed");
+}
+
+}  // namespace
+
+namespace detail {
+
 // Minimal JSON string escaping (metric/span names are code-controlled, but
 // stay safe for quotes, backslashes and control bytes).
 void escape_json(const std::string& s, std::string& out) {
@@ -76,13 +87,11 @@ std::string prometheus_name(const std::string& name) {
   return out;
 }
 
-void write_text_file(const std::string& path, const std::string& text) {
-  std::ofstream out(path, std::ios::binary);
-  PEACHY_REQUIRE(out.good(), "cannot open \"" << path << "\" for writing");
-  out << text;
-  PEACHY_REQUIRE(out.good(), "write to \"" << path << "\" failed");
-}
+}  // namespace detail
 
+namespace {
+using detail::escape_json;
+using detail::prometheus_name;
 }  // namespace
 
 bool set_enabled(bool on) {
@@ -168,36 +177,89 @@ Histogram& Registry::histogram(const std::string& name) {
   return *slot;
 }
 
-std::string Registry::prometheus_text() const {
+std::vector<MetricSample> Registry::samples() const {
   std::lock_guard lock(mutex_);
-  std::string out;
+  std::vector<MetricSample> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [name, c] : counters_) {
-    const std::string pn = prometheus_name(name);
-    out += "# TYPE " + pn + " counter\n";
-    out += pn + " " + std::to_string(c->value()) + "\n";
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::kCounter;
+    s.value = static_cast<std::int64_t>(c->value());
+    out.push_back(std::move(s));
   }
   for (const auto& [name, g] : gauges_) {
-    const std::string pn = prometheus_name(name);
-    out += "# TYPE " + pn + " gauge\n";
-    out += pn + " " + std::to_string(g->value()) + "\n";
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::kGauge;
+    s.value = g->value();
+    out.push_back(std::move(s));
   }
   for (const auto& [name, h] : histograms_) {
-    const std::string pn = prometheus_name(name);
-    out += "# TYPE " + pn + " histogram\n";
-    const std::vector<std::uint64_t> buckets = h->buckets();
-    std::uint64_t cumulative = 0;
-    for (std::size_t b = 0; b < buckets.size(); ++b) {
-      cumulative += buckets[b];
-      // Bucket b holds values < 2^b (bucket 0 holds {0}, le="1" covers it);
-      // the overflow bucket 63 only shows up in the +Inf line.
-      if (buckets[b] == 0 || b > 62) continue;
-      out += pn + "_bucket{le=\"" + std::to_string(std::uint64_t{1} << b) +
-             "\"} " + std::to_string(cumulative) + "\n";
-    }
-    out += pn + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) + "\n";
-    out += pn + "_sum " + std::to_string(h->sum()) + "\n";
-    out += pn + "_count " + std::to_string(cumulative) + "\n";
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::kHistogram;
+    s.count = h->count();
+    s.sum = h->sum();
+    s.buckets = h->buckets();
+    out.push_back(std::move(s));
   }
+  // One global order by name — the three kind maps are each sorted, but a
+  // deterministic exposition needs families interleaved across kinds too.
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+namespace detail {
+
+// Shared family serializer for the single-process exposition and the
+// rank-labeled cluster rollup: `labels` is either empty or "{rank=\"N\"}"
+// (histograms splice their le label in before the closing brace).
+void prometheus_family(const MetricSample& s, bool emit_type,
+                       const std::string& labels, std::string& out) {
+  const std::string pn = prometheus_name(s.name);
+  switch (s.kind) {
+    case MetricSample::Kind::kCounter:
+      if (emit_type) out += "# TYPE " + pn + " counter\n";
+      out += pn + labels + " " + std::to_string(s.value) + "\n";
+      return;
+    case MetricSample::Kind::kGauge:
+      if (emit_type) out += "# TYPE " + pn + " gauge\n";
+      out += pn + labels + " " + std::to_string(s.value) + "\n";
+      return;
+    case MetricSample::Kind::kHistogram: {
+      if (emit_type) out += "# TYPE " + pn + " histogram\n";
+      const std::string inner =
+          labels.empty() ? std::string()
+                         : labels.substr(1, labels.size() - 2) + ",";
+      std::uint64_t cumulative = 0;
+      for (std::size_t b = 0; b < s.buckets.size(); ++b) {
+        cumulative += s.buckets[b];
+        // Bucket b holds values < 2^b (bucket 0 holds {0}, le="1" covers
+        // it); the overflow bucket 63 only shows up in the +Inf line.
+        if (s.buckets[b] == 0 || b > 62) continue;
+        out += pn + "_bucket{" + inner + "le=\"" +
+               std::to_string(std::uint64_t{1} << b) + "\"} " +
+               std::to_string(cumulative) + "\n";
+      }
+      out += pn + "_bucket{" + inner + "le=\"+Inf\"} " +
+             std::to_string(cumulative) + "\n";
+      out += pn + "_sum" + labels + " " + std::to_string(s.sum) + "\n";
+      out += pn + "_count" + labels + " " + std::to_string(cumulative) + "\n";
+      return;
+    }
+  }
+}
+
+}  // namespace detail
+
+std::string Registry::prometheus_text() const {
+  std::string out;
+  for (const MetricSample& s : samples())
+    detail::prometheus_family(s, /*emit_type=*/true, /*labels=*/"", out);
   return out;
 }
 
@@ -258,7 +320,8 @@ void Registry::reset() {
 
 // --- Chrome trace export ----------------------------------------------------
 
-std::string chrome_trace_json(std::vector<TraceEvent> events) {
+std::string chrome_trace_json(std::vector<TraceEvent> events,
+                              const std::map<int, std::string>& process_names) {
   std::stable_sort(events.begin(), events.end(),
                    [](const TraceEvent& a, const TraceEvent& b) {
                      return a.ts_ns < b.ts_ns;
@@ -268,10 +331,20 @@ std::string chrome_trace_json(std::vector<TraceEvent> events) {
   const std::int64_t base = events.empty() ? 0 : events.front().ts_ns;
 
   std::string out = "[";
+  bool first = true;
+  for (const auto& [pid, pname] : process_names) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+           std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":";
+    escape_json(pname, out);
+    out += "}}";
+  }
   char buf[64];
   for (std::size_t i = 0; i < events.size(); ++i) {
     const TraceEvent& ev = events[i];
-    if (i) out.push_back(',');
+    if (!first) out.push_back(',');
+    first = false;
     out += "\n{\"name\":";
     escape_json(ev.name, out);
     out += ",\"cat\":";
@@ -288,7 +361,8 @@ std::string chrome_trace_json(std::vector<TraceEvent> events) {
       out += buf;
     }
     if (ev.ph == TraceEvent::Phase::kInstant) out += ",\"s\":\"t\"";
-    out += ",\"pid\":0,\"tid\":" + std::to_string(ev.tid);
+    out += ",\"pid\":" + std::to_string(ev.pid) +
+           ",\"tid\":" + std::to_string(ev.tid);
     if (!ev.args.empty()) {
       out += ",\"args\":{";
       for (std::size_t a = 0; a < ev.args.size(); ++a) {
@@ -305,9 +379,9 @@ std::string chrome_trace_json(std::vector<TraceEvent> events) {
   return out;
 }
 
-void write_chrome_trace(const std::string& path,
-                        std::vector<TraceEvent> events) {
-  write_text_file(path, chrome_trace_json(std::move(events)));
+void write_chrome_trace(const std::string& path, std::vector<TraceEvent> events,
+                        const std::map<int, std::string>& process_names) {
+  write_text_file(path, chrome_trace_json(std::move(events), process_names));
 }
 
 // --- Tracer -----------------------------------------------------------------

@@ -36,6 +36,22 @@ namespace peachy::obs {
 
 namespace detail {
 extern std::atomic<bool> g_enabled;
+
+/// Appends `s` as a quoted, escaped JSON string to `out`. Shared by the
+/// registry/trace serializers here and by obs::cluster.
+void escape_json(const std::string& s, std::string& out);
+
+/// Sanitizes a metric name into the Prometheus charset [a-zA-Z0-9_:].
+std::string prometheus_name(const std::string& name);
+}  // namespace detail
+
+struct MetricSample;
+namespace detail {
+/// Serializes one metric family: "# TYPE" line (when `emit_type`) plus
+/// sample lines with `labels` attached ("" or "{rank=\"N\"}"). Shared by
+/// Registry::prometheus_text and the obs::cluster rollup.
+void prometheus_family(const MetricSample& s, bool emit_type,
+                       const std::string& labels, std::string& out);
 }  // namespace detail
 
 /// True when instrumentation is recording. One relaxed load — cheap enough
@@ -107,6 +123,20 @@ class Histogram {
   std::atomic<std::int64_t> sum_{0};
 };
 
+/// One metric's scraped state, detached from its live atomics. The unit of
+/// cross-process shipping: workers serialize samples() and rank 0 rebuilds
+/// them for the cluster rollup without sharing any registry machinery.
+struct MetricSample {
+  enum class Kind : std::uint8_t { kCounter = 0, kGauge = 1, kHistogram = 2 };
+
+  std::string name;
+  Kind kind = Kind::kCounter;
+  std::int64_t value = 0;               ///< counter/gauge value
+  std::uint64_t count = 0;              ///< histogram only
+  std::int64_t sum = 0;                 ///< histogram only
+  std::vector<std::uint64_t> buckets;   ///< histogram only
+};
+
 /// Named metric registry. Lookup by name is mutex-guarded — call sites
 /// should resolve once (e.g. a function-local static reference) and then
 /// hit only the lock-free metric itself.
@@ -124,9 +154,15 @@ class Registry {
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
 
+  /// Snapshot of every metric as detached samples, sorted by name across
+  /// all three kinds. The serialization-friendly view telemetry shipping
+  /// and the Prometheus exposition are both built from.
+  std::vector<MetricSample> samples() const;
+
   /// Prometheus text exposition: "# TYPE name counter|gauge|histogram" then
   /// one "name value" line (histograms expand to _count/_sum/_bucket{le=}).
-  /// Names are sorted, so output is deterministic.
+  /// Families are sorted by name across kinds, so output is deterministic
+  /// and diffable (and the /metrics endpoint returns stable text).
   std::string prometheus_text() const;
 
   /// JSON dump: {"counters":{...},"gauges":{...},"histograms":{...}}.
@@ -160,18 +196,26 @@ struct TraceEvent {
   std::int64_t ts_ns = 0;
   std::int64_t dur_ns = 0;  ///< kComplete only
   int tid = 0;
+  /// Track group ("process") the event belongs to. Per-process tracing
+  /// leaves this 0; the rank-0 trace merger sets it to the source rank so
+  /// every rank renders as its own track group in Perfetto.
+  int pid = 0;
   /// Numeric arguments ("args" in the JSON) — enough for ids, sizes, iters.
   std::vector<std::pair<std::string, std::int64_t>> args;
 };
 
 /// Serializes events as a Chrome trace-event JSON array (ts/dur in
-/// microseconds, sorted by timestamp so every tid's sequence is monotonic).
-/// The result loads in Perfetto and chrome://tracing.
-std::string chrome_trace_json(std::vector<TraceEvent> events);
+/// microseconds, sorted by timestamp so every (pid, tid) track's sequence
+/// is monotonic). `process_names` adds a process_name metadata event per
+/// pid (the merged cluster trace labels pid N "rank N"). The result loads
+/// in Perfetto and chrome://tracing.
+std::string chrome_trace_json(
+    std::vector<TraceEvent> events,
+    const std::map<int, std::string>& process_names = {});
 
 /// chrome_trace_json() straight to a file.
-void write_chrome_trace(const std::string& path,
-                        std::vector<TraceEvent> events);
+void write_chrome_trace(const std::string& path, std::vector<TraceEvent> events,
+                        const std::map<int, std::string>& process_names = {});
 
 /// Collects spans and instants from concurrent threads. Every recording
 /// thread is assigned a process-wide lane id on first use; a lane's buffer

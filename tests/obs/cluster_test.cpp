@@ -1,0 +1,281 @@
+// Distributed-observability units: trace-context encode/decode and span-id
+// minting, the Cristian clock-offset estimator against synthetic skewed
+// peers, the rank-labeled Prometheus rollup (golden output), the sorted
+// single-process exposition (golden output), and the crash flight recorder.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/cluster.hpp"
+#include "obs/flight.hpp"
+#include "obs/obs.hpp"
+
+namespace peachy::obs {
+namespace {
+
+namespace cluster = peachy::obs::cluster;
+
+TEST(TraceContext, EncodeDecodeRoundTrip) {
+  const cluster::TraceContext ctx{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  std::byte buf[cluster::kContextBytes];
+  cluster::encode_context(ctx, buf);
+  const cluster::TraceContext back = cluster::decode_context(buf);
+  EXPECT_EQ(back.trace_id, ctx.trace_id);
+  EXPECT_EQ(back.span_id, ctx.span_id);
+  EXPECT_TRUE(back.valid());
+}
+
+TEST(TraceContext, ZeroTraceIdIsInvalid) {
+  EXPECT_FALSE(cluster::TraceContext{}.valid());
+  EXPECT_TRUE((cluster::TraceContext{1, 0}).valid());
+}
+
+TEST(TraceContext, SpanIdsEmbedRankAndNeverRepeat) {
+  const int saved_rank = cluster::rank();
+  cluster::set_rank(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t id = cluster::next_span_id();
+    EXPECT_NE(id, 0u);
+    EXPECT_EQ(id >> 48, 6u);  // rank + 1 in the high 16 bits
+    EXPECT_TRUE(seen.insert(id).second) << "duplicate span id " << id;
+  }
+  cluster::set_rank(saved_rank);
+}
+
+TEST(TraceContext, ScopedContextSavesAndRestores) {
+  cluster::clear_current();
+  EXPECT_FALSE(cluster::current().valid());
+  {
+    cluster::ScopedContext outer({7, 70});
+    EXPECT_EQ(cluster::current().span_id, 70u);
+    {
+      cluster::ScopedContext inner({7, 71});
+      EXPECT_EQ(cluster::current().span_id, 71u);
+    }
+    EXPECT_EQ(cluster::current().span_id, 70u);
+  }
+  EXPECT_FALSE(cluster::current().valid());
+}
+
+TEST(TraceContext, ContextIsPerThread) {
+  cluster::ScopedContext mine({9, 90});
+  cluster::TraceContext other_thread;
+  std::thread([&] { other_thread = cluster::current(); }).join();
+  EXPECT_FALSE(other_thread.valid());
+  EXPECT_EQ(cluster::current().span_id, 90u);
+}
+
+// --- OffsetEstimator --------------------------------------------------------
+
+TEST(OffsetEstimator, ConvergesOnSkewedPeer) {
+  // Peer clock runs 5 ms ahead; symmetric 1 ms RTT.
+  const std::int64_t skew = 5'000'000;
+  cluster::OffsetEstimator est;
+  EXPECT_FALSE(est.valid());
+  std::int64_t t = 1'000'000'000;
+  for (int i = 0; i < 16; ++i) {
+    const std::int64_t origin = t;
+    const std::int64_t peer = t + 500'000 + skew;  // read mid-flight
+    const std::int64_t now = t + 1'000'000;
+    EXPECT_TRUE(est.sample(origin, peer, now));
+    t += 10'000'000;
+  }
+  EXPECT_TRUE(est.valid());
+  EXPECT_EQ(est.samples(), 16u);
+  EXPECT_EQ(est.min_rtt_ns(), 1'000'000);
+  EXPECT_NEAR(static_cast<double>(est.offset_ns()),
+              static_cast<double>(skew), 1000.0);
+}
+
+TEST(OffsetEstimator, RejectsCongestedSamples) {
+  cluster::OffsetEstimator est;
+  // Clean probe: 1 ms rtt, zero true offset.
+  ASSERT_TRUE(est.sample(0, 500'000, 1'000'000));
+  const std::int64_t clean = est.offset_ns();
+  // Congested probe: 10 ms rtt with the peer answering early — the naive
+  // midpoint sample would be wildly wrong. Must be rejected (rtt > 1.5x min).
+  EXPECT_FALSE(
+      est.sample(10'000'000, 10'500'000, 20'000'000));
+  EXPECT_EQ(est.offset_ns(), clean);
+  EXPECT_EQ(est.samples(), 1u);
+}
+
+TEST(OffsetEstimator, TracksNegativeOffset) {
+  // Peer clock runs 2 ms behind.
+  cluster::OffsetEstimator est;
+  std::int64_t t = 0;
+  for (int i = 0; i < 8; ++i) {
+    est.sample(t, t + 100'000 - 2'000'000, t + 200'000);
+    t += 1'000'000;
+  }
+  EXPECT_NEAR(static_cast<double>(est.offset_ns()), -2'000'000.0, 1000.0);
+}
+
+// --- Prometheus output ------------------------------------------------------
+
+TEST(Prometheus, SingleProcessTextIsSortedAcrossKinds) {
+  Registry reg;
+  reg.gauge("zeta.gauge").set(-3);
+  reg.counter("alpha.count").add(2);
+  Histogram& h = reg.histogram("mid.hist");
+  h.observe(0);
+  h.observe(3);  // bucket 2: [2, 4)
+  const std::string expected =
+      "# TYPE alpha_count counter\n"
+      "alpha_count 2\n"
+      "# TYPE mid_hist histogram\n"
+      "mid_hist_bucket{le=\"1\"} 1\n"
+      "mid_hist_bucket{le=\"4\"} 2\n"
+      "mid_hist_bucket{le=\"+Inf\"} 2\n"
+      "mid_hist_sum 3\n"
+      "mid_hist_count 2\n"
+      "# TYPE zeta_gauge gauge\n"
+      "zeta_gauge -3\n";
+  EXPECT_EQ(reg.prometheus_text(), expected);
+  // Scrapes are deterministic: same registry, same bytes.
+  EXPECT_EQ(reg.prometheus_text(), expected);
+}
+
+TEST(Prometheus, ClusterRollupLabelsEveryRank) {
+  MetricSample count;
+  count.name = "mpp.messages";
+  count.kind = MetricSample::Kind::kCounter;
+  MetricSample gauge;
+  gauge.name = "net.offset";
+  gauge.kind = MetricSample::Kind::kGauge;
+
+  std::vector<cluster::RankMetrics> ranks(2);
+  ranks[0].rank = 0;
+  count.value = 10;
+  ranks[0].samples = {count};
+  ranks[1].rank = 1;
+  count.value = 20;
+  gauge.value = -7;
+  ranks[1].samples = {count, gauge};
+
+  const std::string expected =
+      "# TYPE mpp_messages counter\n"
+      "mpp_messages{rank=\"0\"} 10\n"
+      "mpp_messages{rank=\"1\"} 20\n"
+      "# TYPE net_offset gauge\n"
+      "net_offset{rank=\"1\"} -7\n";
+  EXPECT_EQ(cluster::cluster_prometheus_text(ranks), expected);
+}
+
+TEST(Prometheus, ClusterRollupLabelsHistogramBuckets) {
+  MetricSample hist;
+  hist.name = "lat";
+  hist.kind = MetricSample::Kind::kHistogram;
+  hist.count = 1;
+  hist.sum = 3;
+  hist.buckets.assign(64, 0);
+  hist.buckets[2] = 1;  // one observation in [2, 4)
+  std::vector<cluster::RankMetrics> ranks(1);
+  ranks[0].rank = 2;
+  ranks[0].samples = {hist};
+  const std::string text = cluster::cluster_prometheus_text(ranks);
+  EXPECT_NE(text.find("lat_bucket{rank=\"2\",le=\"4\"} 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("lat_bucket{rank=\"2\",le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_sum{rank=\"2\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("lat_count{rank=\"2\"} 1"), std::string::npos);
+}
+
+TEST(Prometheus, RegistrySamplesMatchLiveValues) {
+  Registry reg;
+  reg.counter("c").add(5);
+  reg.gauge("g").set(9);
+  const std::vector<MetricSample> samples = reg.samples();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].name, "c");
+  EXPECT_EQ(samples[0].value, 5);
+  EXPECT_EQ(samples[1].name, "g");
+  EXPECT_EQ(samples[1].value, 9);
+}
+
+// --- Flight recorder --------------------------------------------------------
+
+class FlightTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("peachy-flight-" + std::to_string(::getpid()) + "-" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+    FlightRecorder::global().clear();
+    FlightRecorder::global().set_dump_dir(dir_.string());
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::filesystem::path dir_;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST_F(FlightTest, EmptyRingDumpsNothing) {
+  EXPECT_EQ(FlightRecorder::global().dump("test"), "");
+}
+
+TEST_F(FlightTest, DumpWritesRankNamedJson) {
+  FlightRecorder& fr = FlightRecorder::global();
+  fr.set_identity(3);
+  fr.note("net.retransmit", 1, 4, 100);
+  fr.note("net.peer_suspected", 2);
+  const std::string path = fr.dump("peer-died");
+  ASSERT_NE(path, "");
+  EXPECT_NE(path.find("flight-3.json"), std::string::npos) << path;
+  const std::string text = slurp(path);
+  EXPECT_NE(text.find("\"reason\":\"peer-died\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"rank\":3"), std::string::npos);
+  EXPECT_NE(text.find("net.retransmit"), std::string::npos);
+  EXPECT_NE(text.find("net.peer_suspected"), std::string::npos);
+  EXPECT_EQ(fr.total_notes(), 2u);
+}
+
+TEST_F(FlightTest, RingKeepsNewestEvents) {
+  FlightRecorder& fr = FlightRecorder::global();
+  fr.set_identity(0);
+  const std::size_t n = FlightRecorder::kCapacity + 100;
+  for (std::size_t i = 0; i < n; ++i)
+    fr.note("evt", static_cast<std::int64_t>(i));
+  EXPECT_EQ(fr.total_notes(), n);
+  const std::string text = slurp(fr.dump("wrap"));
+  // The oldest surviving entry is n - kCapacity; entry 0 was overwritten.
+  EXPECT_EQ(text.find("\"args\":[0,0,0,0]"), std::string::npos);
+  std::ostringstream oldest;
+  oldest << "\"args\":[" << (n - FlightRecorder::kCapacity) << ",0,0,0]";
+  EXPECT_NE(text.find(oldest.str()), std::string::npos) << oldest.str();
+}
+
+TEST_F(FlightTest, NotesAreSafeFromConcurrentThreads) {
+  FlightRecorder& fr = FlightRecorder::global();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&fr, t] {
+      for (int i = 0; i < 2000; ++i) fr.note("concurrent", t, i);
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(fr.total_notes(), 8000u);
+  EXPECT_NE(fr.dump("stress"), "");
+}
+
+}  // namespace
+}  // namespace peachy::obs
