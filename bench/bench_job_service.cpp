@@ -1,0 +1,176 @@
+// Throughput and latency of the peachyd job service under concurrent
+// clients.
+//
+// An in-process daemon (real TCP listener, real framed protocol — the
+// clients go through the same socket path peachyctl uses) executes small
+// sandpile jobs on a shared rank pool while N client threads submit and
+// await them. Reported per scenario: sustained jobs/sec and the
+// submit-to-complete latency distribution (p50/p90/p99), the two numbers
+// that tell you whether admission control and the fair-share dispatcher
+// add meaningful overhead on top of raw job runtime. A single-client
+// scenario anchors the baseline; the 8- and 16-client scenarios show how
+// throughput scales when the pool, not the protocol, should be the
+// bottleneck. Results land in out/BENCH_service.json.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/json.hpp"
+#include "core/table.hpp"
+#include "core/timer.hpp"
+#include "svc/client.hpp"
+#include "svc/daemon.hpp"
+
+namespace {
+
+using namespace peachy;
+
+struct Scenario {
+  int clients = 8;
+  int jobs_per_client = 8;
+};
+
+struct ScenarioResult {
+  int clients = 0;
+  int jobs = 0;
+  double wall_s = 0;
+  double jobs_per_sec = 0;
+  double p50_ms = 0, p90_ms = 0, p99_ms = 0;
+  std::uint64_t rejected = 0;
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+svc::JobSpec small_job(int client) {
+  svc::JobSpec spec;
+  spec.kind = svc::JobKind::kSandpile;
+  // Three tenants so the fair-share scheduler actually has shares to
+  // balance — the bench exercises the real dispatch path, not a bypass.
+  spec.tenant = "tenant-" + std::to_string(client % 3);
+  spec.name = "bench";
+  spec.ranks = 2;
+  spec.sandpile = {16, 16, 2000, 1, 0};  // no checkpointing: pure runtime
+  return spec;
+}
+
+ScenarioResult run_scenario(const svc::Daemon& daemon, const Scenario& sc) {
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(sc.clients));
+  std::atomic<std::uint64_t> rejected{0};
+  WallTimer wall;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < sc.clients; ++c) {
+    threads.emplace_back([&, c] {
+      const svc::Client client("127.0.0.1", daemon.port());
+      for (int j = 0; j < sc.jobs_per_client; ++j) {
+        WallTimer t;
+        svc::SubmitResult sub = client.submit(small_job(c));
+        // Admission control pushing back is part of the measured system:
+        // retry until accepted, the clock keeps running.
+        while (!sub.accepted) {
+          rejected.fetch_add(1);
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          sub = client.submit(small_job(c));
+        }
+        client.await(sub.id, std::chrono::milliseconds(60000),
+                     std::chrono::milliseconds(2));
+        latencies[static_cast<std::size_t>(c)].push_back(t.elapsed_ms());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_s = wall.elapsed_s();
+
+  std::vector<double> all;
+  for (const auto& per_client : latencies)
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  std::sort(all.begin(), all.end());
+
+  ScenarioResult r;
+  r.clients = sc.clients;
+  r.jobs = sc.clients * sc.jobs_per_client;
+  r.wall_s = wall_s;
+  r.jobs_per_sec = static_cast<double>(r.jobs) / wall_s;
+  r.p50_ms = percentile(all, 0.50);
+  r.p90_ms = percentile(all, 0.90);
+  r.p99_ms = percentile(all, 0.99);
+  r.rejected = rejected.load();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  svc::DaemonOptions options;
+  options.state_dir = "out/bench_svc_state";
+  options.pool_ranks = 8;
+  options.max_queued = 256;
+  options.max_queued_per_tenant = 128;
+  std::filesystem::remove_all(options.state_dir);
+  std::filesystem::create_directories("out");
+  svc::Daemon daemon(options);
+
+  std::cout << "peachyd job service: " << options.pool_ranks
+            << "-rank pool, 2-rank sandpile jobs, submit+await over real "
+               "client connections\n\n";
+
+  const Scenario scenarios[] = {{1, 16}, {8, 8}, {16, 6}};
+  TextTable table({"clients", "jobs", "wall s", "jobs/s", "p50 ms", "p90 ms",
+                   "p99 ms", "rejected"});
+  json::Array rows;
+  for (const Scenario& sc : scenarios) {
+    const ScenarioResult r = run_scenario(daemon, sc);
+    table.row({TextTable::num(static_cast<std::int64_t>(r.clients)),
+               TextTable::num(static_cast<std::int64_t>(r.jobs)),
+               TextTable::num(r.wall_s), TextTable::num(r.jobs_per_sec),
+               TextTable::num(r.p50_ms), TextTable::num(r.p90_ms),
+               TextTable::num(r.p99_ms),
+               TextTable::num(static_cast<std::int64_t>(r.rejected))});
+    json::Object row;
+    row["clients"] = json::Value(static_cast<std::int64_t>(r.clients));
+    row["jobs"] = json::Value(static_cast<std::int64_t>(r.jobs));
+    row["wall_s"] = json::Value(r.wall_s);
+    row["jobs_per_sec"] = json::Value(r.jobs_per_sec);
+    row["p50_ms"] = json::Value(r.p50_ms);
+    row["p90_ms"] = json::Value(r.p90_ms);
+    row["p99_ms"] = json::Value(r.p99_ms);
+    row["rejected_submits"] = json::Value(static_cast<std::int64_t>(r.rejected));
+    rows.push_back(json::Value(std::move(row)));
+  }
+  table.print(std::cout);
+
+  const svc::ServiceStats stats = daemon.stats();
+  std::cout << "\ndaemon totals: " << stats.submitted << " submitted, "
+            << stats.completed << " completed, " << stats.rejected
+            << " rejected\n";
+  std::cout << "expected shape: sustained jobs/s stays in the same band as "
+               "clients grow — the rank pool and dispatcher are the "
+               "bottleneck, not the per-connection protocol — while p50/p99 "
+               "climb with queueing delay as more submitters share the "
+               "pool.\n";
+
+  json::Object doc;
+  doc["pool_ranks"] =
+      json::Value(static_cast<std::int64_t>(options.pool_ranks));
+  doc["job"] = json::Value("sandpile 16x16, 2000 grains, 2 ranks");
+  doc["scenarios"] = json::Value(std::move(rows));
+  doc["daemon_submitted"] =
+      json::Value(static_cast<std::int64_t>(stats.submitted));
+  doc["daemon_completed"] =
+      json::Value(static_cast<std::int64_t>(stats.completed));
+  std::ofstream("out/BENCH_service.json")
+      << json::Value(std::move(doc)).dump(true) << "\n";
+  std::cout << "\nwrote out/BENCH_service.json\n";
+  return 0;
+}

@@ -11,34 +11,45 @@
 #                        recovered grid must match the fault-free one
 #   dmr                — dmr_recovery_test, severed rank mid-shuffle,
 #                        reduced output must match the in-process engine
+#   svc                — svc_recovery_test, SIGKILLs the peachyd daemon
+#                        process at a seed-scaled instant; the restarted
+#                        daemon must recover every queued job and resume
+#                        the running one to a byte-identical result
 #
-# Every seed's run deliberately kills a rank, so every seed must leave at
-# least one flight-recorder post-mortem (flight-<rank>.json); a dying rank
-# that recorded nothing is itself a failure. Dumps from FAILING seeds are
-# collected into out/flight/<suite>-seed<N>/ for offline debugging; dumps
-# from recovered seeds are discarded.
+# In the sandpile/dmr suites every seed's run deliberately kills a rank,
+# so every seed must leave at least one flight-recorder post-mortem
+# (flight-<rank>.json); a dying rank that recorded nothing is itself a
+# failure. The svc suite SIGKILLs the whole daemon process — instant
+# death, nothing gets to record — so no dump is expected there. Dumps
+# from FAILING seeds are collected into out/flight/<suite>-seed<N>/ for
+# offline debugging; dumps from recovered seeds are discarded.
 #
-# Usage: fault_sweep.sh [--suite sandpile|dmr] <test binary> [seeds] [timeout_s]
-# Wired as the optional `fault_sweep` / `fault_sweep_dmr` ctest targets
-# behind -DPEACHY_ENABLE_FAULT_SWEEP=ON.
+# Usage: fault_sweep.sh [--suite sandpile|dmr|svc] <test binary> [seeds] [timeout_s]
+# Wired as the optional `fault_sweep` / `fault_sweep_dmr` / `fault_sweep_svc`
+# ctest targets behind -DPEACHY_ENABLE_FAULT_SWEEP=ON.
 set -u
 
 SUITE=sandpile
 if [ "${1:-}" = "--suite" ]; then
-  SUITE="${2:?--suite needs an argument (sandpile|dmr)}"
+  SUITE="${2:?--suite needs an argument (sandpile|dmr|svc)}"
   shift 2
 fi
 
+EXPECT_FLIGHT_DUMP=1
 case "$SUITE" in
   sandpile) FILTER='Recovery.Spawned2dSeveredRankRecoversByteIdentical' ;;
   dmr)      FILTER='DmrRecovery.SpawnedSeveredRankRecoversByteIdentical' ;;
+  svc)
+    FILTER='SvcRecovery.DaemonSigkillMidJobRecoversByteIdentical'
+    EXPECT_FLIGHT_DUMP=0
+    ;;
   *)
-    echo "fault_sweep: unknown suite '$SUITE' (expected sandpile or dmr)" >&2
+    echo "fault_sweep: unknown suite '$SUITE' (expected sandpile, dmr or svc)" >&2
     exit 2
     ;;
 esac
 
-BIN="${1:?usage: fault_sweep.sh [--suite sandpile|dmr] <test binary> [seeds] [timeout_s]}"
+BIN="${1:?usage: fault_sweep.sh [--suite sandpile|dmr|svc] <test binary> [seeds] [timeout_s]}"
 SEEDS="${2:-25}"
 PER_SEED_TIMEOUT="${3:-120}"
 
@@ -76,7 +87,9 @@ for seed in $(seq 1 "$SEEDS"); do
   fi
   # Pass or fail, this seed severed a link and killed a rank — a run whose
   # dying rank left no flight dump means the post-mortem path is broken.
-  if ! ls "$FLIGHT_DIR"/flight-*.json > /dev/null 2>&1; then
+  # (Not checked for svc: SIGKILL gives the daemon no chance to record.)
+  if [ "$EXPECT_FLIGHT_DUMP" -eq 1 ] && \
+      ! ls "$FLIGHT_DIR"/flight-*.json > /dev/null 2>&1; then
     echo "seed $seed: NO FLIGHT DUMP — a rank died but recorded no post-mortem" >&2
     failed=$((failed + 1))
   fi

@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "mpp/checkpoint.hpp"
+#include "mpp/pool.hpp"
 #include "mpp/telemetry.hpp"
 #include "net/metrics_server.hpp"
 #include "net/process.hpp"
@@ -361,48 +362,54 @@ RunOutcome run_threads(int ranks, const RunOptions& options,
   }
 
   std::vector<ThreadRank> outcomes(static_cast<std::size_t>(ranks));
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(ranks));
-  for (int r = 0; r < ranks; ++r) {
-    threads.emplace_back([&, r] {
-      ThreadRank& mine = outcomes[static_cast<std::size_t>(r)];
-      try {
-        std::unique_ptr<net::Transport> transport;
-        net::TcpTransport* tcp_ptr = nullptr;
-        if (tcp) {
-          auto t = std::make_unique<net::TcpTransport>(
-              r, ranks, server->port(), options.tcp);
-          tcp_ptr = t.get();
-          transport = std::move(t);
-        } else {
-          transport = std::make_unique<net::InprocTransport>(hub, r);
-        }
-        Comm comm(std::move(transport));
-        comm.set_checkpoint_dir(ckpt_dir);
-        try {
-          body(comm);
-        } catch (...) {
-          mine.error = std::current_exception();
-        }
-        // Say goodbye even when the body failed, so peers blocked on this
-        // rank observe a shutdown (or PeerDied) instead of hanging.
-        try {
-          comm.transport().shutdown();
-        } catch (...) {
-          // Peers that died mid-shutdown are already accounted for.
-        }
-        mine.stats = comm.stats();
-        if (tcp_ptr) {
-          mine.net = tcp_ptr->stats();
-          mine.is_tcp = true;
-        }
-        if (r == 0) mine.result = comm.take_result();
-      } catch (...) {
-        if (!mine.error) mine.error = std::current_exception();
+  const auto rank_body = [&](int r) {
+    ThreadRank& mine = outcomes[static_cast<std::size_t>(r)];
+    try {
+      std::unique_ptr<net::Transport> transport;
+      net::TcpTransport* tcp_ptr = nullptr;
+      if (tcp) {
+        auto t = std::make_unique<net::TcpTransport>(
+            r, ranks, server->port(), options.tcp);
+        tcp_ptr = t.get();
+        transport = std::move(t);
+      } else {
+        transport = std::make_unique<net::InprocTransport>(hub, r);
       }
-    });
+      Comm comm(std::move(transport));
+      comm.set_checkpoint_dir(ckpt_dir);
+      try {
+        body(comm);
+      } catch (...) {
+        mine.error = std::current_exception();
+      }
+      // Say goodbye even when the body failed, so peers blocked on this
+      // rank observe a shutdown (or PeerDied) instead of hanging.
+      try {
+        comm.transport().shutdown();
+      } catch (...) {
+        // Peers that died mid-shutdown are already accounted for.
+      }
+      mine.stats = comm.stats();
+      if (tcp_ptr) {
+        mine.net = tcp_ptr->stats();
+        mine.is_tcp = true;
+      }
+      if (r == 0) mine.result = comm.take_result();
+    } catch (...) {
+      if (!mine.error) mine.error = std::current_exception();
+    }
+  };
+  if (options.pool != nullptr) {
+    // Pooled world: the gang blocks until `ranks` pool threads are free,
+    // then runs every rank on reused threads — no per-job thread churn,
+    // and concurrent worlds share one machine-wide rank budget.
+    options.pool->run_gang(ranks, rank_body);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(ranks));
+    for (int r = 0; r < ranks; ++r) threads.emplace_back(rank_body, r);
+    for (auto& t : threads) t.join();
   }
-  for (auto& t : threads) t.join();
 
   if (metrics_server) metrics_server->stop();
   if (telemetry.active() && !telemetry.trace_path.empty()) {
@@ -542,7 +549,8 @@ constexpr const char* kEnvTraceId = "PEACHY_MPP_TRACE_ID";
 // stays disabled and Comm::checkpoint throws.
 class CkptDirGuard {
  public:
-  explicit CkptDirGuard(const Resilience& resilience) {
+  explicit CkptDirGuard(const Resilience& resilience)
+      : remove_on_success_(resilience.remove_checkpoint_on_success) {
     if (!resilience.checkpoint_dir.empty()) {
       dir_ = resilience.checkpoint_dir;
       std::filesystem::create_directories(dir_);
@@ -565,9 +573,21 @@ class CkptDirGuard {
 
   const std::string& dir() const { return dir_; }
 
+  /// Retention policy for a *named* directory after a clean finish: by
+  /// default it is kept (resume material); with
+  /// Resilience::remove_checkpoint_on_success it is deleted so finished
+  /// jobs stop accumulating ckpt.bin directories. Failed runs always keep
+  /// the directory — it is exactly what the retry needs.
+  void on_success() {
+    if (!remove_on_success_ || owned_ || dir_.empty()) return;
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
  private:
   std::string dir_;
   bool owned_ = false;
+  bool remove_on_success_ = false;
 };
 
 /// One attempt at a spawned world: spawn every rank (through the launcher's
@@ -754,10 +774,13 @@ RunOutcome run_spawned(int ranks, const std::vector<std::string>& worker_argv,
   // One launcher across attempts: respawned ranks replace (kill + reap)
   // their previous incarnations slot by slot.
   net::ProcessLauncher launcher;
-  return supervise(resilience, tcp, [&](const net::TcpOptions& attempt_tcp) {
-    return spawn_attempt(ranks, worker_argv, body, attempt_tcp, ckpt.dir(),
-                         run_telemetry, launcher);
-  });
+  RunOutcome out =
+      supervise(resilience, tcp, [&](const net::TcpOptions& attempt_tcp) {
+        return spawn_attempt(ranks, worker_argv, body, attempt_tcp,
+                             ckpt.dir(), run_telemetry, launcher);
+      });
+  ckpt.on_success();
+  return out;
 }
 
 RunOutcome run_world(int ranks, const RunOptions& options,
@@ -766,12 +789,15 @@ RunOutcome run_world(int ranks, const RunOptions& options,
     return run_spawned(ranks, options.worker_argv, body, options.tcp,
                        options.resilience, options.telemetry);
   CkptDirGuard ckpt(options.resilience);
-  return supervise(options.resilience, options.tcp,
-                   [&](const net::TcpOptions& attempt_tcp) {
-                     RunOptions attempt = options;
-                     attempt.tcp = attempt_tcp;
-                     return run_threads(ranks, attempt, ckpt.dir(), body);
-                   });
+  RunOutcome out =
+      supervise(options.resilience, options.tcp,
+                [&](const net::TcpOptions& attempt_tcp) {
+                  RunOptions attempt = options;
+                  attempt.tcp = attempt_tcp;
+                  return run_threads(ranks, attempt, ckpt.dir(), body);
+                });
+  ckpt.on_success();
+  return out;
 }
 
 CommStats run(int ranks, const std::function<void(Comm&)>& body) {

@@ -40,6 +40,8 @@
 
 namespace peachy::mpp {
 
+class RankPool;
+
 /// Which substrate carries the messages.
 enum class TransportKind { kInproc, kTcp };
 
@@ -83,6 +85,12 @@ struct Resilience {
   /// proved the failure path; replaying the same deterministic faults
   /// forever would exhaust the budget without ever finishing).
   bool disarm_faults_on_restart = true;
+  /// Remove the *named* checkpoint_dir after a successful run. Off by
+  /// default (a kept directory is what cross-invocation resume reads), but
+  /// long-lived callers — peachyd retiring thousands of jobs — flip it so
+  /// completed work does not accumulate stale ckpt.bin directories.
+  /// Unnamed (mkdtemp) directories are always removed, as before.
+  bool remove_checkpoint_on_success = false;
 };
 
 /// How to run a world (mpp::run_world).
@@ -103,6 +111,11 @@ struct RunOptions {
   /// propagate across sends, workers ship snapshots to rank 0, and rank 0
   /// can serve /metrics and write a merged clock-corrected trace.
   Telemetry telemetry;
+  /// Execute threaded (non-spawned) worlds on this shared pool's threads
+  /// instead of spawning one thread per rank (mpp/pool.hpp). Not owned.
+  /// peachyd points every job here so concurrent jobs share one rank
+  /// budget. Ignored by spawned worlds.
+  RankPool* pool = nullptr;
 };
 
 /// What a world run produced beyond side effects: aggregate stats and the

@@ -1,0 +1,87 @@
+#include "mpp/pool.hpp"
+
+#include <exception>
+
+#include "core/error.hpp"
+
+namespace peachy::mpp {
+
+/// One gang request: `ranks` seats, claimed by workers one at a time.
+/// Lives on the caller's stack for the duration of its run_gang().
+struct RankPool::Gang {
+  int ranks = 0;
+  int next_seat = 0;   ///< seats handed to workers so far
+  int finished = 0;    ///< seats whose fn returned
+  const std::function<void(int)>* fn = nullptr;
+  std::vector<std::exception_ptr> errors;  ///< indexed by seat
+  std::condition_variable done_cv;
+};
+
+RankPool::RankPool(int capacity) : capacity_(capacity) {
+  PEACHY_REQUIRE(capacity >= 1, "rank pool needs >= 1 rank, got " << capacity);
+  free_ = capacity;
+  workers_.reserve(static_cast<std::size_t>(capacity));
+  for (int i = 0; i < capacity; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+RankPool::~RankPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+int RankPool::available() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return free_;
+}
+
+void RankPool::run_gang(int ranks, const std::function<void(int)>& fn) {
+  PEACHY_REQUIRE(ranks >= 1, "gang needs >= 1 rank, got " << ranks);
+  PEACHY_REQUIRE(ranks <= capacity_, "gang of " << ranks
+                     << " ranks exceeds pool capacity " << capacity_);
+  Gang gang;
+  gang.ranks = ranks;
+  gang.fn = &fn;
+  gang.errors.resize(static_cast<std::size_t>(ranks));
+
+  std::unique_lock<std::mutex> lock(mu_);
+  // All-or-nothing: wait until the whole gang fits AND no other gang is
+  // still handing out seats (one pending gang at a time keeps seat claiming
+  // trivially race-free; callers queue on free_cv_).
+  free_cv_.wait(lock, [&] { return pending_ == nullptr && free_ >= ranks; });
+  free_ -= ranks;
+  pending_ = &gang;
+  work_cv_.notify_all();
+  gang.done_cv.wait(lock, [&] { return gang.finished == gang.ranks; });
+  free_ += ranks;
+  free_cv_.notify_all();
+  lock.unlock();
+
+  for (auto& e : gang.errors)
+    if (e) std::rethrow_exception(e);
+}
+
+void RankPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stopping_ || pending_ != nullptr; });
+    if (stopping_) return;
+    Gang* gang = pending_;
+    const int seat = gang->next_seat++;
+    if (gang->next_seat == gang->ranks) pending_ = nullptr;
+    lock.unlock();
+    try {
+      (*gang->fn)(seat);
+    } catch (...) {
+      gang->errors[static_cast<std::size_t>(seat)] = std::current_exception();
+    }
+    lock.lock();
+    if (++gang->finished == gang->ranks) gang->done_cv.notify_all();
+  }
+}
+
+}  // namespace peachy::mpp

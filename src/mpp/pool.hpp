@@ -1,0 +1,71 @@
+// RankPool: a persistent, shared pool of rank threads for mpp worlds.
+//
+// Every mpp entry point so far built its world from scratch — run_world
+// spawns one thread (or process) per rank, runs the body, and tears the
+// world down. A long-lived job service cannot afford that shape: peachyd
+// executes a sustained stream of jobs, each wanting a small world, against
+// one machine-wide rank budget. The pool keeps `capacity` worker threads
+// alive across jobs and leases rank gangs out of them:
+//
+//  * acquisition is all-or-nothing — a caller asking for `ranks` threads
+//    either gets the whole gang or waits; no caller ever holds a partial
+//    gang while waiting for more (the classic resource-deadlock shape).
+//  * fairness is the caller's problem by design: peachyd's weighted
+//    deficit round-robin decides *which* job dispatches next, the pool
+//    only enforces the rank budget.
+//
+// Wiring: set mpp::RunOptions::pool and run_world() executes its threaded
+// world (inproc or tcp) on pooled threads instead of spawning fresh ones —
+// sandpile/dmr bodies run unchanged, checkpoint/restore and supervision
+// included. Spawned worlds ignore the pool (their ranks are separate
+// processes, not threads this process owns).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace peachy::mpp {
+
+class RankPool {
+ public:
+  /// Starts `capacity` worker threads (>= 1).
+  explicit RankPool(int capacity);
+  /// Joins every worker. Callers must not be inside run_gang().
+  ~RankPool();
+  RankPool(const RankPool&) = delete;
+  RankPool& operator=(const RankPool&) = delete;
+
+  int capacity() const { return capacity_; }
+
+  /// Ranks not currently leased to a gang. Advisory — another caller can
+  /// take them between the read and a run_gang() call; use it for
+  /// admission/occupancy reporting, not for correctness.
+  int available() const;
+
+  /// Runs fn(r) for r in [0, ranks) on `ranks` pooled threads and blocks
+  /// until all of them return. Acquisition is atomic: the gang starts only
+  /// once `ranks` workers are free, and a waiting caller holds nothing.
+  /// Exceptions thrown by fn are rethrown here (lowest rank wins), after
+  /// the whole gang finished. Throws immediately when ranks > capacity.
+  void run_gang(int ranks, const std::function<void(int)>& fn);
+
+ private:
+  struct Gang;
+
+  void worker_loop();
+
+  const int capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< workers wait for a gang
+  std::condition_variable free_cv_;   ///< callers wait for free ranks
+  int free_ = 0;
+  bool stopping_ = false;
+  Gang* pending_ = nullptr;  ///< gang with unclaimed seats, if any
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace peachy::mpp

@@ -17,13 +17,35 @@ constexpr std::size_t kMaxRequestBytes = 8192;
 
 std::string http_response(int code, const char* status,
                           const std::string& content_type,
-                          const std::string& body) {
+                          const std::string& body, bool head) {
+  // A HEAD response carries the headers the matching GET would — including
+  // Content-Length — but no body (RFC 9110 §9.3.2).
   std::string out = "HTTP/1.0 " + std::to_string(code) + " " + status +
                     "\r\nContent-Type: " + content_type +
                     "\r\nContent-Length: " + std::to_string(body.size()) +
                     "\r\nConnection: close\r\n\r\n";
-  out += body;
+  if (!head) out += body;
   return out;
+}
+
+/// Splits "GET /metrics HTTP/1.1\r\n..." into method and path. Anything
+/// that does not parse comes back as empty strings (-> 400). The query
+/// string is not part of the route ("/metrics?x=1" scrapes fine).
+void parse_request_line(const std::string& req, std::string& method,
+                        std::string& path) {
+  method.clear();
+  path.clear();
+  const std::size_t line_end = req.find("\r\n");
+  const std::string line =
+      req.substr(0, line_end == std::string::npos ? req.size() : line_end);
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return;
+  method = line.substr(0, sp1);
+  path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
 }
 
 }  // namespace
@@ -82,16 +104,27 @@ void MetricsServer::serve_loop() {
         req.append(buf, static_cast<std::size_t>(n));
       }
 
+      std::string method, path;
+      parse_request_line(req, method, path);
+      const bool head = method == "HEAD";
       std::string response;
-      if (req.rfind("GET /metrics", 0) == 0) {
+      if (method.empty()) {
+        response = http_response(400, "Bad Request", "text/plain",
+                                 "bad request\n", false);
+      } else if (method != "GET" && !head) {
+        response = http_response(405, "Method Not Allowed", "text/plain",
+                                 "method not allowed\n", false);
+      } else if (path == "/metrics") {
         response = http_response(200, "OK",
                                  "text/plain; version=0.0.4; charset=utf-8",
-                                 provider_());
-      } else if (req.rfind("GET /healthz", 0) == 0) {
-        response = http_response(200, "OK", "text/plain", "ok\n");
+                                 provider_(), head);
+      } else if (path == "/healthz") {
+        response = http_response(200, "OK", "text/plain", "ok\n", head);
       } else {
+        // Exact-match routing: "/metricsfoo" and friends are 404s, not
+        // accidental scrapes.
         response = http_response(404, "Not Found", "text/plain",
-                                 "not found\n");
+                                 "not found\n", head);
       }
       client.send_all(response.data(), response.size(), 5000);
       client.shutdown_write();

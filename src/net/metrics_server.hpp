@@ -2,10 +2,11 @@
 // serving Prometheus text (DESIGN.md "Distributed telemetry"; ROADMAP
 // "always-on peachyd" wants exactly this wired to the job service).
 //
-// Routes:
-//   GET /metrics  -> 200, text/plain; version=0.0.4 (Prometheus exposition)
-//   GET /healthz  -> 200, "ok\n"
-//   anything else -> 404
+// Routes (exact path match; a query string is ignored):
+//   GET /metrics   -> 200, text/plain; version=0.0.4 (Prometheus exposition)
+//   GET /healthz   -> 200, "ok\n"
+//   HEAD <either>  -> 200, same headers (incl. Content-Length), no body
+//   other paths    -> 404; other methods -> 405; unparseable -> 400
 //
 // Design: one background thread, blocking accept with a wake pipe, one
 // request per connection (Connection: close), bounded request read. The

@@ -81,7 +81,7 @@ FrameHeader decode_header(const std::byte* in) {
                  "wire protocol version mismatch: peer speaks v" << h.version
                      << ", this build speaks v" << kWireVersion);
   const auto type = std::to_integer<std::uint8_t>(in[6]);
-  PEACHY_REQUIRE(type >= 1 && type <= 10, "unknown frame type " << int{type});
+  PEACHY_REQUIRE(type >= 1 && type <= 12, "unknown frame type " << int{type});
   h.type = static_cast<FrameType>(type);
   h.flags = std::to_integer<std::uint8_t>(in[7]);
   h.src = static_cast<std::int32_t>(get_u32(in + 8));

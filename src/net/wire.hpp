@@ -52,6 +52,8 @@ enum class FrameType : std::uint8_t {
   kPing = 9,      ///< heartbeat; proves liveness. No payload in heartbeat
                   ///< use; clock probes carry an 8-byte origin timestamp
   kPong = 10,     ///< clock-probe reply: payload = origin echo + peer now_ns
+  kJobRequest = 11,  ///< peachyctl -> peachyd: tag = svc request op
+  kJobReply = 12,    ///< peachyd -> peachyctl: tag = svc status code
 };
 
 /// FrameHeader::flags bits.

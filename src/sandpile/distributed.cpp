@@ -65,6 +65,7 @@ DistributedResult stabilize_distributed(const Field& initial,
     const std::size_t row_cells = static_cast<std::size_t>(W) + 2;
 
     bool globally_stable = false;
+    bool aborted = false;
     int round = 0;
     // Resume from the last committed checkpoint, if any: each rank gets its
     // own slab back and the loop continues at the recorded round.
@@ -129,7 +130,21 @@ DistributedResult stabilize_distributed(const Field& initial,
       ++round;
       if (rank == 0 && obs::enabled())
         obs::Registry::global().counter("sandpile.exchange_rounds").add(1);
-      if (!comm.allreduce_or(changed_owned)) {
+      // Termination decision, one max-allreduce for both signals: bit 0 =
+      // "my owned cells changed", bit 1 = "rank 0 wants to abort". The
+      // abort values (2, 3) dominate the max, so when it is set every rank
+      // stops at this same round regardless of the changed flags — a
+      // consistent cancellation cut.
+      const std::int64_t mine =
+          (changed_owned ? 1 : 0) |
+          ((rank == 0 && options.should_abort && options.should_abort()) ? 2
+                                                                         : 0);
+      const std::int64_t verdict = comm.allreduce_max(mine);
+      if (verdict >= 2) {
+        aborted = true;
+        break;
+      }
+      if (verdict == 0) {
         globally_stable = true;
         break;
       }
@@ -155,16 +170,16 @@ DistributedResult stabilize_distributed(const Field& initial,
         for (int x = 0; x < W; ++x)
           gathered.at(y, x) = all[static_cast<std::size_t>(y) * W + x];
       const std::vector<std::byte> blob =
-          detail::encode_result(gathered, globally_stable, round);
+          detail::encode_result(gathered, globally_stable, round, aborted);
       comm.set_result(blob.data(), blob.size());
     }
   });
 
   detail::ResultBlob blob = detail::decode_result(outcome.rank0_result);
   DistributedResult result{std::move(blob.field), blob.stable,
-                           blob.rounds,          blob.rounds * k,
-                           outcome.comm,         outcome.net,
-                           outcome.restarts};
+                           blob.aborted,         blob.rounds,
+                           blob.rounds * k,      outcome.comm,
+                           outcome.net,          outcome.restarts};
   return result;
 }
 

@@ -9,6 +9,8 @@
 // per-rank changed flags at each exchange round.
 #pragma once
 
+#include <functional>
+
 #include "mpp/mpp.hpp"
 #include "sandpile/field.hpp"
 
@@ -25,12 +27,18 @@ struct DistributedOptions {
   /// committed slab set, so an interrupted run resumes mid-computation.
   int checkpoint_every = 0;
   mpp::RunOptions run;     ///< which substrate carries the halos
+  /// Cooperative cancellation: evaluated on rank 0 once per exchange round
+  /// and broadcast through the termination all-reduce, so every rank stops
+  /// at the same consistent cut. The result comes back with aborted=true
+  /// (and the grid as of that round). peachyd's job cancel rides this.
+  std::function<bool()> should_abort;
 };
 
 /// Outcome of a distributed stabilization.
 struct DistributedResult {
   Field field;                 ///< stabilized configuration (gathered)
   bool stable = false;
+  bool aborted = false;        ///< should_abort() fired before stability
   int rounds = 0;              ///< halo-exchange rounds executed
   int iterations = 0;          ///< synchronous iterations (== rounds * k)
   mpp::CommStats comm;         ///< aggregate messages/bytes over all ranks

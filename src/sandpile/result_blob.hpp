@@ -17,18 +17,21 @@ namespace peachy::sandpile::detail {
 struct ResultBlob {
   Field field{1, 1};
   bool stable = false;
+  bool aborted = false;
   int rounds = 0;
 };
 
+/// The status byte: 0 = ran out of rounds, 1 = globally stable, 2 = the
+/// run was aborted (DistributedOptions::should_abort fired).
 inline std::vector<std::byte> encode_result(const Field& field, bool stable,
-                                            int rounds) {
+                                            int rounds, bool aborted = false) {
   const int H = field.height(), W = field.width();
   std::vector<std::byte> blob;
   blob.reserve(13 + static_cast<std::size_t>(H) * W * sizeof(Cell));
   net::append_u32(blob, static_cast<std::uint32_t>(H));
   net::append_u32(blob, static_cast<std::uint32_t>(W));
   net::append_u32(blob, static_cast<std::uint32_t>(rounds));
-  blob.push_back(static_cast<std::byte>(stable ? 1 : 0));
+  blob.push_back(static_cast<std::byte>(aborted ? 2 : (stable ? 1 : 0)));
   for (int y = 0; y < H; ++y)
     for (int x = 0; x < W; ++x) net::append_u32(blob, field.at(y, x));
   return blob;
@@ -42,7 +45,9 @@ inline ResultBlob decode_result(const std::vector<std::byte>& blob) {
   const int W = static_cast<int>(net::read_u32(p, end));
   r.rounds = static_cast<int>(net::read_u32(p, end));
   PEACHY_REQUIRE(p < end, "truncated sandpile result blob");
-  r.stable = std::to_integer<int>(*p++) != 0;
+  const int status = std::to_integer<int>(*p++);
+  r.stable = status == 1;
+  r.aborted = status == 2;
   r.field = Field(H, W);
   for (int y = 0; y < H; ++y)
     for (int x = 0; x < W; ++x)

@@ -1,0 +1,111 @@
+#include "svc/client.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "core/error.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+
+namespace peachy::svc {
+
+std::pair<ReplyStatus, std::vector<std::byte>> Client::call(
+    Op op, const std::vector<std::byte>& payload,
+    std::initializer_list<ReplyStatus> tolerate) const {
+  const net::Socket sock = net::Socket::connect_to(host_, port_, timeout_ms_);
+  net::FrameHeader h;
+  h.type = net::FrameType::kJobRequest;
+  h.tag = static_cast<std::int32_t>(op);
+  net::send_frame(sock, h, payload.data(), payload.size());
+  net::FrameHeader rh;
+  std::vector<std::byte> reply;
+  PEACHY_REQUIRE(net::recv_frame(sock, rh, reply, timeout_ms_),
+                 "peachyd closed the connection without replying");
+  PEACHY_REQUIRE(rh.type == net::FrameType::kJobReply,
+                 "expected a kJobReply frame, got type "
+                     << static_cast<int>(rh.type));
+  const auto status = static_cast<ReplyStatus>(rh.tag);
+  if (status != ReplyStatus::kOk &&
+      std::find(tolerate.begin(), tolerate.end(), status) == tolerate.end()) {
+    const std::byte* p = reply.data();
+    std::string message;
+    try {
+      message = read_string(p, p + reply.size());
+    } catch (const std::exception&) {
+      message = "(unreadable reply)";
+    }
+    throw Error("peachyd: " + message);
+  }
+  return {status, std::move(reply)};
+}
+
+SubmitResult Client::submit(const JobSpec& spec) const {
+  std::vector<std::byte> payload;
+  append_spec(payload, spec);
+  auto [status, reply] =
+      call(Op::kSubmit, payload, {ReplyStatus::kRejected});
+  const std::byte* p = reply.data();
+  const std::byte* end = p + reply.size();
+  SubmitResult r;
+  if (status == ReplyStatus::kOk) {
+    r.accepted = true;
+    r.id = net::read_u64(p, end);
+  } else {
+    r.reject_reason = read_string(p, end);
+  }
+  return r;
+}
+
+JobStatus Client::status(std::uint64_t id) const {
+  std::vector<std::byte> payload;
+  net::append_u64(payload, id);
+  auto [status, reply] = call(Op::kStatus, payload);
+  const std::byte* p = reply.data();
+  return read_status(p, p + reply.size());
+}
+
+std::vector<std::byte> Client::result(std::uint64_t id) const {
+  std::vector<std::byte> payload;
+  net::append_u64(payload, id);
+  auto [status, reply] = call(Op::kResult, payload);
+  return std::move(reply);
+}
+
+std::string Client::cancel(std::uint64_t id) const {
+  std::vector<std::byte> payload;
+  net::append_u64(payload, id);
+  auto [status, reply] = call(Op::kCancel, payload);
+  const std::byte* p = reply.data();
+  return read_string(p, p + reply.size());
+}
+
+std::vector<JobBrief> Client::list(const std::string& tenant) const {
+  std::vector<std::byte> payload;
+  append_string(payload, tenant);
+  auto [status, reply] = call(Op::kList, payload);
+  const std::byte* p = reply.data();
+  return read_briefs(p, p + reply.size());
+}
+
+ServiceStats Client::stats() const {
+  auto [status, reply] = call(Op::kStats, {});
+  const std::byte* p = reply.data();
+  return read_stats(p, p + reply.size());
+}
+
+void Client::shutdown() const { call(Op::kShutdown, {}); }
+
+JobStatus Client::await(std::uint64_t id, std::chrono::milliseconds deadline,
+                        std::chrono::milliseconds poll_every) const {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  for (;;) {
+    const JobStatus s = status(id);
+    if (is_terminal(s.state)) return s;
+    PEACHY_REQUIRE(std::chrono::steady_clock::now() < until,
+                   "job " << id << " still " << to_string(s.state)
+                          << " after " << deadline.count() << " ms");
+    std::this_thread::sleep_for(poll_every);
+  }
+}
+
+}  // namespace peachy::svc

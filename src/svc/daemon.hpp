@@ -1,0 +1,139 @@
+// peachyd — the always-on multi-tenant job service (ROADMAP item; see
+// DESIGN.md "Job service" for the full state machine and queue format).
+//
+// Thread shape:
+//   * listener   — accepts client connections (poll + wake pipe, the
+//                  rendezvous/metrics-server discipline), handles one
+//                  framed request per connection inline. Requests are
+//                  cheap (a lock, at most one record write); job
+//                  execution never happens on this thread.
+//   * dispatcher — waits for (job queued) && (pool ranks free) && (not
+//                  paused), asks the FairShareScheduler for the next id,
+//                  commits QUEUED -> RUNNING, reserves the gang's ranks
+//                  from the budget, and hands the job to an executor.
+//   * executors  — one short-lived thread per dispatched job; runs the
+//                  mpp world on the shared RankPool and commits the
+//                  terminal record. The pool bounds actual parallelism;
+//                  executor threads mostly sit inside run_gang.
+//
+// Durability protocol: a submit is acknowledged only after its QUEUED
+// record is committed (write-tmp + rename), so an acknowledged job
+// survives any daemon death. Every state transition rewrites the record
+// before the daemon acts on it; the checkpoint directory of a terminal
+// job is removed only *after* the terminal record is committed, so a
+// crash between the two re-runs at worst a finished job, never loses one.
+//
+// Startup recovery: load every record; terminal jobs go to the in-memory
+// table (status/result stay queryable), QUEUED jobs re-enter the
+// scheduler, RUNNING jobs — the ones a dead daemon was executing — are
+// demoted to QUEUED with restarts+1 and resume from their named
+// checkpoint directory when re-dispatched.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mpp/pool.hpp"
+#include "net/socket.hpp"
+#include "svc/job.hpp"
+#include "svc/protocol.hpp"
+#include "svc/queue.hpp"
+#include "svc/scheduler.hpp"
+
+namespace peachy::obs {
+class MetricsServer;
+}
+
+namespace peachy::svc {
+
+struct DaemonOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;            ///< 0 = ephemeral; read back with port()
+  std::string state_dir;   ///< queue + checkpoint root (required)
+  int pool_ranks = 8;      ///< shared rank-pool capacity
+  int max_queued = 64;     ///< admission: global queue-depth cap
+  int max_queued_per_tenant = 32;
+  /// "alice=3,bob=1" — fair-share weights; unlisted tenants weigh 1.
+  std::string tenant_weights;
+  /// Per-job supervision budget (world restarts within one dispatch).
+  int max_restarts = 2;
+  /// -1 = no metrics endpoint; 0 = ephemeral port; >0 = that port.
+  int metrics_port = -1;
+  /// Test hook: accept and queue submissions but dispatch nothing until
+  /// resume() — lets tests stage a queue and kill the daemon around it.
+  bool start_paused = false;
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonOptions options);
+  ~Daemon();
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  int port() const { return port_; }
+  /// -1 when the metrics endpoint is disabled.
+  int metrics_port() const;
+
+  /// Starts dispatching (no-op unless start_paused).
+  void resume();
+
+  /// Blocks until a kShutdown request arrives (or stop() is called).
+  void wait_for_shutdown();
+
+  /// Graceful stop: close the listener, stop dispatching, let running
+  /// executors finish, leave QUEUED records for the next start. Idempotent.
+  void stop();
+
+  ServiceStats stats() const;
+  int recovered_queued() const { return recovered_queued_; }
+  int recovered_running() const { return recovered_running_; }
+
+ private:
+  void listen_loop();
+  void dispatch_loop();
+  void execute(std::uint64_t id);
+  void handle_connection(net::Socket conn);
+  /// Returns (status, reply payload) for one decoded request.
+  std::pair<ReplyStatus, std::vector<std::byte>> handle_request(
+      Op op, const std::vector<std::byte>& payload);
+  std::pair<ReplyStatus, std::vector<std::byte>> handle_submit(
+      const std::vector<std::byte>& payload);
+  void bump(const std::string& name, const std::string& tenant);
+
+  DaemonOptions options_;
+  JobStore store_;
+  mpp::RankPool pool_;
+
+  mutable std::mutex mu_;
+  FairShareScheduler sched_;
+  std::map<std::uint64_t, JobRecord> jobs_;
+  std::set<std::uint64_t> cancel_requested_;
+  int busy_ranks_ = 0;
+  int running_jobs_ = 0;
+  bool paused_ = false;
+  bool stopping_ = false;
+  bool shutdown_requested_ = false;
+  std::uint64_t submitted_ = 0, completed_ = 0, rejected_ = 0;
+  std::condition_variable dispatch_cv_;  ///< queue/ranks/pause changed
+  std::condition_variable shutdown_cv_;
+  std::vector<std::thread> executors_;
+
+  net::Socket listen_;
+  int port_ = 0;
+  int wake_pipe_[2] = {-1, -1};
+  int recovered_queued_ = 0;
+  int recovered_running_ = 0;
+  std::unique_ptr<obs::MetricsServer> metrics_;
+  std::thread listener_;
+  std::thread dispatcher_;
+};
+
+}  // namespace peachy::svc

@@ -1,0 +1,103 @@
+#include "svc/job.hpp"
+
+#include "core/error.hpp"
+#include "net/wire.hpp"
+#include "svc/protocol.hpp"
+
+namespace peachy::svc {
+
+const char* to_string(JobKind kind) {
+  switch (kind) {
+    case JobKind::kSandpile: return "sandpile";
+    case JobKind::kDmr: return "dmr";
+    case JobKind::kWfsim: return "wfsim";
+  }
+  return "?";
+}
+
+JobKind job_kind_from_string(const std::string& name) {
+  if (name == "sandpile") return JobKind::kSandpile;
+  if (name == "dmr") return JobKind::kDmr;
+  if (name == "wfsim") return JobKind::kWfsim;
+  throw Error("unknown job kind '" + name +
+              "' (expected sandpile, dmr or wfsim)");
+}
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "QUEUED";
+    case JobState::kRunning: return "RUNNING";
+    case JobState::kDone: return "DONE";
+    case JobState::kFailed: return "FAILED";
+    case JobState::kCancelled: return "CANCELLED";
+  }
+  return "?";
+}
+
+void append_spec(std::vector<std::byte>& out, const JobSpec& spec) {
+  net::append_u32(out, static_cast<std::uint32_t>(spec.kind));
+  append_string(out, spec.tenant);
+  append_string(out, spec.name);
+  net::append_u32(out, spec.ranks);
+  switch (spec.kind) {
+    case JobKind::kSandpile:
+      net::append_u32(out, spec.sandpile.height);
+      net::append_u32(out, spec.sandpile.width);
+      net::append_u32(out, spec.sandpile.grains);
+      net::append_u32(out, spec.sandpile.halo_depth);
+      net::append_u32(out, spec.sandpile.checkpoint_every);
+      break;
+    case JobKind::kDmr:
+      net::append_u32(out, spec.dmr.words);
+      net::append_u64(out, spec.dmr.seed);
+      net::append_u32(out, spec.dmr.vocabulary);
+      net::append_u32(out, spec.dmr.map_tasks);
+      net::append_u32(out, spec.dmr.partitions);
+      net::append_u32(out, spec.dmr.map_epochs);
+      net::append_u32(out, spec.dmr.checkpoint_every);
+      break;
+    case JobKind::kWfsim:
+      net::append_u32(out, spec.wfsim.sweep_steps);
+      net::append_u32(out, spec.wfsim.nodes_on);
+      net::append_u32(out, spec.wfsim.pstate);
+      break;
+  }
+}
+
+JobSpec read_spec(const std::byte*& p, const std::byte* end) {
+  JobSpec spec;
+  const std::uint32_t kind = net::read_u32(p, end);
+  PEACHY_REQUIRE(kind >= 1 && kind <= 3, "job spec has unknown kind " << kind);
+  spec.kind = static_cast<JobKind>(kind);
+  spec.tenant = read_string(p, end);
+  spec.name = read_string(p, end);
+  spec.ranks = net::read_u32(p, end);
+  PEACHY_REQUIRE(spec.ranks >= 1 && spec.ranks <= 4096,
+                 "job spec wants " << spec.ranks << " ranks");
+  switch (spec.kind) {
+    case JobKind::kSandpile:
+      spec.sandpile.height = net::read_u32(p, end);
+      spec.sandpile.width = net::read_u32(p, end);
+      spec.sandpile.grains = net::read_u32(p, end);
+      spec.sandpile.halo_depth = net::read_u32(p, end);
+      spec.sandpile.checkpoint_every = net::read_u32(p, end);
+      break;
+    case JobKind::kDmr:
+      spec.dmr.words = net::read_u32(p, end);
+      spec.dmr.seed = net::read_u64(p, end);
+      spec.dmr.vocabulary = net::read_u32(p, end);
+      spec.dmr.map_tasks = net::read_u32(p, end);
+      spec.dmr.partitions = net::read_u32(p, end);
+      spec.dmr.map_epochs = net::read_u32(p, end);
+      spec.dmr.checkpoint_every = net::read_u32(p, end);
+      break;
+    case JobKind::kWfsim:
+      spec.wfsim.sweep_steps = net::read_u32(p, end);
+      spec.wfsim.nodes_on = net::read_u32(p, end);
+      spec.wfsim.pstate = net::read_u32(p, end);
+      break;
+  }
+  return spec;
+}
+
+}  // namespace peachy::svc

@@ -1,0 +1,100 @@
+#include "svc/protocol.hpp"
+
+#include <cstring>
+
+#include "core/error.hpp"
+
+namespace peachy::svc {
+
+void append_string(std::vector<std::byte>& out, const std::string& s) {
+  net::append_u32(out, static_cast<std::uint32_t>(s.size()));
+  const auto* bytes = reinterpret_cast<const std::byte*>(s.data());
+  out.insert(out.end(), bytes, bytes + s.size());
+}
+
+std::string read_string(const std::byte*& p, const std::byte* end) {
+  const std::uint32_t n = net::read_u32(p, end);
+  PEACHY_REQUIRE(static_cast<std::size_t>(end - p) >= n,
+                 "truncated string payload (wants " << n << " bytes, has "
+                                                    << (end - p) << ")");
+  std::string s(n, '\0');
+  if (n > 0) std::memcpy(s.data(), p, n);
+  p += n;
+  return s;
+}
+
+void append_status(std::vector<std::byte>& out, const JobStatus& s) {
+  net::append_u64(out, s.id);
+  net::append_u32(out, static_cast<std::uint32_t>(s.state));
+  net::append_u32(out, static_cast<std::uint32_t>(s.kind));
+  append_string(out, s.tenant);
+  append_string(out, s.name);
+  append_string(out, s.error);
+  net::append_u32(out, s.restarts);
+  net::append_u32(out, s.has_result ? 1 : 0);
+}
+
+JobStatus read_status(const std::byte*& p, const std::byte* end) {
+  JobStatus s;
+  s.id = net::read_u64(p, end);
+  s.state = static_cast<JobState>(net::read_u32(p, end));
+  s.kind = static_cast<JobKind>(net::read_u32(p, end));
+  s.tenant = read_string(p, end);
+  s.name = read_string(p, end);
+  s.error = read_string(p, end);
+  s.restarts = net::read_u32(p, end);
+  s.has_result = net::read_u32(p, end) != 0;
+  return s;
+}
+
+void append_briefs(std::vector<std::byte>& out,
+                   const std::vector<JobBrief>& briefs) {
+  net::append_u32(out, static_cast<std::uint32_t>(briefs.size()));
+  for (const JobBrief& b : briefs) {
+    net::append_u64(out, b.id);
+    net::append_u32(out, static_cast<std::uint32_t>(b.kind));
+    net::append_u32(out, static_cast<std::uint32_t>(b.state));
+    append_string(out, b.tenant);
+    append_string(out, b.name);
+  }
+}
+
+std::vector<JobBrief> read_briefs(const std::byte*& p, const std::byte* end) {
+  const std::uint32_t n = net::read_u32(p, end);
+  std::vector<JobBrief> briefs;
+  briefs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    JobBrief b;
+    b.id = net::read_u64(p, end);
+    b.kind = static_cast<JobKind>(net::read_u32(p, end));
+    b.state = static_cast<JobState>(net::read_u32(p, end));
+    b.tenant = read_string(p, end);
+    b.name = read_string(p, end);
+    briefs.push_back(std::move(b));
+  }
+  return briefs;
+}
+
+void append_stats(std::vector<std::byte>& out, const ServiceStats& s) {
+  net::append_u32(out, s.queued);
+  net::append_u32(out, s.running);
+  net::append_u32(out, s.pool_ranks);
+  net::append_u32(out, s.busy_ranks);
+  net::append_u64(out, s.submitted);
+  net::append_u64(out, s.completed);
+  net::append_u64(out, s.rejected);
+}
+
+ServiceStats read_stats(const std::byte*& p, const std::byte* end) {
+  ServiceStats s;
+  s.queued = net::read_u32(p, end);
+  s.running = net::read_u32(p, end);
+  s.pool_ranks = net::read_u32(p, end);
+  s.busy_ranks = net::read_u32(p, end);
+  s.submitted = net::read_u64(p, end);
+  s.completed = net::read_u64(p, end);
+  s.rejected = net::read_u64(p, end);
+  return s;
+}
+
+}  // namespace peachy::svc

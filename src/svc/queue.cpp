@@ -1,0 +1,175 @@
+#include "svc/queue.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "core/error.hpp"
+#include "net/wire.hpp"
+#include "svc/protocol.hpp"
+
+namespace fs = std::filesystem;
+
+namespace peachy::svc {
+
+namespace {
+
+// Record layout (little-endian, net wire scalar helpers):
+//   u32 magic 'PSVJ' | u32 version | u64 id | u32 state | u32 restarts
+//   | spec (append_spec) | string error | u64 result size | result bytes
+//   | u32 crc32 of everything above
+constexpr std::uint32_t kMagic = 0x4a565350;  // "PSVJ"
+constexpr std::uint32_t kVersion = 1;
+
+std::vector<std::byte> encode_record(const JobRecord& rec) {
+  std::vector<std::byte> buf;
+  net::append_u32(buf, kMagic);
+  net::append_u32(buf, kVersion);
+  net::append_u64(buf, rec.id);
+  net::append_u32(buf, static_cast<std::uint32_t>(rec.state));
+  net::append_u32(buf, rec.restarts);
+  append_spec(buf, rec.spec);
+  append_string(buf, rec.error);
+  net::append_u64(buf, rec.result.size());
+  net::append_bytes(buf, rec.result.data(), rec.result.size());
+  net::append_u32(buf, net::crc32(buf.data(), buf.size()));
+  return buf;
+}
+
+// Throws on any structural problem; callers translate that into "skip".
+JobRecord decode_record(const std::vector<std::byte>& buf) {
+  PEACHY_REQUIRE(buf.size() >= 28, "job record is truncated (" << buf.size()
+                                                               << " bytes)");
+  const std::byte* crc_end = buf.data() + buf.size() - 4;
+  {
+    const std::byte* q = crc_end;
+    const std::uint32_t stored = net::read_u32(q, buf.data() + buf.size());
+    const std::uint32_t actual =
+        net::crc32(buf.data(), static_cast<std::size_t>(crc_end - buf.data()));
+    PEACHY_REQUIRE(stored == actual, "job record CRC mismatch");
+  }
+  const std::byte* p = buf.data();
+  PEACHY_REQUIRE(net::read_u32(p, crc_end) == kMagic, "bad job record magic");
+  PEACHY_REQUIRE(net::read_u32(p, crc_end) == kVersion,
+                 "unsupported job record version");
+  JobRecord rec;
+  rec.id = net::read_u64(p, crc_end);
+  const std::uint32_t state = net::read_u32(p, crc_end);
+  PEACHY_REQUIRE(state >= 1 && state <= 5, "job record has state " << state);
+  rec.state = static_cast<JobState>(state);
+  rec.restarts = net::read_u32(p, crc_end);
+  rec.spec = read_spec(p, crc_end);
+  rec.error = read_string(p, crc_end);
+  const std::uint64_t result_size = net::read_u64(p, crc_end);
+  PEACHY_REQUIRE(static_cast<std::uint64_t>(crc_end - p) == result_size,
+                 "job record result blob is " << (crc_end - p)
+                                              << " bytes, header says "
+                                              << result_size);
+  rec.result.assign(p, crc_end);
+  return rec;
+}
+
+std::optional<std::vector<std::byte>> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  in.seekg(0, std::ios::end);
+  const std::streamoff len = in.tellg();
+  in.seekg(0, std::ios::beg);
+  std::vector<std::byte> buf(static_cast<std::size_t>(len > 0 ? len : 0));
+  in.read(reinterpret_cast<char*>(buf.data()),
+          static_cast<std::streamsize>(buf.size()));
+  if (in.gcount() != static_cast<std::streamsize>(buf.size()))
+    return std::nullopt;
+  return buf;
+}
+
+}  // namespace
+
+JobStore::JobStore(std::string dir) : dir_(std::move(dir)) {
+  fs::create_directories(fs::path(dir_) / "jobs");
+  fs::create_directories(fs::path(dir_) / "ckpt");
+  // Continue the id sequence after the largest committed record, corrupt or
+  // not — ids must never be reused, even for jobs we can no longer decode.
+  for (const auto& entry : fs::directory_iterator(fs::path(dir_) / "jobs")) {
+    const std::string name = entry.path().filename().string();
+    std::uint64_t id = 0;
+    if (std::sscanf(name.c_str(), "job-%lu.rec", &id) == 1)
+      next_id_ = std::max(next_id_, id + 1);
+  }
+}
+
+std::uint64_t JobStore::allocate_id() { return next_id_++; }
+
+std::string JobStore::record_path(std::uint64_t id) const {
+  return (fs::path(dir_) / "jobs" / ("job-" + std::to_string(id) + ".rec"))
+      .string();
+}
+
+std::string JobStore::checkpoint_dir(std::uint64_t id) const {
+  return (fs::path(dir_) / "ckpt" / ("job-" + std::to_string(id))).string();
+}
+
+void JobStore::put(const JobRecord& rec) {
+  const std::vector<std::byte> buf = encode_record(rec);
+  const fs::path committed = record_path(rec.id);
+  const fs::path tmp = committed.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    PEACHY_REQUIRE(out, "cannot open job record temp file " << tmp.string());
+    out.write(reinterpret_cast<const char*>(buf.data()),
+              static_cast<std::streamsize>(buf.size()));
+    out.flush();
+    PEACHY_REQUIRE(out, "short write to job record " << tmp.string());
+  }
+  std::error_code ec;
+  fs::rename(tmp, committed, ec);
+  PEACHY_REQUIRE(!ec, "cannot commit job record " << committed.string() << ": "
+                                                  << ec.message());
+}
+
+std::optional<JobRecord> JobStore::get(std::uint64_t id) const {
+  const auto buf = read_file(record_path(id));
+  if (!buf) return std::nullopt;
+  try {
+    return decode_record(*buf);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::vector<JobRecord> JobStore::load_all() {
+  corrupt_skipped_ = 0;
+  std::vector<JobRecord> records;
+  for (const auto& entry : fs::directory_iterator(fs::path(dir_) / "jobs")) {
+    const std::string name = entry.path().filename().string();
+    std::uint64_t id = 0;
+    if (std::sscanf(name.c_str(), "job-%lu.rec", &id) != 1) continue;
+    const auto buf = read_file(entry.path());
+    if (!buf) {
+      ++corrupt_skipped_;
+      continue;
+    }
+    try {
+      records.push_back(decode_record(*buf));
+    } catch (const std::exception&) {
+      ++corrupt_skipped_;
+    }
+  }
+  std::sort(records.begin(), records.end(),
+            [](const JobRecord& a, const JobRecord& b) { return a.id < b.id; });
+  return records;
+}
+
+void JobStore::erase(std::uint64_t id) {
+  std::error_code ec;
+  fs::remove(record_path(id), ec);
+}
+
+void JobStore::remove_checkpoint(std::uint64_t id) {
+  std::error_code ec;
+  fs::remove_all(checkpoint_dir(id), ec);
+}
+
+}  // namespace peachy::svc

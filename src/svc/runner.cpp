@@ -1,0 +1,238 @@
+#include "svc/runner.hpp"
+
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/error.hpp"
+#include "dmr/job.hpp"
+#include "mpp/mpp.hpp"
+#include "mpp/pool.hpp"
+#include "net/wire.hpp"
+#include "sandpile/distributed.hpp"
+#include "sandpile/field.hpp"
+#include "sandpile/result_blob.hpp"
+#include "svc/protocol.hpp"
+#include "wfsim/montage.hpp"
+#include "wfsim/platform.hpp"
+#include "wfsim/simulate.hpp"
+
+namespace peachy::svc {
+
+namespace {
+
+void append_f64(std::vector<std::byte>& out, double v) {
+  net::append_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+double read_f64(const std::byte*& p, const std::byte* end) {
+  return std::bit_cast<double>(net::read_u64(p, end));
+}
+
+mpp::RunOptions world_options(const RunnerOptions& options) {
+  mpp::RunOptions run;
+  run.pool = options.pool;
+  run.resilience.max_restarts = options.max_restarts;
+  run.resilience.checkpoint_dir = options.checkpoint_dir;
+  run.resilience.remove_checkpoint_on_success = !options.keep_checkpoint;
+  return run;
+}
+
+RunnerOutcome run_sandpile(const JobSpec& spec, const RunnerOptions& options) {
+  const SandpileParams& p = spec.sandpile;
+  const sandpile::Field initial =
+      sandpile::center_pile(static_cast<int>(p.height),
+                            static_cast<int>(p.width), p.grains);
+  sandpile::DistributedOptions opt;
+  opt.ranks = static_cast<int>(spec.ranks);
+  opt.halo_depth = static_cast<int>(p.halo_depth);
+  opt.checkpoint_every = static_cast<int>(p.checkpoint_every);
+  opt.run = world_options(options);
+  opt.should_abort = options.should_abort;
+  const sandpile::DistributedResult r =
+      sandpile::stabilize_distributed(initial, opt);
+  RunnerOutcome out;
+  out.result =
+      sandpile::detail::encode_result(r.field, r.stable, r.rounds, r.aborted);
+  out.aborted = r.aborted;
+  out.restarts = r.restarts;
+  return out;
+}
+
+// The tenant's "input files": a deterministic corpus every rank (and every
+// re-run after a daemon death) regenerates identically from the seed.
+std::vector<std::pair<int, std::string>> synth_corpus(const DmrParams& p) {
+  std::uint64_t x = p.seed ? p.seed : 1;
+  const auto next = [&x]() {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  constexpr std::uint32_t kWordsPerLine = 8;
+  const std::uint32_t lines = (p.words + kWordsPerLine - 1) / kWordsPerLine;
+  std::vector<std::pair<int, std::string>> corpus;
+  corpus.reserve(lines);
+  std::uint32_t emitted = 0;
+  for (std::uint32_t i = 0; i < lines; ++i) {
+    std::string line;
+    for (std::uint32_t w = 0; w < kWordsPerLine && emitted < p.words; ++w) {
+      if (w) line += ' ';
+      line += 'w';
+      line += std::to_string(next() % std::max(p.vocabulary, 1u));
+      ++emitted;
+    }
+    corpus.emplace_back(static_cast<int>(i), std::move(line));
+  }
+  return corpus;
+}
+
+RunnerOutcome run_dmr(const JobSpec& spec, const RunnerOptions& options) {
+  const DmrParams& p = spec.dmr;
+  dmr::Job<int, std::string, std::string, std::uint64_t, std::string,
+           std::uint64_t>
+      job;
+  job.mapper([](const int&, const std::string& line,
+                mr::Emitter<std::string, std::uint64_t>& out) {
+    std::size_t start = 0;
+    while (start < line.size()) {
+      std::size_t end = line.find(' ', start);
+      if (end == std::string::npos) end = line.size();
+      if (end > start) out.emit(line.substr(start, end - start), 1);
+      start = end + 1;
+    }
+  });
+  const auto sum = [](const std::string& key,
+                      const std::vector<std::uint64_t>& values,
+                      mr::Emitter<std::string, std::uint64_t>& out) {
+    std::uint64_t total = 0;
+    for (const std::uint64_t v : values) total += v;
+    out.emit(key, total);
+  };
+  job.combiner(sum).reducer(sum);
+  dmr::Options opt;
+  opt.ranks = static_cast<int>(spec.ranks);
+  opt.map_tasks = static_cast<int>(p.map_tasks);
+  opt.partitions = static_cast<int>(p.partitions);
+  opt.map_epochs = static_cast<int>(p.map_epochs);
+  opt.checkpoint_every = static_cast<int>(p.checkpoint_every);
+  opt.run = world_options(options);
+  job.options(std::move(opt));
+  const auto r = job.run(synth_corpus(p));
+  RunnerOutcome out;
+  net::append_u32(out.result, static_cast<std::uint32_t>(r.output.size()));
+  for (const auto& [word, count] : r.output) {
+    append_string(out.result, word);
+    net::append_u64(out.result, count);
+  }
+  out.restarts = r.restarts;
+  return out;
+}
+
+RunnerOutcome run_wfsim(const JobSpec& spec, const RunnerOptions& options) {
+  const WfsimParams& p = spec.wfsim;
+  PEACHY_REQUIRE(p.sweep_steps >= 1, "wfsim sweep needs >= 1 step");
+  // Rank r simulates steps r, r+R, r+2R, ... and rank 0 gathers the rows.
+  // Placement sweeps have no cross-step state, so there is nothing to
+  // checkpoint — the whole sweep re-runs after a daemon death, which is
+  // fine because each step is milliseconds of simulated dispatching.
+  mpp::RunOptions run = world_options(options);
+  run.resilience.checkpoint_dir.clear();
+  const std::uint32_t steps = p.sweep_steps;
+  const mpp::RunOutcome outcome = mpp::run_world(
+      static_cast<int>(spec.ranks), run, [&](mpp::Comm& comm) {
+        const int rank = comm.rank();
+        const int R = comm.size();
+        const wf::Workflow wf = wf::make_montage();
+        const wf::Platform platform = wf::eduwrench_platform();
+        const int levels = wf.num_levels();
+        std::vector<std::int64_t> mine;  // (step, makespan bits, gco2 bits)
+        for (std::uint32_t s = static_cast<std::uint32_t>(rank); s < steps;
+             s += static_cast<std::uint32_t>(R)) {
+          const double fraction =
+              steps == 1 ? 0.0 : static_cast<double>(s) / (steps - 1);
+          wf::RunConfig cfg;
+          cfg.nodes_on = static_cast<int>(p.nodes_on);
+          cfg.pstate = static_cast<int>(p.pstate);
+          cfg.placement = wf::Placement::level_fractions(
+              wf, std::vector<double>(static_cast<std::size_t>(levels),
+                                      fraction));
+          const wf::SimResult r = wf::simulate(wf, platform, cfg);
+          mine.push_back(static_cast<std::int64_t>(s));
+          mine.push_back(std::bit_cast<std::int64_t>(r.makespan_s));
+          mine.push_back(std::bit_cast<std::int64_t>(r.total_gco2));
+        }
+        const std::vector<std::int64_t> all = comm.gather(0, mine);
+        if (rank != 0) return;
+        PEACHY_CHECK(all.size() == static_cast<std::size_t>(steps) * 3);
+        std::map<std::int64_t, std::pair<double, double>> rows;
+        for (std::size_t i = 0; i < all.size(); i += 3)
+          rows[all[i]] = {std::bit_cast<double>(all[i + 1]),
+                          std::bit_cast<double>(all[i + 2])};
+        std::vector<std::byte> blob;
+        net::append_u32(blob, steps);
+        for (const auto& [s, vals] : rows) {
+          const double fraction =
+              steps == 1 ? 0.0 : static_cast<double>(s) / (steps - 1);
+          append_f64(blob, fraction);
+          append_f64(blob, vals.first);
+          append_f64(blob, vals.second);
+        }
+        comm.set_result(blob.data(), blob.size());
+      });
+  RunnerOutcome out;
+  out.result = outcome.rank0_result;
+  out.restarts = outcome.restarts;
+  return out;
+}
+
+}  // namespace
+
+RunnerOutcome run_job(const JobSpec& spec, const RunnerOptions& options) {
+  PEACHY_REQUIRE(options.pool != nullptr, "runner needs a rank pool");
+  if (options.should_abort && options.should_abort()) {
+    RunnerOutcome out;
+    out.aborted = true;
+    return out;
+  }
+  switch (spec.kind) {
+    case JobKind::kSandpile: return run_sandpile(spec, options);
+    case JobKind::kDmr: return run_dmr(spec, options);
+    case JobKind::kWfsim: return run_wfsim(spec, options);
+  }
+  throw Error("unreachable job kind");
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> decode_dmr_result(
+    const std::vector<std::byte>& blob) {
+  const std::byte* p = blob.data();
+  const std::byte* end = p + blob.size();
+  const std::uint32_t n = net::read_u32(p, end);
+  std::vector<std::pair<std::string, std::uint64_t>> pairs;
+  pairs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string word = read_string(p, end);
+    const std::uint64_t count = net::read_u64(p, end);
+    pairs.emplace_back(std::move(word), count);
+  }
+  return pairs;
+}
+
+std::vector<WfsimRow> decode_wfsim_result(const std::vector<std::byte>& blob) {
+  const std::byte* p = blob.data();
+  const std::byte* end = p + blob.size();
+  const std::uint32_t n = net::read_u32(p, end);
+  std::vector<WfsimRow> rows;
+  rows.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    WfsimRow row;
+    row.fraction = read_f64(p, end);
+    row.makespan_s = read_f64(p, end);
+    row.total_gco2 = read_f64(p, end);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace peachy::svc

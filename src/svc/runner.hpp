@@ -1,0 +1,73 @@
+// Job execution adapters: one JobSpec in, one result blob out.
+//
+// Every kind runs as a supervised mpp world on the daemon's shared
+// RankPool (mpp::RunOptions::pool) — pooled worlds instead of per-job
+// thread spawn, so N concurrent jobs compete for one fixed rank budget and
+// admission control has something real to meter. The job's checkpoint
+// directory is *named* (JobStore::checkpoint_dir), which is the whole
+// recovery story: a daemon SIGKILLed mid-job leaves the last committed
+// cut on disk, and the restarted daemon re-dispatches the same spec into
+// the same directory, where Comm::restore picks the run back up.
+//
+// Cancellation: sandpile jobs honor should_abort cooperatively (rank 0
+// folds it into the termination allreduce each exchange round); dmr and
+// wfsim jobs only check it before starting — cancelling them mid-run is
+// best-effort and may finish the job instead.
+//
+// Result blob formats (little-endian, net wire helpers):
+//   sandpile — sandpile::detail::encode_result (H, W, rounds, status, cells)
+//   dmr      — u32 pair count | per pair: string word, u64 count
+//   wfsim    — u32 row count  | per row: f64 fraction, f64 makespan_s,
+//              f64 total_gco2 (doubles as u64 bit patterns)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "svc/job.hpp"
+
+namespace peachy::mpp {
+class RankPool;
+}
+
+namespace peachy::svc {
+
+struct RunnerOptions {
+  mpp::RankPool* pool = nullptr;    ///< shared execution pool (required)
+  std::string checkpoint_dir;       ///< named per-job dir; "" = no ckpt
+  int max_restarts = 2;             ///< in-run supervision budget
+  /// Polled by the job while it runs (sandpile: every exchange round).
+  std::function<bool()> should_abort;
+  /// Keep the named checkpoint dir after success instead of letting mpp
+  /// remove it (the daemon removes it itself once the DONE record is
+  /// committed — otherwise a crash between "ckpt removed" and "record
+  /// committed" would re-run the job from scratch).
+  bool keep_checkpoint = true;
+};
+
+struct RunnerOutcome {
+  std::vector<std::byte> result;  ///< kind-specific blob (see header)
+  bool aborted = false;           ///< should_abort stopped the run
+  int restarts = 0;               ///< supervised world restarts
+};
+
+/// Executes `spec` to completion (or abort) on the pool. Throws on
+/// execution failure; the daemon turns that into state FAILED.
+RunnerOutcome run_job(const JobSpec& spec, const RunnerOptions& options);
+
+/// Decoders for the dmr/wfsim blobs (peachyctl pretty-printing and tests;
+/// sandpile blobs decode with sandpile::detail::decode_result).
+std::vector<std::pair<std::string, std::uint64_t>> decode_dmr_result(
+    const std::vector<std::byte>& blob);
+
+struct WfsimRow {
+  double fraction = 0;
+  double makespan_s = 0;
+  double total_gco2 = 0;
+};
+std::vector<WfsimRow> decode_wfsim_result(const std::vector<std::byte>& blob);
+
+}  // namespace peachy::svc

@@ -1,0 +1,118 @@
+#include "svc/scheduler.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace peachy::svc {
+
+FairShareScheduler::FairShareScheduler(SchedulerOptions options)
+    : options_(options) {
+  PEACHY_REQUIRE(options_.max_queued >= 1, "max_queued must be >= 1");
+  PEACHY_REQUIRE(options_.quantum >= 1, "quantum must be >= 1");
+}
+
+FairShareScheduler::Tenant& FairShareScheduler::tenant_slot(
+    const std::string& name) {
+  for (Tenant& t : tenants_)
+    if (t.name == name) return t;
+  tenants_.push_back(Tenant{name, 1, 0, {}});
+  return tenants_.back();
+}
+
+void FairShareScheduler::set_weight(const std::string& tenant, int weight) {
+  PEACHY_REQUIRE(weight >= 1, "tenant weight must be >= 1, got " << weight);
+  tenant_slot(tenant).weight = weight;
+}
+
+std::string FairShareScheduler::try_admit(const std::string& tenant) const {
+  if (total_queued_ >= options_.max_queued)
+    return "queue full (" + std::to_string(total_queued_) + "/" +
+           std::to_string(options_.max_queued) + " jobs queued)";
+  for (const Tenant& t : tenants_) {
+    if (t.name != tenant) continue;
+    if (static_cast<int>(t.queue.size()) >= options_.max_queued_per_tenant)
+      return "tenant '" + tenant + "' queue full (" +
+             std::to_string(t.queue.size()) + "/" +
+             std::to_string(options_.max_queued_per_tenant) + " jobs queued)";
+    break;
+  }
+  return "";
+}
+
+void FairShareScheduler::enqueue(std::uint64_t id, const std::string& tenant,
+                                 int ranks) {
+  tenant_slot(tenant).queue.push_back(Item{id, ranks});
+  ++total_queued_;
+}
+
+bool FairShareScheduler::remove(std::uint64_t id) {
+  for (Tenant& t : tenants_) {
+    auto it = std::find_if(t.queue.begin(), t.queue.end(),
+                           [&](const Item& i) { return i.id == id; });
+    if (it == t.queue.end()) continue;
+    t.queue.erase(it);
+    --total_queued_;
+    // Classic DRR: an emptied queue forfeits its remaining deficit, so a
+    // tenant cannot bank credit while idle and burst later.
+    if (t.queue.empty()) t.deficit = 0;
+    return true;
+  }
+  return false;
+}
+
+void FairShareScheduler::close_turn(Tenant& t, bool reset_deficit) {
+  if (reset_deficit) t.deficit = 0;
+  turn_open_ = false;
+  cursor_ = (cursor_ + 1) % std::max<std::size_t>(tenants_.size(), 1);
+}
+
+std::optional<std::uint64_t> FairShareScheduler::pick(int free_ranks) {
+  if (tenants_.empty() || total_queued_ == 0) return std::nullopt;
+  // Each iteration either serves a job, returns "wait for ranks", or
+  // closes a turn and advances the cursor. Every full lap credits each
+  // non-empty tenant with quantum * weight, so the priciest head job
+  // becomes affordable within max_cost / quantum + 2 laps; beyond that
+  // the queues are genuinely undecidable this call and we bail out.
+  long long max_cost = 1;
+  for (const Tenant& t : tenants_)
+    if (!t.queue.empty())
+      max_cost = std::max<long long>(max_cost, t.queue.front().ranks);
+  const std::size_t max_steps =
+      tenants_.size() * static_cast<std::size_t>(
+                            max_cost / options_.quantum + 2);
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    Tenant& t = tenants_[cursor_ % tenants_.size()];
+    if (t.queue.empty()) {
+      close_turn(t, /*reset_deficit=*/true);
+      continue;
+    }
+    if (!turn_open_) {
+      t.deficit += static_cast<long long>(options_.quantum) * t.weight;
+      turn_open_ = true;
+    }
+    const Item head = t.queue.front();
+    if (t.deficit < head.ranks) {
+      // Turn exhausted; keep the remainder for the next lap.
+      close_turn(t, /*reset_deficit=*/false);
+      continue;
+    }
+    if (head.ranks > free_ranks) return std::nullopt;  // turn stays open
+    t.queue.pop_front();
+    --total_queued_;
+    t.deficit -= head.ranks;
+    if (t.queue.empty()) close_turn(t, /*reset_deficit=*/true);
+    return head.id;
+  }
+  return std::nullopt;
+}
+
+int FairShareScheduler::queued() const { return total_queued_; }
+
+int FairShareScheduler::queued_for(const std::string& tenant) const {
+  for (const Tenant& t : tenants_)
+    if (t.name == tenant) return static_cast<int>(t.queue.size());
+  return 0;
+}
+
+}  // namespace peachy::svc

@@ -1,0 +1,88 @@
+// Admission control and fair-share ordering for peachyd.
+//
+// Two jobs in one class because they share the per-tenant bookkeeping:
+//
+// 1. Admission: a submit is accepted only if the global queue and the
+//    tenant's slice of it have room (bounded queue depth; reject-with-
+//    reason instead of buffering without limit). The daemon relays the
+//    reason string verbatim in its kRejected reply.
+//
+// 2. Ordering: weighted deficit round-robin over tenants, *turn-based*.
+//    Opening a tenant's turn credits its deficit once with
+//    quantum * weight; the tenant is then served from the head of its
+//    FIFO while the deficit covers each job's cost (cost = ranks
+//    requested). When the deficit runs out — or the queue does — the turn
+//    closes and the cursor advances. With quantum = rank-pool capacity,
+//    any admissible job is affordable within a single turn, so weights
+//    translate directly into rank-time ratios: tenants at weights 2:1
+//    submitting identical jobs are served in the pattern a,a,b.
+//
+//    When the tenant at the cursor has an affordable head job but the
+//    pool lacks free ranks for it, pick() returns nothing WITHOUT closing
+//    the turn: the blocked tenant stays first in line and is retried when
+//    ranks free up. This is deliberate head-of-line blocking — it keeps a
+//    stream of small jobs from starving a large one indefinitely.
+//
+// Not thread-safe; the daemon calls it under its own lock.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace peachy::svc {
+
+struct SchedulerOptions {
+  int max_queued = 64;             ///< global queue-depth cap
+  int max_queued_per_tenant = 32;  ///< one tenant's slice of the queue
+  int quantum = 4;                 ///< deficit credit per turn, in ranks
+};
+
+class FairShareScheduler {
+ public:
+  explicit FairShareScheduler(SchedulerOptions options = {});
+
+  /// Sets a tenant's weight (default 1). Takes effect at its next turn.
+  void set_weight(const std::string& tenant, int weight);
+
+  /// Empty string = admitted; otherwise the rejection reason.
+  std::string try_admit(const std::string& tenant) const;
+
+  /// Appends a job to its tenant's FIFO. Call only after try_admit.
+  void enqueue(std::uint64_t id, const std::string& tenant, int ranks);
+
+  /// Removes a queued job (cancellation). Returns false if not queued.
+  bool remove(std::uint64_t id);
+
+  /// Next job to dispatch given `free_ranks` idle pool ranks, or nullopt
+  /// if every tenant is empty or the front job must wait for ranks.
+  std::optional<std::uint64_t> pick(int free_ranks);
+
+  int queued() const;
+  int queued_for(const std::string& tenant) const;
+
+ private:
+  struct Item {
+    std::uint64_t id = 0;
+    int ranks = 1;
+  };
+  struct Tenant {
+    std::string name;
+    int weight = 1;
+    long long deficit = 0;
+    std::deque<Item> queue;
+  };
+
+  Tenant& tenant_slot(const std::string& name);
+  void close_turn(Tenant& t, bool reset_deficit);
+
+  SchedulerOptions options_;
+  std::vector<Tenant> tenants_;
+  std::size_t cursor_ = 0;
+  bool turn_open_ = false;
+  int total_queued_ = 0;
+};
+
+}  // namespace peachy::svc

@@ -1,0 +1,112 @@
+// MetricsServer routing regression: the server must parse the request
+// line properly — exact path match (no "/metricsfoo" accidentally
+// scraping), HEAD answered with GET's headers and no body, junk methods
+// and unparseable requests refused — instead of prefix-matching the raw
+// request buffer.
+#include <gtest/gtest.h>
+#include <poll.h>
+
+#include <memory>
+#include <string>
+
+#include "net/metrics_server.hpp"
+#include "net/socket.hpp"
+#include "obs/obs.hpp"
+
+namespace peachy {
+namespace {
+
+std::string http_request(int port, const std::string& request) {
+  const net::Socket sock =
+      net::Socket::connect_to("127.0.0.1", port, 5000);
+  sock.send_all(request.data(), request.size(), 5000);
+  sock.shutdown_write();
+  std::string response;
+  char buf[4096];
+  for (;;) {  // drain until EOF (the server sends Connection: close)
+    const ssize_t n = sock.recv_some(buf, sizeof buf);
+    if (n == 0) break;
+    if (n < 0) {
+      pollfd pf{sock.fd(), POLLIN, 0};
+      if (::poll(&pf, 1, 5000) <= 0) break;
+      continue;
+    }
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  return response;
+}
+
+std::string body_of(const std::string& response) {
+  const std::size_t at = response.find("\r\n\r\n");
+  return at == std::string::npos ? "" : response.substr(at + 4);
+}
+
+class MetricsServerRouting : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Registry::global().counter("routing.test.counter").add(7);
+    server_ = std::make_unique<obs::MetricsServer>(
+        obs::MetricsServer::Options{"127.0.0.1", 0});
+  }
+  std::unique_ptr<obs::MetricsServer> server_;
+};
+
+TEST_F(MetricsServerRouting, GetMetricsServesPrometheusText) {
+  const std::string r =
+      http_request(server_->port(), "GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(r.find("200 OK"), std::string::npos) << r;
+  EXPECT_NE(r.find("routing_test_counter"), std::string::npos) << r;
+}
+
+TEST_F(MetricsServerRouting, QueryStringDoesNotBreakTheRoute) {
+  const std::string r = http_request(
+      server_->port(), "GET /metrics?format=prometheus HTTP/1.0\r\n\r\n");
+  EXPECT_NE(r.find("200 OK"), std::string::npos) << r;
+}
+
+TEST_F(MetricsServerRouting, MetricsPrefixedPathIsNotFound) {
+  const std::string r =
+      http_request(server_->port(), "GET /metricsfoo HTTP/1.0\r\n\r\n");
+  EXPECT_NE(r.find("404 Not Found"), std::string::npos) << r;
+}
+
+TEST_F(MetricsServerRouting, UnknownPathIsNotFound) {
+  const std::string r =
+      http_request(server_->port(), "GET /jobs HTTP/1.0\r\n\r\n");
+  EXPECT_NE(r.find("404 Not Found"), std::string::npos) << r;
+}
+
+TEST_F(MetricsServerRouting, HeadMetricsHasHeadersButNoBody) {
+  const std::string get =
+      http_request(server_->port(), "GET /metrics HTTP/1.0\r\n\r\n");
+  const std::string head =
+      http_request(server_->port(), "HEAD /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(head.find("200 OK"), std::string::npos) << head;
+  EXPECT_TRUE(body_of(head).empty()) << head;
+  // HEAD advertises the length the matching GET would deliver.
+  const std::string want =
+      "Content-Length: " + std::to_string(body_of(get).size());
+  EXPECT_NE(head.find(want), std::string::npos) << head;
+}
+
+TEST_F(MetricsServerRouting, HeadHealthzHasNoBody) {
+  const std::string r =
+      http_request(server_->port(), "HEAD /healthz HTTP/1.0\r\n\r\n");
+  EXPECT_NE(r.find("200 OK"), std::string::npos) << r;
+  EXPECT_TRUE(body_of(r).empty()) << r;
+  EXPECT_NE(r.find("Content-Length: 3"), std::string::npos) << r;  // "ok\n"
+}
+
+TEST_F(MetricsServerRouting, PostIsMethodNotAllowed) {
+  const std::string r = http_request(
+      server_->port(), "POST /metrics HTTP/1.0\r\n\r\nname=value");
+  EXPECT_NE(r.find("405 Method Not Allowed"), std::string::npos) << r;
+}
+
+TEST_F(MetricsServerRouting, GarbageRequestIsBadRequest) {
+  const std::string r = http_request(server_->port(), "NONSENSE\r\n\r\n");
+  EXPECT_NE(r.find("400 Bad Request"), std::string::npos) << r;
+}
+
+}  // namespace
+}  // namespace peachy

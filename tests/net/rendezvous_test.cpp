@@ -1,0 +1,112 @@
+// Rendezvous under crowds: the accept loop must survive every rank of a
+// wide world dialing at the same instant, and ranks that dial before the
+// server thread is serving (the port-is-published-but-listener-not-
+// accepting race) must still get their table via connect_to's retry
+// discipline. peachyd leans on exactly this when many clients pile onto
+// one daemon endpoint.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "net/rendezvous.hpp"
+#include "net/socket.hpp"
+
+namespace peachy::net {
+namespace {
+
+// Every rank registers a distinctive fake listener port so the broadcast
+// table proves who the server actually heard from.
+int fake_port(int rank) { return 40000 + rank; }
+
+TEST(Rendezvous, SixteenSimultaneousDialsAllGetTheFullTable) {
+  constexpr int kWorld = 16;
+  RendezvousServer server(kWorld, /*collect_results=*/false,
+                          /*timeout_ms=*/15000);
+  server.start();
+
+  std::vector<std::vector<int>> tables(kWorld);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> ranks;
+  ranks.reserve(kWorld);
+  for (int r = 0; r < kWorld; ++r) {
+    ranks.emplace_back([&, r] {
+      try {
+        RendezvousSession session = rendezvous_register(
+            "127.0.0.1", server.port(), r, kWorld, fake_port(r), 15000);
+        tables[static_cast<std::size_t>(r)] = session.peer_ports;
+      } catch (const Error&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : ranks) t.join();
+  server.join();
+
+  ASSERT_EQ(failures.load(), 0);
+  for (int r = 0; r < kWorld; ++r) {
+    const auto& table = tables[static_cast<std::size_t>(r)];
+    ASSERT_EQ(table.size(), static_cast<std::size_t>(kWorld)) << "rank " << r;
+    for (int peer = 0; peer < kWorld; ++peer)
+      EXPECT_EQ(table[static_cast<std::size_t>(peer)], fake_port(peer))
+          << "rank " << r << " has a wrong entry for peer " << peer;
+  }
+}
+
+TEST(Rendezvous, DialsBeforeServingStartsStillRegister) {
+  constexpr int kWorld = 8;
+  RendezvousServer server(kWorld, /*collect_results=*/false,
+                          /*timeout_ms=*/15000);
+  // Dial first: the port is known (bound in the constructor) but nothing
+  // accepts yet — connections park in the backlog or retry.
+  std::vector<std::vector<int>> tables(kWorld);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> ranks;
+  for (int r = 0; r < kWorld; ++r) {
+    ranks.emplace_back([&, r] {
+      try {
+        RendezvousSession session = rendezvous_register(
+            "127.0.0.1", server.port(), r, kWorld, fake_port(r), 15000);
+        tables[static_cast<std::size_t>(r)] = session.peer_ports;
+      } catch (const Error&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  server.start();
+  for (std::thread& t : ranks) t.join();
+  server.join();
+
+  ASSERT_EQ(failures.load(), 0);
+  for (int r = 0; r < kWorld; ++r)
+    ASSERT_EQ(tables[static_cast<std::size_t>(r)].size(),
+              static_cast<std::size_t>(kWorld))
+        << "rank " << r;
+}
+
+TEST(Rendezvous, BackToBackWorldsReusePortsCleanly) {
+  // Serial worlds, each with concurrent dials — the accept loop must come
+  // up fresh each time with no state bleeding between rounds.
+  for (int round = 0; round < 3; ++round) {
+    constexpr int kWorld = 6;
+    RendezvousServer server(kWorld, false, 10000);
+    server.start();
+    std::vector<std::thread> ranks;
+    std::atomic<int> ok{0};
+    for (int r = 0; r < kWorld; ++r) {
+      ranks.emplace_back([&, r] {
+        RendezvousSession session = rendezvous_register(
+            "127.0.0.1", server.port(), r, kWorld, fake_port(r), 10000);
+        if (session.peer_ports.size() == kWorld) ok.fetch_add(1);
+      });
+    }
+    for (std::thread& t : ranks) t.join();
+    server.join();
+    ASSERT_EQ(ok.load(), kWorld) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace peachy::net

@@ -1,0 +1,199 @@
+// The acceptance bar for peachyd durability: SIGKILL the daemon process
+// mid-job and verify that (a) no acknowledged QUEUED job is lost and
+// (b) the RUNNING checkpointed job resumes and finishes with a result
+// byte-identical to a clean run of the same spec.
+//
+// The daemon runs in a child process (fork + exec of this binary with
+// --daemon, so the child never inherits gtest threads); the child writes
+// its chosen port to <state>/port for the parent to read. SIGKILL is the
+// whole point — no destructor, no flush, no goodbye.
+//
+// PEACHY_FAULT_SEED (scripts/fault_sweep.sh --suite svc) switches the kill
+// from "wait until a checkpoint exists" (seed 0/unset, deterministic
+// mid-run kill) to a seed-scaled timed kill that lands anywhere in the
+// job's lifetime — recovery must hold wherever death strikes.
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <stdlib.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/client.hpp"
+#include "svc/daemon.hpp"
+#include "svc/job.hpp"
+
+namespace peachy::svc {
+
+int daemon_child_main(const std::string& state_dir) {
+  DaemonOptions o;
+  o.state_dir = state_dir;
+  o.pool_ranks = 2;  // one 2-rank job at a time: the rest stay QUEUED
+  Daemon daemon(o);
+  // Publish the ephemeral port atomically (write-tmp + rename, same
+  // discipline as the store) so the parent never reads a half-written file.
+  {
+    std::ofstream f(state_dir + "/port.tmp");
+    f << daemon.port() << "\n";
+  }
+  std::filesystem::rename(state_dir + "/port.tmp", state_dir + "/port");
+  daemon.wait_for_shutdown();
+  return 0;
+}
+
+namespace {
+
+using namespace std::chrono_literals;
+
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/peachy-svc-recover-XXXXXX";
+    path_ = ::mkdtemp(tmpl);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+pid_t spawn_daemon(const std::string& state_dir) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execl("/proc/self/exe", "svc_recovery_test", "--daemon",
+            state_dir.c_str(), static_cast<char*>(nullptr));
+    _exit(127);  // exec failed
+  }
+  return pid;
+}
+
+int wait_for_port(const std::string& state_dir) {
+  const auto deadline = std::chrono::steady_clock::now() + 20s;
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::ifstream f(state_dir + "/port");
+    int port = 0;
+    if (f >> port && port > 0) return port;
+    std::this_thread::sleep_for(10ms);
+  }
+  return 0;
+}
+
+bool checkpoint_exists(const std::string& state_dir, std::uint64_t id) {
+  const auto dir = std::filesystem::path(state_dir) / "ckpt" /
+                   ("job-" + std::to_string(id));
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec))
+    if (entry.is_regular_file()) return true;
+  return false;
+}
+
+int fault_seed() {
+  const char* s = ::getenv("PEACHY_FAULT_SEED");
+  return s != nullptr ? ::atoi(s) : 0;
+}
+
+TEST(SvcRecovery, DaemonSigkillMidJobRecoversByteIdentical) {
+  TempDir dir;
+  const pid_t child = spawn_daemon(dir.path());
+  ASSERT_GT(child, 0);
+  const int port = wait_for_port(dir.path());
+  ASSERT_GT(port, 0) << "daemon child never published its port";
+  Client client("127.0.0.1", port);
+
+  // One long checkpointed job (runs immediately — the pool fits exactly
+  // one) plus three that must still be QUEUED when the axe falls.
+  JobSpec slow;
+  slow.kind = JobKind::kSandpile;
+  slow.tenant = "victim";
+  slow.name = "slow";
+  slow.ranks = 2;
+  slow.sandpile = {32, 32, 120000, 1, 2};
+  const SubmitResult running = client.submit(slow);
+  ASSERT_TRUE(running.accepted) << running.reject_reason;
+
+  std::vector<std::uint64_t> queued_ids;
+  for (int i = 0; i < 3; ++i) {
+    JobSpec quick;
+    quick.kind = JobKind::kSandpile;
+    quick.tenant = "bystander";
+    quick.name = "quick-" + std::to_string(i);
+    quick.ranks = 2;
+    quick.sandpile = {16, 16, 600, 1, 4};
+    const SubmitResult sub = client.submit(quick);
+    ASSERT_TRUE(sub.accepted) << sub.reject_reason;
+    queued_ids.push_back(sub.id);
+  }
+
+  // Choose the moment of death. Seed 0: wait until the running job has
+  // committed a checkpoint, guaranteeing a genuine mid-computation kill.
+  // Seeded sweep runs: a seed-scaled delay lands the kill anywhere.
+  const int seed = fault_seed();
+  if (seed == 0) {
+    const auto deadline = std::chrono::steady_clock::now() + 60s;
+    while (!checkpoint_exists(dir.path(), running.id)) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "running job never checkpointed";
+      std::this_thread::sleep_for(5ms);
+    }
+  } else {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(10 + (seed * 37) % 600));
+  }
+  ASSERT_EQ(::kill(child, SIGKILL), 0);
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(wstatus));
+
+  // Restart on the same state directory, in-process this time.
+  DaemonOptions o;
+  o.state_dir = dir.path();
+  o.pool_ranks = 2;
+  Daemon daemon(o);
+  Client again("127.0.0.1", daemon.port());
+
+  // (a) No acknowledged job was lost: all four ids are visible.
+  std::set<std::uint64_t> visible;
+  for (const JobBrief& brief : again.list()) visible.insert(brief.id);
+  EXPECT_TRUE(visible.count(running.id)) << "running job vanished";
+  for (const std::uint64_t id : queued_ids)
+    EXPECT_TRUE(visible.count(id)) << "queued job " << id << " vanished";
+  if (seed == 0) {
+    // Deterministic mode killed mid-run by construction.
+    EXPECT_EQ(daemon.recovered_running(), 1);
+    EXPECT_GE(again.status(running.id).restarts, 1u);
+  }
+
+  // Everything drains to DONE.
+  ASSERT_EQ(again.await(running.id, 300s).state, JobState::kDone);
+  for (const std::uint64_t id : queued_ids)
+    ASSERT_EQ(again.await(id, 300s).state, JobState::kDone);
+
+  // (b) The resumed job's result is byte-identical to a clean run of the
+  // same spec on the recovered daemon.
+  const SubmitResult fresh = again.submit(slow);
+  ASSERT_TRUE(fresh.accepted);
+  ASSERT_EQ(again.await(fresh.id, 300s).state, JobState::kDone);
+  EXPECT_EQ(again.result(running.id), again.result(fresh.id))
+      << "resumed result diverged from a clean run";
+}
+
+}  // namespace
+}  // namespace peachy::svc
+
+int main(int argc, char** argv) {
+  if (argc >= 3 && std::string(argv[1]) == "--daemon")
+    return peachy::svc::daemon_child_main(argv[2]);
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,165 @@
+// The shared RankPool under concurrent gangs, pooled mpp worlds, and the
+// checkpoint retention knob peachyd depends on to not accumulate ckpt
+// directories for every retired job.
+#include <gtest/gtest.h>
+
+#include <stdlib.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mpp/mpp.hpp"
+#include "mpp/pool.hpp"
+
+namespace peachy::mpp {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/peachy-svc-pool-XXXXXX";
+    path_ = ::mkdtemp(tmpl);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(RankPool, GangSeesDistinctSeatsAndRuns) {
+  RankPool pool(4);
+  EXPECT_EQ(pool.capacity(), 4);
+  std::mutex mu;
+  std::set<int> seats;
+  pool.run_gang(3, [&](int r) {
+    std::lock_guard<std::mutex> lock(mu);
+    seats.insert(r);
+  });
+  EXPECT_EQ(seats, (std::set<int>{0, 1, 2}));
+  EXPECT_EQ(pool.available(), 4);
+}
+
+TEST(RankPool, ConcurrentGangsNeverExceedCapacity) {
+  RankPool pool(4);
+  std::atomic<int> active{0};
+  std::atomic<int> peak{0};
+  std::vector<std::thread> gangs;
+  for (int g = 0; g < 8; ++g) {
+    gangs.emplace_back([&] {
+      pool.run_gang(2, [&](int) {
+        const int now = active.fetch_add(1) + 1;
+        int expect = peak.load();
+        while (now > expect && !peak.compare_exchange_weak(expect, now)) {
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        active.fetch_sub(1);
+      });
+    });
+  }
+  for (std::thread& t : gangs) t.join();
+  EXPECT_LE(peak.load(), 4) << "more ranks ran than the pool owns";
+  EXPECT_EQ(pool.available(), 4);
+}
+
+TEST(RankPool, GangExceptionPropagatesAndSeatsRecover) {
+  RankPool pool(2);
+  EXPECT_THROW(
+      pool.run_gang(2,
+                    [&](int r) {
+                      if (r == 1) throw Error("seat 1 exploded");
+                    }),
+      Error);
+  // The pool must be reusable after a failed gang.
+  std::atomic<int> ran{0};
+  pool.run_gang(2, [&](int) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(RankPool, PooledWorldMatchesPlainThreadedWorld) {
+  RankPool pool(4);
+  const auto body = [](Comm& comm) {
+    const std::int64_t sum = comm.allreduce_sum(comm.rank() + 1);
+    if (comm.rank() == 0) {
+      const std::uint32_t v = static_cast<std::uint32_t>(sum);
+      comm.set_result(&v, sizeof v);
+    }
+  };
+  RunOptions plain;
+  const RunOutcome reference = run_world(4, plain, body);
+  RunOptions pooled;
+  pooled.pool = &pool;
+  const RunOutcome outcome = run_world(4, pooled, body);
+  EXPECT_EQ(outcome.rank0_result, reference.rank0_result);
+  // Two pooled worlds back to back share seats without interference.
+  const RunOutcome again = run_world(3, pooled, [](Comm& comm) {
+    const std::int64_t sum = comm.allreduce_sum(comm.rank() + 1);
+    if (comm.rank() == 0) {
+      const std::uint32_t v = static_cast<std::uint32_t>(sum);
+      comm.set_result(&v, sizeof v);
+    }
+  });
+  ASSERT_EQ(again.rank0_result.size(), sizeof(std::uint32_t));
+  std::uint32_t six = 0;
+  std::memcpy(&six, again.rank0_result.data(), sizeof six);
+  EXPECT_EQ(six, 6u);
+}
+
+TEST(Resilience, NamedCheckpointDirKeptByDefault) {
+  TempDir dir;
+  const std::string ckpt = dir.path() + "/job-1";
+  RunOptions opt;
+  opt.resilience.max_restarts = 1;
+  opt.resilience.checkpoint_dir = ckpt;
+  run_world(2, opt, [](Comm& comm) {
+    const std::uint32_t v = 1;
+    comm.checkpoint(&v, sizeof v);
+  });
+  EXPECT_TRUE(std::filesystem::exists(ckpt))
+      << "default retention must keep the named dir (resume material)";
+}
+
+TEST(Resilience, RemoveCheckpointOnSuccessCleansNamedDir) {
+  TempDir dir;
+  const std::string ckpt = dir.path() + "/job-2";
+  RunOptions opt;
+  opt.resilience.max_restarts = 1;
+  opt.resilience.checkpoint_dir = ckpt;
+  opt.resilience.remove_checkpoint_on_success = true;
+  run_world(2, opt, [](Comm& comm) {
+    const std::uint32_t v = 2;
+    comm.checkpoint(&v, sizeof v);
+  });
+  EXPECT_FALSE(std::filesystem::exists(ckpt))
+      << "retention knob must remove the named dir after a clean run";
+}
+
+TEST(Resilience, FailedRunKeepsNamedDirDespiteRetentionKnob) {
+  TempDir dir;
+  const std::string ckpt = dir.path() + "/job-3";
+  RunOptions opt;
+  opt.resilience.max_restarts = 0;
+  opt.resilience.checkpoint_dir = ckpt;
+  opt.resilience.remove_checkpoint_on_success = true;
+  EXPECT_THROW(run_world(2, opt,
+                         [](Comm& comm) {
+                           const std::uint32_t v = 3;
+                           comm.checkpoint(&v, sizeof v);
+                           if (comm.rank() == 1) throw Error("boom");
+                         }),
+               Error);
+  EXPECT_TRUE(std::filesystem::exists(ckpt))
+      << "a failed run's checkpoints are exactly what the retry needs";
+}
+
+}  // namespace
+}  // namespace peachy::mpp

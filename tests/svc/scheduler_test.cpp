@@ -1,0 +1,153 @@
+// Admission control and weighted deficit round-robin: bounded queues
+// reject with a reason, weights turn into service ratios, a rank-starved
+// front job blocks without losing its turn, and cancellation dequeues.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "svc/scheduler.hpp"
+
+namespace peachy::svc {
+namespace {
+
+SchedulerOptions small_options(int quantum = 4) {
+  SchedulerOptions o;
+  o.max_queued = 8;
+  o.max_queued_per_tenant = 4;
+  o.quantum = quantum;
+  return o;
+}
+
+TEST(Scheduler, AdmitsUntilGlobalCapThenRejectsWithReason) {
+  FairShareScheduler sched(small_options());
+  for (int i = 0; i < 8; ++i) {
+    std::string tenant = "t";
+    tenant += std::to_string(i);
+    ASSERT_EQ(sched.try_admit(tenant), "");
+    sched.enqueue(static_cast<std::uint64_t>(i + 1), tenant, 1);
+  }
+  const std::string reason = sched.try_admit("t-late");
+  EXPECT_NE(reason.find("queue full"), std::string::npos) << reason;
+}
+
+TEST(Scheduler, PerTenantCapRejectsTheHogOnly) {
+  FairShareScheduler sched(small_options());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(sched.try_admit("hog"), "");
+    sched.enqueue(static_cast<std::uint64_t>(i + 1), "hog", 1);
+  }
+  EXPECT_NE(sched.try_admit("hog").find("tenant 'hog' queue full"),
+            std::string::npos);
+  EXPECT_EQ(sched.try_admit("polite"), "");
+}
+
+TEST(Scheduler, FifoWithinOneTenant) {
+  FairShareScheduler sched(small_options());
+  sched.enqueue(1, "a", 1);
+  sched.enqueue(2, "a", 1);
+  sched.enqueue(3, "a", 1);
+  EXPECT_EQ(sched.pick(8).value(), 1u);
+  EXPECT_EQ(sched.pick(8).value(), 2u);
+  EXPECT_EQ(sched.pick(8).value(), 3u);
+  EXPECT_FALSE(sched.pick(8).has_value());
+}
+
+TEST(Scheduler, WeightsTwoToOneYieldTwoToOneService) {
+  // Tenants submit identical 2-rank jobs; quantum = pool capacity (4).
+  // With weights 2:1 the service order must settle into a,a,b repeating.
+  FairShareScheduler sched(small_options(/*quantum=*/4));
+  sched.set_weight("a", 2);
+  sched.set_weight("b", 1);
+  std::uint64_t id = 0;
+  for (int i = 0; i < 6; ++i) sched.enqueue(++id, "a", 2);        // ids 1..6
+  for (int i = 0; i < 3; ++i) sched.enqueue(100 + ++id, "b", 2);  // 107..109
+  std::map<std::string, int> served;
+  std::vector<char> order;
+  while (const auto picked = sched.pick(8)) {
+    const bool is_a = *picked < 100;
+    ++served[is_a ? "a" : "b"];
+    order.push_back(is_a ? 'a' : 'b');
+  }
+  EXPECT_EQ(served["a"], 6);
+  EXPECT_EQ(served["b"], 3);
+  // First turn: a's deficit = 4*2 = 8 covers two 2-rank jobs... it covers
+  // four, actually — a turn serves while the deficit lasts, so expect
+  // a,a,a,a then b's 4*1 = 4 covering two, then a,a then b — verify the
+  // aggregate ratio over any prefix of 3 stays within one turn's skew.
+  ASSERT_EQ(order.size(), 9u);
+  int a_seen = 0, b_seen = 0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    a_seen += order[i] == 'a';
+    b_seen += order[i] == 'b';
+  }
+  // After 6 picks the 2:1 ratio must already show: 4 a's and 2 b's.
+  EXPECT_EQ(a_seen, 4);
+  EXPECT_EQ(b_seen, 2);
+}
+
+TEST(Scheduler, EqualWeightsAlternate) {
+  FairShareScheduler sched(small_options(/*quantum=*/2));
+  sched.enqueue(1, "a", 2);
+  sched.enqueue(2, "a", 2);
+  sched.enqueue(3, "b", 2);
+  sched.enqueue(4, "b", 2);
+  std::vector<std::uint64_t> order;
+  while (const auto picked = sched.pick(8)) order.push_back(*picked);
+  ASSERT_EQ(order.size(), 4u);
+  // One 2-rank job per 2-rank quantum turn: strict alternation.
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 3, 2, 4}));
+}
+
+TEST(Scheduler, RankStarvedFrontJobWaitsWithoutLosingItsTurn) {
+  FairShareScheduler sched(small_options(/*quantum=*/8));
+  sched.enqueue(1, "big", 6);
+  sched.enqueue(2, "small", 1);
+  // Only 4 ranks free: the big front job cannot run. pick() must signal
+  // "wait" rather than let the small job overtake forever (deliberate
+  // anti-starvation head-of-line blocking).
+  EXPECT_FALSE(sched.pick(4).has_value());
+  EXPECT_EQ(sched.queued(), 2);
+  // Ranks freed: the big job goes first, then the small one.
+  EXPECT_EQ(sched.pick(8).value(), 1u);
+  EXPECT_EQ(sched.pick(8).value(), 2u);
+}
+
+TEST(Scheduler, JobWiderThanQuantumStillRunsEventually) {
+  // Deficit accrues across turns, so a job costing several quanta is
+  // served once enough turns have credited it — never starved.
+  FairShareScheduler sched(small_options(/*quantum=*/2));
+  sched.enqueue(1, "wide", 7);
+  EXPECT_EQ(sched.pick(8).value(), 1u);
+}
+
+TEST(Scheduler, RemoveCancelsQueuedJobAndCountsDrop) {
+  FairShareScheduler sched(small_options());
+  sched.enqueue(1, "a", 1);
+  sched.enqueue(2, "a", 1);
+  EXPECT_TRUE(sched.remove(1));
+  EXPECT_FALSE(sched.remove(1));
+  EXPECT_EQ(sched.queued(), 1);
+  EXPECT_EQ(sched.queued_for("a"), 1);
+  EXPECT_EQ(sched.pick(8).value(), 2u);
+}
+
+TEST(Scheduler, IdleTenantBanksNoCredit) {
+  FairShareScheduler sched(small_options(/*quantum=*/2));
+  sched.enqueue(1, "a", 2);
+  EXPECT_EQ(sched.pick(8).value(), 1u);  // queue empties -> deficit reset
+  // Many turns later, "a" returns alongside "b": service still alternates
+  // instead of "a" bursting on banked credit.
+  sched.enqueue(10, "a", 2);
+  sched.enqueue(11, "a", 2);
+  sched.enqueue(12, "b", 2);
+  std::vector<std::uint64_t> order;
+  while (const auto picked = sched.pick(8)) order.push_back(*picked);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0] >= 10 && order[0] <= 11, true);
+  EXPECT_TRUE(order[1] == 12 || order[0] == 12 || order[2] == 12);
+}
+
+}  // namespace
+}  // namespace peachy::svc
