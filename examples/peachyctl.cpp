@@ -31,7 +31,8 @@ int usage() {
   std::cerr
       << "usage: peachyctl [--host H] [--port N] COMMAND\n"
       << "  submit --kind sandpile|dmr|wfsim [--tenant T] [--name S]\n"
-      << "         [--ranks N] [--wait]\n"
+      << "         [--ranks N] [--isolation threads|process]\n"
+      << "         [--deadline-ms N] [--wait]\n"
       << "         sandpile: [--height N] [--width N] [--grains N]\n"
       << "         dmr:      [--words N] [--seed N] [--vocabulary N]\n"
       << "         wfsim:    [--steps N] [--nodes N] [--pstate N]\n"
@@ -102,6 +103,10 @@ int main(int argc, char** argv) {
       spec.tenant = args.get("tenant", "default");
       spec.name = args.get("name", "");
       spec.ranks = static_cast<std::uint32_t>(args.get_int("ranks", 2));
+      spec.isolation =
+          svc::isolation_from_string(args.get("isolation", "default"));
+      spec.deadline_ms =
+          static_cast<std::uint32_t>(args.get_int("deadline-ms", 0));
       spec.sandpile.height =
           static_cast<std::uint32_t>(args.get_int("height", 64));
       spec.sandpile.width =

@@ -9,6 +9,12 @@
 // kill -9), executes on a shared rank pool with weighted fair-share
 // dispatch, and serves Prometheus text on the metrics port. It runs until
 // `peachyctl shutdown` or SIGINT/SIGTERM.
+//
+// With --default-isolation process every job runs in forked worker
+// processes: a crashing job becomes a FAILED record with a flight dump
+// instead of a daemon outage. --rlimit-as-mb/--rlimit-cpu-s fence each
+// worker via setrlimit; --job-deadline-ms caps wall-clock per job
+// (SIGTERM, then SIGKILL after --term-grace-ms).
 #include <signal.h>
 
 #include <iostream>
@@ -36,13 +42,18 @@ int main(int argc, char** argv) {
   const Args args(argc, argv);
   const auto unknown = args.unknown_options(
       {"state", "port", "metrics-port", "pool-ranks", "max-queued",
-       "max-queued-per-tenant", "weights", "max-restarts"});
+       "max-queued-per-tenant", "weights", "max-restarts",
+       "default-isolation", "rlimit-as-mb", "rlimit-cpu-s",
+       "job-deadline-ms", "term-grace-ms"});
   if (!unknown.empty()) {
     std::cerr << "unknown option --" << unknown.front() << "\n"
               << "usage: peachyd --state DIR [--port N] [--metrics-port N]\n"
               << "               [--pool-ranks N] [--max-queued N]\n"
               << "               [--max-queued-per-tenant N]\n"
-              << "               [--weights a=3,b=1] [--max-restarts N]\n";
+              << "               [--weights a=3,b=1] [--max-restarts N]\n"
+              << "               [--default-isolation threads|process]\n"
+              << "               [--rlimit-as-mb N] [--rlimit-cpu-s N]\n"
+              << "               [--job-deadline-ms N] [--term-grace-ms N]\n";
     return 2;
   }
 
@@ -55,6 +66,15 @@ int main(int argc, char** argv) {
   options.max_queued_per_tenant = args.get_int("max-queued-per-tenant", 32);
   options.tenant_weights = args.get("weights", "");
   options.max_restarts = args.get_int("max-restarts", 2);
+  options.default_isolation =
+      peachy::svc::isolation_from_string(args.get("default-isolation", "threads"));
+  options.rlimit_as_bytes =
+      static_cast<std::uint64_t>(args.get_int("rlimit-as-mb", 0)) << 20;
+  options.rlimit_cpu_seconds =
+      static_cast<std::uint64_t>(args.get_int("rlimit-cpu-s", 0));
+  options.job_deadline_ms =
+      static_cast<std::uint32_t>(args.get_int("job-deadline-ms", 0));
+  options.term_grace_ms = args.get_int("term-grace-ms", 2000);
 
   try {
     peachy::svc::Daemon daemon(options);

@@ -11,10 +11,14 @@
 #                        recovered grid must match the fault-free one
 #   dmr                — dmr_recovery_test, severed rank mid-shuffle,
 #                        reduced output must match the in-process engine
-#   svc                — svc_recovery_test, SIGKILLs the peachyd daemon
-#                        process at a seed-scaled instant; the restarted
-#                        daemon must recover every queued job and resume
-#                        the running one to a byte-identical result
+#   svc                — svc_recovery_test, two flavors per seed: SIGKILL
+#                        the peachyd daemon process at a seed-scaled
+#                        instant (the restarted daemon must recover every
+#                        queued job and resume the running one to a
+#                        byte-identical result), and SIGKILL a *worker
+#                        child* of a process-isolated job (the daemon must
+#                        survive, supervise the restart, and still produce
+#                        a byte-identical result)
 #
 # In the sandpile/dmr suites every seed's run deliberately kills a rank,
 # so every seed must leave at least one flight-recorder post-mortem
@@ -40,7 +44,7 @@ case "$SUITE" in
   sandpile) FILTER='Recovery.Spawned2dSeveredRankRecoversByteIdentical' ;;
   dmr)      FILTER='DmrRecovery.SpawnedSeveredRankRecoversByteIdentical' ;;
   svc)
-    FILTER='SvcRecovery.DaemonSigkillMidJobRecoversByteIdentical'
+    FILTER='SvcRecovery.DaemonSigkillMidJobRecoversByteIdentical:SvcRecovery.WorkerSigkillMidProcessJobRecoversByteIdentical'
     EXPECT_FLIGHT_DUMP=0
     ;;
   *)

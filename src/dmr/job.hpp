@@ -88,6 +88,13 @@ struct Options {
   /// Base directory for spill runs ("" = a private mkdtemp per rank,
   /// removed when the job ends).
   std::string spill_dir;
+  /// Cooperative cancellation probe, polled by rank 0 at every epoch
+  /// barrier (right after the all-to-all exchange) and broadcast to the
+  /// world, so all ranks abandon the job at the same cut. An aborted job
+  /// skips the remaining epochs and the reduce, returns an empty output
+  /// with Result::aborted set, and leaves committed checkpoints in place.
+  /// Must be identical on every rank (it is part of the SPMD body).
+  std::function<bool()> should_abort;
 };
 
 /// Aggregate counters over all ranks (the distributed JobCounters).
@@ -113,7 +120,8 @@ struct Result {
   Counters counters;
   mpp::CommStats comm;
   mpp::NetStats net;
-  int restarts = 0;  ///< supervised world restarts (0 = clean run)
+  int restarts = 0;    ///< supervised world restarts (0 = clean run)
+  bool aborted = false;  ///< Options::should_abort fired mid-run
 };
 
 namespace detail {
@@ -353,6 +361,7 @@ class Job {
     }
 
     // --- Map + shuffle, one epoch at a time.
+    bool aborted = false;
     for (int e = start_epoch; e < epochs; ++e) {
       obs::Span epoch_span("dmr.map_epoch", "dmr");
       epoch_span.arg("rank", me);
@@ -465,6 +474,21 @@ class Job {
                         static_cast<std::int64_t>(rc.shuffle_bytes));
       exchange_span.close();
 
+      // Cancellation cut: the exchange recv above is the epoch barrier, so
+      // every rank is at the same point. Rank 0 polls the hook once and the
+      // or-reduce broadcasts the verdict — all ranks abandon together (same
+      // shape as the sandpile's abort poll). Committed checkpoints stay.
+      if (options_.should_abort) {
+        const bool mine = me == 0 && options_.should_abort();
+        if (comm.allreduce_or(mine)) {
+          aborted = true;
+          if (obs::enabled())
+            obs::Tracer::global().instant("dmr.abort", "dmr",
+                                          {{"rank", me}, {"epoch", e}});
+          break;
+        }
+      }
+
       // Commit the epoch: every rank's received-so-far record set becomes
       // the restart point. The exchange recv above is the all-ranks-agree
       // cut the checkpoint collective needs.
@@ -479,11 +503,14 @@ class Job {
       }
     }
 
-    // --- Reduce: each owned partition streams groups off its merge.
+    // --- Reduce: each owned partition streams groups off its merge. An
+    // aborted job skips it — the collect below still runs so rank 0 can
+    // assemble the (empty, aborted-flagged) result every rank agrees on.
     std::vector<std::vector<std::pair<K3, V3>>> part_out(owned.size());
     std::vector<std::size_t> part_groups(owned.size(), 0);
     std::vector<std::size_t> part_records(owned.size(), 0);
-    detail::run_indexed(
+    if (!aborted)
+      detail::run_indexed(
         owned.size(), options_.reduce_workers, [&](std::size_t i) {
           obs::Span reduce_span("dmr.reduce_partition", "dmr");
           reduce_span.arg("rank", me);
@@ -549,8 +576,11 @@ class Job {
         comm.recv(src, tag_result(),
                   rank_blobs[static_cast<std::size_t>(src)].data(), n);
     }
-    const std::vector<std::byte> result_blob =
+    std::vector<std::byte> result_blob;
+    detail::put_u32(aborted ? 1 : 0, result_blob);
+    const std::vector<std::byte> assembled =
         assemble_result(rank_blobs, partitions);
+    result_blob.insert(result_blob.end(), assembled.begin(), assembled.end());
     comm.set_result(result_blob.data(), result_blob.size());
   }
 
@@ -653,6 +683,7 @@ class Job {
                    "dmr job produced no result blob (rank 0 died?)");
     Result<K3, V3> result;
     std::size_t pos = 0;
+    result.aborted = detail::take_u32(blob, pos) != 0;
     detail::RankCounters total;
     std::uint64_t* const fields[] = {
         &total.map_outputs, &total.combine_outputs, &total.shuffle_records,

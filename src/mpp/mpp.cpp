@@ -1,8 +1,11 @@
 #include "mpp/mpp.hpp"
 
+#include <signal.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,6 +28,8 @@
 namespace peachy::mpp {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 obs::Counter& obs_messages() {
   static obs::Counter& c = obs::Registry::global().counter("mpp.messages");
@@ -57,7 +62,20 @@ obs::Counter& obs_restarts() {
   return c;
 }
 
+// Process-global worker identity and the SIGTERM latch. sig_atomic_t +
+// a plain handler keeps the signal path async-signal-safe; the launcher
+// process never sets either, so in_spawned_worker() doubles as "is the
+// launcher-side hook usable here".
+std::atomic<bool> g_in_spawned_worker{false};
+volatile sig_atomic_t g_spawn_abort = 0;
+
+void on_worker_sigterm(int) { g_spawn_abort = 1; }
+
 }  // namespace
+
+bool in_spawned_worker() { return g_in_spawned_worker.load(); }
+
+bool spawn_abort_requested() { return g_spawn_abort != 0; }
 
 const char* to_string(TransportKind kind) {
   return kind == TransportKind::kTcp ? "tcp" : "inproc";
@@ -472,21 +490,36 @@ constexpr const char* kEnvTraceId = "PEACHY_MPP_TRACE_ID";
 [[noreturn]] void worker_main(int rank, int world, int port,
                               const net::TcpOptions& tcp,
                               const std::string& ckpt_dir,
+                              const std::string& flight_dir,
                               const Telemetry& telemetry,
                               const std::function<void(Comm&)>& body) {
   net::WorkerReport report;
   report.reported = true;
   bool sent = false;
   net::TcpOptions worker_tcp = tcp;
+  // This process is now a worker: route SIGTERM into the cooperative abort
+  // latch (spawn_abort_requested) instead of the default instant death, so
+  // a supervised cancel lets the body reach a checkpoint boundary first.
+  g_in_spawned_worker.store(true);
+  struct sigaction sa = {};
+  sa.sa_handler = on_worker_sigterm;
+  ::sigaction(SIGTERM, &sa, nullptr);
   // Flight-recorder identity first, telemetry or not: the ring is always
   // on, and a crash or PeerDied dump must name this rank even when the
   // failure happens during mesh setup. Re-reading the dump dir matters for
   // fork()ed workers, which inherit a recorder that may have been
-  // constructed in the launcher before the env var was set.
+  // constructed in the launcher before the env var was set. An explicit
+  // per-run flight_dir (peachyd's per-job dump directory) wins over the
+  // inherited environment.
   obs::FlightRecorder::global().set_identity(rank);
-  if (const char* dir = std::getenv("PEACHY_FLIGHT_DIR"))
+  if (!flight_dir.empty())
+    obs::FlightRecorder::global().set_dump_dir(flight_dir);
+  else if (const char* dir = std::getenv("PEACHY_FLIGHT_DIR"))
     obs::FlightRecorder::global().set_dump_dir(dir);
   obs::FlightRecorder::install_crash_handler();
+  // Seed the ring: a crash before the body's first telemetry event must
+  // still produce a dump (an empty ring suppresses one).
+  obs::FlightRecorder::global().note("worker.start", rank, world);
   if (telemetry.active()) {
     obs::set_enabled(true);
     obs::cluster::set_rank(rank);
@@ -593,22 +626,35 @@ class CkptDirGuard {
 /// One attempt at a spawned world: spawn every rank (through the launcher's
 /// respawn slots, so a later attempt replaces earlier incarnations), serve
 /// the rendezvous, reap, and either assemble the outcome or throw the
-/// root-cause error.
+/// root-cause error. With an active SpawnControl a watchdog thread (started
+/// only after the forks, to keep the fork itself single-threaded here)
+/// polls the cancel hook and the wall-clock deadline and escalates
+/// SIGTERM -> grace -> SIGKILL; `fired` records which guard tripped.
 RunOutcome spawn_attempt(int ranks,
                          const std::vector<std::string>& worker_argv,
                          const std::function<void(Comm&)>& body,
                          const net::TcpOptions& tcp,
                          const std::string& ckpt_dir,
                          const Telemetry& telemetry,
-                         net::ProcessLauncher& launcher) {
-  // The serve/wait budget has to cover mesh setup plus the whole body.
-  const int budget_ms = tcp.connect_timeout_ms + tcp.recv_timeout_ms;
+                         net::ProcessLauncher& launcher,
+                         const SpawnControl& control,
+                         Clock::time_point deadline_tp,
+                         std::atomic<int>& fired) {
+  // The serve/wait budget has to cover mesh setup plus the whole body; a
+  // configured deadline extends it so the watchdog, not the rendezvous
+  // timeout, is what ends an over-deadline run.
+  int budget_ms = tcp.connect_timeout_ms + tcp.recv_timeout_ms;
+  if (control.deadline_ms > 0)
+    budget_ms = std::max(
+        budget_ms, control.deadline_ms + control.term_grace_ms + 2000);
 
   net::RendezvousServer server(ranks, /*collect_results=*/true, budget_ms);
+  launcher.set_child_limits(control.limits);
   if (worker_argv.empty()) {
     launcher.fork_workers(ranks, [&](int rank) -> int {
       server.close_listener_in_child();
-      worker_main(rank, ranks, server.port(), tcp, ckpt_dir, telemetry, body);
+      worker_main(rank, ranks, server.port(), tcp, ckpt_dir,
+                  control.flight_dir, telemetry, body);
     });
   } else {
     const int port = server.port();
@@ -622,6 +668,8 @@ RunOutcome spawn_attempt(int ranks,
               {kEnvFault, tcp.fault.encode()},
               {kEnvWindow, std::to_string(tcp.window_frames)}};
           if (!ckpt_dir.empty()) env.emplace_back(kEnvCkpt, ckpt_dir);
+          if (!control.flight_dir.empty())
+            env.emplace_back("PEACHY_FLIGHT_DIR", control.flight_dir);
           if (telemetry.active()) {
             env.emplace_back(kEnvTelemetryMs,
                              std::to_string(telemetry.interval_ms));
@@ -639,8 +687,38 @@ RunOutcome spawn_attempt(int ranks,
         });
   }
 
-  // Serve inline — no threads existed at fork time, so the parent stayed
-  // fork-safe — then reap every worker (deadline-bounded, never hangs).
+  // The watchdog starts strictly after the forks above, so the children
+  // never inherit a half-born thread. It only touches the launcher through
+  // signal-sending entry points, which are mutex-guarded against the
+  // wait_all reap below.
+  std::atomic<bool> watchdog_stop{false};
+  std::thread watchdog;
+  const bool guarded = control.should_abort || control.deadline_ms > 0;
+  if (guarded) {
+    watchdog = std::thread([&] {
+      const auto poll = std::chrono::milliseconds(std::max(1, control.poll_ms));
+      while (!watchdog_stop.load()) {
+        int why = 0;
+        if (control.should_abort && control.should_abort())
+          why = 1;
+        else if (control.deadline_ms > 0 && Clock::now() >= deadline_tp)
+          why = 2;
+        if (why != 0) {
+          fired.store(why);
+          launcher.terminate_all(SIGTERM);
+          const auto kill_at =
+              Clock::now() + std::chrono::milliseconds(control.term_grace_ms);
+          while (!watchdog_stop.load() && Clock::now() < kill_at)
+            std::this_thread::sleep_for(poll);
+          if (!watchdog_stop.load()) launcher.kill_all();
+          return;
+        }
+        std::this_thread::sleep_for(poll);
+      }
+    });
+  }
+
+  // Serve inline, then reap every worker (deadline-bounded, never hangs).
   std::exception_ptr serve_error;
   try {
     server.serve();
@@ -648,22 +726,28 @@ RunOutcome spawn_attempt(int ranks,
     serve_error = std::current_exception();
   }
   const std::vector<int> codes = launcher.wait_all(budget_ms);
+  watchdog_stop.store(true);
+  if (watchdog.joinable()) watchdog.join();
 
   // One failing rank usually drags its peers down with PeerDied; report
   // the root cause (a silent death or a non-peer-death failure), not the
   // first cascade victim.
   RunOutcome out;
   std::string root_error, any_error;
+  net::ExitClass root_class = net::ExitClass::kNonzero;
   for (int r = 0; r < ranks; ++r) {
     const net::WorkerReport& rep =
         server.reports()[static_cast<std::size_t>(r)];
     if (!rep.reported) {
-      const std::string msg =
-          "mpp worker rank " + std::to_string(r) +
-          " died before reporting (exit code " +
-          std::to_string(codes[static_cast<std::size_t>(r)]) + ": " +
-          net::describe_exit_code(codes[static_cast<std::size_t>(r)]) + ")";
-      if (root_error.empty()) root_error = msg;
+      const int code = codes[static_cast<std::size_t>(r)];
+      const std::string msg = "mpp worker rank " + std::to_string(r) +
+                              " died before reporting (exit code " +
+                              std::to_string(code) + ": " +
+                              net::describe_exit_code(code) + ")";
+      if (root_error.empty()) {
+        root_error = msg;
+        root_class = net::classify_exit_code(code);
+      }
       if (any_error.empty()) any_error = msg;
       continue;
     }
@@ -687,7 +771,29 @@ RunOutcome spawn_attempt(int ranks,
     out.net.fault_severed += rep.fault_severed;
     if (r == 0) out.rank0_result = rep.result;
   }
-  if (!root_error.empty()) throw Error(root_error);
+  // A tripped guard outranks the per-worker errors below it: a deadline or
+  // forced cancel explains every death it caused, and both are terminal
+  // (supervise must not spend restart budget re-running stopped work).
+  const bool attempt_failed =
+      !root_error.empty() || !any_error.empty() || serve_error;
+  if (fired.load() == 2)
+    throw SpawnError(
+        SpawnFailure::kTimeout,
+        "spawned world exceeded its " + std::to_string(control.deadline_ms) +
+            " ms wall-clock deadline (SIGTERM, then SIGKILL after " +
+            std::to_string(control.term_grace_ms) + " ms grace)");
+  if (fired.load() == 1 && attempt_failed)
+    throw SpawnError(SpawnFailure::kCancelled,
+                     "spawned world cancelled; workers did not exit within "
+                     "the " +
+                         std::to_string(control.term_grace_ms) +
+                         " ms SIGTERM grace" +
+                         (root_error.empty() ? "" : " (" + root_error + ")"));
+  if (!root_error.empty())
+    throw SpawnError(root_class == net::ExitClass::kSignaled
+                         ? SpawnFailure::kCrash
+                         : SpawnFailure::kNonzero,
+                     root_error);
   if (!any_error.empty()) throw Error(any_error);
   if (serve_error) std::rethrow_exception(serve_error);
   return out;
@@ -708,6 +814,12 @@ RunOutcome supervise(const Resilience& resilience, const net::TcpOptions& tcp,
       out.restarts = restarts;
       return out;
     } catch (const Error& e) {
+      // Deliberate stops (deadline, forced cancel) are terminal: restarting
+      // would re-run work the caller just told us to kill.
+      if (const auto* spawn = dynamic_cast<const SpawnError*>(&e);
+          spawn != nullptr && (spawn->kind() == SpawnFailure::kTimeout ||
+                               spawn->kind() == SpawnFailure::kCancelled))
+        throw;
       if (attempt >= resilience.max_restarts) throw;
       ++restarts;
       if (obs::enabled()) {
@@ -730,7 +842,8 @@ RunOutcome run_spawned(int ranks, const std::vector<std::string>& worker_argv,
                        const std::function<void(Comm&)>& body,
                        const net::TcpOptions& tcp,
                        const Resilience& resilience,
-                       const Telemetry& telemetry) {
+                       const Telemetry& telemetry,
+                       const SpawnControl& control) {
   // An exec'd worker re-enters main() and reaches this same call site; the
   // environment routes it into the worker path instead of launching again.
   if (const char* rank_env = std::getenv(kEnvRank)) {
@@ -761,7 +874,8 @@ RunOutcome run_spawned(int ranks, const std::vector<std::string>& worker_argv,
     }
     worker_main(std::atoi(rank_env), std::atoi(world_env),
                 std::atoi(port_env), worker_tcp,
-                ckpt_env ? ckpt_env : "", worker_telemetry, body);
+                ckpt_env ? ckpt_env : "", /*flight_dir=*/"",
+                worker_telemetry, body);
   }
 
   PEACHY_REQUIRE(ranks >= 1, "world needs >= 1 rank, got " << ranks);
@@ -771,13 +885,22 @@ RunOutcome run_spawned(int ranks, const std::vector<std::string>& worker_argv,
   Telemetry run_telemetry = telemetry;
   if (run_telemetry.active() && run_telemetry.trace_id == 0)
     run_telemetry.trace_id = obs::cluster::trace_id();
+  // The deadline is absolute and spans restart attempts — a job that keeps
+  // crashing and restarting still dies on time.
+  const auto deadline_tp =
+      control.deadline_ms > 0
+          ? std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(control.deadline_ms)
+          : std::chrono::steady_clock::time_point::max();
+  std::atomic<int> fired{0};
   // One launcher across attempts: respawned ranks replace (kill + reap)
   // their previous incarnations slot by slot.
   net::ProcessLauncher launcher;
   RunOutcome out =
       supervise(resilience, tcp, [&](const net::TcpOptions& attempt_tcp) {
         return spawn_attempt(ranks, worker_argv, body, attempt_tcp,
-                             ckpt.dir(), run_telemetry, launcher);
+                             ckpt.dir(), run_telemetry, launcher, control,
+                             deadline_tp, fired);
       });
   ckpt.on_success();
   return out;
@@ -787,7 +910,8 @@ RunOutcome run_world(int ranks, const RunOptions& options,
                      const std::function<void(Comm&)>& body) {
   if (options.spawn)
     return run_spawned(ranks, options.worker_argv, body, options.tcp,
-                       options.resilience, options.telemetry);
+                       options.resilience, options.telemetry,
+                       options.spawn_control);
   CkptDirGuard ckpt(options.resilience);
   RunOutcome out =
       supervise(options.resilience, options.tcp,

@@ -35,6 +35,7 @@
 #include "core/error.hpp"
 #include "mpp/telemetry.hpp"
 #include "net/inproc.hpp"
+#include "net/process.hpp"
 #include "net/tcp.hpp"
 #include "net/transport.hpp"
 
@@ -93,6 +94,63 @@ struct Resilience {
   bool remove_checkpoint_on_success = false;
 };
 
+/// Supervisor-side guard rails for a spawned world: kernel resource fences
+/// on every child, a wall-clock deadline spanning restart attempts, and a
+/// cooperative cancel hook — all enforced by a launcher-side watchdog with
+/// SIGTERM -> grace -> SIGKILL escalation. Workers observe the SIGTERM via
+/// mpp::spawn_abort_requested() and get `grace` to exit on their own
+/// (checkpoint-preserving shutdown) before the axe falls.
+struct SpawnControl {
+  net::ChildLimits limits;  ///< RLIMIT_AS / RLIMIT_CPU applied per child
+  int deadline_ms = 0;      ///< whole-run wall clock budget; 0 = unlimited
+  int term_grace_ms = 2000; ///< SIGTERM -> SIGKILL escalation window
+  int poll_ms = 20;         ///< watchdog poll cadence
+  /// Polled by the launcher-side watchdog (never inside a worker); true
+  /// triggers the SIGTERM escalation. Must be safe to call from a thread.
+  std::function<bool()> should_abort;
+  /// Flight-recorder dump directory for the workers (their crash handler
+  /// writes post-mortems here). Empty = inherit $PEACHY_FLIGHT_DIR.
+  std::string flight_dir;
+
+  bool active() const {
+    return limits.any() || deadline_ms > 0 ||
+           static_cast<bool>(should_abort) || !flight_dir.empty();
+  }
+};
+
+/// Why a spawned world attempt was torn down, for callers that must triage
+/// failure causes without string matching.
+enum class SpawnFailure {
+  kNonzero,    ///< a worker exited with a nonzero code before reporting
+  kCrash,      ///< a worker was killed by a signal (segfault, abort, OOM)
+  kTimeout,    ///< the SpawnControl wall-clock deadline fired
+  kCancelled,  ///< the SpawnControl cancel hook fired and workers had to be
+               ///< killed (a cooperative cancel returns normally instead)
+};
+
+/// The error run_spawned throws when the failure has a triaged cause.
+/// kTimeout and kCancelled are terminal: the supervisor does not burn
+/// restart budget re-running work that was deliberately stopped.
+class SpawnError : public Error {
+ public:
+  SpawnError(SpawnFailure kind, const std::string& message)
+      : Error(message), kind_(kind) {}
+  SpawnFailure kind() const { return kind_; }
+
+ private:
+  SpawnFailure kind_;
+};
+
+/// True inside a spawned worker process (set before the body runs). Job
+/// bodies use it to pick the right cancel probe: the launcher-side hook is
+/// meaningless after fork.
+bool in_spawned_worker();
+
+/// True once the supervisor's SIGTERM reached this worker process. The
+/// cooperative half of cancellation: bodies poll it at their epoch/step
+/// boundary and shut down checkpoint-preservingly.
+bool spawn_abort_requested();
+
 /// How to run a world (mpp::run_world).
 struct RunOptions {
   TransportKind transport = TransportKind::kInproc;
@@ -116,6 +174,9 @@ struct RunOptions {
   /// peachyd points every job here so concurrent jobs share one rank
   /// budget. Ignored by spawned worlds.
   RankPool* pool = nullptr;
+  /// Guard rails for spawned worlds (limits, deadline, cancel hook).
+  /// Ignored by threaded worlds.
+  SpawnControl spawn_control;
 };
 
 /// What a world run produced beyond side effects: aggregate stats and the
@@ -332,7 +393,8 @@ RunOutcome run_spawned(int ranks, const std::vector<std::string>& worker_argv,
                        const std::function<void(Comm&)>& body,
                        const net::TcpOptions& tcp = {},
                        const Resilience& resilience = {},
-                       const Telemetry& telemetry = {});
+                       const Telemetry& telemetry = {},
+                       const SpawnControl& control = {});
 
 /// The shared state behind a group of in-process ranks. Exposed for tests
 /// that need to drive ranks manually; most code should use mpp::run*.

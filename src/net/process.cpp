@@ -1,6 +1,7 @@
 #include "net/process.hpp"
 
 #include <signal.h>
+#include <sys/resource.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -18,12 +19,32 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+// Child-side, between fork and recipe/exec: only async-signal-safe calls.
+void apply_child_limits(const ChildLimits& limits) {
+  if (limits.address_space_bytes != 0) {
+    struct rlimit rl;
+    rl.rlim_cur = static_cast<rlim_t>(limits.address_space_bytes);
+    rl.rlim_max = static_cast<rlim_t>(limits.address_space_bytes);
+    ::setrlimit(RLIMIT_AS, &rl);
+  }
+  if (limits.cpu_seconds != 0) {
+    struct rlimit rl;
+    rl.rlim_cur = static_cast<rlim_t>(limits.cpu_seconds);
+    // Leave one second of headroom before the kernel's hard SIGKILL so the
+    // SIGXCPU death is what surfaces in the exit status.
+    rl.rlim_max = static_cast<rlim_t>(limits.cpu_seconds + 1);
+    ::setrlimit(RLIMIT_CPU, &rl);
+  }
+}
+
 }  // namespace
 
 ProcessLauncher::~ProcessLauncher() {
   // Never leak children: if the launcher unwinds (an exception between
   // spawn and wait), take the workers down with it.
-  kill_all();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (pid_t pid : pids_)
+    if (pid > 0) ::kill(pid, SIGKILL);
   for (pid_t pid : pids_)
     if (pid > 0) ::waitpid(pid, nullptr, 0);
 }
@@ -32,6 +53,7 @@ pid_t ProcessLauncher::spawn_one(int rank) {
   const pid_t pid = ::fork();
   PEACHY_REQUIRE(pid >= 0, "fork failed: " << std::strerror(errno));
   if (pid == 0) {
+    if (limits_.any()) apply_child_limits(limits_);
     if (fork_recipe_) {
       int code = 1;
       try {
@@ -77,6 +99,7 @@ pid_t ProcessLauncher::respawn(int rank) {
   PEACHY_REQUIRE(rank >= 0, "respawn of negative rank " << rank);
   PEACHY_REQUIRE(fork_recipe_ || !exec_argv_.empty(),
                  "respawn(" << rank << ") before any spawn call set a recipe");
+  std::lock_guard<std::mutex> lock(mu_);
   if (static_cast<std::size_t>(rank) >= pids_.size())
     pids_.resize(static_cast<std::size_t>(rank) + 1, -1);
   pid_t& slot = pids_[static_cast<std::size_t>(rank)];
@@ -93,6 +116,7 @@ pid_t ProcessLauncher::respawn(int rank) {
 
 std::vector<int> ProcessLauncher::wait_all(int timeout_ms) {
   const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  std::unique_lock<std::mutex> lock(mu_);
   std::vector<int> codes(pids_.size(), -1);
   std::size_t done = 0;
   bool killed = false;
@@ -113,18 +137,39 @@ std::vector<int> ProcessLauncher::wait_all(int timeout_ms) {
     }
     if (done == pids_.size()) break;
     if (Clock::now() >= deadline && !killed) {
-      kill_all();
+      for (pid_t pid : pids_)
+        if (pid > 0) ::kill(pid, SIGKILL);
       killed = true;
     }
+    lock.unlock();
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    lock.lock();
   }
   pids_.clear();
   return codes;
 }
 
 void ProcessLauncher::kill_all() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (pid_t pid : pids_)
     if (pid > 0) ::kill(pid, SIGKILL);
+}
+
+void ProcessLauncher::terminate_all(int sig) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (pid_t pid : pids_)
+    if (pid > 0) ::kill(pid, sig);
+}
+
+std::vector<pid_t> ProcessLauncher::pids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pids_;
+}
+
+ExitClass classify_exit_code(int code) {
+  if (code == 0) return ExitClass::kClean;
+  if (code == 255 || code > 128) return ExitClass::kSignaled;
+  return ExitClass::kNonzero;
 }
 
 std::string describe_exit_code(int code) {

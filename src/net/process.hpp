@@ -20,16 +20,40 @@
 
 #include <sys/types.h>
 
+#include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 namespace peachy::net {
 
+/// Kernel-enforced resource fences applied to every child between fork and
+/// the recipe/exec. Zero means "leave the inherited limit alone".
+struct ChildLimits {
+  std::uint64_t address_space_bytes = 0;  // RLIMIT_AS
+  std::uint64_t cpu_seconds = 0;          // RLIMIT_CPU (SIGXCPU then SIGKILL)
+
+  bool any() const { return address_space_bytes != 0 || cpu_seconds != 0; }
+};
+
+/// Coarse classification of a wait_all exit code, for callers that must
+/// triage "how did this job die" without string-matching.
+enum class ExitClass {
+  kClean,     // exit(0)
+  kNonzero,   // exit(n), n != 0
+  kSignaled,  // killed by a signal (128+sig or the 255 deadline kill)
+};
+
 class ProcessLauncher {
  public:
   ~ProcessLauncher();
+
+  /// Applies to children spawned by any later fork_workers / exec_workers /
+  /// respawn call. Limits are set in the child, so a respawned rank gets
+  /// the same fence as the original.
+  void set_child_limits(const ChildLimits& limits) { limits_ = limits; }
 
   /// Forks `n` children; child i runs `child_fn(i)` and _exits with its
   /// return value (it never returns into the caller's stack).
@@ -55,18 +79,34 @@ class ProcessLauncher {
   /// SIGKILLs every child still running (error-path cleanup).
   void kill_all();
 
+  /// Sends `sig` (typically SIGTERM) to every live child without reaping —
+  /// the polite half of the SIGTERM -> grace -> SIGKILL escalation. The
+  /// caller still owns the reap via wait_all/kill_all.
+  void terminate_all(int sig);
+
   int spawned() const { return static_cast<int>(pids_.size()); }
+
+  /// Snapshot of children not yet reaped (for tests that target a specific
+  /// worker with a signal). Entries are -1 once reaped.
+  std::vector<pid_t> pids() const;
 
  private:
   pid_t spawn_one(int rank);
 
+  // Guards pids_: a supervisor watchdog thread may call terminate_all /
+  // kill_all while the launcher thread reaps in wait_all.
+  mutable std::mutex mu_;
   std::vector<pid_t> pids_;  // indexed by rank; -1 = reaped / never spawned
+  ChildLimits limits_;
   // Exactly one of these recipes is set after the first spawn call.
   std::function<int(int)> fork_recipe_;
   std::vector<std::string> exec_argv_;
   std::function<std::vector<std::pair<std::string, std::string>>(int)>
       exec_env_;
 };
+
+/// Coarse triage of a wait_all exit code (see ExitClass).
+ExitClass classify_exit_code(int code);
 
 /// Human-readable root cause for a wait_all exit code, e.g.
 /// "killed by signal 9 (Killed)" or "exec failed (exit code 127)".

@@ -6,9 +6,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <utility>
 
 #include "core/error.hpp"
+#include "mpp/mpp.hpp"
 #include "net/metrics_server.hpp"
 #include "net/wire.hpp"
 #include "obs/obs.hpp"
@@ -375,7 +377,14 @@ void Daemon::execute(std::uint64_t id) {
     std::lock_guard<std::mutex> lock(mu_);
     spec = jobs_.at(id).spec;
   }
+  // Resolve the substrate: the spec's explicit ask wins, then the
+  // daemon-wide default, then threads.
+  Isolation iso = spec.isolation != Isolation::kDefault
+                      ? spec.isolation
+                      : options_.default_isolation;
+  if (iso == Isolation::kDefault) iso = Isolation::kThreads;
   RunnerOptions ro;
+  ro.isolation = iso;
   ro.pool = &pool_;
   ro.checkpoint_dir = store_.checkpoint_dir(id);
   ro.max_restarts = options_.max_restarts;
@@ -383,23 +392,59 @@ void Daemon::execute(std::uint64_t id) {
     std::lock_guard<std::mutex> lock(mu_);
     return cancel_requested_.count(id) > 0;
   };
+  if (iso == Isolation::kProcess) {
+    ro.rlimit_as_bytes = options_.rlimit_as_bytes;
+    ro.rlimit_cpu_seconds = options_.rlimit_cpu_seconds;
+    ro.deadline_ms = static_cast<int>(
+        spec.deadline_ms != 0 ? spec.deadline_ms : options_.job_deadline_ms);
+    ro.term_grace_ms = options_.term_grace_ms;
+    ro.flight_dir = store_.flight_dir(id);
+    // The crash handler writes its dump with async-signal-safe open();
+    // it cannot mkdir, so the directory must exist before any worker runs.
+    std::error_code ec;
+    std::filesystem::create_directories(ro.flight_dir, ec);
+  }
   RunnerOutcome out;
   std::string error;
+  bool killed_by_cancel = false;
+  const auto started = std::chrono::steady_clock::now();
   try {
     out = run_job(spec, ro);
+  } catch (const mpp::SpawnError& e) {
+    // Exit-status triage for process-isolated jobs. A cancel that had to
+    // be finished with signals is still a cancel, not a failure; the rest
+    // land FAILED with the cause class up front and the flight-recorder
+    // dump path attached, so `peachyctl status` tells the whole story.
+    switch (e.kind()) {
+      case mpp::SpawnFailure::kCancelled: killed_by_cancel = true; break;
+      case mpp::SpawnFailure::kTimeout:
+        error = std::string("deadline exceeded: ") + e.what();
+        break;
+      case mpp::SpawnFailure::kCrash:
+        error = std::string("worker crashed: ") + e.what();
+        break;
+      case mpp::SpawnFailure::kNonzero:
+        error = std::string("worker failed: ") + e.what();
+        break;
+    }
+    if (!error.empty() && !ro.flight_dir.empty())
+      error += "; flight dump: " + ro.flight_dir;
   } catch (const std::exception& e) {
     error = e.what();
     if (error.empty()) error = "job execution failed";
   }
+  const auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now() - started)
+                              .count();
   std::lock_guard<std::mutex> lock(mu_);
   JobRecord& rec = jobs_.at(id);
-  if (!error.empty()) {
+  if (killed_by_cancel || out.aborted) {
+    rec.state = JobState::kCancelled;
+    bump("cancelled", rec.spec.tenant);
+  } else if (!error.empty()) {
     rec.state = JobState::kFailed;
     rec.error = error;
     bump("failed", rec.spec.tenant);
-  } else if (out.aborted) {
-    rec.state = JobState::kCancelled;
-    bump("cancelled", rec.spec.tenant);
   } else {
     rec.state = JobState::kDone;
     rec.result = std::move(out.result);
@@ -410,6 +455,12 @@ void Daemon::execute(std::uint64_t id) {
   // re-runs a finished job at worst; the opposite order could lose one.
   store_.put(rec);
   store_.remove_checkpoint(id);
+  // The flight dir outlives FAILED jobs (its path is in the error string);
+  // jobs that end any other way leave nothing to post-mortem.
+  if (rec.state != JobState::kFailed) store_.remove_flight(id);
+  // Settle the fair-share ledger with the measured rank-time, so tenants
+  // of long jobs pay for what they used rather than what they claimed.
+  sched_.complete(id, static_cast<long long>(rec.spec.ranks) * elapsed_ms);
   ++completed_;
   busy_ranks_ -= static_cast<int>(rec.spec.ranks);
   --running_jobs_;
@@ -417,6 +468,11 @@ void Daemon::execute(std::uint64_t id) {
   obs::Registry::global().gauge("svc.jobs.running").set(running_jobs_);
   obs::Registry::global().gauge("svc.pool.busy_ranks").set(busy_ranks_);
   dispatch_cv_.notify_all();
+}
+
+int Daemon::pending_cancels() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(cancel_requested_.size());
 }
 
 ServiceStats Daemon::stats() const {

@@ -64,6 +64,22 @@ struct DaemonOptions {
   std::string tenant_weights;
   /// Per-job supervision budget (world restarts within one dispatch).
   int max_restarts = 2;
+  /// Substrate for jobs whose spec leaves isolation at kDefault. kThreads
+  /// runs ranks on the shared pool inside the daemon; kProcess forks real
+  /// workers per job (crash containment at fork cost). kDefault here
+  /// means kThreads.
+  Isolation default_isolation = Isolation::kThreads;
+  /// Process-isolation resource fences, applied to every worker of every
+  /// process-isolated job. 0 = unlimited.
+  std::uint64_t rlimit_as_bytes = 0;     ///< RLIMIT_AS per worker
+  std::uint64_t rlimit_cpu_seconds = 0;  ///< RLIMIT_CPU per worker
+  /// Daemon-wide wall-clock cap for process-isolated jobs whose spec has
+  /// deadline_ms == 0 (a spec deadline wins). 0 = unlimited. Threaded
+  /// jobs cannot be deadline-killed (threads are not preemptible) — the
+  /// knob is ignored for them.
+  std::uint32_t job_deadline_ms = 0;
+  /// Cancel/deadline escalation: SIGTERM, this grace, then SIGKILL.
+  int term_grace_ms = 2000;
   /// -1 = no metrics endpoint; 0 = ephemeral port; >0 = that port.
   int metrics_port = -1;
   /// Test hook: accept and queue submissions but dispatch nothing until
@@ -95,6 +111,9 @@ class Daemon {
   ServiceStats stats() const;
   int recovered_queued() const { return recovered_queued_; }
   int recovered_running() const { return recovered_running_; }
+  /// Cooperative-cancel flags not yet consumed by a terminal transition
+  /// (tests: must drain to 0 — a leaked flag would cancel a reused id).
+  int pending_cancels() const;
 
  private:
   void listen_loop();

@@ -23,6 +23,23 @@ JobKind job_kind_from_string(const std::string& name) {
               "' (expected sandpile, dmr or wfsim)");
 }
 
+const char* to_string(Isolation isolation) {
+  switch (isolation) {
+    case Isolation::kDefault: return "default";
+    case Isolation::kThreads: return "threads";
+    case Isolation::kProcess: return "process";
+  }
+  return "?";
+}
+
+Isolation isolation_from_string(const std::string& name) {
+  if (name == "default") return Isolation::kDefault;
+  if (name == "threads") return Isolation::kThreads;
+  if (name == "process") return Isolation::kProcess;
+  throw Error("unknown isolation '" + name +
+              "' (expected default, threads or process)");
+}
+
 const char* to_string(JobState state) {
   switch (state) {
     case JobState::kQueued: return "QUEUED";
@@ -39,6 +56,8 @@ void append_spec(std::vector<std::byte>& out, const JobSpec& spec) {
   append_string(out, spec.tenant);
   append_string(out, spec.name);
   net::append_u32(out, spec.ranks);
+  net::append_u32(out, static_cast<std::uint32_t>(spec.isolation));
+  net::append_u32(out, spec.deadline_ms);
   switch (spec.kind) {
     case JobKind::kSandpile:
       net::append_u32(out, spec.sandpile.height);
@@ -55,6 +74,7 @@ void append_spec(std::vector<std::byte>& out, const JobSpec& spec) {
       net::append_u32(out, spec.dmr.partitions);
       net::append_u32(out, spec.dmr.map_epochs);
       net::append_u32(out, spec.dmr.checkpoint_every);
+      net::append_u32(out, spec.dmr.fault_abort_at);
       break;
     case JobKind::kWfsim:
       net::append_u32(out, spec.wfsim.sweep_steps);
@@ -74,6 +94,11 @@ JobSpec read_spec(const std::byte*& p, const std::byte* end) {
   spec.ranks = net::read_u32(p, end);
   PEACHY_REQUIRE(spec.ranks >= 1 && spec.ranks <= 4096,
                  "job spec wants " << spec.ranks << " ranks");
+  const std::uint32_t isolation = net::read_u32(p, end);
+  PEACHY_REQUIRE(isolation <= 2,
+                 "job spec has unknown isolation " << isolation);
+  spec.isolation = static_cast<Isolation>(isolation);
+  spec.deadline_ms = net::read_u32(p, end);
   switch (spec.kind) {
     case JobKind::kSandpile:
       spec.sandpile.height = net::read_u32(p, end);
@@ -90,6 +115,7 @@ JobSpec read_spec(const std::byte*& p, const std::byte* end) {
       spec.dmr.partitions = net::read_u32(p, end);
       spec.dmr.map_epochs = net::read_u32(p, end);
       spec.dmr.checkpoint_every = net::read_u32(p, end);
+      spec.dmr.fault_abort_at = net::read_u32(p, end);
       break;
     case JobKind::kWfsim:
       spec.wfsim.sweep_steps = net::read_u32(p, end);

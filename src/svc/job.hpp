@@ -46,6 +46,17 @@ inline bool is_terminal(JobState s) {
          s == JobState::kCancelled;
 }
 
+/// Where a job's ranks execute (DESIGN.md "Job service", isolation modes).
+enum class Isolation : std::uint32_t {
+  kDefault = 0,  ///< whatever DaemonOptions::default_isolation says
+  kThreads = 1,  ///< ranks as threads on the shared in-daemon RankPool
+  kProcess = 2,  ///< ranks as forked worker processes (crash-contained)
+};
+
+const char* to_string(Isolation isolation);
+/// Parses "default" | "threads" | "process" (CLI values); throws on others.
+Isolation isolation_from_string(const std::string& name);
+
 /// Center-pile stabilization (sandpile/distributed.hpp). checkpoint_every
 /// > 0 makes the job resumable across daemon deaths.
 struct SandpileParams {
@@ -67,6 +78,11 @@ struct DmrParams {
   std::uint32_t partitions = 8;
   std::uint32_t map_epochs = 2;
   std::uint32_t checkpoint_every = 1;  ///< epochs; 0 = never
+  /// Test hook for crash containment: the mapper calls abort() once this
+  /// many words have been mapped in the worker (0 = never). Under process
+  /// isolation the daemon must survive it; under threads it would not —
+  /// which is exactly the blast-radius difference the tests pin down.
+  std::uint32_t fault_abort_at = 0;
 };
 
 /// Sweep of per-level cloud fractions 0..1 over the Montage-like workflow
@@ -83,6 +99,13 @@ struct JobSpec {
   std::string tenant = "default";
   std::string name;        ///< free-form label, echoed by list/status
   std::uint32_t ranks = 2; ///< rank-pool gang size this job wants
+  /// Execution substrate: in-daemon pool threads or forked worker
+  /// processes. kDefault defers to the daemon's configured default.
+  Isolation isolation = Isolation::kDefault;
+  /// Wall-clock budget for the whole run, restart attempts included
+  /// (process isolation only; 0 = the daemon's default, which may be
+  /// unlimited). Overrunning jobs get SIGTERM, then SIGKILL.
+  std::uint32_t deadline_ms = 0;
   SandpileParams sandpile;
   DmrParams dmr;
   WfsimParams wfsim;

@@ -21,7 +21,11 @@ namespace {
 //   | spec (append_spec) | string error | u64 result size | result bytes
 //   | u32 crc32 of everything above
 constexpr std::uint32_t kMagic = 0x4a565350;  // "PSVJ"
-constexpr std::uint32_t kVersion = 1;
+// v2: spec grew isolation + deadline_ms (+ dmr fault_abort_at). Records
+// from other versions are skipped at load like corrupt ones — the spec
+// codec is shared with the wire protocol, so cross-version decode would
+// misparse, and a job service retires records quickly anyway.
+constexpr std::uint32_t kVersion = 2;
 
 std::vector<std::byte> encode_record(const JobRecord& rec) {
   std::vector<std::byte> buf;
@@ -90,6 +94,7 @@ std::optional<std::vector<std::byte>> read_file(const fs::path& path) {
 JobStore::JobStore(std::string dir) : dir_(std::move(dir)) {
   fs::create_directories(fs::path(dir_) / "jobs");
   fs::create_directories(fs::path(dir_) / "ckpt");
+  fs::create_directories(fs::path(dir_) / "flight");
   // Continue the id sequence after the largest committed record, corrupt or
   // not — ids must never be reused, even for jobs we can no longer decode.
   for (const auto& entry : fs::directory_iterator(fs::path(dir_) / "jobs")) {
@@ -170,6 +175,15 @@ void JobStore::erase(std::uint64_t id) {
 void JobStore::remove_checkpoint(std::uint64_t id) {
   std::error_code ec;
   fs::remove_all(checkpoint_dir(id), ec);
+}
+
+std::string JobStore::flight_dir(std::uint64_t id) const {
+  return (fs::path(dir_) / "flight" / ("job-" + std::to_string(id))).string();
+}
+
+void JobStore::remove_flight(std::uint64_t id) {
+  std::error_code ec;
+  fs::remove_all(flight_dir(id), ec);
 }
 
 }  // namespace peachy::svc

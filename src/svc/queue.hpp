@@ -56,6 +56,14 @@ class JobStore {
   /// Removes a job's checkpoint directory (after DONE/CANCELLED/FAILED).
   void remove_checkpoint(std::uint64_t id);
 
+  /// Per-job flight-recorder dump directory: <dir>/flight/job-<id>. A
+  /// process-isolated job's crashing workers write their post-mortems
+  /// here; the FAILED record's error string names it.
+  std::string flight_dir(std::uint64_t id) const;
+
+  /// Removes a job's flight directory (jobs that end without crashing).
+  void remove_flight(std::uint64_t id);
+
   const std::string& dir() const { return dir_; }
   int corrupt_skipped() const { return corrupt_skipped_; }
 

@@ -1,8 +1,11 @@
 #include "svc/runner.hpp"
 
+#include <atomic>
 #include <bit>
 #include <cstdint>
+#include <cstdlib>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "core/error.hpp"
@@ -32,11 +35,36 @@ double read_f64(const std::byte*& p, const std::byte* end) {
 
 mpp::RunOptions world_options(const RunnerOptions& options) {
   mpp::RunOptions run;
-  run.pool = options.pool;
   run.resilience.max_restarts = options.max_restarts;
   run.resilience.checkpoint_dir = options.checkpoint_dir;
   run.resilience.remove_checkpoint_on_success = !options.keep_checkpoint;
+  if (options.isolation == Isolation::kProcess) {
+    run.transport = mpp::TransportKind::kTcp;
+    run.spawn = true;
+    // The spawned serve/wait budget is connect+recv, which must cover the
+    // whole job runtime; raise it so long jobs are bounded by the
+    // SpawnControl deadline (when set), not the rendezvous timeout.
+    run.tcp.recv_timeout_ms = std::max(run.tcp.recv_timeout_ms, 120000);
+    run.spawn_control.limits.address_space_bytes = options.rlimit_as_bytes;
+    run.spawn_control.limits.cpu_seconds = options.rlimit_cpu_seconds;
+    run.spawn_control.deadline_ms = options.deadline_ms;
+    run.spawn_control.term_grace_ms = options.term_grace_ms;
+    run.spawn_control.should_abort = options.should_abort;
+    run.spawn_control.flight_dir = options.flight_dir;
+  } else {
+    run.pool = options.pool;
+  }
   return run;
+}
+
+// The hook the SPMD body polls at its cancellation cuts. Threaded jobs ask
+// the daemon directly; process-isolated bodies run in forked workers where
+// the daemon's hook is dead weight — there the probe is the SIGTERM latch
+// the supervisor's escalation sets.
+std::function<bool()> body_abort_hook(const RunnerOptions& options) {
+  if (options.isolation == Isolation::kProcess)
+    return [] { return mpp::spawn_abort_requested(); };
+  return options.should_abort;
 }
 
 RunnerOutcome run_sandpile(const JobSpec& spec, const RunnerOptions& options) {
@@ -49,7 +77,7 @@ RunnerOutcome run_sandpile(const JobSpec& spec, const RunnerOptions& options) {
   opt.halo_depth = static_cast<int>(p.halo_depth);
   opt.checkpoint_every = static_cast<int>(p.checkpoint_every);
   opt.run = world_options(options);
-  opt.should_abort = options.should_abort;
+  opt.should_abort = body_abort_hook(options);
   const sandpile::DistributedResult r =
       sandpile::stabilize_distributed(initial, opt);
   RunnerOutcome out;
@@ -93,13 +121,24 @@ RunnerOutcome run_dmr(const JobSpec& spec, const RunnerOptions& options) {
   dmr::Job<int, std::string, std::string, std::uint64_t, std::string,
            std::uint64_t>
       job;
-  job.mapper([](const int&, const std::string& line,
-                mr::Emitter<std::string, std::uint64_t>& out) {
+  // fault_abort_at is the crash-containment test hook: the mapper abort()s
+  // the moment it has emitted that many words. Counted per process — in
+  // process isolation that is one worker's tally, which is all the tests
+  // need (some worker dies; which one is irrelevant).
+  const auto mapped = std::make_shared<std::atomic<std::uint32_t>>(0);
+  const std::uint32_t abort_at = p.fault_abort_at;
+  job.mapper([mapped, abort_at](const int&, const std::string& line,
+                                mr::Emitter<std::string, std::uint64_t>& out) {
     std::size_t start = 0;
     while (start < line.size()) {
       std::size_t end = line.find(' ', start);
       if (end == std::string::npos) end = line.size();
-      if (end > start) out.emit(line.substr(start, end - start), 1);
+      if (end > start) {
+        if (abort_at != 0 &&
+            mapped->fetch_add(1, std::memory_order_relaxed) + 1 >= abort_at)
+          std::abort();
+        out.emit(line.substr(start, end - start), 1);
+      }
       start = end + 1;
     }
   });
@@ -118,6 +157,7 @@ RunnerOutcome run_dmr(const JobSpec& spec, const RunnerOptions& options) {
   opt.map_epochs = static_cast<int>(p.map_epochs);
   opt.checkpoint_every = static_cast<int>(p.checkpoint_every);
   opt.run = world_options(options);
+  opt.should_abort = body_abort_hook(options);
   job.options(std::move(opt));
   const auto r = job.run(synth_corpus(p));
   RunnerOutcome out;
@@ -126,6 +166,7 @@ RunnerOutcome run_dmr(const JobSpec& spec, const RunnerOptions& options) {
     append_string(out.result, word);
     net::append_u64(out.result, count);
   }
+  out.aborted = r.aborted;
   out.restarts = r.restarts;
   return out;
 }
@@ -140,6 +181,7 @@ RunnerOutcome run_wfsim(const JobSpec& spec, const RunnerOptions& options) {
   mpp::RunOptions run = world_options(options);
   run.resilience.checkpoint_dir.clear();
   const std::uint32_t steps = p.sweep_steps;
+  const std::function<bool()> abort_hook = body_abort_hook(options);
   const mpp::RunOutcome outcome = mpp::run_world(
       static_cast<int>(spec.ranks), run, [&](mpp::Comm& comm) {
         const int rank = comm.rank();
@@ -147,9 +189,26 @@ RunnerOutcome run_wfsim(const JobSpec& spec, const RunnerOptions& options) {
         const wf::Workflow wf = wf::make_montage();
         const wf::Platform platform = wf::eduwrench_platform();
         const int levels = wf.num_levels();
+        // Every rank runs the same iteration count (idle tail iterations
+        // included) so the per-iteration cancel collective lines up; rank r
+        // owns steps r, r+R, r+2R, ...
+        const std::uint32_t iters =
+            (steps + static_cast<std::uint32_t>(R) - 1) /
+            static_cast<std::uint32_t>(R);
+        bool aborted = false;
         std::vector<std::int64_t> mine;  // (step, makespan bits, gco2 bits)
-        for (std::uint32_t s = static_cast<std::uint32_t>(rank); s < steps;
-             s += static_cast<std::uint32_t>(R)) {
+        for (std::uint32_t it = 0; it < iters; ++it) {
+          if (abort_hook) {
+            const bool stop_mine = rank == 0 && abort_hook();
+            if (comm.allreduce_or(stop_mine)) {
+              aborted = true;
+              break;
+            }
+          }
+          const std::uint32_t s =
+              static_cast<std::uint32_t>(rank) +
+              it * static_cast<std::uint32_t>(R);
+          if (s >= steps) continue;
           const double fraction =
               steps == 1 ? 0.0 : static_cast<double>(s) / (steps - 1);
           wf::RunConfig cfg;
@@ -165,13 +224,18 @@ RunnerOutcome run_wfsim(const JobSpec& spec, const RunnerOptions& options) {
         }
         const std::vector<std::int64_t> all = comm.gather(0, mine);
         if (rank != 0) return;
-        PEACHY_CHECK(all.size() == static_cast<std::size_t>(steps) * 3);
+        PEACHY_CHECK(all.size() % 3 == 0);
+        if (!aborted)
+          PEACHY_CHECK(all.size() == static_cast<std::size_t>(steps) * 3);
         std::map<std::int64_t, std::pair<double, double>> rows;
         for (std::size_t i = 0; i < all.size(); i += 3)
           rows[all[i]] = {std::bit_cast<double>(all[i + 1]),
                           std::bit_cast<double>(all[i + 2])};
         std::vector<std::byte> blob;
-        net::append_u32(blob, steps);
+        // Internal prefix for the launcher (stripped before the blob is
+        // stored): whether the cancel collective cut the sweep short.
+        net::append_u32(blob, aborted ? 1 : 0);
+        net::append_u32(blob, static_cast<std::uint32_t>(rows.size()));
         for (const auto& [s, vals] : rows) {
           const double fraction =
               steps == 1 ? 0.0 : static_cast<double>(s) / (steps - 1);
@@ -182,7 +246,10 @@ RunnerOutcome run_wfsim(const JobSpec& spec, const RunnerOptions& options) {
         comm.set_result(blob.data(), blob.size());
       });
   RunnerOutcome out;
-  out.result = outcome.rank0_result;
+  const std::byte* q = outcome.rank0_result.data();
+  const std::byte* qend = q + outcome.rank0_result.size();
+  out.aborted = net::read_u32(q, qend) != 0;
+  out.result.assign(q, qend);
   out.restarts = outcome.restarts;
   return out;
 }
@@ -190,7 +257,10 @@ RunnerOutcome run_wfsim(const JobSpec& spec, const RunnerOptions& options) {
 }  // namespace
 
 RunnerOutcome run_job(const JobSpec& spec, const RunnerOptions& options) {
-  PEACHY_REQUIRE(options.pool != nullptr, "runner needs a rank pool");
+  PEACHY_REQUIRE(options.isolation != Isolation::kDefault,
+                 "caller must resolve Isolation::kDefault before running");
+  if (options.isolation == Isolation::kThreads)
+    PEACHY_REQUIRE(options.pool != nullptr, "runner needs a rank pool");
   if (options.should_abort && options.should_abort()) {
     RunnerOutcome out;
     out.aborted = true;

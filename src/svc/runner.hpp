@@ -9,10 +9,18 @@
 // cut on disk, and the restarted daemon re-dispatches the same spec into
 // the same directory, where Comm::restore picks the run back up.
 //
-// Cancellation: sandpile jobs honor should_abort cooperatively (rank 0
-// folds it into the termination allreduce each exchange round); dmr and
-// wfsim jobs only check it before starting — cancelling them mid-run is
-// best-effort and may finish the job instead.
+// Isolation: RunnerOptions::isolation picks the substrate. kThreads runs
+// ranks as pool threads inside the daemon (cheap, zero-copy, but a
+// crashing job takes the daemon with it); kProcess forks real worker
+// processes via mpp::run_spawned with RLIMIT fences, an optional
+// wall-clock deadline, and SIGTERM -> grace -> SIGKILL cancellation —
+// worker death is a FAILED record, not a daemon outage.
+//
+// Cancellation is end-to-end for every kind: sandpile folds should_abort
+// into the termination allreduce each exchange round, dmr polls it at
+// every epoch barrier, wfsim at every sweep-step iteration. In process
+// mode the launcher-side hook drives SIGTERM to the children, whose
+// bodies observe mpp::spawn_abort_requested() at the same boundaries.
 //
 // Result blob formats (little-endian, net wire helpers):
 //   sandpile — sandpile::detail::encode_result (H, W, rounds, status, cells)
@@ -36,16 +44,27 @@ class RankPool;
 namespace peachy::svc {
 
 struct RunnerOptions {
-  mpp::RankPool* pool = nullptr;    ///< shared execution pool (required)
+  mpp::RankPool* pool = nullptr;    ///< shared pool (required for kThreads)
   std::string checkpoint_dir;       ///< named per-job dir; "" = no ckpt
   int max_restarts = 2;             ///< in-run supervision budget
-  /// Polled by the job while it runs (sandpile: every exchange round).
+  /// Polled by the job while it runs, at every exchange round / epoch
+  /// barrier / sweep step. Called only in the daemon process (in process
+  /// isolation it drives the SIGTERM escalation; the forked workers poll
+  /// mpp::spawn_abort_requested() instead).
   std::function<bool()> should_abort;
   /// Keep the named checkpoint dir after success instead of letting mpp
   /// remove it (the daemon removes it itself once the DONE record is
   /// committed — otherwise a crash between "ckpt removed" and "record
   /// committed" would re-run the job from scratch).
   bool keep_checkpoint = true;
+  /// Execution substrate. Must be resolved (not kDefault) by the caller.
+  Isolation isolation = Isolation::kThreads;
+  // --- process isolation only:
+  std::uint64_t rlimit_as_bytes = 0;   ///< RLIMIT_AS per worker; 0 = off
+  std::uint64_t rlimit_cpu_seconds = 0;  ///< RLIMIT_CPU per worker; 0 = off
+  int deadline_ms = 0;       ///< whole-run wall clock; 0 = unlimited
+  int term_grace_ms = 2000;  ///< SIGTERM -> SIGKILL escalation grace
+  std::string flight_dir;    ///< worker crash dumps land here ("" = inherit)
 };
 
 struct RunnerOutcome {

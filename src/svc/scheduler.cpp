@@ -16,7 +16,7 @@ FairShareScheduler::Tenant& FairShareScheduler::tenant_slot(
     const std::string& name) {
   for (Tenant& t : tenants_)
     if (t.name == name) return t;
-  tenants_.push_back(Tenant{name, 1, 0, {}});
+  tenants_.push_back(Tenant{name, 1, 0, 0, {}});
   return tenants_.back();
 }
 
@@ -53,16 +53,26 @@ bool FairShareScheduler::remove(std::uint64_t id) {
     if (it == t.queue.end()) continue;
     t.queue.erase(it);
     --total_queued_;
-    // Classic DRR: an emptied queue forfeits its remaining deficit, so a
-    // tenant cannot bank credit while idle and burst later.
-    if (t.queue.empty()) t.deficit = 0;
+    // Classic DRR: an emptied queue forfeits its remaining *credit*, so a
+    // tenant cannot bank while idle and burst later. Debt (a negative
+    // deficit from jobs that ran longer than estimated) is kept — going
+    // idle must not launder it.
+    if (t.queue.empty()) t.deficit = std::min<long long>(t.deficit, 0);
     return true;
   }
   return false;
 }
 
-void FairShareScheduler::close_turn(Tenant& t, bool reset_deficit) {
-  if (reset_deficit) t.deficit = 0;
+// A tenant's per-job wall-time estimate: its completion EWMA once it has
+// one, the configured default until then.
+long long FairShareScheduler::job_ms(const Tenant& t) const {
+  if (t.ewma_job_ms > 0)
+    return std::max<long long>(1, static_cast<long long>(t.ewma_job_ms));
+  return std::max<long long>(1, options_.default_job_ms);
+}
+
+void FairShareScheduler::close_turn(Tenant& t, bool forfeit_credit) {
+  if (forfeit_credit) t.deficit = std::min<long long>(t.deficit, 0);
   turn_open_ = false;
   cursor_ = (cursor_ + 1) % std::max<std::size_t>(tenants_.size(), 1);
 }
@@ -71,43 +81,76 @@ std::optional<std::uint64_t> FairShareScheduler::pick(int free_ranks) {
   if (tenants_.empty() || total_queued_ == 0) return std::nullopt;
   // Each iteration either serves a job, returns "wait for ranks", or
   // closes a turn and advances the cursor. Every full lap credits each
-  // non-empty tenant with quantum * weight, so the priciest head job
-  // becomes affordable within max_cost / quantum + 2 laps; beyond that
+  // non-empty tenant with quantum * weight * default_job_ms rank-ms, so
+  // the priciest head job (estimate, plus any debt the tenant is paying
+  // off) becomes affordable within a bounded number of laps; beyond that
   // the queues are genuinely undecidable this call and we bail out.
+  const long long lap_credit =
+      static_cast<long long>(options_.quantum) *
+      std::max<long long>(1, options_.default_job_ms);
   long long max_cost = 1;
   for (const Tenant& t : tenants_)
     if (!t.queue.empty())
-      max_cost = std::max<long long>(max_cost, t.queue.front().ranks);
+      max_cost = std::max<long long>(
+          max_cost, t.queue.front().ranks * job_ms(t) - t.deficit);
   const std::size_t max_steps =
-      tenants_.size() * static_cast<std::size_t>(
-                            max_cost / options_.quantum + 2);
+      tenants_.size() *
+      static_cast<std::size_t>(max_cost / lap_credit + 2);
   for (std::size_t step = 0; step < max_steps; ++step) {
     Tenant& t = tenants_[cursor_ % tenants_.size()];
     if (t.queue.empty()) {
-      close_turn(t, /*reset_deficit=*/true);
+      close_turn(t, /*forfeit_credit=*/true);
       continue;
     }
     if (!turn_open_) {
-      t.deficit += static_cast<long long>(options_.quantum) * t.weight;
+      t.deficit += static_cast<long long>(options_.quantum) * t.weight *
+                   std::max<long long>(1, options_.default_job_ms);
       turn_open_ = true;
     }
     const Item head = t.queue.front();
-    if (t.deficit < head.ranks) {
-      // Turn exhausted; keep the remainder for the next lap.
-      close_turn(t, /*reset_deficit=*/false);
+    const long long estimate = head.ranks * job_ms(t);
+    if (t.deficit < estimate) {
+      // Turn exhausted; keep the remainder (or the debt) for later laps.
+      close_turn(t, /*forfeit_credit=*/false);
       continue;
     }
     if (head.ranks > free_ranks) return std::nullopt;  // turn stays open
     t.queue.pop_front();
     --total_queued_;
-    t.deficit -= head.ranks;
-    if (t.queue.empty()) close_turn(t, /*reset_deficit=*/true);
+    t.deficit -= estimate;
+    inflight_[head.id] =
+        Inflight{static_cast<std::size_t>(&t - tenants_.data()), head.ranks,
+                 estimate};
+    if (t.queue.empty()) close_turn(t, /*forfeit_credit=*/true);
     return head.id;
   }
   return std::nullopt;
 }
 
+void FairShareScheduler::complete(std::uint64_t id, long long actual_rank_ms) {
+  const auto it = inflight_.find(id);
+  if (it == inflight_.end()) return;
+  const Inflight fl = it->second;
+  inflight_.erase(it);
+  Tenant& t = tenants_[fl.tenant_idx];
+  // Settle: the estimate was already charged at pick(); charge (or refund)
+  // the difference so the tenant's ledger reflects measured rank-time.
+  t.deficit -= std::max<long long>(actual_rank_ms, 0) - fl.estimated_rank_ms;
+  if (t.queue.empty()) t.deficit = std::min<long long>(t.deficit, 0);
+  const double wall_ms =
+      static_cast<double>(std::max<long long>(actual_rank_ms, 0)) /
+      std::max(fl.ranks, 1);
+  t.ewma_job_ms =
+      t.ewma_job_ms <= 0 ? wall_ms : 0.5 * t.ewma_job_ms + 0.5 * wall_ms;
+}
+
 int FairShareScheduler::queued() const { return total_queued_; }
+
+long long FairShareScheduler::deficit_for(const std::string& tenant) const {
+  for (const Tenant& t : tenants_)
+    if (t.name == tenant) return t.deficit;
+  return 0;
+}
 
 int FairShareScheduler::queued_for(const std::string& tenant) const {
   for (const Tenant& t : tenants_)

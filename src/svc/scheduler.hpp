@@ -7,15 +7,24 @@
 //    reason instead of buffering without limit). The daemon relays the
 //    reason string verbatim in its kRejected reply.
 //
-// 2. Ordering: weighted deficit round-robin over tenants, *turn-based*.
+// 2. Ordering: weighted deficit round-robin over tenants, *turn-based*,
+//    with costs in **rank-milliseconds of wall clock** — not dispatches.
 //    Opening a tenant's turn credits its deficit once with
-//    quantum * weight; the tenant is then served from the head of its
-//    FIFO while the deficit covers each job's cost (cost = ranks
-//    requested). When the deficit runs out — or the queue does — the turn
-//    closes and the cursor advances. With quantum = rank-pool capacity,
-//    any admissible job is affordable within a single turn, so weights
-//    translate directly into rank-time ratios: tenants at weights 2:1
-//    submitting identical jobs are served in the pattern a,a,b.
+//    quantum * weight * default_job_ms; the tenant is then served from
+//    the head of its FIFO while the deficit covers each job's *estimated*
+//    cost (ranks * the tenant's EWMA of per-job wall time, default_job_ms
+//    until it has history). When a job finishes, complete() settles the
+//    estimate against the measured rank-ms: a job that ran 10x longer
+//    than estimated drives its tenant's deficit into debt, which the
+//    tenant pays off by waiting out laps before being served again. That
+//    is the fairness fix from ROADMAP: a tenant of long jobs and a tenant
+//    of short jobs at equal weight converge to equal rank-*time*, not
+//    equal dispatch counts. When the deficit runs out — or the queue
+//    does — the turn closes and the cursor advances. With quantum = pool
+//    capacity, any admissible job is affordable within a bounded number
+//    of laps, so weights translate directly into rank-time ratios:
+//    tenants at weights 2:1 submitting identical jobs are served in the
+//    pattern a,a,b.
 //
 //    When the tenant at the cursor has an affordable head job but the
 //    pool lacks free ranks for it, pick() returns nothing WITHOUT closing
@@ -28,6 +37,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -38,6 +48,9 @@ struct SchedulerOptions {
   int max_queued = 64;             ///< global queue-depth cap
   int max_queued_per_tenant = 32;  ///< one tenant's slice of the queue
   int quantum = 4;                 ///< deficit credit per turn, in ranks
+  /// Assumed per-job wall time for tenants with no completion history;
+  /// the unit that turns `quantum` (ranks) into rank-ms of credit.
+  long long default_job_ms = 1000;
 };
 
 class FairShareScheduler {
@@ -58,10 +71,18 @@ class FairShareScheduler {
 
   /// Next job to dispatch given `free_ranks` idle pool ranks, or nullopt
   /// if every tenant is empty or the front job must wait for ranks.
+  /// Charges the tenant the job's *estimated* rank-ms cost.
   std::optional<std::uint64_t> pick(int free_ranks);
+
+  /// Settles a picked job's measured cost (ranks * wall-clock ms) against
+  /// the estimate charged at pick() time and feeds the tenant's per-job
+  /// EWMA. Unknown ids are ignored (job predates a daemon restart).
+  void complete(std::uint64_t id, long long actual_rank_ms);
 
   int queued() const;
   int queued_for(const std::string& tenant) const;
+  /// The tenant's current deficit in rank-ms (tests; negative = debt).
+  long long deficit_for(const std::string& tenant) const;
 
  private:
   struct Item {
@@ -71,15 +92,24 @@ class FairShareScheduler {
   struct Tenant {
     std::string name;
     int weight = 1;
-    long long deficit = 0;
+    long long deficit = 0;   ///< rank-ms; negative = debt carried forward
+    double ewma_job_ms = 0;  ///< per-job wall estimate; 0 = no history yet
     std::deque<Item> queue;
+  };
+  /// What pick() charged for a dispatched job, so complete() can settle.
+  struct Inflight {
+    std::size_t tenant_idx = 0;
+    int ranks = 1;
+    long long estimated_rank_ms = 0;
   };
 
   Tenant& tenant_slot(const std::string& name);
-  void close_turn(Tenant& t, bool reset_deficit);
+  long long job_ms(const Tenant& t) const;
+  void close_turn(Tenant& t, bool forfeit_credit);
 
   SchedulerOptions options_;
   std::vector<Tenant> tenants_;
+  std::map<std::uint64_t, Inflight> inflight_;
   std::size_t cursor_ = 0;
   bool turn_open_ = false;
   int total_queued_ = 0;

@@ -19,6 +19,7 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <set>
@@ -101,6 +102,29 @@ bool checkpoint_exists(const std::string& state_dir, std::uint64_t id) {
 int fault_seed() {
   const char* s = ::getenv("PEACHY_FAULT_SEED");
   return s != nullptr ? ::atoi(s) : 0;
+}
+
+/// Live direct children of `parent` (via /proc/<pid>/stat field 4) — for
+/// a daemon running a process-isolated job, these are its rank workers.
+std::vector<pid_t> children_of(pid_t parent) {
+  std::vector<pid_t> kids;
+  for (const auto& entry : std::filesystem::directory_iterator("/proc")) {
+    const std::string name = entry.path().filename().string();
+    if (name.empty() || name.find_first_not_of("0123456789") != std::string::npos)
+      continue;
+    std::ifstream f(entry.path() / "stat");
+    std::string stat;
+    if (!std::getline(f, stat)) continue;
+    // pid (comm) state ppid ... — comm may contain spaces, parse past ')'.
+    const std::size_t close = stat.rfind(')');
+    if (close == std::string::npos) continue;
+    pid_t ppid = 0;
+    char state = 0;
+    if (std::sscanf(stat.c_str() + close + 1, " %c %d", &state, &ppid) != 2)
+      continue;
+    if (ppid == parent && state != 'Z') kids.push_back(::atoi(name.c_str()));
+  }
+  return kids;
 }
 
 TEST(SvcRecovery, DaemonSigkillMidJobRecoversByteIdentical) {
@@ -186,6 +210,71 @@ TEST(SvcRecovery, DaemonSigkillMidJobRecoversByteIdentical) {
   ASSERT_EQ(again.await(fresh.id, 300s).state, JobState::kDone);
   EXPECT_EQ(again.result(running.id), again.result(fresh.id))
       << "resumed result diverged from a clean run";
+}
+
+// The crash-containment half of the sweep: SIGKILL not the daemon but a
+// *worker child* of a process-isolated job, at a seeded instant. The
+// daemon must shrug — supervise the restart, resume from the job's named
+// checkpoint, and still produce a byte-identical result — and must keep
+// serving other requests throughout.
+TEST(SvcRecovery, WorkerSigkillMidProcessJobRecoversByteIdentical) {
+  TempDir dir;
+  const pid_t child = spawn_daemon(dir.path());
+  ASSERT_GT(child, 0);
+  const int port = wait_for_port(dir.path());
+  ASSERT_GT(port, 0) << "daemon child never published its port";
+  Client client("127.0.0.1", port);
+
+  JobSpec slow;
+  slow.kind = JobKind::kSandpile;
+  slow.tenant = "victim";
+  slow.name = "slow-isolated";
+  slow.ranks = 2;
+  slow.isolation = Isolation::kProcess;
+  slow.sandpile = {32, 32, 120000, 1, 2};
+  const SubmitResult running = client.submit(slow);
+  ASSERT_TRUE(running.accepted) << running.reject_reason;
+
+  // Choose the instant. Seed 0 waits for a committed checkpoint, which
+  // guarantees live workers mid-computation; sweep seeds land anywhere in
+  // the job's lifetime (including before fork or after exit — then there
+  // is simply nobody to kill, and the job must complete untouched).
+  const int seed = fault_seed();
+  if (seed == 0) {
+    const auto deadline = std::chrono::steady_clock::now() + 60s;
+    while (!checkpoint_exists(dir.path(), running.id)) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "running job never checkpointed";
+      std::this_thread::sleep_for(5ms);
+    }
+  } else {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(10 + (seed * 37) % 600));
+  }
+  const std::vector<pid_t> workers = children_of(child);
+  if (seed == 0) {
+    ASSERT_FALSE(workers.empty()) << "no worker to kill";
+  }
+  if (!workers.empty()) {
+    ASSERT_EQ(::kill(workers.front(), SIGKILL), 0);
+  }
+
+  // The daemon survives its worker's death and keeps answering.
+  EXPECT_EQ(::kill(child, 0), 0) << "daemon died with its worker";
+  ASSERT_EQ(client.await(running.id, 300s).state, JobState::kDone)
+      << client.status(running.id).error;
+  EXPECT_EQ(::kill(child, 0), 0);
+
+  // Byte-identity against a clean run of the same spec on the same daemon.
+  const SubmitResult fresh = client.submit(slow);
+  ASSERT_TRUE(fresh.accepted);
+  ASSERT_EQ(client.await(fresh.id, 300s).state, JobState::kDone);
+  EXPECT_EQ(client.result(running.id), client.result(fresh.id))
+      << "post-worker-kill result diverged from a clean run";
+
+  client.shutdown();
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
 }
 
 }  // namespace

@@ -1,0 +1,237 @@
+// End-to-end cancellation in the default threaded substrate, the cancel
+// bookkeeping invariants, and the client's retry/backoff/deadline layer.
+// Everything here runs ranks as pool threads inside the test process —
+// no fork — so the whole file is ThreadSanitizer-clean and runs under the
+// tsan preset (the fork-based process-isolation flavors live in
+// process_isolation_test.cpp, excluded from tsan like all spawn tests).
+#include <gtest/gtest.h>
+#include <stdlib.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/error.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "svc/client.hpp"
+#include "svc/daemon.hpp"
+#include "svc/protocol.hpp"
+
+namespace peachy::svc {
+namespace {
+
+using namespace std::chrono_literals;
+
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/peachy-svc-isolation-XXXXXX";
+    path_ = ::mkdtemp(tmpl);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+DaemonOptions base_options(const std::string& state_dir) {
+  DaemonOptions o;
+  o.state_dir = state_dir;
+  o.pool_ranks = 4;
+  return o;
+}
+
+/// Blocks until the job leaves QUEUED (so a cancel lands mid-run, not
+/// while still waiting for dispatch).
+void wait_until_running(const Client& client, std::uint64_t id) {
+  const auto deadline = std::chrono::steady_clock::now() + 20s;
+  while (client.status(id).state == JobState::kQueued) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    std::this_thread::sleep_for(5ms);
+  }
+}
+
+// --- Mid-run cancellation, threaded substrate ------------------------------
+
+TEST(SvcIsolation, DmrJobCancelsMidRunThreaded) {
+  TempDir dir;
+  Daemon daemon(base_options(dir.path()));
+  Client client("127.0.0.1", daemon.port());
+
+  // Enough epochs that the job cannot finish before the cancel arrives;
+  // the epoch-barrier poll must then abandon the rest within one epoch.
+  JobSpec spec;
+  spec.kind = JobKind::kDmr;
+  spec.tenant = "alice";
+  spec.name = "long-dmr";
+  spec.ranks = 2;
+  spec.dmr = {20000, 7, 64, 8, 4, /*map_epochs=*/200, /*ckpt_every=*/4};
+  const SubmitResult sub = client.submit(spec);
+  ASSERT_TRUE(sub.accepted) << sub.reject_reason;
+  wait_until_running(client, sub.id);
+  client.cancel(sub.id);
+  const JobStatus s = client.await(sub.id, 60s);
+  EXPECT_EQ(s.state, JobState::kCancelled);
+  EXPECT_FALSE(s.has_result);
+  EXPECT_EQ(daemon.pending_cancels(), 0)
+      << "a consumed cancel flag must not outlive its job";
+}
+
+TEST(SvcIsolation, WfsimJobCancelsMidRunThreaded) {
+  TempDir dir;
+  Daemon daemon(base_options(dir.path()));
+  Client client("127.0.0.1", daemon.port());
+
+  JobSpec spec;
+  spec.kind = JobKind::kWfsim;
+  spec.tenant = "alice";
+  spec.name = "long-sweep";
+  spec.ranks = 2;
+  spec.wfsim = {/*sweep_steps=*/20000, 16, 3};
+  const SubmitResult sub = client.submit(spec);
+  ASSERT_TRUE(sub.accepted) << sub.reject_reason;
+  wait_until_running(client, sub.id);
+  client.cancel(sub.id);
+  const JobStatus s = client.await(sub.id, 60s);
+  EXPECT_EQ(s.state, JobState::kCancelled);
+  EXPECT_EQ(daemon.pending_cancels(), 0);
+}
+
+// --- Cancel bookkeeping ----------------------------------------------------
+
+TEST(SvcIsolation, CancelOfTerminalJobAnswersItsStateWithoutLeaking) {
+  TempDir dir;
+  Daemon daemon(base_options(dir.path()));
+  Client client("127.0.0.1", daemon.port());
+
+  JobSpec spec;
+  spec.kind = JobKind::kSandpile;
+  spec.tenant = "alice";
+  spec.ranks = 2;
+  spec.sandpile = {16, 16, 600, 1, 4};
+  const SubmitResult sub = client.submit(spec);
+  ASSERT_TRUE(sub.accepted);
+  ASSERT_EQ(client.await(sub.id, 30s).state, JobState::kDone);
+
+  // Cancelling a finished job reports its terminal state; it neither
+  // pretends "cancellation requested" nor parks a flag that would cancel
+  // a later job.
+  EXPECT_EQ(client.cancel(sub.id), "already DONE");
+  EXPECT_EQ(client.status(sub.id).state, JobState::kDone);
+  EXPECT_EQ(daemon.pending_cancels(), 0);
+
+  // Unknown ids are an error, not a parked flag.
+  EXPECT_THROW(client.cancel(424242), Error);
+  EXPECT_EQ(daemon.pending_cancels(), 0);
+}
+
+// --- Client retry / backoff / deadline -------------------------------------
+
+/// Replies to one framed request with a valid kOk kStats reply.
+void serve_stats_once(const net::Socket& conn) {
+  net::FrameHeader h;
+  std::vector<std::byte> payload;
+  ASSERT_TRUE(net::recv_frame(conn, h, payload, 5000));
+  std::vector<std::byte> reply;
+  append_stats(reply, ServiceStats{});
+  net::FrameHeader rh;
+  rh.type = net::FrameType::kJobReply;
+  rh.tag = static_cast<std::int32_t>(ReplyStatus::kOk);
+  net::send_frame(conn, rh, reply.data(), reply.size());
+}
+
+TEST(SvcIsolation, IdempotentCallRetriesThroughFlakyConnections) {
+  const net::Socket listener = net::Socket::listen_on("127.0.0.1", 0, 8);
+  std::thread server([&] {
+    // Two connections die without a reply (daemon "restarting"), the
+    // third is served. An idempotent op must ride this out.
+    for (int i = 0; i < 2; ++i) {
+      const net::Socket conn = listener.accept(10000);
+      // Closed by destructor without replying.
+    }
+    const net::Socket conn = listener.accept(10000);
+    serve_stats_once(conn);
+  });
+  RetryPolicy retry;
+  retry.max_attempts = 5;
+  retry.base_backoff_ms = 10;
+  retry.max_backoff_ms = 50;
+  Client client("127.0.0.1", listener.local_port(), 5000, retry);
+  EXPECT_NO_THROW(client.stats());
+  server.join();
+}
+
+TEST(SvcIsolation, SubmitIsNeverRetriedOnceTheRequestWasSent) {
+  const net::Socket listener = net::Socket::listen_on("127.0.0.1", 0, 8);
+  std::thread server([&] {
+    // Read the whole submit request, then die without replying — the
+    // daemon may or may not have committed the job; a client retry here
+    // would risk a double submit.
+    const net::Socket conn = listener.accept(10000);
+    net::FrameHeader h;
+    std::vector<std::byte> payload;
+    net::recv_frame(conn, h, payload, 5000);
+  });
+  RetryPolicy retry;
+  retry.max_attempts = 5;
+  retry.base_backoff_ms = 10;
+  retry.max_backoff_ms = 50;
+  Client client("127.0.0.1", listener.local_port(), 5000, retry);
+  JobSpec spec;
+  spec.kind = JobKind::kSandpile;
+  spec.tenant = "alice";
+  spec.ranks = 1;
+  spec.sandpile = {8, 8, 40, 1, 0};
+  EXPECT_THROW(client.submit(spec), Error);
+  server.join();
+  // No second connection may arrive; accept() must sit at its timeout.
+  EXPECT_THROW(listener.accept(500), Error)
+      << "client retried a non-idempotent submit";
+}
+
+TEST(SvcIsolation, CallDeadlineBoundsTheRetryLoop) {
+  // Nobody listens here: every attempt fails at connect. The per-call
+  // deadline must cut the retry loop off far before max_attempts-many
+  // full backoffs elapse.
+  net::Socket parked = net::Socket::listen_on("127.0.0.1", 0, 1);
+  const int dead_port = parked.local_port();
+  RetryPolicy retry;
+  retry.max_attempts = 100;
+  retry.base_backoff_ms = 40;
+  retry.max_backoff_ms = 200;
+  retry.call_deadline_ms = 300;
+  Client client("127.0.0.1", dead_port, 100, retry);
+  parked.close();  // free the port: connects now fail fast
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(client.stats(), Error);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_LT(elapsed.count(), 3000) << "deadline did not bound the retries";
+}
+
+TEST(SvcIsolation, ErrorRepliesAreNeverRetried) {
+  TempDir dir;
+  Daemon daemon(base_options(dir.path()));
+  RetryPolicy retry;
+  retry.max_attempts = 5;
+  retry.base_backoff_ms = 200;
+  retry.max_backoff_ms = 200;
+  Client client("127.0.0.1", daemon.port(), 5000, retry);
+  // kNotFound is an answer, not an outage: 5 attempts x 200 ms of backoff
+  // would show up as over a second of stalling if it were retried.
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(client.status(999999), Error);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_LT(elapsed.count(), 500) << "an answered error was retried";
+}
+
+}  // namespace
+}  // namespace peachy::svc

@@ -20,6 +20,88 @@ SchedulerOptions small_options(int quantum = 4) {
   return o;
 }
 
+// --- Wall-clock rank-time accounting ---------------------------------------
+
+TEST(Scheduler, CompleteSettlesOverrunIntoDebt) {
+  // default_job_ms = 100: a 2-rank job is estimated at 200 rank-ms, a
+  // turn credits 4 * 100 = 400. The job then *actually* burns 1000
+  // rank-ms; settlement must push the tenant 800 under water, and going
+  // idle must not launder the debt.
+  SchedulerOptions o = small_options(/*quantum=*/4);
+  o.default_job_ms = 100;
+  FairShareScheduler sched(o);
+  sched.enqueue(1, "t", 2);
+  ASSERT_EQ(sched.pick(8).value(), 1u);
+  sched.complete(1, /*actual_rank_ms=*/1000);
+  EXPECT_EQ(sched.deficit_for("t"), -800);
+}
+
+TEST(Scheduler, DebtedTenantYieldsToAFreshOne) {
+  SchedulerOptions o = small_options(/*quantum=*/4);
+  o.default_job_ms = 100;
+  FairShareScheduler sched(o);
+  // Tenant "long" runs one job that costs 5x its estimate...
+  sched.enqueue(1, "long", 2);
+  ASSERT_EQ(sched.pick(8).value(), 1u);
+  sched.complete(1, 1000);
+  // ...then both tenants queue one job each. Despite "long" being first
+  // at the cursor, its debt must let "fresh" go first.
+  sched.enqueue(2, "long", 2);
+  sched.enqueue(3, "fresh", 2);
+  EXPECT_EQ(sched.pick(8).value(), 3u);
+  EXPECT_EQ(sched.pick(8).value(), 2u);
+}
+
+TEST(Scheduler, LongJobTenantConvergesToRankTimeNotDispatchParity) {
+  // The ROADMAP fairness fix, end to end: equal weights, equal 2-rank
+  // jobs, but tenant "long"'s jobs run 4x as long as tenant "short"'s.
+  // Per-dispatch accounting would serve them 1:1 and hand "long" 4x the
+  // rank-time; rank-ms accounting must instead serve "short" ~4x as
+  // often so measured rank-time converges toward parity.
+  SchedulerOptions o;
+  o.max_queued = 64;
+  o.max_queued_per_tenant = 32;
+  o.quantum = 4;
+  o.default_job_ms = 100;
+  FairShareScheduler sched(o);
+  std::uint64_t next_id = 1;
+  std::map<std::string, int> served;
+  std::map<std::string, long long> rank_ms;
+  std::map<std::uint64_t, std::string> owner;
+  // Keep both FIFOs topped up so the contest never goes idle.
+  const auto top_up = [&](const std::string& tenant) {
+    while (sched.queued_for(tenant) < 2) {
+      if (!sched.try_admit(tenant).empty()) break;
+      owner[next_id] = tenant;
+      sched.enqueue(next_id, tenant, 2);
+      ++next_id;
+    }
+  };
+  top_up("long");
+  top_up("short");
+  for (int round = 0; round < 200; ++round) {
+    top_up("long");
+    top_up("short");
+    const auto id = sched.pick(8);
+    if (!id) break;  // both tenants exhausted their credit this instant
+    const std::string who = owner.at(*id);
+    const long long cost = who == "long" ? 800 : 200;  // 2 ranks x wall
+    served[who] += 1;
+    rank_ms[who] += cost;
+    sched.complete(*id, cost);
+  }
+  ASSERT_GT(served["short"], 0);
+  ASSERT_GT(served["long"], 0);
+  // Dispatch ratio ~4:1 in favor of the short-job tenant...
+  EXPECT_GE(served["short"], 3 * served["long"])
+      << "short=" << served["short"] << " long=" << served["long"];
+  // ...which is rank-time parity within 50%.
+  const double ratio = static_cast<double>(rank_ms["long"]) /
+                       static_cast<double>(rank_ms["short"]);
+  EXPECT_GT(ratio, 0.5) << "long got starved below its fair share";
+  EXPECT_LT(ratio, 1.5) << "long still out-consumes its share";
+}
+
 TEST(Scheduler, AdmitsUntilGlobalCapThenRejectsWithReason) {
   FairShareScheduler sched(small_options());
   for (int i = 0; i < 8; ++i) {
