@@ -79,5 +79,48 @@ int main() {
                "iteration): out/fig4_owner_map.ppm\n"
             << "expected shape: dynamic EFT beats cpu-only and device-only; "
                "black regions grow as tiles stabilize.\n";
+
+  // ---- Memory-contention sweep: the queued device model under shrinking
+  // DRAM bandwidth. As the channel tightens the device lane stalls, the
+  // EFT balancer reacts by shifting tiles back to the CPU pool, and the
+  // device's task share drops — the trade-off the hybrid assignment asks
+  // students to reason about (a faster ALU does not help a starved one).
+  // A smaller pile than the table above: the sweep re-stabilizes the field
+  // once per bandwidth point.
+  constexpr int kSweepSize = 256;
+  std::cout << "\n== queued device: DRAM contention sweep (dynamic EFT, "
+            << kSweepSize << "x" << kSweepSize << ") ==\n";
+  TextTable sweep({"dram GB/s", "modeled time ms", "device share %",
+                   "device stall ms", "dram MB"});
+  for (const double gb_per_s : {64.0, 8.0, 1.0}) {
+    Field f = sparse_random_pile(kSweepSize, kSweepSize, 0.05, 32, 256, 99);
+    AsyncEngine engine(f);
+    TileGrid tiles(kSweepSize, kSweepSize, kTile, kTile);
+
+    HybridOptions opt;
+    opt.cpu.workers = 4;
+    opt.cpu.cells_per_us = 150;
+    opt.device.cells_per_us = 3000;
+    opt.device.batch_latency_us = 80;
+    opt.device.dram_bytes_per_us = gb_per_s * 1e3;  // GB/s -> bytes/us
+    opt.policy = HybridPolicy::kDynamicEft;
+    opt.lazy = true;
+
+    HybridRunner runner(tiles, opt);
+    const HybridResult r = runner.run(engine.kernel(/*drain=*/true));
+    const double total_tasks =
+        static_cast<double>(r.cpu_tasks + r.device_tasks);
+    sweep.row({TextTable::num(gb_per_s, 0),
+               TextTable::num(r.modeled_time_us / 1e3, 2),
+               TextTable::num(100.0 * static_cast<double>(r.device_tasks) /
+                                  total_tasks,
+                              1),
+               TextTable::num(r.device_stall_us / 1e3, 2),
+               TextTable::num(static_cast<double>(r.device_dram_bytes) / 1e6,
+                              1)});
+  }
+  sweep.print(std::cout);
+  std::cout << "expected shape: stalls grow and the device share falls as "
+               "bandwidth shrinks.\n";
   return 0;
 }

@@ -1,0 +1,365 @@
+// Machine-model validation harness: calibrate the hierarchical platform
+// description from real transport telemetry, then check its predictions
+// against workloads it was NOT fitted on.
+//
+// Phase 1 runs the distributed sandpile's halo exchange over real loopback
+// TCP at several halo depths; each run's net.rtt_ns / net.frame_bytes
+// histograms become one calibration point, and machine::from_measurements
+// fits the NIC/fabric edges (rtt = 2*latency + bytes/bandwidth, least
+// squares). Phase 2 replays held-out workloads — a ghost-cell sweep at an
+// unseen halo depth and dmr shuffle jobs — and compares the model's
+// predicted transfer time against the transport's measured RTT total. The
+// acceptance bar is 25% per workload (DESIGN.md). Phase 3 extrapolates:
+// the calibrated machine predicts transfers and a contended 4-flow halo
+// round no measurement was taken for.
+//
+// Results land in out/BENCH_machine.json.
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/json.hpp"
+#include "core/table.hpp"
+#include "dmr/job.hpp"
+#include "machine/calibrate.hpp"
+#include "machine/codec.hpp"
+#include "machine/simulate.hpp"
+#include "mpp/mpp.hpp"
+#include "obs/obs.hpp"
+#include "sandpile/field.hpp"
+#include "sandpile/distributed.hpp"
+
+namespace {
+
+using namespace peachy;
+
+// The machine being calibrated: every mpp rank is one node of a loopback
+// "cluster". On-node edges are free and infinitely wide so the NIC/fabric
+// fit is the only thing the predictions depend on.
+machine::Machine loopback_machine() {
+  machine::NodeGroup g;
+  g.name = "loopback";
+  g.nodes = 4;
+  g.sockets_per_node = 1;
+  g.cores_per_socket = 1;
+  g.core_gflops = 1.0;
+  g.l3 = {1e15, 0.0};
+  g.membus = {1e15, 0.0};
+  g.nic = {1e9, 1e-6};  // placeholder; replaced by from_measurements
+  machine::Machine m;
+  m.groups.push_back(g);
+  m.fabric = {1e9, 0.0};
+  return m;
+}
+
+// Runs `body` with a freshly reset global metric registry and returns the
+// snapshot it produced — one observed operating point.
+template <typename Body>
+std::vector<obs::MetricSample> observed_run(Body&& body) {
+  obs::Registry::global().reset();
+  body();
+  return obs::Registry::global().samples();
+}
+
+void ghost_cells_tcp(const sandpile::Field& initial, int ranks, int halo) {
+  sandpile::DistributedOptions opt;
+  opt.ranks = ranks;
+  opt.halo_depth = halo;
+  opt.run.transport = mpp::TransportKind::kTcp;
+  sandpile::stabilize_distributed(initial, opt);
+}
+
+using InputPair = std::pair<int, std::string>;
+
+std::vector<InputPair> word_corpus(int lines) {
+  const char* words[] = {"peach", "stripe", "rank",  "shuffle",
+                         "spill", "merge",  "epoch", "reduce"};
+  std::vector<InputPair> inputs;
+  for (int i = 0; i < lines; ++i) {
+    std::string line;
+    for (int w = 0; w < 9; ++w) {
+      if (w) line += ' ';
+      line += words[(i * 3 + w * 5) % 8];
+    }
+    inputs.emplace_back(i, line);
+  }
+  return inputs;
+}
+
+// A shuffle-dominated dmr job over TCP: whole lines travel as values and
+// mapping/reducing are near-free, so the telemetry is almost pure shuffle.
+// `epochs` map epochs split the same traffic across that many exchange
+// barriers — more, smaller frames, keeping the coalesced frame size inside
+// the regime the calibration swept (per-byte cost on a real host is not
+// constant across regimes: MB-sized frames fall out of cache and cost
+// roughly twice as much per byte as the ≤16 KB frames fitted here).
+void dmr_shuffle_tcp(int ranks, int lines, int epochs) {
+  dmr::Job<int, std::string, std::string, std::string, std::string,
+           std::uint64_t>
+      job;
+  job.mapper([](const int& id, const std::string& line,
+                mr::Emitter<std::string, std::string>& out) {
+    out.emit(std::to_string(id % 64), line);
+  });
+  job.reducer([](const std::string& key,
+                 const std::vector<std::string>& values,
+                 mr::Emitter<std::string, std::uint64_t>& out) {
+    std::uint64_t total = 0;
+    for (const std::string& v : values) total += v.size();
+    out.emit(key, total);
+  });
+  dmr::Options opt;
+  opt.ranks = ranks;
+  opt.run.transport = mpp::TransportKind::kTcp;
+  opt.map_workers = 1;
+  opt.reduce_workers = 1;
+  opt.map_tasks = 8;
+  opt.map_epochs = epochs;
+  opt.partitions = 2 * ranks;
+  job.options(std::move(opt));
+  job.run(word_corpus(lines));
+}
+
+// Measured vs predicted for one held-out workload snapshot. The transport's
+// RTT total is ground truth; the prediction routes the run's mean frame
+// through the calibrated machine once per observed frame. `flows` is the
+// workload's concurrent flow count: calibration ran bidirectional 2-rank
+// exchanges (2 flows), so a workload with F flows fair-shares the fitted
+// bandwidth at F/2 of the calibration conditions. `frames_per_burst` is
+// how many frames the workload writes back-to-back at one peer: the
+// transport acks cumulatively, so every frame in a burst observes the
+// whole burst's stream time, not just its own. Ghost-cell exchanges send
+// one halo frame per peer per iteration (burst = 1); the dmr shuffle's
+// length-prefixed protocol sends length + block per peer (burst = 2).
+struct Validation {
+  std::string name;
+  int flows = 2;
+  int frames_per_burst = 1;
+  bool counted = true;  ///< false = informational row, outside the bar
+  std::uint64_t frames = 0;
+  double mean_bytes = 0.0;
+  double measured_s = 0.0;
+  double predicted_s = 0.0;
+  double error_pct = 0.0;
+};
+
+Validation validate(const machine::Machine& m, std::string name,
+                    const std::vector<obs::MetricSample>& snapshot,
+                    int flows = 2, int frames_per_burst = 1,
+                    bool counted = true) {
+  Validation v;
+  v.name = std::move(name);
+  v.flows = flows;
+  v.frames_per_burst = frames_per_burst;
+  v.counted = counted;
+  const machine::CalibrationPoint p = machine::calibration_point(snapshot);
+  v.frames = p.frames;
+  v.mean_bytes = p.mean_frame_bytes;
+  v.measured_s = p.mean_rtt_s * static_cast<double>(p.frames);
+  // The measured quantity is a round trip, so the prediction is one too:
+  // the data one way (route latency + stream time, with the stream
+  // fair-shared across the workload's flows) plus the empty ack's route
+  // latency back. predict_transfer_s(…, 0) is exactly the route latency.
+  // A frame's ack covers its whole burst (cumulative acks), so the
+  // streamed bytes per observed RTT are the burst's, i.e. burst size x
+  // the run's mean frame.
+  const machine::CoreId src{0, 0, 0, 0};
+  const machine::CoreId dst{0, 1, 0, 0};
+  const double latency_s = machine::predict_transfer_s(m, src, dst, 0.0);
+  const double burst_bytes = p.mean_frame_bytes * frames_per_burst;
+  const double stream_s =
+      machine::predict_transfer_s(m, src, dst, burst_bytes) - latency_s;
+  v.predicted_s = static_cast<double>(p.frames) *
+                  (2.0 * latency_s + stream_s * flows / 2.0);
+  v.error_pct = 100.0 * std::abs(v.predicted_s - v.measured_s) /
+                v.measured_s;
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  std::filesystem::create_directories("out");
+  obs::set_enabled(true);  // instrumentation sites are gated off by default
+  constexpr double kTargetPct = 25.0;
+
+  // ---- Phase 1: calibration runs. All at 2 TCP ranks; the grid width
+  // sets the halo-frame size, so sweeping width x halo depth spans frame
+  // sizes from ~300 B to ~17 KB — wide enough that every validation
+  // workload's mean frame interpolates instead of extrapolating.
+  constexpr int kSize = 128;
+  const sandpile::Field initial = sandpile::center_pile(kSize, kSize, 20000);
+  const sandpile::Field wide = sandpile::center_pile(64, 1024, 30000);
+  std::cout << "machine-model calibration — ghost-cell halo exchange over "
+               "loopback TCP, 2 ranks, frame size swept via grid width x "
+               "halo depth\n\n";
+
+  std::vector<std::vector<obs::MetricSample>> snapshots;
+  std::vector<machine::CalibrationPoint> points;
+  TextTable cal({"grid", "halo k", "frames", "mean bytes", "mean rtt us"});
+  const struct {
+    const sandpile::Field* field;
+    const char* label;
+    int halo;
+  } runs[] = {{&initial, "128x128", 1}, {&initial, "128x128", 2},
+              {&initial, "128x128", 4}, {&initial, "128x128", 8},
+              {&wide, "64x1024", 2},    {&wide, "64x1024", 4},
+              {&wide, "64x1024", 8}};
+  for (const auto& r : runs) {
+    snapshots.push_back(
+        observed_run([&] { ghost_cells_tcp(*r.field, 2, r.halo); }));
+    points.push_back(machine::calibration_point(snapshots.back()));
+    const machine::CalibrationPoint& p = points.back();
+    cal.row({r.label, TextTable::num(static_cast<std::int64_t>(r.halo)),
+             TextTable::num(static_cast<std::int64_t>(p.frames)),
+             TextTable::num(p.mean_frame_bytes, 0),
+             TextTable::num(p.mean_rtt_s * 1e6, 1)});
+  }
+  cal.print(std::cout);
+
+  const machine::LinkFit fit = machine::fit_link(points);
+  const machine::Machine mach =
+      machine::from_measurements(loopback_machine(), snapshots);
+  std::cout << "\nfitted NIC: "
+            << TextTable::num(fit.link.bytes_per_s / 1e6, 1) << " MB/s, "
+            << TextTable::num(fit.link.latency_s * 1e6, 1)
+            << " us one-way latency (max residual "
+            << TextTable::num(fit.max_residual_s * 1e6, 1) << " us over "
+            << fit.points << " points)\n";
+
+  // ---- Phase 2: held-out validation. None of these runs fed the fit.
+  // Ghost-cell flows: a halo exchange keeps both directions of every
+  // interior boundary in flight — 2*(ranks-1) flows. Dmr shuffle is
+  // all-to-all: ranks*(ranks-1) flows.
+  std::cout << "\n== validation: predicted vs measured transfer time ==\n";
+  std::vector<Validation> checks;
+  checks.push_back(validate(
+      mach, "ghost-cell 2 ranks k=3",
+      observed_run([&] { ghost_cells_tcp(initial, 2, 3); })));
+  checks.push_back(validate(
+      mach, "ghost-cell 2 ranks k=6 wide",
+      observed_run([&] { ghost_cells_tcp(wide, 2, 6); })));
+  // Informational: at 4 ranks the measured RTTs also absorb host-scheduler
+  // contention (8 rank + transport threads), which the link model does not
+  // describe — reported to show the flow-scaling trend, not gated.
+  checks.push_back(validate(
+      mach, "ghost-cell 4 ranks k=2 (info)",
+      observed_run([&] { ghost_cells_tcp(initial, 4, 2); }), 6,
+      /*frames_per_burst=*/1, /*counted=*/false));
+  // Several repetitions accumulate into one snapshot for stable means. The
+  // corpus is sized so a single map epoch coalesces each rank pair's
+  // shuffle into one mid-span block per direction; the shuffle protocol
+  // writes length + block back-to-back, so frames arrive in bursts of two
+  // and every RTT covers the burst (frames_per_burst = 2).
+  checks.push_back(validate(mach, "dmr shuffle 2 ranks", observed_run([&] {
+                              for (int i = 0; i < 24; ++i)
+                                dmr_shuffle_tcp(2, 2000, 1);
+                            }),
+                            2, /*frames_per_burst=*/2));
+  // Informational: the 12-flow all-to-all also absorbs scheduler
+  // contention from 4x(rank+transport) threads — reported to show the
+  // flow-scaling trend, not gated.
+  checks.push_back(validate(mach, "dmr shuffle 4 ranks (info)",
+                            observed_run([&] {
+                              for (int i = 0; i < 8; ++i)
+                                dmr_shuffle_tcp(4, 6000, 1);
+                            }),
+                            12, /*frames_per_burst=*/2, /*counted=*/false));
+
+  bool all_within = true;
+  TextTable val({"workload", "flows", "frames", "mean bytes", "measured ms",
+                 "predicted ms", "error %", "within 25%"});
+  for (const Validation& v : checks) {
+    const bool ok = v.error_pct <= kTargetPct;
+    if (v.counted) all_within = all_within && ok;
+    val.row({v.name, TextTable::num(static_cast<std::int64_t>(v.flows)),
+             TextTable::num(static_cast<std::int64_t>(v.frames)),
+             TextTable::num(v.mean_bytes, 0),
+             TextTable::num(v.measured_s * 1e3, 2),
+             TextTable::num(v.predicted_s * 1e3, 2),
+             TextTable::num(v.error_pct, 1),
+             !v.counted ? (ok ? "yes (info)" : "no (info)")
+                        : (ok ? "yes" : "NO")});
+  }
+  val.print(std::cout);
+  std::cout << (all_within
+                    ? "all gated workloads within the 25% acceptance bar\n"
+                    : "ACCEPTANCE FAILED: a workload missed the 25% bar\n");
+
+  // ---- Phase 3: extrapolation — what the calibrated machine says about
+  // runs nobody measured.
+  std::cout << "\n== extrapolation on the calibrated machine ==\n";
+  TextTable extra({"transfer", "predicted ms"});
+  const machine::CoreId c0{0, 0, 0, 0};
+  for (const double mb : {1.0, 16.0, 256.0}) {
+    extra.row({TextTable::num(mb, 0) + " MB cross-node",
+               TextTable::num(machine::predict_transfer_s(
+                                  mach, c0, {0, 1, 0, 0}, mb * 1e6) *
+                                  1e3,
+                              2)});
+  }
+  // A contended halo round: four flows ring-exchange 1 MB at once; the
+  // shared fabric fair-shares, so this is slower than one uncontended flow.
+  machine::Dag ring;
+  for (int n = 0; n < 4; ++n)
+    ring.tasks.push_back({0.0, {0, n, 0, 0}, {}});
+  for (int n = 0; n < 4; ++n) {
+    ring.tasks.push_back({0.0, {0, (n + 1) % 4, 0, 0}, {}});
+    ring.transfers.push_back({n, 4 + n, 1e6});
+  }
+  const machine::Report ring_report = machine::simulate(mach, ring);
+  extra.row({"4-flow 1 MB ring exchange",
+             TextTable::num(ring_report.makespan_s * 1e3, 2)});
+  extra.print(std::cout);
+
+  // ---- JSON record.
+  json::Object doc;
+  json::Object fitted;
+  fitted["bytes_per_s"] = json::Value(fit.link.bytes_per_s);
+  fitted["latency_s"] = json::Value(fit.link.latency_s);
+  fitted["max_residual_s"] = json::Value(fit.max_residual_s);
+  fitted["points"] = json::Value(static_cast<std::int64_t>(fit.points));
+  doc["fit"] = json::Value(std::move(fitted));
+  json::Array cal_rows;
+  for (const machine::CalibrationPoint& p : points) {
+    json::Object row;
+    row["frames"] = json::Value(static_cast<std::int64_t>(p.frames));
+    row["mean_frame_bytes"] = json::Value(p.mean_frame_bytes);
+    row["mean_rtt_s"] = json::Value(p.mean_rtt_s);
+    cal_rows.push_back(json::Value(std::move(row)));
+  }
+  doc["calibration_points"] = json::Value(std::move(cal_rows));
+  json::Array val_rows;
+  for (const Validation& v : checks) {
+    json::Object row;
+    row["workload"] = json::Value(v.name);
+    row["frames"] = json::Value(static_cast<std::int64_t>(v.frames));
+    row["mean_frame_bytes"] = json::Value(v.mean_bytes);
+    row["measured_s"] = json::Value(v.measured_s);
+    row["predicted_s"] = json::Value(v.predicted_s);
+    row["flows"] = json::Value(static_cast<std::int64_t>(v.flows));
+    row["frames_per_burst"] =
+        json::Value(static_cast<std::int64_t>(v.frames_per_burst));
+    row["gated"] = json::Value(v.counted);
+    row["error_pct"] = json::Value(v.error_pct);
+    row["within_target"] = json::Value(v.error_pct <= kTargetPct);
+    val_rows.push_back(json::Value(std::move(row)));
+  }
+  doc["validation"] = json::Value(std::move(val_rows));
+  doc["target_error_pct"] = json::Value(kTargetPct);
+  doc["all_within_target"] = json::Value(all_within);
+  doc["ring_exchange_makespan_s"] = json::Value(ring_report.makespan_s);
+  std::ofstream("out/BENCH_machine.json")
+      << json::Value(std::move(doc)).dump(true) << "\n";
+  // The calibrated description itself, ready for --platform on the CLI
+  // drivers: predict runs nobody measured on the machine just fitted.
+  machine::save_machine(mach, "out/machine_calibrated.json");
+  std::cout << "\nwrote out/BENCH_machine.json and "
+               "out/machine_calibrated.json\n";
+  return all_within ? 0 : 1;
+}

@@ -1,16 +1,24 @@
 // Carbon-aware workflow scheduling: a CLI walk through paper §IV.
 //
-//   $ ./carbon_scheduler [deadline_seconds]
+//   $ ./carbon_scheduler [deadline_seconds] [--platform machine.json]
+//
+// By default the workflow runs on the built-in EduWRENCH platform; with
+// --platform the cluster/cloud description is loaded from a machine-model
+// JSON file (src/machine codec) and adapted into the same simulator.
 //
 // Executes the Montage-738 workflow on the simulated platform and answers
 // the assignment's questions: the Tab #1 performance/CO2 baseline, the two
 // single-knob power optimizations under the deadline, the boss's combined
 // heuristic, and the Tab #2 cluster+cloud placement exploration including a
 // search for the CO2 optimum.
+#include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <string>
 
 #include "core/table.hpp"
+#include "machine/codec.hpp"
 #include "wfsim/montage.hpp"
 #include "wfsim/schedule.hpp"
 
@@ -37,10 +45,22 @@ void report_row(TextTable& t, const std::string& label, const SimResult& r) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const double deadline = argc > 1 ? std::atof(argv[1]) : 180.0;
+int main(int argc, char** argv) try {
+  double deadline = 180.0;
+  std::string platform_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--platform") == 0 && i + 1 < argc)
+      platform_path = argv[++i];
+    else
+      deadline = std::atof(argv[i]);
+  }
   const Workflow wf = make_montage();
-  const Platform plat = eduwrench_platform();
+  const Platform plat =
+      platform_path.empty()
+          ? eduwrench_platform()
+          : platform_from_machine(machine::load_machine(platform_path));
+  if (!platform_path.empty())
+    std::cout << "platform: " << platform_path << "\n";
 
   std::cout << "Montage workflow: " << wf.num_tasks() << " tasks, "
             << wf.num_levels() << " levels, "
@@ -49,23 +69,28 @@ int main(int argc, char** argv) {
             << "deadline: " << deadline << " s\n\n";
 
   // ---- Tab #1: the local cluster.
-  std::cout << "== Tab 1: 64-node cluster ("
+  const int all_nodes = plat.cluster.total_nodes;
+  std::cout << "== Tab 1: " << all_nodes << "-node cluster ("
             << plat.cluster.gco2_per_kwh << " gCO2e/kWh) ==\n";
   RunConfig base;
-  base.nodes_on = 64;
+  base.nodes_on = all_nodes;
   base.pstate = plat.max_pstate();
   const SimResult baseline = simulate(wf, plat, base);
   const SpeedupReport speedup = speedup_vs_one_node(wf, plat, base);
 
   TextTable t1({"configuration", "time_s", "cluster_kWh", "cloud_kWh",
                 "gCO2e"});
-  report_row(t1, "Q1 baseline: 64 nodes @ p6", baseline);
+  report_row(t1, "Q1 baseline: " + std::to_string(all_nodes) +
+                     " nodes @ p" + std::to_string(base.pstate),
+             baseline);
   const ClusterChoice fewer =
       min_nodes_for_deadline(wf, plat, plat.max_pstate(), deadline);
   report_row(t1, "Q2a min nodes @ p6: " + std::to_string(fewer.nodes_on),
              fewer.result);
-  const ClusterChoice slower = min_pstate_for_deadline(wf, plat, 64, deadline);
-  report_row(t1, "Q2b 64 nodes @ min p-state p" + std::to_string(slower.pstate),
+  const ClusterChoice slower = min_pstate_for_deadline(wf, plat, all_nodes, deadline);
+  report_row(t1,
+             "Q2b " + std::to_string(all_nodes) + " nodes @ min p-state p" +
+                 std::to_string(slower.pstate),
              slower.result);
   const ClusterChoice combined = combined_power_heuristic(wf, plat, deadline);
   report_row(t1,
@@ -77,15 +102,17 @@ int main(int argc, char** argv) {
             << "x, efficiency " << TextTable::num(speedup.efficiency, 3)
             << "\n\n";
 
-  // ---- Tab #2: 12 low-power nodes + the green cloud.
-  std::cout << "== Tab 2: 12 nodes @ p0 + 16 green cloud VMs ("
+  // ---- Tab #2: a few low-power nodes + the green cloud.
+  const int low_nodes = std::min(12, plat.cluster.total_nodes);
+  std::cout << "== Tab 2: " << low_nodes << " nodes @ p0 + " << plat.cloud.vms
+            << " green cloud VMs ("
             << plat.cloud.gco2_per_kwh << " gCO2e/kWh, "
             << TextTable::num(plat.link.bytes_per_s * 8 / 1e9, 1)
             << " Gbit/s link) ==\n";
   TextTable t2({"placement", "time_s", "cluster_kWh", "cloud_kWh", "gCO2e"});
 
   RunConfig local12;
-  local12.nodes_on = 12;
+  local12.nodes_on = low_nodes;
   local12.pstate = 0;
   report_row(t2, "all on local cluster", simulate(wf, plat, local12));
 
@@ -104,10 +131,11 @@ int main(int argc, char** argv) {
   }
 
   const CloudSearchResult coarse =
-      exhaustive_cloud_search(wf, plat, 12, 0, {0.0, 0.5, 1.0});
+      exhaustive_cloud_search(wf, plat, low_nodes, 0, {0.0, 0.5, 1.0});
   report_row(t2, "exhaustive grid optimum", coarse.result);
   const CloudSearchResult refined =
-      refine_cloud_fractions(wf, plat, 12, 0, coarse.fractions, 0.125);
+      refine_cloud_fractions(wf, plat, low_nodes, 0, coarse.fractions,
+                             0.125);
   report_row(t2, "after hill-climb refinement", refined.result);
   t2.print(std::cout);
 
@@ -116,4 +144,7 @@ int main(int argc, char** argv) {
             << "simulations evaluated: " << coarse.evaluated << " grid + "
             << refined.evaluated << " refinement\n";
   return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

@@ -49,11 +49,16 @@
 //   --max-restarts M     respawn+restore a failed world up to M times
 //   --checkpoint-dir P   keep checkpoints in P (enables resuming an
 //                        interrupted run on the next invocation)
+//   --platform FILE      machine-model JSON (src/machine codec): report the
+//                        model's predicted halo-exchange cost next to the
+//                        measured run (calibrate a file with
+//                        bench_machine_model, then compare)
 #include <algorithm>
 #include <iostream>
 
 #include "core/args.hpp"
 #include "core/table.hpp"
+#include "machine/codec.hpp"
 #include "pap/monitor.hpp"
 #include "sandpile/distributed.hpp"
 #include "sandpile/field.hpp"
@@ -93,7 +98,7 @@ int main(int argc, char** argv) {
          "monitor", "check", "list", "ranks", "halo", "transport", "spawn",
          "net-window", "net-fault-seed", "net-fault-drop", "net-fault-dup",
          "net-fault-sever-after", "checkpoint-every", "max-restarts",
-         "checkpoint-dir", "metrics-port", "metrics-port-file"});
+         "checkpoint-dir", "metrics-port", "metrics-port-file", "platform"});
     if (!unknown.empty()) {
       std::cerr << "unknown option --" << unknown.front() << "\n";
       return 2;
@@ -193,6 +198,25 @@ int main(int argc, char** argv) {
                                     out.net.retransmits))});
       table.row({"restarts",
                  TextTable::num(static_cast<std::int64_t>(out.restarts))});
+
+      if (args.has("platform")) {
+        // Predict the halo-exchange communication from the machine model:
+        // each exchange round, a rank pair trades k padded halo rows each
+        // way across a node boundary (the pessimistic placement — one rank
+        // per node).
+        const machine::Machine mach =
+            machine::load_machine(args.get("platform", ""));
+        const machine::CoreId src{0, 0, 0, 0};
+        const machine::CoreId dst{0, mach.groups[0].nodes > 1 ? 1 : 0, 0, 0};
+        const double halo_bytes = static_cast<double>(size + 2) *
+                                  opt.halo_depth * sizeof(Cell);
+        const double per_round_s =
+            2.0 * machine::predict_transfer_s(mach, src, dst, halo_bytes);
+        table.row({"model exchange/round ms",
+                   TextTable::num(per_round_s * 1e3, 3)});
+        table.row({"model comm total ms",
+                   TextTable::num(per_round_s * out.rounds * 1e3, 2)});
+      }
 
       if (args.has("check")) {
         Field reference = initial;

@@ -46,6 +46,8 @@ void print_status(const svc::JobStatus& s) {
             << svc::to_string(s.kind) << ", tenant " << s.tenant;
   if (!s.name.empty()) std::cout << ", \"" << s.name << "\"";
   if (s.restarts > 0) std::cout << ", restarts " << s.restarts;
+  if (s.peak_rss_bytes > 0)
+    std::cout << ", peak rss " << (s.peak_rss_bytes >> 10) << " KiB";
   std::cout << ")";
   if (!s.error.empty()) std::cout << " error: " << s.error;
   std::cout << "\n";

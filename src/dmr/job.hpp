@@ -95,6 +95,14 @@ struct Options {
   /// with Result::aborted set, and leaves committed checkpoints in place.
   /// Must be identical on every rank (it is part of the SPMD body).
   std::function<bool()> should_abort;
+  /// Optional partition -> owning-rank map, e.g. from
+  /// machine::PlacementAdvisor fed with the job's partition-traffic
+  /// profile. Empty = the static default (partition p on rank p % R).
+  /// When set it must have exactly `partitions` entries, each in
+  /// [0, ranks). The mapping only moves where partitions are reduced;
+  /// output stays byte-identical (records are assembled in partition
+  /// order regardless of ownership). Must be identical on every rank.
+  std::vector<int> partition_owner;
 };
 
 /// Aggregate counters over all ranks (the distributed JobCounters).
@@ -122,6 +130,8 @@ struct Result {
   mpp::NetStats net;
   int restarts = 0;    ///< supervised world restarts (0 = clean run)
   bool aborted = false;  ///< Options::should_abort fired mid-run
+  /// Largest per-worker RSS peak (bytes); spawned transports only.
+  std::uint64_t peak_rss_bytes = 0;
 };
 
 namespace detail {
@@ -256,6 +266,17 @@ class Job {
                        !options_.run.resilience.checkpoint_dir.empty(),
                    "checkpoint_every needs a checkpoint directory: run "
                    "supervised or set resilience.checkpoint_dir");
+    if (!options_.partition_owner.empty()) {
+      PEACHY_REQUIRE(
+          static_cast<int>(options_.partition_owner.size()) == partitions,
+          "partition_owner has " << options_.partition_owner.size()
+                                 << " entries for " << partitions
+                                 << " partitions");
+      for (const int owner : options_.partition_owner)
+        PEACHY_REQUIRE(owner >= 0 && owner < options_.ranks,
+                       "partition_owner entry " << owner
+                                                << " outside [0, ranks)");
+    }
     Partitioner partition =
         partitioner_ ? partitioner_ : Partitioner(mr::HashPartitioner<K2>{});
 
@@ -275,6 +296,7 @@ class Job {
     result.comm = outcome.comm;
     result.net = outcome.net;
     result.restarts = outcome.restarts;
+    result.peak_rss_bytes = outcome.peak_rss_bytes;
     job_span.arg("restarts", result.restarts);
     if (obs::enabled()) {
       obs::Registry& reg = obs::Registry::global();
@@ -297,6 +319,12 @@ class Job {
   static constexpr int tag_shuffle(int epoch) { return 9100 + epoch; }
   static constexpr int tag_result() { return 9050; }
 
+  /// Owning rank of partition `p` in a world of `R` ranks.
+  int owner_of(int p, int R) const {
+    if (options_.partition_owner.empty()) return p % R;
+    return options_.partition_owner[static_cast<std::size_t>(p)];
+  }
+
   /// The SPMD body every rank runs.
   void rank_body(mpp::Comm& comm,
                  const std::vector<std::pair<K1, V1>>& inputs, int splits,
@@ -304,10 +332,11 @@ class Job {
     const int R = comm.size();
     const int me = comm.rank();
 
-    // Partition p lives on rank p mod R; this rank's partitions ascending.
+    // Partition p lives on rank owner_of(p) — p mod R unless the job was
+    // given an explicit placement; this rank's partitions ascending.
     std::vector<int> owned;
-    for (int p = me; p < partitions; p += R) owned.push_back(p);
-    std::sort(owned.begin(), owned.end());
+    for (int p = 0; p < partitions; ++p)
+      if (owner_of(p, R) == me) owned.push_back(p);
 
     // One external sorter per owned partition; the per-rank spill budget
     // is split evenly across them.
@@ -414,7 +443,7 @@ class Job {
               Codec<K2>::encode(intermediate[k].first, rec.key);
               Codec<V2>::encode(intermediate[k].second, rec.value);
               append_record(rec, task_blocks[i][static_cast<std::size_t>(
-                                     p % R)]);
+                                     owner_of(p, R))]);
             }
           });
       for (std::size_t i = 0; i < my_tasks.size(); ++i) {

@@ -1,0 +1,129 @@
+#include "machine/advisor.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "core/error.hpp"
+
+namespace peachy::machine {
+
+PlacementAdvisor::PlacementAdvisor(Machine m) : machine_(std::move(m)) {
+  machine_.validate();
+}
+
+// Contiguous block distribution: node i hosts ranks [i*R/N, (i+1)*R/N).
+std::vector<int> PlacementAdvisor::block_rank_nodes(int ranks) const {
+  const int nodes = std::min(machine_.total_nodes(), ranks);
+  std::vector<int> rank_node(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r)
+    rank_node[static_cast<std::size_t>(r)] =
+        static_cast<int>(static_cast<std::int64_t>(r) * nodes / ranks);
+  return rank_node;
+}
+
+void PlacementAdvisor::score(
+    Placement& p, const std::vector<std::uint64_t>& partition_bytes) const {
+  const int ranks = static_cast<int>(p.rank_node.size());
+  std::vector<int> ranks_on_node(
+      static_cast<std::size_t>(machine_.total_nodes()), 0);
+  for (int n : p.rank_node) ++ranks_on_node[static_cast<std::size_t>(n)];
+
+  std::vector<double> node_inbound(ranks_on_node.size(), 0.0);
+  std::vector<double> rank_load(static_cast<std::size_t>(ranks), 0.0);
+  double total = 0.0;
+  p.cross_node_bytes = 0.0;
+  for (std::size_t i = 0; i < partition_bytes.size(); ++i) {
+    const double bytes = static_cast<double>(partition_bytes[i]);
+    const int owner = p.partition_owner[i];
+    const int node = p.rank_node[static_cast<std::size_t>(owner)];
+    const double cross =
+        bytes *
+        static_cast<double>(ranks - ranks_on_node[static_cast<std::size_t>(node)]) /
+        static_cast<double>(ranks);
+    p.cross_node_bytes += cross;
+    node_inbound[static_cast<std::size_t>(node)] += cross;
+    rank_load[static_cast<std::size_t>(owner)] += bytes;
+    total += bytes;
+  }
+
+  const double mean = total / static_cast<double>(ranks);
+  const double peak = *std::max_element(rank_load.begin(), rank_load.end());
+  p.load_imbalance = mean > 0.0 ? peak / mean : 1.0;
+
+  // Shuffle-time estimate: the bottleneck node drains its inbound
+  // cross-node bytes through its NIC, paying route latency once per sending
+  // rank. Zero cross traffic (single node) predicts zero.
+  const double worst =
+      *std::max_element(node_inbound.begin(), node_inbound.end());
+  p.predicted_shuffle_s = 0.0;
+  if (worst > 0.0 && machine_.total_nodes() > 1) {
+    const CoreId src{0, 0, 0, 0};
+    CoreId dst = src;
+    dst.node = 1;  // any remote node: the model is homogeneous per group
+    if (machine_.groups[0].nodes < 2) dst = CoreId{1, 0, 0, 0};
+    p.predicted_shuffle_s =
+        predict_transfer_s(machine_, src, dst, worst, std::max(1, ranks - 1));
+  }
+}
+
+Placement PlacementAdvisor::recommend(
+    int ranks, const std::vector<std::uint64_t>& partition_bytes) const {
+  PEACHY_REQUIRE(ranks >= 1, "ranks must be >= 1");
+  PEACHY_REQUIRE(!partition_bytes.empty(), "partition traffic is empty");
+  Placement p;
+  p.rank_node = block_rank_nodes(ranks);
+  std::vector<int> ranks_on_node(
+      static_cast<std::size_t>(machine_.total_nodes()), 0);
+  for (int n : p.rank_node) ++ranks_on_node[static_cast<std::size_t>(n)];
+
+  // Heaviest partitions first; ties by partition index.
+  std::vector<int> order(partition_bytes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return partition_bytes[static_cast<std::size_t>(a)] >
+           partition_bytes[static_cast<std::size_t>(b)];
+  });
+
+  p.partition_owner.assign(partition_bytes.size(), 0);
+  std::vector<double> rank_load(static_cast<std::size_t>(ranks), 0.0);
+  for (int part : order) {
+    int best = 0;
+    for (int r = 1; r < ranks; ++r) {
+      const double lr = rank_load[static_cast<std::size_t>(r)];
+      const double lb = rank_load[static_cast<std::size_t>(best)];
+      if (lr < lb) {
+        best = r;
+        continue;
+      }
+      if (lr > lb) continue;
+      // Equal load: prefer the rank whose node hosts more ranks — more of
+      // the partition's traffic stays on-node.
+      const int nr = ranks_on_node[static_cast<std::size_t>(
+          p.rank_node[static_cast<std::size_t>(r)])];
+      const int nb = ranks_on_node[static_cast<std::size_t>(
+          p.rank_node[static_cast<std::size_t>(best)])];
+      if (nr > nb) best = r;
+    }
+    p.partition_owner[static_cast<std::size_t>(part)] = best;
+    rank_load[static_cast<std::size_t>(best)] +=
+        static_cast<double>(partition_bytes[static_cast<std::size_t>(part)]);
+  }
+  score(p, partition_bytes);
+  return p;
+}
+
+Placement PlacementAdvisor::baseline(
+    int ranks, const std::vector<std::uint64_t>& partition_bytes) const {
+  PEACHY_REQUIRE(ranks >= 1, "ranks must be >= 1");
+  PEACHY_REQUIRE(!partition_bytes.empty(), "partition traffic is empty");
+  Placement p;
+  p.rank_node = block_rank_nodes(ranks);
+  p.partition_owner.resize(partition_bytes.size());
+  for (std::size_t i = 0; i < partition_bytes.size(); ++i)
+    p.partition_owner[i] = static_cast<int>(i) % ranks;
+  score(p, partition_bytes);
+  return p;
+}
+
+}  // namespace peachy::machine

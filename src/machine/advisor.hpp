@@ -1,0 +1,60 @@
+// Placement advisor: map dmr ranks onto machine nodes and shuffle
+// partitions onto ranks using the measured partition-traffic profile.
+//
+// The dmr shuffle sends every partition's records from all R ranks (map
+// output is spread uniformly) to the partition's owner, so the bytes that
+// cross a node boundary for partition p are
+//
+//     bytes[p] * (R - ranks_on_node(owner(p))) / R.
+//
+// The advisor places ranks on nodes in contiguous blocks, then assigns
+// partitions to ranks heaviest-first (LPT): minimize per-rank load, break
+// ties toward nodes hosting more ranks (cheaper shuffle), then toward the
+// lowest rank id — fully deterministic. The static p % R baseline is
+// exposed for comparison, and both report predicted cross-node bytes plus a
+// shuffle-time estimate through the machine's NIC/fabric edges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/machine.hpp"
+
+namespace peachy::machine {
+
+struct Placement {
+  std::vector<int> rank_node;        ///< rank -> flat node index
+  std::vector<int> partition_owner;  ///< partition -> rank
+  double cross_node_bytes = 0.0;
+  double predicted_shuffle_s = 0.0;  ///< bottleneck-node inbound estimate
+  /// Heaviest per-rank inbound bytes divided by the mean — 1.0 is perfectly
+  /// balanced; the static p % R mapping on skewed traffic is typically > 1.
+  double load_imbalance = 1.0;
+};
+
+class PlacementAdvisor {
+ public:
+  /// Throws peachy::Error when `m` fails validation.
+  explicit PlacementAdvisor(Machine m);
+
+  /// Recommends a placement for `ranks` ranks given per-partition shuffle
+  /// bytes. Requires ranks >= 1 and a non-empty traffic vector.
+  Placement recommend(int ranks,
+                      const std::vector<std::uint64_t>& partition_bytes) const;
+
+  /// The legacy static placement (partition p -> rank p % R) on the same
+  /// rank->node layout, scored with the same model.
+  Placement baseline(int ranks,
+                     const std::vector<std::uint64_t>& partition_bytes) const;
+
+  const Machine& machine() const { return machine_; }
+
+ private:
+  std::vector<int> block_rank_nodes(int ranks) const;
+  void score(Placement& p,
+             const std::vector<std::uint64_t>& partition_bytes) const;
+
+  Machine machine_;
+};
+
+}  // namespace peachy::machine

@@ -1,0 +1,132 @@
+#include "machine/codec.hpp"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "core/error.hpp"
+
+namespace peachy::machine {
+namespace {
+
+json::Value link_to_json(const LinkSpec& l) {
+  json::Object o;
+  o["bytes_per_s"] = l.bytes_per_s;
+  o["latency_s"] = l.latency_s;
+  return o;
+}
+
+LinkSpec link_from_json(const json::Value& v, const char* what) {
+  PEACHY_REQUIRE(v.is_object(), "machine json: " << what
+                                                 << " must be an object");
+  for (const auto& [key, _] : v.as_object())
+    PEACHY_REQUIRE(key == "bytes_per_s" || key == "latency_s",
+                   "machine json: unknown key \"" << key << "\" in " << what);
+  LinkSpec l;
+  l.bytes_per_s = v.at("bytes_per_s").as_number();
+  l.latency_s = v.at("latency_s").as_number();
+  return l;
+}
+
+json::Value group_to_json(const NodeGroup& g) {
+  json::Object o;
+  o["name"] = g.name;
+  o["nodes"] = g.nodes;
+  o["sockets_per_node"] = g.sockets_per_node;
+  o["cores_per_socket"] = g.cores_per_socket;
+  o["core_gflops"] = g.core_gflops;
+  if (!g.core_clock_states.empty()) {
+    json::Array states;
+    for (double c : g.core_clock_states) states.push_back(c);
+    o["core_clock_states"] = std::move(states);
+  }
+  o["l3"] = link_to_json(g.l3);
+  o["membus"] = link_to_json(g.membus);
+  if (g.sockets_per_node > 1 || g.upi.bytes_per_s > 0.0)
+    o["upi"] = link_to_json(g.upi);
+  o["nic"] = link_to_json(g.nic);
+  if (g.has_uplink()) o["uplink"] = link_to_json(g.uplink);
+  return o;
+}
+
+NodeGroup group_from_json(const json::Value& v) {
+  PEACHY_REQUIRE(v.is_object(), "machine json: group must be an object");
+  static const std::set<std::string> kKeys = {
+      "name",   "nodes", "sockets_per_node", "cores_per_socket",
+      "core_gflops", "core_clock_states", "l3", "membus", "upi", "nic",
+      "uplink"};
+  for (const auto& [key, _] : v.as_object())
+    PEACHY_REQUIRE(kKeys.count(key),
+                   "machine json: unknown group key \"" << key << "\"");
+  NodeGroup g;
+  g.name = v.at("name").as_string();
+  g.nodes = static_cast<int>(v.at("nodes").as_int());
+  g.sockets_per_node = static_cast<int>(v.at("sockets_per_node").as_int());
+  g.cores_per_socket = static_cast<int>(v.at("cores_per_socket").as_int());
+  g.core_gflops = v.at("core_gflops").as_number();
+  if (v.contains("core_clock_states")) {
+    const json::Array& states = v.at("core_clock_states").as_array();
+    for (const json::Value& s : states)
+      g.core_clock_states.push_back(s.as_number());
+  }
+  g.l3 = link_from_json(v.at("l3"), "l3");
+  g.membus = link_from_json(v.at("membus"), "membus");
+  if (v.contains("upi")) g.upi = link_from_json(v.at("upi"), "upi");
+  g.nic = link_from_json(v.at("nic"), "nic");
+  if (v.contains("uplink")) g.uplink = link_from_json(v.at("uplink"), "uplink");
+  return g;
+}
+
+}  // namespace
+
+json::Value to_json(const Machine& m) {
+  json::Object o;
+  o["fabric"] = link_to_json(m.fabric);
+  json::Array groups;
+  for (const NodeGroup& g : m.groups) groups.push_back(group_to_json(g));
+  o["groups"] = std::move(groups);
+  return o;
+}
+
+Machine machine_from_json(const json::Value& v) {
+  PEACHY_REQUIRE(v.is_object(), "machine json: document must be an object");
+  for (const auto& [key, _] : v.as_object())
+    PEACHY_REQUIRE(key == "fabric" || key == "groups",
+                   "machine json: unknown key \"" << key << "\"");
+  Machine m;
+  m.fabric = link_from_json(v.at("fabric"), "fabric");
+  const json::Array& groups = v.at("groups").as_array();
+  for (const json::Value& g : groups) m.groups.push_back(group_from_json(g));
+  m.validate();
+  return m;
+}
+
+std::string dump_machine(const Machine& m) {
+  return to_json(m).dump(/*indent=*/true);
+}
+
+Machine parse_machine(const std::string& text) {
+  return machine_from_json(json::parse(text));
+}
+
+Machine load_machine(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PEACHY_REQUIRE(in.good(), "cannot open machine file " << path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    return parse_machine(text.str());
+  } catch (const Error& e) {
+    throw Error(path + ": " + e.what());
+  }
+}
+
+void save_machine(const Machine& m, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  PEACHY_REQUIRE(out.good(), "cannot write machine file " << path);
+  out << dump_machine(m) << "\n";
+  PEACHY_REQUIRE(out.good(), "short write to machine file " << path);
+}
+
+}  // namespace peachy::machine

@@ -1,0 +1,42 @@
+// JSON round-trip codec for machine descriptions, used by the `--platform`
+// flag on the CLI drivers. The format is a direct transcription of the
+// Machine struct:
+//
+//   {
+//     "fabric": { "bytes_per_s": 1.25e9, "latency_s": 1e-6 },
+//     "groups": [
+//       { "name": "cluster", "nodes": 64,
+//         "sockets_per_node": 1, "cores_per_socket": 1,
+//         "core_gflops": 10.0, "core_clock_states": [1.0, 1.2],
+//         "l3":     { "bytes_per_s": ..., "latency_s": ... },
+//         "membus": { "bytes_per_s": ..., "latency_s": ... },
+//         "upi":    { ... },        // optional when sockets_per_node == 1
+//         "nic":    { ... },
+//         "uplink": { ... } }       // optional; absent = direct to fabric
+//     ]
+//   }
+//
+// Parsing is strict: unknown keys, wrong types, and structurally invalid
+// machines (Machine::validate) all throw peachy::Error with context.
+#pragma once
+
+#include <string>
+
+#include "core/json.hpp"
+#include "machine/machine.hpp"
+
+namespace peachy::machine {
+
+json::Value to_json(const Machine& m);
+Machine machine_from_json(const json::Value& v);
+
+/// Serializes with 2-space indentation (canonical key order).
+std::string dump_machine(const Machine& m);
+/// Parses and validates; throws peachy::Error on malformed text.
+Machine parse_machine(const std::string& text);
+
+/// File variants; load throws on I/O errors too.
+Machine load_machine(const std::string& path);
+void save_machine(const Machine& m, const std::string& path);
+
+}  // namespace peachy::machine

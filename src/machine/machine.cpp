@@ -1,0 +1,194 @@
+#include "machine/machine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace peachy::machine {
+
+double NodeGroup::gflops_at(int state) const {
+  if (state < 0 || core_clock_states.empty()) return core_gflops;
+  PEACHY_REQUIRE(state < static_cast<int>(core_clock_states.size()),
+                 "clock state " << state << " out of range for group " << name);
+  return core_gflops * core_clock_states[static_cast<std::size_t>(state)];
+}
+
+int Machine::total_nodes() const {
+  int n = 0;
+  for (const NodeGroup& g : groups) n += g.nodes;
+  return n;
+}
+
+int Machine::total_cores() const {
+  int n = 0;
+  for (const NodeGroup& g : groups)
+    n += g.nodes * g.sockets_per_node * g.cores_per_socket;
+  return n;
+}
+
+int Machine::group_index(const std::string& name) const {
+  for (std::size_t i = 0; i < groups.size(); ++i)
+    if (groups[i].name == name) return static_cast<int>(i);
+  throw Error("machine has no node group named \"" + name + "\"");
+}
+
+const NodeGroup& Machine::group(const std::string& name) const {
+  return groups[static_cast<std::size_t>(group_index(name))];
+}
+
+namespace {
+
+void validate_link(const std::string& group, const char* kind,
+                   const LinkSpec& link, bool required) {
+  if (required)
+    PEACHY_REQUIRE(link.bytes_per_s > 0.0,
+                   "group " << group << ": " << kind
+                            << " bandwidth must be positive");
+  PEACHY_REQUIRE(link.latency_s >= 0.0,
+                 "group " << group << ": " << kind
+                          << " latency must be non-negative");
+}
+
+}  // namespace
+
+void Machine::validate() const {
+  PEACHY_REQUIRE(!groups.empty(), "machine has no node groups");
+  std::set<std::string> names;
+  for (const NodeGroup& g : groups) {
+    PEACHY_REQUIRE(!g.name.empty(), "node group name must be non-empty");
+    PEACHY_REQUIRE(names.insert(g.name).second,
+                   "duplicate node group name \"" << g.name << "\"");
+    PEACHY_REQUIRE(g.nodes >= 1, "group " << g.name << ": nodes must be >= 1");
+    PEACHY_REQUIRE(g.sockets_per_node >= 1,
+                   "group " << g.name << ": sockets_per_node must be >= 1");
+    PEACHY_REQUIRE(g.cores_per_socket >= 1,
+                   "group " << g.name << ": cores_per_socket must be >= 1");
+    PEACHY_REQUIRE(g.core_gflops > 0.0,
+                   "group " << g.name << ": core_gflops must be positive");
+    for (double c : g.core_clock_states)
+      PEACHY_REQUIRE(c > 0.0,
+                     "group " << g.name << ": clock states must be positive");
+    validate_link(g.name, "l3", g.l3, /*required=*/true);
+    validate_link(g.name, "membus", g.membus, /*required=*/true);
+    validate_link(g.name, "upi", g.upi, /*required=*/g.sockets_per_node > 1);
+    validate_link(g.name, "nic", g.nic, /*required=*/true);
+    validate_link(g.name, "uplink", g.uplink, /*required=*/false);
+  }
+  const bool networked = total_nodes() > 1;
+  if (networked)
+    PEACHY_REQUIRE(fabric.bytes_per_s > 0.0,
+                   "fabric bandwidth must be positive on a multi-node machine");
+  PEACHY_REQUIRE(fabric.latency_s >= 0.0, "fabric latency must be non-negative");
+}
+
+const char* to_string(EdgeKind kind) {
+  switch (kind) {
+    case EdgeKind::kL3: return "l3";
+    case EdgeKind::kMembus: return "membus";
+    case EdgeKind::kUpi: return "upi";
+    case EdgeKind::kNic: return "nic";
+    case EdgeKind::kUplink: return "uplink";
+    case EdgeKind::kFabric: return "fabric";
+  }
+  return "?";
+}
+
+void check_core(const Machine& m, const CoreId& id) {
+  PEACHY_REQUIRE(id.group >= 0 && id.group < static_cast<int>(m.groups.size()),
+                 "core group " << id.group << " out of range");
+  const NodeGroup& g = m.groups[static_cast<std::size_t>(id.group)];
+  PEACHY_REQUIRE(id.node >= 0 && id.node < g.nodes,
+                 "core node " << id.node << " out of range for group " << g.name);
+  PEACHY_REQUIRE(id.socket >= 0 && id.socket < g.sockets_per_node,
+                 "core socket " << id.socket << " out of range for group "
+                                << g.name);
+  PEACHY_REQUIRE(id.core >= 0 && id.core < g.cores_per_socket,
+                 "core index " << id.core << " out of range for group "
+                               << g.name);
+}
+
+const LinkSpec& edge_spec(const Machine& m, const EdgeRef& e) {
+  if (e.kind == EdgeKind::kFabric) return m.fabric;
+  PEACHY_REQUIRE(e.group >= 0 && e.group < static_cast<int>(m.groups.size()),
+                 "edge group " << e.group << " out of range");
+  const NodeGroup& g = m.groups[static_cast<std::size_t>(e.group)];
+  switch (e.kind) {
+    case EdgeKind::kL3: return g.l3;
+    case EdgeKind::kMembus: return g.membus;
+    case EdgeKind::kUpi: return g.upi;
+    case EdgeKind::kNic: return g.nic;
+    case EdgeKind::kUplink: return g.uplink;
+    case EdgeKind::kFabric: break;
+  }
+  return m.fabric;
+}
+
+namespace {
+
+// The path from a core up to (but excluding) the fabric, in leaf-to-root
+// order. `to_node` stops at the node boundary (for intra-node routes).
+void ascend(const Machine& m, const CoreId& id, bool to_node,
+            std::vector<EdgeRef>& out) {
+  const NodeGroup& g = m.groups[static_cast<std::size_t>(id.group)];
+  out.push_back({EdgeKind::kL3, id.group, id.node, id.socket});
+  out.push_back({EdgeKind::kMembus, id.group, id.node, id.socket});
+  if (to_node) return;
+  out.push_back({EdgeKind::kNic, id.group, id.node, -1});
+  if (g.has_uplink()) out.push_back({EdgeKind::kUplink, id.group, -1, -1});
+}
+
+}  // namespace
+
+Route route(const Machine& m, const CoreId& src, const CoreId& dst) {
+  check_core(m, src);
+  check_core(m, dst);
+  Route r;
+  if (src == dst) return r;
+
+  const bool same_node = src.group == dst.group && src.node == dst.node;
+  if (same_node && src.socket == dst.socket) {
+    // Sibling cores exchange through their shared L3.
+    r.edges.push_back({EdgeKind::kL3, src.group, src.node, src.socket});
+  } else if (same_node) {
+    // Across sockets: L3 -> membus -> UPI -> membus -> L3.
+    ascend(m, src, /*to_node=*/true, r.edges);
+    r.edges.push_back({EdgeKind::kUpi, src.group, src.node, -1});
+    std::vector<EdgeRef> down;
+    ascend(m, dst, /*to_node=*/true, down);
+    r.edges.insert(r.edges.end(), down.rbegin(), down.rend());
+  } else {
+    // Across nodes: up through the source NIC (and group uplink), over the
+    // fabric, down through the destination side mirrored.
+    ascend(m, src, /*to_node=*/false, r.edges);
+    r.edges.push_back({EdgeKind::kFabric, -1, -1, -1});
+    std::vector<EdgeRef> down;
+    ascend(m, dst, /*to_node=*/false, down);
+    r.edges.insert(r.edges.end(), down.rbegin(), down.rend());
+  }
+
+  r.min_bytes_per_s = std::numeric_limits<double>::infinity();
+  for (const EdgeRef& e : r.edges) {
+    const LinkSpec& spec = edge_spec(m, e);
+    PEACHY_REQUIRE(spec.bytes_per_s > 0.0,
+                   "route crosses " << to_string(e.kind)
+                                    << " edge with zero bandwidth");
+    r.latency_s += spec.latency_s;
+    r.min_bytes_per_s = std::min(r.min_bytes_per_s, spec.bytes_per_s);
+  }
+  return r;
+}
+
+double predict_transfer_s(const Machine& m, const CoreId& src,
+                          const CoreId& dst, double bytes, int messages) {
+  PEACHY_REQUIRE(bytes >= 0.0, "bytes must be non-negative");
+  PEACHY_REQUIRE(messages >= 1, "messages must be >= 1");
+  const Route r = route(m, src, dst);
+  if (r.edges.empty()) return 0.0;
+  return static_cast<double>(messages) * r.latency_s +
+         bytes / r.min_bytes_per_s;
+}
+
+}  // namespace peachy::machine

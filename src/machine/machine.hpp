@@ -1,0 +1,126 @@
+// Hierarchical machine model: nodes -> sockets -> cores with typed
+// bandwidth/latency edges (core<->L3, socket<->membus, socket<->socket UPI,
+// node<->NIC<->switch fabric).
+//
+// The model is deliberately homogeneous *per node group*: a group describes
+// one class of identical nodes (e.g. "cluster" or "cloud"), and a machine is
+// a set of groups hanging off one switch fabric, optionally through a group
+// uplink (a WAN link for a remote cloud group). That is enough to express
+// every platform in the paper's SS IV experiments while keeping routing and
+// the JSON codec small and deterministic.
+//
+// Routing is static: the unique hierarchical path between two cores. Every
+// edge instance (a particular socket's membus, a particular node's NIC, ...)
+// is addressable so the simulator can apply fair-share contention per edge.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace peachy::machine {
+
+/// One typed link: sustained bandwidth plus one-way latency.
+struct LinkSpec {
+  double bytes_per_s = 0.0;
+  double latency_s = 0.0;
+};
+
+/// A class of identical nodes. `core_gflops` is the per-core speed at clock
+/// multiplier 1.0; `core_clock_states` optionally lists DVFS multipliers
+/// (ascending) for platforms with selectable p-states — the effective speed
+/// of state i is `core_gflops * core_clock_states[i]`.
+struct NodeGroup {
+  std::string name;
+  int nodes = 1;
+  int sockets_per_node = 1;
+  int cores_per_socket = 1;
+  double core_gflops = 1.0;
+  std::vector<double> core_clock_states;  ///< empty = single state at 1.0
+
+  LinkSpec l3;      ///< core <-> socket L3
+  LinkSpec membus;  ///< socket <-> node memory bus
+  LinkSpec upi;     ///< socket <-> socket (required when sockets_per_node > 1)
+  LinkSpec nic;     ///< node <-> fabric (or group uplink)
+  LinkSpec uplink;  ///< group <-> fabric; bytes_per_s == 0 means direct
+
+  bool has_uplink() const { return uplink.bytes_per_s > 0.0; }
+  /// Effective core speed of DVFS state `state` (gflops). State -1 or an
+  /// empty state list selects the nominal multiplier 1.0.
+  double gflops_at(int state = -1) const;
+};
+
+/// The whole platform: node groups joined by one switch fabric.
+struct Machine {
+  std::vector<NodeGroup> groups;
+  LinkSpec fabric;
+
+  int total_nodes() const;
+  int total_cores() const;
+  /// Index of the named group; throws peachy::Error if absent.
+  int group_index(const std::string& name) const;
+  const NodeGroup& group(const std::string& name) const;
+  /// Throws peachy::Error describing the first structural problem: empty or
+  /// duplicate group names, non-positive counts/speeds, missing required
+  /// link bandwidths, negative latencies.
+  void validate() const;
+};
+
+/// Addresses one core: group / node-within-group / socket / core.
+struct CoreId {
+  int group = 0;
+  int node = 0;
+  int socket = 0;
+  int core = 0;
+
+  friend bool operator==(const CoreId&, const CoreId&) = default;
+};
+
+/// Edge classes, ordered from the leaf up.
+enum class EdgeKind : std::uint8_t {
+  kL3 = 0,      ///< per (group, node, socket)
+  kMembus = 1,  ///< per (group, node, socket)
+  kUpi = 2,     ///< per (group, node)
+  kNic = 3,     ///< per (group, node)
+  kUplink = 4,  ///< per (group)
+  kFabric = 5,  ///< singleton
+};
+
+const char* to_string(EdgeKind kind);
+
+/// One concrete edge instance. Coordinates not meaningful for the kind are
+/// -1 so refs compare and sort deterministically.
+struct EdgeRef {
+  EdgeKind kind = EdgeKind::kFabric;
+  int group = -1;
+  int node = -1;
+  int socket = -1;
+
+  friend bool operator==(const EdgeRef&, const EdgeRef&) = default;
+  friend auto operator<=>(const EdgeRef&, const EdgeRef&) = default;
+};
+
+/// The static hierarchical path between two cores. `latency_s` is the sum of
+/// edge latencies; `min_bytes_per_s` the uncontended bottleneck bandwidth.
+/// A self-route (src == dst) has no edges and zero latency.
+struct Route {
+  std::vector<EdgeRef> edges;
+  double latency_s = 0.0;
+  double min_bytes_per_s = 0.0;
+};
+
+/// Bounds-checks `id` against `m`; throws peachy::Error when out of range.
+void check_core(const Machine& m, const CoreId& id);
+
+/// The LinkSpec backing one edge instance.
+const LinkSpec& edge_spec(const Machine& m, const EdgeRef& e);
+
+/// Deterministic route between two cores (see file comment for the rules).
+Route route(const Machine& m, const CoreId& src, const CoreId& dst);
+
+/// Uncontended cost of moving `bytes` as `messages` equal messages from
+/// `src` to `dst`: messages * route latency + bytes / bottleneck bandwidth.
+double predict_transfer_s(const Machine& m, const CoreId& src,
+                          const CoreId& dst, double bytes, int messages = 1);
+
+}  // namespace peachy::machine

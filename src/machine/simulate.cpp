@@ -1,0 +1,221 @@
+#include "machine/simulate.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "core/error.hpp"
+#include "sim/engine.hpp"
+
+namespace peachy::machine {
+namespace {
+
+constexpr double kGiga = 1e9;
+
+struct EdgeState {
+  int active = 0;
+  double bytes = 0.0;
+  double busy_s = 0.0;
+  double busy_since = 0.0;  // valid while active > 0
+};
+
+struct FlowState {
+  Route route;
+  double remaining = 0.0;
+  double rate = 0.0;
+  double last_update = 0.0;
+  bool active = false;
+  bool done = false;
+};
+
+class Simulation {
+ public:
+  Simulation(const Machine& m, const Dag& dag) : m_(m), dag_(dag) {}
+
+  Report run() {
+    validate();
+    const std::size_t nt = dag_.tasks.size();
+    const std::size_t nx = dag_.transfers.size();
+    pending_.assign(nt, 0);
+    finished_.assign(nt, false);
+    report_.task_start_s.assign(nt, -1.0);
+    report_.task_finish_s.assign(nt, -1.0);
+    report_.transfer_start_s.assign(nx, -1.0);
+    report_.transfer_finish_s.assign(nx, -1.0);
+
+    flows_.resize(nx);
+    out_transfers_.assign(nt, {});
+    dependents_.assign(nt, {});
+    for (std::size_t i = 0; i < nx; ++i) {
+      const Transfer& x = dag_.transfers[static_cast<std::size_t>(i)];
+      flows_[i].route = route(m_, dag_.tasks[static_cast<std::size_t>(x.src)].core,
+                              dag_.tasks[static_cast<std::size_t>(x.dst)].core);
+      flows_[i].remaining = x.bytes;
+      out_transfers_[static_cast<std::size_t>(x.src)].push_back(
+          static_cast<int>(i));
+      ++pending_[static_cast<std::size_t>(x.dst)];
+    }
+    for (std::size_t t = 0; t < nt; ++t) {
+      for (int d : dag_.tasks[t].deps) {
+        dependents_[static_cast<std::size_t>(d)].push_back(static_cast<int>(t));
+        ++pending_[t];
+      }
+    }
+    for (std::size_t t = 0; t < nt; ++t)
+      if (pending_[t] == 0) ready(static_cast<int>(t));
+
+    engine_.run();
+
+    for (std::size_t t = 0; t < nt; ++t)
+      PEACHY_REQUIRE(finished_[t],
+                     "task " << t << " never became ready — cyclic or "
+                                     "unsatisfiable dependencies");
+    for (const auto& [edge, st] : edge_states_) {
+      PEACHY_CHECK(st.active == 0);
+      report_.edges.push_back({edge, st.bytes, st.busy_s});
+    }
+    for (double f : report_.task_finish_s)
+      report_.makespan_s = std::max(report_.makespan_s, f);
+    for (double f : report_.transfer_finish_s)
+      report_.makespan_s = std::max(report_.makespan_s, f);
+    return std::move(report_);
+  }
+
+ private:
+  using CoreKey = std::tuple<int, int, int, int>;
+
+  static CoreKey key(const CoreId& c) {
+    return {c.group, c.node, c.socket, c.core};
+  }
+
+  void validate() const {
+    m_.validate();
+    const int nt = static_cast<int>(dag_.tasks.size());
+    for (const Task& t : dag_.tasks) {
+      PEACHY_REQUIRE(t.flops >= 0.0, "task flops must be non-negative");
+      check_core(m_, t.core);
+      for (int d : t.deps)
+        PEACHY_REQUIRE(d >= 0 && d < nt, "task dep " << d << " out of range");
+    }
+    for (const Transfer& x : dag_.transfers) {
+      PEACHY_REQUIRE(x.src >= 0 && x.src < nt,
+                     "transfer src " << x.src << " out of range");
+      PEACHY_REQUIRE(x.dst >= 0 && x.dst < nt,
+                     "transfer dst " << x.dst << " out of range");
+      PEACHY_REQUIRE(x.src != x.dst, "transfer src == dst");
+      PEACHY_REQUIRE(x.bytes >= 0.0, "transfer bytes must be non-negative");
+    }
+  }
+
+  // Task `t` has all inputs; queue it FIFO on its core.
+  void ready(int t) {
+    const Task& task = dag_.tasks[static_cast<std::size_t>(t)];
+    const NodeGroup& g = m_.groups[static_cast<std::size_t>(task.core.group)];
+    double& free_at = core_free_[key(task.core)];
+    const double start = std::max(engine_.now(), free_at);
+    const double dur = task.flops / (g.gflops_at() * kGiga);
+    free_at = start + dur;
+    report_.task_start_s[static_cast<std::size_t>(t)] = start;
+    engine_.schedule_at(start + dur, [this, t] { finish_task(t); });
+  }
+
+  void finish_task(int t) {
+    finished_[static_cast<std::size_t>(t)] = true;
+    report_.task_finish_s[static_cast<std::size_t>(t)] = engine_.now();
+    for (int d : dependents_[static_cast<std::size_t>(t)])
+      if (--pending_[static_cast<std::size_t>(d)] == 0) ready(d);
+    for (int x : out_transfers_[static_cast<std::size_t>(t)]) start_transfer(x);
+  }
+
+  void start_transfer(int x) {
+    FlowState& f = flows_[static_cast<std::size_t>(x)];
+    report_.transfer_start_s[static_cast<std::size_t>(x)] = engine_.now();
+    if (f.route.edges.empty() || f.remaining <= 0.0) {
+      // Same-core (or empty) transfers still pay the route latency, nothing
+      // else; zero-byte transfers are pure latency signals.
+      engine_.schedule_in(f.route.latency_s, [this, x] { finish_transfer(x); });
+      return;
+    }
+    engine_.schedule_in(f.route.latency_s, [this, x] { activate_flow(x); });
+  }
+
+  void activate_flow(int x) {
+    FlowState& f = flows_[static_cast<std::size_t>(x)];
+    f.active = true;
+    f.last_update = engine_.now();
+    for (const EdgeRef& e : f.route.edges) {
+      EdgeState& st = edge_states_[e];
+      if (st.active++ == 0) st.busy_since = engine_.now();
+    }
+    recompute_rates();
+  }
+
+  void finish_transfer(int x) {
+    const Transfer& t = dag_.transfers[static_cast<std::size_t>(x)];
+    report_.transfer_finish_s[static_cast<std::size_t>(x)] = engine_.now();
+    if (--pending_[static_cast<std::size_t>(t.dst)] == 0) ready(t.dst);
+  }
+
+  void complete_flow(int x) {
+    FlowState& f = flows_[static_cast<std::size_t>(x)];
+    f.active = false;
+    f.done = true;
+    f.remaining = 0.0;
+    for (const EdgeRef& e : f.route.edges) {
+      EdgeState& st = edge_states_[e];
+      st.bytes += dag_.transfers[static_cast<std::size_t>(x)].bytes;
+      if (--st.active == 0) st.busy_s += engine_.now() - st.busy_since;
+    }
+    finish_transfer(x);
+    recompute_rates();
+  }
+
+  // The fair-share step: advance every active flow to `now`, re-derive its
+  // rate from current edge occupancy, and (re)schedule its completion. Stale
+  // completion events are invalidated by the epoch stamp.
+  void recompute_rates() {
+    const double now = engine_.now();
+    ++epoch_;
+    for (std::size_t x = 0; x < flows_.size(); ++x) {
+      FlowState& f = flows_[x];
+      if (!f.active) continue;
+      f.remaining = std::max(0.0, f.remaining - f.rate * (now - f.last_update));
+      f.last_update = now;
+      double rate = f.route.min_bytes_per_s;
+      for (const EdgeRef& e : f.route.edges) {
+        const EdgeState& st = edge_states_[e];
+        rate = std::min(rate, edge_spec(m_, e).bytes_per_s / st.active);
+      }
+      f.rate = rate;
+      const double eta = f.remaining / rate;
+      const std::uint64_t stamp = epoch_;
+      engine_.schedule_in(eta, [this, x, stamp] {
+        if (stamp != epoch_) return;  // superseded by a later recompute
+        complete_flow(static_cast<int>(x));
+      });
+    }
+  }
+
+  const Machine& m_;
+  const Dag& dag_;
+  sim::Engine engine_;
+  Report report_;
+
+  std::vector<int> pending_;
+  std::vector<char> finished_;
+  std::vector<std::vector<int>> dependents_;
+  std::vector<std::vector<int>> out_transfers_;
+  std::vector<FlowState> flows_;
+  std::map<CoreKey, double> core_free_;
+  std::map<EdgeRef, EdgeState> edge_states_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace
+
+Report simulate(const Machine& m, const Dag& dag) {
+  return Simulation(m, dag).run();
+}
+
+}  // namespace peachy::machine

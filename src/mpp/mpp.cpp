@@ -771,6 +771,9 @@ RunOutcome spawn_attempt(int ranks,
     out.net.fault_severed += rep.fault_severed;
     if (r == 0) out.rank0_result = rep.result;
   }
+  // Cumulative max across attempts: the launcher is shared by the whole
+  // supervise loop and folds every reaped incarnation into its peak.
+  out.peak_rss_bytes = launcher.peak_rss_bytes();
   // A tripped guard outranks the per-worker errors below it: a deadline or
   // forced cancel explains every death it caused, and both are terminal
   // (supervise must not spend restart budget re-running stopped work).

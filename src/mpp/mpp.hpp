@@ -189,6 +189,11 @@ struct RunOutcome {
   std::vector<std::byte> rank0_result;
   /// How many times the supervisor restarted the world (0 = clean run).
   int restarts = 0;
+  /// Largest per-worker resident-set peak (bytes) over all ranks and
+  /// restart attempts, from wait4/RUSAGE accounting. Only spawned worlds
+  /// report it; thread-backed worlds leave 0 (ranks share one address
+  /// space, so a per-rank peak is not meaningful).
+  std::uint64_t peak_rss_bytes = 0;
 };
 
 /// A rank's endpoint into a world: an MPI communicator handle bound to one

@@ -95,6 +95,17 @@ void ProcessLauncher::exec_workers(
   for (int r = 0; r < n; ++r) respawn(r);
 }
 
+namespace {
+
+// ru_maxrss is KiB on Linux; fold one reaped child's peak into `acc`.
+void fold_peak_rss(const struct rusage& usage, std::uint64_t& acc) {
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+  if (bytes > acc) acc = bytes;
+}
+
+}  // namespace
+
 pid_t ProcessLauncher::respawn(int rank) {
   PEACHY_REQUIRE(rank >= 0, "respawn of negative rank " << rank);
   PEACHY_REQUIRE(fork_recipe_ || !exec_argv_.empty(),
@@ -107,7 +118,9 @@ pid_t ProcessLauncher::respawn(int rank) {
     // The old incarnation may be live, a zombie, or already reaped by
     // wait_all; kill is advisory, the reap is what frees the slot.
     ::kill(slot, SIGKILL);
-    ::waitpid(slot, nullptr, 0);
+    struct rusage usage {};
+    if (::wait4(slot, nullptr, 0, &usage) == slot)
+      fold_peak_rss(usage, peak_rss_bytes_);
     slot = -1;
   }
   slot = spawn_one(rank);
@@ -124,8 +137,10 @@ std::vector<int> ProcessLauncher::wait_all(int timeout_ms) {
     for (std::size_t i = 0; i < pids_.size(); ++i) {
       if (codes[i] >= 0 || pids_[i] <= 0) continue;
       int status = 0;
-      const pid_t rc = ::waitpid(pids_[i], &status, WNOHANG);
+      struct rusage usage {};
+      const pid_t rc = ::wait4(pids_[i], &status, WNOHANG, &usage);
       if (rc == 0) continue;
+      if (rc == pids_[i]) fold_peak_rss(usage, peak_rss_bytes_);
       if (WIFEXITED(status))
         codes[i] = WEXITSTATUS(status);
       else if (WIFSIGNALED(status))
@@ -159,6 +174,11 @@ void ProcessLauncher::terminate_all(int sig) {
   std::lock_guard<std::mutex> lock(mu_);
   for (pid_t pid : pids_)
     if (pid > 0) ::kill(pid, sig);
+}
+
+std::uint64_t ProcessLauncher::peak_rss_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_rss_bytes_;
 }
 
 std::vector<pid_t> ProcessLauncher::pids() const {

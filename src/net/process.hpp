@@ -86,6 +86,11 @@ class ProcessLauncher {
 
   int spawned() const { return static_cast<int>(pids_.size()); }
 
+  /// Largest resident-set peak (bytes) observed across every child reaped
+  /// by this launcher — wait_all and respawn reap with wait4, so the value
+  /// accumulates over restarts too. 0 until the first child is reaped.
+  std::uint64_t peak_rss_bytes() const;
+
   /// Snapshot of children not yet reaped (for tests that target a specific
   /// worker with a signal). Entries are -1 once reaped.
   std::vector<pid_t> pids() const;
@@ -97,6 +102,7 @@ class ProcessLauncher {
   // kill_all while the launcher thread reaps in wait_all.
   mutable std::mutex mu_;
   std::vector<pid_t> pids_;  // indexed by rank; -1 = reaped / never spawned
+  std::uint64_t peak_rss_bytes_ = 0;  // max ru_maxrss over reaped children
   ChildLimits limits_;
   // Exactly one of these recipes is set after the first spawn call.
   std::function<int(int)> fork_recipe_;

@@ -1,0 +1,148 @@
+#include "pap/device.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "sim/engine.hpp"
+
+namespace peachy::pap {
+
+DeviceSim::DeviceSim(DeviceModel model) : model_(model) {
+  PEACHY_REQUIRE(model_.queued(),
+                 "DeviceSim needs a queued model (dram_bytes_per_us > 0)");
+  PEACHY_REQUIRE(model_.cells_per_us > 0, "cells_per_us must be positive");
+  PEACHY_REQUIRE(model_.dram_latency_us >= 0,
+                 "dram_latency_us must be non-negative");
+  PEACHY_REQUIRE(model_.dram_request_bytes > 0,
+                 "dram_request_bytes must be positive");
+  PEACHY_REQUIRE(model_.scratchpad_bytes > 0,
+                 "scratchpad_bytes must be positive");
+  PEACHY_REQUIRE(model_.issue_width >= 1, "issue_width must be >= 1");
+  PEACHY_REQUIRE(model_.bytes_per_cell > 0, "bytes_per_cell must be positive");
+}
+
+std::uint64_t DeviceSim::tile_traffic_bytes(double cells) const {
+  PEACHY_REQUIRE(cells >= 0, "cells must be non-negative");
+  const double working_set = cells * model_.bytes_per_cell;
+  // Everything streams in once; whatever does not fit in the scratchpad is
+  // written back out, doubling the spilled portion's traffic.
+  const double spill =
+      std::max(0.0, working_set - static_cast<double>(model_.scratchpad_bytes));
+  return static_cast<std::uint64_t>(std::llround(working_set + spill));
+}
+
+double DeviceSim::tile_estimate_us(double cells) const {
+  const double compute = cells / model_.cells_per_us;
+  const double stream = static_cast<double>(tile_traffic_bytes(cells)) /
+                        model_.dram_bytes_per_us;
+  return std::max(compute, stream) + model_.dram_latency_us;
+}
+
+namespace {
+
+// One batch run: tiles execute sequentially; each tile's requests flow
+// through the bounded issue window and the FIFO DRAM channel.
+struct BatchRun {
+  const DeviceSim& sim;
+  const DeviceModel& model;
+  const std::vector<double>& tiles;
+  sim::Engine engine;
+  DeviceBatchStats stats;
+
+  std::size_t tile = 0;            // current tile index
+  std::uint64_t to_issue = 0;      // requests not yet issued for this tile
+  std::uint64_t in_flight = 0;     // issued, response not yet received
+  std::uint64_t last_request = 0;  // bytes of the tile's final request
+  bool compute_started = false;
+  bool compute_done = false;
+  double channel_free_at = 0;      // DRAM channel FIFO horizon
+
+  BatchRun(const DeviceSim& s, const std::vector<double>& t)
+      : sim(s), model(s.model()), tiles(t) {}
+
+  DeviceBatchStats run() {
+    start_tile();
+    engine.run();
+    stats.total_us = engine.now();
+    stats.stall_us = std::max(0.0, stats.total_us - stats.compute_us);
+    return stats;
+  }
+
+  void start_tile() {
+    if (tile >= tiles.size()) return;
+    const double cells = tiles[tile];
+    const std::uint64_t traffic = sim.tile_traffic_bytes(cells);
+    if (traffic == 0) {
+      // Nothing to fetch: pure compute, back to back.
+      const double compute = cells / model.cells_per_us;
+      stats.compute_us += compute;
+      engine.schedule_in(compute, [this] { next_tile(); });
+      return;
+    }
+    stats.dram_bytes += traffic;
+    to_issue =
+        (traffic + model.dram_request_bytes - 1) / model.dram_request_bytes;
+    last_request = traffic - (to_issue - 1) * model.dram_request_bytes;
+    stats.requests += to_issue;
+    compute_started = false;
+    compute_done = false;
+    issue();
+  }
+
+  void next_tile() {
+    ++tile;
+    start_tile();
+  }
+
+  // Fill the issue window; each request is serviced FIFO by the channel and
+  // answered dram_latency_us after its data leaves the channel.
+  void issue() {
+    while (to_issue > 0 &&
+           in_flight < static_cast<std::uint64_t>(model.issue_width)) {
+      const std::uint64_t bytes =
+          to_issue == 1 ? last_request : model.dram_request_bytes;
+      --to_issue;
+      ++in_flight;
+      const double start = std::max(engine.now(), channel_free_at);
+      channel_free_at =
+          start + static_cast<double>(bytes) / model.dram_bytes_per_us;
+      engine.schedule_at(channel_free_at + model.dram_latency_us,
+                         [this] { on_response(); });
+    }
+  }
+
+  void on_response() {
+    --in_flight;
+    if (!compute_started) {
+      // First data arrived: the ALUs start streaming through the tile.
+      compute_started = true;
+      const double compute = tiles[tile] / model.cells_per_us;
+      stats.compute_us += compute;
+      engine.schedule_in(compute, [this] {
+        compute_done = true;
+        maybe_finish_tile();
+      });
+    }
+    issue();
+    maybe_finish_tile();
+  }
+
+  void maybe_finish_tile() {
+    if (compute_done && to_issue == 0 && in_flight == 0) {
+      compute_done = false;  // this tile is accounted for; move on
+      next_tile();
+    }
+  }
+};
+
+}  // namespace
+
+DeviceBatchStats DeviceSim::run(const std::vector<double>& tile_cells) const {
+  for (double c : tile_cells)
+    PEACHY_REQUIRE(c >= 0, "tile cell counts must be non-negative");
+  BatchRun batch(*this, tile_cells);
+  return batch.run();
+}
+
+}  // namespace peachy::pap

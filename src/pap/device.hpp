@@ -1,0 +1,56 @@
+// Queued device simulation: the GPU stand-in with an explicit memory system.
+//
+// Shaped after ONNXim's core loop: tiles issue DRAM requests for their
+// working set into a bounded-depth request queue (at most `issue_width`
+// outstanding), a single DRAM channel serves requests FIFO at
+// `dram_bytes_per_us`, and responses return `dram_latency_us` after service
+// completes. A tile's ALU work overlaps its memory stream — compute starts
+// with the first response — so compute-bound tiles run at `cells_per_us`
+// while memory-bound tiles degrade to the channel's speed. Tiles whose
+// working set exceeds the scratchpad pay write-back traffic for the spilled
+// portion.
+//
+// Runs on sim::Engine (time unit: microseconds), so batch results are
+// deterministic and independent of host timing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pap/hybrid.hpp"
+
+namespace peachy::pap {
+
+/// Outcome of executing one batch of tiles back-to-back on the device.
+struct DeviceBatchStats {
+  double total_us = 0;             ///< wall-clock of the whole batch
+  double compute_us = 0;           ///< sum of pure ALU time over tiles
+  double stall_us = 0;             ///< total_us - compute_us when memory-bound
+  std::uint64_t requests = 0;      ///< DRAM transactions issued
+  std::uint64_t dram_bytes = 0;    ///< bytes moved over the channel
+};
+
+/// Event-driven executor for `DeviceModel`s with `queued() == true`.
+class DeviceSim {
+ public:
+  /// Throws peachy::Error unless the model's queued-memory parameters are
+  /// complete (positive bandwidth/request size/issue width/bytes per cell).
+  explicit DeviceSim(DeviceModel model);
+
+  const DeviceModel& model() const { return model_; }
+
+  /// DRAM traffic a tile of `cells` cells generates (spill-aware).
+  std::uint64_t tile_traffic_bytes(double cells) const;
+
+  /// Closed-form single-tile estimate used for EFT lane decisions:
+  /// max(ALU time, DRAM stream time) plus the first-fetch latency.
+  double tile_estimate_us(double cells) const;
+
+  /// Executes `tile_cells` sequentially through the memory queues.
+  DeviceBatchStats run(const std::vector<double>& tile_cells) const;
+
+ private:
+  DeviceModel model_;
+};
+
+}  // namespace peachy::pap

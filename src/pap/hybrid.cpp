@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 
 #include "core/timer.hpp"
+#include "pap/device.hpp"
 
 namespace peachy::pap {
 
@@ -28,6 +30,8 @@ HybridRunner::HybridRunner(TileGrid tiles, HybridOptions options)
   if (options_.trace != nullptr)
     PEACHY_REQUIRE(options_.trace->workers() >= options_.cpu.workers + 1,
                    "trace needs cpu.workers+1 lanes");
+  if (options_.device.queued())
+    DeviceSim(options_.device);  // validate queued parameters up front
   last_owner_.assign(static_cast<std::size_t>(tiles_.count()), -1);
 }
 
@@ -37,6 +41,9 @@ HybridResult HybridRunner::run(const TileKernel& kernel) {
   const int n = tiles_.count();
   const int cpu_lanes = options_.cpu.workers;
   const int dev_lane = device_lane();
+
+  std::optional<DeviceSim> device_sim;
+  if (options_.device.queued()) device_sim.emplace(options_.device);
 
   std::vector<std::uint8_t> active(static_cast<std::size_t>(n), 1);
 
@@ -57,12 +64,16 @@ HybridResult HybridRunner::run(const TileKernel& kernel) {
     // Lane clocks: [0, cpu_lanes) are CPU lanes, cpu_lanes is the device.
     std::vector<double> lane_clock(static_cast<std::size_t>(cpu_lanes) + 1, 0.0);
     bool device_used = false;
+    std::vector<double> device_cells;  // queued model: batch, in bill order
     std::fill(last_owner_.begin(), last_owner_.end(), -1);
 
     auto cost_on = [&](const Tile& t, int lane) {
       const double cells = static_cast<double>(t.h) * t.w;
-      return lane == dev_lane ? cells / options_.device.cells_per_us
-                              : cells / options_.cpu.cells_per_us;
+      if (lane != dev_lane) return cells / options_.cpu.cells_per_us;
+      // Queued devices estimate per-tile cost for lane decisions; the
+      // batch is re-billed through the memory queues below.
+      return device_sim ? device_sim->tile_estimate_us(cells)
+                        : cells / options_.device.cells_per_us;
     };
     auto bill = [&](const Tile& t, int lane) {
       if (lane == dev_lane && !device_used) {
@@ -71,6 +82,8 @@ HybridResult HybridRunner::run(const TileKernel& kernel) {
             options_.device.batch_latency_us;
       }
       lane_clock[static_cast<std::size_t>(lane)] += cost_on(t, lane);
+      if (lane == dev_lane && device_sim)
+        device_cells.push_back(static_cast<double>(t.h) * t.w);
       last_owner_[static_cast<std::size_t>(t.index)] = lane;
     };
 
@@ -116,6 +129,17 @@ HybridResult HybridRunner::run(const TileKernel& kernel) {
         }
       }
       bill(t, lane);
+    }
+
+    // Queued devices: replace the device lane's estimated clock with the
+    // batch executed through the memory request/response queues, so the
+    // iteration's makespan reflects real DRAM contention.
+    if (device_sim && device_used) {
+      const DeviceBatchStats batch = device_sim->run(device_cells);
+      lane_clock[static_cast<std::size_t>(dev_lane)] =
+          options_.device.batch_latency_us + batch.total_us;
+      result.device_stall_us += batch.stall_us;
+      result.device_dram_bytes += batch.dram_bytes;
     }
 
     // Execute every tile for real (results must be exact), attributing each

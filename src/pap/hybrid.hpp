@@ -10,6 +10,7 @@
 // scheduling logic students must write.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "pap/runner.hpp"
@@ -23,9 +24,27 @@ struct CpuModel {
 };
 
 /// Modeled throughput-oriented device (GPU stand-in).
+///
+/// Two operating modes. With `dram_bytes_per_us == 0` (the default) the
+/// device is the legacy flat model: a tile of C cells costs
+/// C / cells_per_us. Setting a DRAM bandwidth switches on the queued model
+/// (see pap/device.hpp): every tile streams its working set through an
+/// explicit memory request/response queue with bounded issue width, so
+/// memory-bound tiles are billed at the DRAM's speed, not the ALUs' — the
+/// contention the Fig. 4 balancing experiment is about.
 struct DeviceModel {
-  double cells_per_us = 3000;  ///< device throughput (cells / microsecond)
+  double cells_per_us = 3000;  ///< ALU throughput (cells / microsecond)
   double batch_latency_us = 80;///< per-iteration launch + transfer overhead
+
+  // Queued-memory extension (ONNXim-shaped tile-issue loop).
+  double dram_bytes_per_us = 0;      ///< DRAM bandwidth; 0 = flat model
+  double dram_latency_us = 0.5;      ///< request issue -> first data
+  std::size_t dram_request_bytes = 4096;   ///< DRAM transaction size
+  std::size_t scratchpad_bytes = 1 << 20;  ///< on-chip capacity per tile
+  int issue_width = 8;               ///< max outstanding DRAM requests
+  double bytes_per_cell = 8;         ///< tile working-set footprint per cell
+
+  bool queued() const { return dram_bytes_per_us > 0; }
 };
 
 /// Load-balancing policies the assignment compares.
@@ -56,6 +75,8 @@ struct HybridResult {
   double modeled_time_us = 0;   ///< sum over iterations of modeled makespan
   double cpu_busy_us = 0;       ///< total modeled CPU lane busy time
   double device_busy_us = 0;    ///< total modeled device busy time
+  double device_stall_us = 0;   ///< queued model: time memory-stalled
+  std::uint64_t device_dram_bytes = 0;  ///< queued model: DRAM traffic
 };
 
 /// Drives a TileKernel with a modeled CPU pool + device, producing the

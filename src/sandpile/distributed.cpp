@@ -179,7 +179,8 @@ DistributedResult stabilize_distributed(const Field& initial,
   DistributedResult result{std::move(blob.field), blob.stable,
                            blob.aborted,         blob.rounds,
                            blob.rounds * k,      outcome.comm,
-                           outcome.net,          outcome.restarts};
+                           outcome.net,          outcome.restarts,
+                           outcome.peak_rss_bytes};
   return result;
 }
 

@@ -44,6 +44,7 @@ struct DistributedResult {
   mpp::CommStats comm;         ///< aggregate messages/bytes over all ranks
   mpp::NetStats net;           ///< frame-level counters (tcp only)
   int restarts = 0;            ///< supervised world restarts (0 = clean run)
+  std::uint64_t peak_rss_bytes = 0;  ///< worker RSS peak; spawned only
 };
 
 /// Stabilizes `initial` with `options.ranks` ranks using synchronous

@@ -31,6 +31,12 @@ std::size_t Engine::run_until(Time horizon) {
     ++n;
     ++processed_;
   }
+  // A finite horizon means "simulate up to this instant": the clock lands on
+  // the horizon even when the queue drains early, so a later schedule_in()
+  // anchors at the horizon instead of at whenever the last event happened to
+  // fire. run() passes +inf and keeps the clock at the last event.
+  if (horizon != std::numeric_limits<Time>::infinity() && horizon > now_)
+    now_ = horizon;
   span.arg("events", static_cast<std::int64_t>(n));
   if (n != 0 && obs::enabled()) {
     static obs::Counter& events =

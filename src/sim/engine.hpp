@@ -39,7 +39,11 @@ class Engine {
   /// processed by this call.
   std::size_t run();
 
-  /// Runs events with time <= horizon; later events stay queued.
+  /// Runs events with time <= horizon (events scheduled exactly at the
+  /// horizon fire, including ones scheduled re-entrantly by callbacks);
+  /// later events stay queued. With a finite horizon the clock advances to
+  /// `horizon` even if the queue drains early, so repeated run_until()
+  /// slices tile the timeline without gaps.
   std::size_t run_until(Time horizon);
 
   bool empty() const { return queue_.empty(); }

@@ -215,6 +215,7 @@ std::pair<ReplyStatus, std::vector<std::byte>> Daemon::handle_request(
       s.name = rec.spec.name;
       s.error = rec.error;
       s.restarts = rec.restarts;
+      s.peak_rss_bytes = rec.peak_rss_bytes;
       s.has_result = !rec.result.empty();
       append_status(reply, s);
       return {ReplyStatus::kOk, std::move(reply)};
@@ -451,6 +452,12 @@ void Daemon::execute(std::uint64_t id) {
     bump("completed", rec.spec.tenant);
   }
   rec.restarts += static_cast<std::uint32_t>(out.restarts);
+  // wait4 accounting from the worker processes; threaded jobs leave 0.
+  rec.peak_rss_bytes = std::max(rec.peak_rss_bytes, out.peak_rss_bytes);
+  if (rec.peak_rss_bytes > 0)
+    obs::Registry::global()
+        .histogram("svc.job.peak_rss_bytes")
+        .observe(static_cast<std::int64_t>(rec.peak_rss_bytes));
   // Terminal record first, checkpoint removal second: a crash in between
   // re-runs a finished job at worst; the opposite order could lose one.
   store_.put(rec);

@@ -119,6 +119,9 @@ struct JobRecord {
   std::string error;              ///< FAILED reason
   std::vector<std::byte> result;  ///< DONE payload (kind-specific blob)
   std::uint32_t restarts = 0;     ///< daemon deaths survived while RUNNING
+  /// Peak worker RSS across all ranks and restart attempts (wait4/RUSAGE).
+  /// Process isolation only; threaded jobs report 0.
+  std::uint64_t peak_rss_bytes = 0;
 };
 
 // Spec/record byte codecs (little-endian, net/wire scalar helpers). Used

@@ -31,6 +31,7 @@ void append_status(std::vector<std::byte>& out, const JobStatus& s) {
   append_string(out, s.name);
   append_string(out, s.error);
   net::append_u32(out, s.restarts);
+  net::append_u64(out, s.peak_rss_bytes);
   net::append_u32(out, s.has_result ? 1 : 0);
 }
 
@@ -43,6 +44,7 @@ JobStatus read_status(const std::byte*& p, const std::byte* end) {
   s.name = read_string(p, end);
   s.error = read_string(p, end);
   s.restarts = net::read_u32(p, end);
+  s.peak_rss_bytes = net::read_u64(p, end);
   s.has_result = net::read_u32(p, end) != 0;
   return s;
 }

@@ -48,6 +48,8 @@ struct JobStatus {
   std::string name;
   std::string error;       ///< non-empty iff FAILED
   std::uint32_t restarts = 0;
+  /// Peak worker RSS (process isolation; 0 for threaded or unfinished jobs).
+  std::uint64_t peak_rss_bytes = 0;
   bool has_result = false;
 };
 

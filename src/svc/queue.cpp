@@ -18,14 +18,15 @@ namespace {
 
 // Record layout (little-endian, net wire scalar helpers):
 //   u32 magic 'PSVJ' | u32 version | u64 id | u32 state | u32 restarts
-//   | spec (append_spec) | string error | u64 result size | result bytes
-//   | u32 crc32 of everything above
+//   | u64 peak_rss_bytes | spec (append_spec) | string error
+//   | u64 result size | result bytes | u32 crc32 of everything above
 constexpr std::uint32_t kMagic = 0x4a565350;  // "PSVJ"
-// v2: spec grew isolation + deadline_ms (+ dmr fault_abort_at). Records
-// from other versions are skipped at load like corrupt ones — the spec
-// codec is shared with the wire protocol, so cross-version decode would
-// misparse, and a job service retires records quickly anyway.
-constexpr std::uint32_t kVersion = 2;
+// v2: spec grew isolation + deadline_ms (+ dmr fault_abort_at).
+// v3: record grew peak_rss_bytes. Records from other versions are skipped
+// at load like corrupt ones — the spec codec is shared with the wire
+// protocol, so cross-version decode would misparse, and a job service
+// retires records quickly anyway.
+constexpr std::uint32_t kVersion = 3;
 
 std::vector<std::byte> encode_record(const JobRecord& rec) {
   std::vector<std::byte> buf;
@@ -34,6 +35,7 @@ std::vector<std::byte> encode_record(const JobRecord& rec) {
   net::append_u64(buf, rec.id);
   net::append_u32(buf, static_cast<std::uint32_t>(rec.state));
   net::append_u32(buf, rec.restarts);
+  net::append_u64(buf, rec.peak_rss_bytes);
   append_spec(buf, rec.spec);
   append_string(buf, rec.error);
   net::append_u64(buf, rec.result.size());
@@ -64,6 +66,7 @@ JobRecord decode_record(const std::vector<std::byte>& buf) {
   PEACHY_REQUIRE(state >= 1 && state <= 5, "job record has state " << state);
   rec.state = static_cast<JobState>(state);
   rec.restarts = net::read_u32(p, crc_end);
+  rec.peak_rss_bytes = net::read_u64(p, crc_end);
   rec.spec = read_spec(p, crc_end);
   rec.error = read_string(p, crc_end);
   const std::uint64_t result_size = net::read_u64(p, crc_end);

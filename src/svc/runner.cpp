@@ -85,6 +85,7 @@ RunnerOutcome run_sandpile(const JobSpec& spec, const RunnerOptions& options) {
       sandpile::detail::encode_result(r.field, r.stable, r.rounds, r.aborted);
   out.aborted = r.aborted;
   out.restarts = r.restarts;
+  out.peak_rss_bytes = r.peak_rss_bytes;
   return out;
 }
 
@@ -168,6 +169,7 @@ RunnerOutcome run_dmr(const JobSpec& spec, const RunnerOptions& options) {
   }
   out.aborted = r.aborted;
   out.restarts = r.restarts;
+  out.peak_rss_bytes = r.peak_rss_bytes;
   return out;
 }
 
@@ -251,6 +253,7 @@ RunnerOutcome run_wfsim(const JobSpec& spec, const RunnerOptions& options) {
   out.aborted = net::read_u32(q, qend) != 0;
   out.result.assign(q, qend);
   out.restarts = outcome.restarts;
+  out.peak_rss_bytes = outcome.peak_rss_bytes;
   return out;
 }
 

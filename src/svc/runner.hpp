@@ -71,6 +71,10 @@ struct RunnerOutcome {
   std::vector<std::byte> result;  ///< kind-specific blob (see header)
   bool aborted = false;           ///< should_abort stopped the run
   int restarts = 0;               ///< supervised world restarts
+  /// Peak worker RSS over the whole run (max across ranks and restarts).
+  /// Process isolation only — threaded jobs share the daemon's address
+  /// space and report 0.
+  std::uint64_t peak_rss_bytes = 0;
 };
 
 /// Executes `spec` to completion (or abort) on the pool. Throws on

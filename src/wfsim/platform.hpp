@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/error.hpp"
+#include "machine/machine.hpp"
 
 namespace peachy::wf {
 
@@ -65,8 +66,39 @@ struct Platform {
   int max_pstate() const { return num_pstates() - 1; }
 };
 
+/// Energy/carbon calibration applied on top of a machine description when
+/// deriving a wf::Platform. Speeds and link parameters come from the
+/// machine model; watts and carbon intensity are a wfsim concern (the
+/// machine model knows nothing about power). Defaults are the assignment's
+/// published values.
+struct EnergyModel {
+  double cluster_idle_watts = 95;
+  double cluster_dynamic_watts = 30.0;  ///< coefficient on clock^exponent
+  double cluster_power_exponent = 2.5;
+  double cluster_gco2_per_kwh = 291;
+  double vm_busy_watts = 150;
+  double cloud_gco2_per_kwh = 25;
+};
+
+/// The assignment's hardware as a hierarchical machine description: a
+/// "cluster" node group (64 single-core nodes, seven DVFS clock states) and
+/// a "cloud" group (16 VM nodes) reaching the fabric through the 1 Gbit/s
+/// WAN uplink. Intra-cluster edges carry representative LAN values; the
+/// wf::Platform adapter only reads node counts, speeds and the uplink.
+machine::Machine eduwrench_machine();
+
+/// Derives the flat wf::Platform from a machine description. Requires node
+/// groups named "cluster" and "cloud"; cluster p-states come from the
+/// cluster group's clock states, the WAN link from the cloud group's
+/// uplink. Throws peachy::Error when either group is missing or the cloud
+/// group has no uplink.
+Platform platform_from_machine(const machine::Machine& m,
+                               const EnergyModel& energy = {});
+
 /// The assignment's platform: 64 nodes, 7 p-states (10..22 Gflop/s with
-/// superlinear dynamic power), 16 green VMs, 1 Gbit/s link.
+/// superlinear dynamic power), 16 green VMs, 1 Gbit/s link. Built as
+/// `platform_from_machine(eduwrench_machine())` — the machine model is the
+/// source of truth for every speed and link constant.
 Platform eduwrench_platform();
 
 }  // namespace peachy::wf

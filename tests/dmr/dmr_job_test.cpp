@@ -9,7 +9,9 @@
 #include <utility>
 #include <vector>
 
+#include "core/error.hpp"
 #include "dmr/job.hpp"
+#include "machine/advisor.hpp"
 #include "mapreduce/job.hpp"
 #include "mpp/mpp.hpp"
 
@@ -294,6 +296,69 @@ TEST(DmrJob, FloatingPointSumsAreBitExact) {
           << "ranks=" << ranks << " key=" << expect[i].first;
     }
   }
+}
+
+// Custom partition->rank mappings (Options::partition_owner) only move
+// where partitions are reduced; the assembled output must stay
+// byte-identical to the static p % R default.
+TEST(DmrJob, CustomPartitionOwnerKeepsOutputByteIdentical) {
+  const auto inputs = word_corpus(96);
+  const auto expect =
+      run_dmr(inputs, base_options(4, mpp::TransportKind::kInproc)).output;
+  for (const std::vector<int>& owner :
+       {std::vector<int>{3, 2, 1, 0}, std::vector<int>{0, 0, 0, 0},
+        std::vector<int>{1, 3, 1, 3}}) {
+    Options opt = base_options(4, mpp::TransportKind::kInproc);
+    opt.partition_owner = owner;
+    const auto r = run_dmr(inputs, opt);
+    EXPECT_EQ(r.output, expect)
+        << "owner={" << owner[0] << "," << owner[1] << "," << owner[2] << ","
+        << owner[3] << "}";
+  }
+}
+
+TEST(DmrJob, AdvisorPlacementKeepsOutputByteIdentical) {
+  const auto inputs = word_corpus(96);
+  Options opt = base_options(4, mpp::TransportKind::kInproc);
+  const auto ref = run_dmr(inputs, opt);
+  const auto expect = ref.output;
+
+  // Feed the measured skew profile back through the advisor, the way a
+  // production caller would re-place a recurring job.
+  machine::Machine m;
+  machine::NodeGroup g;
+  g.name = "cluster";
+  g.nodes = 2;
+  g.sockets_per_node = 1;
+  g.cores_per_socket = 2;
+  g.core_gflops = 1.0;
+  g.l3 = {100e9, 1e-9};
+  g.membus = {25e9, 1e-9};
+  g.nic = {1e9, 1e-6};
+  m.groups.push_back(g);
+  m.fabric = {1e9, 1e-6};
+  std::vector<std::uint64_t> traffic;
+  for (const std::size_t records : ref.counters.partition_records)
+    traffic.push_back(static_cast<std::uint64_t>(records));
+  const machine::Placement placed =
+      machine::PlacementAdvisor(m).recommend(4, traffic);
+  ASSERT_EQ(placed.partition_owner.size(), 4u);
+
+  opt.partition_owner = placed.partition_owner;
+  const auto r = run_dmr(inputs, opt);
+  EXPECT_EQ(r.output, expect);
+  EXPECT_EQ(r.counters.groups, ref.counters.groups);
+}
+
+TEST(DmrJob, MalformedPartitionOwnerFailsLoudly) {
+  const auto inputs = word_corpus(16);
+  Options wrong_size = base_options(2, mpp::TransportKind::kInproc);
+  wrong_size.partition_owner = {0, 1};  // job has 4 partitions
+  EXPECT_THROW(run_dmr(inputs, wrong_size), Error);
+
+  Options bad_rank = base_options(2, mpp::TransportKind::kInproc);
+  bad_rank.partition_owner = {0, 1, 0, 2};  // rank 2 of a 2-rank world
+  EXPECT_THROW(run_dmr(inputs, bad_rank), Error);
 }
 
 }  // namespace

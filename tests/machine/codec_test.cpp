@@ -1,0 +1,129 @@
+// JSON machine codec: canonical round trips, strict unknown-key rejection,
+// and loud failures for malformed text and missing files.
+#include <gtest/gtest.h>
+
+#include <stdlib.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/error.hpp"
+#include "machine/codec.hpp"
+
+namespace peachy::machine {
+namespace {
+
+Machine sample_machine() {
+  Machine m;
+  NodeGroup cluster;
+  cluster.name = "cluster";
+  cluster.nodes = 8;
+  cluster.sockets_per_node = 2;
+  cluster.cores_per_socket = 4;
+  cluster.core_gflops = 10.0;
+  cluster.core_clock_states = {1.0, 1.2, 1.4};
+  cluster.l3 = {200e9, 20e-9};
+  cluster.membus = {25e9, 90e-9};
+  cluster.upi = {20e9, 120e-9};
+  cluster.nic = {1.25e9, 50e-6};
+  NodeGroup cloud;
+  cloud.name = "cloud";
+  cloud.nodes = 2;
+  cloud.cores_per_socket = 8;
+  cloud.core_gflops = 14.0;
+  cloud.l3 = {180e9, 25e-9};
+  cloud.membus = {20e9, 95e-9};
+  cloud.nic = {1.25e9, 50e-6};
+  cloud.uplink = {125e6, 0.010};
+  m.groups = {cluster, cloud};
+  m.fabric = {1.25e9, 0.5e-6};
+  return m;
+}
+
+TEST(MachineCodec, DumpParseRoundTripPreservesEveryField) {
+  const Machine m = sample_machine();
+  const Machine back = parse_machine(dump_machine(m));
+  ASSERT_EQ(back.groups.size(), 2u);
+  const NodeGroup& g = back.groups[0];
+  EXPECT_EQ(g.name, "cluster");
+  EXPECT_EQ(g.nodes, 8);
+  EXPECT_EQ(g.sockets_per_node, 2);
+  EXPECT_EQ(g.cores_per_socket, 4);
+  EXPECT_DOUBLE_EQ(g.core_gflops, 10.0);
+  EXPECT_EQ(g.core_clock_states, (std::vector<double>{1.0, 1.2, 1.4}));
+  EXPECT_DOUBLE_EQ(g.upi.bytes_per_s, 20e9);
+  EXPECT_DOUBLE_EQ(g.nic.latency_s, 50e-6);
+  EXPECT_TRUE(back.groups[1].has_uplink());
+  EXPECT_DOUBLE_EQ(back.groups[1].uplink.latency_s, 0.010);
+  EXPECT_DOUBLE_EQ(back.fabric.bytes_per_s, 1.25e9);
+  // Canonical serialization: dumping the round-tripped machine is stable.
+  EXPECT_EQ(dump_machine(back), dump_machine(m));
+}
+
+TEST(MachineCodec, OptionalSectionsStayAbsent) {
+  Machine m;
+  NodeGroup g;
+  g.name = "solo";
+  g.core_gflops = 5.0;
+  g.l3 = {100e9, 0.0};
+  g.membus = {50e9, 0.0};
+  g.nic = {1e9, 1e-6};
+  m.groups = {g};
+  const std::string text = dump_machine(m);
+  EXPECT_EQ(text.find("upi"), std::string::npos);
+  EXPECT_EQ(text.find("uplink"), std::string::npos);
+  EXPECT_EQ(text.find("core_clock_states"), std::string::npos);
+  const Machine back = parse_machine(text);
+  EXPECT_FALSE(back.groups[0].has_uplink());
+  EXPECT_TRUE(back.groups[0].core_clock_states.empty());
+}
+
+TEST(MachineCodec, UnknownKeysAreRejectedAtEveryLevel) {
+  const std::string good = dump_machine(sample_machine());
+  // Top level.
+  EXPECT_THROW(parse_machine("{\"fabric\":{\"bytes_per_s\":1,\"latency_s\":0},"
+                             "\"groups\":[],\"color\":\"red\"}"),
+               Error);
+  // Link level.
+  std::string bad_link = good;
+  bad_link.replace(bad_link.find("\"bytes_per_s\""), 13, "\"bytes_per_sec\"");
+  EXPECT_THROW(parse_machine(bad_link), Error);
+  // Group level.
+  std::string bad_group = good;
+  bad_group.replace(bad_group.find("\"core_gflops\""), 13, "\"gflops\"");
+  EXPECT_THROW(parse_machine(bad_group), Error);
+}
+
+TEST(MachineCodec, MalformedTextAndInvalidMachinesThrow) {
+  EXPECT_THROW(parse_machine("not json at all {"), Error);
+  EXPECT_THROW(parse_machine("[1, 2, 3]"), Error);
+  // Structurally valid JSON, structurally invalid machine: zero NIC bw.
+  Machine m = sample_machine();
+  m.groups[0].nic.bytes_per_s = 0.0;
+  EXPECT_THROW(parse_machine(to_json(m).dump(true)), Error);
+}
+
+TEST(MachineCodec, FileRoundTripAndMissingFileError) {
+  char tmpl[] = "/tmp/peachy-machine-XXXXXX";
+  const std::string dir = ::mkdtemp(tmpl);
+  const std::string path = dir + "/machine.json";
+  const Machine m = sample_machine();
+  save_machine(m, path);
+  const Machine back = load_machine(path);
+  EXPECT_EQ(dump_machine(back), dump_machine(m));
+
+  EXPECT_THROW(load_machine(dir + "/absent.json"), Error);
+  // Parse errors carry the file path for the CLI's error message.
+  std::ofstream(path) << "{ broken";
+  try {
+    load_machine(path);
+    FAIL() << "expected a parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace peachy::machine

@@ -1,0 +1,181 @@
+// Hierarchical machine model: structural validation, DVFS states, and the
+// deterministic route/cost resolver (same-socket, cross-socket, cross-node,
+// cross-group-over-uplink paths).
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "machine/machine.hpp"
+
+namespace peachy::machine {
+namespace {
+
+// Two groups: a 4-node dual-socket "cluster" directly on the fabric and a
+// 2-node "cloud" behind a slow WAN uplink.
+Machine two_group_machine() {
+  Machine m;
+  NodeGroup cluster;
+  cluster.name = "cluster";
+  cluster.nodes = 4;
+  cluster.sockets_per_node = 2;
+  cluster.cores_per_socket = 4;
+  cluster.core_gflops = 10.0;
+  cluster.core_clock_states = {1.0, 1.2, 1.4};
+  cluster.l3 = {200e9, 20e-9};
+  cluster.membus = {25e9, 90e-9};
+  cluster.upi = {20e9, 120e-9};
+  cluster.nic = {1.25e9, 50e-6};
+  NodeGroup cloud;
+  cloud.name = "cloud";
+  cloud.nodes = 2;
+  cloud.sockets_per_node = 1;
+  cloud.cores_per_socket = 8;
+  cloud.core_gflops = 14.0;
+  cloud.l3 = {180e9, 25e-9};
+  cloud.membus = {20e9, 95e-9};
+  cloud.nic = {1.25e9, 50e-6};
+  cloud.uplink = {125e6, 0.010};
+  m.groups = {cluster, cloud};
+  m.fabric = {1.25e9, 0.5e-6};
+  return m;
+}
+
+TEST(Machine, CountsAndLookup) {
+  const Machine m = two_group_machine();
+  m.validate();
+  EXPECT_EQ(m.total_nodes(), 6);
+  EXPECT_EQ(m.total_cores(), 4 * 2 * 4 + 2 * 1 * 8);
+  EXPECT_EQ(m.group_index("cloud"), 1);
+  EXPECT_EQ(m.group("cluster").nodes, 4);
+  EXPECT_THROW(m.group("gpu"), Error);
+}
+
+TEST(Machine, GflopsAtSelectsClockState) {
+  const Machine m = two_group_machine();
+  const NodeGroup& cluster = m.groups[0];
+  EXPECT_DOUBLE_EQ(cluster.gflops_at(), 10.0);
+  EXPECT_DOUBLE_EQ(cluster.gflops_at(2), 10.0 * 1.4);
+  EXPECT_THROW(cluster.gflops_at(3), Error);
+  // No state list = single nominal state.
+  EXPECT_DOUBLE_EQ(m.groups[1].gflops_at(), 14.0);
+}
+
+TEST(Machine, ValidateRejectsStructuralProblems) {
+  Machine m = two_group_machine();
+  m.groups[0].name = "";
+  EXPECT_THROW(m.validate(), Error);
+
+  m = two_group_machine();
+  m.groups[1].name = "cluster";  // duplicate
+  EXPECT_THROW(m.validate(), Error);
+
+  m = two_group_machine();
+  m.groups[0].nodes = 0;
+  EXPECT_THROW(m.validate(), Error);
+
+  m = two_group_machine();
+  m.groups[0].upi = {};  // dual-socket group needs a UPI link
+  EXPECT_THROW(m.validate(), Error);
+
+  m = two_group_machine();
+  m.fabric = {};  // multi-node machine needs a fabric
+  EXPECT_THROW(m.validate(), Error);
+
+  m = two_group_machine();
+  m.groups[0].nic.latency_s = -1e-6;
+  EXPECT_THROW(m.validate(), Error);
+}
+
+TEST(Machine, CheckCoreBoundsEveryCoordinate) {
+  const Machine m = two_group_machine();
+  EXPECT_NO_THROW(check_core(m, {0, 3, 1, 3}));
+  EXPECT_THROW(check_core(m, {2, 0, 0, 0}), Error);
+  EXPECT_THROW(check_core(m, {0, 4, 0, 0}), Error);
+  EXPECT_THROW(check_core(m, {0, 0, 2, 0}), Error);
+  EXPECT_THROW(check_core(m, {0, 0, 0, 4}), Error);
+  EXPECT_THROW(check_core(m, {1, 0, 0, 8}), Error);
+}
+
+TEST(Machine, SelfRouteIsFree) {
+  const Machine m = two_group_machine();
+  const CoreId c{0, 0, 0, 0};
+  const Route r = route(m, c, c);
+  EXPECT_TRUE(r.edges.empty());
+  EXPECT_DOUBLE_EQ(r.latency_s, 0.0);
+  EXPECT_DOUBLE_EQ(predict_transfer_s(m, c, c, 1e9), 0.0);
+}
+
+TEST(Machine, SameSocketRouteUsesOnlyL3) {
+  const Machine m = two_group_machine();
+  const Route r = route(m, {0, 0, 0, 0}, {0, 0, 0, 3});
+  ASSERT_EQ(r.edges.size(), 1u);
+  EXPECT_EQ(r.edges[0].kind, EdgeKind::kL3);
+  EXPECT_EQ(r.edges[0].node, 0);
+  EXPECT_DOUBLE_EQ(r.latency_s, 20e-9);
+  EXPECT_DOUBLE_EQ(r.min_bytes_per_s, 200e9);
+}
+
+TEST(Machine, CrossSocketRouteClimbsThroughUpi) {
+  const Machine m = two_group_machine();
+  const Route r = route(m, {0, 1, 0, 2}, {0, 1, 1, 0});
+  // l3 -> membus -> upi -> membus -> l3
+  ASSERT_EQ(r.edges.size(), 5u);
+  EXPECT_EQ(r.edges[0].kind, EdgeKind::kL3);
+  EXPECT_EQ(r.edges[1].kind, EdgeKind::kMembus);
+  EXPECT_EQ(r.edges[2].kind, EdgeKind::kUpi);
+  EXPECT_EQ(r.edges[3].kind, EdgeKind::kMembus);
+  EXPECT_EQ(r.edges[4].kind, EdgeKind::kL3);
+  EXPECT_EQ(r.edges[0].socket, 0);
+  EXPECT_EQ(r.edges[4].socket, 1);
+  EXPECT_DOUBLE_EQ(r.latency_s, 20e-9 + 90e-9 + 120e-9 + 90e-9 + 20e-9);
+  EXPECT_DOUBLE_EQ(r.min_bytes_per_s, 20e9);  // UPI bottlenecks
+}
+
+TEST(Machine, CrossNodeRouteBottlenecksOnNic) {
+  const Machine m = two_group_machine();
+  const Route r = route(m, {0, 0, 0, 0}, {0, 3, 1, 2});
+  // l3, membus, nic | fabric | nic, membus, l3 (no uplink: direct group)
+  ASSERT_EQ(r.edges.size(), 7u);
+  EXPECT_EQ(r.edges[2].kind, EdgeKind::kNic);
+  EXPECT_EQ(r.edges[3].kind, EdgeKind::kFabric);
+  EXPECT_EQ(r.edges[4].kind, EdgeKind::kNic);
+  EXPECT_EQ(r.edges[2].node, 0);
+  EXPECT_EQ(r.edges[4].node, 3);
+  EXPECT_DOUBLE_EQ(r.min_bytes_per_s, 1.25e9);
+}
+
+TEST(Machine, CrossGroupRouteTraversesTheUplink) {
+  const Machine m = two_group_machine();
+  const Route r = route(m, {0, 0, 0, 0}, {1, 1, 0, 0});
+  // cluster: l3, membus, nic | fabric | cloud: uplink, nic, membus, l3
+  ASSERT_EQ(r.edges.size(), 8u);
+  int uplinks = 0;
+  for (const EdgeRef& e : r.edges)
+    if (e.kind == EdgeKind::kUplink) ++uplinks;
+  EXPECT_EQ(uplinks, 1);
+  EXPECT_DOUBLE_EQ(r.min_bytes_per_s, 125e6);  // WAN bottleneck
+  EXPECT_GT(r.latency_s, 0.010);               // dominated by the uplink
+}
+
+TEST(Machine, PredictTransferIsLatencyPlusBandwidthTerm) {
+  const Machine m = two_group_machine();
+  const CoreId a{0, 0, 0, 0}, b{0, 1, 0, 0};
+  const Route r = route(m, a, b);
+  const double bytes = 4 << 20;
+  EXPECT_DOUBLE_EQ(predict_transfer_s(m, a, b, bytes),
+                   r.latency_s + bytes / r.min_bytes_per_s);
+  EXPECT_DOUBLE_EQ(predict_transfer_s(m, a, b, bytes, 16),
+                   16 * r.latency_s + bytes / r.min_bytes_per_s);
+}
+
+TEST(Machine, EdgeSpecResolvesEveryKind) {
+  const Machine m = two_group_machine();
+  EXPECT_DOUBLE_EQ(edge_spec(m, {EdgeKind::kL3, 0, 0, 0}).bytes_per_s, 200e9);
+  EXPECT_DOUBLE_EQ(edge_spec(m, {EdgeKind::kUpi, 0, 1, -1}).bytes_per_s, 20e9);
+  EXPECT_DOUBLE_EQ(edge_spec(m, {EdgeKind::kUplink, 1, -1, -1}).bytes_per_s,
+                   125e6);
+  EXPECT_DOUBLE_EQ(edge_spec(m, {EdgeKind::kFabric, -1, -1, -1}).latency_s,
+                   0.5e-6);
+}
+
+}  // namespace
+}  // namespace peachy::machine

@@ -1,0 +1,165 @@
+// Task-DAG simulation over the machine model: FIFO cores, latency-then-
+// bandwidth transfers, and SimGrid-style progressive fair share on shared
+// edges. The machine below uses 1-gflops cores and zero latency everywhere
+// except the NIC, so expected times are exact closed forms.
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "machine/simulate.hpp"
+
+namespace peachy::machine {
+namespace {
+
+constexpr double kNicLat = 1e-3;
+
+Machine two_node_machine() {
+  Machine m;
+  NodeGroup g;
+  g.name = "n";
+  g.nodes = 2;
+  g.sockets_per_node = 1;
+  g.cores_per_socket = 2;
+  g.core_gflops = 1.0;  // 1e9 flops/s: flops in units of 1e9 == seconds
+  g.l3 = {100e9, 0.0};
+  g.membus = {50e9, 0.0};
+  g.nic = {1e9, kNicLat};
+  m.groups = {g};
+  m.fabric = {1e9, 0.0};
+  return m;
+}
+
+TEST(MachineSim, SingleTaskRunsAtCoreSpeed) {
+  Dag dag;
+  dag.tasks = {{2e9, {0, 0, 0, 0}, {}}};
+  const Report r = simulate(two_node_machine(), dag);
+  EXPECT_DOUBLE_EQ(r.task_start_s[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.makespan_s, 2.0);
+}
+
+TEST(MachineSim, SameCoreTasksQueueFifo) {
+  Dag dag;
+  dag.tasks = {{1e9, {0, 0, 0, 0}, {}}, {1e9, {0, 0, 0, 0}, {}}};
+  const Report r = simulate(two_node_machine(), dag);
+  EXPECT_DOUBLE_EQ(r.task_finish_s[0], 1.0);
+  EXPECT_DOUBLE_EQ(r.task_start_s[1], 1.0);
+  EXPECT_DOUBLE_EQ(r.makespan_s, 2.0);
+}
+
+TEST(MachineSim, ChainPaysRouteLatencyThenBandwidth) {
+  Dag dag;
+  dag.tasks = {{1e9, {0, 0, 0, 0}, {}}, {1e9, {0, 1, 0, 0}, {}}};
+  dag.transfers = {{0, 1, 1e9}};
+  const Report r = simulate(two_node_machine(), dag);
+  // src computes 1 s; transfer pays 2 NIC latencies + 1e9 B at 1 GB/s;
+  // dst computes 1 s after the last byte lands.
+  EXPECT_DOUBLE_EQ(r.transfer_start_s[0], 1.0);
+  EXPECT_NEAR(r.transfer_finish_s[0], 1.0 + 2 * kNicLat + 1.0, 1e-12);
+  EXPECT_NEAR(r.makespan_s, 3.0 + 2 * kNicLat, 1e-12);
+}
+
+TEST(MachineSim, SameCoreTransferIsFree) {
+  Dag dag;
+  dag.tasks = {{1e9, {0, 0, 0, 0}, {}}, {1e9, {0, 0, 0, 0}, {}}};
+  dag.transfers = {{0, 1, 8e9}};  // bytes are irrelevant on a self-route
+  const Report r = simulate(two_node_machine(), dag);
+  EXPECT_DOUBLE_EQ(r.transfer_finish_s[0], 1.0);
+  EXPECT_DOUBLE_EQ(r.makespan_s, 2.0);
+}
+
+TEST(MachineSim, ZeroByteTransferIsAPureLatencySignal) {
+  Dag dag;
+  dag.tasks = {{0.0, {0, 0, 0, 0}, {}}, {0.0, {0, 1, 0, 0}, {}}};
+  dag.transfers = {{0, 1, 0.0}};
+  const Report r = simulate(two_node_machine(), dag);
+  EXPECT_NEAR(r.makespan_s, 2 * kNicLat, 1e-12);
+}
+
+TEST(MachineSim, ConcurrentFlowsShareTheBottleneckFairly) {
+  // Two flows between the same node pair, started together: each gets half
+  // of the 1 GB/s NIC, so 1e9 bytes each takes 2 s of streaming.
+  Dag dag;
+  dag.tasks = {{0.0, {0, 0, 0, 0}, {}},
+               {0.0, {0, 0, 0, 1}, {}},
+               {0.0, {0, 1, 0, 0}, {}},
+               {0.0, {0, 1, 0, 1}, {}}};
+  dag.transfers = {{0, 2, 1e9}, {1, 3, 1e9}};
+  const Report r = simulate(two_node_machine(), dag);
+  EXPECT_NEAR(r.transfer_finish_s[0], 2 * kNicLat + 2.0, 1e-9);
+  EXPECT_NEAR(r.transfer_finish_s[1], 2 * kNicLat + 2.0, 1e-9);
+}
+
+TEST(MachineSim, LateFlowStealsHalfTheBandwidthProgressively) {
+  // Flow X (2 GB) starts at t=0; flow Y (1 GB) starts when its 1-second
+  // source task finishes. X streams alone at 1 GB/s until Y activates, then
+  // both run at 0.5 GB/s — with progress advanced before the recompute,
+  // both finish together at 1 + 2*lat + 2.0.
+  Dag dag;
+  dag.tasks = {{0.0, {0, 0, 0, 0}, {}},
+               {1e9, {0, 0, 0, 1}, {}},
+               {0.0, {0, 1, 0, 0}, {}},
+               {0.0, {0, 1, 0, 1}, {}}};
+  dag.transfers = {{0, 2, 2e9}, {1, 3, 1e9}};
+  const Report r = simulate(two_node_machine(), dag);
+  EXPECT_NEAR(r.transfer_finish_s[0], 1.0 + 2 * kNicLat + 2.0, 1e-9);
+  EXPECT_NEAR(r.transfer_finish_s[1], 1.0 + 2 * kNicLat + 2.0, 1e-9);
+}
+
+TEST(MachineSim, EdgeUsageAccountsBytesAndBusyTime) {
+  Dag dag;
+  dag.tasks = {{0.0, {0, 0, 0, 0}, {}}, {0.0, {0, 1, 0, 0}, {}}};
+  dag.transfers = {{0, 1, 1e9}};
+  const Report r = simulate(two_node_machine(), dag);
+  const EdgeUsage* nic = nullptr;
+  for (const EdgeUsage& u : r.edges)
+    if (u.edge.kind == EdgeKind::kNic && u.edge.node == 0) nic = &u;
+  ASSERT_NE(nic, nullptr);
+  EXPECT_DOUBLE_EQ(nic->bytes, 1e9);
+  EXPECT_NEAR(nic->busy_s, 1.0, 1e-9);
+}
+
+TEST(MachineSim, DependenciesGateWithoutTransfers) {
+  Dag dag;
+  dag.tasks = {{1e9, {0, 0, 0, 0}, {}}, {1e9, {0, 1, 0, 0}, {0}}};
+  const Report r = simulate(two_node_machine(), dag);
+  EXPECT_DOUBLE_EQ(r.task_start_s[1], 1.0);
+  EXPECT_DOUBLE_EQ(r.makespan_s, 2.0);
+}
+
+TEST(MachineSim, RejectsMalformedDags) {
+  const Machine m = two_node_machine();
+  Dag cyclic;
+  cyclic.tasks = {{1e9, {0, 0, 0, 0}, {1}}, {1e9, {0, 0, 0, 1}, {0}}};
+  EXPECT_THROW(simulate(m, cyclic), Error);
+
+  Dag bad_core;
+  bad_core.tasks = {{1e9, {0, 7, 0, 0}, {}}};
+  EXPECT_THROW(simulate(m, bad_core), Error);
+
+  Dag bad_transfer;
+  bad_transfer.tasks = {{1e9, {0, 0, 0, 0}, {}}};
+  bad_transfer.transfers = {{0, 3, 10.0}};
+  EXPECT_THROW(simulate(m, bad_transfer), Error);
+
+  Dag self_transfer;
+  self_transfer.tasks = {{1e9, {0, 0, 0, 0}, {}}};
+  self_transfer.transfers = {{0, 0, 10.0}};
+  EXPECT_THROW(simulate(m, self_transfer), Error);
+}
+
+TEST(MachineSim, DeterministicAcrossRuns) {
+  Dag dag;
+  dag.tasks = {{0.5e9, {0, 0, 0, 0}, {}},
+               {1e9, {0, 0, 0, 1}, {}},
+               {0.25e9, {0, 1, 0, 0}, {}},
+               {2e9, {0, 1, 0, 1}, {0, 1}}};
+  dag.transfers = {{0, 3, 3e8}, {1, 2, 7e8}, {2, 3, 1e8}};
+  const Machine m = two_node_machine();
+  const Report a = simulate(m, dag);
+  const Report b = simulate(m, dag);
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.task_finish_s, b.task_finish_s);
+  EXPECT_EQ(a.transfer_finish_s, b.transfer_finish_s);
+}
+
+}  // namespace
+}  // namespace peachy::machine

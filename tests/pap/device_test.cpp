@@ -1,0 +1,132 @@
+// Queued device model (pap::DeviceSim): spill-aware DRAM traffic, the
+// closed-form tile estimate, and the event-driven batch executor. The model
+// constants below are chosen so every expectation is exact arithmetic:
+// 100-byte requests over a 100 B/us channel mean one request = 1 us of
+// service, and responses land request_service_end + 0.5 us later.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/error.hpp"
+#include "pap/device.hpp"
+
+namespace peachy::pap {
+namespace {
+
+// Memory-bound reference model: ALU streams 1000 cells/us but the channel
+// only moves 100 B/us, so any non-trivial tile is DRAM-limited.
+DeviceModel memory_bound_model() {
+  DeviceModel m;
+  m.cells_per_us = 1000;
+  m.dram_bytes_per_us = 100;
+  m.dram_latency_us = 0.5;
+  m.dram_request_bytes = 100;
+  m.scratchpad_bytes = 1000;
+  m.issue_width = 2;
+  m.bytes_per_cell = 1;
+  return m;
+}
+
+TEST(DeviceSim, TrafficStreamsOnceUntilTheScratchpadSpills) {
+  const DeviceSim dev(memory_bound_model());
+  EXPECT_EQ(dev.tile_traffic_bytes(0), 0u);
+  EXPECT_EQ(dev.tile_traffic_bytes(500), 500u);   // fits: read once
+  EXPECT_EQ(dev.tile_traffic_bytes(1000), 1000u); // exactly fits
+  // 500 bytes over capacity are written back out: 1500 + 500.
+  EXPECT_EQ(dev.tile_traffic_bytes(1500), 2000u);
+}
+
+TEST(DeviceSim, EstimateIsBottleneckTimePlusFirstFetchLatency) {
+  const DeviceSim dev(memory_bound_model());
+  // 500 cells: compute 0.5 us, stream 500/100 = 5 us -> memory-bound.
+  EXPECT_DOUBLE_EQ(dev.tile_estimate_us(500), 5.0 + 0.5);
+
+  DeviceModel fast = memory_bound_model();
+  fast.dram_bytes_per_us = 10000;
+  fast.cells_per_us = 100;
+  // Now compute-bound: 5 us of ALU, stream time 0.05 us.
+  EXPECT_DOUBLE_EQ(DeviceSim(fast).tile_estimate_us(500), 5.0 + 0.5);
+}
+
+TEST(DeviceSim, MemoryBoundTileFinishesAtStreamTimePlusLatency) {
+  const DeviceSim dev(memory_bound_model());
+  const DeviceBatchStats s = dev.run({500});
+  // 5 requests x 1 us keep the channel saturated from t=0; the last
+  // response lands at 5.0 + 0.5.
+  EXPECT_DOUBLE_EQ(s.total_us, 5.5);
+  EXPECT_DOUBLE_EQ(s.compute_us, 0.5);
+  EXPECT_DOUBLE_EQ(s.stall_us, 5.0);
+  EXPECT_EQ(s.requests, 5u);
+  EXPECT_EQ(s.dram_bytes, 500u);
+}
+
+TEST(DeviceSim, ComputeBoundTileOverlapsItsMemoryStream) {
+  DeviceModel m = memory_bound_model();
+  m.cells_per_us = 100;        // 500 cells = 5 us of ALU work
+  m.dram_bytes_per_us = 1000;  // each 100-byte request serves in 0.1 us
+  const DeviceBatchStats s = DeviceSim(m).run({500});
+  // First response at 0.1 + 0.5 starts the ALUs; compute dominates.
+  EXPECT_DOUBLE_EQ(s.total_us, 0.6 + 5.0);
+  EXPECT_DOUBLE_EQ(s.compute_us, 5.0);
+  EXPECT_DOUBLE_EQ(s.stall_us, 0.6);
+}
+
+TEST(DeviceSim, BatchRunsTilesBackToBack) {
+  const DeviceSim dev(memory_bound_model());
+  const DeviceBatchStats one = dev.run({500});
+  const DeviceBatchStats two = dev.run({500, 500});
+  EXPECT_DOUBLE_EQ(two.total_us, 2 * one.total_us);
+  EXPECT_EQ(two.requests, 2 * one.requests);
+  EXPECT_EQ(two.dram_bytes, 2 * one.dram_bytes);
+}
+
+TEST(DeviceSim, SpilledTilePaysWriteBackTimeOnTheChannel) {
+  const DeviceSim dev(memory_bound_model());
+  // 1500 cells spill 500 bytes: 2000 bytes = 20 saturated requests.
+  const DeviceBatchStats s = dev.run({1500});
+  EXPECT_DOUBLE_EQ(s.total_us, 20.0 + 0.5);
+  EXPECT_EQ(s.requests, 20u);
+  EXPECT_EQ(s.dram_bytes, 2000u);
+}
+
+TEST(DeviceSim, WiderIssueWindowNeverSlowsABatch) {
+  DeviceModel narrow = memory_bound_model();
+  narrow.issue_width = 1;
+  DeviceModel wide = memory_bound_model();
+  wide.issue_width = 8;
+  const std::vector<double> tiles{300, 900, 1500};
+  EXPECT_GE(DeviceSim(narrow).run(tiles).total_us,
+            DeviceSim(wide).run(tiles).total_us);
+}
+
+TEST(DeviceSim, BatchStatsAreDeterministic) {
+  const DeviceSim dev(memory_bound_model());
+  const std::vector<double> tiles{128, 4096, 77, 1500, 0, 640};
+  const DeviceBatchStats a = dev.run(tiles);
+  const DeviceBatchStats b = dev.run(tiles);
+  EXPECT_EQ(a.total_us, b.total_us);
+  EXPECT_EQ(a.compute_us, b.compute_us);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.dram_bytes, b.dram_bytes);
+}
+
+TEST(DeviceSim, RejectsIncompleteModels) {
+  DeviceModel flat = memory_bound_model();
+  flat.dram_bytes_per_us = 0;  // the flat model has no queues to simulate
+  EXPECT_THROW(DeviceSim{flat}, Error);
+
+  DeviceModel no_window = memory_bound_model();
+  no_window.issue_width = 0;
+  EXPECT_THROW(DeviceSim{no_window}, Error);
+
+  DeviceModel no_footprint = memory_bound_model();
+  no_footprint.bytes_per_cell = 0;
+  EXPECT_THROW(DeviceSim{no_footprint}, Error);
+
+  const DeviceSim dev(memory_bound_model());
+  EXPECT_THROW(dev.run({100, -1}), Error);
+  EXPECT_THROW(dev.tile_traffic_bytes(-5), Error);
+}
+
+}  // namespace
+}  // namespace peachy::pap

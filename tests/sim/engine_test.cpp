@@ -77,6 +77,93 @@ TEST(Engine, RunUntilLeavesLaterEventsQueued) {
   EXPECT_EQ(fired, 3);
 }
 
+TEST(Engine, RunUntilFiresEventExactlyAtHorizon) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(5.0, [&] { ++fired; });
+  EXPECT_EQ(e.run_until(5.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(e.now(), 5.0);
+}
+
+TEST(Engine, RunUntilFiresReentrantEventAtHorizon) {
+  // An event scheduled *during* run_until for exactly the horizon belongs to
+  // this slice, not the next one.
+  Engine e;
+  std::vector<double> times;
+  e.schedule_at(3.0, [&] {
+    e.schedule_at(5.0, [&] { times.push_back(e.now()); });
+  });
+  EXPECT_EQ(e.run_until(5.0), 2u);
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_DOUBLE_EQ(times[0], 5.0);
+}
+
+TEST(Engine, RunUntilAdvancesClockToHorizonWhenQueueDrains) {
+  Engine e;
+  e.schedule_at(2.0, [] {});
+  EXPECT_EQ(e.run_until(5.0), 1u);
+  // The slice covers [0, 5]: the clock lands on the horizon so the next
+  // schedule_in anchors there instead of at the last event.
+  EXPECT_DOUBLE_EQ(e.now(), 5.0);
+  double seen = -1;
+  e.schedule_in(1.0, [&] { seen = e.now(); });
+  EXPECT_THROW(e.schedule_at(4.0, [] {}), Error);  // inside the past slice
+  e.run();
+  EXPECT_DOUBLE_EQ(seen, 6.0);
+}
+
+TEST(Engine, RunUntilOnEmptyQueueStillAdvancesClock) {
+  Engine e;
+  EXPECT_EQ(e.run_until(7.0), 0u);
+  EXPECT_DOUBLE_EQ(e.now(), 7.0);
+  EXPECT_EQ(e.run_until(3.0), 0u);  // horizon in the past: clock keeps
+  EXPECT_DOUBLE_EQ(e.now(), 7.0);
+}
+
+TEST(Engine, RunKeepsClockAtLastEventNotInfinity) {
+  Engine e;
+  e.schedule_at(2.0, [] {});
+  e.run();
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+  EXPECT_NO_THROW(e.schedule_at(2.0, [] {}));
+}
+
+TEST(Engine, ReentrantScheduleAtNowRunsInSameCall) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(1.0, [&] {
+    order.push_back(0);
+    e.schedule_at(e.now(), [&] { order.push_back(2); });
+    order.push_back(1);
+  });
+  EXPECT_EQ(e.run_until(1.0), 2u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(e.now(), 1.0);
+}
+
+TEST(Engine, EqualTimestampOrderIsStableAcrossRunUntilSplits) {
+  // The same schedule executed in one run() or chopped into run_until()
+  // slices must fire equal-timestamp events in identical order.
+  auto record = [](Engine& e, std::vector<int>& order) {
+    for (int i = 0; i < 6; ++i)
+      e.schedule_at(i < 3 ? 4.0 : 8.0, [&order, i] { order.push_back(i); });
+  };
+  Engine whole;
+  std::vector<int> whole_order;
+  record(whole, whole_order);
+  whole.run();
+
+  Engine split;
+  std::vector<int> split_order;
+  record(split, split_order);
+  split.run_until(4.0);
+  split.run_until(6.0);  // empty slice in between
+  split.run_until(8.0);
+  EXPECT_EQ(split_order, whole_order);
+  EXPECT_EQ(whole_order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
 TEST(Engine, SchedulingInThePastThrows) {
   Engine e;
   e.schedule_at(5.0, [] {});

@@ -248,5 +248,31 @@ TEST(SvcProcessIsolation, ProcessAndThreadedRunsAgreeByteForByte) {
       << "isolation must not change the answer";
 }
 
+// --- Peak-RSS accounting ---------------------------------------------------
+
+TEST(SvcProcessIsolation, ProcessJobsReportPeakRssThreadedJobsDoNot) {
+  TempDir dir;
+  Daemon daemon(base_options(dir.path()));
+  Client client("127.0.0.1", daemon.port());
+
+  JobSpec threaded = process_dmr("alice");
+  threaded.isolation = Isolation::kThreads;
+  JobSpec forked = process_dmr("alice");
+  const SubmitResult t = client.submit(threaded);
+  const SubmitResult f = client.submit(forked);
+  ASSERT_TRUE(t.accepted && f.accepted);
+  const JobStatus ts = client.await(t.id, 120s);
+  const JobStatus fs_ = client.await(f.id, 120s);
+  ASSERT_EQ(ts.state, JobState::kDone);
+  ASSERT_EQ(fs_.state, JobState::kDone);
+  // wait4 sees real worker processes: any live process has at least a page
+  // of RSS, and in practice megabytes. Threaded ranks share the daemon's
+  // address space — there is nothing separate to meter, so the field is 0.
+  EXPECT_GT(fs_.peak_rss_bytes, 1u << 20)
+      << "forked workers must report a believable RSS peak";
+  EXPECT_EQ(ts.peak_rss_bytes, 0u)
+      << "threaded jobs have no separate process to meter";
+}
+
 }  // namespace
 }  // namespace peachy::svc

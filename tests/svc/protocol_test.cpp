@@ -107,6 +107,7 @@ TEST(SvcProtocol, StatusRoundTrip) {
   s.name = "wordcount";
   s.error = "rank 1 died";
   s.restarts = 3;
+  s.peak_rss_bytes = 7ull << 20;
   s.has_result = false;
   std::vector<std::byte> buf;
   append_status(buf, s);
@@ -118,6 +119,7 @@ TEST(SvcProtocol, StatusRoundTrip) {
   EXPECT_EQ(back.tenant, "carol");
   EXPECT_EQ(back.error, "rank 1 died");
   EXPECT_EQ(back.restarts, 3u);
+  EXPECT_EQ(back.peak_rss_bytes, 7ull << 20);
   EXPECT_FALSE(back.has_result);
 }
 

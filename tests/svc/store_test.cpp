@@ -41,6 +41,7 @@ JobRecord sample_record(std::uint64_t id, JobState state) {
   rec.spec.name = "job-" + std::to_string(id);
   rec.spec.ranks = 2;
   rec.restarts = static_cast<std::uint32_t>(id % 2);
+  rec.peak_rss_bytes = (id + 1) * 4096;
   if (state == JobState::kFailed) rec.error = "worker exploded";
   if (state == JobState::kDone)
     rec.result = {std::byte{0xde}, std::byte{0xad}, std::byte{0xbe}};
@@ -65,6 +66,7 @@ TEST(JobStore, PutGetRoundTripAndAtomicCommit) {
   EXPECT_EQ(back->spec.name, rec.spec.name);
   EXPECT_EQ(back->result, rec.result);
   EXPECT_EQ(back->restarts, rec.restarts);
+  EXPECT_EQ(back->peak_rss_bytes, rec.peak_rss_bytes);
 }
 
 TEST(JobStore, LoadAllSurvivesReopenInIdOrder) {

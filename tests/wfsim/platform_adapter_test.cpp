@@ -1,0 +1,86 @@
+// The EduWRENCH platform is now expressed through the hierarchical machine
+// model (machine::Machine -> wf::Platform adapter). These tests pin the
+// adapter to the legacy constants *bit-exactly*: the machine stores clock
+// multipliers, and the adapter evaluates the same double expressions the
+// hand-written platform used, so Table 1/2 outputs stay byte-identical.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "machine/machine.hpp"
+#include "wfsim/platform.hpp"
+
+namespace peachy::wf {
+namespace {
+
+TEST(PlatformAdapter, EduwrenchMachineDescribesThePaperPlatform) {
+  const machine::Machine m = eduwrench_machine();
+  m.validate();
+  EXPECT_EQ(m.group("cluster").nodes, 64);
+  EXPECT_EQ(m.group("cloud").nodes, 16);
+  EXPECT_EQ(m.group("cluster").core_clock_states.size(), 7u);
+  EXPECT_TRUE(m.group("cloud").has_uplink());
+  EXPECT_FALSE(m.group("cluster").has_uplink());
+}
+
+TEST(PlatformAdapter, AdapterReproducesLegacyConstantsBitExactly) {
+  const Platform p = platform_from_machine(eduwrench_machine());
+  EXPECT_EQ(p.cluster.total_nodes, 64);
+  EXPECT_EQ(p.cluster.idle_watts, 95.0);
+  EXPECT_EQ(p.cluster.gco2_per_kwh, 291.0);
+  ASSERT_EQ(p.cluster.pstates.size(), 7u);
+  for (int i = 0; i < 7; ++i) {
+    // The exact double expressions of the hand-written platform: any
+    // re-association (e.g. storing derived speeds and dividing back) would
+    // break byte-identical Table 1/2 output.
+    const double clock = 1.0 + 0.2 * i;
+    const auto& ps = p.cluster.pstates[static_cast<std::size_t>(i)];
+    EXPECT_EQ(ps.gflops, 10.0 * clock) << "pstate " << i;
+    EXPECT_EQ(ps.busy_watts, 95.0 + 30.0 * std::pow(clock, 2.5))
+        << "pstate " << i;
+  }
+  EXPECT_EQ(p.cloud.vms, 16);
+  EXPECT_EQ(p.cloud.vm_gflops, 14.0);
+  EXPECT_EQ(p.cloud.vm_busy_watts, 150.0);
+  EXPECT_EQ(p.cloud.gco2_per_kwh, 25.0);
+  EXPECT_EQ(p.link.bytes_per_s, 125e6);
+  EXPECT_EQ(p.link.latency_s, 0.010);
+}
+
+TEST(PlatformAdapter, EduwrenchPlatformIsTheAdaptedMachine) {
+  const Platform legacy = eduwrench_platform();
+  const Platform adapted = platform_from_machine(eduwrench_machine());
+  ASSERT_EQ(legacy.cluster.pstates.size(), adapted.cluster.pstates.size());
+  for (std::size_t i = 0; i < legacy.cluster.pstates.size(); ++i) {
+    EXPECT_EQ(legacy.cluster.pstates[i].gflops,
+              adapted.cluster.pstates[i].gflops);
+    EXPECT_EQ(legacy.cluster.pstates[i].busy_watts,
+              adapted.cluster.pstates[i].busy_watts);
+  }
+  EXPECT_EQ(legacy.link.bytes_per_s, adapted.link.bytes_per_s);
+}
+
+TEST(PlatformAdapter, MissingGroupsOrUplinkFailLoudly) {
+  machine::Machine m = eduwrench_machine();
+  m.groups[1].name = "edge";  // no "cloud" group any more
+  EXPECT_THROW(platform_from_machine(m), Error);
+
+  machine::Machine no_uplink = eduwrench_machine();
+  no_uplink.groups[1].uplink = {};
+  EXPECT_THROW(platform_from_machine(no_uplink), Error);
+}
+
+TEST(PlatformAdapter, EnergyModelKnobsFlowThrough) {
+  EnergyModel e;
+  e.cluster_idle_watts = 80.0;
+  e.cluster_dynamic_watts = 40.0;
+  e.vm_busy_watts = 100.0;
+  const Platform p = platform_from_machine(eduwrench_machine(), e);
+  EXPECT_EQ(p.cluster.idle_watts, 80.0);
+  EXPECT_EQ(p.cluster.pstates[0].busy_watts, 80.0 + 40.0);  // clock 1.0
+  EXPECT_EQ(p.cloud.vm_busy_watts, 100.0);
+}
+
+}  // namespace
+}  // namespace peachy::wf
